@@ -1,0 +1,42 @@
+# Convenience targets for the OASIS reproduction (stdlib-only Go module).
+
+GO ?= go
+
+.PHONY: all build vet test race bench tables examples cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One testing.B benchmark per experiment row (see EXPERIMENTS.md).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every figure/scenario table from the paper reproduction.
+tables:
+	$(GO) run ./cmd/benchtab
+
+# Run all six runnable paper scenarios.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/healthcare
+	$(GO) run ./examples/visitingdoctor
+	$(GO) run ./examples/anonymousclinic
+	$(GO) run ./examples/weboftrust
+	$(GO) run ./examples/delegation
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	$(GO) clean ./...

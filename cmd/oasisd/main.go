@@ -1,0 +1,256 @@
+// Command oasisd hosts one or more OASIS-secured services over TCP.
+//
+// Each -svc flag names a service and its policy file; -facts loads ground
+// facts into a shared store whose relations become environmental
+// predicates on every hosted service; -peer registers the address of a
+// service hosted by another oasisd process so that callback validation of
+// its certificates works across processes.
+//
+//	oasisd -addr :7070 \
+//	    -svc login=login.policy -svc files=files.policy \
+//	    -facts facts.txt \
+//	    -peer national=10.0.0.7:7070
+//
+// Policy files use the syntax documented in the policy package; fact files
+// hold one fact per line: `relation arg1 arg2 ...` (arguments are atoms,
+// integers, or "quoted strings"; blank lines and #-comments are ignored).
+//
+// Within one process, hosted services share an event broker, so active
+// revocation (membership monitoring, session-tree collapse) is immediate.
+// Across processes, certificates are validated by callback, and -relay-peer
+// bridges the event brokers so revocations propagate actively between
+// daemons too:
+//
+//	oasisd -addr :7070 -node A -svc login=login.policy \
+//	    -relay-peer B=10.0.0.8:7070
+//	oasisd -addr :7070 -node B -svc files=files.policy \
+//	    -peer login=10.0.0.7:7070 -relay-peer A=10.0.0.7:7070
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/civ"
+	"repro/internal/cmdutil"
+	"repro/internal/core"
+	"repro/internal/domain"
+	"repro/internal/event"
+	"repro/internal/policy"
+	"repro/internal/rpc"
+	"repro/internal/store"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":7070", "listen address")
+		facts    = flag.String("facts", "", "facts file (relation arg1 arg2 per line)")
+		civCount = flag.Int("civ", 0, "share a replicated CIV record store of N replicas across hosted services (0 = service-local records)")
+		node     = flag.String("node", "", "node name for cross-process event relaying (default: the listen address)")
+		svcs     multiFlag
+		peers    multiFlag
+		relayTo  multiFlag
+	)
+	flag.Var(&svcs, "svc", "service to host: name=policyfile (repeatable)")
+	flag.Var(&peers, "peer", "remote service address: name=host:port (repeatable)")
+	flag.Var(&relayTo, "relay-peer", "relay revocation events to another oasisd: node=host:port (repeatable)")
+	flag.Parse()
+	if *node == "" {
+		*node = *addr
+	}
+
+	if err := run(*addr, *facts, *civCount, *node, svcs, peers, relayTo); err != nil {
+		fmt.Fprintln(os.Stderr, "oasisd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, factsPath string, civCount int, node string, svcs, peers, relayTo []string) error {
+	if len(svcs) == 0 {
+		return fmt.Errorf("at least one -svc name=policyfile is required")
+	}
+	var records core.RecordStore
+	if civCount > 0 {
+		cluster, err := civ.NewCluster(civCount)
+		if err != nil {
+			return err
+		}
+		records = domain.NewCIVRecords(cluster)
+		fmt.Printf("credential records on a %d-replica CIV cluster\n", civCount)
+	}
+
+	broker := event.NewBroker()
+	defer broker.Close()
+
+	// The caller used for callback validation: local services are
+	// reached in-process; peers over TCP.
+	local := rpc.NewLoopback()
+	directory := rpc.NewDirectory(10 * time.Second)
+	defer directory.Close()
+	for _, p := range peers {
+		name, peerAddr, ok := strings.Cut(p, "=")
+		if !ok {
+			return fmt.Errorf("bad -peer %q, want name=host:port", p)
+		}
+		directory.Add(name, peerAddr)
+	}
+	// localNames is filled as services are created; the map is shared by
+	// reference with every copy of the caller handed to services.
+	localNames := make(map[string]bool)
+	caller := splitCaller{local: local, remote: directory, localNames: localNames}
+
+	db := store.New()
+	var relations []string
+	if factsPath != "" {
+		text, err := os.ReadFile(factsPath)
+		if err != nil {
+			return fmt.Errorf("read facts: %w", err)
+		}
+		relations, err = cmdutil.LoadFacts(db, string(text))
+		if err != nil {
+			return fmt.Errorf("load facts: %w", err)
+		}
+	}
+
+	server := rpc.NewTCPServer()
+	var hosted []*core.Service
+	for _, s := range svcs {
+		name, policyPath, ok := strings.Cut(s, "=")
+		if !ok {
+			return fmt.Errorf("bad -svc %q, want name=policyfile", s)
+		}
+		text, err := os.ReadFile(policyPath)
+		if err != nil {
+			return fmt.Errorf("read policy for %s: %w", name, err)
+		}
+		pol, err := policy.Parse(string(text))
+		if err != nil {
+			return fmt.Errorf("policy for %s: %w", name, err)
+		}
+		svc, err := core.NewService(core.Config{
+			Name:             name,
+			Policy:           pol,
+			Broker:           broker,
+			Caller:           caller,
+			CacheValidations: true,
+			Records:          records,
+		})
+		if err != nil {
+			return err
+		}
+		defer svc.Close()
+		mapping := make(map[string]string, len(relations))
+		for _, rel := range relations {
+			svc.Env().RegisterStore(rel, db, rel)
+			mapping[rel] = rel
+		}
+		if len(mapping) > 0 {
+			svc.WatchStore(db, mapping)
+		}
+		h := svc.Handler()
+		local.Register(name, h)
+		server.Register(name, h)
+		hosted = append(hosted, svc)
+		localNames[name] = true
+		fmt.Printf("hosting service %s (policy %s)\n", name, policyPath)
+	}
+
+	// Cross-process event relaying: revocation events published by the
+	// local broker travel to the configured peer daemons, so active
+	// revocation spans processes.
+	relay := event.NewRelay(broker, node)
+	server.Register(eventsService(node), func(method string, body []byte) ([]byte, error) {
+		ev, err := event.UnmarshalEvent(body)
+		if err != nil {
+			return nil, err
+		}
+		return nil, relay.Receive(ev)
+	})
+	for _, rp := range relayTo {
+		peerNode, peerAddr, ok := strings.Cut(rp, "=")
+		if !ok {
+			return fmt.Errorf("bad -relay-peer %q, want node=host:port", rp)
+		}
+		directory.Add(eventsService(peerNode), peerAddr)
+		target := eventsService(peerNode)
+		relay.AddPeer(peerNode, func(ev event.Event) error {
+			body, err := event.MarshalEvent(ev)
+			if err != nil {
+				return err
+			}
+			// Best-effort async delivery: a slow peer must not stall
+			// local publication; peers re-validate by callback anyway.
+			go directory.Call(target, "publish", body) //nolint:errcheck
+			return nil
+		})
+		fmt.Printf("relaying events to node %s at %s\n", peerNode, peerAddr)
+	}
+
+	// Static policy consistency check across everything hosted here
+	// (peer services are unknown to this process, so cross-process
+	// references surface as warnings, not errors).
+	checker := policy.NewChecker()
+	for _, svc := range hosted {
+		checker.AddService(svc.Name(), svc.Policy(), svc.Env().Names())
+	}
+	for _, p := range peers {
+		if name, _, ok := strings.Cut(p, "="); ok {
+			checker.AddExternal(name)
+		}
+	}
+	for _, issue := range checker.Check() {
+		fmt.Printf("policy check %s\n", issue)
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", addr, err)
+	}
+	fmt.Printf("oasisd listening on %s\n", ln.Addr())
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		server.Serve(ln)
+	}()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	server.Close()
+	<-done
+	return nil
+}
+
+// eventsService names the relay endpoint a node exposes on its rpc server.
+func eventsService(node string) string { return "_events:" + node }
+
+// splitCaller routes calls to in-process services via the loopback and to
+// everything else via the TCP directory.
+type splitCaller struct {
+	local      *rpc.Loopback
+	remote     *rpc.Directory
+	localNames map[string]bool
+}
+
+func (c splitCaller) Call(service, method string, body []byte) ([]byte, error) {
+	if c.localNames[service] {
+		return c.local.Call(service, method, body)
+	}
+	return c.remote.Call(service, method, body)
+}

@@ -1,0 +1,129 @@
+// Command policytool is the administrator's workbench for OASIS policy
+// files: parse/consistency checking, canonical formatting, and activation
+// tracing.
+//
+//	policytool check  policy.txt [-pred registered -pred excluded]
+//	policytool fmt    policy.txt              # prints canonical form
+//	policytool explain policy.txt -role 'hospital.treating_doctor(D, P)' \
+//	       -facts facts.txt -held 'hospital.doctor_on_duty(dr_ann)' \
+//	       [-appt 'admin.allocated_patient(dr_ann, joe)']
+//
+// explain reports, per activation rule for the role, whether it fires with
+// the given credentials and facts, the bindings when it does, and the
+// first failing condition when it does not.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/ptool"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "policytool:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: policytool <check|fmt|explain> <policyfile> [flags]")
+	}
+	cmd, path := args[0], args[1]
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("read policy: %w", err)
+	}
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	var (
+		preds, held, appts multiFlag
+		roleSpec           = fs.String("role", "", "role instance to explain")
+		factsPath          = fs.String("facts", "", "facts file feeding env predicates")
+	)
+	fs.Var(&preds, "pred", "environmental predicate known to be registered (repeatable)")
+	fs.Var(&held, "held", "held role credential, e.g. 'hospital.doctor(dr_ann)' (repeatable)")
+	fs.Var(&appts, "appt", "held appointment, e.g. 'admin.badge(gate3)' (repeatable)")
+	if err := fs.Parse(args[2:]); err != nil {
+		return err
+	}
+
+	switch cmd {
+	case "check":
+		res, err := ptool.Check(string(text), preds)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d activation rules, %d authorization rules\n", res.Rules, res.AuthRules)
+		errorCount := 0
+		for _, issue := range res.Issues {
+			fmt.Println(issue)
+			if issue.Severity == "error" {
+				errorCount++
+			}
+		}
+		if errorCount > 0 {
+			return fmt.Errorf("%d errors", errorCount)
+		}
+		fmt.Println("ok")
+		return nil
+	case "fmt":
+		out, err := ptool.Format(string(text))
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	case "explain":
+		if *roleSpec == "" {
+			return fmt.Errorf("-role is required")
+		}
+		var facts string
+		if *factsPath != "" {
+			b, err := os.ReadFile(*factsPath)
+			if err != nil {
+				return fmt.Errorf("read facts: %w", err)
+			}
+			facts = string(b)
+		}
+		traces, err := ptool.Explain(ptool.EvalRequest{
+			PolicyText:   string(text),
+			FactsText:    facts,
+			Role:         *roleSpec,
+			HeldRoles:    held,
+			Appointments: appts,
+		})
+		if err != nil {
+			return err
+		}
+		fired := false
+		for _, tr := range traces {
+			fmt.Printf("rule %d: %s\n", tr.RuleIndex, tr.Rule)
+			if tr.Fired {
+				fired = true
+				fmt.Printf("  FIRES with bindings %s\n", tr.Bindings)
+				continue
+			}
+			fmt.Printf("  fails at condition %d of %d: %s\n",
+				tr.Satisfied+1, tr.Conditions, tr.FailedCond)
+		}
+		if !fired {
+			return fmt.Errorf("no rule fires for %s", *roleSpec)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}

@@ -1,0 +1,174 @@
+// Command anonymousclinic reproduces the anonymity scenario of Sect. 5 of
+// the paper: privacy legislation lets someone with medical insurance take
+// genetic tests anonymously. The insurance company issues a
+// computer-readable membership card (an appointment certificate carrying
+// only the scheme expiry) bound to a fresh pseudonymous session key. The
+// clinic's paid_up_patient role requires the card plus an environmental
+// constraint that the test date precedes the expiry; the card is validated
+// by callback to the insurer (the trusted third party), but the clinic
+// never learns who the member is — and the insurer never learns that a
+// test took place, since the clinic performs no calls that name it.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	oasis "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	broker := oasis.NewBroker()
+	defer broker.Close()
+	bus := oasis.NewBus()
+	fed := oasis.NewFederation()
+	clk := oasis.NewSimClock(time.Date(2001, 11, 12, 9, 0, 0, 0, time.UTC))
+
+	// --- The insurance company: membership officers issue cards. ---
+	insurer, err := oasis.NewService(oasis.Config{
+		Name: "insurer",
+		Policy: oasis.MustParsePolicy(`
+insurer.membership_officer(O) <- env is_officer(O).
+auth appoint_paid_up_member(E) <- insurer.membership_officer(O).
+`),
+		Broker: broker,
+		Caller: bus,
+		Clock:  clk,
+	})
+	if err != nil {
+		return err
+	}
+	defer insurer.Close()
+	staff := oasis.NewFactStore()
+	if _, err := staff.Assert("is_officer", oasis.Atom("clerk_7")); err != nil {
+		return err
+	}
+	insurer.Env().RegisterStore("is_officer", staff, "is_officer")
+
+	// --- The genetic clinic. E is the expiry (days since epoch); the
+	// activation rule checks the test date against it. ---
+	clinic, err := oasis.NewService(oasis.Config{
+		Name: "clinic",
+		Policy: oasis.MustParsePolicy(`
+clinic.paid_up_patient <- appt insurer.paid_up_member(E), env test_date_before(E) keep [1].
+auth take_genetic_test <- clinic.paid_up_patient.
+`),
+		Broker: broker,
+		Caller: bus,
+		Clock:  clk,
+	})
+	if err != nil {
+		return err
+	}
+	defer clinic.Close()
+	clinic.Env().Register("test_date_before",
+		func(args []oasis.Term, s oasis.Substitution) []oasis.Substitution {
+			if len(args) != 1 {
+				return nil
+			}
+			e := s.Apply(args[0])
+			if e.Kind != oasis.KindInt {
+				return nil
+			}
+			today := int64(clk.Now().Sub(time.Unix(0, 0)).Hours() / 24)
+			if today <= e.Num {
+				return []oasis.Substitution{s.Clone()}
+			}
+			return nil
+		})
+	var testsTaken int
+	clinic.Bind("take_genetic_test", func(args []oasis.Term) ([]byte, error) {
+		testsTaken++
+		return []byte("sample taken; results by sealed post"), nil
+	})
+
+	bus.Register("insurer", insurer.Handler())
+	bus.Register("clinic", clinic.Handler())
+	fed.AddDomain("insurance_domain")
+	fed.AddDomain("clinic_domain")
+	if err := fed.AddService("insurance_domain", insurer); err != nil {
+		return err
+	}
+	if err := fed.AddService("clinic_domain", clinic); err != nil {
+		return err
+	}
+	if err := fed.Agree(oasis.SLA{
+		IssuerDomain:   "insurance_domain",
+		ConsumerDomain: "clinic_domain",
+		Appointments:   []oasis.ApptRef{{Issuer: "insurer", Kind: "paid_up_member"}},
+	}); err != nil {
+		return err
+	}
+
+	// --- A member obtains an anonymised card. The officer knows the
+	// member (billing), but the card is bound to a fresh pseudonym. ---
+	officer, err := oasis.NewSession(nil)
+	if err != nil {
+		return err
+	}
+	officerRMC, err := insurer.Activate(officer.PrincipalID(),
+		oasis.MustRole(oasis.MustRoleName("insurer", "membership_officer", 1),
+			oasis.Atom("clerk_7")),
+		oasis.Presented{})
+	if err != nil {
+		return err
+	}
+	officer.AddRMC(officerRMC)
+
+	expiryDay := int64(clk.Now().Sub(time.Unix(0, 0)).Hours()/24) + 365
+	anon, err := oasis.NewAnonymousSession(insurer, officer.PrincipalID(), officer.Credentials(),
+		"paid_up_member", oasis.AppointmentRequest{
+			Params:    []oasis.Term{oasis.Int(expiryDay)},
+			ExpiresAt: clk.Now().AddDate(1, 0, 0),
+		})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("membership card issued to pseudonym %.16s... (expiry day %d)\n",
+		anon.Card.Holder, expiryDay)
+	if anon.Card.Holder != anon.Session.PrincipalID() {
+		return errors.New("BUG: card not bound to the pseudonym")
+	}
+
+	// --- At the clinic: activate paid_up_patient, take the test. ---
+	patientRMC, err := fed.Activate("clinic", anon.Session.PrincipalID(),
+		oasis.MustRole(oasis.MustRoleName("clinic", "paid_up_patient", 0)),
+		anon.Session.Credentials())
+	if err != nil {
+		return fmt.Errorf("activate paid_up_patient: %w", err)
+	}
+	anon.Session.AddRMC(patientRMC)
+	out, err := fed.Invoke("clinic", anon.Session.PrincipalID(), "take_genetic_test", nil,
+		anon.Session.Credentials())
+	if err != nil {
+		return fmt.Errorf("take test: %w", err)
+	}
+	fmt.Printf("test authorized anonymously: %s\n", out)
+	fmt.Printf("clinic knows only the pseudonym; card parameters: %v (no personal details)\n",
+		anon.Card.Params)
+
+	// --- After the scheme expires, the constraint refuses a new test
+	// session. ---
+	clk.Advance(366 * 24 * time.Hour)
+	fresh, err := oasis.NewSession(nil)
+	_ = fresh
+	if err != nil {
+		return err
+	}
+	_, err = fed.Activate("clinic", anon.Session.PrincipalID(),
+		oasis.MustRole(oasis.MustRoleName("clinic", "paid_up_patient", 0)),
+		oasis.Presented{Appointments: anon.Session.Appointments()})
+	if err == nil {
+		return errors.New("BUG: expired membership still activates")
+	}
+	fmt.Printf("one year later, activation refused: %v\n", err)
+	return nil
+}

@@ -1,0 +1,151 @@
+// Command delegation reproduces the paper's claim (Sect. 2) that OASIS
+// needs no privilege-delegation mechanism because "if an application
+// requires delegation then it can be built using appointment. The role of
+// the delegator must be granted the privilege of issuing appointment
+// certificates, and a role must be established to hold the privileges to
+// be assigned. Finally an activation rule must be defined to ensure that
+// the appointment certificate is presented in an appropriate context."
+//
+// The scenario is the paper's A&E hand-over: a doctor on duty is called
+// away and appoints a colleague to stand in for her. The stand-in role
+// carries exactly the defined privileges; the moment the duty doctor
+// returns and revokes the appointment, the stand-in's role collapses —
+// and, unlike Barka–Sandhu delegation chains, there is no delegation
+// bookkeeping to walk and nothing left dangling.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	oasis "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	broker := oasis.NewBroker()
+	defer broker.Close()
+	bus := oasis.NewBus()
+
+	ward, err := oasis.NewService(oasis.Config{
+		Name: "ward",
+		Policy: oasis.MustParsePolicy(`
+# The duty doctor role, driven by the rota.
+ward.duty_doctor(D) <- env on_rota(D) keep [1].
+
+# The delegator's privilege: a duty doctor may appoint a stand-in for
+# HER OWN duties only (the rule binds the appointment to the appointing
+# doctor's identity).
+auth appoint_stand_in(For, Who) <- ward.duty_doctor(For).
+
+# The role holding the assigned privileges, activated by presenting the
+# appointment in the appropriate context; it lives and dies with the
+# appointment certificate.
+ward.stand_in_doctor(For, Who) <- appt ward.stand_in(For, Who) keep [1].
+
+# The privileges themselves.
+auth prescribe(P) <- ward.duty_doctor(D).
+auth prescribe(P) <- ward.stand_in_doctor(For, Who).
+`),
+		Broker: broker,
+		Caller: bus,
+	})
+	if err != nil {
+		return err
+	}
+	defer ward.Close()
+	bus.Register("ward", ward.Handler())
+
+	rota := oasis.NewFactStore()
+	if _, err := rota.Assert("on_rota", oasis.Atom("dr_ann")); err != nil {
+		return err
+	}
+	ward.Env().RegisterStore("on_rota", rota, "on_rota")
+	ward.WatchStore(rota, map[string]string{"on_rota": "on_rota"})
+
+	// Dr Ann is on duty.
+	ann, err := oasis.NewSession(nil)
+	if err != nil {
+		return err
+	}
+	dutyRMC, err := ward.Activate(ann.PrincipalID(),
+		oasis.MustRole(oasis.MustRoleName("ward", "duty_doctor", 1), oasis.Atom("dr_ann")),
+		oasis.Presented{})
+	if err != nil {
+		return err
+	}
+	ann.AddRMC(dutyRMC)
+	if _, err := ward.Invoke(ann.PrincipalID(), "prescribe",
+		[]oasis.Term{oasis.Atom("patient_7")}, ann.Credentials()); err != nil {
+		return err
+	}
+	fmt.Println("dr_ann (duty doctor) prescribed for patient_7")
+
+	// She is called away and appoints Dr Bob to stand in. The appointer
+	// rule only lets her delegate her OWN duties: trying to appoint on
+	// behalf of another doctor fails.
+	const bobKey = "dr_bob_persistent_key"
+	if _, err := ward.Appoint(ann.PrincipalID(), oasis.AppointmentRequest{
+		Kind:   "stand_in",
+		Holder: bobKey,
+		Params: []oasis.Term{oasis.Atom("dr_zack"), oasis.Atom("dr_bob")},
+	}, ann.Credentials()); !errors.Is(err, oasis.ErrAppointmentDenied) {
+		return fmt.Errorf("BUG: delegating someone else's duties: %v", err)
+	}
+	fmt.Println("appointing a stand-in for ANOTHER doctor's duties: correctly refused")
+
+	standIn, err := ward.Appoint(ann.PrincipalID(), oasis.AppointmentRequest{
+		Kind:   "stand_in",
+		Holder: bobKey,
+		Params: []oasis.Term{oasis.Atom("dr_ann"), oasis.Atom("dr_bob")},
+	}, ann.Credentials())
+	if err != nil {
+		return err
+	}
+	fmt.Println("dr_ann appointed dr_bob to stand in for her")
+
+	// Dr Bob activates the stand-in role with the appointment and works.
+	bobRMC, err := ward.Activate(bobKey,
+		oasis.MustRole(oasis.MustRoleName("ward", "stand_in_doctor", 2),
+			oasis.Var("For"), oasis.Var("Who")),
+		oasis.Presented{Appointments: []oasis.AppointmentCertificate{standIn}})
+	if err != nil {
+		return err
+	}
+	bobCreds := oasis.Presented{RMCs: []oasis.RMC{bobRMC}}
+	if _, err := ward.Invoke(bobKey, "prescribe",
+		[]oasis.Term{oasis.Atom("patient_7")}, bobCreds); err != nil {
+		return err
+	}
+	fmt.Printf("dr_bob active as %s and prescribing\n", bobRMC.Role)
+
+	// Dr Ann returns: ONE revocation ends the stand-in everywhere.
+	ward.RevokeAppointment(standIn.Serial, "dr_ann returned")
+	broker.Quiesce()
+	if valid, _ := ward.CRStatus(bobRMC.Ref.Serial); valid {
+		return errors.New("BUG: stand-in survived revocation")
+	}
+	if _, err := ward.Invoke(bobKey, "prescribe",
+		[]oasis.Term{oasis.Atom("patient_7")}, bobCreds); err == nil {
+		return errors.New("BUG: revoked stand-in still prescribing")
+	}
+	fmt.Println("one revocation ended the stand-in: role collapsed, no dangling privileges")
+
+	// Contrast with the delegation baseline: revoking the delegator
+	// without cascading leaves the delegatee privileged.
+	d := oasis.NewDelegationBaseline()
+	d.AddMember("duty_doctor", "dr_ann")
+	if err := d.Delegate("duty_doctor", "dr_ann", "dr_bob"); err != nil {
+		return err
+	}
+	d.RevokeMember("duty_doctor", "dr_ann", false /* no cascade */)
+	fmt.Printf("delegation baseline, no cascade: dr_bob still holds the role? %v (the hazard OASIS avoids)\n",
+		d.Holds("duty_doctor", "dr_bob"))
+	return nil
+}

@@ -1,0 +1,323 @@
+// Command healthcare reproduces the cross-domain electronic health record
+// session of Fig. 3 of the paper. A doctor, active in the parametrised
+// role treating_doctor(doctor_id, patient_id) at her hospital, asks the
+// hospital's EHR management service for components of a patient's record.
+// The hospital service holds an accreditation appointment from the
+// national health authority, activates the role hospital(hospital_id) at
+// the national patient record management service, and performs the four
+// numbered paths of the figure: request-EHR (1), copy of EHR returned (2),
+// append-to-EHR (3), done (4). Every national-service invocation is
+// audited with the original requester's doctor and patient identifiers,
+// and per-patient exclusions ("Fred Smith may not access my record") are
+// enforced at the national service.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"strings"
+
+	oasis "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+type ehrWorld struct {
+	broker *oasis.Broker
+	bus    *oasis.Bus
+	fed    *oasis.Federation
+
+	hospital    *oasis.Service // defines treating_doctor
+	hospitalEHR *oasis.Service // local EHR management (Fig. 3 left box)
+	authority   *oasis.Service // national health authority (accreditation)
+	national    *oasis.Service // national patient record management
+
+	hospitalDB *oasis.FactStore
+	nationalDB *oasis.FactStore
+	records    map[string][]string // patient -> EHR components
+
+	auditAuthority *oasis.AuditAuthority
+	auditLedger    *oasis.AuditLedger
+}
+
+func run() error {
+	w, err := buildWorld()
+	if err != nil {
+		return err
+	}
+	defer w.broker.Close()
+
+	// --- The hospital is accredited by the national health authority. ---
+	nhaOfficer, err := oasis.NewSession(nil)
+	if err != nil {
+		return err
+	}
+	officerRMC, err := w.authority.Activate(nhaOfficer.PrincipalID(),
+		oasis.MustRole(oasis.MustRoleName("nha", "registrar", 0)), oasis.Presented{})
+	if err != nil {
+		return fmt.Errorf("nha registrar: %w", err)
+	}
+	nhaOfficer.AddRMC(officerRMC)
+
+	// The hospital EHR service acts under its own long-lived principal.
+	const hospitalPrincipal = "st_marys_ehr_service_key"
+	accreditation, err := w.authority.Appoint(nhaOfficer.PrincipalID(), oasis.AppointmentRequest{
+		Kind:   "accredited_hospital",
+		Holder: hospitalPrincipal,
+		Params: []oasis.Term{oasis.Atom("st_marys")},
+	}, nhaOfficer.Credentials())
+	if err != nil {
+		return fmt.Errorf("accredit: %w", err)
+	}
+	fmt.Println("national health authority accredited st_marys")
+
+	// The hospital service activates hospital(st_marys) at the national
+	// service using its accreditation (cross-domain, SLA-screened).
+	hospitalRoleRMC, err := w.fed.Activate("national", hospitalPrincipal,
+		oasis.MustRole(oasis.MustRoleName("national", "hospital", 1), oasis.Var("H")),
+		oasis.Presented{Appointments: []oasis.AppointmentCertificate{accreditation}})
+	if err != nil {
+		return fmt.Errorf("activate national.hospital: %w", err)
+	}
+	fmt.Printf("hospital service active at national service as %s\n", hospitalRoleRMC.Role)
+
+	// --- A doctor's session at the hospital. ---
+	doctor, err := oasis.NewSession(nil)
+	if err != nil {
+		return err
+	}
+	tdRMC, err := w.hospital.Activate(doctor.PrincipalID(),
+		oasis.MustRole(oasis.MustRoleName("hospital", "treating_doctor", 2),
+			oasis.Atom("dr_ann"), oasis.Var("P")),
+		oasis.Presented{})
+	if err != nil {
+		return fmt.Errorf("treating_doctor: %w", err)
+	}
+	doctor.AddRMC(tdRMC)
+	fmt.Printf("doctor active as %s\n", tdRMC.Role)
+
+	// Paths 1-2: request-EHR through the local EHR service, which relays
+	// to the national service with its hospital certificate; the
+	// treating_doctor parameters travel as call arguments and are
+	// recorded for audit, exactly as Fig. 3 describes.
+	relay := func(method string, d, p oasis.Term) ([]byte, error) {
+		creds := oasis.Presented{RMCs: []oasis.RMC{hospitalRoleRMC}}
+		return w.fed.Invoke("national", hospitalPrincipal, method, []oasis.Term{d, p}, creds)
+	}
+	w.hospitalEHR.Bind("fetch_record", func(args []oasis.Term) ([]byte, error) {
+		return relay("request_ehr", args[0], args[1])
+	})
+	w.hospitalEHR.Bind("append_record", func(args []oasis.Term) ([]byte, error) {
+		return relay("append_ehr", args[0], args[1])
+	})
+
+	out, err := w.hospitalEHR.Invoke(doctor.PrincipalID(), "fetch_record",
+		[]oasis.Term{oasis.Atom("dr_ann"), oasis.Atom("joe_bloggs")}, doctor.Credentials())
+	if err != nil {
+		return fmt.Errorf("request-EHR: %w", err)
+	}
+	fmt.Printf("paths 1-2, copy of EHR returned: %s\n", out)
+
+	// Paths 3-4: the doctor appends the record of treatment.
+	if _, err := w.hospitalEHR.Invoke(doctor.PrincipalID(), "append_record",
+		[]oasis.Term{oasis.Atom("dr_ann"), oasis.Atom("joe_bloggs")}, doctor.Credentials()); err != nil {
+		return fmt.Errorf("append-to-EHR: %w", err)
+	}
+	fmt.Printf("paths 3-4, treatment appended: %v\n", w.records["joe_bloggs"])
+
+	// The audit trail at the national service names the hospital
+	// principal and carries the doctor/patient parameters via the args.
+	audits := w.auditLedger.HistoryOf(hospitalPrincipal)
+	fmt.Printf("audit records at national service: %d\n", len(audits))
+	for _, a := range audits {
+		if err := w.auditAuthority.Validate(a); err != nil {
+			return fmt.Errorf("audit validation: %w", err)
+		}
+		fmt.Printf("  audit #%d %s.%s outcome=%s\n", a.Serial, a.Service, a.Method, a.Outcome)
+	}
+
+	// --- Patient exclusion (Sect. 2): Joe excludes dr_fred. ---
+	if _, err := w.nationalDB.Assert("excluded",
+		oasis.Atom("dr_fred"), oasis.Atom("joe_bloggs")); err != nil {
+		return err
+	}
+	if _, err := w.hospitalDB.Assert("on_duty", oasis.Atom("dr_fred")); err != nil {
+		return err
+	}
+	if _, err := w.hospitalDB.Assert("registered",
+		oasis.Atom("dr_fred"), oasis.Atom("joe_bloggs")); err != nil {
+		return err
+	}
+	fred, err := oasis.NewSession(nil)
+	if err != nil {
+		return err
+	}
+	fredRMC, err := w.hospital.Activate(fred.PrincipalID(),
+		oasis.MustRole(oasis.MustRoleName("hospital", "treating_doctor", 2),
+			oasis.Atom("dr_fred"), oasis.Var("P")),
+		oasis.Presented{})
+	if err != nil {
+		return fmt.Errorf("dr_fred treating_doctor: %w", err)
+	}
+	fred.AddRMC(fredRMC)
+	_, err = w.hospitalEHR.Invoke(fred.PrincipalID(), "fetch_record",
+		[]oasis.Term{oasis.Atom("dr_fred"), oasis.Atom("joe_bloggs")}, fred.Credentials())
+	if err == nil {
+		return errors.New("BUG: excluded doctor read the record")
+	}
+	fmt.Printf("dr_fred excluded by patient: request refused (%s)\n", firstLine(err.Error()))
+	return nil
+}
+
+func buildWorld() (*ehrWorld, error) {
+	w := &ehrWorld{
+		broker:     oasis.NewBroker(),
+		bus:        oasis.NewBus(),
+		fed:        oasis.NewFederation(),
+		hospitalDB: oasis.NewFactStore(),
+		nationalDB: oasis.NewFactStore(),
+		records:    map[string][]string{"joe_bloggs": {"allergy: penicillin"}},
+	}
+
+	// Hospital domain: clinical roles driven by the duty rota and the
+	// patient register; membership conditions keep the role live only
+	// while both facts hold.
+	hospital, err := oasis.NewService(oasis.Config{
+		Name: "hospital",
+		Policy: oasis.MustParsePolicy(`
+hospital.treating_doctor(D, P) <- env on_duty(D), env registered(D, P) keep [1, 2].
+`),
+		Broker: w.broker,
+		Caller: w.bus,
+	})
+	if err != nil {
+		return nil, err
+	}
+	hospital.Env().RegisterStore("on_duty", w.hospitalDB, "on_duty")
+	hospital.Env().RegisterStore("registered", w.hospitalDB, "registered")
+	hospital.WatchStore(w.hospitalDB, map[string]string{"on_duty": "on_duty", "registered": "registered"})
+	w.hospital = hospital
+
+	hospitalEHR, err := oasis.NewService(oasis.Config{
+		Name: "hospital_ehr",
+		Policy: oasis.MustParsePolicy(`
+auth fetch_record(D, P) <- hospital.treating_doctor(D, P).
+auth append_record(D, P) <- hospital.treating_doctor(D, P).
+`),
+		Broker: w.broker,
+		Caller: w.bus,
+	})
+	if err != nil {
+		return nil, err
+	}
+	w.hospitalEHR = hospitalEHR
+
+	// National health authority domain: accredits hospitals.
+	authority, err := oasis.NewService(oasis.Config{
+		Name: "nha",
+		Policy: oasis.MustParsePolicy(`
+nha.registrar <- env anyone.
+auth appoint_accredited_hospital(H) <- nha.registrar.
+`),
+		Broker: w.broker,
+		Caller: w.bus,
+	})
+	if err != nil {
+		return nil, err
+	}
+	authority.Env().Register("anyone", func(args []oasis.Term, s oasis.Substitution) []oasis.Substitution {
+		return []oasis.Substitution{s.Clone()}
+	})
+	w.authority = authority
+
+	// National EHR domain: the patient record management service.
+	national, err := oasis.NewService(oasis.Config{
+		Name: "national",
+		Policy: oasis.MustParsePolicy(`
+national.hospital(H) <- appt nha.accredited_hospital(H) keep [1].
+auth request_ehr(D, P) <- national.hospital(H), !env excluded(D, P).
+auth append_ehr(D, P) <- national.hospital(H), !env excluded(D, P).
+`),
+		Broker: w.broker,
+		Caller: w.bus,
+	})
+	if err != nil {
+		return nil, err
+	}
+	national.Env().RegisterStore("excluded", w.nationalDB, "excluded")
+	national.WatchStore(w.nationalDB, map[string]string{"excluded": "excluded"})
+	national.Bind("request_ehr", func(args []oasis.Term) ([]byte, error) {
+		patient := args[1].Sym
+		comps, ok := w.records[patient]
+		if !ok {
+			return nil, fmt.Errorf("no EHR for %s", patient)
+		}
+		return []byte(strings.Join(comps, "; ")), nil
+	})
+	national.Bind("append_ehr", func(args []oasis.Term) ([]byte, error) {
+		patient := args[1].Sym
+		w.records[patient] = append(w.records[patient],
+			fmt.Sprintf("treatment by %s", args[0]))
+		return []byte("done"), nil
+	})
+	w.national = national
+
+	// Audit at the national service (Fig. 3: "the identity of the
+	// original requester can be recorded for audit").
+	w.auditAuthority, err = oasis.NewAuditAuthority("national_civ", nil)
+	if err != nil {
+		return nil, err
+	}
+	w.auditLedger = oasis.NewAuditLedger()
+	oasis.AttachAudit(national, w.auditAuthority, w.auditLedger, nil)
+
+	// Wire everything to the bus and the federation.
+	for _, svc := range []*oasis.Service{hospital, hospitalEHR, authority, national} {
+		w.bus.Register(svc.Name(), svc.Handler())
+	}
+	w.fed.AddDomain("hospital_domain")
+	w.fed.AddDomain("nha_domain")
+	w.fed.AddDomain("national_domain")
+	if err := w.fed.AddService("hospital_domain", hospital); err != nil {
+		return nil, err
+	}
+	if err := w.fed.AddService("hospital_domain", hospitalEHR); err != nil {
+		return nil, err
+	}
+	if err := w.fed.AddService("nha_domain", authority); err != nil {
+		return nil, err
+	}
+	if err := w.fed.AddService("national_domain", national); err != nil {
+		return nil, err
+	}
+	// SLA: the national domain accepts NHA accreditation appointments.
+	if err := w.fed.Agree(oasis.SLA{
+		IssuerDomain:   "nha_domain",
+		ConsumerDomain: "national_domain",
+		Appointments:   []oasis.ApptRef{{Issuer: "nha", Kind: "accredited_hospital"}},
+	}); err != nil {
+		return nil, err
+	}
+
+	// Seed the hospital database: dr_ann is on duty and treats joe.
+	if _, err := w.hospitalDB.Assert("on_duty", oasis.Atom("dr_ann")); err != nil {
+		return nil, err
+	}
+	if _, err := w.hospitalDB.Assert("registered",
+		oasis.Atom("dr_ann"), oasis.Atom("joe_bloggs")); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,124 @@
+// Command quickstart walks the basic OASIS flow of Fig. 2 of the paper:
+// a principal starts a session by activating an initial role at a login
+// service, uses the returned role membership certificate (RMC) to activate
+// a dependent role at a second service, invokes an access-controlled
+// method, and finally logs out — demonstrating the collapse of the
+// dependent role tree through the event infrastructure.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	oasis "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The active middleware platform: one broker, one in-process bus.
+	broker := oasis.NewBroker()
+	defer broker.Close()
+	bus := oasis.NewBus()
+
+	// The login service defines the initial role logged_in_user(U).
+	login, err := oasis.NewService(oasis.Config{
+		Name:   "login",
+		Policy: oasis.MustParsePolicy(`login.logged_in_user(U) <- env password_ok(U).`),
+		Broker: broker,
+		Caller: bus,
+	})
+	if err != nil {
+		return err
+	}
+	defer login.Close()
+	bus.Register("login", login.Handler())
+
+	// A toy password database.
+	passwords := map[string]bool{"alice": true, "bob": true}
+	login.Env().Register("password_ok", func(args []oasis.Term, s oasis.Substitution) []oasis.Substitution {
+		if len(args) != 1 {
+			return nil
+		}
+		u := s.Apply(args[0])
+		if u.Kind == oasis.KindAtom && passwords[u.Sym] {
+			return []oasis.Substitution{s.Clone()}
+		}
+		return nil
+	})
+
+	// The file service defines reader(U), requiring the login role as a
+	// prerequisite that must REMAIN valid (keep [1]), and guards read(F).
+	files, err := oasis.NewService(oasis.Config{
+		Name: "files",
+		Policy: oasis.MustParsePolicy(`
+files.reader(U) <- login.logged_in_user(U) keep [1].
+auth read(F) <- files.reader(U).
+`),
+		Broker: broker,
+		Caller: bus,
+	})
+	if err != nil {
+		return err
+	}
+	defer files.Close()
+	bus.Register("files", files.Handler())
+	files.Bind("read", func(args []oasis.Term) ([]byte, error) {
+		return []byte(fmt.Sprintf("<contents of %s>", args[0])), nil
+	})
+
+	// --- A session begins: path 1/2 of Fig. 2 (role entry). ---
+	session, err := oasis.NewSession(nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("session principal (session public key): %.16s...\n", session.PrincipalID())
+
+	loginRMC, err := login.Activate(session.PrincipalID(),
+		oasis.MustRole(oasis.MustRoleName("login", "logged_in_user", 1), oasis.Atom("alice")),
+		oasis.Presented{})
+	if err != nil {
+		return fmt.Errorf("login: %w", err)
+	}
+	session.AddRMC(loginRMC)
+	fmt.Printf("activated initial role: %s  (RMC %s)\n", loginRMC.Role, loginRMC.Ref)
+
+	readerRMC, err := files.Activate(session.PrincipalID(),
+		oasis.MustRole(oasis.MustRoleName("files", "reader", 1), oasis.Var("U")),
+		session.Credentials())
+	if err != nil {
+		return fmt.Errorf("activate reader: %w", err)
+	}
+	session.AddRMC(readerRMC)
+	fmt.Printf("activated dependent role: %s  (RMC %s)\n", readerRMC.Role, readerRMC.Ref)
+
+	// --- Path 3/4 of Fig. 2 (service use). ---
+	out, err := files.Invoke(session.PrincipalID(), "read",
+		[]oasis.Term{oasis.Atom("annual_report")}, session.Credentials())
+	if err != nil {
+		return fmt.Errorf("read: %w", err)
+	}
+	fmt.Printf("read annual_report -> %s\n", out)
+
+	// --- Logout: the initial role is deactivated; the dependent tree
+	// collapses through the revocation event channels (Sect. 4). ---
+	login.Deactivate(loginRMC.Ref.Serial, "user logged out")
+	broker.Quiesce()
+	if valid, _ := files.CRStatus(readerRMC.Ref.Serial); valid {
+		return errors.New("BUG: reader role survived logout")
+	}
+	fmt.Println("logged out: dependent files.reader role collapsed immediately")
+
+	_, err = files.Invoke(session.PrincipalID(), "read",
+		[]oasis.Term{oasis.Atom("annual_report")}, session.Credentials())
+	fmt.Printf("read after logout -> %v\n", err)
+	if !errors.Is(err, oasis.ErrInvalidCredential) {
+		return errors.New("BUG: invocation succeeded after logout")
+	}
+	return nil
+}

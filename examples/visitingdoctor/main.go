@@ -1,0 +1,169 @@
+// Command visitingdoctor reproduces the roving-principal scenario of
+// Sect. 5 of the paper: a doctor employed at a hospital works temporarily
+// at a research institute in another domain. The hospital's administrative
+// service issues an appointment certificate employed_as_doctor(hospital)
+// only to staff who prove medical qualification; under a reciprocal
+// service level agreement, the research institute's visiting_doctor role
+// accepts that appointment as a credential and validates it by callback to
+// the hospital. When the employment ends, revoking the appointment
+// immediately collapses the visiting role through the event channel.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	oasis "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	broker := oasis.NewBroker()
+	defer broker.Close()
+	bus := oasis.NewBus()
+	fed := oasis.NewFederation()
+
+	// --- Hospital domain: administration issues employment evidence. ---
+	hospitalAdmin, err := oasis.NewService(oasis.Config{
+		Name: "hospital_admin",
+		Policy: oasis.MustParsePolicy(`
+# The staff officer role; officers check academic and professional
+# qualification before appointing.
+hospital_admin.staff_officer(O) <- env is_officer(O).
+auth appoint_employed_as_doctor(H) <- hospital_admin.staff_officer(O).
+`),
+		Broker: broker,
+		Caller: bus,
+	})
+	if err != nil {
+		return err
+	}
+	defer hospitalAdmin.Close()
+	officers := oasis.NewFactStore()
+	if _, err := officers.Assert("is_officer", oasis.Atom("mrs_hughes")); err != nil {
+		return err
+	}
+	hospitalAdmin.Env().RegisterStore("is_officer", officers, "is_officer")
+
+	// --- Research domain: the institute defines visiting_doctor, a role
+	// with more privileges than the minimal guest role. ---
+	institute, err := oasis.NewService(oasis.Config{
+		Name: "institute",
+		Policy: oasis.MustParsePolicy(`
+institute.guest <- env signed_visitor_book.
+institute.visiting_doctor <- appt hospital_admin.employed_as_doctor(H) keep [1].
+auth read_library <- institute.guest.
+auth read_library <- institute.visiting_doctor.
+auth run_clinical_study <- institute.visiting_doctor.
+`),
+		Broker: broker,
+		Caller: bus,
+	})
+	if err != nil {
+		return err
+	}
+	defer institute.Close()
+	institute.Env().Register("signed_visitor_book",
+		func(args []oasis.Term, s oasis.Substitution) []oasis.Substitution {
+			return []oasis.Substitution{s.Clone()}
+		})
+
+	bus.Register("hospital_admin", hospitalAdmin.Handler())
+	bus.Register("institute", institute.Handler())
+	fed.AddDomain("hospital_domain")
+	fed.AddDomain("research_domain")
+	if err := fed.AddService("hospital_domain", hospitalAdmin); err != nil {
+		return err
+	}
+	if err := fed.AddService("research_domain", institute); err != nil {
+		return err
+	}
+
+	// The reciprocal agreement of Sect. 5: each domain accepts the
+	// other's professional appointments.
+	if err := fed.ReciprocalAgreement("hospital_domain", "research_domain",
+		[]oasis.ApptRef{{Issuer: "hospital_admin", Kind: "employed_as_doctor"}},
+		[]oasis.ApptRef{{Issuer: "institute_admin", Kind: "research_medic"}},
+	); err != nil {
+		return err
+	}
+	fmt.Println("reciprocal SLA in place between hospital and research institute")
+
+	// --- The staff officer appoints Dr Jones. ---
+	officer, err := oasis.NewSession(nil)
+	if err != nil {
+		return err
+	}
+	officerRMC, err := hospitalAdmin.Activate(officer.PrincipalID(),
+		oasis.MustRole(oasis.MustRoleName("hospital_admin", "staff_officer", 1),
+			oasis.Atom("mrs_hughes")),
+		oasis.Presented{})
+	if err != nil {
+		return err
+	}
+	officer.AddRMC(officerRMC)
+
+	const drJones = "dr_jones_persistent_public_key"
+	employment, err := hospitalAdmin.Appoint(officer.PrincipalID(), oasis.AppointmentRequest{
+		Kind:   "employed_as_doctor",
+		Holder: drJones,
+		Params: []oasis.Term{oasis.Atom("st_marys")},
+	}, officer.Credentials())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("appointment issued: employed_as_doctor(st_marys) -> %s\n", drJones)
+
+	// --- Dr Jones roves to the institute. ---
+	wallet := oasis.Presented{Appointments: []oasis.AppointmentCertificate{employment}}
+	visiting, err := fed.Activate("institute", drJones,
+		oasis.MustRole(oasis.MustRoleName("institute", "visiting_doctor", 0)), wallet)
+	if err != nil {
+		return fmt.Errorf("activate visiting_doctor: %w", err)
+	}
+	fmt.Printf("activated %s at the research institute\n", visiting.Role)
+
+	creds := oasis.Presented{RMCs: []oasis.RMC{visiting}}
+	if _, err := fed.Invoke("institute", drJones, "run_clinical_study", nil, creds); err != nil {
+		return fmt.Errorf("run_clinical_study: %w", err)
+	}
+	fmt.Println("visiting doctor authorized for clinical study (beyond guest privileges)")
+
+	// A mere guest cannot run a study.
+	guest, err := oasis.NewSession(nil)
+	if err != nil {
+		return err
+	}
+	guestRMC, err := institute.Activate(guest.PrincipalID(),
+		oasis.MustRole(oasis.MustRoleName("institute", "guest", 0)), oasis.Presented{})
+	if err != nil {
+		return err
+	}
+	guest.AddRMC(guestRMC)
+	if _, err := institute.Invoke(guest.PrincipalID(), "run_clinical_study", nil,
+		guest.Credentials()); !errors.Is(err, oasis.ErrInvocationDenied) {
+		return fmt.Errorf("BUG: guest ran a clinical study: %v", err)
+	}
+	fmt.Println("guest correctly refused the clinical study")
+
+	// --- Employment ends: the hospital revokes; the institute's role
+	// collapses immediately through the event channel. ---
+	hospitalAdmin.RevokeAppointment(employment.Serial, "employment ended")
+	broker.Quiesce()
+	if valid, _ := institute.CRStatus(visiting.Ref.Serial); valid {
+		return errors.New("BUG: visiting_doctor survived revocation")
+	}
+	fmt.Println("employment revoked at the hospital: visiting_doctor collapsed at the institute")
+
+	if _, err := fed.Invoke("institute", drJones, "run_clinical_study", nil, creds); err == nil {
+		return errors.New("BUG: revoked visitor still authorized")
+	}
+	fmt.Println("post-revocation invocation refused")
+	return nil
+}

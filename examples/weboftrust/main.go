@@ -1,0 +1,124 @@
+// Command weboftrust reproduces the Sect. 6 speculation of the paper:
+// roving computational entities encounter previously unknown, and therefore
+// untrusted, services. Each interaction subject to contract is certified by
+// the domain's CIV authority; parties accumulate audit certificates and
+// present them as checkable evidence of past behaviour. The relying party
+// validates each certificate with its issuing authority and takes a
+// calculated risk. The example also plays out the paper's caveats: a
+// collusion ring pumping a false history through its own rogue authority,
+// and an authority that repudiates certificates issued in good faith.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	oasis "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	clk := oasis.NewSimClock(time.Date(2001, 11, 12, 0, 0, 0, 0, time.UTC))
+
+	honestCIV, err := oasis.NewAuditAuthority("honest_domain_civ", clk)
+	if err != nil {
+		return err
+	}
+	rogueCIV, err := oasis.NewAuditAuthority("rogue_domain_civ", clk)
+	if err != nil {
+		return err
+	}
+	directory := map[string]*oasis.AuditAuthority{
+		honestCIV.Name(): honestCIV,
+		rogueCIV.Name():  rogueCIV,
+	}
+	validate := func(c oasis.AuditCertificate) error {
+		a, ok := directory[c.Authority]
+		if !ok {
+			return fmt.Errorf("authority %s cannot be located", c.Authority)
+		}
+		return a.Validate(c)
+	}
+
+	// --- Alice builds a genuine history of fulfilled contracts. ---
+	var aliceHistory []oasis.AuditCertificate
+	for i := 0; i < 8; i++ {
+		clk.Advance(time.Hour)
+		outcome := oasis.OutcomeFulfilled
+		if i == 5 {
+			outcome = oasis.OutcomeClientDefault // one slip
+		}
+		aliceHistory = append(aliceHistory,
+			honestCIV.Issue("alice", fmt.Sprintf("shop_%d", i), "purchase", outcome))
+	}
+
+	// --- The collusion ring certifies fake successes with one another
+	// via its own domain's authority. ---
+	ring := []string{"ring_a", "ring_b", "ring_c"}
+	var ringHistory []oasis.AuditCertificate
+	for i := 0; i < 12; i++ {
+		clk.Advance(time.Minute)
+		ringHistory = append(ringHistory,
+			rogueCIV.Issue("ring_a", ring[(i+1)%len(ring)], "purchase", oasis.OutcomeFulfilled))
+	}
+
+	// --- A naive relying party weighs every authority equally. ---
+	naive := oasis.NewTrustEngine(oasis.DefaultTrustPolicy(), validate)
+	dAlice := naive.Decide("alice", aliceHistory)
+	dRing := naive.Decide("ring_a", ringHistory)
+	fmt.Println("== naive policy (all authorities weighted equally) ==")
+	fmt.Printf("alice:  proceed=%v score=%.2f evidence=%d\n", dAlice.Proceed, dAlice.Score, dAlice.Evidence)
+	fmt.Printf("ring_a: proceed=%v score=%.2f evidence=%d  <- fooled by collusion\n",
+		dRing.Proceed, dRing.Score, dRing.Evidence)
+
+	// --- A wary party discounts the rogue domain (Sect. 6: "the domain
+	// of the auditing service ... must be taken into account"). ---
+	waryPolicy := oasis.DefaultTrustPolicy()
+	waryPolicy.AuthorityWeight = func(authority string) float64 {
+		if authority == "rogue_domain_civ" {
+			return 0
+		}
+		return 1
+	}
+	wary := oasis.NewTrustEngine(waryPolicy, validate)
+	dAlice = wary.Decide("alice", aliceHistory)
+	dRing = wary.Decide("ring_a", ringHistory)
+	fmt.Println("== domain-aware policy ==")
+	fmt.Printf("alice:  proceed=%v score=%.2f evidence=%d\n", dAlice.Proceed, dAlice.Score, dAlice.Evidence)
+	fmt.Printf("ring_a: proceed=%v score=%.2f evidence=%d reason=%q\n",
+		dRing.Proceed, dRing.Score, dRing.Evidence, dRing.Reason)
+
+	// --- Forged certificates never validate. ---
+	forged := aliceHistory[0]
+	forged.Serial = 999999
+	dForged := wary.Decide("alice", []oasis.AuditCertificate{forged})
+	fmt.Printf("forged-only history: proceed=%v rejected=%d\n", dForged.Proceed, dForged.Rejected)
+
+	// --- Mutual evaluation before strangers interact. ---
+	var serviceHistory []oasis.AuditCertificate
+	for i := 0; i < 6; i++ {
+		clk.Advance(time.Hour)
+		serviceHistory = append(serviceHistory,
+			honestCIV.Issue(fmt.Sprintf("client_%d", i), "far_away_service", "use", oasis.OutcomeFulfilled))
+	}
+	clientView, serviceView := wary.MutualDecide("alice", aliceHistory,
+		"far_away_service", serviceHistory)
+	fmt.Println("== mutual check before an interaction between strangers ==")
+	fmt.Printf("service's view of alice: proceed=%v score=%.2f\n", serviceView.Proceed, serviceView.Score)
+	fmt.Printf("alice's view of service: proceed=%v score=%.2f\n", clientView.Proceed, clientView.Score)
+
+	// --- The repudiation risk: the honest authority turns rogue and
+	// disowns its certificates; alice's history evaporates. ---
+	honestCIV.SetRepudiating(true)
+	dAlice = wary.Decide("alice", aliceHistory)
+	fmt.Println("== authority repudiates (paper's final caveat) ==")
+	fmt.Printf("alice after repudiation: proceed=%v evidence=%d rejected=%d reason=%q\n",
+		dAlice.Proceed, dAlice.Evidence, dAlice.Rejected, dAlice.Reason)
+	return nil
+}

@@ -1,0 +1,61 @@
+package oasis_test
+
+// Every example is a self-checking main (each returns a non-zero exit on a
+// BUG condition), so running them is an end-to-end regression suite for
+// the paper's scenarios.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples skipped in -short")
+	}
+	examples := []string{
+		"quickstart",
+		"healthcare",
+		"visitingdoctor",
+		"anonymousclinic",
+		"weboftrust",
+		"delegation",
+	}
+	bindir := t.TempDir()
+	for _, name := range examples {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(bindir, name)
+			build := exec.Command("go", "build", "-o", bin, "./examples/"+name)
+			build.Env = os.Environ()
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build: %v\n%s", err, out)
+			}
+			run := exec.Command(bin)
+			done := make(chan struct{})
+			var out []byte
+			var runErr error
+			go func() {
+				defer close(done)
+				out, runErr = run.CombinedOutput()
+			}()
+			select {
+			case <-done:
+			case <-time.After(60 * time.Second):
+				run.Process.Kill() //nolint:errcheck
+				<-done
+				t.Fatalf("example timed out\n%s", out)
+			}
+			if runErr != nil {
+				t.Fatalf("run: %v\n%s", runErr, out)
+			}
+			if len(out) == 0 {
+				t.Error("example produced no output")
+			}
+		})
+	}
+}

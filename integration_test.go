@@ -1,0 +1,402 @@
+package oasis_test
+
+// Integration tests driving the public API over the TCP transport: the
+// cmd/oasisd deployment topology, where issuing and consuming services
+// live behind different TCP endpoints and certificate validation travels
+// as real callback traffic.
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	oasis "repro"
+)
+
+// tcpNode hosts one service behind its own TCP listener.
+type tcpNode struct {
+	svc    *oasis.Service
+	server *oasis.TCPServer
+	addr   string
+}
+
+func startNode(t *testing.T, broker *oasis.Broker, dir *oasis.Directory, name, policyText string) *tcpNode {
+	t.Helper()
+	svc, err := oasis.NewService(oasis.Config{
+		Name:   name,
+		Policy: oasis.MustParsePolicy(policyText),
+		Broker: broker,
+		Caller: dir, // callbacks to other nodes travel over TCP
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	server := oasis.NewTCPServer()
+	server.Register(name, svc.Handler())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go server.Serve(ln)
+	t.Cleanup(server.Close)
+	addr := ln.Addr().String()
+	dir.Add(name, addr)
+	return &tcpNode{svc: svc, server: server, addr: addr}
+}
+
+func TestTCPDeploymentSessionAcrossNodes(t *testing.T) {
+	broker := oasis.NewBroker()
+	defer broker.Close()
+	dir := oasis.NewDirectory(5 * time.Second)
+	defer dir.Close()
+
+	login := startNode(t, broker, dir, "login", `login.user(U) <- env anyone(U).`)
+	login.svc.Env().Register("anyone", func(args []oasis.Term, s oasis.Substitution) []oasis.Substitution {
+		return []oasis.Substitution{s.Clone()}
+	})
+	files := startNode(t, broker, dir, "files", `
+files.reader(U) <- login.user(U) keep [1].
+auth read(F) <- files.reader(U).
+`)
+	files.svc.Bind("read", func(args []oasis.Term) ([]byte, error) {
+		return []byte("payload"), nil
+	})
+
+	// The client reaches every node through the directory too.
+	cli := oasis.NewClient(dir)
+	sess, err := oasis.NewSession(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmc, err := cli.Activate("login", sess.PrincipalID(),
+		oasis.MustRole(oasis.MustRoleName("login", "user", 1), oasis.Atom("alice")),
+		oasis.Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(rmc)
+
+	// Activating files.reader makes the files node validate the login
+	// RMC by a real TCP callback to the login node.
+	readerRMC, err := cli.Activate("files", sess.PrincipalID(),
+		oasis.MustRole(oasis.MustRoleName("files", "reader", 1), oasis.Var("U")),
+		sess.Credentials())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(readerRMC)
+
+	out, err := cli.Invoke("files", sess.PrincipalID(), "read",
+		[]oasis.Term{oasis.Atom("doc")}, sess.Credentials())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "payload" {
+		t.Errorf("out = %q", out)
+	}
+	if files.svc.Stats().CallbackValidations == 0 {
+		t.Error("no TCP callback validations recorded")
+	}
+
+	// Within the shared broker, logout still collapses the tree.
+	login.svc.Deactivate(rmc.Ref.Serial, "logout")
+	broker.Quiesce()
+	if valid, _ := files.svc.CRStatus(readerRMC.Ref.Serial); valid {
+		t.Error("reader role survived logout")
+	}
+	if _, err := cli.Invoke("files", sess.PrincipalID(), "read",
+		[]oasis.Term{oasis.Atom("doc")}, sess.Credentials()); err == nil {
+		t.Error("invocation succeeded after logout")
+	}
+}
+
+func TestTCPDeploymentIssuerDownFailsClosed(t *testing.T) {
+	broker := oasis.NewBroker()
+	defer broker.Close()
+	dir := oasis.NewDirectory(time.Second)
+	defer dir.Close()
+
+	login := startNode(t, broker, dir, "login", `login.user <- env ok.`)
+	login.svc.Env().Register("ok", func(args []oasis.Term, s oasis.Substitution) []oasis.Substitution {
+		return []oasis.Substitution{s.Clone()}
+	})
+	guard := startNode(t, broker, dir, "guard", `auth enter <- login.user.`)
+
+	cli := oasis.NewClient(dir)
+	sess, err := oasis.NewSession(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmc, err := cli.Activate("login", sess.PrincipalID(),
+		oasis.MustRole(oasis.MustRoleName("login", "user", 0)), oasis.Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(rmc)
+	if _, err := cli.Invoke("guard", sess.PrincipalID(), "enter", nil, sess.Credentials()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the issuing node: validation callbacks fail, so the guard
+	// must refuse (fail closed), not accept unverifiable certificates.
+	login.server.Close()
+	_, err = cli.Invoke("guard", sess.PrincipalID(), "enter", nil, sess.Credentials())
+	if err == nil {
+		t.Fatal("certificate accepted while its issuer was unreachable")
+	}
+	if !errors.Is(err, oasis.ErrInvalidCredential) &&
+		guard.svc.Stats().InvocationsDenied == 0 {
+		// The error crosses TCP as a RemoteError string; accept either
+		// form so long as the call was refused.
+		t.Logf("refusal surfaced as: %v", err)
+	}
+}
+
+func TestSealedCrossDomainValidation(t *testing.T) {
+	// Sect. 4.1: with cross-domain interworking, certificates must not
+	// be visible on the wire. The guard's callback validation of the
+	// login RMC travels sealed end to end; a wire tap sees only
+	// envelopes.
+	broker := oasis.NewBroker()
+	defer broker.Close()
+	bus := oasis.NewBus()
+
+	loginID, err := oasis.NewSealIdentity(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guardID, err := oasis.NewSealIdentity(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := oasis.NewSealDirectory()
+	dir.Add("login", loginID.PublicKey())
+	dir.Add("guard", guardID.PublicKey())
+
+	// Wire tap on the raw bus.
+	var tapped []string
+	tap := func(name string, inner func(string, []byte) ([]byte, error)) func(string, []byte) ([]byte, error) {
+		return func(method string, body []byte) ([]byte, error) {
+			tapped = append(tapped, string(body))
+			return inner(method, body)
+		}
+	}
+
+	login, err := oasis.NewService(oasis.Config{
+		Name:   "login",
+		Policy: oasis.MustParsePolicy(`login.user <- env ok.`),
+		Broker: broker,
+		Caller: oasis.NewSealedCaller(loginID, bus, dir),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer login.Close()
+	login.Env().Register("ok", func(args []oasis.Term, s oasis.Substitution) []oasis.Substitution {
+		return []oasis.Substitution{s.Clone()}
+	})
+	bus.Register("login", tap("login", oasis.SealedHandler(loginID, login.Handler())))
+
+	guard, err := oasis.NewService(oasis.Config{
+		Name:   "guard",
+		Policy: oasis.MustParsePolicy(`auth enter <- login.user.`),
+		Broker: broker,
+		Caller: oasis.NewSealedCaller(guardID, bus, dir),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer guard.Close()
+	bus.Register("guard", tap("guard", oasis.SealedHandler(guardID, guard.Handler())))
+
+	sess, err := oasis.NewSession(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmc, err := login.Activate(sess.PrincipalID(),
+		oasis.MustRole(oasis.MustRoleName("login", "user", 0)), oasis.Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(rmc)
+	// The guard validates the RMC by sealed callback.
+	if _, err := guard.Invoke(sess.PrincipalID(), "enter", nil, sess.Credentials()); err != nil {
+		t.Fatal(err)
+	}
+	if len(tapped) == 0 {
+		t.Fatal("no callback traffic observed")
+	}
+	for _, wire := range tapped {
+		if len(wire) == 0 {
+			continue
+		}
+		// Neither the principal id nor certificate structure may be
+		// visible in clear.
+		if containsAny(wire, sess.PrincipalID(), `"rmc"`, `"role"`) {
+			t.Errorf("certificate material visible on the wire: %.80q", wire)
+		}
+	}
+}
+
+func containsAny(s string, subs ...string) bool {
+	for _, sub := range subs {
+		if sub != "" && strings.Contains(s, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLossyRelayFailsSafeViaHeartbeats(t *testing.T) {
+	// Two nodes with separate brokers. The relay between them drops
+	// EVERYTHING (partition). The consumer guards its cached validation
+	// with the heartbeat monitor: when the issuer's heartbeats stop
+	// arriving, the monitor publishes a synthetic revocation locally,
+	// the cache is dropped, and the dependent role collapses — lost
+	// revocation events degrade to fail-safe re-validation, never to
+	// indefinite trust in a stale cache.
+	brokerA := oasis.NewBroker()
+	defer brokerA.Close()
+	brokerB := oasis.NewBroker()
+	defer brokerB.Close()
+	relayA := oasis.NewEventRelay(brokerA, "A")
+	relayB := oasis.NewEventRelay(brokerB, "B")
+	_ = relayB
+	// The A->B link is lossy: nothing arrives.
+	relayA.AddPeer("B", func(ev oasis.Event) error { return nil })
+
+	bus := oasis.NewBus() // calls still flow; only events are partitioned
+	clk := oasis.NewSimClock(time.Unix(0, 0))
+
+	login, err := oasis.NewService(oasis.Config{
+		Name:   "login",
+		Policy: oasis.MustParsePolicy(`login.user <- env ok.`),
+		Broker: brokerA,
+		Caller: bus,
+		Clock:  clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer login.Close()
+	login.Env().Register("ok", func(args []oasis.Term, s oasis.Substitution) []oasis.Substitution {
+		return []oasis.Substitution{s.Clone()}
+	})
+	bus.Register("login", login.Handler())
+
+	guard, err := oasis.NewService(oasis.Config{
+		Name:             "guard",
+		Policy:           oasis.MustParsePolicy(`auth enter <- login.user.`),
+		Broker:           brokerB,
+		Caller:           bus,
+		Clock:            clk,
+		CacheValidations: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer guard.Close()
+	bus.Register("guard", guard.Handler())
+
+	sess, err := oasis.NewSession(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmc, err := login.Activate(sess.PrincipalID(),
+		oasis.MustRole(oasis.MustRoleName("login", "user", 0)), oasis.Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(rmc)
+	if _, err := guard.Invoke(sess.PrincipalID(), "enter", nil, sess.Credentials()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Guard the cached validation with heartbeats on ITS broker.
+	monitor := oasis.NewHeartbeatMonitor(brokerB, clk, 10*time.Second)
+	defer monitor.Close()
+	if err := oasis.WatchLiveness(monitor, rmc.Ref); err != nil {
+		t.Fatal(err)
+	}
+
+	// The issuer revokes; the event is LOST in the partition. The cached
+	// validation would admit the stale certificate...
+	login.Deactivate(rmc.Ref.Serial, "logout")
+	brokerA.Quiesce()
+	brokerB.Quiesce()
+	if _, err := guard.Invoke(sess.PrincipalID(), "enter", nil, sess.Credentials()); err != nil {
+		t.Fatalf("expected the stale cache to (temporarily) admit the call: %v", err)
+	}
+
+	// ...until the heartbeat timeout: issuer heartbeats also fail to
+	// cross, the monitor declares the subject dead, and the synthetic
+	// revocation clears the cache. The next use re-validates with the
+	// issuer and is refused.
+	clk.Advance(time.Minute)
+	if dead := monitor.Sweep(); len(dead) != 1 {
+		t.Fatalf("Sweep = %v", dead)
+	}
+	brokerB.Quiesce()
+	if _, err := guard.Invoke(sess.PrincipalID(), "enter", nil, sess.Credentials()); !errors.Is(err, oasis.ErrInvalidCredential) {
+		t.Fatalf("stale certificate still admitted after fail-safe: %v", err)
+	}
+}
+
+func TestTCPDeploymentAppointmentFlow(t *testing.T) {
+	broker := oasis.NewBroker()
+	defer broker.Close()
+	dir := oasis.NewDirectory(5 * time.Second)
+	defer dir.Close()
+
+	admin := startNode(t, broker, dir, "admin", `
+admin.officer <- env ok.
+auth appoint_badge(K) <- admin.officer.
+`)
+	admin.svc.Env().Register("ok", func(args []oasis.Term, s oasis.Substitution) []oasis.Substitution {
+		return []oasis.Substitution{s.Clone()}
+	})
+	site := startNode(t, broker, dir, "site", `site.contractor <- appt admin.badge(K) keep [1].`)
+
+	cli := oasis.NewClient(dir)
+	officer, err := oasis.NewSession(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offRMC, err := cli.Activate("admin", officer.PrincipalID(),
+		oasis.MustRole(oasis.MustRoleName("admin", "officer", 0)), oasis.Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	officer.AddRMC(offRMC)
+
+	// Appointment issued over TCP.
+	badge, err := cli.Appoint("admin", officer.PrincipalID(), oasis.AppointmentRequest{
+		Kind:   "badge",
+		Holder: "contractor-key",
+		Params: []oasis.Term{oasis.Atom("gate3")},
+	}, officer.Credentials())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rmc, err := cli.Activate("site", "contractor-key",
+		oasis.MustRole(oasis.MustRoleName("site", "contractor", 0)),
+		oasis.Presented{Appointments: []oasis.AppointmentCertificate{badge}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if valid, _ := site.svc.CRStatus(rmc.Ref.Serial); !valid {
+		t.Error("contractor role inactive")
+	}
+
+	// Revocation at the admin node collapses the role via the shared
+	// broker.
+	admin.svc.RevokeAppointment(badge.Serial, "badge withdrawn")
+	broker.Quiesce()
+	if valid, _ := site.svc.CRStatus(rmc.Ref.Serial); valid {
+		t.Error("contractor role survived badge withdrawal")
+	}
+}

@@ -1,0 +1,139 @@
+package baseline
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrNotMember is returned when a delegator does not hold the role it
+// tries to delegate.
+var ErrNotMember = errors.New("delegator does not hold the role")
+
+// DelegationService models delegation-based RBAC in the style of
+// Barka-Sandhu (refs [3,4] of the paper): members of a role may delegate
+// their membership to other users. OASIS argues against this — the
+// delegatee receives exactly the delegator's privileges, delegation chains
+// must be tracked, and revocation must cascade — and builds the same use
+// cases from appointment instead.
+type DelegationService struct {
+	mu       sync.RWMutex
+	original map[string]map[string]bool   // role -> original members
+	deleg    map[string]map[string]string // role -> delegatee -> delegator
+}
+
+// NewDelegationService creates an empty delegation store.
+func NewDelegationService() *DelegationService {
+	return &DelegationService{
+		original: make(map[string]map[string]bool),
+		deleg:    make(map[string]map[string]string),
+	}
+}
+
+// AddMember makes user an original member of role.
+func (s *DelegationService) AddMember(role, user string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	members, ok := s.original[role]
+	if !ok {
+		members = make(map[string]bool)
+		s.original[role] = members
+	}
+	members[user] = true
+}
+
+// Delegate lets from (an original member or delegatee of role) delegate
+// the role to to.
+func (s *DelegationService) Delegate(role, from, to string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.holdsLocked(role, from) {
+		return ErrNotMember
+	}
+	chain, ok := s.deleg[role]
+	if !ok {
+		chain = make(map[string]string)
+		s.deleg[role] = chain
+	}
+	chain[to] = from
+	return nil
+}
+
+// holdsLocked reports membership, original or delegated.
+func (s *DelegationService) holdsLocked(role, user string) bool {
+	if s.original[role][user] {
+		return true
+	}
+	_, ok := s.deleg[role][user]
+	return ok
+}
+
+// Holds reports whether user currently holds role.
+func (s *DelegationService) Holds(role, user string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.holdsLocked(role, user)
+}
+
+// RevokeMember removes an original member. With cascade, the entire
+// delegation subtree rooted at the member is removed too (the bookkeeping
+// OASIS avoids); without cascade, orphaned delegations survive — the
+// dangling-privilege hazard of delegation schemes.
+func (s *DelegationService) RevokeMember(role, user string, cascade bool) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	if s.original[role][user] {
+		delete(s.original[role], user)
+		removed++
+	}
+	if cascade {
+		removed += s.cascadeLocked(role, user)
+	}
+	return removed
+}
+
+// RevokeDelegation removes a single delegation edge, optionally cascading
+// through the delegatee's own delegations.
+func (s *DelegationService) RevokeDelegation(role, to string, cascade bool) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	chain, ok := s.deleg[role]
+	if !ok {
+		return 0
+	}
+	if _, ok := chain[to]; !ok {
+		return 0
+	}
+	delete(chain, to)
+	removed := 1
+	if cascade {
+		removed += s.cascadeLocked(role, to)
+	}
+	return removed
+}
+
+// cascadeLocked removes every delegation transitively rooted at user.
+func (s *DelegationService) cascadeLocked(role, user string) int {
+	chain := s.deleg[role]
+	removed := 0
+	frontier := []string{user}
+	for len(frontier) > 0 {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		for to, from := range chain {
+			if from == cur {
+				delete(chain, to)
+				removed++
+				frontier = append(frontier, to)
+			}
+		}
+	}
+	return removed
+}
+
+// Delegations reports the number of live delegation edges for a role.
+func (s *DelegationService) Delegations(role string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.deleg[role])
+}

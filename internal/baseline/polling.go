@@ -1,0 +1,112 @@
+package baseline
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// PollingRevoker models the alternative OASIS rejects: instead of an event
+// channel per credential, relying services re-check certificate validity on
+// a fixed polling interval. Revocation is noticed only at the next poll
+// tick, so worst-case staleness equals the interval and average staleness
+// is half of it — while poll traffic is paid for every certificate on every
+// tick whether or not anything changed. (Paper Sect. 4: OASIS notifies
+// "without any requirement for periodic polling".)
+type PollingRevoker struct {
+	clk      clock.Clock
+	interval time.Duration
+
+	mu        sync.Mutex
+	lastPoll  time.Time
+	watched   map[string]bool      // cert key -> currently believed valid
+	revokedAt map[string]time.Time // issuer-side truth
+	polls     uint64               // total per-certificate poll messages
+	noticed   map[string]time.Time // when the poller noticed each revocation
+}
+
+// NewPollingRevoker creates a poller over the given clock and interval.
+func NewPollingRevoker(clk clock.Clock, interval time.Duration) *PollingRevoker {
+	return &PollingRevoker{
+		clk:       clk,
+		interval:  interval,
+		lastPoll:  clk.Now(),
+		watched:   make(map[string]bool),
+		revokedAt: make(map[string]time.Time),
+		noticed:   make(map[string]time.Time),
+	}
+}
+
+// Watch starts polling a certificate believed valid.
+func (p *PollingRevoker) Watch(key string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.watched[key] = true
+}
+
+// Revoke records the issuer-side revocation instant. The poller does not
+// learn of it until its next tick.
+func (p *PollingRevoker) Revoke(key string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, done := p.revokedAt[key]; !done {
+		p.revokedAt[key] = p.clk.Now()
+	}
+}
+
+// Tick runs poll rounds for all watched certificates up to the current
+// clock time. Each round costs one poll message per watched certificate.
+// It returns the keys whose revocation was noticed during these rounds.
+func (p *PollingRevoker) Tick() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.clk.Now()
+	var newlyNoticed []string
+	for !p.lastPoll.Add(p.interval).After(now) {
+		p.lastPoll = p.lastPoll.Add(p.interval)
+		for key, believedValid := range p.watched {
+			p.polls++
+			if !believedValid {
+				continue
+			}
+			if revokedAt, ok := p.revokedAt[key]; ok && !revokedAt.After(p.lastPoll) {
+				p.watched[key] = false
+				p.noticed[key] = p.lastPoll
+				newlyNoticed = append(newlyNoticed, key)
+			}
+		}
+	}
+	return newlyNoticed
+}
+
+// BelievedValid reports the poller's (possibly stale) view.
+func (p *PollingRevoker) BelievedValid(key string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.watched[key]
+}
+
+// NoticeLatency reports how long after revocation the poller noticed; the
+// second result is false if the revocation is still unnoticed.
+func (p *PollingRevoker) NoticeLatency(key string) (time.Duration, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	revoked, ok := p.revokedAt[key]
+	if !ok {
+		return 0, false
+	}
+	noticed, ok := p.noticed[key]
+	if !ok {
+		return 0, false
+	}
+	return noticed.Sub(revoked), true
+}
+
+// Polls reports the total number of per-certificate poll messages sent —
+// the traffic the event-driven design avoids.
+func (p *PollingRevoker) Polls() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.polls
+}

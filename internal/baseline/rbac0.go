@@ -1,0 +1,110 @@
+package baseline
+
+import "sync"
+
+// RBAC0Service is classic unparametrised RBAC (RBAC96/ref [15]): long-lived
+// user-role assignment (UA) and role-permission assignment (PA). Roles are
+// opaque names; there is no way to relate a role to the object it concerns
+// except by minting more roles.
+type RBAC0Service struct {
+	mu sync.RWMutex
+	ua map[string]map[string]bool // user -> roles
+	pa map[string]map[string]bool // role -> permissions
+}
+
+// NewRBAC0Service creates an empty RBAC0 store.
+func NewRBAC0Service() *RBAC0Service {
+	return &RBAC0Service{
+		ua: make(map[string]map[string]bool),
+		pa: make(map[string]map[string]bool),
+	}
+}
+
+// AssignUser adds user to role (long-lived membership).
+func (s *RBAC0Service) AssignUser(user, role string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	roles, ok := s.ua[user]
+	if !ok {
+		roles = make(map[string]bool)
+		s.ua[user] = roles
+	}
+	roles[role] = true
+	if _, ok := s.pa[role]; !ok {
+		s.pa[role] = make(map[string]bool)
+	}
+}
+
+// DeassignUser removes user from role.
+func (s *RBAC0Service) DeassignUser(user, role string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	roles, ok := s.ua[user]
+	if !ok || !roles[role] {
+		return false
+	}
+	delete(roles, role)
+	return true
+}
+
+// AssignPermission grants a permission to a role.
+func (s *RBAC0Service) AssignPermission(role, perm string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	perms, ok := s.pa[role]
+	if !ok {
+		perms = make(map[string]bool)
+		s.pa[role] = perms
+	}
+	perms[perm] = true
+}
+
+// Check tests whether a user holds a permission through any role.
+func (s *RBAC0Service) Check(user, perm string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for role := range s.ua[user] {
+		if s.pa[role][perm] {
+			return true
+		}
+	}
+	return false
+}
+
+// Roles reports the number of distinct roles — the measure of role
+// explosion when per-object policy is forced into unparametrised roles.
+func (s *RBAC0Service) Roles() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.pa)
+}
+
+// Assignments reports the number of user-role assignments.
+func (s *RBAC0Service) Assignments() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, roles := range s.ua {
+		n += len(roles)
+	}
+	return n
+}
+
+// BuildPatientAccess populates an RBAC0 instance with the paper's
+// healthcare policy — "doctors may access the records of patients
+// registered with them", expressible in OASIS as ONE parametrised rule —
+// and returns the instance. Unparametrised RBAC must mint one role per
+// patient (treating_doctor_of_<p>) and assign each doctor to the role of
+// every patient registered with them; exceptions are handled by
+// deassignment.
+func BuildPatientAccess(registrations map[string][]string) *RBAC0Service {
+	s := NewRBAC0Service()
+	for doctor, patients := range registrations {
+		for _, p := range patients {
+			role := "treating_doctor_of_" + p
+			s.AssignUser(doctor, role)
+			s.AssignPermission(role, "read_record_"+p)
+		}
+	}
+	return s
+}

@@ -1,0 +1,268 @@
+// Package cert defines the certificate formats of OASIS: role membership
+// certificates (RMCs, Fig. 4 of the paper) and appointment certificates
+// (Sects. 1-2). Both are signed with a secret held by the issuing service
+// and bound to a principal identifier that is an input to the signature but
+// is not recorded in the certificate, so a stolen certificate cannot be
+// used by an adversary who cannot produce the principal id.
+//
+// An RMC carries a credential record reference (CRR) that locates the
+// issuer and the credential record (CR) representing the certificate's
+// current validity, enabling callback validation and event-channel
+// invalidation (Sect. 4).
+package cert
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/names"
+	"repro/internal/sign"
+)
+
+// Errors returned by certificate construction and verification.
+var (
+	// ErrNotGround is returned when a certificate is requested for a role
+	// with unbound parameter variables.
+	ErrNotGround = errors.New("certificate role must be ground")
+	// ErrExpired is returned when an appointment certificate is presented
+	// after its expiry.
+	ErrExpired = errors.New("appointment certificate expired")
+)
+
+// CRR is a credential record reference: it locates the issuing service and
+// the credential record representing the validity of an RMC (Fig. 4). The
+// Serial is unique per issuing service.
+type CRR struct {
+	Issuer string `json:"issuer"`
+	Serial uint64 `json:"serial"`
+}
+
+// String renders issuer#serial.
+func (c CRR) String() string { return c.Issuer + "#" + strconv.FormatUint(c.Serial, 10) }
+
+// RMC is a role membership certificate: proof that a principal has
+// activated Role at the issuing service, within a session. The signature
+// covers the role name, parameters, CRR and key id, keyed on the holder's
+// (session-specific) principal id.
+type RMC struct {
+	Role  names.Role     `json:"role"`
+	Ref   CRR            `json:"ref"`
+	KeyID uint32         `json:"keyId"`
+	Sig   sign.Signature `json:"sig"`
+}
+
+// protectedFields serialises the fields covered by an RMC signature. Any
+// change to these bytes invalidates the signature (protection from
+// tampering).
+func (r RMC) protectedFields() [][]byte {
+	fields := make([][]byte, 0, 3+len(r.Role.Params))
+	fields = append(fields, []byte(r.Role.Name.String()))
+	for _, p := range r.Role.Params {
+		fields = append(fields, encodeTerm(p))
+	}
+	var refKey [12]byte
+	binary.BigEndian.PutUint64(refKey[:8], r.Ref.Serial)
+	binary.BigEndian.PutUint32(refKey[8:], r.KeyID)
+	fields = append(fields, []byte(r.Ref.Issuer), refKey[:])
+	return fields
+}
+
+// IssueRMC creates a signed RMC for a ground role, bound to principalID,
+// signed with the issuer's current key.
+func IssueRMC(ring *sign.KeyRing, principalID string, role names.Role, ref CRR) (RMC, error) {
+	if !role.IsGround() {
+		return RMC{}, fmt.Errorf("%w: %s", ErrNotGround, role)
+	}
+	r := RMC{Role: role, Ref: ref}
+	// The key id is itself a protected field, so fix it before signing;
+	// if a rotation races between reading the id and signing, the ring
+	// reports the id it actually used and we retry under that key.
+	r.KeyID = ring.CurrentKeyID()
+	for {
+		sig, used := ring.Sign(principalID, r.protectedFields()...)
+		if used == r.KeyID {
+			r.Sig = sig
+			return r, nil
+		}
+		r.KeyID = used
+	}
+}
+
+// Verify checks the RMC's signature for the presenting principal against
+// the issuer's key ring. It detects tampering, forgery, and theft (wrong
+// principal id).
+func (r RMC) Verify(ring *sign.KeyRing, principalID string) error {
+	return ring.Verify(r.KeyID, r.Sig, principalID, r.protectedFields()...)
+}
+
+// AppointmentCertificate is a long-lived credential whose lifetime is
+// independent of any session (Sect. 2): academic or professional
+// qualification, employment, organisation membership, or a transient
+// stand-in authorisation. It is bound to a persistent principal id (e.g. a
+// long-lived public key) rather than a session id.
+type AppointmentCertificate struct {
+	// Issuer is the service that issued the appointment.
+	Issuer string `json:"issuer"`
+	// Serial is unique per issuer and identifies the revocable record.
+	Serial uint64 `json:"serial"`
+	// Kind names the appointment, e.g. "employed_as_doctor".
+	Kind string `json:"kind"`
+	// Params carries appointment parameters, e.g. the hospital id.
+	Params []names.Term `json:"params,omitempty"`
+	// Holder is the persistent principal id of the appointee. Unlike the
+	// RMC principal binding this is recorded in the certificate, because
+	// appointments outlive sessions and services must be able to route a
+	// validation callback; it is also covered by the signature.
+	Holder string `json:"holder"`
+	// AppointedBy records the appointer principal for audit; the
+	// appointer need not hold the privileges conferred (Sect. 2).
+	AppointedBy string `json:"appointedBy"`
+	// IssuedAt and ExpiresAt bound the certificate's life. A zero
+	// ExpiresAt means no expiry (revocation only).
+	IssuedAt  time.Time `json:"issuedAt"`
+	ExpiresAt time.Time `json:"expiresAt,omitempty"`
+	// KeyID and Sig protect all fields above.
+	KeyID uint32         `json:"keyId"`
+	Sig   sign.Signature `json:"sig"`
+}
+
+func (a AppointmentCertificate) protectedFields() [][]byte {
+	fields := make([][]byte, 0, 6+len(a.Params))
+	var nums [20]byte
+	binary.BigEndian.PutUint64(nums[:8], a.Serial)
+	binary.BigEndian.PutUint64(nums[8:16], uint64(a.IssuedAt.UnixNano()))
+	binary.BigEndian.PutUint32(nums[16:], a.KeyID)
+	var exp [8]byte
+	if !a.ExpiresAt.IsZero() {
+		binary.BigEndian.PutUint64(exp[:], uint64(a.ExpiresAt.UnixNano()))
+	}
+	fields = append(fields,
+		[]byte(a.Issuer), nums[:], exp[:], []byte(a.Kind),
+		[]byte(a.AppointedBy))
+	for _, p := range a.Params {
+		fields = append(fields, encodeTerm(p))
+	}
+	return fields
+}
+
+// IssueAppointment signs an appointment certificate with the issuer's
+// current key. All Params must be ground.
+func IssueAppointment(ring *sign.KeyRing, a AppointmentCertificate) (AppointmentCertificate, error) {
+	for _, p := range a.Params {
+		if !p.IsGround() {
+			return AppointmentCertificate{}, fmt.Errorf("%w: parameter %s", ErrNotGround, p)
+		}
+	}
+	a.KeyID = ring.CurrentKeyID()
+	for {
+		sig, used := ring.Sign(a.Holder, a.protectedFields()...)
+		if used == a.KeyID {
+			a.Sig = sig
+			return a, nil
+		}
+		a.KeyID = used
+	}
+}
+
+// Verify checks the appointment signature and expiry at the given instant.
+// The holder binding is checked implicitly: the signature is keyed on
+// a.Holder, so a certificate whose Holder field was rewritten fails.
+func (a AppointmentCertificate) Verify(ring *sign.KeyRing, now time.Time) error {
+	if !a.ExpiresAt.IsZero() && now.After(a.ExpiresAt) {
+		return fmt.Errorf("%w: at %s", ErrExpired, a.ExpiresAt.Format(time.RFC3339))
+	}
+	return ring.Verify(a.KeyID, a.Sig, a.Holder, a.protectedFields()...)
+}
+
+// Key returns a canonical identity for the appointment record at its
+// issuer.
+func (a AppointmentCertificate) Key() string {
+	return a.Issuer + "#appt#" + strconv.FormatUint(a.Serial, 10)
+}
+
+// encodeTerm gives a term an unambiguous byte encoding for signing.
+func encodeTerm(t names.Term) []byte {
+	switch t.Kind {
+	case names.KindAtom:
+		return append([]byte{'a'}, t.Sym...)
+	case names.KindString:
+		return append([]byte{'s'}, t.Sym...)
+	case names.KindInt:
+		var b [9]byte
+		b[0] = 'i'
+		binary.BigEndian.PutUint64(b[1:], uint64(t.Num))
+		return b[:]
+	default:
+		return append([]byte{'v'}, t.Sym...)
+	}
+}
+
+// MarshalRMC encodes an RMC for the wire (JSON: readable fields, protected
+// by the signature rather than the encoding, as Sect. 5 notes — "the
+// fields of appointment certificates (and RMCs) are readable, although
+// protected from tampering and theft").
+func MarshalRMC(r RMC) ([]byte, error) { return json.Marshal(r) }
+
+// EncodeRMCGob encodes an RMC in the compact binary form used by
+// gob-framed transports.
+func EncodeRMCGob(r RMC) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
+		return nil, fmt.Errorf("gob encode rmc: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeRMCGob decodes the gob form.
+func DecodeRMCGob(b []byte) (RMC, error) {
+	var r RMC
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&r); err != nil {
+		return RMC{}, fmt.Errorf("gob decode rmc: %w", err)
+	}
+	return r, nil
+}
+
+// EncodeAppointmentGob encodes an appointment certificate in binary form.
+func EncodeAppointmentGob(a AppointmentCertificate) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(a); err != nil {
+		return nil, fmt.Errorf("gob encode appointment: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeAppointmentGob decodes the gob form.
+func DecodeAppointmentGob(b []byte) (AppointmentCertificate, error) {
+	var a AppointmentCertificate
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&a); err != nil {
+		return AppointmentCertificate{}, fmt.Errorf("gob decode appointment: %w", err)
+	}
+	return a, nil
+}
+
+// UnmarshalRMC decodes an RMC from the wire.
+func UnmarshalRMC(b []byte) (RMC, error) {
+	var r RMC
+	if err := json.Unmarshal(b, &r); err != nil {
+		return RMC{}, fmt.Errorf("decode rmc: %w", err)
+	}
+	return r, nil
+}
+
+// MarshalAppointment encodes an appointment certificate for the wire.
+func MarshalAppointment(a AppointmentCertificate) ([]byte, error) { return json.Marshal(a) }
+
+// UnmarshalAppointment decodes an appointment certificate.
+func UnmarshalAppointment(b []byte) (AppointmentCertificate, error) {
+	var a AppointmentCertificate
+	if err := json.Unmarshal(b, &a); err != nil {
+		return AppointmentCertificate{}, fmt.Errorf("decode appointment: %w", err)
+	}
+	return a, nil
+}

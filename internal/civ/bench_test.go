@@ -1,0 +1,40 @@
+package civ
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkIssue(b *testing.B) {
+	for _, replicas := range []int{1, 3, 5} {
+		b.Run(fmt.Sprintf("replicas=%d", replicas), func(b *testing.B) {
+			c, err := NewCluster(replicas)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Issue("subject", "holder"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkValidate(b *testing.B) {
+	c, err := NewCluster(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	serial, err := c.Issue("subject", "holder")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Validate(serial); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

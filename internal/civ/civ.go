@@ -1,0 +1,319 @@
+// Package civ implements the per-domain certificate issuing and validation
+// (CIV) service sketched in Sect. 4 of the paper (after ref [10]): rather
+// than every service issuing and validating its own certificates, "a domain
+// will contain one highly available service to carry out the functions of
+// certificate issuing and validation ... including replication for
+// availability together with consistency management".
+//
+// The cluster is a primary/follower replicated log of issue and revoke
+// operations. Writes go through the primary and are replicated
+// synchronously to reachable followers; followers that were down catch up
+// by replaying the missing suffix of the log. Validation reads are served
+// by any live replica; a replica that is behind can be detected by its
+// applied sequence number, giving the consistency management the paper
+// calls for.
+package civ
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Errors returned by the CIV cluster.
+var (
+	// ErrNoPrimary is returned when every replica is down.
+	ErrNoPrimary = errors.New("civ: no live replica to act as primary")
+	// ErrUnknownSerial is returned when validating a certificate that
+	// was never issued.
+	ErrUnknownSerial = errors.New("civ: unknown certificate serial")
+	// ErrReplicaDown is returned when a read targets a crashed replica.
+	ErrReplicaDown = errors.New("civ: replica down")
+)
+
+// opKind is the replicated operation type.
+type opKind int
+
+const (
+	opIssue opKind = iota + 1
+	opRevoke
+)
+
+// op is one entry in the replicated log.
+type op struct {
+	Seq    uint64
+	Kind   opKind
+	Serial uint64
+	// Subject describes the certificate (role instance or appointment
+	// kind); Holder is the principal it was issued to.
+	Subject string
+	Holder  string
+	Reason  string
+}
+
+// Record is the CIV view of an issued certificate's validity.
+type Record struct {
+	Serial  uint64
+	Subject string
+	Holder  string
+	Revoked bool
+	Reason  string
+}
+
+// replica holds one copy of the certificate-record state machine.
+type replica struct {
+	id      int
+	mu      sync.Mutex
+	up      bool
+	applied uint64
+	records map[uint64]Record
+}
+
+func (r *replica) apply(o op) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if o.Seq != r.applied+1 {
+		return // gaps are filled by catch-up before apply is called
+	}
+	r.applied = o.Seq
+	switch o.Kind {
+	case opIssue:
+		r.records[o.Serial] = Record{Serial: o.Serial, Subject: o.Subject, Holder: o.Holder}
+	case opRevoke:
+		rec, ok := r.records[o.Serial]
+		if ok {
+			rec.Revoked = true
+			rec.Reason = o.Reason
+			r.records[o.Serial] = rec
+		}
+	}
+}
+
+// Cluster is a replicated CIV service.
+type Cluster struct {
+	mu         sync.Mutex
+	replicas   []*replica
+	log        []op
+	nextSerial uint64
+	onRevoke   []func(Record)
+}
+
+// NewCluster creates a cluster of n replicas (n >= 1), all initially up.
+func NewCluster(n int) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("civ: cluster needs at least 1 replica, got %d", n)
+	}
+	c := &Cluster{}
+	for i := 0; i < n; i++ {
+		c.replicas = append(c.replicas, &replica{
+			id:      i,
+			up:      true,
+			records: make(map[uint64]Record),
+		})
+	}
+	return c, nil
+}
+
+// OnRevoke registers a hook called after a revocation commits; the domain
+// layer publishes the revocation event from here.
+func (c *Cluster) OnRevoke(f func(Record)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onRevoke = append(c.onRevoke, f)
+}
+
+// primary returns the lowest-id live replica; the paper's highly available
+// service fails over to the next replica when the current primary crashes.
+func (c *Cluster) primaryLocked() (*replica, error) {
+	for _, r := range c.replicas {
+		r.mu.Lock()
+		up := r.up
+		r.mu.Unlock()
+		if up {
+			return r, nil
+		}
+	}
+	return nil, ErrNoPrimary
+}
+
+// commit appends an op to the log and applies it to every live replica
+// (synchronous replication). Crashed replicas miss the op and catch up on
+// restart.
+func (c *Cluster) commit(o op) error {
+	c.mu.Lock()
+	if _, err := c.primaryLocked(); err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	o.Seq = uint64(len(c.log)) + 1
+	c.log = append(c.log, o)
+	replicas := make([]*replica, len(c.replicas))
+	copy(replicas, c.replicas)
+	c.mu.Unlock()
+
+	for _, r := range replicas {
+		r.mu.Lock()
+		up := r.up
+		r.mu.Unlock()
+		if up {
+			c.catchUp(r)
+		}
+	}
+	return nil
+}
+
+// catchUp replays missing log entries to a replica.
+func (c *Cluster) catchUp(r *replica) {
+	for {
+		r.mu.Lock()
+		applied := r.applied
+		r.mu.Unlock()
+		c.mu.Lock()
+		if applied >= uint64(len(c.log)) {
+			c.mu.Unlock()
+			return
+		}
+		next := c.log[applied]
+		c.mu.Unlock()
+		r.apply(next)
+	}
+}
+
+// Issue records a new certificate and returns its serial.
+func (c *Cluster) Issue(subject, holder string) (uint64, error) {
+	c.mu.Lock()
+	c.nextSerial++
+	serial := c.nextSerial
+	c.mu.Unlock()
+	if err := c.commit(op{Kind: opIssue, Serial: serial, Subject: subject, Holder: holder}); err != nil {
+		return 0, err
+	}
+	return serial, nil
+}
+
+// Revoke invalidates an issued certificate cluster-wide.
+func (c *Cluster) Revoke(serial uint64, reason string) error {
+	if err := c.commit(op{Kind: opRevoke, Serial: serial, Reason: reason}); err != nil {
+		return err
+	}
+	rec, err := c.Validate(serial)
+	if err != nil && !errors.Is(err, ErrUnknownSerial) {
+		return err
+	}
+	c.mu.Lock()
+	hooks := make([]func(Record), len(c.onRevoke))
+	copy(hooks, c.onRevoke)
+	c.mu.Unlock()
+	for _, h := range hooks {
+		h(rec)
+	}
+	return nil
+}
+
+// Validate reads a certificate record from the first live replica.
+func (c *Cluster) Validate(serial uint64) (Record, error) {
+	c.mu.Lock()
+	replicas := make([]*replica, len(c.replicas))
+	copy(replicas, c.replicas)
+	c.mu.Unlock()
+	for _, r := range replicas {
+		rec, err := c.validateAt(r, serial)
+		if errors.Is(err, ErrReplicaDown) {
+			continue
+		}
+		return rec, err
+	}
+	return Record{}, ErrNoPrimary
+}
+
+// ValidateAt reads from a specific replica (for consistency tests).
+func (c *Cluster) ValidateAt(replicaID int, serial uint64) (Record, error) {
+	c.mu.Lock()
+	if replicaID < 0 || replicaID >= len(c.replicas) {
+		c.mu.Unlock()
+		return Record{}, fmt.Errorf("civ: no replica %d", replicaID)
+	}
+	r := c.replicas[replicaID]
+	c.mu.Unlock()
+	return c.validateAt(r, serial)
+}
+
+func (c *Cluster) validateAt(r *replica, serial uint64) (Record, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.up {
+		return Record{}, ErrReplicaDown
+	}
+	rec, ok := r.records[serial]
+	if !ok {
+		return Record{}, fmt.Errorf("%w: %d", ErrUnknownSerial, serial)
+	}
+	return rec, nil
+}
+
+// Crash takes a replica down; reads and replication skip it.
+func (c *Cluster) Crash(replicaID int) error {
+	return c.setUp(replicaID, false)
+}
+
+// Restart brings a replica back and replays the log it missed before the
+// replica serves reads again.
+func (c *Cluster) Restart(replicaID int) error {
+	if err := c.setUp(replicaID, true); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	r := c.replicas[replicaID]
+	c.mu.Unlock()
+	c.catchUp(r)
+	return nil
+}
+
+func (c *Cluster) setUp(replicaID int, up bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if replicaID < 0 || replicaID >= len(c.replicas) {
+		return fmt.Errorf("civ: no replica %d", replicaID)
+	}
+	r := c.replicas[replicaID]
+	r.mu.Lock()
+	r.up = up
+	r.mu.Unlock()
+	return nil
+}
+
+// AppliedSeq reports a replica's applied log position (consistency probe).
+func (c *Cluster) AppliedSeq(replicaID int) (uint64, error) {
+	c.mu.Lock()
+	if replicaID < 0 || replicaID >= len(c.replicas) {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("civ: no replica %d", replicaID)
+	}
+	r := c.replicas[replicaID]
+	c.mu.Unlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.applied, nil
+}
+
+// LogLen reports the committed log length.
+func (c *Cluster) LogLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.log)
+}
+
+// LiveReplicas reports how many replicas are up.
+func (c *Cluster) LiveReplicas() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, r := range c.replicas {
+		r.mu.Lock()
+		if r.up {
+			n++
+		}
+		r.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,241 @@
+package civ
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func cluster(t *testing.T, n int) *Cluster {
+	t.Helper()
+	c, err := NewCluster(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(0); err == nil {
+		t.Error("zero-replica cluster accepted")
+	}
+}
+
+func TestIssueValidate(t *testing.T) {
+	c := cluster(t, 3)
+	serial, err := c.Issue("treating_doctor(d1,p1)", "principal-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := c.Validate(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Revoked || rec.Subject != "treating_doctor(d1,p1)" || rec.Holder != "principal-1" {
+		t.Errorf("record = %+v", rec)
+	}
+}
+
+func TestValidateUnknownSerial(t *testing.T) {
+	c := cluster(t, 1)
+	if _, err := c.Validate(99); !errors.Is(err, ErrUnknownSerial) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRevokePropagatesToAllReplicas(t *testing.T) {
+	c := cluster(t, 3)
+	serial, err := c.Issue("s", "h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Revoke(serial, "compromised"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		rec, err := c.ValidateAt(i, serial)
+		if err != nil {
+			t.Fatalf("replica %d: %v", i, err)
+		}
+		if !rec.Revoked || rec.Reason != "compromised" {
+			t.Errorf("replica %d record = %+v", i, rec)
+		}
+	}
+}
+
+func TestOnRevokeHook(t *testing.T) {
+	c := cluster(t, 2)
+	var got []Record
+	c.OnRevoke(func(r Record) { got = append(got, r) })
+	serial, err := c.Issue("s", "h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Revoke(serial, "r"); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Serial != serial || !got[0].Revoked {
+		t.Errorf("hook got %+v", got)
+	}
+}
+
+func TestCrashedReplicaSkippedForReads(t *testing.T) {
+	c := cluster(t, 3)
+	serial, err := c.Issue("s", "h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Crash(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ValidateAt(0, serial); !errors.Is(err, ErrReplicaDown) {
+		t.Errorf("read from crashed replica: %v", err)
+	}
+	// Cluster-level read fails over to replica 1.
+	if _, err := c.Validate(serial); err != nil {
+		t.Errorf("failover read: %v", err)
+	}
+	if c.LiveReplicas() != 2 {
+		t.Errorf("LiveReplicas = %d", c.LiveReplicas())
+	}
+}
+
+func TestCatchUpAfterRestart(t *testing.T) {
+	c := cluster(t, 3)
+	if err := c.Crash(2); err != nil {
+		t.Fatal(err)
+	}
+	// Writes happen while replica 2 is down.
+	s1, err := c.Issue("a", "h1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := c.Issue("b", "h2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Revoke(s1, "gone"); err != nil {
+		t.Fatal(err)
+	}
+	// Restart replays the missed suffix before serving reads.
+	if err := c.Restart(2); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := c.AppliedSeq(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != uint64(c.LogLen()) {
+		t.Errorf("replica 2 applied %d of %d", seq, c.LogLen())
+	}
+	rec, err := c.ValidateAt(2, s1)
+	if err != nil || !rec.Revoked {
+		t.Errorf("replica 2 missed revocation: %+v %v", rec, err)
+	}
+	rec, err = c.ValidateAt(2, s2)
+	if err != nil || rec.Revoked {
+		t.Errorf("replica 2 missed issue: %+v %v", rec, err)
+	}
+}
+
+func TestAllReplicasDown(t *testing.T) {
+	c := cluster(t, 2)
+	serial, err := c.Issue("s", "h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Crash(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Crash(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Issue("x", "y"); !errors.Is(err, ErrNoPrimary) {
+		t.Errorf("write with no live replica: %v", err)
+	}
+	if _, err := c.Validate(serial); !errors.Is(err, ErrNoPrimary) {
+		t.Errorf("read with no live replica: %v", err)
+	}
+}
+
+func TestPrimaryFailover(t *testing.T) {
+	c := cluster(t, 3)
+	if err := c.Crash(0); err != nil {
+		t.Fatal(err)
+	}
+	// Writes still succeed through the next live replica.
+	serial, err := c.Issue("s", "h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := c.ValidateAt(1, serial)
+	if err != nil || rec.Subject != "s" {
+		t.Errorf("post-failover state: %+v %v", rec, err)
+	}
+	// Replica 0 restarts and converges.
+	if err := c.Restart(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ValidateAt(0, serial); err != nil {
+		t.Errorf("restarted old primary missing write: %v", err)
+	}
+}
+
+func TestReplicaIDValidation(t *testing.T) {
+	c := cluster(t, 1)
+	if err := c.Crash(5); err == nil {
+		t.Error("crash of nonexistent replica accepted")
+	}
+	if err := c.Restart(-1); err == nil {
+		t.Error("restart of nonexistent replica accepted")
+	}
+	if _, err := c.ValidateAt(7, 1); err == nil {
+		t.Error("read from nonexistent replica accepted")
+	}
+	if _, err := c.AppliedSeq(7); err == nil {
+		t.Error("probe of nonexistent replica accepted")
+	}
+}
+
+func TestConcurrentIssueRevoke(t *testing.T) {
+	c := cluster(t, 3)
+	var wg sync.WaitGroup
+	serials := make(chan uint64, 200)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s, err := c.Issue("subj", "holder")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				serials <- s
+			}
+		}()
+	}
+	wg.Wait()
+	close(serials)
+	n := 0
+	for s := range serials {
+		if err := c.Revoke(s, "done"); err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 200 {
+		t.Fatalf("issued %d", n)
+	}
+	// Every replica converged to the same applied sequence.
+	want := uint64(c.LogLen())
+	for i := 0; i < 3; i++ {
+		got, err := c.AppliedSeq(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("replica %d applied %d, want %d", i, got, want)
+		}
+	}
+}

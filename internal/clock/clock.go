@@ -1,0 +1,122 @@
+// Package clock provides an injectable time source so that OASIS
+// environmental constraints, certificate expiry, heartbeat monitoring and
+// benchmarks can run against either the wall clock or a deterministic
+// simulated clock.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts the time source used throughout the OASIS implementation.
+// Production code uses Real; tests and the experiment harness use Simulated
+// so that expiry and revocation timing are deterministic.
+type Clock interface {
+	// Now returns the current instant according to this clock.
+	Now() time.Time
+	// After returns a channel that delivers one value once the clock has
+	// advanced by at least d past the moment of the call.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Real is a Clock backed by the system wall clock.
+type Real struct{}
+
+var _ Clock = Real{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Simulated is a manually advanced Clock. The zero value is not usable;
+// construct one with NewSimulated.
+type Simulated struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*waiter
+}
+
+type waiter struct {
+	deadline time.Time
+	ch       chan time.Time
+}
+
+var _ Clock = (*Simulated)(nil)
+
+// NewSimulated returns a Simulated clock initialised to start.
+func NewSimulated(start time.Time) *Simulated {
+	return &Simulated{now: start}
+}
+
+// Now implements Clock.
+func (s *Simulated) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// After implements Clock. The returned channel fires when Advance moves the
+// simulated time past the deadline.
+func (s *Simulated) After(d time.Duration) <-chan time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	w := &waiter{deadline: s.now.Add(d), ch: ch}
+	if d <= 0 {
+		ch <- s.now
+		return ch
+	}
+	s.waiters = append(s.waiters, w)
+	return ch
+}
+
+// Advance moves the simulated time forward by d and releases any waiters
+// whose deadlines have been reached.
+func (s *Simulated) Advance(d time.Duration) {
+	s.mu.Lock()
+	s.now = s.now.Add(d)
+	now := s.now
+	remaining := s.waiters[:0]
+	var fired []*waiter
+	for _, w := range s.waiters {
+		if !w.deadline.After(now) {
+			fired = append(fired, w)
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	s.waiters = remaining
+	s.mu.Unlock()
+
+	for _, w := range fired {
+		w.ch <- now
+	}
+}
+
+// Set jumps the simulated clock to t (which must not be earlier than the
+// current simulated time) and releases due waiters.
+func (s *Simulated) Set(t time.Time) {
+	s.mu.Lock()
+	if t.After(s.now) {
+		s.now = t
+	}
+	now := s.now
+	remaining := s.waiters[:0]
+	var fired []*waiter
+	for _, w := range s.waiters {
+		if !w.deadline.After(now) {
+			fired = append(fired, w)
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	s.waiters = remaining
+	s.mu.Unlock()
+
+	for _, w := range fired {
+		w.ch <- now
+	}
+}

@@ -1,0 +1,115 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealNowMonotone(t *testing.T) {
+	c := Real{}
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatalf("real clock went backwards: %v then %v", a, b)
+	}
+}
+
+func TestRealAfterFires(t *testing.T) {
+	c := Real{}
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(2 * time.Second):
+		t.Fatal("Real.After never fired")
+	}
+}
+
+func TestSimulatedNow(t *testing.T) {
+	start := time.Date(2001, 11, 12, 0, 0, 0, 0, time.UTC)
+	c := NewSimulated(start)
+	if got := c.Now(); !got.Equal(start) {
+		t.Fatalf("Now() = %v, want %v", got, start)
+	}
+	c.Advance(time.Hour)
+	if got := c.Now(); !got.Equal(start.Add(time.Hour)) {
+		t.Fatalf("after Advance Now() = %v, want %v", got, start.Add(time.Hour))
+	}
+}
+
+func TestSimulatedAfterFiresOnAdvance(t *testing.T) {
+	c := NewSimulated(time.Unix(0, 0))
+	ch := c.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired before Advance")
+	default:
+	}
+	c.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired too early")
+	default:
+	}
+	c.Advance(time.Second)
+	select {
+	case <-ch:
+	default:
+		t.Fatal("After did not fire once deadline reached")
+	}
+}
+
+func TestSimulatedAfterNonPositive(t *testing.T) {
+	c := NewSimulated(time.Unix(100, 0))
+	select {
+	case <-c.After(0):
+	default:
+		t.Fatal("After(0) should fire immediately")
+	}
+	select {
+	case <-c.After(-time.Second):
+	default:
+		t.Fatal("After(negative) should fire immediately")
+	}
+}
+
+func TestSimulatedSet(t *testing.T) {
+	start := time.Unix(1000, 0)
+	c := NewSimulated(start)
+	ch := c.After(30 * time.Second)
+	c.Set(start.Add(time.Minute))
+	select {
+	case now := <-ch:
+		if !now.Equal(start.Add(time.Minute)) {
+			t.Fatalf("waiter got %v, want %v", now, start.Add(time.Minute))
+		}
+	default:
+		t.Fatal("Set past deadline did not release waiter")
+	}
+	// Set must never move time backwards.
+	c.Set(start)
+	if got := c.Now(); !got.Equal(start.Add(time.Minute)) {
+		t.Fatalf("Set moved clock backwards to %v", got)
+	}
+}
+
+func TestSimulatedMultipleWaiters(t *testing.T) {
+	c := NewSimulated(time.Unix(0, 0))
+	early := c.After(time.Second)
+	late := c.After(time.Hour)
+	c.Advance(2 * time.Second)
+	select {
+	case <-early:
+	default:
+		t.Fatal("early waiter not released")
+	}
+	select {
+	case <-late:
+		t.Fatal("late waiter released too early")
+	default:
+	}
+	c.Advance(time.Hour)
+	select {
+	case <-late:
+	default:
+		t.Fatal("late waiter never released")
+	}
+}

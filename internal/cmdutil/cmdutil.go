@@ -1,0 +1,76 @@
+// Package cmdutil holds shared helpers for the command-line tools: parsing
+// fact files, ground terms and role instances from their textual forms.
+package cmdutil
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/names"
+	"repro/internal/policy"
+	"repro/internal/store"
+)
+
+// LoadFacts parses a facts file — one `relation arg1 arg2 ...` per line,
+// with #-comments — and asserts each fact. It returns the distinct
+// relation names in first-seen order.
+func LoadFacts(db *store.Store, text string) ([]string, error) {
+	var relations []string
+	seen := make(map[string]bool)
+	for lineNo, line := range strings.Split(text, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		relation := fields[0]
+		args, err := ParseTerms(strings.Join(fields[1:], ", "))
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		if _, err := db.Assert(relation, args...); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		if !seen[relation] {
+			seen[relation] = true
+			relations = append(relations, relation)
+		}
+	}
+	return relations, nil
+}
+
+// ParseTerms parses a comma-separated list of ground terms ("a, 7,
+// \"text\"") using the policy-language grammar. An empty string yields nil.
+func ParseTerms(s string) ([]names.Term, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	// Reuse the policy parser: wrap the list as an env condition's
+	// arguments inside a syntactically complete rule.
+	pol, err := policy.Parse(fmt.Sprintf("x.y <- env p(%s).", s))
+	if err != nil {
+		return nil, fmt.Errorf("parse terms %q: %w", s, err)
+	}
+	ec, ok := pol.Rules[0].Body[0].(policy.EnvCond)
+	if !ok {
+		return nil, fmt.Errorf("parse terms %q: unexpected rule shape", s)
+	}
+	return ec.Args, nil
+}
+
+// ParseRoleInstance parses "service.role" or "service.role(arg, ...)" into
+// a role instance, again via the policy grammar.
+func ParseRoleInstance(s string) (names.Role, error) {
+	pol, err := policy.Parse(fmt.Sprintf("auth dummy <- %s.", strings.TrimSpace(s)))
+	if err != nil {
+		return names.Role{}, fmt.Errorf("parse role %q: %w", s, err)
+	}
+	rc, ok := pol.Auth[0].Body[0].(policy.RoleCond)
+	if !ok {
+		return names.Role{}, fmt.Errorf("parse role %q: not a role", s)
+	}
+	return rc.Role, nil
+}

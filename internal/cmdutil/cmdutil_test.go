@@ -1,0 +1,108 @@
+package cmdutil
+
+import (
+	"testing"
+
+	"repro/internal/names"
+	"repro/internal/store"
+)
+
+func TestParseTerms(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []names.Term
+	}{
+		{"", nil},
+		{"  ", nil},
+		{"alice", []names.Term{names.Atom("alice")}},
+		{`a, 7, "x y"`, []names.Term{names.Atom("a"), names.Int(7), names.Str("x y")}},
+		{"-3", []names.Term{names.Int(-3)}},
+	}
+	for _, tt := range tests {
+		got, err := ParseTerms(tt.in)
+		if err != nil {
+			t.Errorf("ParseTerms(%q): %v", tt.in, err)
+			continue
+		}
+		if len(got) != len(tt.want) {
+			t.Errorf("ParseTerms(%q) = %v, want %v", tt.in, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("ParseTerms(%q)[%d] = %v, want %v", tt.in, i, got[i], tt.want[i])
+			}
+		}
+	}
+}
+
+func TestParseTermsError(t *testing.T) {
+	if _, err := ParseTerms("((("); err == nil {
+		t.Error("garbage parsed")
+	}
+}
+
+func TestParseRoleInstance(t *testing.T) {
+	r, err := ParseRoleInstance("login.user(alice)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name.Service != "login" || r.Name.Name != "user" || len(r.Params) != 1 {
+		t.Errorf("role = %+v", r)
+	}
+	zero, err := ParseRoleInstance("login.user")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Name.Arity != 0 {
+		t.Errorf("arity = %d", zero.Name.Arity)
+	}
+	// Variables are allowed (the service binds them).
+	v, err := ParseRoleInstance("files.reader(U)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Params[0].IsVar() {
+		t.Errorf("param = %v", v.Params[0])
+	}
+	if _, err := ParseRoleInstance("not a role!!"); err == nil {
+		t.Error("garbage role parsed")
+	}
+	if _, err := ParseRoleInstance("env p(x)"); err == nil {
+		t.Error("env condition accepted as role")
+	}
+}
+
+func TestLoadFacts(t *testing.T) {
+	db := store.New()
+	rels, err := LoadFacts(db, `
+# comment
+passwords alice
+passwords bob   # trailing comment
+registered dr_a p1
+registered dr_a p2
+
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rels) != 2 || rels[0] != "passwords" || rels[1] != "registered" {
+		t.Errorf("relations = %v", rels)
+	}
+	if !db.Contains("passwords", names.Atom("alice")) {
+		t.Error("alice fact missing")
+	}
+	if !db.Contains("registered", names.Atom("dr_a"), names.Atom("p2")) {
+		t.Error("registration fact missing")
+	}
+	if db.Count("passwords") != 2 {
+		t.Errorf("passwords count = %d", db.Count("passwords"))
+	}
+}
+
+func TestLoadFactsBadLine(t *testing.T) {
+	db := store.New()
+	if _, err := LoadFacts(db, "rel ((("); err == nil {
+		t.Error("bad fact line accepted")
+	}
+}

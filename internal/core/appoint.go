@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/event"
+	"repro/internal/names"
+)
+
+// appointRulePrefix names the authorization rules that guard appointment
+// issuing: `auth appoint_<kind>(params...) <- conditions.` Being active in
+// the roles those conditions require is what confers the right to appoint
+// (Sect. 2) — the appointer need not hold the privileges the appointment
+// later confers.
+const appointRulePrefix = "appoint_"
+
+// AppointmentRequest describes an appointment to issue.
+type AppointmentRequest struct {
+	// Kind names the appointment, e.g. "employed_as_doctor".
+	Kind string
+	// Holder is the persistent principal id of the appointee.
+	Holder string
+	// Params are the appointment parameters, e.g. the hospital id; they
+	// are also the arguments checked against the appointer rule.
+	Params []names.Term
+	// ExpiresAt bounds the certificate's life; zero means revocation
+	// only.
+	ExpiresAt time.Time
+}
+
+// Appoint issues an appointment certificate if the presenting principal's
+// credentials satisfy the service's appointer rule for the kind
+// (`auth appoint_<kind>`). The issued certificate is recorded so that it
+// can be validated by callback and revoked through its event channel.
+func (s *Service) Appoint(principal string, req AppointmentRequest, p Presented) (cert.AppointmentCertificate, error) {
+	ruleName := appointRulePrefix + req.Kind
+	rules := s.pol.AuthFor(ruleName)
+	if len(rules) == 0 {
+		return cert.AppointmentCertificate{}, wrap(s.name,
+			fmt.Errorf("%w: no appointer rule %s", ErrAppointmentDenied, ruleName))
+	}
+	creds, err := s.validateAll(principal, p)
+	if err != nil {
+		return cert.AppointmentCertificate{}, wrap(s.name, err)
+	}
+	authorized := false
+	for _, rule := range rules {
+		_, ok, err := s.eval.Authorize(rule, req.Params, creds)
+		if err != nil {
+			return cert.AppointmentCertificate{}, wrap(s.name, err)
+		}
+		if ok {
+			authorized = true
+			break
+		}
+	}
+	if !authorized {
+		return cert.AppointmentCertificate{}, wrap(s.name,
+			fmt.Errorf("%w: %s", ErrAppointmentDenied, req.Kind))
+	}
+
+	s.mu.Lock()
+	s.nextApptSerial++
+	serial := s.nextApptSerial
+	s.mu.Unlock()
+
+	a, err := cert.IssueAppointment(s.ring, cert.AppointmentCertificate{
+		Issuer:      s.name,
+		Serial:      serial,
+		Kind:        req.Kind,
+		Params:      req.Params,
+		Holder:      req.Holder,
+		AppointedBy: principal,
+		IssuedAt:    s.clk.Now(),
+		ExpiresAt:   req.ExpiresAt,
+	})
+	if err != nil {
+		return cert.AppointmentCertificate{}, wrap(s.name, err)
+	}
+	s.mu.Lock()
+	s.appts[serial] = &apptRecord{serial: serial, appt: a}
+	s.mu.Unlock()
+	return a, nil
+}
+
+// RevokeAppointment invalidates an issued appointment and publishes the
+// revocation on its event channel, deactivating any roles whose membership
+// rules depend on it. It reports whether the serial named a live
+// appointment.
+func (s *Service) RevokeAppointment(serial uint64, reason string) bool {
+	s.mu.Lock()
+	rec, ok := s.appts[serial]
+	if !ok || rec.revoked {
+		s.mu.Unlock()
+		return false
+	}
+	rec.revoked = true
+	key := rec.appt.Key()
+	s.mu.Unlock()
+
+	s.broker.Publish(event.Event{ //nolint:errcheck
+		Topic:   TopicAppt(key),
+		Kind:    event.KindRevoked,
+		Subject: key,
+		Reason:  reason,
+		At:      s.clk.Now(),
+	})
+	return true
+}
+
+// AppointmentStatus reports whether an issued appointment exists and is
+// still valid (ignoring expiry, which Verify checks per presentation).
+func (s *Service) AppointmentStatus(serial uint64) (valid, exists bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.appts[serial]
+	if !ok {
+		return false, false
+	}
+	return !rec.revoked, true
+}

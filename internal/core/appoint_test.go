@@ -1,0 +1,235 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/names"
+)
+
+// adminWorld sets up the appointment scenario of Sect. 2: an administrator
+// (not medically qualified) issues employed_as_doctor appointments, which
+// doctors later use to activate clinical roles.
+func adminWorld(t *testing.T) (*world, *Service, *Service, *Session) {
+	t.Helper()
+	w := newWorld(t)
+	admin := w.service("admin", `
+admin.administrator(A) <- env is_admin(A).
+auth appoint_employed_as_doctor(H) <- admin.administrator(A).
+`)
+	admin.Env().Register("is_admin", func(args []names.Term, s names.Substitution) []names.Substitution {
+		if ext, ok := names.UnifyTuples(args, []names.Term{names.Atom("alice")}, s); ok {
+			return []names.Substitution{ext}
+		}
+		return nil
+	})
+	hospital := w.service("hospital", `
+hospital.doctor <- appt admin.employed_as_doctor(H), env eq(H, st_marys) keep [1].
+auth treat <- hospital.doctor.
+`)
+	adminSess := w.session()
+	rmc, err := admin.Activate(adminSess.PrincipalID(),
+		role("admin", "administrator", names.Atom("alice")), Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adminSess.AddRMC(rmc)
+	return w, admin, hospital, adminSess
+}
+
+func TestAppointAndActivate(t *testing.T) {
+	w, admin, hospital, adminSess := adminWorld(t)
+	appt, err := admin.Appoint(adminSess.PrincipalID(), AppointmentRequest{
+		Kind:   "employed_as_doctor",
+		Holder: "dr-jones-key",
+		Params: []names.Term{names.Atom("st_marys")},
+	}, adminSess.Credentials())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if appt.AppointedBy != adminSess.PrincipalID() {
+		t.Errorf("AppointedBy = %q", appt.AppointedBy)
+	}
+
+	docSess := w.session()
+	_ = docSess
+	// The appointment is bound to the doctor's persistent key; the
+	// doctor presents it to activate the clinical role.
+	doctor := Presented{Appointments: append(docSess.Appointments(), appt)}
+	rmc, err := hospital.Activate("dr-jones-key", role("hospital", "doctor"), doctor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if valid, _ := hospital.CRStatus(rmc.Ref.Serial); !valid {
+		t.Error("doctor role inactive")
+	}
+}
+
+func TestAppointDeniedWithoutAppointerRole(t *testing.T) {
+	_, admin, _, _ := adminWorld(t)
+	stranger := AppointmentRequest{
+		Kind:   "employed_as_doctor",
+		Holder: "someone",
+		Params: []names.Term{names.Atom("st_marys")},
+	}
+	if _, err := admin.Appoint("stranger-principal", stranger, Presented{}); !errors.Is(err, ErrAppointmentDenied) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAppointUnknownKind(t *testing.T) {
+	_, admin, _, adminSess := adminWorld(t)
+	req := AppointmentRequest{Kind: "hospital_director", Holder: "h"}
+	if _, err := admin.Appoint(adminSess.PrincipalID(), req, adminSess.Credentials()); !errors.Is(err, ErrAppointmentDenied) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAppointerLacksConferredPrivilege(t *testing.T) {
+	// Invariant I5: the administrator who appoints doctors is not
+	// thereby able to activate the doctor role (Sect. 2: "a hospital
+	// administrator need not be medically qualified").
+	w, admin, hospital, adminSess := adminWorld(t)
+	_ = w
+	if _, err := admin.Appoint(adminSess.PrincipalID(), AppointmentRequest{
+		Kind:   "employed_as_doctor",
+		Holder: "dr-jones-key",
+		Params: []names.Term{names.Atom("st_marys")},
+	}, adminSess.Credentials()); err != nil {
+		t.Fatal(err)
+	}
+	// The admin presents only her own credentials (no appointment made
+	// out to her): activation must fail.
+	if _, err := hospital.Activate(adminSess.PrincipalID(),
+		role("hospital", "doctor"), adminSess.Credentials()); !errors.Is(err, ErrActivationDenied) {
+		t.Errorf("appointer gained conferred privilege: %v", err)
+	}
+}
+
+func TestAppointmentRevocationCascades(t *testing.T) {
+	// Revoking the appointment deactivates roles whose membership rules
+	// depend on it (keep [1] on the appt condition).
+	w, admin, hospital, adminSess := adminWorld(t)
+	appt, err := admin.Appoint(adminSess.PrincipalID(), AppointmentRequest{
+		Kind:   "employed_as_doctor",
+		Holder: "dr-jones-key",
+		Params: []names.Term{names.Atom("st_marys")},
+	}, adminSess.Credentials())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmc, err := hospital.Activate("dr-jones-key", role("hospital", "doctor"),
+		Presented{Appointments: []cert.AppointmentCertificate{appt}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !admin.RevokeAppointment(appt.Serial, "employment ended") {
+		t.Fatal("RevokeAppointment returned false")
+	}
+	w.broker.Quiesce()
+	if valid, _ := hospital.CRStatus(rmc.Ref.Serial); valid {
+		t.Error("doctor role survived appointment revocation")
+	}
+	// Revoked appointments no longer validate as credentials.
+	if _, err := hospital.Activate("dr-jones-key", role("hospital", "doctor"),
+		Presented{Appointments: []cert.AppointmentCertificate{appt}}); !errors.Is(err, ErrInvalidCredential) {
+		t.Errorf("revoked appointment accepted: %v", err)
+	}
+	// Double revocation reports false.
+	if admin.RevokeAppointment(appt.Serial, "again") {
+		t.Error("second revocation reported true")
+	}
+	if admin.RevokeAppointment(999999, "missing") {
+		t.Error("unknown serial revoked")
+	}
+}
+
+func TestAppointmentExpiryBlocksActivation(t *testing.T) {
+	w, admin, hospital, adminSess := adminWorld(t)
+	appt, err := admin.Appoint(adminSess.PrincipalID(), AppointmentRequest{
+		Kind:      "employed_as_doctor",
+		Holder:    "dr-jones-key",
+		Params:    []names.Term{names.Atom("st_marys")},
+		ExpiresAt: w.clk.Now().Add(24 * time.Hour),
+	}, adminSess.Credentials())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within validity: activation succeeds.
+	if _, err := hospital.Activate("dr-jones-key", role("hospital", "doctor"),
+		Presented{Appointments: []cert.AppointmentCertificate{appt}}); err != nil {
+		t.Fatal(err)
+	}
+	// Past expiry: the issuer's validation rejects it.
+	w.clk.Advance(48 * time.Hour)
+	if _, err := hospital.Activate("dr-jones-key", role("hospital", "doctor"),
+		Presented{Appointments: []cert.AppointmentCertificate{appt}}); !errors.Is(err, ErrInvalidCredential) {
+		t.Errorf("expired appointment accepted: %v", err)
+	}
+}
+
+func TestAppointmentExpiryDeactivatesActiveRole(t *testing.T) {
+	// Active security: a role whose membership rule depends on an
+	// expiring appointment collapses AT the expiry instant, without
+	// waiting for the next validation.
+	w, admin, hospital, adminSess := adminWorld(t)
+	appt, err := admin.Appoint(adminSess.PrincipalID(), AppointmentRequest{
+		Kind:      "employed_as_doctor",
+		Holder:    "dr-jones-key",
+		Params:    []names.Term{names.Atom("st_marys")},
+		ExpiresAt: w.clk.Now().Add(time.Hour),
+	}, adminSess.Credentials())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmc, err := hospital.Activate("dr-jones-key", role("hospital", "doctor"),
+		Presented{Appointments: []cert.AppointmentCertificate{appt}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before expiry the role is live.
+	w.clk.Advance(30 * time.Minute)
+	if valid, _ := hospital.CRStatus(rmc.Ref.Serial); !valid {
+		t.Fatal("role inactive before expiry")
+	}
+	// Cross the expiry instant: the timer deactivates the role.
+	w.clk.Advance(31 * time.Minute)
+	waitForRevoked(t, hospital, rmc.Ref.Serial)
+}
+
+// waitForRevoked polls briefly for the expiry timer goroutine to land.
+func waitForRevoked(t *testing.T, svc *Service, serial uint64) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if valid, _ := svc.CRStatus(serial); !valid {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("role survived appointment expiry instant")
+}
+
+func TestAppointmentStatus(t *testing.T) {
+	_, admin, _, adminSess := adminWorld(t)
+	appt, err := admin.Appoint(adminSess.PrincipalID(), AppointmentRequest{
+		Kind:   "employed_as_doctor",
+		Holder: "h",
+		Params: []names.Term{names.Atom("st_marys")},
+	}, adminSess.Credentials())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if valid, exists := admin.AppointmentStatus(appt.Serial); !valid || !exists {
+		t.Errorf("status = (%v,%v)", valid, exists)
+	}
+	if _, exists := admin.AppointmentStatus(12345); exists {
+		t.Error("phantom appointment exists")
+	}
+	admin.RevokeAppointment(appt.Serial, "r")
+	if valid, exists := admin.AppointmentStatus(appt.Serial); valid || !exists {
+		t.Errorf("status after revoke = (%v,%v)", valid, exists)
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"crypto/ed25519"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/sign"
+)
+
+// Errors returned by the session-proof machinery.
+var (
+	// ErrProofRequired is returned when a sensitive method is invoked
+	// without a sufficiently fresh challenge-response proof of the
+	// session key (Sect. 4.1: "in practice the challenge might be made
+	// ... at selected times such as before sensitive data is sent").
+	ErrProofRequired = errors.New("fresh session-key proof required")
+	// ErrBadPrincipalKey is returned when the principal id is not a
+	// valid hex-encoded Ed25519 public key, so no challenge can be
+	// issued against it.
+	ErrBadPrincipalKey = errors.New("principal id is not a session public key")
+)
+
+// sessionProofs tracks, per service, when each principal last proved
+// possession of its session private key.
+type sessionProofs struct {
+	mu     sync.Mutex
+	proven map[string]time.Time
+	// sensitive maps method name -> maximum allowed proof age.
+	sensitive map[string]time.Duration
+}
+
+func (s *Service) proofs() *sessionProofs {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.proofState == nil {
+		s.proofState = &sessionProofs{
+			proven:    make(map[string]time.Time),
+			sensitive: make(map[string]time.Duration),
+		}
+	}
+	return s.proofState
+}
+
+// MarkSensitive requires that invocations of method carry a
+// challenge-response proof no older than maxAge. Use for methods that
+// return sensitive data.
+func (s *Service) MarkSensitive(method string, maxAge time.Duration) {
+	p := s.proofs()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.sensitive[method] = maxAge
+}
+
+// IssueChallenge starts an ISO/9798 exchange with a session principal: the
+// principal id is the hex session public key (Sect. 4.1), so the service
+// can challenge it directly.
+func (s *Service) IssueChallenge(principal string) (sign.Challenge, error) {
+	keyBytes, err := hex.DecodeString(principal)
+	if err != nil || len(keyBytes) != ed25519.PublicKeySize {
+		return sign.Challenge{}, fmt.Errorf("%w: %.16s...", ErrBadPrincipalKey, principal)
+	}
+	return s.chal.Issue(ed25519.PublicKey(keyBytes))
+}
+
+// ProveSession checks a challenge response and, on success, records the
+// proof instant for the principal.
+func (s *Service) ProveSession(principal string, resp sign.Response) error {
+	if err := s.chal.Check(resp); err != nil {
+		return wrap(s.name, err)
+	}
+	p := s.proofs()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.proven[principal] = s.clk.Now()
+	return nil
+}
+
+// proofFreshEnough reports whether the method's proof requirement (if
+// any) is met for the principal at the current instant.
+func (s *Service) proofFreshEnough(principal, method string) error {
+	p := s.proofs()
+	p.mu.Lock()
+	maxAge, sensitive := p.sensitive[method]
+	at, proven := p.proven[principal]
+	p.mu.Unlock()
+	if !sensitive {
+		return nil
+	}
+	if !proven || s.clk.Now().Sub(at) > maxAge {
+		return fmt.Errorf("%w: method %s", ErrProofRequired, method)
+	}
+	return nil
+}

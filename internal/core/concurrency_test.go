@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/cert"
+	"repro/internal/names"
+	"repro/internal/store"
+)
+
+// TestConcurrentActivationsAndRevocations hammers a two-service dependency
+// under concurrent sessions, logouts and environmental churn; run with
+// -race. At quiescence, no dependent role may outlive its prerequisite.
+func TestConcurrentActivationsAndRevocations(t *testing.T) {
+	w := newWorld(t)
+	db := store.New()
+	login := w.service("login", `login.user(U) <- env account(U) keep [1].`)
+	login.Env().RegisterStore("account", db, "account")
+	login.WatchStore(db, map[string]string{"account": "account"})
+	files := w.service("files", `files.reader(U) <- login.user(U) keep [1].`)
+
+	const users = 16
+	for u := 0; u < users; u++ {
+		if _, err := db.Assert("account", names.Atom(fmt.Sprintf("user%d", u))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	type issued struct {
+		loginSerial uint64
+		fileSerial  uint64
+	}
+	results := make([]issued, users)
+	var wg sync.WaitGroup
+	for u := 0; u < users; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			sess := w.session()
+			user := names.Atom(fmt.Sprintf("user%d", u))
+			rmc, err := login.Activate(sess.PrincipalID(),
+				role("login", "user", user), Presented{})
+			if err != nil {
+				t.Errorf("user %d login: %v", u, err)
+				return
+			}
+			sess.AddRMC(rmc)
+			readerRMC, err := files.Activate(sess.PrincipalID(),
+				role("files", "reader", names.Var("U")), sess.Credentials())
+			if err != nil {
+				t.Errorf("user %d reader: %v", u, err)
+				return
+			}
+			results[u] = issued{rmc.Ref.Serial, readerRMC.Ref.Serial}
+			// Half the users log out; a quarter lose their accounts.
+			switch u % 4 {
+			case 0, 1:
+				login.Deactivate(rmc.Ref.Serial, "logout")
+			case 2:
+				if _, err := db.Retract("account", user); err != nil {
+					t.Error(err)
+				}
+			}
+		}(u)
+	}
+	wg.Wait()
+	w.broker.Quiesce()
+
+	for u, r := range results {
+		if r.loginSerial == 0 {
+			continue // activation failed and was reported
+		}
+		loginValid, _ := login.CRStatus(r.loginSerial)
+		fileValid, _ := files.CRStatus(r.fileSerial)
+		if u%4 == 3 {
+			if !loginValid || !fileValid {
+				t.Errorf("user %d (untouched) lost roles: login=%v file=%v",
+					u, loginValid, fileValid)
+			}
+			continue
+		}
+		if loginValid {
+			t.Errorf("user %d login role survived revocation", u)
+		}
+		if fileValid {
+			t.Errorf("user %d dependent role survived prerequisite revocation", u)
+		}
+	}
+}
+
+// TestConcurrentInvokeWithCache exercises the ECR cache under parallel
+// invocations racing a revocation.
+func TestConcurrentInvokeWithCache(t *testing.T) {
+	w := newWorld(t)
+	login := w.service("login", `login.user <- env ok.`)
+	alwaysTrue(login, "ok")
+	guard := w.service("guard", `auth enter <- login.user.`, withCache())
+	sess := w.session()
+	rmc, err := login.Activate(sess.PrincipalID(), role("login", "user"), Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(rmc)
+	creds := sess.Credentials()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				// Errors are expected once the revocation lands.
+				guard.Invoke(sess.PrincipalID(), "enter", nil, creds) //nolint:errcheck
+			}
+		}()
+	}
+	login.Deactivate(rmc.Ref.Serial, "logout")
+	wg.Wait()
+	w.broker.Quiesce()
+
+	// After quiescence, the certificate must be refused.
+	if _, err := guard.Invoke(sess.PrincipalID(), "enter", nil, creds); err == nil {
+		t.Error("revoked certificate accepted after quiescence")
+	}
+}
+
+// TestConcurrentAppointments races appointment issue/revoke cycles.
+func TestConcurrentAppointments(t *testing.T) {
+	_, admin, hospital, adminSess := adminWorld(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				holder := fmt.Sprintf("holder-%d-%d", g, i)
+				appt, err := admin.Appoint(adminSess.PrincipalID(), AppointmentRequest{
+					Kind:   "employed_as_doctor",
+					Holder: holder,
+					Params: []names.Term{names.Atom("st_marys")},
+				}, adminSess.Credentials())
+				if err != nil {
+					t.Errorf("appoint: %v", err)
+					return
+				}
+				if _, err := hospital.Activate(holder, role("hospital", "doctor"),
+					Presented{Appointments: []cert.AppointmentCertificate{appt}}); err != nil {
+					t.Errorf("activate: %v", err)
+					return
+				}
+				if !admin.RevokeAppointment(appt.Serial, "cycle") {
+					t.Errorf("revoke %d failed", appt.Serial)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

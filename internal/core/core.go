@@ -1,0 +1,71 @@
+// Package core implements the OASIS engine: services that define
+// parametrised roles, credential-based role activation within sessions,
+// credential records with callback validation, membership-rule monitoring
+// with immediate event-driven revocation, appointment, and access-controlled
+// method invocation (Sects. 2-4 of the paper).
+//
+// A Service corresponds to Fig. 2: clients present credentials to activate
+// roles (paths 1-2) and then present the returned role membership
+// certificates to invoke methods (paths 3-4). Credential records (CRs)
+// represent the validity of issued RMCs; event channels rooted at CRs
+// implement the active security environment of Figs. 1 and 5 — when any
+// membership condition of an active role becomes false the role is
+// deactivated immediately and its dependent subtree collapses.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cert"
+)
+
+// Errors returned by the engine.
+var (
+	// ErrActivationDenied is returned when no activation rule is
+	// satisfied by the presented credentials.
+	ErrActivationDenied = errors.New("role activation denied")
+	// ErrInvocationDenied is returned when no authorization rule admits
+	// the invocation.
+	ErrInvocationDenied = errors.New("service invocation denied")
+	// ErrInvalidCredential is returned when a presented certificate
+	// fails validation (bad signature, revoked, expired or unknown).
+	ErrInvalidCredential = errors.New("invalid credential")
+	// ErrUnknownRole is returned when the requested role is not defined
+	// by this service's policy.
+	ErrUnknownRole = errors.New("role not defined by this service")
+	// ErrUnknownMethod is returned when an invocation names a method
+	// with no authorization rule.
+	ErrUnknownMethod = errors.New("method not defined by this service")
+	// ErrUnknownCR is returned by validation callbacks for serials that
+	// do not exist.
+	ErrUnknownCR = errors.New("unknown credential record")
+	// ErrRevoked is returned when a certificate's credential record has
+	// been invalidated.
+	ErrRevoked = errors.New("credential revoked")
+	// ErrAppointmentDenied is returned when the presented credentials do
+	// not satisfy the appointer rule for the requested appointment kind.
+	ErrAppointmentDenied = errors.New("appointment denied")
+)
+
+// TopicCR is the event channel carrying revocation for one credential
+// record, identified by its CRR (Fig. 5).
+func TopicCR(ref cert.CRR) string { return "cr/" + ref.String() }
+
+// TopicAppt is the event channel carrying revocation for one appointment
+// certificate record.
+func TopicAppt(key string) string { return "appt/" + key }
+
+// TopicEnv is the event channel on which a service announces changes to one
+// of its environmental predicates, triggering membership re-checks.
+func TopicEnv(service, predicate string) string {
+	return "env/" + service + "/" + predicate
+}
+
+// TopicHeartbeat carries issuer liveness for cached validations.
+func TopicHeartbeat(service string) string { return "hb/" + service }
+
+// wrap adds service context to engine errors.
+func wrap(service string, err error) error {
+	return fmt.Errorf("service %s: %w", service, err)
+}

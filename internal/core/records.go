@@ -1,0 +1,75 @@
+package core
+
+import (
+	"sync"
+)
+
+// RecordStore holds the validity state of issued role membership
+// certificates. The default is service-local memory (each service issues
+// and validates its own certificates, "as is possible in the
+// architecture" — Sect. 4), but a domain may instead plug in its highly
+// available replicated CIV service (paper ref [10]; see internal/civ and
+// the CIVRecords adapter in the domain package).
+type RecordStore interface {
+	// Issue allocates a serial for a new certificate with the given
+	// subject (the ground role) and holder (the principal id).
+	Issue(subject, holder string) (uint64, error)
+	// Revoke invalidates a serial; it reports whether the record was
+	// live (false means already revoked or unknown: callers treat
+	// Revoke as idempotent).
+	Revoke(serial uint64, reason string) (bool, error)
+	// Status reads a record's state.
+	Status(serial uint64) (RecordStatus, error)
+}
+
+// RecordStatus is a RecordStore read.
+type RecordStatus struct {
+	Exists  bool
+	Revoked bool
+	Holder  string
+	Subject string
+	Reason  string
+}
+
+// memRecords is the default in-memory RecordStore.
+type memRecords struct {
+	mu      sync.Mutex
+	next    uint64
+	records map[uint64]*RecordStatus
+}
+
+var _ RecordStore = (*memRecords)(nil)
+
+func newMemRecords() *memRecords {
+	return &memRecords{records: make(map[uint64]*RecordStatus)}
+}
+
+func (m *memRecords) Issue(subject, holder string) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.next++
+	m.records[m.next] = &RecordStatus{Exists: true, Holder: holder, Subject: subject}
+	return m.next, nil
+}
+
+func (m *memRecords) Revoke(serial uint64, reason string) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.records[serial]
+	if !ok || rec.Revoked {
+		return false, nil
+	}
+	rec.Revoked = true
+	rec.Reason = reason
+	return true, nil
+}
+
+func (m *memRecords) Status(serial uint64) (RecordStatus, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.records[serial]
+	if !ok {
+		return RecordStatus{}, nil
+	}
+	return *rec, nil
+}

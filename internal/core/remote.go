@@ -1,0 +1,124 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/names"
+	"repro/internal/rpc"
+)
+
+// RemoteActivateRequest asks a (possibly remote) service to activate a
+// role for the given principal with the attached credentials.
+type RemoteActivateRequest struct {
+	Principal    string                        `json:"principal"`
+	Role         names.Role                    `json:"role"`
+	RMCs         []cert.RMC                    `json:"rmcs,omitempty"`
+	Appointments []cert.AppointmentCertificate `json:"appointments,omitempty"`
+}
+
+// Presented converts the wire form back to a credential bundle.
+func (r RemoteActivateRequest) Presented() Presented {
+	return Presented{RMCs: r.RMCs, Appointments: r.Appointments}
+}
+
+// RemoteInvokeRequest asks a (possibly remote) service to run a method for
+// the given principal with the attached credentials.
+type RemoteInvokeRequest struct {
+	Principal    string                        `json:"principal"`
+	Method       string                        `json:"method"`
+	Args         []names.Term                  `json:"args,omitempty"`
+	RMCs         []cert.RMC                    `json:"rmcs,omitempty"`
+	Appointments []cert.AppointmentCertificate `json:"appointments,omitempty"`
+}
+
+// Presented converts the wire form back to a credential bundle.
+func (r RemoteInvokeRequest) Presented() Presented {
+	return Presented{RMCs: r.RMCs, Appointments: r.Appointments}
+}
+
+// RemoteAppointRequest asks a (possibly remote) service to issue an
+// appointment certificate.
+type RemoteAppointRequest struct {
+	Principal    string                        `json:"principal"`
+	Kind         string                        `json:"kind"`
+	Holder       string                        `json:"holder"`
+	Params       []names.Term                  `json:"params,omitempty"`
+	ExpiresAt    time.Time                     `json:"expiresAt,omitempty"`
+	RMCs         []cert.RMC                    `json:"rmcs,omitempty"`
+	Appointments []cert.AppointmentCertificate `json:"appointments,omitempty"`
+}
+
+// Presented converts the wire form back to a credential bundle.
+func (r RemoteAppointRequest) Presented() Presented {
+	return Presented{RMCs: r.RMCs, Appointments: r.Appointments}
+}
+
+// Client invokes a service through an rpc transport, as a roving principal
+// or cross-domain caller does. It mirrors the local Activate/Invoke API.
+type Client struct {
+	caller rpc.Caller
+}
+
+// NewClient wraps an rpc caller.
+func NewClient(caller rpc.Caller) *Client { return &Client{caller: caller} }
+
+// Activate requests role activation at the named remote service.
+func (c *Client) Activate(service, principal string, role names.Role, p Presented) (cert.RMC, error) {
+	req := RemoteActivateRequest{
+		Principal:    principal,
+		Role:         role,
+		RMCs:         p.RMCs,
+		Appointments: p.Appointments,
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return cert.RMC{}, fmt.Errorf("encode activate: %w", err)
+	}
+	out, err := c.caller.Call(service, "activate", body)
+	if err != nil {
+		return cert.RMC{}, err
+	}
+	return cert.UnmarshalRMC(out)
+}
+
+// Invoke requests a method invocation at the named remote service.
+func (c *Client) Invoke(service, principal, method string, args []names.Term, p Presented) ([]byte, error) {
+	req := RemoteInvokeRequest{
+		Principal:    principal,
+		Method:       method,
+		Args:         args,
+		RMCs:         p.RMCs,
+		Appointments: p.Appointments,
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("encode invoke: %w", err)
+	}
+	return c.caller.Call(service, "invoke", body)
+}
+
+// Appoint requests an appointment certificate from the named remote
+// service.
+func (c *Client) Appoint(service, principal string, req AppointmentRequest, p Presented) (cert.AppointmentCertificate, error) {
+	wire := RemoteAppointRequest{
+		Principal:    principal,
+		Kind:         req.Kind,
+		Holder:       req.Holder,
+		Params:       req.Params,
+		ExpiresAt:    req.ExpiresAt,
+		RMCs:         p.RMCs,
+		Appointments: p.Appointments,
+	}
+	body, err := json.Marshal(wire)
+	if err != nil {
+		return cert.AppointmentCertificate{}, fmt.Errorf("encode appoint: %w", err)
+	}
+	out, err := c.caller.Call(service, "appoint", body)
+	if err != nil {
+		return cert.AppointmentCertificate{}, err
+	}
+	return cert.UnmarshalAppointment(out)
+}

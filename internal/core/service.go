@@ -1,0 +1,593 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/clock"
+	"repro/internal/event"
+	"repro/internal/names"
+	"repro/internal/policy"
+	"repro/internal/rpc"
+	"repro/internal/sign"
+	"repro/internal/store"
+)
+
+// MethodImpl is the application logic behind an access-controlled method.
+// It runs only after an authorization rule has admitted the call.
+type MethodImpl func(args []names.Term) ([]byte, error)
+
+// InvokeObserver is notified of every successful invocation; the audit
+// layer (Sect. 6) attaches here.
+type InvokeObserver func(rec InvokeRecord)
+
+// InvokeRecord describes one successful, authorized invocation.
+type InvokeRecord struct {
+	Service   string
+	Method    string
+	Args      []names.Term
+	Principal string
+	// Credentials lists the keys of the credentials that satisfied the
+	// authorization rule, e.g. the treating_doctor RMC recorded for
+	// audit in the Fig. 3 scenario.
+	Credentials []string
+}
+
+// Config configures a Service.
+type Config struct {
+	// Name is the service name; it must match the Service component of
+	// every role the policy defines.
+	Name string
+	// Policy holds the service's activation and authorization rules.
+	Policy policy.Policy
+	// Broker is the shared active-middleware event broker.
+	Broker *event.Broker
+	// Caller issues callback validations to other services; nil is
+	// permitted for services that never receive foreign certificates.
+	Caller rpc.Caller
+	// Clock defaults to the real clock.
+	Clock clock.Clock
+	// Env is the environmental predicate registry; a fresh registry
+	// with the comparison builtins is created when nil.
+	Env *policy.Registry
+	// KeyRetention is how many historical signing secrets remain valid
+	// (minimum 1).
+	KeyRetention int
+	// CacheValidations enables the external credential record proxy
+	// (ECR, Fig. 5): results of callback validation are cached and
+	// invalidated by revocation events instead of re-validated per use.
+	CacheValidations bool
+	// Records holds credential-record validity state. Nil selects
+	// service-local memory; a domain may instead share its replicated
+	// CIV service across services (paper ref [10]; see
+	// domain.CIVRecords).
+	Records RecordStore
+}
+
+// Stats counts service activity for the experiment harness.
+type Stats struct {
+	Activations         uint64
+	ActivationsDenied   uint64
+	Invocations         uint64
+	InvocationsDenied   uint64
+	LocalValidations    uint64
+	CallbackValidations uint64
+	CacheHits           uint64
+	Revocations         uint64
+}
+
+// Service is an OASIS-secured service (Fig. 2). It defines roles, enforces
+// activation and authorization policy, issues and validates certificates,
+// and monitors membership rules through the event infrastructure.
+type Service struct {
+	name   string
+	pol    policy.Policy
+	broker *event.Broker
+	caller rpc.Caller
+	clk    clock.Clock
+	eval   *policy.Evaluator
+	ring   *sign.KeyRing
+	chal   *sign.Challenger
+
+	cacheValidations bool
+
+	records RecordStore
+
+	mu             sync.Mutex
+	nextApptSerial uint64
+	crs            map[uint64]*CredRecord
+	appts          map[uint64]*apptRecord
+	methods        map[string]MethodImpl
+	envIndex       map[string]map[uint64]struct{} // predicate -> CR serials with env deps
+	cache          map[string]bool                // positive validations (presence == issuer said valid)
+	cacheSubs      map[string]*event.Subscription
+	observers      []InvokeObserver
+	stats          Stats
+	proofState     *sessionProofs
+
+	stopTimers chan struct{}
+	stopOnce   sync.Once
+	timersWG   sync.WaitGroup
+}
+
+// CredRecord is the service-local monitoring state of one issued RMC (the
+// CR of Figs. 1, 2 and 5): the membership dependencies whose failure must
+// deactivate the role. Validity itself lives in the RecordStore, which may
+// be service-local or a shared replicated CIV service.
+type CredRecord struct {
+	Serial    uint64
+	Principal string
+	Role      names.Role
+
+	subs    []*event.Subscription
+	envDeps []envDep
+}
+
+type envDep struct {
+	name    string
+	args    []names.Term
+	negated bool
+}
+
+type apptRecord struct {
+	serial  uint64
+	appt    cert.AppointmentCertificate
+	revoked bool
+}
+
+// NewService constructs a service from its configuration.
+func NewService(cfg Config) (*Service, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("service name required")
+	}
+	if cfg.Broker == nil {
+		return nil, fmt.Errorf("service %s: broker required", cfg.Name)
+	}
+	for _, r := range cfg.Policy.Rules {
+		if r.Head.Name.Service != cfg.Name {
+			return nil, fmt.Errorf("service %s: policy defines role %s owned by another service",
+				cfg.Name, r.Head.Name)
+		}
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	env := cfg.Env
+	if env == nil {
+		env = policy.NewRegistry()
+	}
+	retain := cfg.KeyRetention
+	if retain < 1 {
+		retain = 1
+	}
+	ring, err := sign.NewKeyRing(retain, nil)
+	if err != nil {
+		return nil, fmt.Errorf("service %s: %w", cfg.Name, err)
+	}
+	records := cfg.Records
+	if records == nil {
+		records = newMemRecords()
+	}
+	return &Service{
+		name:             cfg.Name,
+		records:          records,
+		pol:              cfg.Policy,
+		broker:           cfg.Broker,
+		caller:           cfg.Caller,
+		clk:              clk,
+		eval:             policy.NewEvaluator(env),
+		ring:             ring,
+		chal:             sign.NewChallenger(time.Minute, clk.Now, nil),
+		cacheValidations: cfg.CacheValidations,
+		crs:              make(map[uint64]*CredRecord),
+		appts:            make(map[uint64]*apptRecord),
+		methods:          make(map[string]MethodImpl),
+		envIndex:         make(map[string]map[uint64]struct{}),
+		cache:            make(map[string]bool),
+		cacheSubs:        make(map[string]*event.Subscription),
+		stopTimers:       make(chan struct{}),
+	}, nil
+}
+
+// Name returns the service name.
+func (s *Service) Name() string { return s.name }
+
+// Env exposes the environmental predicate registry for registration of
+// service-specific predicates.
+func (s *Service) Env() *policy.Registry { return s.eval.Env }
+
+// Challenger exposes the ISO/9798 challenge-response endpoint (Sect. 4.1).
+func (s *Service) Challenger() *sign.Challenger { return s.chal }
+
+// Bind installs application logic for a method; invocation remains policy
+// gated.
+func (s *Service) Bind(method string, impl MethodImpl) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.methods[method] = impl
+}
+
+// Observe registers an invocation observer (audit hook).
+func (s *Service) Observe(o InvokeObserver) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observers = append(s.observers, o)
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Policy returns the service's policy document.
+func (s *Service) Policy() policy.Policy { return s.pol }
+
+// Activate is path 1-2 of Fig. 2: the principal presents credentials to
+// activate the requested role; on success a signed RMC is returned.
+func (s *Service) Activate(principal string, requested names.Role, p Presented) (cert.RMC, error) {
+	if requested.Name.Service != s.name {
+		return cert.RMC{}, wrap(s.name, fmt.Errorf("%w: %s", ErrUnknownRole, requested.Name))
+	}
+	rules := s.pol.RulesFor(requested.Name)
+	if len(rules) == 0 {
+		return cert.RMC{}, wrap(s.name, fmt.Errorf("%w: %s", ErrUnknownRole, requested.Name))
+	}
+	creds, err := s.validateAll(principal, p)
+	if err != nil {
+		return cert.RMC{}, wrap(s.name, err)
+	}
+	idx, sol, ok, err := s.eval.ActivateAny(rules, requested, creds)
+	if err != nil {
+		return cert.RMC{}, wrap(s.name, err)
+	}
+	if !ok {
+		s.mu.Lock()
+		s.stats.ActivationsDenied++
+		s.mu.Unlock()
+		return cert.RMC{}, wrap(s.name, fmt.Errorf("%w: %s", ErrActivationDenied, requested.Name))
+	}
+	rule := rules[idx]
+	ground := rule.Head.Apply(sol.Subst)
+	if !ground.IsGround() {
+		return cert.RMC{}, wrap(s.name, fmt.Errorf("%w: %s left unbound parameters", ErrActivationDenied, ground))
+	}
+
+	serial, err := s.records.Issue(ground.Key(), principal)
+	if err != nil {
+		return cert.RMC{}, wrap(s.name, err)
+	}
+	cr := &CredRecord{Serial: serial, Principal: principal, Role: ground}
+	s.mu.Lock()
+	s.crs[serial] = cr
+	s.stats.Activations++
+	s.mu.Unlock()
+
+	ref := cert.CRR{Issuer: s.name, Serial: serial}
+	rmc, err := cert.IssueRMC(s.ring, principal, ground, ref)
+	if err != nil {
+		return cert.RMC{}, wrap(s.name, err)
+	}
+	if err := s.installMembership(cr, rule, sol); err != nil {
+		return cert.RMC{}, wrap(s.name, err)
+	}
+	return rmc, nil
+}
+
+// installMembership wires the membership rule of an activation: for every
+// condition listed in the rule's membership set, the engine arranges to be
+// notified when the underlying credential or environmental fact becomes
+// invalid, deactivating the role immediately (Sect. 4, Fig. 5).
+func (s *Service) installMembership(cr *CredRecord, rule policy.Rule, sol policy.Solution) error {
+	for _, m := range rule.Membership {
+		match := sol.Matches[m-1]
+		switch {
+		case match.Role != nil:
+			if err := s.watchTopic(cr, "cr/"+match.Role.Key); err != nil {
+				return err
+			}
+		case match.Appt != nil:
+			if err := s.watchTopic(cr, TopicAppt(match.Appt.Key)); err != nil {
+				return err
+			}
+			// Active expiry: when the appointment carries an expiry,
+			// the dependent role deactivates at that instant rather
+			// than surviving until the next validation.
+			if !match.Appt.ExpiresAt.IsZero() {
+				s.scheduleExpiry(cr.Serial, match.Appt.ExpiresAt, match.Appt.Key)
+			}
+		case match.EnvName != "":
+			ec, _ := match.Cond.(policy.EnvCond)
+			dep := envDep{name: match.EnvName, args: match.EnvArgs, negated: ec.Negated}
+			s.mu.Lock()
+			cr.envDeps = append(cr.envDeps, dep)
+			set, ok := s.envIndex[dep.name]
+			if !ok {
+				set = make(map[uint64]struct{})
+				s.envIndex[dep.name] = set
+			}
+			set[cr.Serial] = struct{}{}
+			s.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// scheduleExpiry deactivates a credential record when the clock reaches
+// the expiry of an appointment its membership rule depends on. The timer
+// goroutine is bounded by the service lifetime (Close).
+func (s *Service) scheduleExpiry(serial uint64, at time.Time, apptKey string) {
+	// Register the timer synchronously so that a simulated clock
+	// advanced immediately after activation still fires it.
+	fire := s.clk.After(at.Sub(s.clk.Now()))
+	s.timersWG.Add(1)
+	go func() {
+		defer s.timersWG.Done()
+		select {
+		case <-fire:
+			s.Deactivate(serial, "appointment expired: "+apptKey)
+		case <-s.stopTimers:
+		}
+	}()
+}
+
+func (s *Service) watchTopic(cr *CredRecord, topic string) error {
+	serial := cr.Serial
+	sub, err := s.broker.Subscribe(topic, func(ev event.Event) {
+		if ev.Kind == event.KindRevoked {
+			s.Deactivate(serial, "dependency revoked: "+ev.Subject)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	cr.subs = append(cr.subs, sub)
+	s.mu.Unlock()
+	return nil
+}
+
+// Deactivate invalidates a credential record and publishes the revocation
+// on its event channel, collapsing the dependent role subtree. It is
+// idempotent.
+func (s *Service) Deactivate(serial uint64, reason string) {
+	wasLive, err := s.records.Revoke(serial, reason)
+	if err != nil || !wasLive {
+		// Already revoked, unknown, or the record store is unreachable
+		// (in which case validation also fails, which is the safe
+		// direction).
+		return
+	}
+	s.mu.Lock()
+	var subs []*event.Subscription
+	if cr, ok := s.crs[serial]; ok {
+		subs = cr.subs
+		cr.subs = nil
+		for _, dep := range cr.envDeps {
+			if set, ok := s.envIndex[dep.name]; ok {
+				delete(set, serial)
+				if len(set) == 0 {
+					delete(s.envIndex, dep.name)
+				}
+			}
+		}
+	}
+	s.stats.Revocations++
+	s.mu.Unlock()
+
+	for _, sub := range subs {
+		sub.Cancel()
+	}
+	ref := cert.CRR{Issuer: s.name, Serial: serial}
+	s.broker.Publish(event.Event{ //nolint:errcheck // revocation is fire-and-forget fan-out
+		Topic:   TopicCR(ref),
+		Kind:    event.KindRevoked,
+		Subject: ref.String(),
+		Reason:  reason,
+		At:      s.clk.Now(),
+	})
+}
+
+// NotifyEnvChanged re-checks the membership conditions of every active
+// role whose membership rule references the named predicate, deactivating
+// roles whose conditions no longer hold. Services call this when
+// environmental state changes; WatchStore wires it to a fact store
+// automatically.
+func (s *Service) NotifyEnvChanged(predicate string) {
+	s.mu.Lock()
+	set := s.envIndex[predicate]
+	serials := make([]uint64, 0, len(set))
+	for serial := range set {
+		serials = append(serials, serial)
+	}
+	s.mu.Unlock()
+
+	for _, serial := range serials {
+		s.mu.Lock()
+		var deps []envDep
+		if cr, ok := s.crs[serial]; ok {
+			deps = append(deps, cr.envDeps...)
+		}
+		s.mu.Unlock()
+		for _, dep := range deps {
+			if dep.name != predicate {
+				continue
+			}
+			if !s.envHolds(dep) {
+				s.Deactivate(serial, fmt.Sprintf("membership condition failed: %senv %s",
+					negPrefix(dep.negated), dep.name))
+				break
+			}
+		}
+	}
+}
+
+func negPrefix(negated bool) string {
+	if negated {
+		return "!"
+	}
+	return ""
+}
+
+// envHolds re-evaluates a ground environmental membership condition.
+func (s *Service) envHolds(dep envDep) bool {
+	pred, ok := s.eval.Env.Lookup(dep.name)
+	if !ok {
+		return false // predicate disappeared: fail safe
+	}
+	sols := pred(dep.args, names.NewSubstitution())
+	if dep.negated {
+		return len(sols) == 0
+	}
+	return len(sols) > 0
+}
+
+// WatchStore connects a fact store to membership monitoring: whenever a
+// relation in the map changes, the corresponding predicate's membership
+// conditions are re-checked. relationToPredicate maps store relation names
+// to the predicate names used in policy.
+func (s *Service) WatchStore(db *store.Store, relationToPredicate map[string]string) {
+	mapping := make(map[string]string, len(relationToPredicate))
+	for rel, pred := range relationToPredicate {
+		mapping[rel] = pred
+	}
+	db.Observe(func(relation string, tuple []names.Term, added bool) {
+		if pred, ok := mapping[relation]; ok {
+			s.NotifyEnvChanged(pred)
+			s.broker.Publish(event.Event{ //nolint:errcheck
+				Topic:   TopicEnv(s.name, pred),
+				Kind:    event.KindChanged,
+				Subject: pred,
+				At:      s.clk.Now(),
+			})
+		}
+	})
+}
+
+// Invoke is path 3-4 of Fig. 2: the principal presents credentials with a
+// method invocation; the service checks its authorization rules and any
+// environmental constraints, then runs the bound implementation.
+func (s *Service) Invoke(principal, method string, args []names.Term, p Presented) ([]byte, error) {
+	rules := s.pol.AuthFor(method)
+	if len(rules) == 0 {
+		return nil, wrap(s.name, fmt.Errorf("%w: %s", ErrUnknownMethod, method))
+	}
+	if err := s.proofFreshEnough(principal, method); err != nil {
+		return nil, wrap(s.name, err)
+	}
+	creds, err := s.validateAll(principal, p)
+	if err != nil {
+		return nil, wrap(s.name, err)
+	}
+	for _, rule := range rules {
+		sol, ok, err := s.eval.Authorize(rule, args, creds)
+		if err != nil {
+			return nil, wrap(s.name, err)
+		}
+		if !ok {
+			continue
+		}
+		s.mu.Lock()
+		s.stats.Invocations++
+		impl := s.methods[method]
+		observers := make([]InvokeObserver, len(s.observers))
+		copy(observers, s.observers)
+		s.mu.Unlock()
+
+		rec := InvokeRecord{
+			Service:     s.name,
+			Method:      method,
+			Args:        args,
+			Principal:   principal,
+			Credentials: credentialKeys(sol),
+		}
+		for _, o := range observers {
+			o(rec)
+		}
+		if impl == nil {
+			return nil, nil
+		}
+		return impl(args)
+	}
+	s.mu.Lock()
+	s.stats.InvocationsDenied++
+	s.mu.Unlock()
+	return nil, wrap(s.name, fmt.Errorf("%w: %s", ErrInvocationDenied, method))
+}
+
+func credentialKeys(sol policy.Solution) []string {
+	var keys []string
+	for _, m := range sol.Matches {
+		switch {
+		case m.Role != nil:
+			keys = append(keys, m.Role.Key)
+		case m.Appt != nil:
+			keys = append(keys, m.Appt.Key)
+		}
+	}
+	return keys
+}
+
+// EndSession deactivates every live credential record issued to the
+// principal by this service (the logout of Sect. 4: deactivating the
+// initial roles collapses the whole session tree through the event
+// channels). It returns the number of records deactivated.
+func (s *Service) EndSession(principal string) int {
+	s.mu.Lock()
+	serials := make([]uint64, 0, len(s.crs))
+	for serial, cr := range s.crs {
+		if cr.Principal == principal {
+			serials = append(serials, serial)
+		}
+	}
+	s.mu.Unlock()
+	n := 0
+	for _, serial := range serials {
+		if valid, _ := s.CRStatus(serial); valid {
+			s.Deactivate(serial, "session ended")
+			n++
+		}
+	}
+	return n
+}
+
+// ActiveRoles lists the ground roles currently active (non-revoked CRs)
+// for a principal, in serial order.
+func (s *Service) ActiveRoles(principal string) []names.Role {
+	type entry struct {
+		serial uint64
+		role   names.Role
+	}
+	s.mu.Lock()
+	candidates := make([]entry, 0, len(s.crs))
+	for serial, cr := range s.crs {
+		if cr.Principal == principal {
+			candidates = append(candidates, entry{serial, cr.Role})
+		}
+	}
+	s.mu.Unlock()
+
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].serial < candidates[j].serial })
+	var out []names.Role
+	for _, c := range candidates {
+		status, err := s.records.Status(c.serial)
+		if err == nil && status.Exists && !status.Revoked {
+			out = append(out, c.role)
+		}
+	}
+	return out
+}
+
+// CRStatus reports whether a credential record exists and is valid.
+func (s *Service) CRStatus(serial uint64) (valid, exists bool) {
+	status, err := s.records.Status(serial)
+	if err != nil || !status.Exists {
+		return false, false
+	}
+	return !status.Revoked, true
+}

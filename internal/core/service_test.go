@@ -1,0 +1,424 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/event"
+	"repro/internal/names"
+	"repro/internal/policy"
+	"repro/internal/rpc"
+	"repro/internal/store"
+)
+
+// world is a test fixture: a broker, loopback transport and simulated
+// clock shared by a set of services.
+type world struct {
+	t      *testing.T
+	broker *event.Broker
+	bus    *rpc.Loopback
+	clk    *clock.Simulated
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	w := &world{
+		t:      t,
+		broker: event.NewBroker(),
+		bus:    rpc.NewLoopback(),
+		clk:    clock.NewSimulated(time.Date(2001, 11, 12, 9, 0, 0, 0, time.UTC)),
+	}
+	t.Cleanup(w.broker.Close)
+	return w
+}
+
+// service creates a service wired into the world and registers its rpc
+// handler.
+func (w *world) service(name, policyText string, opts ...func(*Config)) *Service {
+	w.t.Helper()
+	cfg := Config{
+		Name:   name,
+		Policy: policy.MustParse(policyText),
+		Broker: w.broker,
+		Caller: w.bus,
+		Clock:  w.clk,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	svc, err := NewService(cfg)
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	w.bus.Register(name, svc.Handler())
+	w.t.Cleanup(svc.Close)
+	return svc
+}
+
+func withCache() func(*Config) {
+	return func(c *Config) { c.CacheValidations = true }
+}
+
+func (w *world) session() *Session {
+	w.t.Helper()
+	s, err := NewSession(nil)
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	return s
+}
+
+func role(service, name string, params ...names.Term) names.Role {
+	return names.MustRole(names.MustRoleName(service, name, len(params)), params...)
+}
+
+// alwaysTrue registers an env predicate that always succeeds.
+func alwaysTrue(svc *Service, name string) {
+	svc.Env().Register(name, func(args []names.Term, s names.Substitution) []names.Substitution {
+		return []names.Substitution{s.Clone()}
+	})
+}
+
+func TestActivateInitialRole(t *testing.T) {
+	w := newWorld(t)
+	login := w.service("login", `login.user <- env password_ok.`)
+	alwaysTrue(login, "password_ok")
+	sess := w.session()
+
+	rmc, err := login.Activate(sess.PrincipalID(), role("login", "user"), Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmc.Role.Name.Name != "user" || rmc.Ref.Issuer != "login" {
+		t.Errorf("rmc = %+v", rmc)
+	}
+	if valid, exists := login.CRStatus(rmc.Ref.Serial); !valid || !exists {
+		t.Errorf("CR status = (%v,%v)", valid, exists)
+	}
+	if got := login.ActiveRoles(sess.PrincipalID()); len(got) != 1 {
+		t.Errorf("ActiveRoles = %v", got)
+	}
+	if login.Stats().Activations != 1 {
+		t.Errorf("stats = %+v", login.Stats())
+	}
+}
+
+func TestActivateDeniedWithoutCredentials(t *testing.T) {
+	w := newWorld(t)
+	login := w.service("login", `login.user <- env password_ok.`)
+	login.Env().Register("password_ok", func(args []names.Term, s names.Substitution) []names.Substitution {
+		return nil
+	})
+	_, err := login.Activate("p", role("login", "user"), Presented{})
+	if !errors.Is(err, ErrActivationDenied) {
+		t.Errorf("err = %v", err)
+	}
+	if login.Stats().ActivationsDenied != 1 {
+		t.Errorf("stats = %+v", login.Stats())
+	}
+}
+
+func TestActivateUnknownRole(t *testing.T) {
+	w := newWorld(t)
+	login := w.service("login", `login.user <- env ok.`)
+	if _, err := login.Activate("p", role("login", "admin"), Presented{}); !errors.Is(err, ErrUnknownRole) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := login.Activate("p", role("other", "user"), Presented{}); !errors.Is(err, ErrUnknownRole) {
+		t.Errorf("foreign role err = %v", err)
+	}
+}
+
+func TestNewServiceRejectsForeignPolicy(t *testing.T) {
+	b := event.NewBroker()
+	defer b.Close()
+	_, err := NewService(Config{
+		Name:   "a",
+		Policy: policy.MustParse(`b.role <- env ok.`),
+		Broker: b,
+	})
+	if err == nil {
+		t.Error("policy for another service accepted")
+	}
+	if _, err := NewService(Config{Name: "", Broker: b}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewService(Config{Name: "x"}); err == nil {
+		t.Error("nil broker accepted")
+	}
+}
+
+func TestPrerequisiteRoleChain(t *testing.T) {
+	// Fig. 1: service C requires RMCs from A and B.
+	w := newWorld(t)
+	a := w.service("a", `a.ra <- env ok.`)
+	b := w.service("b", `b.rb <- env ok.`)
+	c := w.service("c", `c.rc <- a.ra, b.rb keep [1, 2].`)
+	alwaysTrue(a, "ok")
+	alwaysTrue(b, "ok")
+	sess := w.session()
+
+	rmcA, err := a.Activate(sess.PrincipalID(), role("a", "ra"), Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(rmcA)
+	rmcB, err := b.Activate(sess.PrincipalID(), role("b", "rb"), Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(rmcB)
+
+	rmcC, err := c.Activate(sess.PrincipalID(), role("c", "rc"), sess.Credentials())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if valid, _ := c.CRStatus(rmcC.Ref.Serial); !valid {
+		t.Error("rc not active")
+	}
+	// Missing one prerequisite denies activation.
+	other := w.session()
+	rmcA2, err := a.Activate(other.PrincipalID(), role("a", "ra"), Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other.AddRMC(rmcA2)
+	if _, err := c.Activate(other.PrincipalID(), role("c", "rc"), other.Credentials()); !errors.Is(err, ErrActivationDenied) {
+		t.Errorf("activation with one of two prerequisites: %v", err)
+	}
+}
+
+func TestRevocationCascade(t *testing.T) {
+	// Deactivating the initial role collapses the dependent subtree
+	// (Sect. 4: "all the active roles dependent on it collapse").
+	w := newWorld(t)
+	a := w.service("a", `a.ra <- env ok.`)
+	b := w.service("b", `b.rb <- a.ra keep [1].`)
+	c := w.service("c", `c.rc <- b.rb keep [1].`)
+	alwaysTrue(a, "ok")
+	sess := w.session()
+	pid := sess.PrincipalID()
+
+	rmcA, err := a.Activate(pid, role("a", "ra"), Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(rmcA)
+	rmcB, err := b.Activate(pid, role("b", "rb"), sess.Credentials())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(rmcB)
+	rmcC, err := c.Activate(pid, role("c", "rc"), sess.Credentials())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Logout: deactivate the initial role at A.
+	a.Deactivate(rmcA.Ref.Serial, "logout")
+	w.broker.Quiesce()
+
+	if valid, _ := b.CRStatus(rmcB.Ref.Serial); valid {
+		t.Error("rb survived revocation of its prerequisite")
+	}
+	if valid, _ := c.CRStatus(rmcC.Ref.Serial); valid {
+		t.Error("rc survived transitive revocation")
+	}
+	// Revoked RMCs no longer validate.
+	if _, err := b.Activate(pid, role("b", "rb"), sess.Credentials()); !errors.Is(err, ErrInvalidCredential) {
+		t.Errorf("revoked RMC accepted as credential: %v", err)
+	}
+}
+
+func TestDiamondDependencyCollapsesOnEitherParent(t *testing.T) {
+	// A role whose membership rule keeps TWO prerequisite roles forms a
+	// diamond: revoking either parent must collapse it, even while the
+	// other parent stays live.
+	w := newWorld(t)
+	a := w.service("a", `a.ra <- env ok.`)
+	b := w.service("b", `b.rb <- env ok2.`)
+	alwaysTrue(a, "ok")
+	alwaysTrue(b, "ok2")
+	c := w.service("c", `c.rc <- a.ra, b.rb keep [1, 2].`)
+	sess := w.session()
+	rmcA, err := a.Activate(sess.PrincipalID(), role("a", "ra"), Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(rmcA)
+	rmcB, err := b.Activate(sess.PrincipalID(), role("b", "rb"), Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(rmcB)
+	rmcC, err := c.Activate(sess.PrincipalID(), role("c", "rc"), sess.Credentials())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b.Deactivate(rmcB.Ref.Serial, "b gone")
+	w.broker.Quiesce()
+	if valid, _ := c.CRStatus(rmcC.Ref.Serial); valid {
+		t.Error("diamond child survived loss of one parent")
+	}
+	if valid, _ := a.CRStatus(rmcA.Ref.Serial); !valid {
+		t.Error("unrelated parent was revoked")
+	}
+}
+
+func TestDeactivateIdempotentAndUnknown(t *testing.T) {
+	w := newWorld(t)
+	a := w.service("a", `a.ra <- env ok.`)
+	alwaysTrue(a, "ok")
+	rmc, err := a.Activate("p", role("a", "ra"), Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Deactivate(rmc.Ref.Serial, "r1")
+	a.Deactivate(rmc.Ref.Serial, "r2") // idempotent
+	a.Deactivate(9999, "unknown")      // no-op
+	w.broker.Quiesce()
+	if got := a.Stats().Revocations; got != 1 {
+		t.Errorf("Revocations = %d, want 1", got)
+	}
+}
+
+func TestMembershipEnvConditionRevokes(t *testing.T) {
+	// A doctor's role deactivates the moment the on-duty fact is
+	// retracted (active security environment).
+	w := newWorld(t)
+	db := store.New()
+	h := w.service("hospital", `hospital.on_duty_doctor(D) <- env on_duty(D) keep [1].`)
+	h.Env().RegisterStore("on_duty", db, "on_duty")
+	h.WatchStore(db, map[string]string{"on_duty": "on_duty"})
+
+	if _, err := db.Assert("on_duty", names.Atom("jones")); err != nil {
+		t.Fatal(err)
+	}
+	rmc, err := h.Activate("p", role("hospital", "on_duty_doctor", names.Var("D")), Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmc.Role.Params[0] != names.Atom("jones") {
+		t.Fatalf("role = %s", rmc.Role)
+	}
+	if valid, _ := h.CRStatus(rmc.Ref.Serial); !valid {
+		t.Fatal("role not active")
+	}
+
+	// End of shift: retract the fact; the role must deactivate at once.
+	if _, err := db.Retract("on_duty", names.Atom("jones")); err != nil {
+		t.Fatal(err)
+	}
+	w.broker.Quiesce()
+	if valid, _ := h.CRStatus(rmc.Ref.Serial); valid {
+		t.Error("role survived retraction of its membership condition")
+	}
+}
+
+func TestMembershipNegatedEnvCondition(t *testing.T) {
+	// Patient exclusion list: adding an exclusion while the role is
+	// active must revoke it (membership rule over a negated condition).
+	w := newWorld(t)
+	db := store.New()
+	h := w.service("hospital",
+		`hospital.treating_doctor(D, P) <- env registered(D, P), !env excluded(D, P) keep [2].`)
+	h.Env().RegisterStore("registered", db, "registered")
+	h.Env().RegisterStore("excluded", db, "excluded")
+	h.WatchStore(db, map[string]string{"excluded": "excluded"})
+
+	if _, err := db.Assert("registered", names.Atom("fred"), names.Atom("joe")); err != nil {
+		t.Fatal(err)
+	}
+	rmc, err := h.Activate("p",
+		role("hospital", "treating_doctor", names.Atom("fred"), names.Atom("joe")), Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The patient excludes Fred mid-session.
+	if _, err := db.Assert("excluded", names.Atom("fred"), names.Atom("joe")); err != nil {
+		t.Fatal(err)
+	}
+	w.broker.Quiesce()
+	if valid, _ := h.CRStatus(rmc.Ref.Serial); valid {
+		t.Error("treating_doctor survived exclusion")
+	}
+}
+
+func TestMembershipEnvUnrelatedChangeKeepsRole(t *testing.T) {
+	w := newWorld(t)
+	db := store.New()
+	h := w.service("hospital", `hospital.on_duty_doctor(D) <- env on_duty(D) keep [1].`)
+	h.Env().RegisterStore("on_duty", db, "on_duty")
+	h.WatchStore(db, map[string]string{"on_duty": "on_duty"})
+	if _, err := db.Assert("on_duty", names.Atom("jones")); err != nil {
+		t.Fatal(err)
+	}
+	rmc, err := h.Activate("p", role("hospital", "on_duty_doctor", names.Atom("jones")), Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A different doctor goes off duty; jones's role must survive.
+	if _, err := db.Assert("on_duty", names.Atom("smith")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Retract("on_duty", names.Atom("smith")); err != nil {
+		t.Fatal(err)
+	}
+	w.broker.Quiesce()
+	if valid, _ := h.CRStatus(rmc.Ref.Serial); !valid {
+		t.Error("unrelated store change revoked the role")
+	}
+}
+
+func TestNoMembershipRuleRoleSurvives(t *testing.T) {
+	// Without a keep clause the role persists even when the activation
+	// condition later fails.
+	w := newWorld(t)
+	db := store.New()
+	h := w.service("hospital", `hospital.visitor(V) <- env signed_in(V).`)
+	h.Env().RegisterStore("signed_in", db, "signed_in")
+	h.WatchStore(db, map[string]string{"signed_in": "signed_in"})
+	if _, err := db.Assert("signed_in", names.Atom("v1")); err != nil {
+		t.Fatal(err)
+	}
+	rmc, err := h.Activate("p", role("hospital", "visitor", names.Atom("v1")), Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Retract("signed_in", names.Atom("v1")); err != nil {
+		t.Fatal(err)
+	}
+	w.broker.Quiesce()
+	if valid, _ := h.CRStatus(rmc.Ref.Serial); !valid {
+		t.Error("role without membership rule was revoked")
+	}
+}
+
+func TestRMCPrincipalTheftRejected(t *testing.T) {
+	w := newWorld(t)
+	login := w.service("login", `login.user <- env ok.`)
+	alwaysTrue(login, "ok")
+	guard := w.service("guard", `guard.inside <- login.user keep [1].`)
+	alice := w.session()
+	mallory := w.session()
+	rmc, err := login.Activate(alice.PrincipalID(), role("login", "user"), Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice.AddRMC(rmc)
+	// Mallory steals the certificate and presents it under her own
+	// session principal: the issuer-side check refuses it.
+	mallory.AddRMC(rmc)
+	if _, err := guard.Activate(mallory.PrincipalID(), role("guard", "inside"),
+		mallory.Credentials()); !errors.Is(err, ErrInvalidCredential) {
+		t.Errorf("stolen RMC accepted: %v", err)
+	}
+	// Alice herself succeeds.
+	if _, err := guard.Activate(alice.PrincipalID(), role("guard", "inside"),
+		alice.Credentials()); err != nil {
+		t.Errorf("legitimate activation failed: %v", err)
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/cert"
+	"repro/internal/sign"
+)
+
+// Session is the client-side state of an OASIS session (Sect. 4): a
+// session key pair whose public half identifies the principal for the
+// session's lifetime, and the RMCs collected as roles are activated. The
+// session's active roles form trees rooted at initial roles; the trees
+// themselves live in the services' credential records and event channels —
+// the session only carries the certificates.
+type Session struct {
+	key *sign.SessionKey
+
+	mu           sync.RWMutex
+	rmcs         []cert.RMC
+	appointments []cert.AppointmentCertificate
+}
+
+// NewSession generates a session key pair and an empty certificate wallet.
+// Entropy defaults to crypto/rand when nil.
+func NewSession(entropy io.Reader) (*Session, error) {
+	key, err := sign.NewSessionKey(entropy)
+	if err != nil {
+		return nil, fmt.Errorf("new session: %w", err)
+	}
+	return &Session{key: key}, nil
+}
+
+// PrincipalID returns the session-specific principal identifier (the hex
+// session public key, Sect. 4.1).
+func (s *Session) PrincipalID() string { return s.key.PrincipalID() }
+
+// Key exposes the session key for challenge-response proofs.
+func (s *Session) Key() *sign.SessionKey { return s.key }
+
+// AddRMC stores an RMC returned by a role activation.
+func (s *Session) AddRMC(r cert.RMC) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rmcs = append(s.rmcs, r)
+}
+
+// AddAppointment stores a long-lived appointment certificate presented
+// during this session. (Appointments outlive sessions; the wallet only
+// carries them for presentation.)
+func (s *Session) AddAppointment(a cert.AppointmentCertificate) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.appointments = append(s.appointments, a)
+}
+
+// RMCs returns a copy of the collected role membership certificates.
+func (s *Session) RMCs() []cert.RMC {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]cert.RMC, len(s.rmcs))
+	copy(out, s.rmcs)
+	return out
+}
+
+// Appointments returns a copy of the collected appointment certificates.
+func (s *Session) Appointments() []cert.AppointmentCertificate {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]cert.AppointmentCertificate, len(s.appointments))
+	copy(out, s.appointments)
+	return out
+}
+
+// Credentials bundles the session's wallet for presentation to a service.
+func (s *Session) Credentials() Presented {
+	return Presented{RMCs: s.RMCs(), Appointments: s.Appointments()}
+}
+
+// DropRMC removes an RMC (e.g. after its role was deactivated); it reports
+// whether the certificate was present.
+func (s *Session) DropRMC(ref cert.CRR) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, r := range s.rmcs {
+		if r.Ref == ref {
+			s.rmcs = append(s.rmcs[:i], s.rmcs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Presented is the set of certificates a principal submits with a request
+// (path 1 or 3 of Fig. 2).
+type Presented struct {
+	RMCs         []cert.RMC
+	Appointments []cert.AppointmentCertificate
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/names"
+)
+
+type failingReader struct{}
+
+func (failingReader) Read(p []byte) (int, error) { return 0, errors.New("no entropy") }
+
+func TestNewSessionEntropyFailure(t *testing.T) {
+	if _, err := NewSession(failingReader{}); err == nil {
+		t.Error("session created without entropy")
+	}
+}
+
+func TestSessionWallet(t *testing.T) {
+	sess, err := NewSession(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmc := cert.RMC{
+		Role: names.MustRole(names.MustRoleName("s", "r", 0)),
+		Ref:  cert.CRR{Issuer: "s", Serial: 1},
+	}
+	appt := cert.AppointmentCertificate{Issuer: "a", Serial: 2, Kind: "k", Holder: "h"}
+	sess.AddRMC(rmc)
+	sess.AddAppointment(appt)
+
+	creds := sess.Credentials()
+	if len(creds.RMCs) != 1 || len(creds.Appointments) != 1 {
+		t.Fatalf("credentials = %+v", creds)
+	}
+	// Returned slices are copies: mutating them must not corrupt the
+	// wallet.
+	creds.RMCs[0].Ref.Serial = 999
+	if sess.RMCs()[0].Ref.Serial != 1 {
+		t.Error("Credentials aliases internal wallet")
+	}
+	if got := sess.Appointments(); len(got) != 1 || got[0].Kind != "k" {
+		t.Errorf("Appointments = %v", got)
+	}
+}
+
+func TestSessionDropRMC(t *testing.T) {
+	sess, err := NewSession(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref1 := cert.CRR{Issuer: "s", Serial: 1}
+	ref2 := cert.CRR{Issuer: "s", Serial: 2}
+	sess.AddRMC(cert.RMC{Ref: ref1})
+	sess.AddRMC(cert.RMC{Ref: ref2})
+	if !sess.DropRMC(ref1) {
+		t.Error("DropRMC failed for present certificate")
+	}
+	if sess.DropRMC(ref1) {
+		t.Error("DropRMC succeeded twice")
+	}
+	remaining := sess.RMCs()
+	if len(remaining) != 1 || remaining[0].Ref != ref2 {
+		t.Errorf("remaining = %v", remaining)
+	}
+}
+
+func TestServiceAccessors(t *testing.T) {
+	w := newWorld(t)
+	svc := w.service("accessors", `accessors.r <- env ok.`)
+	if svc.Name() != "accessors" {
+		t.Errorf("Name = %q", svc.Name())
+	}
+	if got := svc.Policy(); len(got.Rules) != 1 {
+		t.Errorf("Policy rules = %d", len(got.Rules))
+	}
+	if svc.Challenger() == nil {
+		t.Error("Challenger nil")
+	}
+}
+
+func TestServiceCloseIdempotent(t *testing.T) {
+	w := newWorld(t)
+	login := w.service("login", `login.user <- env ok.`)
+	alwaysTrue(login, "ok")
+	guard := w.service("guard", `guard.inside <- login.user keep [1].`, withCache())
+	sess := w.session()
+	rmc, err := login.Activate(sess.PrincipalID(), role("login", "user"), Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(rmc)
+	if _, err := guard.Activate(sess.PrincipalID(), role("guard", "inside"), sess.Credentials()); err != nil {
+		t.Fatal(err)
+	}
+	guard.Close()
+	guard.Close() // double close is safe
+}
+
+func TestRemoteAppointViaClient(t *testing.T) {
+	w := newWorld(t)
+	admin := w.service("admin", `
+admin.officer <- env ok.
+auth appoint_badge(K) <- admin.officer.
+`)
+	alwaysTrue(admin, "ok")
+	sess := w.session()
+	rmc, err := admin.Activate(sess.PrincipalID(), role("admin", "officer"), Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(rmc)
+
+	cli := NewClient(w.bus)
+	appt, err := cli.Appoint("admin", sess.PrincipalID(), AppointmentRequest{
+		Kind:      "badge",
+		Holder:    "holder-key",
+		Params:    []names.Term{names.Atom("gate1")},
+		ExpiresAt: w.clk.Now().Add(time.Hour),
+	}, sess.Credentials())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if appt.Kind != "badge" || appt.Holder != "holder-key" {
+		t.Errorf("appt = %+v", appt)
+	}
+	// The remote wire round-trip preserved verifiability.
+	if valid, exists := admin.AppointmentStatus(appt.Serial); !valid || !exists {
+		t.Errorf("status = (%v,%v)", valid, exists)
+	}
+	// Denied remote appointment surfaces as an error.
+	if _, err := cli.Appoint("admin", "stranger", AppointmentRequest{
+		Kind: "badge", Holder: "x",
+	}, Presented{}); err == nil {
+		t.Error("unauthorized remote appoint succeeded")
+	}
+}
+
+func TestActiveRolesOrderAndLiveness(t *testing.T) {
+	w := newWorld(t)
+	svc := w.service("s", `s.r(N) <- env any(N).`)
+	alwaysTrue(svc, "any")
+	sess := w.session()
+	var serials []uint64
+	for i := 1; i <= 3; i++ {
+		rmc, err := svc.Activate(sess.PrincipalID(),
+			role("s", "r", names.Int(int64(i))), Presented{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		serials = append(serials, rmc.Ref.Serial)
+	}
+	// Another principal's roles must not appear.
+	other := w.session()
+	if _, err := svc.Activate(other.PrincipalID(), role("s", "r", names.Int(99)), Presented{}); err != nil {
+		t.Fatal(err)
+	}
+	svc.Deactivate(serials[1], "drop middle")
+	got := svc.ActiveRoles(sess.PrincipalID())
+	if len(got) != 2 {
+		t.Fatalf("ActiveRoles = %v", got)
+	}
+	if got[0].Params[0] != names.Int(1) || got[1].Params[0] != names.Int(3) {
+		t.Errorf("order/content wrong: %v", got)
+	}
+}
+
+func TestEndSession(t *testing.T) {
+	w := newWorld(t)
+	login := w.service("login", `login.user <- env ok.`)
+	alwaysTrue(login, "ok")
+	files := w.service("files", `files.reader <- login.user keep [1].`)
+	sess := w.session()
+	rmc1, err := login.Activate(sess.PrincipalID(), role("login", "user"), Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(rmc1)
+	rmc2, err := login.Activate(sess.PrincipalID(), role("login", "user"), Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	readerRMC, err := files.Activate(sess.PrincipalID(), role("files", "reader"), sess.Credentials())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := login.EndSession(sess.PrincipalID()); n != 2 {
+		t.Errorf("EndSession deactivated %d, want 2", n)
+	}
+	w.broker.Quiesce()
+	for _, serial := range []uint64{rmc1.Ref.Serial, rmc2.Ref.Serial} {
+		if valid, _ := login.CRStatus(serial); valid {
+			t.Errorf("serial %d survived EndSession", serial)
+		}
+	}
+	if valid, _ := files.CRStatus(readerRMC.Ref.Serial); valid {
+		t.Error("dependent role survived EndSession")
+	}
+	// Idempotent: nothing left to deactivate.
+	if n := login.EndSession(sess.PrincipalID()); n != 0 {
+		t.Errorf("second EndSession deactivated %d", n)
+	}
+}
+
+func TestCRStatusUnknownSerial(t *testing.T) {
+	w := newWorld(t)
+	svc := w.service("s", `s.r <- env ok.`)
+	if valid, exists := svc.CRStatus(424242); valid || exists {
+		t.Errorf("CRStatus(unknown) = (%v,%v)", valid, exists)
+	}
+}

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/cert"
+	"repro/internal/event"
+	"repro/internal/policy"
+)
+
+// validateAll checks every presented certificate and converts the valid set
+// into the evaluator's credential view. Any invalid certificate rejects the
+// whole request — a principal presenting forged or revoked credentials is
+// refused outright rather than silently narrowed.
+func (s *Service) validateAll(principal string, p Presented) (policy.CredentialSet, error) {
+	var creds policy.CredentialSet
+	for _, r := range p.RMCs {
+		if err := s.validateRMC(principal, r); err != nil {
+			return policy.CredentialSet{}, fmt.Errorf("%w: rmc %s: %v", ErrInvalidCredential, r.Ref, err)
+		}
+		creds.Roles = append(creds.Roles, policy.HeldRole{Role: r.Role, Key: r.Ref.String()})
+	}
+	for _, a := range p.Appointments {
+		if err := s.validateAppointment(a); err != nil {
+			return policy.CredentialSet{}, fmt.Errorf("%w: appointment %s: %v", ErrInvalidCredential, a.Key(), err)
+		}
+		creds.Appointments = append(creds.Appointments, policy.Appointment{
+			Issuer:    a.Issuer,
+			Kind:      a.Kind,
+			Params:    a.Params,
+			Key:       a.Key(),
+			ExpiresAt: a.ExpiresAt,
+		})
+	}
+	return creds, nil
+}
+
+// validateRMC checks one RMC for the presenting principal: locally when
+// this service issued it, otherwise by callback to the issuer (Sect. 4),
+// consulting the ECR cache when enabled.
+func (s *Service) validateRMC(principal string, r cert.RMC) error {
+	if r.Ref.Issuer == s.name {
+		s.mu.Lock()
+		s.stats.LocalValidations++
+		s.mu.Unlock()
+		status, err := s.records.Status(r.Ref.Serial)
+		if err != nil {
+			return fmt.Errorf("record store: %w", err)
+		}
+		if !status.Exists {
+			return ErrUnknownCR
+		}
+		if status.Revoked {
+			return fmt.Errorf("%w: %s", ErrRevoked, status.Reason)
+		}
+		if status.Holder != principal {
+			return fmt.Errorf("%w: certificate issued to a different principal", ErrInvalidCredential)
+		}
+		return r.Verify(s.ring, principal)
+	}
+	return s.validateForeign("cr", r.Ref.String(), TopicCR(r.Ref), r.Ref.Issuer, "validate_rmc",
+		validateRMCRequest{RMC: r, Principal: principal})
+}
+
+// validateAppointment checks an appointment certificate locally or by
+// callback to its issuer, including expiry at the current instant.
+func (s *Service) validateAppointment(a cert.AppointmentCertificate) error {
+	if a.Issuer == s.name {
+		s.mu.Lock()
+		s.stats.LocalValidations++
+		rec, ok := s.appts[a.Serial]
+		s.mu.Unlock()
+		if !ok {
+			return ErrUnknownCR
+		}
+		if rec.revoked {
+			return ErrRevoked
+		}
+		return a.Verify(s.ring, s.clk.Now())
+	}
+	return s.validateForeign("appt", a.Key(), TopicAppt(a.Key()), a.Issuer, "validate_appt",
+		validateApptRequest{Appointment: a})
+}
+
+// validateForeign performs (or reuses) a callback validation of a
+// certificate issued elsewhere. With caching enabled it implements the ECR
+// proxy of Fig. 5: the first validation subscribes to the certificate's
+// revocation channel so the cached result is dropped the instant the
+// issuer invalidates it.
+func (s *Service) validateForeign(kindTag, key, topic, issuer, method string, reqBody any) error {
+	if s.cacheValidations {
+		s.mu.Lock()
+		_, cached := s.cache[key]
+		if cached {
+			s.stats.CacheHits++
+		}
+		s.mu.Unlock()
+		if cached {
+			// Only positive results are cached; revocation events
+			// delete the entry, so a hit means "valid as far as the
+			// issuer has told us".
+			return nil
+		}
+	}
+	if s.caller == nil {
+		return fmt.Errorf("no transport to validate %s certificate from %s", kindTag, issuer)
+	}
+	body, err := json.Marshal(reqBody)
+	if err != nil {
+		return fmt.Errorf("encode validation request: %w", err)
+	}
+	s.mu.Lock()
+	s.stats.CallbackValidations++
+	s.mu.Unlock()
+	out, err := s.caller.Call(issuer, method, body)
+	if err != nil {
+		return fmt.Errorf("callback to %s: %w", issuer, err)
+	}
+	var resp validateResponse
+	if err := json.Unmarshal(out, &resp); err != nil {
+		return fmt.Errorf("decode validation response: %w", err)
+	}
+	if !resp.Valid {
+		return fmt.Errorf("%w: issuer says %s", ErrRevoked, resp.Reason)
+	}
+	if s.cacheValidations {
+		s.cacheStore(key, topic)
+	}
+	return nil
+}
+
+// cacheStore records a positive validation and subscribes to the
+// certificate's revocation channel to invalidate it.
+func (s *Service) cacheStore(key, topic string) {
+	s.mu.Lock()
+	if _, exists := s.cacheSubs[key]; exists {
+		s.cache[key] = true
+		s.mu.Unlock()
+		return
+	}
+	s.cache[key] = true
+	s.mu.Unlock()
+
+	sub, err := s.broker.Subscribe(topic, func(ev event.Event) {
+		if ev.Kind != event.KindRevoked {
+			return
+		}
+		// Drop the cached result rather than caching "revoked": the
+		// next presentation re-validates with the authoritative
+		// issuer, which also lets heartbeat-driven synthetic
+		// revocations fail safe without denying permanently.
+		s.mu.Lock()
+		delete(s.cache, key)
+		s.mu.Unlock()
+	})
+	if err != nil {
+		// Broker closed: drop the cache entry so we fail safe to
+		// callback validation.
+		s.mu.Lock()
+		delete(s.cache, key)
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Lock()
+	if _, exists := s.cacheSubs[key]; exists {
+		s.mu.Unlock()
+		sub.Cancel()
+		return
+	}
+	s.cacheSubs[key] = sub
+	s.mu.Unlock()
+}
+
+// Close cancels the service's cache subscriptions and expiry timers
+// (credential record watches are cancelled by Deactivate).
+func (s *Service) Close() {
+	s.stopOnce.Do(func() { close(s.stopTimers) })
+	s.timersWG.Wait()
+	s.mu.Lock()
+	subs := make([]*event.Subscription, 0, len(s.cacheSubs))
+	for _, sub := range s.cacheSubs {
+		subs = append(subs, sub)
+	}
+	s.cacheSubs = make(map[string]*event.Subscription)
+	crSubs := make([]*event.Subscription, 0)
+	for _, cr := range s.crs {
+		crSubs = append(crSubs, cr.subs...)
+		cr.subs = nil
+	}
+	s.mu.Unlock()
+	for _, sub := range subs {
+		sub.Cancel()
+	}
+	for _, sub := range crSubs {
+		sub.Cancel()
+	}
+}
+
+// Wire messages for callback validation and remote operation.
+
+type validateRMCRequest struct {
+	RMC       cert.RMC `json:"rmc"`
+	Principal string   `json:"principal"`
+}
+
+type validateApptRequest struct {
+	Appointment cert.AppointmentCertificate `json:"appointment"`
+}
+
+type validateResponse struct {
+	Valid  bool   `json:"valid"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// Handler exposes the service's remote endpoints over the rpc transport:
+// validate_rmc and validate_appt (callback validation), activate and
+// invoke (remote role activation and invocation, used for cross-domain
+// sessions).
+func (s *Service) Handler() func(method string, body []byte) ([]byte, error) {
+	return func(method string, body []byte) ([]byte, error) {
+		switch method {
+		case "validate_rmc":
+			var req validateRMCRequest
+			if err := json.Unmarshal(body, &req); err != nil {
+				return nil, fmt.Errorf("decode: %w", err)
+			}
+			resp := validateResponse{Valid: true}
+			if err := s.validateRMC(req.Principal, req.RMC); err != nil {
+				resp = validateResponse{Valid: false, Reason: err.Error()}
+			}
+			return json.Marshal(resp)
+		case "validate_appt":
+			var req validateApptRequest
+			if err := json.Unmarshal(body, &req); err != nil {
+				return nil, fmt.Errorf("decode: %w", err)
+			}
+			resp := validateResponse{Valid: true}
+			if err := s.validateAppointment(req.Appointment); err != nil {
+				resp = validateResponse{Valid: false, Reason: err.Error()}
+			}
+			return json.Marshal(resp)
+		case "activate":
+			var req RemoteActivateRequest
+			if err := json.Unmarshal(body, &req); err != nil {
+				return nil, fmt.Errorf("decode: %w", err)
+			}
+			rmc, err := s.Activate(req.Principal, req.Role, req.Presented())
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(rmc)
+		case "invoke":
+			var req RemoteInvokeRequest
+			if err := json.Unmarshal(body, &req); err != nil {
+				return nil, fmt.Errorf("decode: %w", err)
+			}
+			return s.Invoke(req.Principal, req.Method, req.Args, req.Presented())
+		case "end_session":
+			var req struct {
+				Principal string `json:"principal"`
+			}
+			if err := json.Unmarshal(body, &req); err != nil {
+				return nil, fmt.Errorf("decode: %w", err)
+			}
+			n := s.EndSession(req.Principal)
+			return json.Marshal(map[string]int{"deactivated": n})
+		case "appoint":
+			var req RemoteAppointRequest
+			if err := json.Unmarshal(body, &req); err != nil {
+				return nil, fmt.Errorf("decode: %w", err)
+			}
+			a, err := s.Appoint(req.Principal, AppointmentRequest{
+				Kind:      req.Kind,
+				Holder:    req.Holder,
+				Params:    req.Params,
+				ExpiresAt: req.ExpiresAt,
+			}, req.Presented())
+			if err != nil {
+				return nil, err
+			}
+			return cert.MarshalAppointment(a)
+		default:
+			return nil, fmt.Errorf("unknown method %q", method)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cert"
+	"repro/internal/names"
+	"repro/internal/policy"
+	"repro/internal/rpc"
+)
+
+func TestCallbackValidationPerUse(t *testing.T) {
+	w := newWorld(t)
+	login := w.service("login", `login.user <- env ok.`)
+	alwaysTrue(login, "ok")
+	guard := w.service("guard", `guard.inside <- login.user.
+auth enter <- login.user.`)
+	sess := w.session()
+	rmc, err := login.Activate(sess.PrincipalID(), role("login", "user"), Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(rmc)
+
+	before := w.bus.Calls()
+	for i := 0; i < 5; i++ {
+		if _, err := guard.Invoke(sess.PrincipalID(), "enter", nil, sess.Credentials()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	callbacks := w.bus.Calls() - before
+	if callbacks != 5 {
+		t.Errorf("expected one callback per use without caching, got %d", callbacks)
+	}
+	if guard.Stats().CallbackValidations != 5 {
+		t.Errorf("stats = %+v", guard.Stats())
+	}
+}
+
+func TestCachedValidationAmortisesCallback(t *testing.T) {
+	// Sect. 4: "The service may cache the certificate and the result of
+	// validation in order to reduce the communication overhead of
+	// repeated callback."
+	w := newWorld(t)
+	login := w.service("login", `login.user <- env ok.`)
+	alwaysTrue(login, "ok")
+	guard := w.service("guard", `auth enter <- login.user.`, withCache())
+	sess := w.session()
+	rmc, err := login.Activate(sess.PrincipalID(), role("login", "user"), Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(rmc)
+
+	before := w.bus.Calls()
+	for i := 0; i < 10; i++ {
+		if _, err := guard.Invoke(sess.PrincipalID(), "enter", nil, sess.Credentials()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	callbacks := w.bus.Calls() - before
+	if callbacks != 1 {
+		t.Errorf("expected exactly one callback with caching, got %d", callbacks)
+	}
+	if hits := guard.Stats().CacheHits; hits != 9 {
+		t.Errorf("CacheHits = %d, want 9", hits)
+	}
+}
+
+func TestCacheInvalidatedByRevocationEvent(t *testing.T) {
+	// The ECR proxy must drop its cached result the instant the issuer
+	// revokes (Fig. 5), not at the next callback.
+	w := newWorld(t)
+	login := w.service("login", `login.user <- env ok.`)
+	alwaysTrue(login, "ok")
+	guard := w.service("guard", `auth enter <- login.user.`, withCache())
+	sess := w.session()
+	rmc, err := login.Activate(sess.PrincipalID(), role("login", "user"), Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(rmc)
+	if _, err := guard.Invoke(sess.PrincipalID(), "enter", nil, sess.Credentials()); err != nil {
+		t.Fatal(err)
+	}
+	login.Deactivate(rmc.Ref.Serial, "logout")
+	w.broker.Quiesce()
+	if _, err := guard.Invoke(sess.PrincipalID(), "enter", nil, sess.Credentials()); !errors.Is(err, ErrInvalidCredential) {
+		t.Errorf("cached validation outlived revocation: %v", err)
+	}
+}
+
+func TestValidationNoTransport(t *testing.T) {
+	w := newWorld(t)
+	login := w.service("login", `login.user <- env ok.`)
+	alwaysTrue(login, "ok")
+	isolated, err := NewService(Config{
+		Name:   "isolated",
+		Policy: mustPolicy(`auth m <- login.user.`),
+		Broker: w.broker,
+		Clock:  w.clk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(isolated.Close)
+	sess := w.session()
+	rmc, err := login.Activate(sess.PrincipalID(), role("login", "user"), Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(rmc)
+	if _, err := isolated.Invoke(sess.PrincipalID(), "m", nil, sess.Credentials()); !errors.Is(err, ErrInvalidCredential) {
+		t.Errorf("validation without transport: %v", err)
+	}
+}
+
+func TestValidationTransportFault(t *testing.T) {
+	w := newWorld(t)
+	login := w.service("login", `login.user <- env ok.`)
+	alwaysTrue(login, "ok")
+	guard := w.service("guard", `auth enter <- login.user.`)
+	sess := w.session()
+	rmc, err := login.Activate(sess.PrincipalID(), role("login", "user"), Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(rmc)
+	w.bus.SetFault(rpc.FailNTimes("login", 1))
+	if _, err := guard.Invoke(sess.PrincipalID(), "enter", nil, sess.Credentials()); !errors.Is(err, ErrInvalidCredential) {
+		t.Errorf("faulted callback treated as valid: %v", err)
+	}
+	// Transport recovers; the next call succeeds.
+	if _, err := guard.Invoke(sess.PrincipalID(), "enter", nil, sess.Credentials()); err != nil {
+		t.Errorf("post-fault invoke failed: %v", err)
+	}
+}
+
+func TestForgedRMCRejectedByIssuerCallback(t *testing.T) {
+	w := newWorld(t)
+	login := w.service("login", `login.user <- env ok.`)
+	alwaysTrue(login, "ok")
+	guard := w.service("guard", `auth enter <- login.user.`)
+	sess := w.session()
+	// Forge: an RMC that claims to be from login but was never issued.
+	forged := cert.RMC{
+		Role: role("login", "user"),
+		Ref:  cert.CRR{Issuer: "login", Serial: 424242},
+	}
+	sess.AddRMC(forged)
+	if _, err := guard.Invoke(sess.PrincipalID(), "enter", nil, sess.Credentials()); !errors.Is(err, ErrInvalidCredential) {
+		t.Errorf("forged RMC accepted: %v", err)
+	}
+}
+
+func TestInvokeUnknownMethod(t *testing.T) {
+	w := newWorld(t)
+	svc := w.service("s", `auth known <- env ok.`)
+	alwaysTrue(svc, "ok")
+	if _, err := svc.Invoke("p", "unknown", nil, Presented{}); !errors.Is(err, ErrUnknownMethod) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestInvokeDeniedAndBoundImpl(t *testing.T) {
+	w := newWorld(t)
+	svc := w.service("files", `files.owner(F) <- env owns(F).
+auth read(F) <- files.owner(F).`)
+	db := newOwnsDB(t, svc)
+	_ = db
+	sess := w.session()
+	rmc, err := svc.Activate(sess.PrincipalID(), role("files", "owner", names.Atom("f1")), Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(rmc)
+	svc.Bind("read", func(args []names.Term) ([]byte, error) {
+		return []byte("contents of " + args[0].String()), nil
+	})
+	out, err := svc.Invoke(sess.PrincipalID(), "read", []names.Term{names.Atom("f1")}, sess.Credentials())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "contents of f1" {
+		t.Errorf("out = %q", out)
+	}
+	// A file the principal does not own is denied.
+	if _, err := svc.Invoke(sess.PrincipalID(), "read", []names.Term{names.Atom("f2")}, sess.Credentials()); !errors.Is(err, ErrInvocationDenied) {
+		t.Errorf("err = %v", err)
+	}
+	stats := svc.Stats()
+	if stats.Invocations != 1 || stats.InvocationsDenied != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestInvokeObserverReceivesCredentialKeys(t *testing.T) {
+	w := newWorld(t)
+	login := w.service("login", `login.user <- env ok.`)
+	alwaysTrue(login, "ok")
+	guard := w.service("guard", `auth enter <- login.user.`)
+	var recs []InvokeRecord
+	guard.Observe(func(r InvokeRecord) { recs = append(recs, r) })
+	sess := w.session()
+	rmc, err := login.Activate(sess.PrincipalID(), role("login", "user"), Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(rmc)
+	if _, err := guard.Invoke(sess.PrincipalID(), "enter", nil, sess.Credentials()); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0].Service != "guard" || recs[0].Method != "enter" {
+		t.Errorf("record = %+v", recs[0])
+	}
+	if len(recs[0].Credentials) != 1 || recs[0].Credentials[0] != rmc.Ref.String() {
+		t.Errorf("credentials = %v, want [%s]", recs[0].Credentials, rmc.Ref)
+	}
+}
+
+func TestRemoteClientActivateInvoke(t *testing.T) {
+	w := newWorld(t)
+	login := w.service("login", `login.user <- env ok.`)
+	alwaysTrue(login, "ok")
+	svc := w.service("svc", `auth hello <- login.user.`)
+	svc.Bind("hello", func(args []names.Term) ([]byte, error) {
+		return []byte("hi"), nil
+	})
+	cli := NewClient(w.bus)
+	sess := w.session()
+	rmc, err := cli.Activate("login", sess.PrincipalID(), role("login", "user"), Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(rmc)
+	out, err := cli.Invoke("svc", sess.PrincipalID(), "hello", nil, sess.Credentials())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "hi" {
+		t.Errorf("out = %q", out)
+	}
+	// A remote activation that fails surfaces as a RemoteError.
+	_, err = cli.Activate("login", sess.PrincipalID(), role("login", "admin"), Presented{})
+	var re *rpc.RemoteError
+	if !errors.As(err, &re) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestHandlerRejectsGarbage(t *testing.T) {
+	w := newWorld(t)
+	svc := w.service("s", `auth m <- env ok.`)
+	h := svc.Handler()
+	for _, method := range []string{"validate_rmc", "validate_appt", "activate", "invoke"} {
+		if _, err := h(method, []byte("{broken")); err == nil {
+			t.Errorf("%s accepted garbage", method)
+		}
+	}
+	if _, err := h("no_such_method", nil); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+// newOwnsDB registers an `owns` predicate that holds for file f1 only.
+func newOwnsDB(t *testing.T, svc *Service) struct{} {
+	t.Helper()
+	svc.Env().Register("owns", func(args []names.Term, s names.Substitution) []names.Substitution {
+		if len(args) != 1 {
+			return nil
+		}
+		if ext, ok := names.UnifyTuples(args, []names.Term{names.Atom("f1")}, s); ok {
+			return []names.Substitution{ext}
+		}
+		return nil
+	})
+	return struct{}{}
+}
+
+func mustPolicy(src string) policy.Policy {
+	return policy.MustParse(src)
+}

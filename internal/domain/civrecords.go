@@ -1,0 +1,76 @@
+package domain
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/civ"
+	"repro/internal/core"
+)
+
+// CIVRecords adapts a domain's replicated CIV cluster (internal/civ,
+// paper ref [10]) to the engine's RecordStore interface, so that every
+// service in the domain can delegate certificate issuing and validation
+// state to the one highly available service instead of keeping it locally:
+//
+//	cluster, _ := civ.NewCluster(3)
+//	svc, _ := core.NewService(core.Config{..., Records: domain.NewCIVRecords(cluster)})
+//
+// Serials are unique cluster-wide, so they remain unique per issuing
+// service. Replica crashes are masked until the whole cluster is down, at
+// which point issuing and validation fail closed.
+type CIVRecords struct {
+	cluster *civ.Cluster
+}
+
+var _ core.RecordStore = (*CIVRecords)(nil)
+
+// NewCIVRecords wraps a CIV cluster.
+func NewCIVRecords(cluster *civ.Cluster) *CIVRecords {
+	return &CIVRecords{cluster: cluster}
+}
+
+// Issue implements core.RecordStore.
+func (c *CIVRecords) Issue(subject, holder string) (uint64, error) {
+	serial, err := c.cluster.Issue(subject, holder)
+	if err != nil {
+		return 0, fmt.Errorf("civ issue: %w", err)
+	}
+	return serial, nil
+}
+
+// Revoke implements core.RecordStore.
+func (c *CIVRecords) Revoke(serial uint64, reason string) (bool, error) {
+	rec, err := c.cluster.Validate(serial)
+	if err != nil {
+		if errors.Is(err, civ.ErrUnknownSerial) {
+			return false, nil
+		}
+		return false, fmt.Errorf("civ read: %w", err)
+	}
+	if rec.Revoked {
+		return false, nil
+	}
+	if err := c.cluster.Revoke(serial, reason); err != nil {
+		return false, fmt.Errorf("civ revoke: %w", err)
+	}
+	return true, nil
+}
+
+// Status implements core.RecordStore.
+func (c *CIVRecords) Status(serial uint64) (core.RecordStatus, error) {
+	rec, err := c.cluster.Validate(serial)
+	if err != nil {
+		if errors.Is(err, civ.ErrUnknownSerial) {
+			return core.RecordStatus{}, nil
+		}
+		return core.RecordStatus{}, fmt.Errorf("civ read: %w", err)
+	}
+	return core.RecordStatus{
+		Exists:  true,
+		Revoked: rec.Revoked,
+		Holder:  rec.Holder,
+		Subject: rec.Subject,
+		Reason:  rec.Reason,
+	}, nil
+}

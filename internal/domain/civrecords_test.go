@@ -1,0 +1,177 @@
+package domain
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/civ"
+	"repro/internal/core"
+	"repro/internal/policy"
+)
+
+// civWorld builds two services in one domain sharing a replicated CIV
+// record store (paper ref [10]: "a domain will contain one highly
+// available service to carry out the functions of certificate issuing and
+// validation").
+func civWorld(t *testing.T, replicas int) (*fedWorld, *civ.Cluster, *core.Service, *core.Service) {
+	t.Helper()
+	w := newFedWorld(t)
+	cluster, err := civ.NewCluster(replicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := NewCIVRecords(cluster)
+	newSvc := func(name, pol string) *core.Service {
+		svc, err := core.NewService(core.Config{
+			Name:    name,
+			Policy:  policy.MustParse(pol),
+			Broker:  w.broker,
+			Caller:  w.bus,
+			Clock:   w.clk,
+			Records: records,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.bus.Register(name, svc.Handler())
+		t.Cleanup(svc.Close)
+		return svc
+	}
+	login := newSvc("login", `login.user <- env ok.`)
+	alwaysTrue(login, "ok")
+	guard := newSvc("guard", `guard.inside <- login.user keep [1].
+auth enter <- login.user.`)
+	return w, cluster, login, guard
+}
+
+func TestCIVRecordsBasicFlow(t *testing.T) {
+	w, cluster, login, guard := civWorld(t, 3)
+	sess := session(t)
+	rmc, err := login.Activate(sess.PrincipalID(), role("login", "user"), core.Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(rmc)
+	insideRMC, err := guard.Activate(sess.PrincipalID(), role("guard", "inside"), sess.Credentials())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serials are cluster-wide: the two services' certificates never
+	// collide.
+	if rmc.Ref.Serial == insideRMC.Ref.Serial {
+		t.Error("serial collision across services sharing a CIV store")
+	}
+	if _, err := guard.Invoke(sess.PrincipalID(), "enter", nil, sess.Credentials()); err != nil {
+		t.Fatal(err)
+	}
+	// Revocation cascades exactly as with local records.
+	login.Deactivate(rmc.Ref.Serial, "logout")
+	w.broker.Quiesce()
+	if valid, _ := guard.CRStatus(insideRMC.Ref.Serial); valid {
+		t.Error("dependent role survived logout under CIV records")
+	}
+	// Both records are revoked in the replicated store.
+	rec, err := cluster.Validate(rmc.Ref.Serial)
+	if err != nil || !rec.Revoked {
+		t.Errorf("cluster record = %+v, %v", rec, err)
+	}
+}
+
+func TestCIVRecordsSurvivesReplicaCrash(t *testing.T) {
+	_, cluster, login, guard := civWorld(t, 3)
+	sess := session(t)
+	rmc, err := login.Activate(sess.PrincipalID(), role("login", "user"), core.Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(rmc)
+	// Two of three replicas crash; issuing and validation continue.
+	if err := cluster.Crash(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Crash(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := guard.Invoke(sess.PrincipalID(), "enter", nil, sess.Credentials()); err != nil {
+		t.Fatalf("invoke during replica outage: %v", err)
+	}
+	if _, err := login.Activate(sess.PrincipalID(), role("login", "user"), core.Presented{}); err != nil {
+		t.Fatalf("activation during replica outage: %v", err)
+	}
+	// Recovery: the crashed replicas catch up with everything they
+	// missed.
+	if err := cluster.Restart(0); err != nil {
+		t.Fatal(err)
+	}
+	seq0, err := cluster.AppliedSeq(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq0 != uint64(cluster.LogLen()) {
+		t.Errorf("replica 0 applied %d of %d after restart", seq0, cluster.LogLen())
+	}
+}
+
+func TestCIVRecordsFailsClosedWhenClusterDown(t *testing.T) {
+	_, cluster, login, guard := civWorld(t, 1)
+	sess := session(t)
+	rmc, err := login.Activate(sess.PrincipalID(), role("login", "user"), core.Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(rmc)
+	if err := cluster.Crash(0); err != nil {
+		t.Fatal(err)
+	}
+	// With the record store unreachable, validation must refuse.
+	if _, err := guard.Invoke(sess.PrincipalID(), "enter", nil, sess.Credentials()); !errors.Is(err, core.ErrInvalidCredential) {
+		t.Errorf("invoke with CIV down: %v", err)
+	}
+	// And new activations fail rather than issuing unrecorded certs.
+	if _, err := login.Activate(sess.PrincipalID(), role("login", "user"), core.Presented{}); err == nil {
+		t.Error("activation succeeded with CIV down")
+	}
+}
+
+func TestCIVRecordsStatusUnknownSerial(t *testing.T) {
+	cluster, err := civ.NewCluster(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := NewCIVRecords(cluster)
+	status, err := records.Status(999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.Exists {
+		t.Error("phantom record exists")
+	}
+	live, err := records.Revoke(999, "r")
+	if err != nil || live {
+		t.Errorf("Revoke(unknown) = (%v, %v)", live, err)
+	}
+}
+
+func TestCIVRecordsRevokeIdempotent(t *testing.T) {
+	cluster, err := civ.NewCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := NewCIVRecords(cluster)
+	serial, err := records.Issue("subject", "holder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := records.Revoke(serial, "first")
+	if err != nil || !live {
+		t.Fatalf("first revoke = (%v, %v)", live, err)
+	}
+	live, err = records.Revoke(serial, "second")
+	if err != nil || live {
+		t.Errorf("second revoke = (%v, %v)", live, err)
+	}
+	status, err := records.Status(serial)
+	if err != nil || !status.Revoked || status.Reason != "first" {
+		t.Errorf("status = %+v, %v", status, err)
+	}
+}

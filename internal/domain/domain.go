@@ -1,0 +1,243 @@
+// Package domain implements the multi-domain layer of OASIS (Sects. 3 and
+// 5 of the paper): domains group independently managed services; service
+// level agreements (SLAs) between domains say whose certificates a service
+// will accept as credentials; cross-domain invocation validates foreign
+// certificates by callback to the issuing domain. The package also covers
+// the Sect. 5 scenarios: roving principals (visiting doctor), negotiated
+// group membership (the Tate galleries analogy) and anonymous service use.
+package domain
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/cert"
+	"repro/internal/core"
+	"repro/internal/names"
+	"repro/internal/policy"
+)
+
+// Errors returned by the federation layer.
+var (
+	// ErrNoSLA is returned when a credential's issuer is in a foreign
+	// domain with no agreement covering the credential.
+	ErrNoSLA = errors.New("no service level agreement covers this credential")
+	// ErrUnknownDomain is returned for services or domains that are not
+	// registered.
+	ErrUnknownDomain = errors.New("unknown domain")
+	// ErrUnknownService is returned when a target service is not
+	// registered in any domain.
+	ErrUnknownService = errors.New("unknown service")
+)
+
+// SLA is a service level agreement: the consuming domain agrees to accept
+// specified credentials issued inside the issuing domain. Agreements are
+// directional; reciprocal agreements (Sect. 5) are two SLAs.
+type SLA struct {
+	// IssuerDomain is the domain whose certificates are accepted.
+	IssuerDomain string
+	// ConsumerDomain is the domain whose services accept them.
+	ConsumerDomain string
+	// Roles lists accepted RMC role names (nil accepts none).
+	Roles []names.RoleName
+	// Appointments lists accepted appointment credentials as
+	// issuerService.kind pairs.
+	Appointments []ApptRef
+}
+
+// ApptRef names an appointment credential type.
+type ApptRef struct {
+	Issuer string
+	Kind   string
+}
+
+// Federation registers domains, their services, and the agreements between
+// them, and mediates cross-domain calls.
+type Federation struct {
+	mu       sync.RWMutex
+	domains  map[string]map[string]*core.Service // domain -> service name -> service
+	domainOf map[string]string                   // service name -> domain
+	slaRoles map[string]map[string]bool          // consumerDomain -> roleName string -> accepted
+	slaAppts map[string]map[string]bool          // consumerDomain -> issuer.kind -> accepted
+	slaPairs map[string]map[string]bool          // consumerDomain -> issuerDomain -> any agreement
+}
+
+// NewFederation creates an empty federation.
+func NewFederation() *Federation {
+	return &Federation{
+		domains:  make(map[string]map[string]*core.Service),
+		domainOf: make(map[string]string),
+		slaRoles: make(map[string]map[string]bool),
+		slaAppts: make(map[string]map[string]bool),
+		slaPairs: make(map[string]map[string]bool),
+	}
+}
+
+// AddDomain registers a domain name.
+func (f *Federation) AddDomain(name string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.domains[name]; !ok {
+		f.domains[name] = make(map[string]*core.Service)
+	}
+}
+
+// AddService places a service in a domain.
+func (f *Federation) AddService(domainName string, svc *core.Service) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	services, ok := f.domains[domainName]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownDomain, domainName)
+	}
+	services[svc.Name()] = svc
+	f.domainOf[svc.Name()] = domainName
+	return nil
+}
+
+// DomainOf reports the domain a service belongs to.
+func (f *Federation) DomainOf(service string) (string, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	d, ok := f.domainOf[service]
+	return d, ok
+}
+
+// Service fetches a registered service by name.
+func (f *Federation) Service(name string) (*core.Service, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	d, ok := f.domainOf[name]
+	if !ok {
+		return nil, false
+	}
+	svc, ok := f.domains[d][name]
+	return svc, ok
+}
+
+// Agree installs a service level agreement.
+func (f *Federation) Agree(sla SLA) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.domains[sla.IssuerDomain]; !ok {
+		return fmt.Errorf("%w: issuer %s", ErrUnknownDomain, sla.IssuerDomain)
+	}
+	if _, ok := f.domains[sla.ConsumerDomain]; !ok {
+		return fmt.Errorf("%w: consumer %s", ErrUnknownDomain, sla.ConsumerDomain)
+	}
+	roles, ok := f.slaRoles[sla.ConsumerDomain]
+	if !ok {
+		roles = make(map[string]bool)
+		f.slaRoles[sla.ConsumerDomain] = roles
+	}
+	for _, rn := range sla.Roles {
+		roles[rn.String()] = true
+	}
+	appts, ok := f.slaAppts[sla.ConsumerDomain]
+	if !ok {
+		appts = make(map[string]bool)
+		f.slaAppts[sla.ConsumerDomain] = appts
+	}
+	for _, a := range sla.Appointments {
+		appts[a.Issuer+"."+a.Kind] = true
+	}
+	pairs, ok := f.slaPairs[sla.ConsumerDomain]
+	if !ok {
+		pairs = make(map[string]bool)
+		f.slaPairs[sla.ConsumerDomain] = pairs
+	}
+	pairs[sla.IssuerDomain] = true
+	return nil
+}
+
+// screen enforces invariant I9: every presented credential must either be
+// issued inside the target's own domain or be covered by an SLA.
+func (f *Federation) screen(targetService string, p core.Presented) error {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	targetDomain, ok := f.domainOf[targetService]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownService, targetService)
+	}
+	for _, r := range p.RMCs {
+		issuerDomain, known := f.domainOf[r.Ref.Issuer]
+		if known && issuerDomain == targetDomain {
+			continue
+		}
+		if !known {
+			return fmt.Errorf("%w: rmc issuer %s is not in any known domain", ErrNoSLA, r.Ref.Issuer)
+		}
+		if !f.slaPairs[targetDomain][issuerDomain] || !f.slaRoles[targetDomain][r.Role.Name.String()] {
+			return fmt.Errorf("%w: role %s issued in domain %s", ErrNoSLA, r.Role.Name, issuerDomain)
+		}
+	}
+	for _, a := range p.Appointments {
+		issuerDomain, known := f.domainOf[a.Issuer]
+		if known && issuerDomain == targetDomain {
+			continue
+		}
+		if !known {
+			return fmt.Errorf("%w: appointment issuer %s is not in any known domain", ErrNoSLA, a.Issuer)
+		}
+		if !f.slaPairs[targetDomain][issuerDomain] || !f.slaAppts[targetDomain][a.Issuer+"."+a.Kind] {
+			return fmt.Errorf("%w: appointment %s.%s issued in domain %s", ErrNoSLA, a.Issuer, a.Kind, issuerDomain)
+		}
+	}
+	return nil
+}
+
+// Activate routes a role activation to the target service after screening
+// the presented credentials against the agreements.
+func (f *Federation) Activate(targetService, principal string, role names.Role, p core.Presented) (cert.RMC, error) {
+	if err := f.screen(targetService, p); err != nil {
+		return cert.RMC{}, err
+	}
+	svc, ok := f.Service(targetService)
+	if !ok {
+		return cert.RMC{}, fmt.Errorf("%w: %s", ErrUnknownService, targetService)
+	}
+	return svc.Activate(principal, role, p)
+}
+
+// Invoke routes a method invocation to the target service after screening
+// the presented credentials against the agreements.
+func (f *Federation) Invoke(targetService, principal, method string, args []names.Term, p core.Presented) ([]byte, error) {
+	if err := f.screen(targetService, p); err != nil {
+		return nil, err
+	}
+	svc, ok := f.Service(targetService)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownService, targetService)
+	}
+	return svc.Invoke(principal, method, args, p)
+}
+
+// CheckConsistency runs the static policy consistency checker (the
+// "maintain consistency as policies evolve" concern of Sect. 1) over every
+// registered service's policy and environmental predicate registry,
+// returning the findings.
+func (f *Federation) CheckConsistency() []policy.Issue {
+	f.mu.RLock()
+	checker := policy.NewChecker()
+	for _, services := range f.domains {
+		for name, svc := range services {
+			checker.AddService(name, svc.Policy(), svc.Env().Names())
+		}
+	}
+	f.mu.RUnlock()
+	return checker.Check()
+}
+
+// Appoint routes an appointment request to the target service after
+// screening.
+func (f *Federation) Appoint(targetService, principal string, req core.AppointmentRequest, p core.Presented) (cert.AppointmentCertificate, error) {
+	if err := f.screen(targetService, p); err != nil {
+		return cert.AppointmentCertificate{}, err
+	}
+	svc, ok := f.Service(targetService)
+	if !ok {
+		return cert.AppointmentCertificate{}, fmt.Errorf("%w: %s", ErrUnknownService, targetService)
+	}
+	return svc.Appoint(principal, req, p)
+}

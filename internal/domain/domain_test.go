@@ -1,0 +1,492 @@
+package domain
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/names"
+	"repro/internal/policy"
+	"repro/internal/rpc"
+)
+
+// fedWorld is the two-domain fixture used throughout: a hospital domain
+// (admin + hospital services) and a research domain (institute service).
+type fedWorld struct {
+	t      *testing.T
+	fed    *Federation
+	broker *event.Broker
+	bus    *rpc.Loopback
+	clk    *clock.Simulated
+}
+
+func newFedWorld(t *testing.T) *fedWorld {
+	t.Helper()
+	w := &fedWorld{
+		t:      t,
+		fed:    NewFederation(),
+		broker: event.NewBroker(),
+		bus:    rpc.NewLoopback(),
+		clk:    clock.NewSimulated(time.Date(2001, 11, 12, 9, 0, 0, 0, time.UTC)),
+	}
+	t.Cleanup(w.broker.Close)
+	return w
+}
+
+func (w *fedWorld) service(domainName, name, policyText string) *core.Service {
+	w.t.Helper()
+	svc, err := core.NewService(core.Config{
+		Name:   name,
+		Policy: policy.MustParse(policyText),
+		Broker: w.broker,
+		Caller: w.bus,
+		Clock:  w.clk,
+	})
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	w.bus.Register(name, svc.Handler())
+	w.fed.AddDomain(domainName)
+	if err := w.fed.AddService(domainName, svc); err != nil {
+		w.t.Fatal(err)
+	}
+	w.t.Cleanup(svc.Close)
+	return svc
+}
+
+func role(service, name string, params ...names.Term) names.Role {
+	return names.MustRole(names.MustRoleName(service, name, len(params)), params...)
+}
+
+func alwaysTrue(svc *core.Service, name string) {
+	svc.Env().Register(name, func(args []names.Term, s names.Substitution) []names.Substitution {
+		return []names.Substitution{s.Clone()}
+	})
+}
+
+func session(t *testing.T) *core.Session {
+	t.Helper()
+	s, err := core.NewSession(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFederationRegistration(t *testing.T) {
+	w := newFedWorld(t)
+	svc := w.service("hospital_domain", "hospital", `hospital.staff <- env ok.`)
+	if d, ok := w.fed.DomainOf("hospital"); !ok || d != "hospital_domain" {
+		t.Errorf("DomainOf = (%q,%v)", d, ok)
+	}
+	if got, ok := w.fed.Service("hospital"); !ok || got != svc {
+		t.Error("Service lookup failed")
+	}
+	if _, ok := w.fed.Service("ghost"); ok {
+		t.Error("phantom service found")
+	}
+	if err := w.fed.AddService("nowhere", svc); !errors.Is(err, ErrUnknownDomain) {
+		t.Errorf("AddService to unknown domain: %v", err)
+	}
+}
+
+func TestAgreeRequiresKnownDomains(t *testing.T) {
+	w := newFedWorld(t)
+	w.fed.AddDomain("a")
+	if err := w.fed.Agree(SLA{IssuerDomain: "a", ConsumerDomain: "missing"}); !errors.Is(err, ErrUnknownDomain) {
+		t.Errorf("err = %v", err)
+	}
+	if err := w.fed.Agree(SLA{IssuerDomain: "missing", ConsumerDomain: "a"}); !errors.Is(err, ErrUnknownDomain) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSameDomainNeedsNoSLA(t *testing.T) {
+	w := newFedWorld(t)
+	login := w.service("hd", "login", `login.user <- env ok.`)
+	alwaysTrue(login, "ok")
+	w.service("hd", "records", `records.reader <- login.user keep [1].`)
+	sess := session(t)
+	rmc, err := w.fed.Activate("login", sess.PrincipalID(), role("login", "user"), core.Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(rmc)
+	if _, err := w.fed.Activate("records", sess.PrincipalID(), role("records", "reader"), sess.Credentials()); err != nil {
+		t.Fatalf("same-domain activation failed: %v", err)
+	}
+}
+
+func TestCrossDomainRMCRequiresSLA(t *testing.T) {
+	// Invariant I9: a cross-domain credential is accepted iff an SLA
+	// covering its issuer and credential type exists.
+	w := newFedWorld(t)
+	hospital := w.service("hd", "hospital", `hospital.doctor(D) <- env is_doc(D).`)
+	alwaysTrue(hospital, "is_doc")
+	w.service("nd", "national_ehr", `national_ehr.hospital_caller(D) <- hospital.doctor(D) keep [1].`)
+	sess := session(t)
+	rmc, err := hospital.Activate(sess.PrincipalID(), role("hospital", "doctor", names.Atom("d1")), core.Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(rmc)
+
+	target := role("national_ehr", "hospital_caller", names.Var("D"))
+	// Without an SLA: screened out.
+	if _, err := w.fed.Activate("national_ehr", sess.PrincipalID(), target, sess.Credentials()); !errors.Is(err, ErrNoSLA) {
+		t.Fatalf("cross-domain credential without SLA: %v", err)
+	}
+	// With the SLA: accepted, and validated by callback to the hospital.
+	if err := w.fed.Agree(SLA{
+		IssuerDomain:   "hd",
+		ConsumerDomain: "nd",
+		Roles:          []names.RoleName{names.MustRoleName("hospital", "doctor", 1)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.fed.Activate("national_ehr", sess.PrincipalID(), target, sess.Credentials()); err != nil {
+		t.Fatalf("cross-domain activation under SLA failed: %v", err)
+	}
+}
+
+func TestSLAIsRoleSpecific(t *testing.T) {
+	w := newFedWorld(t)
+	hospital := w.service("hd", "hospital", `
+hospital.doctor(D) <- env is_doc(D).
+hospital.porter(P) <- env is_porter(P).
+`)
+	alwaysTrue(hospital, "is_doc")
+	alwaysTrue(hospital, "is_porter")
+	w.service("nd", "national_ehr", `national_ehr.caller(X) <- hospital.porter(X) keep [1].`)
+	if err := w.fed.Agree(SLA{
+		IssuerDomain:   "hd",
+		ConsumerDomain: "nd",
+		Roles:          []names.RoleName{names.MustRoleName("hospital", "doctor", 1)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sess := session(t)
+	rmc, err := hospital.Activate(sess.PrincipalID(), role("hospital", "porter", names.Atom("p1")), core.Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(rmc)
+	// The SLA covers doctor RMCs, not porter RMCs.
+	if _, err := w.fed.Activate("national_ehr", sess.PrincipalID(),
+		role("national_ehr", "caller", names.Var("X")), sess.Credentials()); !errors.Is(err, ErrNoSLA) {
+		t.Errorf("porter RMC crossed under doctor-only SLA: %v", err)
+	}
+}
+
+func TestUnknownIssuerScreenedOut(t *testing.T) {
+	w := newFedWorld(t)
+	w.service("nd", "national_ehr", `auth ping <- national_ehr.caller.`)
+	sess := session(t)
+	forged := core.Presented{RMCs: []cert.RMC{{
+		Role: role("rogue", "admin"),
+		Ref:  cert.CRR{Issuer: "rogue", Serial: 1},
+	}}}
+	if _, err := w.fed.Invoke("national_ehr", sess.PrincipalID(), "ping", nil, forged); !errors.Is(err, ErrNoSLA) {
+		t.Errorf("credential from unknown issuer passed screening: %v", err)
+	}
+}
+
+func TestFederationAppoint(t *testing.T) {
+	w := newFedWorld(t)
+	admin := w.service("d1", "admin", `
+admin.officer <- env ok.
+auth appoint_badge(K) <- admin.officer.
+`)
+	alwaysTrue(admin, "ok")
+	sess := session(t)
+	rmc, err := admin.Activate(sess.PrincipalID(), role("admin", "officer"), core.Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(rmc)
+	appt, err := w.fed.Appoint("admin", sess.PrincipalID(), core.AppointmentRequest{
+		Kind: "badge", Holder: "h", Params: []names.Term{names.Atom("g")},
+	}, sess.Credentials())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if appt.Kind != "badge" {
+		t.Errorf("appt = %+v", appt)
+	}
+	// Appointing at an unregistered service fails.
+	if _, err := w.fed.Appoint("ghost", sess.PrincipalID(), core.AppointmentRequest{
+		Kind: "badge", Holder: "h",
+	}, core.Presented{}); !errors.Is(err, ErrUnknownService) {
+		t.Errorf("err = %v", err)
+	}
+	// Screening applies to Appoint too: a credential from an unknown
+	// issuer is refused before the service sees it.
+	bad := core.Presented{RMCs: []cert.RMC{{Role: role("rogue", "r"),
+		Ref: cert.CRR{Issuer: "rogue", Serial: 1}}}}
+	if _, err := w.fed.Appoint("admin", sess.PrincipalID(), core.AppointmentRequest{
+		Kind: "badge", Holder: "h",
+	}, bad); !errors.Is(err, ErrNoSLA) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestReciprocalAgreementUnknownDomain(t *testing.T) {
+	w := newFedWorld(t)
+	w.fed.AddDomain("a")
+	if err := w.fed.ReciprocalAgreement("a", "missing", nil, nil); err == nil {
+		t.Error("agreement with unknown domain accepted")
+	}
+	if err := w.fed.ReciprocalAgreement("missing", "a", nil, nil); err == nil {
+		t.Error("agreement with unknown issuer domain accepted")
+	}
+}
+
+func TestActivateInvokeUnknownTarget(t *testing.T) {
+	w := newFedWorld(t)
+	w.service("d", "real", `real.r <- env ok.`)
+	if _, err := w.fed.Activate("ghost", "p", role("ghost", "r"), core.Presented{}); !errors.Is(err, ErrUnknownService) {
+		t.Errorf("Activate: %v", err)
+	}
+	if _, err := w.fed.Invoke("ghost", "p", "m", nil, core.Presented{}); !errors.Is(err, ErrUnknownService) {
+		t.Errorf("Invoke: %v", err)
+	}
+}
+
+func TestFederationCheckConsistency(t *testing.T) {
+	w := newFedWorld(t)
+	login := w.service("d1", "login", `login.user <- env password_ok.`)
+	alwaysTrue(login, "password_ok")
+	// files references login.user (fine) and a ghost role (error).
+	w.service("d1", "files", `files.reader <- login.user, ghost.role keep [1].`)
+	issues := w.fed.CheckConsistency()
+	foundGhost := false
+	for _, i := range issues {
+		if i.Severity == "error" && i.Service == "files" {
+			foundGhost = true
+		}
+	}
+	if !foundGhost {
+		t.Errorf("ghost prerequisite not reported: %v", issues)
+	}
+}
+
+func TestVisitingDoctorScenario(t *testing.T) {
+	// Sect. 5: the hospital issues employed_as_doctor(hospital_id)
+	// appointments; the research institute's visiting_doctor activation
+	// rule accepts them under the reciprocal agreement.
+	w := newFedWorld(t)
+	hospitalAdmin := w.service("hd", "hospital_admin", `
+hospital_admin.staff_officer(A) <- env is_officer(A).
+auth appoint_employed_as_doctor(H) <- hospital_admin.staff_officer(A).
+`)
+	hospitalAdmin.Env().Register("is_officer", func(args []names.Term, s names.Substitution) []names.Substitution {
+		if ext, ok := names.UnifyTuples(args, []names.Term{names.Atom("officer1")}, s); ok {
+			return []names.Substitution{ext}
+		}
+		return nil
+	})
+	institute := w.service("rd", "institute", `
+institute.visiting_doctor <- appt hospital_admin.employed_as_doctor(H) keep [1].
+institute.guest <- env anyone.
+auth use_lab <- institute.visiting_doctor.
+`)
+	alwaysTrue(institute, "anyone")
+	if err := w.fed.ReciprocalAgreement("hd", "rd",
+		[]ApptRef{{Issuer: "hospital_admin", Kind: "employed_as_doctor"}},
+		[]ApptRef{{Issuer: "institute_admin", Kind: "research_medic"}},
+	); err != nil {
+		t.Fatal(err)
+	}
+
+	officer := session(t)
+	officerRMC, err := hospitalAdmin.Activate(officer.PrincipalID(),
+		role("hospital_admin", "staff_officer", names.Atom("officer1")), core.Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	officer.AddRMC(officerRMC)
+
+	appt, err := hospitalAdmin.Appoint(officer.PrincipalID(), core.AppointmentRequest{
+		Kind:   "employed_as_doctor",
+		Holder: "dr-jones-persistent-key",
+		Params: []names.Term{names.Atom("st_marys")},
+	}, officer.Credentials())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The doctor roves to the research domain and activates
+	// visiting_doctor with the home-domain appointment.
+	visiting := core.Presented{Appointments: []cert.AppointmentCertificate{appt}}
+	rmc, err := w.fed.Activate("institute", "dr-jones-persistent-key",
+		role("institute", "visiting_doctor"), visiting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// And may use the lab.
+	if _, err := w.fed.Invoke("institute", "dr-jones-persistent-key", "use_lab", nil,
+		core.Presented{RMCs: []cert.RMC{rmc}}); err != nil {
+		t.Fatalf("visiting doctor refused lab: %v", err)
+	}
+
+	// The hospital revokes the employment: the visiting role collapses
+	// (validated by callback; membership watched via event channel).
+	if !hospitalAdmin.RevokeAppointment(appt.Serial, "employment ended") {
+		t.Fatal("revocation failed")
+	}
+	w.broker.Quiesce()
+	if valid, _ := institute.CRStatus(rmc.Ref.Serial); valid {
+		t.Error("visiting_doctor survived home-domain revocation")
+	}
+}
+
+func TestGroupMembershipScenario(t *testing.T) {
+	// Sect. 5: a friend of one gallery receives friend privileges at the
+	// others, identity not required.
+	w := newFedWorld(t)
+	tateLondon := w.service("tate_london", "tate_london_membership", `
+tate_london_membership.registrar(R) <- env is_registrar(R).
+auth appoint_friend(O) <- tate_london_membership.registrar(R).
+`)
+	tateLondon.Env().Register("is_registrar", func(args []names.Term, s names.Substitution) []names.Substitution {
+		if ext, ok := names.UnifyTuples(args, []names.Term{names.Atom("reg1")}, s); ok {
+			return []names.Substitution{ext}
+		}
+		return nil
+	})
+	stIves := w.service("tate_st_ives", "tate_st_ives_desk", `
+tate_st_ives_desk.friend <- appt tate_london_membership.friend(O) keep [1].
+auth newsletter <- tate_st_ives_desk.friend.
+`)
+	_ = stIves
+	if err := w.fed.Agree(SLA{
+		IssuerDomain:   "tate_london",
+		ConsumerDomain: "tate_st_ives",
+		Appointments:   []ApptRef{{Issuer: "tate_london_membership", Kind: "friend"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	registrar := session(t)
+	regRMC, err := tateLondon.Activate(registrar.PrincipalID(),
+		role("tate_london_membership", "registrar", names.Atom("reg1")), core.Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registrar.AddRMC(regRMC)
+
+	group := GroupMembership{LocalOrg: tateLondon, Kind: "friend"}
+	card, err := group.IssueCard(registrar.PrincipalID(), "art-lover-key", registrar.Credentials())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The card names the organisation; no personal details required.
+	if card.Params[0] != names.Atom("tate_london_membership") {
+		t.Errorf("card params = %v", card.Params)
+	}
+	rmc, err := w.fed.Activate("tate_st_ives_desk", "art-lover-key",
+		role("tate_st_ives_desk", "friend"), core.Presented{Appointments: []cert.AppointmentCertificate{card}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.fed.Invoke("tate_st_ives_desk", "art-lover-key", "newsletter", nil,
+		core.Presented{RMCs: []cert.RMC{rmc}}); err != nil {
+		t.Errorf("friend refused newsletter: %v", err)
+	}
+}
+
+func TestAnonymousClinicScenario(t *testing.T) {
+	// Sect. 5 anonymity: the clinic validates the insurance appointment
+	// by callback but never learns the member's identity; the expiry
+	// constraint is checked at activation.
+	w := newFedWorld(t)
+	insurer := w.service("ins", "insurer", `
+insurer.membership_officer(O) <- env is_officer(O).
+auth appoint_paid_up_member(E) <- insurer.membership_officer(O).
+`)
+	insurer.Env().Register("is_officer", func(args []names.Term, s names.Substitution) []names.Substitution {
+		if ext, ok := names.UnifyTuples(args, []names.Term{names.Atom("o1")}, s); ok {
+			return []names.Substitution{ext}
+		}
+		return nil
+	})
+	clinic := w.service("clinic_domain", "clinic", `
+clinic.paid_up_patient <- appt insurer.paid_up_member(E), env before(E) keep [1].
+auth take_test <- clinic.paid_up_patient.
+`)
+	// before(E): the test date precedes the scheme expiry (days since
+	// epoch, carried as an integer parameter on the card).
+	clinic.Env().Register("before", func(args []names.Term, s names.Substitution) []names.Substitution {
+		if len(args) != 1 {
+			return nil
+		}
+		e := s.Apply(args[0])
+		if e.Kind != names.KindInt {
+			return nil
+		}
+		today := int64(w.clk.Now().Sub(time.Unix(0, 0)).Hours() / 24)
+		if today <= e.Num {
+			return []names.Substitution{s.Clone()}
+		}
+		return nil
+	})
+	if err := w.fed.Agree(SLA{
+		IssuerDomain:   "ins",
+		ConsumerDomain: "clinic_domain",
+		Appointments:   []ApptRef{{Issuer: "insurer", Kind: "paid_up_member"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	officer := session(t)
+	offRMC, err := insurer.Activate(officer.PrincipalID(),
+		role("insurer", "membership_officer", names.Atom("o1")), core.Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	officer.AddRMC(offRMC)
+
+	expiryDay := int64(w.clk.Now().Sub(time.Unix(0, 0)).Hours()/24) + 30
+	anon, err := NewAnonymousSession(insurer, officer.PrincipalID(), officer.Credentials(),
+		"paid_up_member", core.AppointmentRequest{
+			Params: []names.Term{names.Int(expiryDay)},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Invariant I8: the pseudonym is fresh and the card carries no
+	// identifying parameters.
+	if anon.Card.Holder != anon.Session.PrincipalID() {
+		t.Error("card not bound to pseudonym")
+	}
+	if anon.Card.Holder == officer.PrincipalID() {
+		t.Error("pseudonym equals an existing identity")
+	}
+	for _, p := range anon.Card.Params {
+		if p.Kind == names.KindString || p.Kind == names.KindAtom {
+			t.Errorf("identifying parameter on anonymous card: %v", p)
+		}
+	}
+
+	rmc, err := w.fed.Activate("clinic", anon.Session.PrincipalID(),
+		role("clinic", "paid_up_patient"), anon.Session.Credentials())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.fed.Invoke("clinic", anon.Session.PrincipalID(), "take_test", nil,
+		core.Presented{RMCs: []cert.RMC{rmc}}); err != nil {
+		t.Errorf("paid-up patient refused test: %v", err)
+	}
+
+	// After the scheme expires, a new activation is refused by the
+	// environmental constraint.
+	w.clk.Advance(31 * 24 * time.Hour)
+	if _, err := w.fed.Activate("clinic", anon.Session.PrincipalID(),
+		role("clinic", "paid_up_patient"), anon.Session.Credentials()); !errors.Is(err, core.ErrActivationDenied) {
+		t.Errorf("expired scheme still activates: %v", err)
+	}
+}

@@ -1,0 +1,91 @@
+package domain
+
+import (
+	"fmt"
+
+	"repro/internal/cert"
+	"repro/internal/core"
+	"repro/internal/names"
+)
+
+// ReciprocalAgreement installs the two directional SLAs of a mutual
+// arrangement such as the hospital/research-institute example of Sect. 5:
+// each side accepts the listed appointment kinds issued by the other.
+func (f *Federation) ReciprocalAgreement(domainA, domainB string, apptsFromA, apptsFromB []ApptRef) error {
+	if err := f.Agree(SLA{
+		IssuerDomain:   domainA,
+		ConsumerDomain: domainB,
+		Appointments:   apptsFromA,
+	}); err != nil {
+		return fmt.Errorf("agreement %s->%s: %w", domainA, domainB, err)
+	}
+	if err := f.Agree(SLA{
+		IssuerDomain:   domainB,
+		ConsumerDomain: domainA,
+		Appointments:   apptsFromB,
+	}); err != nil {
+		return fmt.Errorf("agreement %s->%s: %w", domainB, domainA, err)
+	}
+	return nil
+}
+
+// GroupMembership models the negotiated group-membership scenario of
+// Sect. 5 (the Tate galleries / National Trusts analogy): any paid-up
+// member of the local organisation may use a known remote organisation.
+// "The identity of the principal is not needed if proof of membership is
+// securely provable" — the membership card is an appointment certificate
+// naming the organisation and the membership period, with or without
+// personal details.
+type GroupMembership struct {
+	// LocalOrg issues membership cards (an OASIS service with an
+	// appointer rule for the membership kind).
+	LocalOrg *core.Service
+	// Kind is the appointment kind on the card, e.g. "member".
+	Kind string
+}
+
+// IssueCard issues a membership card to a holder principal. The card's
+// parameters carry the organisation name and, optionally, nothing else —
+// anonymity by omission.
+func (g GroupMembership) IssueCard(adminPrincipal string, holder string, p core.Presented, extra ...names.Term) (cert.AppointmentCertificate, error) {
+	params := append([]names.Term{names.Atom(g.LocalOrg.Name())}, extra...)
+	return g.LocalOrg.Appoint(adminPrincipal, core.AppointmentRequest{
+		Kind:   g.Kind,
+		Holder: holder,
+		Params: params,
+	}, p)
+}
+
+// AnonymousSession is the Sect. 5 anonymity scenario: a principal obtains
+// a fresh pseudonymous session key, and the credential issued to it cannot
+// be linked by the consuming service to the principal's persistent
+// identity. The insurance-company/genetic-clinic example issues the
+// appointment to the pseudonym; the clinic validates it by callback to the
+// trusted third party without learning who the member is.
+type AnonymousSession struct {
+	// Session carries the fresh pseudonymous key.
+	Session *core.Session
+	// Card is the anonymised credential bound to the pseudonym.
+	Card cert.AppointmentCertificate
+}
+
+// NewAnonymousSession creates a pseudonymous session and asks the issuer
+// (e.g. the insurance company's membership service) to bind the named
+// appointment kind to the pseudonym. issuerPrincipal/issuerCreds authorise
+// the issuing itself; params should carry only non-identifying fields such
+// as the scheme expiry date.
+func NewAnonymousSession(issuer *core.Service, issuerPrincipal string, issuerCreds core.Presented,
+	kind string, req core.AppointmentRequest) (*AnonymousSession, error) {
+	sess, err := core.NewSession(nil)
+	if err != nil {
+		return nil, fmt.Errorf("anonymous session: %w", err)
+	}
+	req.Kind = kind
+	req.Holder = sess.PrincipalID() // the pseudonym, not the member id
+	card, err := issuer.Appoint(issuerPrincipal, req, issuerCreds)
+	if err != nil {
+		return nil, fmt.Errorf("anonymous card: %w", err)
+	}
+	sess.AddAppointment(card)
+	return &AnonymousSession{Session: sess, Card: card}, nil
+}

@@ -1,0 +1,47 @@
+package event
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func BenchmarkPublishOneSubscriber(b *testing.B) {
+	broker := NewBroker()
+	defer broker.Close()
+	var n atomic.Int64
+	if _, err := broker.Subscribe("t", func(Event) { n.Add(1) }); err != nil {
+		b.Fatal(err)
+	}
+	ev := Event{Topic: "t", Kind: KindRevoked, Subject: "s"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := broker.Publish(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+	broker.Quiesce()
+}
+
+func BenchmarkPublishFanout(b *testing.B) {
+	for _, subs := range []int{10, 100} {
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			broker := NewBroker()
+			defer broker.Close()
+			var n atomic.Int64
+			for i := 0; i < subs; i++ {
+				if _, err := broker.Subscribe("t", func(Event) { n.Add(1) }); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ev := Event{Topic: "t", Kind: KindRevoked}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := broker.Publish(ev); err != nil {
+					b.Fatal(err)
+				}
+			}
+			broker.Quiesce()
+		})
+	}
+}

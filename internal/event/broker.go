@@ -1,0 +1,299 @@
+// Package event implements the active, event-based middleware platform that
+// OASIS depends on (paper Sect. 1 and ref [2]): services protected by OASIS
+// communicate asynchronously so that one service can be notified of a
+// change of state at another without periodic polling. Event channels carry
+// certificate invalidation (Fig. 1, Fig. 5) and heartbeats.
+package event
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Kind classifies events on OASIS channels.
+type Kind int
+
+// Event kinds used by the OASIS engine.
+const (
+	// KindRevoked announces that a credential record has become invalid;
+	// dependants must deactivate roles whose membership rules relied on
+	// it (Sect. 4).
+	KindRevoked Kind = iota + 1
+	// KindHeartbeat is a liveness signal on a credential channel
+	// (Fig. 5 "heartbeats or change events").
+	KindHeartbeat
+	// KindChanged announces that environmental state referenced by a
+	// membership rule changed and must be re-checked.
+	KindChanged
+)
+
+// String names the kind for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindRevoked:
+		return "revoked"
+	case KindHeartbeat:
+		return "heartbeat"
+	case KindChanged:
+		return "changed"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is a notification on a topic. Subject identifies the credential
+// record or environmental fact concerned; Reason is free-text diagnostics.
+// Origin is empty for locally published events and carries the source node
+// name once a Relay has forwarded the event across processes.
+type Event struct {
+	Topic   string    `json:"topic"`
+	Kind    Kind      `json:"kind"`
+	Subject string    `json:"subject,omitempty"`
+	Reason  string    `json:"reason,omitempty"`
+	At      time.Time `json:"at,omitempty"`
+	Origin  string    `json:"origin,omitempty"`
+}
+
+// Handler consumes events; it is invoked serially per subscription.
+type Handler func(Event)
+
+// ErrClosed is returned by operations on a closed broker.
+var ErrClosed = errors.New("event broker closed")
+
+// Broker is a topic-based publish/subscribe hub. Publishing never blocks on
+// slow subscribers: each subscription owns a goroutine draining an
+// unbounded FIFO queue. Quiesce waits for all queues to drain, giving tests
+// and the experiment harness a deterministic "after the revocation event
+// storm has settled" point.
+type Broker struct {
+	mu     sync.Mutex
+	topics map[string]map[int]*Subscription
+	nextID int
+	closed bool
+	wg     sync.WaitGroup
+
+	pendingMu sync.Mutex
+	pending   int
+	idle      *sync.Cond
+
+	published uint64
+	delivered uint64
+
+	taps []func(Event)
+}
+
+// NewBroker creates an empty broker.
+func NewBroker() *Broker {
+	b := &Broker{topics: make(map[string]map[int]*Subscription)}
+	b.idle = sync.NewCond(&b.pendingMu)
+	return b
+}
+
+// Subscription is a registration of a handler on one topic.
+type Subscription struct {
+	broker *Broker
+	topic  string
+	id     int
+
+	mu     sync.Mutex
+	queue  []Event
+	wake   chan struct{}
+	closed bool
+}
+
+// Subscribe registers handler on topic and returns the subscription. The
+// handler runs on a dedicated goroutine, one event at a time, in publish
+// order for this topic.
+func (b *Broker) Subscribe(topic string, handler Handler) (*Subscription, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	s := &Subscription{
+		broker: b,
+		topic:  topic,
+		id:     b.nextID,
+		wake:   make(chan struct{}, 1),
+	}
+	b.nextID++
+	subs, ok := b.topics[topic]
+	if !ok {
+		subs = make(map[int]*Subscription)
+		b.topics[topic] = subs
+	}
+	subs[s.id] = s
+	b.wg.Add(1)
+	go s.run(handler)
+	return s, nil
+}
+
+func (s *Subscription) run(handler Handler) {
+	defer s.broker.wg.Done()
+	for {
+		s.mu.Lock()
+		if len(s.queue) == 0 {
+			if s.closed {
+				s.mu.Unlock()
+				return
+			}
+			s.mu.Unlock()
+			<-s.wake
+			continue
+		}
+		ev := s.queue[0]
+		s.queue = s.queue[1:]
+		s.mu.Unlock()
+
+		handler(ev)
+		s.broker.taskDone()
+	}
+}
+
+// Cancel removes the subscription; queued events already assigned to it
+// are still delivered before its goroutine exits.
+func (s *Subscription) Cancel() {
+	s.broker.mu.Lock()
+	if subs, ok := s.broker.topics[s.topic]; ok {
+		delete(subs, s.id)
+		if len(subs) == 0 {
+			delete(s.broker.topics, s.topic)
+		}
+	}
+	s.broker.mu.Unlock()
+
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Topic returns the topic this subscription listens on.
+func (s *Subscription) Topic() string { return s.topic }
+
+func (s *Subscription) enqueue(ev Event) bool {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	s.queue = append(s.queue, ev)
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// Publish delivers ev to every current subscriber of ev.Topic. It returns
+// the number of subscribers the event was queued for.
+func (b *Broker) Publish(ev Event) (int, error) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return 0, ErrClosed
+	}
+	subs := b.topics[ev.Topic]
+	targets := make([]*Subscription, 0, len(subs))
+	for _, s := range subs {
+		targets = append(targets, s)
+	}
+	taps := make([]func(Event), len(b.taps))
+	copy(taps, b.taps)
+	b.published++
+	b.mu.Unlock()
+
+	for _, tap := range taps {
+		tap(ev)
+	}
+	n := 0
+	for _, s := range targets {
+		b.taskAdd()
+		if s.enqueue(ev) {
+			n++
+		} else {
+			b.taskDone()
+		}
+	}
+	return n, nil
+}
+
+func (b *Broker) taskAdd() {
+	b.pendingMu.Lock()
+	b.pending++
+	b.pendingMu.Unlock()
+}
+
+func (b *Broker) taskDone() {
+	b.pendingMu.Lock()
+	b.pending--
+	b.delivered++
+	if b.pending == 0 {
+		b.idle.Broadcast()
+	}
+	b.pendingMu.Unlock()
+}
+
+// Quiesce blocks until every queued event (including events published by
+// handlers while draining) has been handled.
+func (b *Broker) Quiesce() {
+	b.pendingMu.Lock()
+	for b.pending > 0 {
+		b.idle.Wait()
+	}
+	b.pendingMu.Unlock()
+}
+
+// Stats reports the total events published and handler deliveries completed.
+func (b *Broker) Stats() (published, delivered uint64) {
+	b.mu.Lock()
+	p := b.published
+	b.mu.Unlock()
+	b.pendingMu.Lock()
+	d := b.delivered
+	b.pendingMu.Unlock()
+	return p, d
+}
+
+// SubscriberCount reports the number of live subscriptions on a topic.
+func (b *Broker) SubscriberCount(topic string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.topics[topic])
+}
+
+// Close cancels all subscriptions and waits for their goroutines to exit.
+// Pending events are delivered first.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		b.wg.Wait()
+		return
+	}
+	b.closed = true
+	var all []*Subscription
+	for _, subs := range b.topics {
+		for _, s := range subs {
+			all = append(all, s)
+		}
+	}
+	b.topics = make(map[string]map[int]*Subscription)
+	b.mu.Unlock()
+
+	for _, s := range all {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
+	}
+	b.wg.Wait()
+}

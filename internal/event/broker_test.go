@@ -1,0 +1,253 @@
+package event
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPublishSubscribe(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	var got atomic.Int64
+	if _, err := b.Subscribe("t1", func(ev Event) { got.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	n, err := b.Publish(Event{Topic: "t1", Kind: KindRevoked, Subject: "s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("Publish queued for %d subscribers, want 1", n)
+	}
+	b.Quiesce()
+	if got.Load() != 1 {
+		t.Errorf("handler ran %d times, want 1", got.Load())
+	}
+}
+
+func TestPublishNoSubscribers(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	n, err := b.Publish(Event{Topic: "nobody"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("queued for %d, want 0", n)
+	}
+}
+
+func TestTopicIsolation(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	var aCount, bCount atomic.Int64
+	if _, err := b.Subscribe("a", func(Event) { aCount.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Subscribe("b", func(Event) { bCount.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Publish(Event{Topic: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	b.Quiesce()
+	if aCount.Load() != 1 || bCount.Load() != 0 {
+		t.Errorf("a=%d b=%d, want 1,0", aCount.Load(), bCount.Load())
+	}
+}
+
+func TestOrderingPerSubscription(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	var mu sync.Mutex
+	var seen []string
+	if _, err := b.Subscribe("t", func(ev Event) {
+		mu.Lock()
+		seen = append(seen, ev.Subject)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"1", "2", "3", "4", "5"} {
+		if _, err := b.Publish(Event{Topic: "t", Subject: s}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Quiesce()
+	mu.Lock()
+	defer mu.Unlock()
+	want := "12345"
+	got := ""
+	for _, s := range seen {
+		got += s
+	}
+	if got != want {
+		t.Errorf("delivery order %q, want %q", got, want)
+	}
+}
+
+func TestCancelStopsDelivery(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	var got atomic.Int64
+	sub, err := b.Subscribe("t", func(Event) { got.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Publish(Event{Topic: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	b.Quiesce()
+	sub.Cancel()
+	n, err := b.Publish(Event{Topic: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("post-cancel publish queued for %d", n)
+	}
+	b.Quiesce()
+	if got.Load() != 1 {
+		t.Errorf("handler ran %d times, want 1", got.Load())
+	}
+	if b.SubscriberCount("t") != 0 {
+		t.Error("subscriber count nonzero after cancel")
+	}
+}
+
+func TestHandlerMayPublish(t *testing.T) {
+	// A revocation handler publishing follow-on revocations (the cascade
+	// of Fig. 5) must not deadlock, and Quiesce must wait for the whole
+	// cascade.
+	b := NewBroker()
+	defer b.Close()
+	var depth3 atomic.Int64
+	if _, err := b.Subscribe("d1", func(Event) {
+		b.Publish(Event{Topic: "d2"}) //nolint:errcheck
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Subscribe("d2", func(Event) {
+		b.Publish(Event{Topic: "d3"}) //nolint:errcheck
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Subscribe("d3", func(Event) { depth3.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Publish(Event{Topic: "d1"}); err != nil {
+		t.Fatal(err)
+	}
+	b.Quiesce()
+	if depth3.Load() != 1 {
+		t.Errorf("cascade did not reach depth 3 before Quiesce returned: %d", depth3.Load())
+	}
+}
+
+func TestCloseRejectsFurtherUse(t *testing.T) {
+	b := NewBroker()
+	b.Close()
+	if _, err := b.Publish(Event{Topic: "t"}); err != ErrClosed {
+		t.Errorf("Publish after Close: %v", err)
+	}
+	if _, err := b.Subscribe("t", func(Event) {}); err != ErrClosed {
+		t.Errorf("Subscribe after Close: %v", err)
+	}
+	// Double close is safe.
+	b.Close()
+}
+
+func TestCloseDeliversPending(t *testing.T) {
+	b := NewBroker()
+	var got atomic.Int64
+	if _, err := b.Subscribe("t", func(Event) {
+		time.Sleep(time.Millisecond)
+		got.Add(1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := b.Publish(Event{Topic: "t"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Close()
+	if got.Load() != 10 {
+		t.Errorf("Close dropped events: handled %d of 10", got.Load())
+	}
+}
+
+func TestStats(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	if _, err := b.Subscribe("t", func(Event) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Subscribe("t", func(Event) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Publish(Event{Topic: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	b.Quiesce()
+	pub, del := b.Stats()
+	if pub != 1 || del != 2 {
+		t.Errorf("Stats = (%d,%d), want (1,2)", pub, del)
+	}
+}
+
+func TestConcurrentPublishers(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	var got atomic.Int64
+	if _, err := b.Subscribe("t", func(Event) { got.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	const publishers, perPublisher = 8, 100
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perPublisher; i++ {
+				b.Publish(Event{Topic: "t"}) //nolint:errcheck
+			}
+		}()
+	}
+	wg.Wait()
+	b.Quiesce()
+	if got.Load() != publishers*perPublisher {
+		t.Errorf("handled %d, want %d", got.Load(), publishers*perPublisher)
+	}
+}
+
+func TestSubscriptionTopic(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	sub, err := b.Subscribe("my/topic", func(Event) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Topic() != "my/topic" {
+		t.Errorf("Topic = %q", sub.Topic())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		k    Kind
+		want string
+	}{
+		{KindRevoked, "revoked"},
+		{KindHeartbeat, "heartbeat"},
+		{KindChanged, "changed"},
+		{Kind(0), "unknown"},
+	}
+	for _, tt := range tests {
+		if got := tt.k.String(); got != tt.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", tt.k, got, tt.want)
+		}
+	}
+}

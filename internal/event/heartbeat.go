@@ -1,0 +1,129 @@
+package event
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// HeartbeatMonitor watches credential channels for liveness (Fig. 5:
+// "heartbeats or change events"). A service that caches the validity of a
+// certificate issued elsewhere registers the certificate's subject here;
+// if the issuer's heartbeats stop arriving within the timeout, the monitor
+// publishes a synthetic revocation so that cached validity is discarded
+// fail-safe rather than trusted indefinitely.
+type HeartbeatMonitor struct {
+	broker  *Broker
+	clk     clock.Clock
+	timeout time.Duration
+
+	mu       sync.Mutex
+	lastSeen map[string]time.Time // subject -> last heartbeat
+	topics   map[string]string    // subject -> revocation topic
+	subs     []*Subscription
+	closed   bool
+}
+
+// NewHeartbeatMonitor creates a monitor that declares a subject dead when
+// no heartbeat arrives for timeout.
+func NewHeartbeatMonitor(broker *Broker, clk clock.Clock, timeout time.Duration) *HeartbeatMonitor {
+	return &HeartbeatMonitor{
+		broker:   broker,
+		clk:      clk,
+		timeout:  timeout,
+		lastSeen: make(map[string]time.Time),
+		topics:   make(map[string]string),
+	}
+}
+
+// Watch starts monitoring heartbeats for subject on heartbeatTopic; on
+// silence it publishes KindRevoked on revocationTopic.
+func (m *HeartbeatMonitor) Watch(subject, heartbeatTopic, revocationTopic string) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	m.lastSeen[subject] = m.clk.Now()
+	m.topics[subject] = revocationTopic
+	m.mu.Unlock()
+
+	sub, err := m.broker.Subscribe(heartbeatTopic, func(ev Event) {
+		if ev.Kind != KindHeartbeat || ev.Subject != subject {
+			return
+		}
+		m.mu.Lock()
+		if _, ok := m.lastSeen[subject]; ok {
+			m.lastSeen[subject] = m.clk.Now()
+		}
+		m.mu.Unlock()
+	})
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.subs = append(m.subs, sub)
+	m.mu.Unlock()
+	return nil
+}
+
+// Unwatch stops monitoring a subject.
+func (m *HeartbeatMonitor) Unwatch(subject string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.lastSeen, subject)
+	delete(m.topics, subject)
+}
+
+// Sweep checks all watched subjects against the timeout and publishes
+// revocations for silent ones. It returns the subjects declared dead.
+// Callers drive Sweep from a ticker (production) or directly (tests and the
+// deterministic experiment harness).
+func (m *HeartbeatMonitor) Sweep() []string {
+	now := m.clk.Now()
+	var dead []string
+	type revocation struct{ topic, subject string }
+	var toPublish []revocation
+
+	m.mu.Lock()
+	for subject, last := range m.lastSeen {
+		if now.Sub(last) > m.timeout {
+			dead = append(dead, subject)
+			toPublish = append(toPublish, revocation{m.topics[subject], subject})
+			delete(m.lastSeen, subject)
+			delete(m.topics, subject)
+		}
+	}
+	m.mu.Unlock()
+
+	for _, r := range toPublish {
+		m.broker.Publish(Event{ //nolint:errcheck // best-effort on shutdown
+			Topic:   r.topic,
+			Kind:    KindRevoked,
+			Subject: r.subject,
+			Reason:  "heartbeat timeout",
+			At:      now,
+		})
+	}
+	return dead
+}
+
+// WatchedCount reports how many subjects are currently monitored.
+func (m *HeartbeatMonitor) WatchedCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.lastSeen)
+}
+
+// Close cancels all broker subscriptions held by the monitor.
+func (m *HeartbeatMonitor) Close() {
+	m.mu.Lock()
+	subs := m.subs
+	m.subs = nil
+	m.closed = true
+	m.mu.Unlock()
+	for _, s := range subs {
+		s.Cancel()
+	}
+}

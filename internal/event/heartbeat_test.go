@@ -1,0 +1,149 @@
+package event
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+func TestHeartbeatKeepsSubjectAlive(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	clk := clock.NewSimulated(time.Unix(0, 0))
+	m := NewHeartbeatMonitor(b, clk, 10*time.Second)
+	defer m.Close()
+
+	if err := m.Watch("cr-1", "hb", "revoke"); err != nil {
+		t.Fatal(err)
+	}
+	var revoked atomic.Int64
+	if _, err := b.Subscribe("revoke", func(ev Event) {
+		if ev.Kind == KindRevoked {
+			revoked.Add(1)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 5; i++ {
+		clk.Advance(5 * time.Second)
+		if _, err := b.Publish(Event{Topic: "hb", Kind: KindHeartbeat, Subject: "cr-1"}); err != nil {
+			t.Fatal(err)
+		}
+		b.Quiesce()
+		if dead := m.Sweep(); len(dead) != 0 {
+			t.Fatalf("healthy subject declared dead at round %d: %v", i, dead)
+		}
+	}
+	b.Quiesce()
+	if revoked.Load() != 0 {
+		t.Errorf("revocations published for healthy subject: %d", revoked.Load())
+	}
+}
+
+func TestHeartbeatTimeoutRevokes(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	clk := clock.NewSimulated(time.Unix(0, 0))
+	m := NewHeartbeatMonitor(b, clk, 10*time.Second)
+	defer m.Close()
+
+	var revokedSubject atomic.Value
+	if _, err := b.Subscribe("revoke", func(ev Event) {
+		if ev.Kind == KindRevoked {
+			revokedSubject.Store(ev.Subject)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Watch("cr-2", "hb", "revoke"); err != nil {
+		t.Fatal(err)
+	}
+
+	clk.Advance(11 * time.Second)
+	dead := m.Sweep()
+	if len(dead) != 1 || dead[0] != "cr-2" {
+		t.Fatalf("Sweep = %v, want [cr-2]", dead)
+	}
+	b.Quiesce()
+	if got, _ := revokedSubject.Load().(string); got != "cr-2" {
+		t.Errorf("revocation subject = %q", got)
+	}
+	if m.WatchedCount() != 0 {
+		t.Error("dead subject still watched")
+	}
+	// Sweep is idempotent: subject already removed.
+	if dead := m.Sweep(); len(dead) != 0 {
+		t.Errorf("second Sweep = %v", dead)
+	}
+}
+
+func TestHeartbeatIgnoresOtherSubjects(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	clk := clock.NewSimulated(time.Unix(0, 0))
+	m := NewHeartbeatMonitor(b, clk, 10*time.Second)
+	defer m.Close()
+	if err := m.Watch("cr-a", "hb", "revoke"); err != nil {
+		t.Fatal(err)
+	}
+	// Heartbeats for a different subject on the same topic must not
+	// refresh cr-a.
+	clk.Advance(8 * time.Second)
+	if _, err := b.Publish(Event{Topic: "hb", Kind: KindHeartbeat, Subject: "cr-b"}); err != nil {
+		t.Fatal(err)
+	}
+	b.Quiesce()
+	clk.Advance(8 * time.Second)
+	if dead := m.Sweep(); len(dead) != 1 {
+		t.Errorf("cr-a should be dead, Sweep = %v", dead)
+	}
+}
+
+func TestHeartbeatNonHeartbeatKindIgnored(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	clk := clock.NewSimulated(time.Unix(0, 0))
+	m := NewHeartbeatMonitor(b, clk, 10*time.Second)
+	defer m.Close()
+	if err := m.Watch("cr-a", "hb", "revoke"); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(8 * time.Second)
+	if _, err := b.Publish(Event{Topic: "hb", Kind: KindChanged, Subject: "cr-a"}); err != nil {
+		t.Fatal(err)
+	}
+	b.Quiesce()
+	clk.Advance(8 * time.Second)
+	if dead := m.Sweep(); len(dead) != 1 {
+		t.Errorf("KindChanged refreshed liveness, Sweep = %v", dead)
+	}
+}
+
+func TestUnwatch(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	clk := clock.NewSimulated(time.Unix(0, 0))
+	m := NewHeartbeatMonitor(b, clk, time.Second)
+	defer m.Close()
+	if err := m.Watch("cr-x", "hb", "revoke"); err != nil {
+		t.Fatal(err)
+	}
+	m.Unwatch("cr-x")
+	clk.Advance(time.Hour)
+	if dead := m.Sweep(); len(dead) != 0 {
+		t.Errorf("unwatched subject declared dead: %v", dead)
+	}
+}
+
+func TestWatchAfterCloseFails(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	m := NewHeartbeatMonitor(b, clock.NewSimulated(time.Unix(0, 0)), time.Second)
+	m.Close()
+	if err := m.Watch("s", "hb", "revoke"); err != ErrClosed {
+		t.Errorf("Watch after Close: %v", err)
+	}
+}

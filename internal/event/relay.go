@@ -1,0 +1,101 @@
+package event
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// Tap registers a function invoked synchronously for every event accepted
+// by Publish (before Quiesce accounting completes). Taps are the hook for
+// cross-node relays and diagnostics; they must be fast and must not
+// publish to the same broker synchronously.
+func (b *Broker) Tap(f func(Event)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.taps = append(b.taps, f)
+}
+
+// Relay bridges brokers across nodes so that revocation events reach
+// services in other processes (extending Fig. 5's event channels across a
+// deployment). Topology is a full mesh of single hops: each relay forwards
+// events that originated on its own node to every peer, and injects events
+// received from peers into the local broker exactly once. The Origin tag
+// prevents echo and loops.
+type Relay struct {
+	broker *Broker
+	node   string
+
+	mu    sync.RWMutex
+	peers map[string]func(Event) error
+}
+
+// NewRelay attaches a relay to a broker under a unique node name.
+func NewRelay(b *Broker, node string) *Relay {
+	r := &Relay{broker: b, node: node, peers: make(map[string]func(Event) error)}
+	b.Tap(r.forward)
+	return r
+}
+
+// Node returns the relay's node name.
+func (r *Relay) Node() string { return r.node }
+
+// AddPeer registers a transport to another node's relay. send delivers a
+// wire event to the peer's Receive.
+func (r *Relay) AddPeer(node string, send func(Event) error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.peers[node] = send
+}
+
+// RemovePeer drops a peer.
+func (r *Relay) RemovePeer(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.peers, node)
+}
+
+// forward ships locally originated events to every peer. Events that
+// arrived from another node carry that node's Origin and are not
+// re-forwarded (single-hop mesh).
+func (r *Relay) forward(ev Event) {
+	if ev.Origin != "" {
+		return
+	}
+	ev.Origin = r.node
+	r.mu.RLock()
+	sends := make([]func(Event) error, 0, len(r.peers))
+	for _, s := range r.peers {
+		sends = append(sends, s)
+	}
+	r.mu.RUnlock()
+	for _, send := range sends {
+		send(ev) //nolint:errcheck // relay delivery is best-effort; peers re-validate by callback
+	}
+}
+
+// Receive injects an event that arrived from a peer into the local broker.
+// Events claiming to originate here (echo) or carrying no origin are
+// dropped.
+func (r *Relay) Receive(ev Event) error {
+	if ev.Origin == "" || ev.Origin == r.node {
+		return nil
+	}
+	_, err := r.broker.Publish(ev)
+	return err
+}
+
+// MarshalEvent encodes an event for a relay transport.
+func MarshalEvent(ev Event) ([]byte, error) { return json.Marshal(wireEvent(ev)) }
+
+// UnmarshalEvent decodes a relayed event.
+func UnmarshalEvent(b []byte) (Event, error) {
+	var w wireEvent
+	if err := json.Unmarshal(b, &w); err != nil {
+		return Event{}, fmt.Errorf("decode event: %w", err)
+	}
+	return Event(w), nil
+}
+
+// wireEvent mirrors Event with JSON tags for the relay wire format.
+type wireEvent Event

@@ -1,0 +1,172 @@
+package event
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// linkRelays wires two relays directly (in-process transport).
+func linkRelays(a, b *Relay) {
+	a.AddPeer(b.Node(), func(ev Event) error { return b.Receive(ev) })
+	b.AddPeer(a.Node(), func(ev Event) error { return a.Receive(ev) })
+}
+
+func TestRelayForwardsAcrossBrokers(t *testing.T) {
+	b1 := NewBroker()
+	defer b1.Close()
+	b2 := NewBroker()
+	defer b2.Close()
+	r1 := NewRelay(b1, "node1")
+	r2 := NewRelay(b2, "node2")
+	linkRelays(r1, r2)
+
+	var got atomic.Int64
+	if _, err := b2.Subscribe("cr/login#1", func(ev Event) {
+		if ev.Kind == KindRevoked && ev.Origin == "node1" {
+			got.Add(1)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b1.Publish(Event{Topic: "cr/login#1", Kind: KindRevoked, Subject: "login#1"}); err != nil {
+		t.Fatal(err)
+	}
+	b1.Quiesce()
+	b2.Quiesce()
+	if got.Load() != 1 {
+		t.Errorf("remote subscriber saw %d events, want 1", got.Load())
+	}
+}
+
+func TestRelayNoEcho(t *testing.T) {
+	b1 := NewBroker()
+	defer b1.Close()
+	b2 := NewBroker()
+	defer b2.Close()
+	r1 := NewRelay(b1, "node1")
+	r2 := NewRelay(b2, "node2")
+	linkRelays(r1, r2)
+
+	var local atomic.Int64
+	if _, err := b1.Subscribe("t", func(Event) { local.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b1.Publish(Event{Topic: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	b1.Quiesce()
+	b2.Quiesce()
+	b1.Quiesce()
+	// The event crossed to node2 and must NOT come back: exactly one
+	// local delivery.
+	if local.Load() != 1 {
+		t.Errorf("local subscriber saw %d events (echo loop?)", local.Load())
+	}
+}
+
+func TestRelayReceiveDropsEchoAndGarbage(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	r := NewRelay(b, "me")
+	var got atomic.Int64
+	if _, err := b.Subscribe("t", func(Event) { got.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	// Own origin: dropped.
+	if err := r.Receive(Event{Topic: "t", Origin: "me"}); err != nil {
+		t.Fatal(err)
+	}
+	// No origin: dropped.
+	if err := r.Receive(Event{Topic: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	// Genuine remote event: delivered.
+	if err := r.Receive(Event{Topic: "t", Origin: "them"}); err != nil {
+		t.Fatal(err)
+	}
+	b.Quiesce()
+	if got.Load() != 1 {
+		t.Errorf("delivered %d, want 1", got.Load())
+	}
+}
+
+func TestRelayRemovePeer(t *testing.T) {
+	b1 := NewBroker()
+	defer b1.Close()
+	b2 := NewBroker()
+	defer b2.Close()
+	r1 := NewRelay(b1, "n1")
+	r2 := NewRelay(b2, "n2")
+	linkRelays(r1, r2)
+	r1.RemovePeer("n2")
+	var got atomic.Int64
+	if _, err := b2.Subscribe("t", func(Event) { got.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b1.Publish(Event{Topic: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	b1.Quiesce()
+	b2.Quiesce()
+	if got.Load() != 0 {
+		t.Errorf("removed peer still received %d events", got.Load())
+	}
+}
+
+func TestRelayThreeNodeMesh(t *testing.T) {
+	brokers := make([]*Broker, 3)
+	relays := make([]*Relay, 3)
+	for i := range brokers {
+		brokers[i] = NewBroker()
+		defer brokers[i].Close()
+		relays[i] = NewRelay(brokers[i], []string{"a", "b", "c"}[i])
+	}
+	for i := range relays {
+		for j := range relays {
+			if i != j {
+				peer := relays[j]
+				relays[i].AddPeer(peer.Node(), func(ev Event) error { return peer.Receive(ev) })
+			}
+		}
+	}
+	counts := make([]atomic.Int64, 3)
+	for i := range brokers {
+		idx := i
+		if _, err := brokers[i].Subscribe("t", func(Event) { counts[idx].Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := brokers[0].Publish(Event{Topic: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range brokers {
+		b.Quiesce()
+	}
+	for i := range counts {
+		if counts[i].Load() != 1 {
+			t.Errorf("node %d saw %d events, want exactly 1", i, counts[i].Load())
+		}
+	}
+}
+
+func TestEventWireRoundTrip(t *testing.T) {
+	ev := Event{
+		Topic: "cr/x#1", Kind: KindRevoked, Subject: "x#1",
+		Reason: "logout", At: time.Unix(100, 0).UTC(), Origin: "node9",
+	}
+	b, err := MarshalEvent(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalEvent(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != ev {
+		t.Errorf("round trip: %+v vs %+v", back, ev)
+	}
+	if _, err := UnmarshalEvent([]byte("{bad")); err == nil {
+		t.Error("garbage decoded")
+	}
+}

@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"crypto/rand"
+	"fmt"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/cert"
+	"repro/internal/core"
+	"repro/internal/domain"
+	"repro/internal/names"
+	"repro/internal/sign"
+)
+
+// ---------------------------------------------------------------------------
+// E3 — Fig. 3: cross-domain EHR session.
+// ---------------------------------------------------------------------------
+
+// Fig3Row measures the four-path EHR workflow at scale.
+type Fig3Row struct {
+	Hospitals    int
+	Patients     int
+	Requests     int // request-EHR operations completed
+	Appends      int // append-to-EHR operations completed
+	AuditRecords int
+	AuditOK      bool // every op left exactly one validated audit record
+	TotalTime    time.Duration
+	PerOp        time.Duration
+}
+
+// RunFig3 builds H hospital domains and one national EHR domain, runs
+// `ops` alternating request/append operations spread over hospitals and
+// patients, and verifies invariant I10 (audit completeness).
+func RunFig3(hospitals, patients, ops int) (Fig3Row, error) {
+	w := NewWorld()
+	defer w.Close()
+	fed := domain.NewFederation()
+	fed.AddDomain("national_domain")
+	fed.AddDomain("nha_domain")
+
+	nha, err := w.Service("nha", `
+nha.registrar <- env anyone.
+auth appoint_accredited_hospital(H) <- nha.registrar.
+`, false)
+	if err != nil {
+		return Fig3Row{}, err
+	}
+	AlwaysTrue(nha, "anyone")
+	if err := fed.AddService("nha_domain", nha); err != nil {
+		return Fig3Row{}, err
+	}
+
+	national, err := w.Service("national", `
+national.hospital(H) <- appt nha.accredited_hospital(H) keep [1].
+auth request_ehr(D, P) <- national.hospital(H).
+auth append_ehr(D, P) <- national.hospital(H).
+`, true)
+	if err != nil {
+		return Fig3Row{}, err
+	}
+	national.Bind("request_ehr", func(args []names.Term) ([]byte, error) {
+		return []byte("ehr"), nil
+	})
+	national.Bind("append_ehr", func(args []names.Term) ([]byte, error) {
+		return []byte("done"), nil
+	})
+	if err := fed.AddService("national_domain", national); err != nil {
+		return Fig3Row{}, err
+	}
+
+	authority, err := audit.NewAuthority("national_civ", w.Clock)
+	if err != nil {
+		return Fig3Row{}, err
+	}
+	ledger := audit.NewLedger()
+	audit.AttachTo(national, authority, ledger, nil)
+
+	if err := fed.Agree(domain.SLA{
+		IssuerDomain:   "nha_domain",
+		ConsumerDomain: "national_domain",
+		Appointments:   []domain.ApptRef{{Issuer: "nha", Kind: "accredited_hospital"}},
+	}); err != nil {
+		return Fig3Row{}, err
+	}
+
+	// Accredit each hospital and activate its national role.
+	registrar := NewSession()
+	regRMC, err := nha.Activate(registrar.PrincipalID(), Role("nha", "registrar"), core.Presented{})
+	if err != nil {
+		return Fig3Row{}, err
+	}
+	registrar.AddRMC(regRMC)
+
+	type hospitalCtx struct {
+		principal string
+		wallet    core.Presented
+	}
+	hctx := make([]hospitalCtx, hospitals)
+	for h := 0; h < hospitals; h++ {
+		principal := fmt.Sprintf("hospital_%d_service_key", h)
+		appt, err := nha.Appoint(registrar.PrincipalID(), core.AppointmentRequest{
+			Kind:   "accredited_hospital",
+			Holder: principal,
+			Params: []names.Term{names.Atom(fmt.Sprintf("hosp%d", h))},
+		}, registrar.Credentials())
+		if err != nil {
+			return Fig3Row{}, err
+		}
+		rmc, err := fed.Activate("national", principal,
+			Role("national", "hospital", names.Var("H")),
+			core.Presented{Appointments: []cert.AppointmentCertificate{appt}})
+		if err != nil {
+			return Fig3Row{}, err
+		}
+		hctx[h] = hospitalCtx{principal: principal,
+			wallet: core.Presented{RMCs: []cert.RMC{rmc}}}
+	}
+
+	row := Fig3Row{Hospitals: hospitals, Patients: patients}
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		h := hctx[i%hospitals]
+		doctor := names.Atom(fmt.Sprintf("dr_%d", i%17))
+		patient := names.Atom(fmt.Sprintf("p_%d", i%patients))
+		method := "request_ehr"
+		if i%2 == 1 {
+			method = "append_ehr"
+		}
+		if _, err := fed.Invoke("national", h.principal, method,
+			[]names.Term{doctor, patient}, h.wallet); err != nil {
+			return Fig3Row{}, fmt.Errorf("op %d: %w", i, err)
+		}
+		if method == "request_ehr" {
+			row.Requests++
+		} else {
+			row.Appends++
+		}
+	}
+	row.TotalTime = time.Since(start)
+	if ops > 0 {
+		row.PerOp = row.TotalTime / time.Duration(ops)
+	}
+
+	// Audit completeness: one validated record per op.
+	total := 0
+	ok := true
+	for _, h := range hctx {
+		hist := ledger.HistoryOf(h.principal)
+		total += len(hist)
+		for _, c := range hist {
+			if err := authority.Validate(c); err != nil {
+				ok = false
+			}
+		}
+	}
+	row.AuditRecords = total
+	row.AuditOK = ok && total == ops
+	return row, nil
+}
+
+// ---------------------------------------------------------------------------
+// E4 — Fig. 4: RMC design and security properties.
+// ---------------------------------------------------------------------------
+
+// Fig4Row measures RMC issue/validate cost by parameter count.
+type Fig4Row struct {
+	Params     int
+	IssueNs    time.Duration
+	ValidateNs time.Duration
+}
+
+// RunFig4 measures the cryptographic cost of the Fig. 4 certificate design
+// as the number of protected parameters grows.
+func RunFig4(params, iters int) (Fig4Row, error) {
+	ring, err := sign.NewKeyRing(2, nil)
+	if err != nil {
+		return Fig4Row{}, err
+	}
+	terms := make([]names.Term, params)
+	for i := range terms {
+		terms[i] = names.Atom(fmt.Sprintf("param_%d", i))
+	}
+	role := names.MustRole(names.MustRoleName("svc", "r", params), terms...)
+	ref := cert.CRR{Issuer: "svc", Serial: 1}
+
+	start := time.Now()
+	var rmc cert.RMC
+	for i := 0; i < iters; i++ {
+		rmc, err = cert.IssueRMC(ring, "principal", role, ref)
+		if err != nil {
+			return Fig4Row{}, err
+		}
+	}
+	issue := time.Since(start) / time.Duration(iters)
+
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		if err := rmc.Verify(ring, "principal"); err != nil {
+			return Fig4Row{}, err
+		}
+	}
+	validate := time.Since(start) / time.Duration(iters)
+	return Fig4Row{Params: params, IssueNs: issue, ValidateNs: validate}, nil
+}
+
+// Fig4Adversarial reports the outcome of adversarial trials against the
+// certificate design: every count must be zero for the security properties
+// of Sect. 4.1 to hold.
+type Fig4Adversarial struct {
+	Trials            int
+	TamperAccepted    int // mutated protected fields that still verified
+	TheftAccepted     int // wrong-principal presentations that verified
+	ForgeryAccepted   int // adversary-signed certificates that verified
+	ApptTheftAccepted int // holder-rewritten appointments that verified
+}
+
+// RunFig4Adversarial mounts `trials` of each attack class from Sect. 4.1
+// against freshly issued certificates.
+func RunFig4Adversarial(trials int) (Fig4Adversarial, error) {
+	ring, err := sign.NewKeyRing(2, nil)
+	if err != nil {
+		return Fig4Adversarial{}, err
+	}
+	adversaryRing, err := sign.NewKeyRing(2, nil)
+	if err != nil {
+		return Fig4Adversarial{}, err
+	}
+	res := Fig4Adversarial{Trials: trials}
+	ref := cert.CRR{Issuer: "svc", Serial: 1}
+	for i := 0; i < trials; i++ {
+		role := names.MustRole(names.MustRoleName("svc", "r", 2),
+			names.Int(int64(i)), names.Atom("x"))
+		rmc, err := cert.IssueRMC(ring, "alice", role, ref)
+		if err != nil {
+			return Fig4Adversarial{}, err
+		}
+
+		// Tampering: rewrite a protected parameter.
+		tampered := rmc
+		tampered.Role = names.MustRole(rmc.Role.Name, names.Int(int64(i)+1), names.Atom("x"))
+		if tampered.Verify(ring, "alice") == nil {
+			res.TamperAccepted++
+		}
+		// Theft: present under another principal.
+		if rmc.Verify(ring, randomPrincipal()) == nil {
+			res.TheftAccepted++
+		}
+		// Forgery: sign with a key the issuer never had.
+		forged, err := cert.IssueRMC(adversaryRing, "alice", role, ref)
+		if err != nil {
+			return Fig4Adversarial{}, err
+		}
+		if forged.Verify(ring, "alice") == nil {
+			res.ForgeryAccepted++
+		}
+		// Appointment theft: rebind the holder.
+		appt, err := cert.IssueAppointment(ring, cert.AppointmentCertificate{
+			Issuer: "svc", Serial: uint64(i), Kind: "k", Holder: "alice",
+		})
+		if err != nil {
+			return Fig4Adversarial{}, err
+		}
+		appt.Holder = "mallory"
+		if appt.Verify(ring, time.Time{}) == nil {
+			res.ApptTheftAccepted++
+		}
+	}
+	return res, nil
+}
+
+func randomPrincipal() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "fallback-principal"
+	}
+	return fmt.Sprintf("mallory-%x", b)
+}

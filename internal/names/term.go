@@ -1,0 +1,208 @@
+// Package names implements the parametrised naming layer of OASIS: role
+// names qualified by their defining service, typed parameter terms, and
+// first-order unification over them.
+//
+// OASIS roles are service-specific and parametrised (Sect. 2 of the paper):
+// a role such as treating_doctor(doctor_id, patient_id) is a role name owned
+// by one service, applied to a tuple of parameter terms. Role activation
+// rules are Horn clauses whose body predicates mention variables; matching a
+// presented credential against a rule condition is term unification.
+package names
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TermKind discriminates the variants of Term.
+type TermKind int
+
+// Term kinds. Variables unify with anything; atoms, strings and integers
+// unify only with equal values of the same kind.
+const (
+	KindVar TermKind = iota + 1
+	KindAtom
+	KindString
+	KindInt
+)
+
+// String returns a diagnostic name for the kind.
+func (k TermKind) String() string {
+	switch k {
+	case KindVar:
+		return "var"
+	case KindAtom:
+		return "atom"
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	default:
+		return "invalid"
+	}
+}
+
+// Term is a first-order term without function symbols: a variable, an atom
+// (lower-case symbolic constant), a quoted string, or an integer. The zero
+// value is invalid; construct terms with Var, Atom, Str or Int.
+type Term struct {
+	Kind TermKind `json:"kind"`
+	// Sym holds the variable name (KindVar), atom text (KindAtom) or
+	// string contents (KindString).
+	Sym string `json:"sym,omitempty"`
+	// Num holds the value for KindInt.
+	Num int64 `json:"num,omitempty"`
+}
+
+// Var returns a variable term. By convention variable names start with an
+// upper-case letter or underscore, matching the policy language syntax.
+func Var(name string) Term { return Term{Kind: KindVar, Sym: name} }
+
+// Atom returns a symbolic constant term.
+func Atom(sym string) Term { return Term{Kind: KindAtom, Sym: sym} }
+
+// Str returns a string constant term.
+func Str(s string) Term { return Term{Kind: KindString, Sym: s} }
+
+// Int returns an integer constant term.
+func Int(n int64) Term { return Term{Kind: KindInt, Num: n} }
+
+// IsVar reports whether t is a variable.
+func (t Term) IsVar() bool { return t.Kind == KindVar }
+
+// IsGround reports whether t contains no variables (terms are flat, so this
+// is simply "not a variable").
+func (t Term) IsGround() bool { return t.Kind != KindVar && t.Kind != 0 }
+
+// Equal reports structural equality of two terms.
+func (t Term) Equal(u Term) bool { return t == u }
+
+// String renders the term in policy-language syntax.
+func (t Term) String() string {
+	switch t.Kind {
+	case KindVar:
+		return t.Sym
+	case KindAtom:
+		return t.Sym
+	case KindString:
+		return strconv.Quote(t.Sym)
+	case KindInt:
+		return strconv.FormatInt(t.Num, 10)
+	default:
+		return "<invalid>"
+	}
+}
+
+// Substitution maps variable names to ground or variable terms.
+type Substitution map[string]Term
+
+// NewSubstitution returns an empty substitution.
+func NewSubstitution() Substitution { return make(Substitution) }
+
+// Clone returns an independent copy of s.
+func (s Substitution) Clone() Substitution {
+	c := make(Substitution, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// Apply resolves t under s, following variable bindings until a non-variable
+// or unbound variable is reached. Binding chains are short (no function
+// symbols) but may pass through several variables.
+func (s Substitution) Apply(t Term) Term {
+	for t.IsVar() {
+		bound, ok := s[t.Sym]
+		if !ok || bound == t {
+			return t
+		}
+		t = bound
+	}
+	return t
+}
+
+// ApplyAll maps Apply over a tuple.
+func (s Substitution) ApplyAll(ts []Term) []Term {
+	if ts == nil {
+		return nil
+	}
+	out := make([]Term, len(ts))
+	for i, t := range ts {
+		out[i] = s.Apply(t)
+	}
+	return out
+}
+
+// Bind adds the binding name→t, returning false if name is already bound to
+// a different term (after resolution).
+func (s Substitution) Bind(name string, t Term) bool {
+	existing, ok := s[name]
+	if !ok {
+		s[name] = t
+		return true
+	}
+	return s.Apply(existing).Equal(s.Apply(t))
+}
+
+// String renders the substitution deterministically (sorted by variable).
+func (s Substitution) String() string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%s", k, s[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Unify attempts to unify a and b under the existing substitution s,
+// extending s in place. It reports whether unification succeeded; on
+// failure s may contain partial bindings, so callers that need rollback
+// should Clone first (UnifyTuples does this for its callers).
+func Unify(a, b Term, s Substitution) bool {
+	a = s.Apply(a)
+	b = s.Apply(b)
+	switch {
+	case a.IsVar() && b.IsVar():
+		if a.Sym == b.Sym {
+			return true
+		}
+		s[a.Sym] = b
+		return true
+	case a.IsVar():
+		s[a.Sym] = b
+		return true
+	case b.IsVar():
+		s[b.Sym] = a
+		return true
+	default:
+		return a.Equal(b)
+	}
+}
+
+// UnifyTuples unifies two equal-length tuples under s, returning the
+// extended substitution and true on success. s itself is never mutated; on
+// failure the original s remains valid.
+func UnifyTuples(as, bs []Term, s Substitution) (Substitution, bool) {
+	if len(as) != len(bs) {
+		return s, false
+	}
+	out := s.Clone()
+	for i := range as {
+		if !Unify(as[i], bs[i], out) {
+			return s, false
+		}
+	}
+	return out, true
+}

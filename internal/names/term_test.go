@@ -1,0 +1,236 @@
+package names
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTermConstructors(t *testing.T) {
+	tests := []struct {
+		name   string
+		term   Term
+		kind   TermKind
+		ground bool
+		str    string
+	}{
+		{"var", Var("X"), KindVar, false, "X"},
+		{"atom", Atom("alice"), KindAtom, true, "alice"},
+		{"string", Str("ward 3"), KindString, true, `"ward 3"`},
+		{"int", Int(42), KindInt, true, "42"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.term.Kind != tt.kind {
+				t.Errorf("Kind = %v, want %v", tt.term.Kind, tt.kind)
+			}
+			if tt.term.IsGround() != tt.ground {
+				t.Errorf("IsGround = %v, want %v", tt.term.IsGround(), tt.ground)
+			}
+			if got := tt.term.String(); got != tt.str {
+				t.Errorf("String = %q, want %q", got, tt.str)
+			}
+		})
+	}
+}
+
+func TestZeroTermInvalid(t *testing.T) {
+	var z Term
+	if z.IsGround() {
+		t.Error("zero Term must not be ground")
+	}
+	if z.String() != "<invalid>" {
+		t.Errorf("zero Term String = %q", z.String())
+	}
+	if z.Kind.String() != "invalid" {
+		t.Errorf("zero Kind String = %q", z.Kind.String())
+	}
+}
+
+func TestUnifyGround(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Term
+		ok   bool
+	}{
+		{"equal atoms", Atom("a"), Atom("a"), true},
+		{"different atoms", Atom("a"), Atom("b"), false},
+		{"equal ints", Int(7), Int(7), true},
+		{"different ints", Int(7), Int(8), false},
+		{"atom vs string same text", Atom("a"), Str("a"), false},
+		{"atom vs int", Atom("7"), Int(7), false},
+		{"equal strings", Str("x"), Str("x"), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := NewSubstitution()
+			if got := Unify(tt.a, tt.b, s); got != tt.ok {
+				t.Errorf("Unify(%v,%v) = %v, want %v", tt.a, tt.b, got, tt.ok)
+			}
+		})
+	}
+}
+
+func TestUnifyVarBinding(t *testing.T) {
+	s := NewSubstitution()
+	if !Unify(Var("X"), Atom("alice"), s) {
+		t.Fatal("var should unify with atom")
+	}
+	if got := s.Apply(Var("X")); !got.Equal(Atom("alice")) {
+		t.Errorf("X resolved to %v", got)
+	}
+	// Rebinding to the same value succeeds; to a different value fails.
+	if !Unify(Var("X"), Atom("alice"), s) {
+		t.Error("re-unifying with same value must succeed")
+	}
+	if Unify(Var("X"), Atom("bob"), s) {
+		t.Error("unifying bound var with different value must fail")
+	}
+}
+
+func TestUnifyVarVarChain(t *testing.T) {
+	s := NewSubstitution()
+	if !Unify(Var("X"), Var("Y"), s) {
+		t.Fatal("var-var unification failed")
+	}
+	if !Unify(Var("Y"), Int(9), s) {
+		t.Fatal("binding Y failed")
+	}
+	if got := s.Apply(Var("X")); !got.Equal(Int(9)) {
+		t.Errorf("X resolved to %v through chain, want 9", got)
+	}
+	// Self-unification is a no-op.
+	if !Unify(Var("Z"), Var("Z"), s) {
+		t.Error("self unification must succeed")
+	}
+}
+
+func TestUnifyTuplesRollback(t *testing.T) {
+	s := NewSubstitution()
+	s["W"] = Atom("kept")
+	// Second element clashes, so the whole tuple fails and s is untouched.
+	_, ok := UnifyTuples(
+		[]Term{Var("X"), Atom("a")},
+		[]Term{Atom("v"), Atom("b")},
+		s,
+	)
+	if ok {
+		t.Fatal("tuple unification should fail")
+	}
+	if len(s) != 1 || s["W"] != Atom("kept") {
+		t.Errorf("failed unification mutated caller substitution: %v", s)
+	}
+	if _, bound := s["X"]; bound {
+		t.Error("partial binding leaked into caller substitution")
+	}
+}
+
+func TestUnifyTuplesLengthMismatch(t *testing.T) {
+	if _, ok := UnifyTuples([]Term{Atom("a")}, nil, NewSubstitution()); ok {
+		t.Error("length mismatch must fail")
+	}
+}
+
+func TestSubstitutionCloneIndependent(t *testing.T) {
+	s := NewSubstitution()
+	s["X"] = Int(1)
+	c := s.Clone()
+	c["Y"] = Int(2)
+	if _, ok := s["Y"]; ok {
+		t.Error("Clone is not independent")
+	}
+}
+
+func TestSubstitutionString(t *testing.T) {
+	s := Substitution{"B": Int(2), "A": Int(1)}
+	if got := s.String(); got != "{A=1, B=2}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSubstitutionBind(t *testing.T) {
+	s := NewSubstitution()
+	if !s.Bind("X", Atom("a")) {
+		t.Fatal("first Bind failed")
+	}
+	if !s.Bind("X", Atom("a")) {
+		t.Error("idempotent Bind failed")
+	}
+	if s.Bind("X", Atom("b")) {
+		t.Error("conflicting Bind succeeded")
+	}
+}
+
+func TestApplyAllNil(t *testing.T) {
+	s := NewSubstitution()
+	if s.ApplyAll(nil) != nil {
+		t.Error("ApplyAll(nil) should be nil")
+	}
+}
+
+// genTerm derives a ground term from fuzz inputs.
+func genTerm(sel uint8, sym string, num int64) Term {
+	switch sel % 3 {
+	case 0:
+		return Atom("a" + sym)
+	case 1:
+		return Str(sym)
+	default:
+		return Int(num)
+	}
+}
+
+// Property: a successful unifier makes both tuples syntactically equal
+// after application (I6).
+func TestQuickUnifierMakesEqual(t *testing.T) {
+	f := func(sels []uint8, syms []string, nums []int64, varMask uint16) bool {
+		n := len(sels)
+		if len(syms) < n {
+			n = len(syms)
+		}
+		if len(nums) < n {
+			n = len(nums)
+		}
+		if n > 8 {
+			n = 8
+		}
+		ground := make([]Term, n)
+		pattern := make([]Term, n)
+		for i := 0; i < n; i++ {
+			ground[i] = genTerm(sels[i], syms[i], nums[i])
+			if varMask&(1<<uint(i)) != 0 {
+				pattern[i] = Var("V" + string(rune('A'+i)))
+			} else {
+				pattern[i] = ground[i]
+			}
+		}
+		s, ok := UnifyTuples(pattern, ground, NewSubstitution())
+		if !ok {
+			return false
+		}
+		ap := s.ApplyAll(pattern)
+		ag := s.ApplyAll(ground)
+		for i := 0; i < n; i++ {
+			if !ap[i].Equal(ag[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Apply is idempotent once a term is resolved.
+func TestQuickApplyIdempotent(t *testing.T) {
+	f := func(sel uint8, sym string, num int64) bool {
+		s := NewSubstitution()
+		s["X"] = genTerm(sel, sym, num)
+		once := s.Apply(Var("X"))
+		twice := s.Apply(once)
+		return once.Equal(twice)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,256 @@
+// Package policy implements the formal policy layer of OASIS: role
+// activation rules and service authorization rules expressed in Horn clause
+// logic (Sect. 2 of the paper). A role activation rule names the conditions
+// a principal must meet to activate a role — prerequisite roles,
+// appointment credentials, and environmental constraints — and a membership
+// rule marks which of those conditions must remain true for the role to
+// stay active. Authorization rules guard method invocation in the same
+// condition language.
+//
+// The textual syntax, one statement per rule:
+//
+//	hospital.treating_doctor(D, P) <-
+//	    hospital.doctor_on_duty(D),
+//	    appt admin.allocated_patient(D, P),
+//	    env registered(D, P),
+//	    !env excluded(D, P)
+//	    keep [1, 3].
+//
+//	auth read_record(P) <- hospital.treating_doctor(D, P).
+//
+// Conditions are, in order of the example: a prerequisite role (an RMC from
+// service "hospital"), an appointment certificate of kind
+// "allocated_patient" issued by "admin", an environmental predicate, and a
+// negated environmental predicate (negation as failure over ground
+// arguments). "keep [1, 3]" is the membership rule: conditions 1 and 3
+// (1-based) must continue to hold while the role is active.
+package policy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/names"
+)
+
+// Cond is one condition in a rule body. Exactly one of the concrete types
+// below implements it.
+type Cond interface {
+	fmt.Stringer
+	// Vars appends the variable names mentioned by the condition.
+	Vars(in []string) []string
+	isCond()
+}
+
+// RoleCond requires the principal to hold an active role (prerequisite
+// role, validated via its RMC) unifying with Role.
+type RoleCond struct {
+	Role names.Role
+}
+
+func (RoleCond) isCond() {}
+
+// String renders the condition in policy syntax.
+func (c RoleCond) String() string { return c.Role.String() }
+
+// Vars implements Cond.
+func (c RoleCond) Vars(in []string) []string { return termVars(in, c.Role.Params) }
+
+// ApptCond requires an appointment certificate of the given kind from the
+// given issuer whose parameters unify with Params.
+type ApptCond struct {
+	Issuer string
+	Kind   string
+	Params []names.Term
+}
+
+func (ApptCond) isCond() {}
+
+// String renders the condition in policy syntax.
+func (c ApptCond) String() string {
+	return "appt " + c.Issuer + "." + c.Kind + renderTerms(c.Params)
+}
+
+// Vars implements Cond.
+func (c ApptCond) Vars(in []string) []string { return termVars(in, c.Params) }
+
+// EnvCond is an environmental constraint: a named predicate over terms,
+// evaluated against the environment (database lookup, parameter relation,
+// time of day, ...). If Negated, it succeeds when the predicate has no
+// solutions (negation as failure); all its variables must already be bound.
+type EnvCond struct {
+	Name    string
+	Args    []names.Term
+	Negated bool
+}
+
+func (EnvCond) isCond() {}
+
+// String renders the condition in policy syntax.
+func (c EnvCond) String() string {
+	neg := ""
+	if c.Negated {
+		neg = "!"
+	}
+	return neg + "env " + c.Name + renderTerms(c.Args)
+}
+
+// Vars implements Cond.
+func (c EnvCond) Vars(in []string) []string { return termVars(in, c.Args) }
+
+// Rule is a role activation rule: Head may be activated by a principal
+// whose credentials satisfy every condition in Body. Membership lists the
+// 1-based indices of body conditions that must remain true while the role
+// is active (the membership rule of Sect. 2); an empty list means the role,
+// once activated, is revoked only by session teardown.
+type Rule struct {
+	Head       names.Role
+	Body       []Cond
+	Membership []int
+}
+
+// String renders the rule in parsable policy syntax.
+func (r Rule) String() string {
+	var b strings.Builder
+	b.WriteString(r.Head.String())
+	b.WriteString(" <- ")
+	for i, c := range r.Body {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.String())
+	}
+	if len(r.Membership) > 0 {
+		b.WriteString(" keep [")
+		for i, m := range r.Membership {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(strconv.Itoa(m))
+		}
+		b.WriteString("]")
+	}
+	b.WriteString(".")
+	return b.String()
+}
+
+// Validate checks structural well-formedness: membership indices in range,
+// head variables bound by the body (no free head variables), and negated
+// conditions whose variables are bound by earlier conditions.
+func (r Rule) Validate() error {
+	for _, m := range r.Membership {
+		if m < 1 || m > len(r.Body) {
+			return fmt.Errorf("rule %s: membership index %d out of range 1..%d",
+				r.Head, m, len(r.Body))
+		}
+	}
+	bound := make(map[string]bool)
+	for i, c := range r.Body {
+		if ec, ok := c.(EnvCond); ok && ec.Negated {
+			for _, v := range c.Vars(nil) {
+				if !bound[v] {
+					return fmt.Errorf("rule %s: variable %s in negated condition %d is not bound by an earlier condition",
+						r.Head, v, i+1)
+				}
+			}
+			continue
+		}
+		for _, v := range c.Vars(nil) {
+			bound[v] = true
+		}
+	}
+	for _, v := range termVars(nil, r.Head.Params) {
+		if !bound[v] {
+			return fmt.Errorf("rule %s: head variable %s is not bound by the body", r.Head, v)
+		}
+	}
+	return nil
+}
+
+// AuthRule authorizes invocation of Method when every condition holds.
+// Args are the method's formal parameters; at invocation time they are
+// unified with the actual arguments.
+type AuthRule struct {
+	Method string
+	Args   []names.Term
+	Body   []Cond
+}
+
+// String renders the rule in parsable policy syntax.
+func (r AuthRule) String() string {
+	var b strings.Builder
+	b.WriteString("auth ")
+	b.WriteString(r.Method)
+	b.WriteString(renderTerms(r.Args))
+	b.WriteString(" <- ")
+	for i, c := range r.Body {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.String())
+	}
+	b.WriteString(".")
+	return b.String()
+}
+
+// Policy is a parsed policy document: the activation rules and
+// authorization rules of one service.
+type Policy struct {
+	Rules []Rule
+	Auth  []AuthRule
+}
+
+// RulesFor returns the activation rules whose head role name matches name.
+// Several rules for the same role name form alternative ways to activate
+// it (Horn clause disjunction).
+func (p Policy) RulesFor(name names.RoleName) []Rule {
+	var out []Rule
+	for _, r := range p.Rules {
+		if r.Head.Name == name {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// AuthFor returns the authorization rules for a method name.
+func (p Policy) AuthFor(method string) []AuthRule {
+	var out []AuthRule
+	for _, r := range p.Auth {
+		if r.Method == method {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Validate validates every rule in the policy.
+func (p Policy) Validate() error {
+	for _, r := range p.Rules {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func renderTerms(ts []names.Term) string {
+	if len(ts) == 0 {
+		return ""
+	}
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = t.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+func termVars(in []string, ts []names.Term) []string {
+	for _, t := range ts {
+		if t.IsVar() {
+			in = append(in, t.Sym)
+		}
+	}
+	return in
+}

@@ -1,0 +1,82 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/names"
+	"repro/internal/store"
+)
+
+const benchPolicy = `
+hospital.treating_doctor(D, P) <-
+    hospital.doctor_on_duty(D),
+    appt admin.allocated_patient(D, P),
+    env registered(D, P),
+    !env excluded(D, P)
+    keep [1, 3].
+auth read_record(P) <- hospital.treating_doctor(D, P), !env excluded(D, P).
+`
+
+func BenchmarkParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchPolicy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkActivateRule(b *testing.B) {
+	db := store.New()
+	if _, err := db.Assert("registered", names.Atom("d1"), names.Atom("p1")); err != nil {
+		b.Fatal(err)
+	}
+	reg := NewRegistry()
+	reg.RegisterStore("registered", db, "registered")
+	reg.RegisterStore("excluded", db, "excluded")
+	ev := NewEvaluator(reg)
+	pol := MustParse(benchPolicy)
+	creds := CredentialSet{
+		Roles: []HeldRole{{
+			Role: names.MustRole(names.MustRoleName("hospital", "doctor_on_duty", 1),
+				names.Atom("d1")),
+			Key: "k1",
+		}},
+		Appointments: []Appointment{{
+			Issuer: "admin", Kind: "allocated_patient",
+			Params: []names.Term{names.Atom("d1"), names.Atom("p1")},
+			Key:    "a1",
+		}},
+	}
+	req := names.MustRole(names.MustRoleName("hospital", "treating_doctor", 2),
+		names.Var("D"), names.Var("P"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, ok, err := ev.Activate(pol.Rules[0], req, creds)
+		if err != nil || !ok {
+			b.Fatalf("activate = (%v, %v)", ok, err)
+		}
+	}
+}
+
+func BenchmarkAuthorizeRule(b *testing.B) {
+	db := store.New()
+	reg := NewRegistry()
+	reg.RegisterStore("excluded", db, "excluded")
+	ev := NewEvaluator(reg)
+	pol := MustParse(benchPolicy)
+	creds := CredentialSet{
+		Roles: []HeldRole{{
+			Role: names.MustRole(names.MustRoleName("hospital", "treating_doctor", 2),
+				names.Atom("d1"), names.Atom("p1")),
+			Key: "k1",
+		}},
+	}
+	args := []names.Term{names.Atom("p1")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, ok, err := ev.Authorize(pol.Auth[0], args, creds)
+		if err != nil || !ok {
+			b.Fatalf("authorize = (%v, %v)", ok, err)
+		}
+	}
+}

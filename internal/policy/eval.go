@@ -1,0 +1,292 @@
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/names"
+	"repro/internal/store"
+)
+
+// Errors reported by evaluation.
+var (
+	// ErrUnknownPredicate is returned when a rule references an
+	// environmental predicate that the service has not registered.
+	ErrUnknownPredicate = errors.New("unknown environmental predicate")
+	// ErrNonGroundNegation is returned when a negated condition is
+	// reached with unbound variables.
+	ErrNonGroundNegation = errors.New("negated condition with unbound variables")
+)
+
+// Appointment is the evaluator's view of a validated appointment
+// certificate: the issuer, kind and ground parameters. Key identifies the
+// underlying certificate record for membership monitoring; ExpiresAt, when
+// non-zero, lets the engine deactivate dependent roles at the expiry
+// instant (active security) rather than on next validation.
+type Appointment struct {
+	Issuer    string
+	Kind      string
+	Params    []names.Term
+	Key       string
+	ExpiresAt time.Time
+}
+
+// HeldRole is the evaluator's view of a validated RMC: the ground role and
+// the key of its credential record for membership monitoring.
+type HeldRole struct {
+	Role names.Role
+	Key  string
+}
+
+// CredentialSet is everything a principal has presented (and the service
+// has validated) when requesting role activation or method invocation.
+type CredentialSet struct {
+	Roles        []HeldRole
+	Appointments []Appointment
+}
+
+// Predicate evaluates an environmental constraint. Given the argument
+// pattern (with the current substitution already applied by the caller
+// being unnecessary — implementations receive the raw args and base
+// substitution) it returns one extended substitution per solution.
+type Predicate func(args []names.Term, base names.Substitution) []names.Substitution
+
+// Registry maps environmental predicate names to their implementations.
+// Services register database lookups, parameter relations and
+// user-independent constraints (time of day, location) here.
+type Registry struct {
+	preds map[string]Predicate
+}
+
+// NewRegistry creates a registry preloaded with the comparison builtins
+// eq, ne, lt, le, gt, ge.
+func NewRegistry() *Registry {
+	r := &Registry{preds: make(map[string]Predicate)}
+	r.Register("eq", builtinEq)
+	r.Register("ne", builtinNe)
+	r.Register("lt", builtinCmp(func(a, b int64) bool { return a < b }))
+	r.Register("le", builtinCmp(func(a, b int64) bool { return a <= b }))
+	r.Register("gt", builtinCmp(func(a, b int64) bool { return a > b }))
+	r.Register("ge", builtinCmp(func(a, b int64) bool { return a >= b }))
+	return r
+}
+
+// Register installs (or replaces) a predicate.
+func (r *Registry) Register(name string, p Predicate) { r.preds[name] = p }
+
+// RegisterStore installs a predicate backed by a store relation: solutions
+// are the stored tuples unifying with the arguments. This is the paper's
+// "ascertained by database lookup at some service".
+func (r *Registry) RegisterStore(name string, s *store.Store, relation string) {
+	r.Register(name, func(args []names.Term, base names.Substitution) []names.Substitution {
+		return s.Query(relation, args, base)
+	})
+}
+
+// Lookup fetches a predicate.
+func (r *Registry) Lookup(name string) (Predicate, bool) {
+	p, ok := r.preds[name]
+	return p, ok
+}
+
+// Names lists the registered predicate names, sorted (used by the
+// consistency checker and tooling).
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.preds))
+	for name := range r.preds {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func builtinEq(args []names.Term, base names.Substitution) []names.Substitution {
+	if len(args) != 2 {
+		return nil
+	}
+	if ext, ok := names.UnifyTuples(args[:1], args[1:], base); ok {
+		return []names.Substitution{ext}
+	}
+	return nil
+}
+
+func builtinNe(args []names.Term, base names.Substitution) []names.Substitution {
+	if len(args) != 2 {
+		return nil
+	}
+	a, b := base.Apply(args[0]), base.Apply(args[1])
+	if !a.IsGround() || !b.IsGround() {
+		return nil
+	}
+	if a.Equal(b) {
+		return nil
+	}
+	return []names.Substitution{base.Clone()}
+}
+
+func builtinCmp(ok func(a, b int64) bool) Predicate {
+	return func(args []names.Term, base names.Substitution) []names.Substitution {
+		if len(args) != 2 {
+			return nil
+		}
+		a, b := base.Apply(args[0]), base.Apply(args[1])
+		if a.Kind != names.KindInt || b.Kind != names.KindInt {
+			return nil
+		}
+		if ok(a.Num, b.Num) {
+			return []names.Substitution{base.Clone()}
+		}
+		return nil
+	}
+}
+
+// Match records how one body condition was satisfied, for membership
+// monitoring: the specific credential or ground environmental fact whose
+// later invalidation must deactivate the role.
+type Match struct {
+	// Cond is the rule condition as written.
+	Cond Cond
+	// Role is set for RoleCond: the held role that satisfied it.
+	Role *HeldRole
+	// Appt is set for ApptCond: the appointment that satisfied it.
+	Appt *Appointment
+	// EnvName/EnvArgs are set for EnvCond: the (ground, where bound)
+	// instantiation that was checked.
+	EnvName string
+	EnvArgs []names.Term
+}
+
+// Solution is a successful rule evaluation: the satisfying substitution and
+// one Match per body condition (in body order).
+type Solution struct {
+	Subst   names.Substitution
+	Matches []Match
+}
+
+// Evaluator solves rule bodies against credential sets and the
+// environmental predicate registry.
+type Evaluator struct {
+	Env *Registry
+}
+
+// NewEvaluator creates an evaluator over the given registry.
+func NewEvaluator(env *Registry) *Evaluator {
+	if env == nil {
+		env = NewRegistry()
+	}
+	return &Evaluator{Env: env}
+}
+
+// Activate attempts to satisfy rule for the requested role instance. The
+// request's ground parameters constrain the head; on success the returned
+// solution's substitution makes the head ground.
+func (e *Evaluator) Activate(rule Rule, requested names.Role, creds CredentialSet) (Solution, bool, error) {
+	base := names.NewSubstitution()
+	base, ok := rule.Head.Unify(requested, base)
+	if !ok {
+		return Solution{}, false, nil
+	}
+	return e.solveBody(rule.Body, base, creds)
+}
+
+// Authorize attempts to satisfy an authorization rule for a method call
+// with the given ground actual arguments.
+func (e *Evaluator) Authorize(rule AuthRule, actuals []names.Term, creds CredentialSet) (Solution, bool, error) {
+	base, ok := names.UnifyTuples(rule.Args, actuals, names.NewSubstitution())
+	if !ok {
+		return Solution{}, false, nil
+	}
+	return e.solveBody(rule.Body, base, creds)
+}
+
+// solveBody backtracks over the conditions in order, returning the first
+// full solution.
+func (e *Evaluator) solveBody(body []Cond, base names.Substitution, creds CredentialSet) (Solution, bool, error) {
+	matches := make([]Match, len(body))
+	s, ok, err := e.solve(body, 0, base, creds, matches)
+	if err != nil || !ok {
+		return Solution{}, false, err
+	}
+	return Solution{Subst: s, Matches: matches}, true, nil
+}
+
+func (e *Evaluator) solve(body []Cond, i int, s names.Substitution, creds CredentialSet, matches []Match) (names.Substitution, bool, error) {
+	if i == len(body) {
+		return s, true, nil
+	}
+	switch c := body[i].(type) {
+	case RoleCond:
+		for idx := range creds.Roles {
+			held := &creds.Roles[idx]
+			ext, ok := c.Role.Unify(held.Role, s)
+			if !ok {
+				continue
+			}
+			matches[i] = Match{Cond: c, Role: held}
+			if out, ok, err := e.solve(body, i+1, ext, creds, matches); err != nil || ok {
+				return out, ok, err
+			}
+		}
+		return s, false, nil
+	case ApptCond:
+		for idx := range creds.Appointments {
+			a := &creds.Appointments[idx]
+			if a.Issuer != c.Issuer || a.Kind != c.Kind {
+				continue
+			}
+			ext, ok := names.UnifyTuples(c.Params, a.Params, s)
+			if !ok {
+				continue
+			}
+			matches[i] = Match{Cond: c, Appt: a}
+			if out, ok, err := e.solve(body, i+1, ext, creds, matches); err != nil || ok {
+				return out, ok, err
+			}
+		}
+		return s, false, nil
+	case EnvCond:
+		pred, found := e.Env.Lookup(c.Name)
+		if !found {
+			return s, false, fmt.Errorf("%w: %s", ErrUnknownPredicate, c.Name)
+		}
+		if c.Negated {
+			resolved := s.ApplyAll(c.Args)
+			for _, a := range resolved {
+				if !a.IsGround() {
+					return s, false, fmt.Errorf("%w: %s in !env %s", ErrNonGroundNegation, a, c.Name)
+				}
+			}
+			if sols := pred(resolved, s); len(sols) > 0 {
+				return s, false, nil
+			}
+			matches[i] = Match{Cond: c, EnvName: c.Name, EnvArgs: resolved}
+			return e.solve(body, i+1, s, creds, matches)
+		}
+		for _, ext := range pred(c.Args, s) {
+			matches[i] = Match{Cond: c, EnvName: c.Name, EnvArgs: ext.ApplyAll(c.Args)}
+			if out, ok, err := e.solve(body, i+1, ext, creds, matches); err != nil || ok {
+				return out, ok, err
+			}
+		}
+		return s, false, nil
+	default:
+		return s, false, fmt.Errorf("unsupported condition type %T", body[i])
+	}
+}
+
+// ActivateAny tries each rule in turn (Horn clause alternatives) and
+// returns the first rule index that succeeds.
+func (e *Evaluator) ActivateAny(rules []Rule, requested names.Role, creds CredentialSet) (int, Solution, bool, error) {
+	for i, r := range rules {
+		sol, ok, err := e.Activate(r, requested, creds)
+		if err != nil {
+			return 0, Solution{}, false, fmt.Errorf("rule %d (%s): %w", i+1, r.Head, err)
+		}
+		if ok {
+			return i, sol, true, nil
+		}
+	}
+	return 0, Solution{}, false, nil
+}

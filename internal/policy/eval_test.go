@@ -1,0 +1,371 @@
+package policy
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/names"
+	"repro/internal/store"
+)
+
+func heldRole(key, service, role string, params ...names.Term) HeldRole {
+	rn := names.MustRoleName(service, role, len(params))
+	return HeldRole{Role: names.MustRole(rn, params...), Key: key}
+}
+
+func TestActivatePrerequisiteRoleOnly(t *testing.T) {
+	pol := MustParse(`c.user(U) <- a.member(U) keep [1].`)
+	ev := NewEvaluator(nil)
+	creds := CredentialSet{Roles: []HeldRole{heldRole("k1", "a", "member", names.Atom("alice"))}}
+	req := names.MustRole(names.MustRoleName("c", "user", 1), names.Var("X"))
+	sol, ok, err := ev.Activate(pol.Rules[0], req, creds)
+	if err != nil || !ok {
+		t.Fatalf("Activate = (%v,%v)", ok, err)
+	}
+	head := pol.Rules[0].Head.Apply(sol.Subst)
+	if !head.IsGround() || head.Params[0] != names.Atom("alice") {
+		t.Errorf("head = %s", head)
+	}
+	if sol.Matches[0].Role == nil || sol.Matches[0].Role.Key != "k1" {
+		t.Errorf("match did not record credential: %+v", sol.Matches[0])
+	}
+}
+
+func TestActivateFailsWithoutPrerequisite(t *testing.T) {
+	pol := MustParse(`c.user(U) <- a.member(U).`)
+	ev := NewEvaluator(nil)
+	req := names.MustRole(names.MustRoleName("c", "user", 1), names.Var("X"))
+	_, ok, err := ev.Activate(pol.Rules[0], req, CredentialSet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("activation succeeded without prerequisite role")
+	}
+}
+
+func TestActivateRequestedParamsConstrainHead(t *testing.T) {
+	pol := MustParse(`c.user(U) <- a.member(U).`)
+	ev := NewEvaluator(nil)
+	creds := CredentialSet{Roles: []HeldRole{heldRole("k", "a", "member", names.Atom("alice"))}}
+	// Requesting activation explicitly for bob must fail even though a
+	// credential for alice exists.
+	req := names.MustRole(names.MustRoleName("c", "user", 1), names.Atom("bob"))
+	_, ok, err := ev.Activate(pol.Rules[0], req, creds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("activation for bob satisfied by alice's credential")
+	}
+}
+
+func TestActivateWrongRoleNameRejected(t *testing.T) {
+	pol := MustParse(`c.user <- env ok.`)
+	ev := NewEvaluator(nil)
+	ev.Env.Register("ok", func(args []names.Term, s names.Substitution) []names.Substitution {
+		return []names.Substitution{s.Clone()}
+	})
+	req := names.MustRole(names.MustRoleName("c", "admin", 0))
+	_, ok, err := ev.Activate(pol.Rules[0], req, CredentialSet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("rule for c.user activated c.admin")
+	}
+}
+
+func TestActivateWithAppointment(t *testing.T) {
+	pol := MustParse(`ri.visiting_doctor(D) <- appt hospital.employed_as_doctor(D), ri.guest(D).`)
+	ev := NewEvaluator(nil)
+	creds := CredentialSet{
+		Roles: []HeldRole{heldRole("g", "ri", "guest", names.Atom("jones"))},
+		Appointments: []Appointment{{
+			Issuer: "hospital", Kind: "employed_as_doctor",
+			Params: []names.Term{names.Atom("jones")}, Key: "appt-1",
+		}},
+	}
+	req := names.MustRole(names.MustRoleName("ri", "visiting_doctor", 1), names.Var("W"))
+	sol, ok, err := ev.Activate(pol.Rules[0], req, creds)
+	if err != nil || !ok {
+		t.Fatalf("Activate = (%v, %v)", ok, err)
+	}
+	if sol.Matches[0].Appt == nil || sol.Matches[0].Appt.Key != "appt-1" {
+		t.Errorf("appointment match missing: %+v", sol.Matches[0])
+	}
+}
+
+func TestAppointmentIssuerAndKindMustMatch(t *testing.T) {
+	pol := MustParse(`s.r(D) <- appt hospital.employed_as_doctor(D).`)
+	ev := NewEvaluator(nil)
+	req := names.MustRole(names.MustRoleName("s", "r", 1), names.Var("D"))
+	for _, creds := range []CredentialSet{
+		{Appointments: []Appointment{{Issuer: "clinic", Kind: "employed_as_doctor", Params: []names.Term{names.Atom("x")}}}},
+		{Appointments: []Appointment{{Issuer: "hospital", Kind: "employed_as_nurse", Params: []names.Term{names.Atom("x")}}}},
+	} {
+		if _, ok, err := ev.Activate(pol.Rules[0], req, creds); err != nil || ok {
+			t.Errorf("mismatched appointment accepted (ok=%v err=%v)", ok, err)
+		}
+	}
+}
+
+func TestEnvStoreBackedLookup(t *testing.T) {
+	// "doctors may access the records of patients registered with them"
+	db := store.New()
+	if _, err := db.Assert("registered", names.Atom("d1"), names.Atom("p1")); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	reg.RegisterStore("registered", db, "registered")
+	ev := NewEvaluator(reg)
+
+	pol := MustParse(`h.treating_doctor(D, P) <- h.doctor(D), env registered(D, P).`)
+	creds := CredentialSet{Roles: []HeldRole{heldRole("k", "h", "doctor", names.Atom("d1"))}}
+	req := names.MustRole(names.MustRoleName("h", "treating_doctor", 2),
+		names.Var("D"), names.Var("P"))
+	sol, ok, err := ev.Activate(pol.Rules[0], req, creds)
+	if err != nil || !ok {
+		t.Fatalf("Activate = (%v,%v)", ok, err)
+	}
+	head := pol.Rules[0].Head.Apply(sol.Subst)
+	if head.Params[1] != names.Atom("p1") {
+		t.Errorf("patient bound to %v", head.Params[1])
+	}
+	if sol.Matches[1].EnvName != "registered" || len(sol.Matches[1].EnvArgs) != 2 {
+		t.Errorf("env match = %+v", sol.Matches[1])
+	}
+}
+
+func TestNegationAsFailureExclusion(t *testing.T) {
+	// "Fred Smith may not access my health record" — per-patient
+	// exclusion (paper Sect. 2).
+	db := store.New()
+	if _, err := db.Assert("registered", names.Atom("fred"), names.Atom("joe")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Assert("excluded", names.Atom("fred"), names.Atom("joe")); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	reg.RegisterStore("registered", db, "registered")
+	reg.RegisterStore("excluded", db, "excluded")
+	ev := NewEvaluator(reg)
+
+	pol := MustParse(`h.treating_doctor(D, P) <- h.doctor(D), env registered(D, P), !env excluded(D, P).`)
+	creds := CredentialSet{Roles: []HeldRole{heldRole("k", "h", "doctor", names.Atom("fred"))}}
+	req := names.MustRole(names.MustRoleName("h", "treating_doctor", 2),
+		names.Var("D"), names.Var("P"))
+	if _, ok, err := ev.Activate(pol.Rules[0], req, creds); err != nil || ok {
+		t.Errorf("excluded doctor activated role (ok=%v err=%v)", ok, err)
+	}
+
+	// Remove the exclusion: activation now succeeds.
+	if _, err := db.Retract("excluded", names.Atom("fred"), names.Atom("joe")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := ev.Activate(pol.Rules[0], req, creds); err != nil || !ok {
+		t.Errorf("activation failed after exclusion removed (ok=%v err=%v)", ok, err)
+	}
+}
+
+func TestBacktrackingAcrossCredentials(t *testing.T) {
+	// Two doctor credentials; only the second has a registration. The
+	// solver must backtrack from d1 to d2.
+	db := store.New()
+	if _, err := db.Assert("registered", names.Atom("d2"), names.Atom("p9")); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	reg.RegisterStore("registered", db, "registered")
+	ev := NewEvaluator(reg)
+	pol := MustParse(`h.td(D, P) <- h.doctor(D), env registered(D, P).`)
+	creds := CredentialSet{Roles: []HeldRole{
+		heldRole("k1", "h", "doctor", names.Atom("d1")),
+		heldRole("k2", "h", "doctor", names.Atom("d2")),
+	}}
+	req := names.MustRole(names.MustRoleName("h", "td", 2), names.Var("D"), names.Var("P"))
+	sol, ok, err := ev.Activate(pol.Rules[0], req, creds)
+	if err != nil || !ok {
+		t.Fatalf("Activate = (%v,%v)", ok, err)
+	}
+	if sol.Matches[0].Role.Key != "k2" {
+		t.Errorf("solver matched %s, want k2 via backtracking", sol.Matches[0].Role.Key)
+	}
+}
+
+func TestBuiltinComparisons(t *testing.T) {
+	ev := NewEvaluator(nil)
+	tests := []struct {
+		src string
+		ok  bool
+	}{
+		{`s.r <- env eq(1, 1).`, true},
+		{`s.r <- env eq(1, 2).`, false},
+		{`s.r <- env ne(1, 2).`, true},
+		{`s.r <- env ne(a, a).`, false},
+		{`s.r <- env lt(1, 2).`, true},
+		{`s.r <- env lt(2, 1).`, false},
+		{`s.r <- env le(2, 2).`, true},
+		{`s.r <- env gt(3, 2).`, true},
+		{`s.r <- env ge(2, 3).`, false},
+		{`s.r <- env lt(a, b).`, false}, // non-integers never compare
+	}
+	req := names.MustRole(names.MustRoleName("s", "r", 0))
+	for _, tt := range tests {
+		t.Run(tt.src, func(t *testing.T) {
+			pol := MustParse(tt.src)
+			_, ok, err := ev.Activate(pol.Rules[0], req, CredentialSet{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok != tt.ok {
+				t.Errorf("ok = %v, want %v", ok, tt.ok)
+			}
+		})
+	}
+}
+
+func TestEqBindsVariable(t *testing.T) {
+	ev := NewEvaluator(nil)
+	pol := MustParse(`s.r(X) <- s.base(X2), env eq(X, X2).`)
+	creds := CredentialSet{Roles: []HeldRole{heldRole("k", "s", "base", names.Int(5))}}
+	req := names.MustRole(names.MustRoleName("s", "r", 1), names.Var("Y"))
+	sol, ok, err := ev.Activate(pol.Rules[0], req, creds)
+	if err != nil || !ok {
+		t.Fatalf("Activate = (%v,%v)", ok, err)
+	}
+	if got := sol.Subst.Apply(names.Var("Y")); got != names.Int(5) {
+		t.Errorf("Y = %v", got)
+	}
+}
+
+func TestUnknownPredicateError(t *testing.T) {
+	ev := NewEvaluator(nil)
+	pol := MustParse(`s.r <- env nonexistent.`)
+	req := names.MustRole(names.MustRoleName("s", "r", 0))
+	_, _, err := ev.Activate(pol.Rules[0], req, CredentialSet{})
+	if !errors.Is(err, ErrUnknownPredicate) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestNonGroundNegationError(t *testing.T) {
+	// Construct directly: the parser's Validate would reject this text,
+	// but a runtime credential may fail to bind a variable, so the
+	// evaluator must also defend itself.
+	reg := NewRegistry()
+	reg.Register("p", func(args []names.Term, s names.Substitution) []names.Substitution { return nil })
+	ev := NewEvaluator(reg)
+	rule := Rule{
+		Head: names.MustRole(names.MustRoleName("s", "r", 0)),
+		Body: []Cond{EnvCond{Name: "p", Args: []names.Term{names.Var("X")}, Negated: true}},
+	}
+	req := names.MustRole(names.MustRoleName("s", "r", 0))
+	_, _, err := ev.Activate(rule, req, CredentialSet{})
+	if !errors.Is(err, ErrNonGroundNegation) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAuthorize(t *testing.T) {
+	db := store.New()
+	if _, err := db.Assert("excluded", names.Atom("fred"), names.Atom("joe")); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	reg.RegisterStore("excluded", db, "excluded")
+	ev := NewEvaluator(reg)
+	pol := MustParse(`auth read_record(P) <- h.treating_doctor(D, P), !env excluded(D, P).`)
+
+	fredCreds := CredentialSet{Roles: []HeldRole{
+		heldRole("k", "h", "treating_doctor", names.Atom("fred"), names.Atom("joe")),
+	}}
+	_, ok, err := ev.Authorize(pol.Auth[0], []names.Term{names.Atom("joe")}, fredCreds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("excluded doctor authorized to read record")
+	}
+
+	annCreds := CredentialSet{Roles: []HeldRole{
+		heldRole("k", "h", "treating_doctor", names.Atom("ann"), names.Atom("joe")),
+	}}
+	_, ok, err = ev.Authorize(pol.Auth[0], []names.Term{names.Atom("joe")}, annCreds)
+	if err != nil || !ok {
+		t.Errorf("legitimate doctor refused (ok=%v err=%v)", ok, err)
+	}
+
+	// Wrong patient argument never authorizes.
+	_, ok, err = ev.Authorize(pol.Auth[0], []names.Term{names.Atom("someone_else")}, annCreds)
+	if err != nil || ok {
+		t.Errorf("authorization for unrelated patient (ok=%v err=%v)", ok, err)
+	}
+}
+
+func TestActivateAny(t *testing.T) {
+	pol := MustParse(`
+login.user <- env password_ok.
+login.user <- appt idp.sso_token.
+`)
+	reg := NewRegistry()
+	reg.Register("password_ok", func(args []names.Term, s names.Substitution) []names.Substitution {
+		return nil // password check fails
+	})
+	ev := NewEvaluator(reg)
+	creds := CredentialSet{Appointments: []Appointment{{Issuer: "idp", Kind: "sso_token", Key: "a"}}}
+	req := names.MustRole(names.MustRoleName("login", "user", 0))
+	idx, _, ok, err := ev.ActivateAny(pol.Rules, req, creds)
+	if err != nil || !ok {
+		t.Fatalf("ActivateAny = (%v,%v)", ok, err)
+	}
+	if idx != 1 {
+		t.Errorf("matched rule %d, want 1 (second alternative)", idx)
+	}
+
+	// No credentials at all: no rule fires.
+	_, _, ok, err = ev.ActivateAny(pol.Rules, req, CredentialSet{})
+	if err != nil || ok {
+		t.Errorf("ActivateAny with no creds = (%v,%v)", ok, err)
+	}
+}
+
+func TestActivateAnyWrapsPredicateError(t *testing.T) {
+	pol := MustParse(`s.r <- env missing.`)
+	ev := NewEvaluator(nil)
+	req := names.MustRole(names.MustRoleName("s", "r", 0))
+	_, _, _, err := ev.ActivateAny(pol.Rules, req, CredentialSet{})
+	if !errors.Is(err, ErrUnknownPredicate) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestEnvEnumerationBacktracks(t *testing.T) {
+	// The env predicate binds P to several candidates; a later condition
+	// filters them. The solver must try each in order.
+	db := store.New()
+	for _, p := range []string{"p1", "p2", "p3"} {
+		if _, err := db.Assert("registered", names.Atom("d"), names.Atom(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := NewRegistry()
+	reg.RegisterStore("registered", db, "registered")
+	reg.Register("is_p3", func(args []names.Term, s names.Substitution) []names.Substitution {
+		if len(args) == 1 && s.Apply(args[0]) == names.Atom("p3") {
+			return []names.Substitution{s.Clone()}
+		}
+		return nil
+	})
+	ev := NewEvaluator(reg)
+	pol := MustParse(`s.r(P) <- env registered(d, P), env is_p3(P).`)
+	req := names.MustRole(names.MustRoleName("s", "r", 1), names.Var("Q"))
+	sol, ok, err := ev.Activate(pol.Rules[0], req, CredentialSet{})
+	if err != nil || !ok {
+		t.Fatalf("Activate = (%v,%v)", ok, err)
+	}
+	if got := sol.Subst.Apply(names.Var("Q")); got != names.Atom("p3") {
+		t.Errorf("Q = %v, want p3", got)
+	}
+}

@@ -1,0 +1,210 @@
+package policy
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF      tokenKind = iota + 1
+	tokIdent              // lower-case identifier: service, role, predicate, atom
+	tokVar                // upper-case identifier or leading underscore: variable
+	tokInt                // integer literal
+	tokString             // double-quoted string
+	tokLParen             // (
+	tokRParen             // )
+	tokLBracket           // [
+	tokRBracket           // ]
+	tokComma              // ,
+	tokDot                // .
+	tokArrow              // <-
+	tokBang               // !
+	tokKeep               // keyword keep
+	tokAppt               // keyword appt
+	tokEnv                // keyword env
+	tokAuth               // keyword auth
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokVar:
+		return "variable"
+	case tokInt:
+		return "integer"
+	case tokString:
+		return "string"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokArrow:
+		return "'<-'"
+	case tokBang:
+		return "'!'"
+	case tokKeep:
+		return "keyword keep"
+	case tokAppt:
+		return "keyword appt"
+	case tokEnv:
+		return "keyword env"
+	case tokAuth:
+		return "keyword auth"
+	default:
+		return "unknown token"
+	}
+}
+
+// token is one lexeme with its source line for error reporting.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+// SyntaxError reports a policy-text parse failure with its line number.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("policy syntax error at line %d: %s", e.Line, e.Msg)
+}
+
+var keywords = map[string]tokenKind{
+	"keep": tokKeep,
+	"appt": tokAppt,
+	"env":  tokEnv,
+	"auth": tokAuth,
+}
+
+// lex tokenises policy text. Comments run from '#' to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", line})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", line})
+			i++
+		case c == '[':
+			toks = append(toks, token{tokLBracket, "[", line})
+			i++
+		case c == ']':
+			toks = append(toks, token{tokRBracket, "]", line})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", line})
+			i++
+		case c == '.':
+			toks = append(toks, token{tokDot, ".", line})
+			i++
+		case c == '!':
+			toks = append(toks, token{tokBang, "!", line})
+			i++
+		case c == '<':
+			if i+1 < n && src[i+1] == '-' {
+				toks = append(toks, token{tokArrow, "<-", line})
+				i += 2
+			} else {
+				return nil, &SyntaxError{line, "expected '<-'"}
+			}
+		case c == '"':
+			j := i + 1
+			var sb strings.Builder
+			for j < n && src[j] != '"' {
+				if src[j] == '\\' && j+1 < n {
+					j++
+				}
+				if src[j] == '\n' {
+					return nil, &SyntaxError{line, "newline in string literal"}
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			if j >= n {
+				return nil, &SyntaxError{line, "unterminated string literal"}
+			}
+			toks = append(toks, token{tokString, sb.String(), line})
+			i = j + 1
+		case c == '-' || (c >= '0' && c <= '9'):
+			j := i
+			if c == '-' {
+				j++
+				if j >= n || src[j] < '0' || src[j] > '9' {
+					return nil, &SyntaxError{line, "'-' must start an integer"}
+				}
+			}
+			for j < n && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			toks = append(toks, token{tokInt, src[i:j], line})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < n && isIdentPart(rune(src[j])) {
+				j++
+			}
+			word := src[i:j]
+			i = j
+			if kw, ok := keywords[word]; ok {
+				toks = append(toks, token{kw, word, line})
+			} else if isVarName(word) {
+				toks = append(toks, token{tokVar, word, line})
+			} else {
+				toks = append(toks, token{tokIdent, word, line})
+			}
+		default:
+			return nil, &SyntaxError{line, fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+// isVarName reports whether an identifier denotes a variable: leading
+// upper-case letter or underscore, matching Prolog convention.
+func isVarName(word string) bool {
+	r := rune(word[0])
+	return unicode.IsUpper(r) || r == '_'
+}

@@ -1,0 +1,311 @@
+package policy
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/names"
+)
+
+// Parse parses a policy document: a sequence of role activation rules and
+// authorization rules, each terminated by '.'.
+func Parse(src string) (Policy, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return Policy{}, err
+	}
+	p := &parser{toks: toks}
+	var pol Policy
+	for !p.at(tokEOF) {
+		if p.at(tokAuth) {
+			r, err := p.authRule()
+			if err != nil {
+				return Policy{}, err
+			}
+			pol.Auth = append(pol.Auth, r)
+			continue
+		}
+		r, err := p.activationRule()
+		if err != nil {
+			return Policy{}, err
+		}
+		pol.Rules = append(pol.Rules, r)
+	}
+	if err := pol.Validate(); err != nil {
+		return Policy{}, err
+	}
+	return pol, nil
+}
+
+// MustParse is Parse that panics; for fixtures and examples.
+func MustParse(src string) Policy {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) at(k tokenKind) bool { return p.cur().kind == k }
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	t := p.cur()
+	if t.kind != k {
+		return t, &SyntaxError{t.line, fmt.Sprintf("expected %s, found %s %q", k, t.kind, t.text)}
+	}
+	return p.advance(), nil
+}
+
+// activationRule := role '<-' cond (',' cond)* ['keep' '[' int (',' int)* ']'] '.'
+func (p *parser) activationRule() (Rule, error) {
+	head, err := p.role()
+	if err != nil {
+		return Rule{}, err
+	}
+	if _, err := p.expect(tokArrow); err != nil {
+		return Rule{}, err
+	}
+	body, err := p.condList()
+	if err != nil {
+		return Rule{}, err
+	}
+	var membership []int
+	if p.at(tokKeep) {
+		p.advance()
+		membership, err = p.intList()
+		if err != nil {
+			return Rule{}, err
+		}
+	}
+	if _, err := p.expect(tokDot); err != nil {
+		return Rule{}, err
+	}
+	return Rule{Head: head, Body: body, Membership: membership}, nil
+}
+
+// authRule := 'auth' ident terms? '<-' cond (',' cond)* '.'
+func (p *parser) authRule() (AuthRule, error) {
+	if _, err := p.expect(tokAuth); err != nil {
+		return AuthRule{}, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return AuthRule{}, err
+	}
+	args, err := p.optTerms()
+	if err != nil {
+		return AuthRule{}, err
+	}
+	if _, err := p.expect(tokArrow); err != nil {
+		return AuthRule{}, err
+	}
+	body, err := p.condList()
+	if err != nil {
+		return AuthRule{}, err
+	}
+	if _, err := p.expect(tokDot); err != nil {
+		return AuthRule{}, err
+	}
+	return AuthRule{Method: name.text, Args: args, Body: body}, nil
+}
+
+func (p *parser) condList() ([]Cond, error) {
+	var conds []Cond
+	for {
+		c, err := p.cond()
+		if err != nil {
+			return nil, err
+		}
+		conds = append(conds, c)
+		if !p.at(tokComma) {
+			return conds, nil
+		}
+		p.advance()
+	}
+}
+
+// cond := ['!'] 'env' ident terms | 'appt' ident '.' ident terms? | role
+func (p *parser) cond() (Cond, error) {
+	switch {
+	case p.at(tokBang):
+		bang := p.advance()
+		if !p.at(tokEnv) {
+			return nil, &SyntaxError{bang.line, "'!' may only negate an env condition"}
+		}
+		ec, err := p.envCond()
+		if err != nil {
+			return nil, err
+		}
+		ec.Negated = true
+		return ec, nil
+	case p.at(tokEnv):
+		return p.envCond()
+	case p.at(tokAppt):
+		return p.apptCond()
+	default:
+		r, err := p.role()
+		if err != nil {
+			return nil, err
+		}
+		return RoleCond{Role: r}, nil
+	}
+}
+
+func (p *parser) envCond() (EnvCond, error) {
+	if _, err := p.expect(tokEnv); err != nil {
+		return EnvCond{}, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return EnvCond{}, err
+	}
+	args, err := p.optTerms()
+	if err != nil {
+		return EnvCond{}, err
+	}
+	return EnvCond{Name: name.text, Args: args}, nil
+}
+
+func (p *parser) apptCond() (ApptCond, error) {
+	if _, err := p.expect(tokAppt); err != nil {
+		return ApptCond{}, err
+	}
+	issuer, err := p.expect(tokIdent)
+	if err != nil {
+		return ApptCond{}, err
+	}
+	if _, err := p.expect(tokDot); err != nil {
+		return ApptCond{}, err
+	}
+	kind, err := p.expect(tokIdent)
+	if err != nil {
+		return ApptCond{}, err
+	}
+	params, err := p.optTerms()
+	if err != nil {
+		return ApptCond{}, err
+	}
+	return ApptCond{Issuer: issuer.text, Kind: kind.text, Params: params}, nil
+}
+
+// role := ident '.' ident terms?
+func (p *parser) role() (names.Role, error) {
+	service, err := p.expect(tokIdent)
+	if err != nil {
+		return names.Role{}, err
+	}
+	if _, err := p.expect(tokDot); err != nil {
+		return names.Role{}, err
+	}
+	roleTok, err := p.expect(tokIdent)
+	if err != nil {
+		return names.Role{}, err
+	}
+	params, err := p.optTerms()
+	if err != nil {
+		return names.Role{}, err
+	}
+	rn, err := names.NewRoleName(service.text, roleTok.text, len(params))
+	if err != nil {
+		return names.Role{}, &SyntaxError{roleTok.line, err.Error()}
+	}
+	role, err := names.NewRole(rn, params...)
+	if err != nil {
+		return names.Role{}, &SyntaxError{roleTok.line, err.Error()}
+	}
+	return role, nil
+}
+
+// optTerms := [ '(' term (',' term)* ')' ]
+func (p *parser) optTerms() ([]names.Term, error) {
+	if !p.at(tokLParen) {
+		return nil, nil
+	}
+	p.advance()
+	if p.at(tokRParen) {
+		t := p.cur()
+		return nil, &SyntaxError{t.line, "empty parameter list: omit the parentheses"}
+	}
+	var terms []names.Term
+	for {
+		t, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+		if p.at(tokComma) {
+			p.advance()
+			continue
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return terms, nil
+	}
+}
+
+func (p *parser) term() (names.Term, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokVar:
+		p.advance()
+		return names.Var(t.text), nil
+	case tokIdent:
+		p.advance()
+		return names.Atom(t.text), nil
+	case tokString:
+		p.advance()
+		return names.Str(t.text), nil
+	case tokInt:
+		p.advance()
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return names.Term{}, &SyntaxError{t.line, "integer out of range: " + t.text}
+		}
+		return names.Int(n), nil
+	default:
+		return names.Term{}, &SyntaxError{t.line, fmt.Sprintf("expected a term, found %s %q", t.kind, t.text)}
+	}
+}
+
+// intList := '[' int (',' int)* ']'
+func (p *parser) intList() ([]int, error) {
+	if _, err := p.expect(tokLBracket); err != nil {
+		return nil, err
+	}
+	var out []int
+	for {
+		t, err := p.expect(tokInt)
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil {
+			return nil, &SyntaxError{t.line, "bad index " + t.text}
+		}
+		out = append(out, n)
+		if p.at(tokComma) {
+			p.advance()
+			continue
+		}
+		if _, err := p.expect(tokRBracket); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+}

@@ -1,0 +1,220 @@
+package policy
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/names"
+)
+
+func TestParseTreatingDoctorRule(t *testing.T) {
+	src := `
+# Activation rule for the treating_doctor role (paper Sect. 2 example).
+hospital.treating_doctor(D, P) <-
+    hospital.doctor_on_duty(D),
+    appt admin.allocated_patient(D, P),
+    env registered(D, P),
+    !env excluded(D, P)
+    keep [1, 3].
+`
+	pol, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(pol.Rules) != 1 {
+		t.Fatalf("got %d rules", len(pol.Rules))
+	}
+	r := pol.Rules[0]
+	wantHead := names.MustRole(names.MustRoleName("hospital", "treating_doctor", 2),
+		names.Var("D"), names.Var("P"))
+	if r.Head.String() != wantHead.String() {
+		t.Errorf("head = %s", r.Head)
+	}
+	if len(r.Body) != 4 {
+		t.Fatalf("body has %d conds", len(r.Body))
+	}
+	if _, ok := r.Body[0].(RoleCond); !ok {
+		t.Errorf("cond 1 is %T, want RoleCond", r.Body[0])
+	}
+	ac, ok := r.Body[1].(ApptCond)
+	if !ok || ac.Issuer != "admin" || ac.Kind != "allocated_patient" {
+		t.Errorf("cond 2 = %#v", r.Body[1])
+	}
+	ec, ok := r.Body[2].(EnvCond)
+	if !ok || ec.Negated || ec.Name != "registered" {
+		t.Errorf("cond 3 = %#v", r.Body[2])
+	}
+	nc, ok := r.Body[3].(EnvCond)
+	if !ok || !nc.Negated || nc.Name != "excluded" {
+		t.Errorf("cond 4 = %#v", r.Body[3])
+	}
+	if len(r.Membership) != 2 || r.Membership[0] != 1 || r.Membership[1] != 3 {
+		t.Errorf("membership = %v", r.Membership)
+	}
+}
+
+func TestParseAuthRule(t *testing.T) {
+	src := `auth read_record(P) <- hospital.treating_doctor(D, P), !env excluded(D, P).`
+	pol, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(pol.Auth) != 1 {
+		t.Fatalf("got %d auth rules", len(pol.Auth))
+	}
+	a := pol.Auth[0]
+	if a.Method != "read_record" || len(a.Args) != 1 || len(a.Body) != 2 {
+		t.Errorf("auth rule = %#v", a)
+	}
+}
+
+func TestParseZeroArityRole(t *testing.T) {
+	src := `login.logged_in_user <- env authenticated_ok.`
+	pol, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if pol.Rules[0].Head.Name.Arity != 0 {
+		t.Errorf("arity = %d", pol.Rules[0].Head.Name.Arity)
+	}
+}
+
+func TestParseTermKinds(t *testing.T) {
+	src := `s.r(X) <- env p(X, atom, "a string", 42, -7).`
+	pol, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	ec := pol.Rules[0].Body[0].(EnvCond)
+	want := []names.Term{
+		names.Var("X"), names.Atom("atom"), names.Str("a string"),
+		names.Int(42), names.Int(-7),
+	}
+	if len(ec.Args) != len(want) {
+		t.Fatalf("args = %v", ec.Args)
+	}
+	for i := range want {
+		if ec.Args[i] != want[i] {
+			t.Errorf("arg %d = %v, want %v", i, ec.Args[i], want[i])
+		}
+	}
+}
+
+func TestParseMultipleRulesAndComments(t *testing.T) {
+	src := `
+# initial role
+login.user <- env password_ok.
+# alternative activation
+login.user <- appt idp.sso_token.
+auth ping <- login.user.
+`
+	pol, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(pol.Rules) != 2 || len(pol.Auth) != 1 {
+		t.Errorf("rules=%d auth=%d", len(pol.Rules), len(pol.Auth))
+	}
+	rn := names.MustRoleName("login", "user", 0)
+	if got := pol.RulesFor(rn); len(got) != 2 {
+		t.Errorf("RulesFor = %d rules", len(got))
+	}
+	if got := pol.AuthFor("ping"); len(got) != 1 {
+		t.Errorf("AuthFor = %d rules", len(got))
+	}
+	if got := pol.AuthFor("missing"); len(got) != 0 {
+		t.Errorf("AuthFor(missing) = %d", len(got))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"missing dot", `a.b <- env p`, "expected"},
+		{"missing arrow", `a.b env p.`, "'<-'"},
+		{"bad char", `a.b <- env p @.`, "unexpected character"},
+		{"unterminated string", `a.b <- env p("x.`, "unterminated"},
+		{"negated role", `a.b <- !c.d.`, "'!' may only negate"},
+		{"empty params", `a.b() <- env p.`, "empty parameter list"},
+		{"membership out of range", `a.b <- env p keep [2].`, "out of range"},
+		{"free head variable", `a.b(X) <- env p.`, "head variable"},
+		{"unbound negation", `a.b <- !env p(X).`, "not bound"},
+		{"lone dash", `a.b <- env p(-x).`, "'-' must start an integer"},
+		{"newline in string", "a.b <- env p(\"x\ny\").", "newline in string"},
+		{"keyword as role", `a.keep <- env p.`, "expected"},
+		{"bad <", `a.b < env p.`, "expected '<-'"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse(tt.src)
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded", tt.src)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not mention %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestSyntaxErrorHasLine(t *testing.T) {
+	_, err := Parse("a.b <- env ok.\na.b <- env p @.")
+	var se *SyntaxError
+	if !errors.As(err, &se) {
+		t.Fatalf("error is %T", err)
+	}
+	if se.Line != 2 {
+		t.Errorf("Line = %d, want 2", se.Line)
+	}
+}
+
+func TestParseRoundTripThroughString(t *testing.T) {
+	src := `hospital.treating_doctor(D, P) <- hospital.doctor_on_duty(D), appt admin.allocated_patient(D, P), env registered(D, P), !env excluded(D, P) keep [1, 3].`
+	pol, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := pol.Rules[0].String()
+	pol2, err := Parse(rendered)
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", rendered, err)
+	}
+	if pol2.Rules[0].String() != rendered {
+		t.Errorf("round trip changed rule:\n%s\n%s", rendered, pol2.Rules[0].String())
+	}
+}
+
+func TestAuthRuleString(t *testing.T) {
+	src := `auth read(P) <- h.doc(D, P).`
+	pol := MustParse(src)
+	rendered := pol.Auth[0].String()
+	pol2, err := Parse(rendered)
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", rendered, err)
+	}
+	if pol2.Auth[0].String() != rendered {
+		t.Errorf("auth round trip changed: %q vs %q", rendered, pol2.Auth[0].String())
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic")
+		}
+	}()
+	MustParse("not a policy")
+}
+
+func TestVarNamingConvention(t *testing.T) {
+	// Leading underscore and upper-case are variables; lower-case are atoms.
+	pol := MustParse(`s.r <- env p(_x, Upper, lower).`)
+	args := pol.Rules[0].Body[0].(EnvCond).Args
+	if !args[0].IsVar() || !args[1].IsVar() || args[2].IsVar() {
+		t.Errorf("var classification wrong: %v", args)
+	}
+}

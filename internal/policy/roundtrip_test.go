@@ -1,0 +1,136 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/names"
+)
+
+// randTerm draws a ground or variable term over a small alphabet.
+func randTerm(rng *rand.Rand, vars []string) names.Term {
+	switch rng.Intn(4) {
+	case 0:
+		return names.Var(vars[rng.Intn(len(vars))])
+	case 1:
+		return names.Atom([]string{"alice", "st_marys", "p1", "x_9"}[rng.Intn(4)])
+	case 2:
+		return names.Str([]string{"ward 3", "a b c", ""}[rng.Intn(3)])
+	default:
+		return names.Int(rng.Int63n(2000) - 1000)
+	}
+}
+
+// randRule builds a structurally valid rule: the first condition is a
+// prerequisite role binding every variable the head or any negated
+// condition may mention.
+func randRule(rng *rand.Rand) Rule {
+	vars := []string{"A", "B", "C"}
+	// Binding condition: a role mentioning all variables.
+	binder := RoleCond{Role: names.MustRole(
+		names.MustRoleName("svc", "base", len(vars)),
+		names.Var("A"), names.Var("B"), names.Var("C"))}
+	body := []Cond{binder}
+	for i := rng.Intn(4); i > 0; i-- {
+		switch rng.Intn(3) {
+		case 0:
+			n := rng.Intn(3)
+			params := make([]names.Term, n)
+			for j := range params {
+				params[j] = randTerm(rng, vars)
+			}
+			rn := names.MustRoleName("other", "r", n)
+			body = append(body, RoleCond{Role: names.MustRole(rn, params...)})
+		case 1:
+			n := rng.Intn(3)
+			params := make([]names.Term, n)
+			for j := range params {
+				params[j] = randTerm(rng, vars)
+			}
+			body = append(body, ApptCond{Issuer: "issuer", Kind: "kind", Params: params})
+		default:
+			n := 1 + rng.Intn(2)
+			args := make([]names.Term, n)
+			for j := range args {
+				args[j] = randTerm(rng, vars)
+			}
+			body = append(body, EnvCond{
+				Name:    []string{"registered", "on_duty"}[rng.Intn(2)],
+				Args:    args,
+				Negated: rng.Intn(3) == 0,
+			})
+		}
+	}
+	arity := rng.Intn(3)
+	headParams := make([]names.Term, arity)
+	for i := range headParams {
+		headParams[i] = names.Var(vars[rng.Intn(len(vars))])
+	}
+	head := names.MustRole(names.MustRoleName("svc", "target", arity), headParams...)
+
+	var membership []int
+	for i := 1; i <= len(body); i++ {
+		if rng.Intn(2) == 0 {
+			membership = append(membership, i)
+		}
+	}
+	return Rule{Head: head, Body: body, Membership: membership}
+}
+
+func TestRandomRuleRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(20011112))
+	for i := 0; i < 500; i++ {
+		rule := randRule(rng)
+		if err := rule.Validate(); err != nil {
+			t.Fatalf("generated rule invalid: %v\n%s", err, rule)
+		}
+		text := rule.String()
+		pol, err := Parse(text)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v\n%s", err, text)
+		}
+		if len(pol.Rules) != 1 {
+			t.Fatalf("re-parse yielded %d rules for %q", len(pol.Rules), text)
+		}
+		if got := pol.Rules[0].String(); got != text {
+			t.Fatalf("round trip changed rule:\n before: %s\n after:  %s", text, got)
+		}
+	}
+}
+
+func TestRandomRuleEvaluates(t *testing.T) {
+	// Every generated rule must at least evaluate without internal
+	// errors when the referenced predicates exist (solutions optional).
+	rng := rand.New(rand.NewSource(42))
+	reg := NewRegistry()
+	reg.Register("registered", func(args []names.Term, s names.Substitution) []names.Substitution {
+		return []names.Substitution{s.Clone()}
+	})
+	reg.Register("on_duty", func(args []names.Term, s names.Substitution) []names.Substitution {
+		return nil
+	})
+	ev := NewEvaluator(reg)
+	creds := CredentialSet{
+		Roles: []HeldRole{
+			{Role: names.MustRole(names.MustRoleName("svc", "base", 3),
+				names.Atom("alice"), names.Int(7), names.Str("ward 3")), Key: "k1"},
+			{Role: names.MustRole(names.MustRoleName("other", "r", 0)), Key: "k2"},
+			{Role: names.MustRole(names.MustRoleName("other", "r", 1), names.Atom("alice")), Key: "k3"},
+			{Role: names.MustRole(names.MustRoleName("other", "r", 2),
+				names.Atom("alice"), names.Int(7)), Key: "k4"},
+		},
+		Appointments: []Appointment{
+			{Issuer: "issuer", Kind: "kind", Key: "a0"},
+			{Issuer: "issuer", Kind: "kind", Params: []names.Term{names.Atom("alice")}, Key: "a1"},
+			{Issuer: "issuer", Kind: "kind",
+				Params: []names.Term{names.Atom("alice"), names.Int(7)}, Key: "a2"},
+		},
+	}
+	for i := 0; i < 300; i++ {
+		rule := randRule(rng)
+		req := rule.Head // request with variables: any instantiation
+		if _, _, err := ev.Activate(rule, req, creds); err != nil {
+			t.Fatalf("evaluation error: %v\n%s", err, rule)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+// Package ptool implements the policy developer tooling behind
+// cmd/policytool: syntax/consistency checking, canonical formatting, and
+// activation tracing ("why does this role (not) activate for these
+// credentials?"). The paper's policies are written and evolved by service
+// administrators; this is the workbench a deployment would give them.
+package ptool
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cmdutil"
+	"repro/internal/policy"
+	"repro/internal/store"
+)
+
+// CheckResult is the outcome of checking one policy document.
+type CheckResult struct {
+	// Rules and AuthRules count the parsed statements.
+	Rules     int
+	AuthRules int
+	// Issues are consistency findings treating the document as a
+	// self-contained federation (references to other services surface
+	// as findings).
+	Issues []policy.Issue
+}
+
+// Check parses a policy and runs the consistency checker over it. The
+// registered predicate names (beyond the comparison builtins) are taken
+// from predicates.
+func Check(policyText string, predicates []string) (CheckResult, error) {
+	pol, err := policy.Parse(policyText)
+	if err != nil {
+		return CheckResult{}, err
+	}
+	services := make(map[string]bool)
+	for _, r := range pol.Rules {
+		services[r.Head.Name.Service] = true
+	}
+	checker := policy.NewChecker()
+	if len(services) == 0 {
+		checker.AddService("policy", pol, predicates)
+	}
+	first := true
+	for svc := range services {
+		if first {
+			// Attach the whole document (including auth rules) to the
+			// first defining service; a single-service policy file is
+			// by far the common case.
+			checker.AddService(svc, pol, predicates)
+			first = false
+			continue
+		}
+		checker.AddService(svc, policy.Policy{}, predicates)
+	}
+	return CheckResult{
+		Rules:     len(pol.Rules),
+		AuthRules: len(pol.Auth),
+		Issues:    checker.Check(),
+	}, nil
+}
+
+// Format parses and re-renders a policy in canonical form (one statement
+// per line, normalised spacing).
+func Format(policyText string) (string, error) {
+	pol, err := policy.Parse(policyText)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, r := range pol.Rules {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	for _, a := range pol.Auth {
+		b.WriteString(a.String())
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// Trace explains one rule's evaluation: how far through the body the
+// solver got with the given credentials.
+type Trace struct {
+	RuleIndex int
+	Rule      string
+	// Satisfied is the number of leading body conditions satisfiable
+	// together (== len(body) when the rule fires).
+	Satisfied int
+	// Conditions has one entry per body condition.
+	Conditions int
+	// FailedCond renders the first condition that cannot be satisfied
+	// ("" when the rule fires).
+	FailedCond string
+	// Fired reports whether the whole rule was satisfied.
+	Fired bool
+	// Bindings renders the solution substitution when fired.
+	Bindings string
+}
+
+// EvalRequest bundles the inputs to Explain.
+type EvalRequest struct {
+	// PolicyText is the service policy under test.
+	PolicyText string
+	// FactsText feeds a fact store; every relation becomes a
+	// store-backed environmental predicate of the same name.
+	FactsText string
+	// Role is the requested role instance, e.g. "hospital.doctor(D)".
+	Role string
+	// HeldRoles are the principal's validated RMCs as role instances.
+	HeldRoles []string
+	// Appointments are held appointment credentials as
+	// "issuer.kind(params...)".
+	Appointments []string
+}
+
+// Explain evaluates every activation rule for the requested role and
+// reports a per-rule trace.
+func Explain(req EvalRequest) ([]Trace, error) {
+	pol, err := policy.Parse(req.PolicyText)
+	if err != nil {
+		return nil, err
+	}
+	target, err := cmdutil.ParseRoleInstance(req.Role)
+	if err != nil {
+		return nil, err
+	}
+	rules := pol.RulesFor(target.Name)
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("no activation rule defines %s", target.Name)
+	}
+
+	db := store.New()
+	reg := policy.NewRegistry()
+	if req.FactsText != "" {
+		relations, err := cmdutil.LoadFacts(db, req.FactsText)
+		if err != nil {
+			return nil, err
+		}
+		for _, rel := range relations {
+			reg.RegisterStore(rel, db, rel)
+		}
+	}
+	// Closed world: a predicate the policy mentions but the facts file
+	// does not populate is an empty relation (positive conditions fail,
+	// negated ones succeed) rather than an evaluation error.
+	for _, rule := range pol.Rules {
+		for _, cond := range rule.Body {
+			if ec, ok := cond.(policy.EnvCond); ok {
+				if _, known := reg.Lookup(ec.Name); !known {
+					reg.RegisterStore(ec.Name, db, ec.Name)
+				}
+			}
+		}
+	}
+	creds, err := buildCredentials(req.HeldRoles, req.Appointments)
+	if err != nil {
+		return nil, err
+	}
+	ev := policy.NewEvaluator(reg)
+
+	traces := make([]Trace, 0, len(rules))
+	for i, rule := range rules {
+		tr := Trace{RuleIndex: i + 1, Rule: rule.String(), Conditions: len(rule.Body)}
+		sol, ok, err := ev.Activate(rule, target, creds)
+		if err != nil {
+			return nil, fmt.Errorf("rule %d: %w", i+1, err)
+		}
+		if ok {
+			tr.Fired = true
+			tr.Satisfied = len(rule.Body)
+			tr.Bindings = sol.Subst.String()
+			traces = append(traces, tr)
+			continue
+		}
+		// Find the longest satisfiable prefix by evaluating truncated
+		// bodies.
+		tr.Satisfied = 0
+		for n := len(rule.Body) - 1; n >= 1; n-- {
+			truncated := policy.Rule{Head: rule.Head, Body: rule.Body[:n]}
+			if _, ok, err := ev.Activate(truncated, target, creds); err == nil && ok {
+				tr.Satisfied = n
+				break
+			}
+		}
+		tr.FailedCond = rule.Body[tr.Satisfied].String()
+		traces = append(traces, tr)
+	}
+	return traces, nil
+}
+
+// buildCredentials parses held-role and appointment specs into the
+// evaluator's credential set (keys are synthetic; the tool evaluates
+// policy, it does not verify signatures).
+func buildCredentials(heldRoles, appointments []string) (policy.CredentialSet, error) {
+	var creds policy.CredentialSet
+	for i, spec := range heldRoles {
+		r, err := cmdutil.ParseRoleInstance(spec)
+		if err != nil {
+			return policy.CredentialSet{}, fmt.Errorf("held role %q: %w", spec, err)
+		}
+		if !r.IsGround() {
+			return policy.CredentialSet{}, fmt.Errorf("held role %q must be ground", spec)
+		}
+		creds.Roles = append(creds.Roles, policy.HeldRole{
+			Role: r,
+			Key:  fmt.Sprintf("held#%d", i+1),
+		})
+	}
+	for i, spec := range appointments {
+		r, err := cmdutil.ParseRoleInstance(spec) // same issuer.kind(params) shape
+		if err != nil {
+			return policy.CredentialSet{}, fmt.Errorf("appointment %q: %w", spec, err)
+		}
+		for _, p := range r.Params {
+			if !p.IsGround() {
+				return policy.CredentialSet{}, fmt.Errorf("appointment %q must be ground", spec)
+			}
+		}
+		creds.Appointments = append(creds.Appointments, policy.Appointment{
+			Issuer: r.Name.Service,
+			Kind:   r.Name.Name,
+			Params: r.Params,
+			Key:    fmt.Sprintf("appt#%d", i+1),
+		})
+	}
+	return creds, nil
+}

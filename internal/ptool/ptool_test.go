@@ -1,0 +1,229 @@
+package ptool
+
+import (
+	"strings"
+	"testing"
+)
+
+const hospitalPolicy = `
+hospital.treating_doctor(D, P) <-
+    hospital.doctor_on_duty(D),
+    env registered(D, P),
+    !env excluded(D, P)
+    keep [1, 2].
+hospital.doctor_on_duty(D) <- env on_duty(D) keep [1].
+auth read_record(P) <- hospital.treating_doctor(D, P).
+`
+
+func TestCheckCountsAndCleanliness(t *testing.T) {
+	res, err := Check(hospitalPolicy, []string{"registered", "excluded", "on_duty"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rules != 2 || res.AuthRules != 1 {
+		t.Errorf("counts = %d/%d", res.Rules, res.AuthRules)
+	}
+	for _, issue := range res.Issues {
+		if issue.Severity == "error" {
+			t.Errorf("unexpected error: %s", issue)
+		}
+	}
+}
+
+func TestCheckFindsMissingPredicate(t *testing.T) {
+	res, err := Check(hospitalPolicy, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, issue := range res.Issues {
+		if issue.Severity == "error" && strings.Contains(issue.Msg, "registered") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing predicate not flagged: %v", res.Issues)
+	}
+}
+
+func TestCheckParseError(t *testing.T) {
+	if _, err := Check("not a policy", nil); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestCheckAuthOnlyDocument(t *testing.T) {
+	res, err := Check(`auth ping <- external.user.`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AuthRules != 1 {
+		t.Errorf("AuthRules = %d", res.AuthRules)
+	}
+}
+
+func TestFormatCanonical(t *testing.T) {
+	messy := "s.r(X)<-s.base(X),env p(X)  keep [1]  .\nauth m <- s.r(Y)."
+	out, err := Format(messy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "s.r(X) <- s.base(X), env p(X) keep [1].\nauth m <- s.r(Y).\n"
+	if out != want {
+		t.Errorf("Format:\n got %q\nwant %q", out, want)
+	}
+	// Formatting is idempotent.
+	again, err := Format(out)
+	if err != nil || again != out {
+		t.Errorf("not idempotent: %q vs %q (%v)", again, out, err)
+	}
+}
+
+func TestFormatError(t *testing.T) {
+	if _, err := Format("x <-"); err == nil {
+		t.Error("garbage formatted")
+	}
+}
+
+func TestExplainFiringRule(t *testing.T) {
+	traces, err := Explain(EvalRequest{
+		PolicyText: hospitalPolicy,
+		FactsText: `
+on_duty dr_ann
+registered dr_ann joe
+`,
+		Role:      "hospital.treating_doctor(D, P)",
+		HeldRoles: []string{"hospital.doctor_on_duty(dr_ann)"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	tr := traces[0]
+	if !tr.Fired || tr.Satisfied != tr.Conditions {
+		t.Errorf("trace = %+v", tr)
+	}
+	if !strings.Contains(tr.Bindings, "dr_ann") || !strings.Contains(tr.Bindings, "joe") {
+		t.Errorf("bindings = %q", tr.Bindings)
+	}
+}
+
+func TestExplainPinpointsFailure(t *testing.T) {
+	traces, err := Explain(EvalRequest{
+		PolicyText: hospitalPolicy,
+		FactsText: `
+on_duty dr_fred
+registered dr_fred joe
+excluded dr_fred joe
+`,
+		Role:      "hospital.treating_doctor(D, P)",
+		HeldRoles: []string{"hospital.doctor_on_duty(dr_fred)"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := traces[0]
+	if tr.Fired {
+		t.Fatalf("rule fired despite exclusion: %+v", tr)
+	}
+	if tr.Satisfied != 2 {
+		t.Errorf("Satisfied = %d, want 2", tr.Satisfied)
+	}
+	if !strings.Contains(tr.FailedCond, "excluded") {
+		t.Errorf("FailedCond = %q", tr.FailedCond)
+	}
+}
+
+func TestExplainMissingCredential(t *testing.T) {
+	traces, err := Explain(EvalRequest{
+		PolicyText: hospitalPolicy,
+		FactsText:  `registered dr_ann joe`,
+		Role:       "hospital.treating_doctor(D, P)",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := traces[0]
+	if tr.Fired || tr.Satisfied != 0 {
+		t.Errorf("trace = %+v", tr)
+	}
+	if !strings.Contains(tr.FailedCond, "doctor_on_duty") {
+		t.Errorf("FailedCond = %q", tr.FailedCond)
+	}
+}
+
+func TestExplainWithAppointment(t *testing.T) {
+	pol := `ri.visiting <- appt hospital.employed_as_doctor(H) keep [1].`
+	traces, err := Explain(EvalRequest{
+		PolicyText:   pol,
+		Role:         "ri.visiting",
+		Appointments: []string{"hospital.employed_as_doctor(st_marys)"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !traces[0].Fired {
+		t.Errorf("trace = %+v", traces[0])
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	if _, err := Explain(EvalRequest{PolicyText: "bad", Role: "a.b"}); err == nil {
+		t.Error("bad policy accepted")
+	}
+	if _, err := Explain(EvalRequest{PolicyText: `a.b <- env p.`, Role: "zzz"}); err == nil {
+		t.Error("bad role spec accepted")
+	}
+	if _, err := Explain(EvalRequest{PolicyText: `a.b <- env p.`, Role: "a.undefined"}); err == nil {
+		t.Error("undefined role accepted")
+	}
+	if _, err := Explain(EvalRequest{
+		PolicyText: `a.b <- env p.`, Role: "a.b", FactsText: "rel (((",
+	}); err == nil {
+		t.Error("bad facts accepted")
+	}
+	if _, err := Explain(EvalRequest{
+		PolicyText: `a.b <- a.c(X).
+a.c(X) <- env p(X).`,
+		Role:      "a.b",
+		HeldRoles: []string{"a.c(Y)"},
+	}); err == nil {
+		t.Error("non-ground held role accepted")
+	}
+	if _, err := Explain(EvalRequest{
+		PolicyText:   `a.b <- appt i.k(X) keep [1].`,
+		Role:         "a.b",
+		Appointments: []string{"i.k(Var)"},
+	}); err == nil {
+		t.Error("non-ground appointment accepted")
+	}
+}
+
+func TestExplainClosedWorldPredicate(t *testing.T) {
+	// A predicate with no facts is an empty relation: positive use
+	// fails, negated use succeeds.
+	traces, err := Explain(EvalRequest{
+		PolicyText: `a.b <- env ghost.`,
+		Role:       "a.b",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traces[0].Fired {
+		t.Error("empty relation satisfied a positive condition")
+	}
+	traces, err = Explain(EvalRequest{
+		PolicyText: `a.b <- a.c, !env ghost2(x).
+a.c <- env anyone.`,
+		Role:      "a.b",
+		HeldRoles: []string{"a.c"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !traces[0].Fired {
+		t.Errorf("negated empty relation failed: %+v", traces[0])
+	}
+}

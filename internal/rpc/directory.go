@@ -1,0 +1,93 @@
+package rpc
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Directory routes calls to services spread over several TCP endpoints:
+// the deployment shape of cmd/oasisd, where each process hosts one or more
+// services. Connections are dialled lazily and reused.
+type Directory struct {
+	timeout time.Duration
+
+	mu    sync.Mutex
+	addrs map[string]string // service -> address
+	conns map[string]*TCPClient
+}
+
+var _ Caller = (*Directory)(nil)
+
+// NewDirectory creates an empty directory; timeout bounds each call.
+func NewDirectory(timeout time.Duration) *Directory {
+	return &Directory{
+		timeout: timeout,
+		addrs:   make(map[string]string),
+		conns:   make(map[string]*TCPClient),
+	}
+}
+
+// Add maps a service name to a TCP address.
+func (d *Directory) Add(service, addr string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.addrs[service] = addr
+}
+
+// Call implements Caller by routing to the service's registered address.
+func (d *Directory) Call(service, method string, body []byte) ([]byte, error) {
+	d.mu.Lock()
+	addr, ok := d.addrs[service]
+	if !ok {
+		d.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s (no address registered)", ErrUnknownService, service)
+	}
+	cli := d.conns[addr]
+	d.mu.Unlock()
+
+	if cli == nil {
+		fresh, err := DialTCP(addr, d.timeout)
+		if err != nil {
+			return nil, err
+		}
+		d.mu.Lock()
+		if existing := d.conns[addr]; existing != nil {
+			d.mu.Unlock()
+			fresh.Close() //nolint:errcheck
+			cli = existing
+		} else {
+			d.conns[addr] = fresh
+			d.mu.Unlock()
+			cli = fresh
+		}
+	}
+	out, err := cli.Call(service, method, body)
+	if err != nil {
+		// Drop a possibly broken connection so the next call redials,
+		// unless the failure was an application-level RemoteError.
+		if _, remote := err.(*RemoteError); !remote {
+			d.mu.Lock()
+			if d.conns[addr] == cli {
+				delete(d.conns, addr)
+			}
+			d.mu.Unlock()
+			cli.Close() //nolint:errcheck
+		}
+	}
+	return out, err
+}
+
+// Close closes all pooled connections.
+func (d *Directory) Close() {
+	d.mu.Lock()
+	conns := make([]*TCPClient, 0, len(d.conns))
+	for _, c := range d.conns {
+		conns = append(conns, c)
+	}
+	d.conns = make(map[string]*TCPClient)
+	d.mu.Unlock()
+	for _, c := range conns {
+		c.Close() //nolint:errcheck
+	}
+}

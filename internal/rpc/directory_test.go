@@ -1,0 +1,147 @@
+package rpc
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestDirectoryRoutesAcrossServers(t *testing.T) {
+	srvA, addrA := startServer(t)
+	srvA.Register("alpha", func(method string, body []byte) ([]byte, error) {
+		return []byte("A:" + method), nil
+	})
+	srvB, addrB := startServer(t)
+	srvB.Register("beta", func(method string, body []byte) ([]byte, error) {
+		return []byte("B:" + method), nil
+	})
+
+	d := NewDirectory(5 * time.Second)
+	defer d.Close()
+	d.Add("alpha", addrA)
+	d.Add("beta", addrB)
+
+	out, err := d.Call("alpha", "m1", nil)
+	if err != nil || string(out) != "A:m1" {
+		t.Fatalf("alpha call = (%q, %v)", out, err)
+	}
+	out, err = d.Call("beta", "m2", nil)
+	if err != nil || string(out) != "B:m2" {
+		t.Fatalf("beta call = (%q, %v)", out, err)
+	}
+}
+
+func TestDirectoryUnknownService(t *testing.T) {
+	d := NewDirectory(time.Second)
+	defer d.Close()
+	if _, err := d.Call("ghost", "m", nil); !errors.Is(err, ErrUnknownService) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDirectoryReusesConnection(t *testing.T) {
+	var accepted int
+	srv := NewTCPServer()
+	srv.Register("svc", func(method string, body []byte) ([]byte, error) { return nil, nil })
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counting := &countingListener{Listener: ln, accepted: &accepted}
+	go srv.Serve(counting)
+	t.Cleanup(srv.Close)
+
+	d := NewDirectory(5 * time.Second)
+	defer d.Close()
+	d.Add("svc", ln.Addr().String())
+	for i := 0; i < 5; i++ {
+		if _, err := d.Call("svc", "m", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if accepted != 1 {
+		t.Errorf("accepted %d connections, want 1 (pooling)", accepted)
+	}
+}
+
+func TestDirectoryRemoteErrorKeepsConnection(t *testing.T) {
+	srv, addr := startServer(t)
+	srv.Register("svc", func(method string, body []byte) ([]byte, error) {
+		if method == "bad" {
+			return nil, errors.New("no")
+		}
+		return []byte("ok"), nil
+	})
+	d := NewDirectory(5 * time.Second)
+	defer d.Close()
+	d.Add("svc", addr)
+	if _, err := d.Call("svc", "bad", nil); err == nil {
+		t.Fatal("expected remote error")
+	}
+	// The connection survives an application error.
+	out, err := d.Call("svc", "good", nil)
+	if err != nil || string(out) != "ok" {
+		t.Errorf("follow-up call = (%q, %v)", out, err)
+	}
+}
+
+func TestDirectoryRedialsAfterServerRestart(t *testing.T) {
+	srv := NewTCPServer()
+	srv.Register("svc", func(method string, body []byte) ([]byte, error) { return []byte("v1"), nil })
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	go srv.Serve(ln)
+
+	d := NewDirectory(5 * time.Second)
+	defer d.Close()
+	d.Add("svc", addr)
+	if _, err := d.Call("svc", "m", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	srv.Close()
+	// The stale pooled connection fails once and is dropped.
+	if _, err := d.Call("svc", "m", nil); err == nil {
+		t.Fatal("call to dead server succeeded")
+	}
+
+	// Restart on the same address; the next call redials.
+	srv2 := NewTCPServer()
+	srv2.Register("svc", func(method string, body []byte) ([]byte, error) { return []byte("v2"), nil })
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	go srv2.Serve(ln2)
+	t.Cleanup(srv2.Close)
+
+	var out []byte
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		out, err = d.Call("svc", "m", nil)
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil || string(out) != "v2" {
+		t.Errorf("post-restart call = (%q, %v)", out, err)
+	}
+}
+
+type countingListener struct {
+	net.Listener
+	accepted *int
+}
+
+func (l *countingListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err == nil {
+		*l.accepted++
+	}
+	return c, err
+}

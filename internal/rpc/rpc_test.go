@@ -1,0 +1,124 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLoopbackCall(t *testing.T) {
+	l := NewLoopback()
+	l.Register("svc", func(method string, body []byte) ([]byte, error) {
+		return []byte(method + ":" + string(body)), nil
+	})
+	out, err := l.Call("svc", "echo", []byte("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "echo:hi" {
+		t.Errorf("out = %q", out)
+	}
+	if l.Calls() != 1 {
+		t.Errorf("Calls = %d", l.Calls())
+	}
+}
+
+func TestLoopbackUnknownService(t *testing.T) {
+	l := NewLoopback()
+	if _, err := l.Call("nope", "m", nil); !errors.Is(err, ErrUnknownService) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestLoopbackRemoteError(t *testing.T) {
+	l := NewLoopback()
+	l.Register("svc", func(method string, body []byte) ([]byte, error) {
+		return nil, errors.New("boom")
+	})
+	_, err := l.Call("svc", "m", nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %T %v", err, err)
+	}
+	if re.Msg != "boom" || re.Service != "svc" || re.Method != "m" {
+		t.Errorf("RemoteError = %+v", re)
+	}
+}
+
+func TestLoopbackDeregister(t *testing.T) {
+	l := NewLoopback()
+	l.Register("svc", func(string, []byte) ([]byte, error) { return nil, nil })
+	l.Deregister("svc")
+	if _, err := l.Call("svc", "m", nil); !errors.Is(err, ErrUnknownService) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestLoopbackFaultInjection(t *testing.T) {
+	l := NewLoopback()
+	l.Register("svc", func(string, []byte) ([]byte, error) { return []byte("ok"), nil })
+	l.SetFault(FailNTimes("svc", 2))
+	for i := 0; i < 2; i++ {
+		if _, err := l.Call("svc", "m", nil); !errors.Is(err, ErrInjectedFault) {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if out, err := l.Call("svc", "m", nil); err != nil || string(out) != "ok" {
+		t.Errorf("third call = (%q, %v)", out, err)
+	}
+	// Fault scoped to another service does not fire.
+	l.SetFault(FailNTimes("other", 1))
+	if _, err := l.Call("svc", "m", nil); err != nil {
+		t.Errorf("scoped fault leaked: %v", err)
+	}
+	// Empty service matches all.
+	l.SetFault(FailNTimes("", 1))
+	if _, err := l.Call("svc", "m", nil); !errors.Is(err, ErrInjectedFault) {
+		t.Errorf("wildcard fault missed: %v", err)
+	}
+	l.SetFault(nil)
+	if _, err := l.Call("svc", "m", nil); err != nil {
+		t.Errorf("cleared fault still firing: %v", err)
+	}
+}
+
+func TestLoopbackLatency(t *testing.T) {
+	l := NewLoopback()
+	l.Register("svc", func(string, []byte) ([]byte, error) { return nil, nil })
+	l.SetLatency(20 * time.Millisecond)
+	start := time.Now()
+	if _, err := l.Call("svc", "m", nil); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("latency not applied: %v", elapsed)
+	}
+}
+
+func TestLoopbackConcurrent(t *testing.T) {
+	l := NewLoopback()
+	l.Register("svc", func(method string, body []byte) ([]byte, error) {
+		return body, nil
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				msg := []byte(fmt.Sprintf("%d-%d", g, i))
+				out, err := l.Call("svc", "echo", msg)
+				if err != nil || string(out) != string(msg) {
+					t.Errorf("call = (%q, %v)", out, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if l.Calls() != 400 {
+		t.Errorf("Calls = %d, want 400", l.Calls())
+	}
+}

@@ -1,0 +1,199 @@
+package rpc
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// wireRequest and wireResponse are the gob frames exchanged by the TCP
+// transport. Err distinguishes transport-visible handler failures.
+type wireRequest struct {
+	ID      uint64
+	Service string
+	Method  string
+	Body    []byte
+}
+
+type wireResponse struct {
+	ID   uint64
+	Body []byte
+	Err  string
+}
+
+// TCPServer serves registered handlers over a net.Listener. One goroutine
+// per connection; requests on a connection are handled sequentially, which
+// is sufficient for the demo deployment (cmd/oasisd).
+type TCPServer struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	ln       net.Listener
+	wg       sync.WaitGroup
+	closed   bool
+	conns    map[net.Conn]struct{}
+}
+
+// NewTCPServer creates a server with no handlers.
+func NewTCPServer() *TCPServer {
+	return &TCPServer{
+		handlers: make(map[string]Handler),
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// Register installs the handler for a service name.
+func (s *TCPServer) Register(service string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[service] = h
+}
+
+// Serve accepts connections on ln until Close. It returns after the
+// listener fails (normally because Close closed it).
+func (s *TCPServer) Serve(ln net.Listener) {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close() //nolint:errcheck
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close() //nolint:errcheck
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req wireRequest
+		if err := dec.Decode(&req); err != nil {
+			return // EOF or broken connection
+		}
+		s.mu.RLock()
+		h, ok := s.handlers[req.Service]
+		s.mu.RUnlock()
+		resp := wireResponse{ID: req.ID}
+		if !ok {
+			resp.Err = ErrUnknownService.Error() + ": " + req.Service
+		} else if out, err := h(req.Method, req.Body); err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Body = out
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting, closes open connections and waits for connection
+// goroutines to finish.
+func (s *TCPServer) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close() //nolint:errcheck
+	}
+	for _, c := range conns {
+		c.Close() //nolint:errcheck
+	}
+	s.wg.Wait()
+}
+
+// TCPClient issues calls over a single TCP connection. It is safe for
+// concurrent use; calls are serialised on the connection.
+type TCPClient struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	enc     *gob.Encoder
+	dec     *gob.Decoder
+	nextID  uint64
+	timeout time.Duration
+}
+
+var _ Caller = (*TCPClient)(nil)
+
+// DialTCP connects to a TCPServer. timeout bounds each call round trip
+// (zero means no deadline).
+func DialTCP(addr string, timeout time.Duration) (*TCPClient, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("dial %s: %w", addr, err)
+	}
+	return &TCPClient{
+		conn:    conn,
+		enc:     gob.NewEncoder(conn),
+		dec:     gob.NewDecoder(conn),
+		timeout: timeout,
+	}, nil
+}
+
+// Call implements Caller.
+func (c *TCPClient) Call(service, method string, body []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	req := wireRequest{ID: c.nextID, Service: service, Method: method, Body: body}
+	if c.timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			return nil, fmt.Errorf("set deadline: %w", err)
+		}
+	}
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("send %s.%s: %w", service, method, err)
+	}
+	var resp wireResponse
+	if err := c.dec.Decode(&resp); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, fmt.Errorf("connection closed during %s.%s: %w", service, method, err)
+		}
+		return nil, fmt.Errorf("receive %s.%s: %w", service, method, err)
+	}
+	if resp.ID != req.ID {
+		return nil, fmt.Errorf("response id %d for request %d", resp.ID, req.ID)
+	}
+	if resp.Err != "" {
+		return nil, &RemoteError{Service: service, Method: method, Msg: resp.Err}
+	}
+	return resp.Body, nil
+}
+
+// Close closes the underlying connection.
+func (c *TCPClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}

@@ -1,0 +1,174 @@
+package rpc
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func startServer(t *testing.T) (*TCPServer, string) {
+	t.Helper()
+	srv := NewTCPServer()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(srv.Close)
+	return srv, ln.Addr().String()
+}
+
+func TestTCPCallRoundTrip(t *testing.T) {
+	srv, addr := startServer(t)
+	srv.Register("svc", func(method string, body []byte) ([]byte, error) {
+		return append([]byte(method+"/"), body...), nil
+	})
+	cli, err := DialTCP(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close() //nolint:errcheck
+	out, err := cli.Call("svc", "validate", []byte("cert"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "validate/cert" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestTCPUnknownService(t *testing.T) {
+	_, addr := startServer(t)
+	cli, err := DialTCP(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close() //nolint:errcheck
+	_, err = cli.Call("ghost", "m", nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %T %v", err, err)
+	}
+}
+
+func TestTCPHandlerError(t *testing.T) {
+	srv, addr := startServer(t)
+	srv.Register("svc", func(string, []byte) ([]byte, error) {
+		return nil, errors.New("rejected")
+	})
+	cli, err := DialTCP(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close() //nolint:errcheck
+	_, err = cli.Call("svc", "m", nil)
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Msg != "rejected" {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTCPSequentialCallsOneConnection(t *testing.T) {
+	srv, addr := startServer(t)
+	srv.Register("svc", func(method string, body []byte) ([]byte, error) {
+		return body, nil
+	})
+	cli, err := DialTCP(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close() //nolint:errcheck
+	for i := 0; i < 20; i++ {
+		msg := []byte{byte(i)}
+		out, err := cli.Call("svc", "echo", msg)
+		if err != nil || len(out) != 1 || out[0] != byte(i) {
+			t.Fatalf("call %d = (%v, %v)", i, out, err)
+		}
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	srv, addr := startServer(t)
+	srv.Register("svc", func(method string, body []byte) ([]byte, error) {
+		return body, nil
+	})
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cli, err := DialTCP(addr, 5*time.Second)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cli.Close() //nolint:errcheck
+			for i := 0; i < 25; i++ {
+				msg := []byte{byte(c), byte(i)}
+				out, err := cli.Call("svc", "echo", msg)
+				if err != nil || string(out) != string(msg) {
+					t.Errorf("client %d call %d: (%v, %v)", c, i, out, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+func TestTCPLargePayload(t *testing.T) {
+	srv, addr := startServer(t)
+	srv.Register("svc", func(method string, body []byte) ([]byte, error) {
+		// Reverse the payload so we know it made the full round trip.
+		out := make([]byte, len(body))
+		for i, b := range body {
+			out[len(body)-1-i] = b
+		}
+		return out, nil
+	})
+	cli, err := DialTCP(addr, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()    //nolint:errcheck
+	const size = 4 << 20 // 4 MiB
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	out, err := cli.Call("svc", "rev", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != size {
+		t.Fatalf("got %d bytes", len(out))
+	}
+	for i := 0; i < size; i += 4093 {
+		if out[i] != payload[size-1-i] {
+			t.Fatalf("corruption at %d", i)
+		}
+	}
+}
+
+func TestTCPDialFailure(t *testing.T) {
+	if _, err := DialTCP("127.0.0.1:1", time.Second); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+func TestTCPServerCloseIdempotent(t *testing.T) {
+	srv, addr := startServer(t)
+	cli, err := DialTCP(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close() //nolint:errcheck
+	srv.Close()
+	srv.Close()
+	// Calls after server close fail.
+	if _, err := cli.Call("svc", "m", nil); err == nil {
+		t.Error("call after server close succeeded")
+	}
+}

@@ -1,0 +1,33 @@
+package seal
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkSealOpen(b *testing.B) {
+	alice, err := NewIdentity(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc, err := NewIdentity(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, size := range []int{64, 1024, 16384} {
+		b.Run(fmt.Sprintf("bytes=%d", size), func(b *testing.B) {
+			msg := make([]byte, size)
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				env, err := alice.Seal(msg, svc.PublicKey())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := svc.Open(env); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

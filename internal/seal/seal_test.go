@@ -1,0 +1,209 @@
+package seal
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rpc"
+)
+
+func identity(t *testing.T) *Identity {
+	t.Helper()
+	id, err := NewIdentity(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	alice := identity(t)
+	svc := identity(t)
+	env, err := alice.Seal([]byte("patient record"), svc.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, senderPub, err := svc.Open(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(plain) != "patient record" {
+		t.Errorf("plain = %q", plain)
+	}
+	if !bytes.Equal(senderPub, alice.PublicKey()) {
+		t.Error("sender public key not recovered")
+	}
+	// The service replies sealed to the recovered key.
+	reply, err := svc.Seal([]byte("ok"), senderPub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := alice.Open(reply)
+	if err != nil || string(got) != "ok" {
+		t.Errorf("reply = (%q, %v)", got, err)
+	}
+}
+
+func TestOpenWrongRecipient(t *testing.T) {
+	alice := identity(t)
+	svc := identity(t)
+	eve := identity(t)
+	env, err := alice.Seal([]byte("secret"), svc.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eve.Open(env); !errors.Is(err, ErrOpenFailed) {
+		t.Errorf("eavesdropper opened envelope: %v", err)
+	}
+}
+
+func TestOpenTamperedCiphertext(t *testing.T) {
+	alice := identity(t)
+	svc := identity(t)
+	env, err := alice.Seal([]byte("secret"), svc.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Box[0] ^= 0xff
+	if _, _, err := svc.Open(env); !errors.Is(err, ErrOpenFailed) {
+		t.Errorf("tampered envelope opened: %v", err)
+	}
+}
+
+func TestOpenReflectedEnvelopeFails(t *testing.T) {
+	// An envelope alice->svc must not be openable as if it were
+	// svc->alice traffic (directional key derivation).
+	alice := identity(t)
+	svc := identity(t)
+	env, err := alice.Seal([]byte("secret"), svc.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reflected := env
+	reflected.SenderPub = svc.PublicKey()
+	if _, _, err := alice.Open(reflected); !errors.Is(err, ErrOpenFailed) {
+		t.Errorf("reflected envelope opened: %v", err)
+	}
+}
+
+func TestSealBadPeerKey(t *testing.T) {
+	alice := identity(t)
+	if _, err := alice.Seal([]byte("x"), []byte("short")); !errors.Is(err, ErrBadPeerKey) {
+		t.Errorf("err = %v", err)
+	}
+	if _, _, err := alice.Open(Envelope{SenderPub: []byte("short")}); !errors.Is(err, ErrBadPeerKey) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestOpenBadNonce(t *testing.T) {
+	alice := identity(t)
+	svc := identity(t)
+	env, err := alice.Seal([]byte("x"), svc.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Nonce = env.Nonce[:4]
+	if _, _, err := svc.Open(env); !errors.Is(err, ErrOpenFailed) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestQuickSealOpen(t *testing.T) {
+	alice := identity(t)
+	svc := identity(t)
+	f := func(msg []byte) bool {
+		env, err := alice.Seal(msg, svc.PublicKey())
+		if err != nil {
+			return false
+		}
+		got, _, err := svc.Open(env)
+		return err == nil && bytes.Equal(got, msg)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSealedTransportEndToEnd(t *testing.T) {
+	// A plaintext-observing transport between a sealed caller and a
+	// sealed handler: payloads never appear in clear on the wire.
+	svcID := identity(t)
+	cliID := identity(t)
+	dir := NewDirectory()
+	dir.Add("records", svcID.PublicKey())
+
+	bus := rpc.NewLoopback()
+	var observed [][]byte
+	inner := func(method string, body []byte) ([]byte, error) {
+		return []byte("RESULT:" + method), nil
+	}
+	sealed := Handler(svcID, inner)
+	bus.Register("records", func(method string, body []byte) ([]byte, error) {
+		observed = append(observed, append([]byte(nil), body...))
+		out, err := sealed(method, body)
+		if out != nil {
+			observed = append(observed, append([]byte(nil), out...))
+		}
+		return out, err
+	})
+
+	caller := NewCaller(cliID, bus, dir)
+	out, err := caller.Call("records", "fetch", []byte("patient joe_bloggs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "RESULT:fetch" {
+		t.Errorf("out = %q", out)
+	}
+	// Nothing observed on the wire contains the plaintexts.
+	for _, wire := range observed {
+		if bytes.Contains(wire, []byte("joe_bloggs")) {
+			t.Error("request plaintext visible on the wire")
+		}
+		if bytes.Contains(wire, []byte("RESULT:fetch")) {
+			t.Error("response plaintext visible on the wire")
+		}
+	}
+	if len(observed) != 2 {
+		t.Fatalf("observed %d wire messages", len(observed))
+	}
+}
+
+func TestSealedCallerUnknownService(t *testing.T) {
+	cliID := identity(t)
+	caller := NewCaller(cliID, rpc.NewLoopback(), NewDirectory())
+	if _, err := caller.Call("ghost", "m", nil); err == nil ||
+		!strings.Contains(err.Error(), "no public key") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSealedHandlerRejectsPlaintext(t *testing.T) {
+	svcID := identity(t)
+	h := Handler(svcID, func(method string, body []byte) ([]byte, error) {
+		t.Error("inner handler reached with unsealed request")
+		return nil, nil
+	})
+	if _, err := h("m", []byte("not an envelope")); err == nil {
+		t.Error("plaintext request accepted")
+	}
+}
+
+func TestSealedTransportApplicationError(t *testing.T) {
+	svcID := identity(t)
+	cliID := identity(t)
+	dir := NewDirectory()
+	dir.Add("svc", svcID.PublicKey())
+	bus := rpc.NewLoopback()
+	bus.Register("svc", Handler(svcID, func(method string, body []byte) ([]byte, error) {
+		return nil, errors.New("denied")
+	}))
+	caller := NewCaller(cliID, bus, dir)
+	if _, err := caller.Call("svc", "m", []byte("x")); err == nil {
+		t.Error("application error swallowed")
+	}
+}

@@ -1,0 +1,110 @@
+package seal
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/rpc"
+)
+
+// Directory maps service names to their sealing public keys (the paper's
+// assumption that callers know "the service's public key").
+type Directory struct {
+	mu   sync.RWMutex
+	keys map[string][]byte
+}
+
+// NewDirectory creates an empty key directory.
+func NewDirectory() *Directory {
+	return &Directory{keys: make(map[string][]byte)}
+}
+
+// Add registers a service's sealing public key.
+func (d *Directory) Add(service string, pub []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cp := make([]byte, len(pub))
+	copy(cp, pub)
+	d.keys[service] = cp
+}
+
+// Lookup fetches a service's key.
+func (d *Directory) Lookup(service string) ([]byte, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	k, ok := d.keys[service]
+	return k, ok
+}
+
+// Caller wraps an rpc.Caller so that request bodies travel sealed to the
+// target service and responses come back sealed to this caller — nothing
+// is visible "on the wire" even over an untrusted transport.
+type Caller struct {
+	id    *Identity
+	inner rpc.Caller
+	dir   *Directory
+}
+
+var _ rpc.Caller = (*Caller)(nil)
+
+// NewCaller builds a sealing caller.
+func NewCaller(id *Identity, inner rpc.Caller, dir *Directory) *Caller {
+	return &Caller{id: id, inner: inner, dir: dir}
+}
+
+// Call implements rpc.Caller.
+func (c *Caller) Call(service, method string, body []byte) ([]byte, error) {
+	pub, ok := c.dir.Lookup(service)
+	if !ok {
+		return nil, fmt.Errorf("seal: no public key for service %s", service)
+	}
+	env, err := c.id.Seal(body, pub)
+	if err != nil {
+		return nil, err
+	}
+	wire, err := json.Marshal(env)
+	if err != nil {
+		return nil, fmt.Errorf("seal: encode: %w", err)
+	}
+	out, err := c.inner.Call(service, method, wire)
+	if err != nil {
+		return nil, err
+	}
+	var respEnv Envelope
+	if err := json.Unmarshal(out, &respEnv); err != nil {
+		return nil, fmt.Errorf("seal: decode response: %w", err)
+	}
+	plain, _, err := c.id.Open(respEnv)
+	if err != nil {
+		return nil, err
+	}
+	return plain, nil
+}
+
+// Handler wraps an rpc.Handler so that it accepts sealed requests and
+// seals its responses back to the caller's public key (which arrived in
+// the request envelope, as the paper prescribes).
+func Handler(id *Identity, inner rpc.Handler) rpc.Handler {
+	return func(method string, body []byte) ([]byte, error) {
+		var env Envelope
+		if err := json.Unmarshal(body, &env); err != nil {
+			return nil, fmt.Errorf("seal: decode request: %w", err)
+		}
+		plain, senderPub, err := id.Open(env)
+		if err != nil {
+			return nil, err
+		}
+		out, err := inner(method, plain)
+		if err != nil {
+			// Application errors travel as transport errors (in
+			// clear); only payloads are confidential.
+			return nil, err
+		}
+		respEnv, err := id.Seal(out, senderPub)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(respEnv)
+	}
+}

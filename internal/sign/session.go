@@ -1,0 +1,180 @@
+package sign
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Errors returned by the session-key and challenge-response machinery.
+var (
+	// ErrChallengeExpired is returned when a response arrives after the
+	// challenge's deadline.
+	ErrChallengeExpired = errors.New("challenge expired")
+	// ErrChallengeUnknown is returned when no outstanding challenge
+	// matches the supplied nonce.
+	ErrChallengeUnknown = errors.New("unknown challenge nonce")
+	// ErrBadResponse is returned when the response signature does not
+	// verify under the claimed public key.
+	ErrBadResponse = errors.New("challenge response invalid")
+)
+
+// SessionKey is an Ed25519 key pair created by a principal at the start of
+// an OASIS session (Sect. 4.1, "Integration with PKC"). The public half is
+// bound into the signature of every RMC issued during the session; the
+// service may at any time demand proof of possession of the private half.
+type SessionKey struct {
+	Public  ed25519.PublicKey
+	private ed25519.PrivateKey
+}
+
+// NewSessionKey generates a session key pair from r (crypto/rand.Reader
+// when nil).
+func NewSessionKey(r io.Reader) (*SessionKey, error) {
+	if r == nil {
+		r = rand.Reader
+	}
+	pub, priv, err := ed25519.GenerateKey(r)
+	if err != nil {
+		return nil, fmt.Errorf("generate session key: %w", err)
+	}
+	return &SessionKey{Public: pub, private: priv}, nil
+}
+
+// PrincipalID returns the canonical principal identifier derived from the
+// session public key: the hex encoding of the key bytes. This is the
+// "session-specific principal id" of Sect. 4.1 — it is an argument to every
+// RMC signature but never appears in the certificate itself.
+func (k *SessionKey) PrincipalID() string {
+	return hex.EncodeToString(k.Public)
+}
+
+// Respond answers a challenge by signing its nonce and payload with the
+// session private key.
+func (k *SessionKey) Respond(c Challenge) Response {
+	msg := challengeMessage(c)
+	return Response{Nonce: c.Nonce, Sig: ed25519.Sign(k.private, msg)}
+}
+
+// Challenge is a fresh random challenge issued by a service. Following
+// ISO/9798, the service keeps the expected value and a deadline; the
+// client proves possession of the private key by signing nonce||payload.
+type Challenge struct {
+	Nonce    [16]byte
+	Payload  [16]byte
+	Deadline time.Time
+}
+
+// Response carries the client's proof for a given challenge nonce.
+type Response struct {
+	Nonce [16]byte
+	Sig   []byte
+}
+
+func challengeMessage(c Challenge) []byte {
+	msg := make([]byte, 0, len(c.Nonce)+len(c.Payload))
+	msg = append(msg, c.Nonce[:]...)
+	msg = append(msg, c.Payload[:]...)
+	return msg
+}
+
+// Challenger issues and checks challenges on the service side. It is safe
+// for concurrent use.
+type Challenger struct {
+	mu      sync.Mutex
+	pending map[[16]byte]pendingChallenge
+	ttl     time.Duration
+	now     func() time.Time
+	entropy io.Reader
+}
+
+type pendingChallenge struct {
+	challenge Challenge
+	publicKey ed25519.PublicKey
+}
+
+// NewChallenger creates a Challenger whose challenges expire after ttl.
+// now defaults to time.Now and entropy to crypto/rand.Reader.
+func NewChallenger(ttl time.Duration, now func() time.Time, entropy io.Reader) *Challenger {
+	if now == nil {
+		now = time.Now
+	}
+	if entropy == nil {
+		entropy = rand.Reader
+	}
+	return &Challenger{
+		pending: make(map[[16]byte]pendingChallenge),
+		ttl:     ttl,
+		now:     now,
+		entropy: entropy,
+	}
+}
+
+// Issue creates a challenge bound to the public key the client presented.
+// The service sends the challenge to the client and retains the pending
+// state until Check or expiry.
+func (c *Challenger) Issue(pub ed25519.PublicKey) (Challenge, error) {
+	var ch Challenge
+	if _, err := io.ReadFull(c.entropy, ch.Nonce[:]); err != nil {
+		return Challenge{}, fmt.Errorf("issue challenge: %w", err)
+	}
+	if _, err := io.ReadFull(c.entropy, ch.Payload[:]); err != nil {
+		return Challenge{}, fmt.Errorf("issue challenge: %w", err)
+	}
+	ch.Deadline = c.now().Add(c.ttl)
+	c.mu.Lock()
+	c.pending[ch.Nonce] = pendingChallenge{challenge: ch, publicKey: pub}
+	c.mu.Unlock()
+	return ch, nil
+}
+
+// Check verifies a response. On success the pending challenge is consumed,
+// and the service may safely bind the public key into certificate
+// signatures (the caller "has access to the private key corresponding to
+// the public key presented", Sect. 4.1).
+func (c *Challenger) Check(r Response) error {
+	c.mu.Lock()
+	p, ok := c.pending[r.Nonce]
+	if ok {
+		delete(c.pending, r.Nonce)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return ErrChallengeUnknown
+	}
+	if c.now().After(p.challenge.Deadline) {
+		return ErrChallengeExpired
+	}
+	if !ed25519.Verify(p.publicKey, challengeMessage(p.challenge), r.Sig) {
+		return ErrBadResponse
+	}
+	return nil
+}
+
+// PendingCount reports the number of outstanding challenges (diagnostics).
+func (c *Challenger) PendingCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// Expire discards challenges whose deadline has passed; returns the number
+// removed. Services call this periodically or piggyback it on Issue.
+func (c *Challenger) Expire() int {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for k, p := range c.pending {
+		if now.After(p.challenge.Deadline) {
+			delete(c.pending, k)
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,151 @@
+package sign
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func fixedNow() func() time.Time {
+	t0 := time.Date(2001, 11, 12, 9, 0, 0, 0, time.UTC)
+	return func() time.Time { return t0 }
+}
+
+func TestSessionKeyPrincipalID(t *testing.T) {
+	k1, err := NewSessionKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := NewSessionKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1.PrincipalID() == k2.PrincipalID() {
+		t.Error("distinct session keys share a principal id")
+	}
+	if len(k1.PrincipalID()) != 64 {
+		t.Errorf("principal id length = %d, want 64 hex chars", len(k1.PrincipalID()))
+	}
+}
+
+func TestChallengeResponseSuccess(t *testing.T) {
+	key, err := NewSessionKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewChallenger(time.Minute, fixedNow(), nil)
+	ch, err := c.Issue(key.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Check(key.Respond(ch)); err != nil {
+		t.Fatalf("valid response rejected: %v", err)
+	}
+}
+
+func TestChallengeResponseWrongKey(t *testing.T) {
+	rightKey, err := NewSessionKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongKey, err := NewSessionKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewChallenger(time.Minute, fixedNow(), nil)
+	ch, err := c.Issue(rightKey.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Check(wrongKey.Respond(ch)); !errors.Is(err, ErrBadResponse) {
+		t.Errorf("response from wrong key accepted: %v", err)
+	}
+}
+
+func TestChallengeSingleUse(t *testing.T) {
+	key, err := NewSessionKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewChallenger(time.Minute, fixedNow(), nil)
+	ch, err := c.Issue(key.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := key.Respond(ch)
+	if err := c.Check(resp); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Check(resp); !errors.Is(err, ErrChallengeUnknown) {
+		t.Errorf("replayed response accepted: %v", err)
+	}
+}
+
+func TestChallengeUnknownNonce(t *testing.T) {
+	c := NewChallenger(time.Minute, fixedNow(), nil)
+	var r Response
+	if err := c.Check(r); !errors.Is(err, ErrChallengeUnknown) {
+		t.Errorf("unknown nonce: %v", err)
+	}
+}
+
+func TestChallengeExpiry(t *testing.T) {
+	key, err := NewSessionKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(0, 0)
+	c := NewChallenger(time.Second, func() time.Time { return now }, nil)
+	ch, err := c.Issue(key.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(2 * time.Second)
+	if err := c.Check(key.Respond(ch)); !errors.Is(err, ErrChallengeExpired) {
+		t.Errorf("expired challenge: %v", err)
+	}
+}
+
+func TestChallengerExpire(t *testing.T) {
+	key, err := NewSessionKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(0, 0)
+	c := NewChallenger(time.Second, func() time.Time { return now }, nil)
+	if _, err := c.Issue(key.Public); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Issue(key.Public); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.PendingCount(); got != 2 {
+		t.Fatalf("PendingCount = %d, want 2", got)
+	}
+	now = now.Add(5 * time.Second)
+	if n := c.Expire(); n != 2 {
+		t.Errorf("Expire removed %d, want 2", n)
+	}
+	if got := c.PendingCount(); got != 0 {
+		t.Errorf("PendingCount after Expire = %d", got)
+	}
+}
+
+func TestChallengeTamperedPayload(t *testing.T) {
+	key, err := NewSessionKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewChallenger(time.Minute, fixedNow(), nil)
+	ch, err := c.Issue(key.Public)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adversary alters the payload before the client signs: the service's
+	// retained copy no longer matches, so verification fails.
+	tampered := ch
+	tampered.Payload[0] ^= 0xff
+	if err := c.Check(key.Respond(tampered)); !errors.Is(err, ErrBadResponse) {
+		t.Errorf("tampered payload accepted: %v", err)
+	}
+}

@@ -1,0 +1,58 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/names"
+)
+
+func populated(b *testing.B, n int) *Store {
+	b.Helper()
+	s := New()
+	for i := 0; i < n; i++ {
+		if _, err := s.Assert("registered",
+			names.Atom(fmt.Sprintf("d%d", i%100)),
+			names.Atom(fmt.Sprintf("p%d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+func BenchmarkQueryGroundPointLookup(b *testing.B) {
+	s := populated(b, 10000)
+	pattern := []names.Term{names.Atom("d50"), names.Atom("p5050")}
+	base := names.NewSubstitution()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.Query("registered", pattern, base); len(got) != 1 {
+			b.Fatalf("got %d results", len(got))
+		}
+	}
+}
+
+func BenchmarkQueryEnumerate(b *testing.B) {
+	s := populated(b, 10000)
+	pattern := []names.Term{names.Atom("d50"), names.Var("P")}
+	base := names.NewSubstitution()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.Query("registered", pattern, base); len(got) != 100 {
+			b.Fatalf("got %d results", len(got))
+		}
+	}
+}
+
+func BenchmarkAssertRetract(b *testing.B) {
+	s := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Assert("r", names.Int(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Retract("r", names.Int(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

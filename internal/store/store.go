@@ -1,0 +1,268 @@
+// Package store provides the embedded fact store that OASIS environmental
+// constraints consult. The paper's examples — "the user is a member of a
+// group; this may be ascertained by database lookup", "the doctor has the
+// patient registered as under his/her care", per-patient exclusion lists —
+// are all relation lookups over ground tuples, which is exactly what this
+// store models.
+//
+// The store notifies registered observers on every change so that the
+// active security environment (membership rule monitoring, Sect. 4) can
+// re-check conditions the moment the underlying facts change, without
+// polling. Queries with a fully ground pattern are point lookups; queries
+// whose first argument is ground use a first-argument index; other
+// patterns scan the relation in deterministic order.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/names"
+)
+
+// ErrNotGround is returned when a non-ground tuple is asserted or
+// retracted.
+var ErrNotGround = errors.New("store facts must be ground")
+
+// ChangeFunc observes assertions (added=true) and retractions
+// (added=false). Observers are called synchronously under no store lock,
+// after the change has been applied.
+type ChangeFunc func(relation string, tuple []names.Term, added bool)
+
+// relation holds one relation's tuples plus its indexes.
+type relation struct {
+	tuples map[string][]names.Term
+	// byFirst indexes tuple keys by the first argument's key, so that
+	// the common "registered(d1, P)" query shape avoids a full scan.
+	byFirst map[string]map[string]struct{}
+	// sortedKeys caches deterministic iteration order; nil means dirty.
+	sortedKeys []string
+}
+
+func newRelation() *relation {
+	return &relation{
+		tuples:  make(map[string][]names.Term),
+		byFirst: make(map[string]map[string]struct{}),
+	}
+}
+
+// Store is a concurrent in-memory relation store. The zero value is not
+// usable; construct with New.
+type Store struct {
+	mu        sync.RWMutex
+	relations map[string]*relation
+	observers []ChangeFunc
+}
+
+// New creates an empty store.
+func New() *Store {
+	return &Store{relations: make(map[string]*relation)}
+}
+
+func termKey(t names.Term) string { return t.Kind.String() + ":" + t.String() }
+
+func tupleKey(tuple []names.Term) string {
+	parts := make([]string, len(tuple))
+	for i, t := range tuple {
+		parts[i] = termKey(t)
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+// Observe registers an observer for all subsequent changes.
+func (s *Store) Observe(f ChangeFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observers = append(s.observers, f)
+}
+
+func (s *Store) notify(relationName string, tuple []names.Term, added bool) {
+	s.mu.RLock()
+	obs := make([]ChangeFunc, len(s.observers))
+	copy(obs, s.observers)
+	s.mu.RUnlock()
+	for _, f := range obs {
+		f(relationName, tuple, added)
+	}
+}
+
+// Assert adds a ground tuple to a relation. Re-asserting an existing fact
+// is a no-op (no observer call) and returns false; a new fact returns true.
+func (s *Store) Assert(relationName string, tuple ...names.Term) (bool, error) {
+	for _, t := range tuple {
+		if !t.IsGround() {
+			return false, fmt.Errorf("%w: %s in %s", ErrNotGround, t, relationName)
+		}
+	}
+	cp := make([]names.Term, len(tuple))
+	copy(cp, tuple)
+	key := tupleKey(cp)
+
+	s.mu.Lock()
+	rel, ok := s.relations[relationName]
+	if !ok {
+		rel = newRelation()
+		s.relations[relationName] = rel
+	}
+	if _, exists := rel.tuples[key]; exists {
+		s.mu.Unlock()
+		return false, nil
+	}
+	rel.tuples[key] = cp
+	rel.sortedKeys = nil
+	if len(cp) > 0 {
+		fk := termKey(cp[0])
+		set, ok := rel.byFirst[fk]
+		if !ok {
+			set = make(map[string]struct{})
+			rel.byFirst[fk] = set
+		}
+		set[key] = struct{}{}
+	}
+	s.mu.Unlock()
+
+	s.notify(relationName, cp, true)
+	return true, nil
+}
+
+// Retract removes a ground tuple; it reports whether the fact was present.
+func (s *Store) Retract(relationName string, tuple ...names.Term) (bool, error) {
+	for _, t := range tuple {
+		if !t.IsGround() {
+			return false, fmt.Errorf("%w: %s in %s", ErrNotGround, t, relationName)
+		}
+	}
+	key := tupleKey(tuple)
+	s.mu.Lock()
+	rel, ok := s.relations[relationName]
+	if !ok {
+		s.mu.Unlock()
+		return false, nil
+	}
+	fact, exists := rel.tuples[key]
+	if !exists {
+		s.mu.Unlock()
+		return false, nil
+	}
+	delete(rel.tuples, key)
+	rel.sortedKeys = nil
+	if len(fact) > 0 {
+		fk := termKey(fact[0])
+		if set, ok := rel.byFirst[fk]; ok {
+			delete(set, key)
+			if len(set) == 0 {
+				delete(rel.byFirst, fk)
+			}
+		}
+	}
+	if len(rel.tuples) == 0 {
+		delete(s.relations, relationName)
+	}
+	s.mu.Unlock()
+
+	s.notify(relationName, fact, false)
+	return true, nil
+}
+
+// Contains reports whether the exact ground tuple is present.
+func (s *Store) Contains(relationName string, tuple ...names.Term) bool {
+	key := tupleKey(tuple)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rel, ok := s.relations[relationName]
+	if !ok {
+		return false
+	}
+	_, exists := rel.tuples[key]
+	return exists
+}
+
+// Query returns one extended substitution for every stored tuple of the
+// relation that unifies with pattern under base. Results are ordered
+// deterministically (by tuple key) so policy evaluation is reproducible.
+func (s *Store) Query(relationName string, pattern []names.Term, base names.Substitution) []names.Substitution {
+	resolved := base.ApplyAll(pattern)
+	ground := true
+	for _, t := range resolved {
+		if !t.IsGround() {
+			ground = false
+			break
+		}
+	}
+	// Fast path 1: a fully ground pattern is a point lookup.
+	if ground {
+		if s.Contains(relationName, resolved...) {
+			return []names.Substitution{base.Clone()}
+		}
+		return nil
+	}
+
+	s.mu.Lock()
+	rel, ok := s.relations[relationName]
+	if !ok {
+		s.mu.Unlock()
+		return nil
+	}
+	var keys []string
+	switch {
+	case len(resolved) > 0 && resolved[0].IsGround():
+		// Fast path 2: first argument ground — use the index. Copy and
+		// sort the (typically small) candidate set.
+		set := rel.byFirst[termKey(resolved[0])]
+		keys = make([]string, 0, len(set))
+		for k := range set {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+	default:
+		// Full deterministic scan, with the order cached until the
+		// next mutation.
+		if rel.sortedKeys == nil {
+			rel.sortedKeys = make([]string, 0, len(rel.tuples))
+			for k := range rel.tuples {
+				rel.sortedKeys = append(rel.sortedKeys, k)
+			}
+			sort.Strings(rel.sortedKeys)
+		}
+		keys = rel.sortedKeys
+	}
+	tuples := make([][]names.Term, 0, len(keys))
+	for _, k := range keys {
+		tuples = append(tuples, rel.tuples[k])
+	}
+	s.mu.Unlock()
+
+	var out []names.Substitution
+	for _, tuple := range tuples {
+		if ext, ok := names.UnifyTuples(pattern, tuple, base); ok {
+			out = append(out, ext)
+		}
+	}
+	return out
+}
+
+// Count reports the number of facts in a relation.
+func (s *Store) Count(relationName string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rel, ok := s.relations[relationName]
+	if !ok {
+		return 0
+	}
+	return len(rel.tuples)
+}
+
+// Relations lists the non-empty relation names, sorted.
+func (s *Store) Relations() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.relations))
+	for r := range s.relations {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}

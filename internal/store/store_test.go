@@ -1,0 +1,297 @@
+package store
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/names"
+)
+
+func TestAssertContains(t *testing.T) {
+	s := New()
+	added, err := s.Assert("registered", names.Atom("d1"), names.Atom("p1"))
+	if err != nil || !added {
+		t.Fatalf("Assert = (%v,%v)", added, err)
+	}
+	if !s.Contains("registered", names.Atom("d1"), names.Atom("p1")) {
+		t.Error("fact not found after Assert")
+	}
+	if s.Contains("registered", names.Atom("d1"), names.Atom("p2")) {
+		t.Error("absent fact reported present")
+	}
+}
+
+func TestAssertIdempotent(t *testing.T) {
+	s := New()
+	if _, err := s.Assert("r", names.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	added, err := s.Assert("r", names.Int(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added {
+		t.Error("duplicate Assert reported added")
+	}
+	if s.Count("r") != 1 {
+		t.Errorf("Count = %d", s.Count("r"))
+	}
+}
+
+func TestAssertRejectsVariables(t *testing.T) {
+	s := New()
+	if _, err := s.Assert("r", names.Var("X")); !errors.Is(err, ErrNotGround) {
+		t.Errorf("variable asserted: %v", err)
+	}
+	if _, err := s.Retract("r", names.Var("X")); !errors.Is(err, ErrNotGround) {
+		t.Errorf("variable retracted: %v", err)
+	}
+}
+
+func TestRetract(t *testing.T) {
+	s := New()
+	if _, err := s.Assert("r", names.Atom("a")); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := s.Retract("r", names.Atom("a"))
+	if err != nil || !ok {
+		t.Fatalf("Retract = (%v,%v)", ok, err)
+	}
+	if s.Contains("r", names.Atom("a")) {
+		t.Error("fact survives retraction")
+	}
+	ok, err = s.Retract("r", names.Atom("a"))
+	if err != nil || ok {
+		t.Errorf("second Retract = (%v,%v), want (false,nil)", ok, err)
+	}
+	// Retracting from an unknown relation is a no-op.
+	ok, err = s.Retract("missing", names.Atom("a"))
+	if err != nil || ok {
+		t.Errorf("Retract from missing relation = (%v,%v)", ok, err)
+	}
+}
+
+func TestKeyCollisionAcrossKinds(t *testing.T) {
+	// Atom("7") and Int(7) must be distinct facts.
+	s := New()
+	if _, err := s.Assert("r", names.Atom("7")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Contains("r", names.Int(7)) {
+		t.Error("atom/int collision in tuple keys")
+	}
+}
+
+func TestQueryUnifies(t *testing.T) {
+	s := New()
+	mustAssert := func(tuple ...names.Term) {
+		t.Helper()
+		if _, err := s.Assert("registered", tuple...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAssert(names.Atom("d1"), names.Atom("p1"))
+	mustAssert(names.Atom("d1"), names.Atom("p2"))
+	mustAssert(names.Atom("d2"), names.Atom("p3"))
+
+	// Who is registered with d1?
+	results := s.Query("registered",
+		[]names.Term{names.Atom("d1"), names.Var("P")},
+		names.NewSubstitution())
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	var ps []names.Term
+	for _, sub := range results {
+		ps = append(ps, sub.Apply(names.Var("P")))
+	}
+	if ps[0] != names.Atom("p1") || ps[1] != names.Atom("p2") {
+		t.Errorf("results %v not deterministic/complete", ps)
+	}
+}
+
+func TestQueryRespectsBaseBindings(t *testing.T) {
+	s := New()
+	if _, err := s.Assert("reg", names.Atom("d1"), names.Atom("p1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Assert("reg", names.Atom("d2"), names.Atom("p2")); err != nil {
+		t.Fatal(err)
+	}
+	base := names.NewSubstitution()
+	base["D"] = names.Atom("d2")
+	results := s.Query("reg", []names.Term{names.Var("D"), names.Var("P")}, base)
+	if len(results) != 1 {
+		t.Fatalf("got %d results, want 1", len(results))
+	}
+	if got := results[0].Apply(names.Var("P")); got != names.Atom("p2") {
+		t.Errorf("P = %v", got)
+	}
+	// Base substitution must not be mutated.
+	if len(base) != 1 {
+		t.Errorf("base mutated: %v", base)
+	}
+}
+
+func TestQueryEmptyRelation(t *testing.T) {
+	s := New()
+	if got := s.Query("none", []names.Term{names.Var("X")}, names.NewSubstitution()); got != nil {
+		t.Errorf("Query on empty relation = %v", got)
+	}
+}
+
+func TestObserve(t *testing.T) {
+	s := New()
+	type change struct {
+		rel   string
+		added bool
+	}
+	var mu sync.Mutex
+	var changes []change
+	s.Observe(func(rel string, tuple []names.Term, added bool) {
+		mu.Lock()
+		changes = append(changes, change{rel, added})
+		mu.Unlock()
+	})
+	if _, err := s.Assert("r", names.Atom("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Assert("r", names.Atom("a")); err != nil { // duplicate: no event
+		t.Fatal(err)
+	}
+	if _, err := s.Retract("r", names.Atom("a")); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(changes) != 2 {
+		t.Fatalf("got %d changes, want 2: %v", len(changes), changes)
+	}
+	if !changes[0].added || changes[1].added {
+		t.Errorf("change sequence wrong: %v", changes)
+	}
+}
+
+func TestRelations(t *testing.T) {
+	s := New()
+	if _, err := s.Assert("b", names.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Assert("a", names.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	rels := s.Relations()
+	if len(rels) != 2 || rels[0] != "a" || rels[1] != "b" {
+		t.Errorf("Relations = %v", rels)
+	}
+	if _, err := s.Retract("a", names.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Relations(); len(got) != 1 || got[0] != "b" {
+		t.Errorf("empty relation not removed: %v", got)
+	}
+}
+
+func TestConcurrentAssertQuery(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_, err := s.Assert("r", names.Int(int64(g*1000+i)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				s.Query("r", []names.Term{names.Var("X")}, names.NewSubstitution())
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Count("r") != 800 {
+		t.Errorf("Count = %d, want 800", s.Count("r"))
+	}
+}
+
+func TestQueryFirstArgIndexAfterRetract(t *testing.T) {
+	s := New()
+	for _, p := range []string{"p1", "p2", "p3"} {
+		if _, err := s.Assert("reg", names.Atom("d1"), names.Atom(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Retract("reg", names.Atom("d1"), names.Atom("p2")); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Query("reg", []names.Term{names.Atom("d1"), names.Var("P")}, names.NewSubstitution())
+	if len(got) != 2 {
+		t.Fatalf("indexed query returned %d results, want 2", len(got))
+	}
+	for _, sub := range got {
+		if p := sub.Apply(names.Var("P")); p == names.Atom("p2") {
+			t.Error("retracted fact returned by indexed query")
+		}
+	}
+	// Unindexed shape (variable first argument) still works and stays
+	// deterministic across mutations.
+	scan := s.Query("reg", []names.Term{names.Var("D"), names.Var("P")}, names.NewSubstitution())
+	if len(scan) != 2 {
+		t.Fatalf("scan returned %d results", len(scan))
+	}
+	if _, err := s.Assert("reg", names.Atom("d0"), names.Atom("p9")); err != nil {
+		t.Fatal(err)
+	}
+	scan2 := s.Query("reg", []names.Term{names.Var("D"), names.Var("P")}, names.NewSubstitution())
+	if len(scan2) != 3 {
+		t.Fatalf("post-mutation scan returned %d results (stale cache?)", len(scan2))
+	}
+	if scan2[0].Apply(names.Var("D")) != names.Atom("d0") {
+		t.Errorf("scan order not deterministic: first D = %v", scan2[0].Apply(names.Var("D")))
+	}
+}
+
+func TestQueryZeroArityRelation(t *testing.T) {
+	s := New()
+	if _, err := s.Assert("flag"); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Query("flag", nil, names.NewSubstitution())
+	if len(got) != 1 {
+		t.Fatalf("zero-arity query returned %d results", len(got))
+	}
+	if _, err := s.Retract("flag"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Query("flag", nil, names.NewSubstitution()); len(got) != 0 {
+		t.Fatalf("retracted zero-arity fact still queryable: %v", got)
+	}
+}
+
+// Property: Assert then Contains always holds; Retract then Contains never
+// holds.
+func TestQuickAssertRetract(t *testing.T) {
+	s := New()
+	f := func(rel string, a string, n int64) bool {
+		if rel == "" {
+			rel = "r"
+		}
+		tuple := []names.Term{names.Str(a), names.Int(n)}
+		if _, err := s.Assert(rel, tuple...); err != nil {
+			return false
+		}
+		if !s.Contains(rel, tuple...) {
+			return false
+		}
+		if _, err := s.Retract(rel, tuple...); err != nil {
+			return false
+		}
+		return !s.Contains(rel, tuple...)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

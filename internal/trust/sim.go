@@ -1,0 +1,106 @@
+package trust
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/clock"
+)
+
+// Simulation builds synthetic populations of principals and services with
+// honest and Byzantine behaviour, used by the Sect. 6 experiment (E8). All
+// randomness is seeded, so runs are reproducible.
+type Simulation struct {
+	rng *rand.Rand
+	clk *clock.Simulated
+
+	// Honest authority shared by well-behaved domains.
+	HonestAuthority *audit.Authority
+	// RogueAuthority certifies the collusion ring's fake interactions.
+	RogueAuthority *audit.Authority
+
+	Directory *AuthorityDirectory
+}
+
+// NewSimulation creates a seeded simulation.
+func NewSimulation(seed int64) (*Simulation, error) {
+	clk := clock.NewSimulated(time.Date(2001, 11, 12, 0, 0, 0, 0, time.UTC))
+	honest, err := audit.NewAuthority("honest_domain_civ", clk)
+	if err != nil {
+		return nil, fmt.Errorf("simulation: %w", err)
+	}
+	rogue, err := audit.NewAuthority("rogue_domain_civ", clk)
+	if err != nil {
+		return nil, fmt.Errorf("simulation: %w", err)
+	}
+	return &Simulation{
+		rng:             rand.New(rand.NewSource(seed)),
+		clk:             clk,
+		HonestAuthority: honest,
+		RogueAuthority:  rogue,
+		Directory:       NewAuthorityDirectory(honest, rogue),
+	}, nil
+}
+
+// HonestHistory generates n interactions for a party with the given
+// success rate, certified by the honest authority.
+func (s *Simulation) HonestHistory(party string, n int, successRate float64) []audit.Certificate {
+	out := make([]audit.Certificate, 0, n)
+	for i := 0; i < n; i++ {
+		s.clk.Advance(time.Hour)
+		outcome := audit.OutcomeFulfilled
+		if s.rng.Float64() > successRate {
+			outcome = audit.OutcomeClientDefault
+		}
+		service := fmt.Sprintf("service_%d", s.rng.Intn(20))
+		out = append(out, s.HonestAuthority.Issue(party, service, "use", outcome))
+	}
+	return out
+}
+
+// CollusionHistory generates a false history of n always-fulfilled
+// interactions between ring members, certified by the ring's own rogue
+// authority (the paper's "a client and service might collude to build up a
+// false history of trustworthiness").
+func (s *Simulation) CollusionHistory(member string, ring []string, n int) []audit.Certificate {
+	out := make([]audit.Certificate, 0, n)
+	for i := 0; i < n; i++ {
+		s.clk.Advance(time.Minute)
+		peer := ring[s.rng.Intn(len(ring))]
+		out = append(out, s.RogueAuthority.Issue(member, peer, "use", audit.OutcomeFulfilled))
+	}
+	return out
+}
+
+// ForgedHistory generates certificates that were never issued by any
+// authority (signatures will not verify).
+func (s *Simulation) ForgedHistory(party string, n int) []audit.Certificate {
+	out := make([]audit.Certificate, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, audit.Certificate{
+			Authority: "honest_domain_civ",
+			Serial:    uint64(1_000_000 + i),
+			Client:    party,
+			Service:   "service_x",
+			Method:    "use",
+			Outcome:   audit.OutcomeFulfilled,
+			At:        s.clk.Now(),
+		})
+	}
+	return out
+}
+
+// DomainAwarePolicy returns a policy that trusts the honest domain fully
+// and heavily discounts the rogue domain, the defence Sect. 6 sketches.
+func DomainAwarePolicy(rogueWeight float64) Policy {
+	p := DefaultPolicy()
+	p.AuthorityWeight = func(authority string) float64 {
+		if authority == "rogue_domain_civ" {
+			return rogueWeight
+		}
+		return 1
+	}
+	return p
+}

@@ -1,0 +1,190 @@
+// Package trust implements the speculative web-of-trust layer of Sect. 6:
+// roving principals and previously unknown services exchange audit
+// certificates as "checkable credentials which provide evidence of previous
+// successful interactions", validate them with the issuing authorities, and
+// take a calculated risk on whether to proceed. The engine models the
+// paper's caveats: colluding parties building false histories, rogue
+// authorities issuing valueless certificates or repudiating genuine ones —
+// "the domain of the auditing service for a certificate is a factor that
+// must be taken into account when assessing the risk".
+package trust
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/audit"
+)
+
+// Validator checks an audit certificate with its issuing authority; it is
+// how the relying party "locates the issuing service" and calls back.
+type Validator func(c audit.Certificate) error
+
+// AuthorityDirectory resolves authorities by name; the normal Validator.
+type AuthorityDirectory struct {
+	authorities map[string]*audit.Authority
+}
+
+// NewAuthorityDirectory builds a directory over the known authorities.
+func NewAuthorityDirectory(as ...*audit.Authority) *AuthorityDirectory {
+	d := &AuthorityDirectory{authorities: make(map[string]*audit.Authority, len(as))}
+	for _, a := range as {
+		d.authorities[a.Name()] = a
+	}
+	return d
+}
+
+// Add registers another authority.
+func (d *AuthorityDirectory) Add(a *audit.Authority) { d.authorities[a.Name()] = a }
+
+// ErrUnknownAuthority is returned when a certificate names an authority the
+// relying party cannot locate.
+var ErrUnknownAuthority = errors.New("unknown audit authority")
+
+// Validate implements Validator by dispatching to the named authority.
+func (d *AuthorityDirectory) Validate(c audit.Certificate) error {
+	a, ok := d.authorities[c.Authority]
+	if !ok {
+		return ErrUnknownAuthority
+	}
+	return a.Validate(c)
+}
+
+// Policy sets the risk appetite of a relying party.
+type Policy struct {
+	// MinEvidence is the minimum number of validated certificates
+	// required before any trust is extended (below it, Decide refuses —
+	// the analogue of refusing credit to someone with no credit record).
+	MinEvidence int
+	// MinScore is the trust score threshold in [0,1] for proceeding.
+	MinScore float64
+	// AuthorityWeight discounts evidence by issuing authority; unknown
+	// or distrusted domains should weigh less (Sect. 6: the domain of
+	// the auditing service is a risk factor). Nil weights everything 1.
+	AuthorityWeight func(authority string) float64
+	// MaxPerAuthority caps how many certificates from a single
+	// authority count, the defence against a collusion ring pumping its
+	// own domain's authority. Zero means no cap.
+	MaxPerAuthority int
+}
+
+// DefaultPolicy is a reasonable starting policy: some history required, a
+// two-thirds score bar, at most 10 certificates counted per authority.
+func DefaultPolicy() Policy {
+	return Policy{MinEvidence: 3, MinScore: 0.67, MaxPerAuthority: 10}
+}
+
+// Decision is the outcome of a trust evaluation.
+type Decision struct {
+	// Proceed reports whether the party should be trusted under the
+	// policy.
+	Proceed bool
+	// Score is the weighted success ratio over counted evidence.
+	Score float64
+	// Evidence is the number of certificates that were validated and
+	// counted.
+	Evidence int
+	// Rejected is the number of certificates that failed validation
+	// (forged, repudiated, or from unlocatable authorities).
+	Rejected int
+	// Reason explains a refusal.
+	Reason string
+}
+
+// Engine evaluates interaction histories under a policy.
+type Engine struct {
+	policy   Policy
+	validate Validator
+}
+
+// NewEngine builds an engine. validate must not be nil.
+func NewEngine(p Policy, validate Validator) *Engine {
+	return &Engine{policy: p, validate: validate}
+}
+
+// outcomeValue scores an outcome from the perspective of the party being
+// evaluated.
+func outcomeValue(c audit.Certificate, party string) float64 {
+	switch c.Outcome {
+	case audit.OutcomeFulfilled:
+		return 1
+	case audit.OutcomeClientDefault:
+		if c.Client == party {
+			return 0
+		}
+		return 1 // the service behaved; the client defaulted
+	case audit.OutcomeServiceDefault:
+		if c.Service == party {
+			return 0
+		}
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Decide evaluates a party's presented history. Certificates failing
+// validation are rejected; the rest are weighted by authority and capped
+// per authority, then the weighted success ratio is compared against the
+// policy.
+func (e *Engine) Decide(party string, history []audit.Certificate) Decision {
+	weight := e.policy.AuthorityWeight
+	if weight == nil {
+		weight = func(string) float64 { return 1 }
+	}
+
+	// Deterministic processing order: newest first so per-authority caps
+	// keep the most recent evidence.
+	sorted := make([]audit.Certificate, len(history))
+	copy(sorted, history)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].At.After(sorted[j].At) })
+
+	perAuthority := make(map[string]int)
+	var sumWeight, sumValue float64
+	counted, rejected := 0, 0
+	for _, c := range sorted {
+		if c.Client != party && c.Service != party {
+			rejected++ // not evidence about this party at all
+			continue
+		}
+		if err := e.validate(c); err != nil {
+			rejected++
+			continue
+		}
+		if e.policy.MaxPerAuthority > 0 && perAuthority[c.Authority] >= e.policy.MaxPerAuthority {
+			continue
+		}
+		w := weight(c.Authority)
+		if w <= 0 {
+			continue
+		}
+		perAuthority[c.Authority]++
+		counted++
+		sumWeight += w
+		sumValue += w * outcomeValue(c, party)
+	}
+
+	d := Decision{Evidence: counted, Rejected: rejected}
+	if counted < e.policy.MinEvidence {
+		d.Reason = "insufficient validated history"
+		return d
+	}
+	d.Score = sumValue / sumWeight
+	if d.Score < e.policy.MinScore {
+		d.Reason = "score below threshold"
+		return d
+	}
+	d.Proceed = true
+	return d
+}
+
+// MutualDecide evaluates both sides of a prospective interaction, the
+// symmetric check Sect. 6 describes ("Both parties should be able to
+// present checkable credentials").
+func (e *Engine) MutualDecide(client string, clientHistory []audit.Certificate,
+	service string, serviceHistory []audit.Certificate) (clientView, serviceView Decision) {
+	// The service evaluates the client's history, and vice versa.
+	serviceView = e.Decide(client, clientHistory)
+	clientView = e.Decide(service, serviceHistory)
+	return clientView, serviceView
+}

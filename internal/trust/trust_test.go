@@ -1,0 +1,208 @@
+package trust
+
+import (
+	"testing"
+
+	"repro/internal/audit"
+)
+
+func sim(t *testing.T) *Simulation {
+	t.Helper()
+	s, err := NewSimulation(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestHonestPartyTrusted(t *testing.T) {
+	s := sim(t)
+	e := NewEngine(DefaultPolicy(), s.Directory.Validate)
+	hist := s.HonestHistory("alice", 20, 0.95)
+	d := e.Decide("alice", hist)
+	if !d.Proceed {
+		t.Errorf("honest party refused: %+v", d)
+	}
+	if d.Score < 0.8 {
+		t.Errorf("score = %v", d.Score)
+	}
+}
+
+func TestDefaulterRefused(t *testing.T) {
+	s := sim(t)
+	e := NewEngine(DefaultPolicy(), s.Directory.Validate)
+	hist := s.HonestHistory("mallory", 20, 0.2)
+	d := e.Decide("mallory", hist)
+	if d.Proceed {
+		t.Errorf("habitual defaulter trusted: %+v", d)
+	}
+	if d.Reason != "score below threshold" {
+		t.Errorf("reason = %q", d.Reason)
+	}
+}
+
+func TestNoHistoryRefused(t *testing.T) {
+	s := sim(t)
+	e := NewEngine(DefaultPolicy(), s.Directory.Validate)
+	d := e.Decide("newcomer", nil)
+	if d.Proceed {
+		t.Error("empty history trusted")
+	}
+	if d.Reason != "insufficient validated history" {
+		t.Errorf("reason = %q", d.Reason)
+	}
+}
+
+func TestForgedCertificatesRejected(t *testing.T) {
+	s := sim(t)
+	e := NewEngine(DefaultPolicy(), s.Directory.Validate)
+	hist := s.ForgedHistory("mallory", 10)
+	d := e.Decide("mallory", hist)
+	if d.Proceed {
+		t.Errorf("forged history trusted: %+v", d)
+	}
+	if d.Rejected != 10 || d.Evidence != 0 {
+		t.Errorf("rejected=%d evidence=%d", d.Rejected, d.Evidence)
+	}
+}
+
+func TestUnknownAuthorityRejected(t *testing.T) {
+	s := sim(t)
+	e := NewEngine(DefaultPolicy(), s.Directory.Validate)
+	hist := s.HonestHistory("alice", 5, 1)
+	for i := range hist {
+		hist[i].Authority = "nowhere_civ"
+	}
+	d := e.Decide("alice", hist)
+	if d.Evidence != 0 || d.Proceed {
+		t.Errorf("unlocatable authority counted: %+v", d)
+	}
+}
+
+func TestIrrelevantCertificatesIgnored(t *testing.T) {
+	s := sim(t)
+	e := NewEngine(DefaultPolicy(), s.Directory.Validate)
+	// Mallory presents someone else's good history.
+	hist := s.HonestHistory("alice", 10, 1)
+	d := e.Decide("mallory", hist)
+	if d.Evidence != 0 || d.Proceed {
+		t.Errorf("borrowed history counted: %+v", d)
+	}
+}
+
+func TestCollusionDefeatsNaivePolicy(t *testing.T) {
+	// Without authority weighting, the ring's fake history is accepted:
+	// the attack the paper warns about.
+	s := sim(t)
+	naive := NewEngine(DefaultPolicy(), s.Directory.Validate)
+	ring := []string{"ring_a", "ring_b", "ring_c"}
+	hist := s.CollusionHistory("ring_a", ring, 20)
+	if d := naive.Decide("ring_a", hist); !d.Proceed {
+		t.Errorf("expected the naive policy to be fooled, got %+v", d)
+	}
+}
+
+func TestDomainWeightingDefeatsCollusion(t *testing.T) {
+	s := sim(t)
+	wary := NewEngine(DomainAwarePolicy(0), s.Directory.Validate)
+	ring := []string{"ring_a", "ring_b", "ring_c"}
+	hist := s.CollusionHistory("ring_a", ring, 20)
+	d := wary.Decide("ring_a", hist)
+	if d.Proceed {
+		t.Errorf("rogue-domain evidence still trusted: %+v", d)
+	}
+	// An honest party remains trusted under the same wary policy.
+	honest := s.HonestHistory("alice", 20, 0.95)
+	if d := wary.Decide("alice", honest); !d.Proceed {
+		t.Errorf("wary policy refuses honest party: %+v", d)
+	}
+}
+
+func TestRepudiatingAuthorityDestroysHistory(t *testing.T) {
+	// The paper's repudiation risk: a rogue domain disowns certificates
+	// issued to clients who acted in good faith.
+	s := sim(t)
+	e := NewEngine(DefaultPolicy(), s.Directory.Validate)
+	hist := s.HonestHistory("alice", 10, 1)
+	s.HonestAuthority.SetRepudiating(true)
+	d := e.Decide("alice", hist)
+	if d.Proceed || d.Evidence != 0 {
+		t.Errorf("repudiated history still counted: %+v", d)
+	}
+}
+
+func TestPerAuthorityCap(t *testing.T) {
+	s := sim(t)
+	p := DefaultPolicy()
+	p.MaxPerAuthority = 5
+	e := NewEngine(p, s.Directory.Validate)
+	hist := s.HonestHistory("alice", 50, 1)
+	d := e.Decide("alice", hist)
+	if d.Evidence != 5 {
+		t.Errorf("evidence = %d, want capped at 5", d.Evidence)
+	}
+}
+
+func TestMutualDecide(t *testing.T) {
+	s := sim(t)
+	e := NewEngine(DefaultPolicy(), s.Directory.Validate)
+	clientHist := s.HonestHistory("alice", 10, 1)
+	serviceHist := s.HonestHistory("svc_far_away", 10, 0.1)
+	clientView, serviceView := e.MutualDecide("alice", clientHist, "svc_far_away", serviceHist)
+	if !serviceView.Proceed {
+		t.Errorf("service should trust alice: %+v", serviceView)
+	}
+	if clientView.Proceed {
+		t.Errorf("alice should not trust the flaky service: %+v", clientView)
+	}
+}
+
+func TestHistoryFilteringLimitation(t *testing.T) {
+	// A known limitation of self-presented histories (inherent in the
+	// paper's Sect. 6 proposal): a party can omit its failures. The
+	// certificates it presents all validate, so the engine cannot see
+	// what is missing — evidence thresholds and per-authority caps bound
+	// the damage but cannot eliminate it. This test pins the behaviour
+	// so the limitation stays documented rather than silently assumed
+	// away.
+	s := sim(t)
+	e := NewEngine(DefaultPolicy(), s.Directory.Validate)
+	full := s.HonestHistory("mallory", 30, 0.3) // mostly defaults
+	var filtered []audit.Certificate
+	for _, c := range full {
+		if c.Outcome == audit.OutcomeFulfilled {
+			filtered = append(filtered, c)
+		}
+	}
+	if len(filtered) < DefaultPolicy().MinEvidence {
+		t.Skip("seeded history has too few successes to demonstrate filtering")
+	}
+	if d := e.Decide("mallory", full); d.Proceed {
+		t.Fatalf("full history should be refused: %+v", d)
+	}
+	if d := e.Decide("mallory", filtered); !d.Proceed {
+		t.Fatalf("expected the filtered history to be (wrongly) accepted — the documented limitation: %+v", d)
+	}
+}
+
+func TestOutcomePerspective(t *testing.T) {
+	// A client-default certificate counts against the client but not
+	// against the service.
+	s := sim(t)
+	e := NewEngine(Policy{MinEvidence: 1, MinScore: 0.5}, s.Directory.Validate)
+	c := s.HonestAuthority.Issue("bad_client", "good_service", "use", audit.OutcomeClientDefault)
+	if d := e.Decide("bad_client", []audit.Certificate{c}); d.Proceed {
+		t.Errorf("defaulting client trusted: %+v", d)
+	}
+	if d := e.Decide("good_service", []audit.Certificate{c}); !d.Proceed {
+		t.Errorf("innocent service penalised: %+v", d)
+	}
+	// And symmetrically for service defaults.
+	c2 := s.HonestAuthority.Issue("good_client", "bad_service", "use", audit.OutcomeServiceDefault)
+	if d := e.Decide("bad_service", []audit.Certificate{c2}); d.Proceed {
+		t.Errorf("defaulting service trusted: %+v", d)
+	}
+	if d := e.Decide("good_client", []audit.Certificate{c2}); !d.Proceed {
+		t.Errorf("innocent client penalised: %+v", d)
+	}
+}

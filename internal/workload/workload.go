@@ -1,0 +1,319 @@
+// Package workload generates the synthetic healthcare workload that
+// substitutes for the paper's hospital deployment (DESIGN.md Sect. 4): a
+// hospital service with the parametrised treating_doctor role driven by a
+// duty rota and patient register, a records service guarded by
+// authorization rules with per-patient exclusions, and continuous churn of
+// rota, registrations and exclusions. Runs check the active-security
+// invariants on every step: no live role whose membership conditions have
+// become false (I4), no authorized access that policy should deny, and no
+// denial of an access policy should permit.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/cert"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/names"
+	"repro/internal/policy"
+	"repro/internal/rpc"
+	"repro/internal/store"
+)
+
+// Config parameterises a run. All randomness derives from Seed.
+type Config struct {
+	Seed     int64
+	Doctors  int
+	Patients int
+	// Ops is the number of record accesses attempted.
+	Ops int
+	// ChurnEvery inserts a rota/register/exclusion change every N ops
+	// (0 disables churn).
+	ChurnEvery int
+}
+
+// Result reports what happened.
+type Result struct {
+	Reads        int // authorized record reads
+	Denied       int // refused accesses (policy said no)
+	Activations  int // treating_doctor activations performed
+	Revocations  int // roles collapsed by churn
+	Churns       int
+	AuditRecords int
+	Violations   []string // invariant breaches (must be empty)
+	Elapsed      time.Duration
+}
+
+// Run executes the workload and returns the result. Any entry in
+// Result.Violations is a bug in the engine or the harness.
+func Run(cfg Config) (Result, error) {
+	if cfg.Doctors < 1 || cfg.Patients < 1 || cfg.Ops < 1 {
+		return Result{}, fmt.Errorf("workload: doctors, patients and ops must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	broker := event.NewBroker()
+	defer broker.Close()
+	bus := rpc.NewLoopback()
+	clk := clock.NewSimulated(time.Date(2001, 11, 12, 8, 0, 0, 0, time.UTC))
+	db := store.New()
+
+	hospital, err := core.NewService(core.Config{
+		Name: "hospital",
+		Policy: policy.MustParse(`
+hospital.treating_doctor(D, P) <- env on_duty(D), env registered(D, P) keep [1, 2].
+`),
+		Broker: broker,
+		Caller: bus,
+		Clock:  clk,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	defer hospital.Close()
+	hospital.Env().RegisterStore("on_duty", db, "on_duty")
+	hospital.Env().RegisterStore("registered", db, "registered")
+	hospital.WatchStore(db, map[string]string{"on_duty": "on_duty", "registered": "registered"})
+	bus.Register("hospital", hospital.Handler())
+
+	records, err := core.NewService(core.Config{
+		Name: "records",
+		Policy: policy.MustParse(`
+auth read_record(D, P) <- hospital.treating_doctor(D, P), !env excluded(D, P).
+`),
+		Broker:           broker,
+		Caller:           bus,
+		Clock:            clk,
+		CacheValidations: true,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	defer records.Close()
+	records.Env().RegisterStore("excluded", db, "excluded")
+	records.WatchStore(db, map[string]string{"excluded": "excluded"})
+	records.Bind("read_record", func(args []names.Term) ([]byte, error) {
+		return []byte("ehr"), nil
+	})
+	bus.Register("records", records.Handler())
+
+	authority, err := audit.NewAuthority("civ", clk)
+	if err != nil {
+		return Result{}, err
+	}
+	ledger := audit.NewLedger()
+	audit.AttachTo(records, authority, ledger, nil)
+
+	// World state mirrors (the harness's own view of the facts).
+	type pair struct{ d, p int }
+	onDuty := make(map[int]bool)
+	registered := make(map[pair]bool)
+	excluded := make(map[pair]bool)
+
+	doctorAtom := func(d int) names.Term { return names.Atom(fmt.Sprintf("dr_%d", d)) }
+	patientAtom := func(p int) names.Term { return names.Atom(fmt.Sprintf("p_%d", p)) }
+
+	assert := func(rel string, args ...names.Term) error {
+		_, err := db.Assert(rel, args...)
+		return err
+	}
+	retract := func(rel string, args ...names.Term) error {
+		_, err := db.Retract(rel, args...)
+		return err
+	}
+
+	// Initial population: every doctor on duty, each patient registered
+	// with one doctor.
+	for d := 0; d < cfg.Doctors; d++ {
+		if err := assert("on_duty", doctorAtom(d)); err != nil {
+			return Result{}, err
+		}
+		onDuty[d] = true
+	}
+	for p := 0; p < cfg.Patients; p++ {
+		d := rng.Intn(cfg.Doctors)
+		if err := assert("registered", doctorAtom(d), patientAtom(p)); err != nil {
+			return Result{}, err
+		}
+		registered[pair{d, p}] = true
+	}
+
+	// Per-doctor sessions and their live treating_doctor RMCs.
+	sessions := make([]*core.Session, cfg.Doctors)
+	for d := range sessions {
+		s, err := core.NewSession(nil)
+		if err != nil {
+			return Result{}, err
+		}
+		sessions[d] = s
+	}
+	type rmcInfo struct {
+		rmc cert.RMC
+		d   int
+		p   int
+	}
+	live := make(map[pair]rmcInfo)
+
+	var res Result
+	start := time.Now()
+
+	conditionsHold := func(d, p int) bool {
+		return onDuty[d] && registered[pair{d, p}]
+	}
+	mayRead := func(d, p int) bool {
+		return conditionsHold(d, p) && !excluded[pair{d, p}]
+	}
+
+	checkInvariants := func(step string) {
+		for key, info := range live {
+			valid, _ := hospital.CRStatus(info.rmc.Ref.Serial)
+			if valid && !conditionsHold(key.d, key.p) {
+				res.Violations = append(res.Violations, fmt.Sprintf(
+					"%s: role %s live although conditions are false", step, info.rmc.Role))
+			}
+			if !valid {
+				res.Revocations++
+				delete(live, key)
+			}
+		}
+	}
+
+	churn := func() error {
+		res.Churns++
+		switch rng.Intn(4) {
+		case 0: // a doctor goes off duty
+			d := rng.Intn(cfg.Doctors)
+			if onDuty[d] {
+				if err := retract("on_duty", doctorAtom(d)); err != nil {
+					return err
+				}
+				onDuty[d] = false
+			}
+		case 1: // a doctor comes back on duty
+			d := rng.Intn(cfg.Doctors)
+			if !onDuty[d] {
+				if err := assert("on_duty", doctorAtom(d)); err != nil {
+					return err
+				}
+				onDuty[d] = true
+			}
+		case 2: // a patient flips an exclusion
+			d := rng.Intn(cfg.Doctors)
+			p := rng.Intn(cfg.Patients)
+			key := pair{d, p}
+			if excluded[key] {
+				if err := retract("excluded", doctorAtom(d), patientAtom(p)); err != nil {
+					return err
+				}
+				delete(excluded, key)
+			} else {
+				if err := assert("excluded", doctorAtom(d), patientAtom(p)); err != nil {
+					return err
+				}
+				excluded[key] = true
+			}
+		case 3: // a patient re-registers with another doctor
+			p := rng.Intn(cfg.Patients)
+			var oldD = -1
+			for d := 0; d < cfg.Doctors; d++ {
+				if registered[pair{d, p}] {
+					oldD = d
+					break
+				}
+			}
+			newD := rng.Intn(cfg.Doctors)
+			if oldD >= 0 && oldD != newD {
+				if err := retract("registered", doctorAtom(oldD), patientAtom(p)); err != nil {
+					return err
+				}
+				delete(registered, pair{oldD, p})
+			}
+			if !registered[pair{newD, p}] {
+				if err := assert("registered", doctorAtom(newD), patientAtom(p)); err != nil {
+					return err
+				}
+				registered[pair{newD, p}] = true
+			}
+		}
+		broker.Quiesce()
+		checkInvariants("after churn")
+		return nil
+	}
+
+	for op := 0; op < cfg.Ops; op++ {
+		if cfg.ChurnEvery > 0 && op%cfg.ChurnEvery == cfg.ChurnEvery-1 {
+			if err := churn(); err != nil {
+				return Result{}, err
+			}
+		}
+		d := rng.Intn(cfg.Doctors)
+		p := rng.Intn(cfg.Patients)
+		key := pair{d, p}
+		sess := sessions[d]
+
+		// Ensure an RMC when policy permits one.
+		info, haveRMC := live[key]
+		if haveRMC {
+			if valid, _ := hospital.CRStatus(info.rmc.Ref.Serial); !valid {
+				res.Revocations++
+				delete(live, key)
+				haveRMC = false
+			}
+		}
+		if !haveRMC && conditionsHold(d, p) {
+			rmc, err := hospital.Activate(sess.PrincipalID(),
+				names.MustRole(names.MustRoleName("hospital", "treating_doctor", 2),
+					doctorAtom(d), patientAtom(p)), core.Presented{})
+			if err != nil {
+				res.Violations = append(res.Violations, fmt.Sprintf(
+					"op %d: activation refused although conditions hold: %v", op, err))
+				continue
+			}
+			res.Activations++
+			live[key] = rmcInfo{rmc: rmc, d: d, p: p}
+			haveRMC = true
+		}
+
+		// Attempt the read with whatever credential exists.
+		var presented core.Presented
+		if info, ok := live[key]; ok {
+			presented = core.Presented{RMCs: []cert.RMC{info.rmc}}
+		}
+		_, err := records.Invoke(sess.PrincipalID(), "read_record",
+			[]names.Term{doctorAtom(d), patientAtom(p)}, presented)
+		allowed := err == nil
+		should := mayRead(d, p) && haveRMC
+		switch {
+		case allowed && !mayRead(d, p):
+			res.Violations = append(res.Violations, fmt.Sprintf(
+				"op %d: dr_%d read p_%d although policy forbids it", op, d, p))
+		case !allowed && should:
+			res.Violations = append(res.Violations, fmt.Sprintf(
+				"op %d: dr_%d denied p_%d although policy permits it: %v", op, d, p, err))
+		}
+		if allowed {
+			res.Reads++
+		} else {
+			res.Denied++
+		}
+	}
+	broker.Quiesce()
+	checkInvariants("final")
+	res.Elapsed = time.Since(start)
+
+	// Audit completeness: one record per authorized read.
+	total := 0
+	for d := range sessions {
+		total += len(ledger.HistoryOf(sessions[d].PrincipalID()))
+	}
+	res.AuditRecords = total
+	if total != res.Reads {
+		res.Violations = append(res.Violations, fmt.Sprintf(
+			"audit records %d != authorized reads %d", total, res.Reads))
+	}
+	return res, nil
+}

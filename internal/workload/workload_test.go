@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestSoakSmallNoChurn(t *testing.T) {
+	res, err := Run(Config{Seed: 1, Doctors: 3, Patients: 10, Ops: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if res.Reads == 0 {
+		t.Error("no reads succeeded")
+	}
+	// Without churn no revocations occur.
+	if res.Revocations != 0 {
+		t.Errorf("revocations = %d without churn", res.Revocations)
+	}
+	if res.AuditRecords != res.Reads {
+		t.Errorf("audit = %d, reads = %d", res.AuditRecords, res.Reads)
+	}
+}
+
+func TestSoakWithChurn(t *testing.T) {
+	res, err := Run(Config{Seed: 2, Doctors: 5, Patients: 40, Ops: 1500, ChurnEvery: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations[:min(len(res.Violations), 5)])
+	}
+	if res.Churns == 0 || res.Revocations == 0 {
+		t.Errorf("churn did not bite: churns=%d revocations=%d", res.Churns, res.Revocations)
+	}
+	if res.Reads == 0 || res.Denied == 0 {
+		t.Errorf("degenerate mix: reads=%d denied=%d", res.Reads, res.Denied)
+	}
+}
+
+func TestSoakDeterministicPerSeed(t *testing.T) {
+	a, err := Run(Config{Seed: 7, Doctors: 4, Patients: 20, Ops: 400, ChurnEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{Seed: 7, Doctors: 4, Patients: 20, Ops: 400, ChurnEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Reads != b.Reads || a.Denied != b.Denied || a.Churns != b.Churns {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestSoakManySeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak sweep skipped in -short")
+	}
+	for seed := int64(10); seed < 18; seed++ {
+		res, err := Run(Config{Seed: seed, Doctors: 4, Patients: 25, Ops: 600, ChurnEvery: 4})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(res.Violations) != 0 {
+			t.Fatalf("seed %d violations: %v", seed, res.Violations[:min(len(res.Violations), 3)])
+		}
+	}
+}
+
+func TestRunValidatesConfig(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

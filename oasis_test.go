@@ -1,0 +1,130 @@
+package oasis_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	oasis "repro"
+)
+
+// TestPublicAPIQuickstart drives the Fig. 2 flow end-to-end through the
+// exported API only: role entry (paths 1-2) and service use (paths 3-4).
+func TestPublicAPIQuickstart(t *testing.T) {
+	broker := oasis.NewBroker()
+	defer broker.Close()
+	bus := oasis.NewBus()
+
+	login, err := oasis.NewService(oasis.Config{
+		Name:   "login",
+		Policy: oasis.MustParsePolicy(`login.user(U) <- env credentials_ok(U).`),
+		Broker: broker,
+		Caller: bus,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer login.Close()
+	bus.Register("login", login.Handler())
+	login.Env().Register("credentials_ok", func(args []oasis.Term, s oasis.Substitution) []oasis.Substitution {
+		if ext, ok := oasis.MustRole(oasis.MustRoleName("x", "y", 1), args[0]).
+			Unify(oasis.MustRole(oasis.MustRoleName("x", "y", 1), oasis.Atom("alice")), s); ok {
+			return []oasis.Substitution{ext}
+		}
+		return nil
+	})
+
+	files, err := oasis.NewService(oasis.Config{
+		Name: "files",
+		Policy: oasis.MustParsePolicy(`
+files.reader(U) <- login.user(U) keep [1].
+auth read(F) <- files.reader(U).
+`),
+		Broker: broker,
+		Caller: bus,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer files.Close()
+	bus.Register("files", files.Handler())
+	files.Bind("read", func(args []oasis.Term) ([]byte, error) {
+		return []byte("data:" + args[0].String()), nil
+	})
+
+	sess, err := oasis.NewSession(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmc, err := login.Activate(sess.PrincipalID(),
+		oasis.MustRole(oasis.MustRoleName("login", "user", 1), oasis.Atom("alice")),
+		oasis.Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(rmc)
+
+	readerRMC, err := files.Activate(sess.PrincipalID(),
+		oasis.MustRole(oasis.MustRoleName("files", "reader", 1), oasis.Var("U")),
+		sess.Credentials())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(readerRMC)
+
+	out, err := files.Invoke(sess.PrincipalID(), "read",
+		[]oasis.Term{oasis.Atom("report")}, sess.Credentials())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "data:report" {
+		t.Errorf("out = %q", out)
+	}
+
+	// Logout collapses the session tree; the reader role dies with it.
+	login.Deactivate(rmc.Ref.Serial, "logout")
+	broker.Quiesce()
+	if valid, _ := files.CRStatus(readerRMC.Ref.Serial); valid {
+		t.Error("reader role survived logout")
+	}
+	if _, err := files.Invoke(sess.PrincipalID(), "read",
+		[]oasis.Term{oasis.Atom("report")}, sess.Credentials()); !errors.Is(err, oasis.ErrInvalidCredential) {
+		t.Errorf("invocation after logout: %v", err)
+	}
+}
+
+func TestPublicAPIClockAndStore(t *testing.T) {
+	clk := oasis.NewSimClock(time.Date(2001, 1, 1, 0, 0, 0, 0, time.UTC))
+	if got := clk.Now().Year(); got != 2001 {
+		t.Errorf("year = %d", got)
+	}
+	db := oasis.NewFactStore()
+	if _, err := db.Assert("r", oasis.Atom("a")); err != nil {
+		t.Fatal(err)
+	}
+	if !db.Contains("r", oasis.Atom("a")) {
+		t.Error("fact missing")
+	}
+	if oasis.RealClock() == nil {
+		t.Error("RealClock nil")
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	acl := oasis.NewACLBaseline()
+	acl.Grant("o", "p", "read")
+	if !acl.Check("o", "p", "read") {
+		t.Error("acl check failed")
+	}
+	rbac := oasis.NewRBAC0Baseline()
+	rbac.AssignUser("u", "r")
+	rbac.AssignPermission("r", "perm")
+	if !rbac.Check("u", "perm") {
+		t.Error("rbac0 check failed")
+	}
+	d := oasis.NewDelegationBaseline()
+	d.AddMember("role", "u")
+	if !d.Holds("role", "u") {
+		t.Error("delegation membership failed")
+	}
+}
