@@ -4,7 +4,7 @@ GO ?= go
 
 .PHONY: all build vet test race bench tables examples cover clean
 
-all: build vet test
+all: build vet test race
 
 build:
 	$(GO) build ./...
@@ -22,9 +22,10 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Regenerate every figure/scenario table from the paper reproduction.
+# Regenerate every figure/scenario table from the paper reproduction and
+# the machine-readable parallel-scaling rows (BENCH_parallel.json).
 tables:
-	$(GO) run ./cmd/benchtab
+	$(GO) run ./cmd/benchtab -json BENCH_parallel.json
 
 # Run all six runnable paper scenarios.
 examples:

@@ -484,6 +484,173 @@ func BenchmarkSealedCallbackValidation(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// E11 — multi-core scaling of the authorization hot path (run with
+// -cpu 1,4,8). The parallel variants drive the same operations as their
+// serial counterparts from every GOMAXPROCS worker at once, measuring how
+// the engine behaves when many sessions hit one service concurrently.
+// ---------------------------------------------------------------------------
+
+func BenchmarkFig2InvokeCachedParallel(b *testing.B) {
+	w := experiments.NewWorld()
+	defer w.Close()
+	login, err := w.Service("login", `login.user <- env ok.`, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	experiments.AlwaysTrue(login, "ok")
+	guard, err := w.Service("guard", `auth enter <- login.user.`, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess := experiments.NewSession()
+	rmc, err := login.Activate(sess.PrincipalID(), experiments.Role("login", "user"), core.Presented{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess.AddRMC(rmc)
+	creds := sess.Credentials()
+	// Warm the ECR cache so the steady state is measured.
+	if _, err := guard.Invoke(sess.PrincipalID(), "enter", nil, creds); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := guard.Invoke(sess.PrincipalID(), "enter", nil, creds); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkFig4RMCValidateParallel(b *testing.B) {
+	ring, err := sign.NewKeyRing(2, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	role := names.MustRole(names.MustRoleName("svc", "r", 2),
+		names.Atom("d1"), names.Int(42))
+	rmc, err := cert.IssueRMC(ring, "principal", role, cert.CRR{Issuer: "svc", Serial: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := rmc.Verify(ring, "principal"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkOASISParametrisedAuthorizeParallel(b *testing.B) {
+	w := experiments.NewWorld()
+	defer w.Close()
+	svc, err := w.Service("h", `
+h.doctor(D) <- env is_doctor(D).
+auth read_record(D, P) <- h.doctor(D), env registered(D, P).
+`, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := newRegistrationStore(b, 100, 100)
+	svc.Env().RegisterStore("registered", db.store, "registered")
+	svc.Env().Register("is_doctor", func(args []names.Term, s names.Substitution) []names.Substitution {
+		return []names.Substitution{s.Clone()}
+	})
+	sess := experiments.NewSession()
+	rmc, err := svc.Activate(sess.PrincipalID(),
+		experiments.Role("h", "doctor", names.Atom("dr_50")), core.Presented{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess.AddRMC(rmc)
+	creds := sess.Credentials()
+	args := []names.Term{names.Atom("dr_50"), names.Atom("p_50_50")}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := svc.Invoke(sess.PrincipalID(), "read_record", args, creds); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMixedSessionChurnParallel is the contention workload: every
+// worker runs full session lifecycles (activate at login, a burst of
+// cached invocations at the guard, then logout via revocation) against the
+// same pair of services, so activation writes, validation-cache fills,
+// revocation fan-out and invoke reads all race.
+func BenchmarkMixedSessionChurnParallel(b *testing.B) {
+	w := experiments.NewWorld()
+	defer w.Close()
+	login, err := w.Service("login", `login.user <- env ok.`, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	experiments.AlwaysTrue(login, "ok")
+	guard, err := w.Service("guard", `auth enter <- login.user.`, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		sess := experiments.NewSession()
+		principal := sess.PrincipalID()
+		roleUser := experiments.Role("login", "user")
+		for pb.Next() {
+			rmc, err := login.Activate(principal, roleUser, core.Presented{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			creds := core.Presented{RMCs: []cert.RMC{rmc}}
+			for k := 0; k < 4; k++ {
+				if _, err := guard.Invoke(principal, "enter", nil, creds); err != nil {
+					b.Fatal(err)
+				}
+			}
+			login.Deactivate(rmc.Ref.Serial, "logout")
+		}
+	})
+}
+
+// BenchmarkEndSessionManyPrincipals measures session teardown while many
+// other principals hold live roles at the same service: each iteration
+// activates one role for a fresh principal and immediately ends its
+// session, against a background population of n live credential records.
+func BenchmarkEndSessionManyPrincipals(b *testing.B) {
+	for _, n := range []int{100, 10000} {
+		b.Run(fmt.Sprintf("principals=%d", n), func(b *testing.B) {
+			w := experiments.NewWorld()
+			defer w.Close()
+			login, err := w.Service("login", `login.user <- env ok.`, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			experiments.AlwaysTrue(login, "ok")
+			roleUser := experiments.Role("login", "user")
+			for i := 0; i < n; i++ {
+				if _, err := login.Activate(fmt.Sprintf("resident_%d", i), roleUser, core.Presented{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := fmt.Sprintf("visitor_%d", i)
+				if _, err := login.Activate(p, roleUser, core.Presented{}); err != nil {
+					b.Fatal(err)
+				}
+				if got := login.EndSession(p); got != 1 {
+					b.Fatalf("ended %d sessions for %s, want 1", got, p)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkPollingTick(b *testing.B) {
 	clk := clock.NewSimulated(time.Unix(0, 0))
 	p := baseline.NewPollingRevoker(clk, time.Second)

@@ -6,11 +6,14 @@
 //	benchtab                 # run every experiment
 //	benchtab -exp fig5       # run one experiment
 //	benchtab -list           # list experiment ids
+//	benchtab -json out.json  # also write machine-readable rows (parallel)
 //
 // Experiment ids: fig1 fig2 fig3 fig4 fig5 auth sect5 sect6 baselines
+// soak parallel
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,9 +24,14 @@ import (
 	"repro/internal/experiments"
 )
 
+// jsonPath, when set, receives the parallel-scaling rows as a JSON array
+// (one row per benchmark x GOMAXPROCS point) — the BENCH_*.json seed.
+var jsonPath string
+
 func main() {
 	exp := flag.String("exp", "", "experiment id to run (default: all)")
 	list := flag.Bool("list", false, "list experiment ids")
+	flag.StringVar(&jsonPath, "json", "", "write parallel-scaling rows to this JSON file")
 	flag.Parse()
 	if err := run(*exp, *list); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
@@ -42,6 +50,7 @@ var experimentsTable = map[string]func(*tabwriter.Writer) error{
 	"sect6":     runSect6,
 	"baselines": runBaselines,
 	"soak":      runSoak,
+	"parallel":  runParallelScaling,
 }
 
 func run(exp string, list bool) error {
@@ -231,6 +240,31 @@ func runSoak(w *tabwriter.Writer) error {
 			row.Doctors, row.Patients, row.Ops, row.Reads, row.Denied,
 			row.Revocations, row.Churns, row.Violations, row.PerOp.Round(100*time.Nanosecond))
 	}
+	return nil
+}
+
+func runParallelScaling(w *tabwriter.Writer) error {
+	fmt.Fprintln(w, "== E11: hot-path throughput under concurrent load (goroutines = GOMAXPROCS) ==")
+	fmt.Fprintln(w, "benchmark\tprocs\tops\tns/op\tops/sec")
+	rows, err := experiments.RunParallelScaling([]int{1, 4, 8}, 150*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.0f\t%.0f\n",
+			row.Benchmark, row.Procs, row.Ops, row.NsPerOp, row.OpsPerSec)
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	out, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "(rows written to %s)\n", jsonPath)
 	return nil
 }
 

@@ -36,7 +36,7 @@ type AppointmentRequest struct {
 // can be validated by callback and revoked through its event channel.
 func (s *Service) Appoint(principal string, req AppointmentRequest, p Presented) (cert.AppointmentCertificate, error) {
 	ruleName := appointRulePrefix + req.Kind
-	rules := s.pol.AuthFor(ruleName)
+	rules := s.authIndex[ruleName]
 	if len(rules) == 0 {
 		return cert.AppointmentCertificate{}, wrap(s.name,
 			fmt.Errorf("%w: no appointer rule %s", ErrAppointmentDenied, ruleName))
@@ -61,10 +61,10 @@ func (s *Service) Appoint(principal string, req AppointmentRequest, p Presented)
 			fmt.Errorf("%w: %s", ErrAppointmentDenied, req.Kind))
 	}
 
-	s.mu.Lock()
+	s.apptMu.Lock()
 	s.nextApptSerial++
 	serial := s.nextApptSerial
-	s.mu.Unlock()
+	s.apptMu.Unlock()
 
 	a, err := cert.IssueAppointment(s.ring, cert.AppointmentCertificate{
 		Issuer:      s.name,
@@ -79,9 +79,9 @@ func (s *Service) Appoint(principal string, req AppointmentRequest, p Presented)
 	if err != nil {
 		return cert.AppointmentCertificate{}, wrap(s.name, err)
 	}
-	s.mu.Lock()
+	s.apptMu.Lock()
 	s.appts[serial] = &apptRecord{serial: serial, appt: a}
-	s.mu.Unlock()
+	s.apptMu.Unlock()
 	return a, nil
 }
 
@@ -90,15 +90,15 @@ func (s *Service) Appoint(principal string, req AppointmentRequest, p Presented)
 // rules depend on it. It reports whether the serial named a live
 // appointment.
 func (s *Service) RevokeAppointment(serial uint64, reason string) bool {
-	s.mu.Lock()
+	s.apptMu.Lock()
 	rec, ok := s.appts[serial]
 	if !ok || rec.revoked {
-		s.mu.Unlock()
+		s.apptMu.Unlock()
 		return false
 	}
 	rec.revoked = true
 	key := rec.appt.Key()
-	s.mu.Unlock()
+	s.apptMu.Unlock()
 
 	s.broker.Publish(event.Event{ //nolint:errcheck
 		Topic:   TopicAppt(key),
@@ -113,8 +113,8 @@ func (s *Service) RevokeAppointment(serial uint64, reason string) bool {
 // AppointmentStatus reports whether an issued appointment exists and is
 // still valid (ignoring expiry, which Verify checks per presentation).
 func (s *Service) AppointmentStatus(serial uint64) (valid, exists bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.apptMu.Lock()
+	defer s.apptMu.Unlock()
 	rec, ok := s.appts[serial]
 	if !ok {
 		return false, false

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sign"
@@ -25,25 +26,24 @@ var (
 )
 
 // sessionProofs tracks, per service, when each principal last proved
-// possession of its session private key.
+// possession of its session private key. The sensitive-method table is a
+// copy-on-write snapshot so the Invoke hot path checks it without locking;
+// the proof times only need the mutex once a method is actually sensitive.
 type sessionProofs struct {
 	mu     sync.Mutex
 	proven map[string]time.Time
-	// sensitive maps method name -> maximum allowed proof age.
-	sensitive map[string]time.Duration
+	// sensitive holds a map[string]time.Duration snapshot: method name
+	// -> maximum allowed proof age.
+	sensitive atomic.Value
 }
 
-func (s *Service) proofs() *sessionProofs {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.proofState == nil {
-		s.proofState = &sessionProofs{
-			proven:    make(map[string]time.Time),
-			sensitive: make(map[string]time.Duration),
-		}
-	}
-	return s.proofState
+func newSessionProofs() *sessionProofs {
+	p := &sessionProofs{proven: make(map[string]time.Time)}
+	p.sensitive.Store(map[string]time.Duration{})
+	return p
 }
+
+func (s *Service) proofs() *sessionProofs { return s.proofState }
 
 // MarkSensitive requires that invocations of method carry a
 // challenge-response proof no older than maxAge. Use for methods that
@@ -52,7 +52,13 @@ func (s *Service) MarkSensitive(method string, maxAge time.Duration) {
 	p := s.proofs()
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.sensitive[method] = maxAge
+	old := p.sensitive.Load().(map[string]time.Duration)
+	next := make(map[string]time.Duration, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[method] = maxAge
+	p.sensitive.Store(next)
 }
 
 // IssueChallenge starts an ISO/9798 exchange with a session principal: the
@@ -80,16 +86,17 @@ func (s *Service) ProveSession(principal string, resp sign.Response) error {
 }
 
 // proofFreshEnough reports whether the method's proof requirement (if
-// any) is met for the principal at the current instant.
+// any) is met for the principal at the current instant. Non-sensitive
+// methods (the common case) are decided from the lock-free snapshot.
 func (s *Service) proofFreshEnough(principal, method string) error {
 	p := s.proofs()
-	p.mu.Lock()
-	maxAge, sensitive := p.sensitive[method]
-	at, proven := p.proven[principal]
-	p.mu.Unlock()
+	maxAge, sensitive := p.sensitive.Load().(map[string]time.Duration)[method]
 	if !sensitive {
 		return nil
 	}
+	p.mu.Lock()
+	at, proven := p.proven[principal]
+	p.mu.Unlock()
 	if !proven || s.clk.Now().Sub(at) > maxAge {
 		return fmt.Errorf("%w: method %s", ErrProofRequired, method)
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/cert"
@@ -158,4 +159,65 @@ func TestConcurrentAppointments(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+// TestConcurrentEndSessionCountsEachRecordOnce races two EndSession calls
+// (and a direct revocation of one record) per principal: deactivation is
+// idempotent, so every credential record must be counted exactly once
+// across all concurrent enders.
+func TestConcurrentEndSessionCountsEachRecordOnce(t *testing.T) {
+	w := newWorld(t)
+	login := w.service("login", `login.user <- env ok.`)
+	alwaysTrue(login, "ok")
+
+	const principals = 8
+	const rolesEach = 5
+	firstSerial := make([]uint64, principals)
+	for p := 0; p < principals; p++ {
+		for r := 0; r < rolesEach; r++ {
+			rmc, err := login.Activate(fmt.Sprintf("p%d", p), role("login", "user"), Presented{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r == 0 {
+				firstSerial[p] = rmc.Ref.Serial
+			}
+		}
+	}
+
+	counts := make([]int64, principals)
+	var wg sync.WaitGroup
+	for p := 0; p < principals; p++ {
+		principal := fmt.Sprintf("p%d", p)
+		for g := 0; g < 2; g++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				atomic.AddInt64(&counts[p], int64(login.EndSession(principal)))
+			}(p)
+		}
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			login.Deactivate(firstSerial[p], "raced revocation")
+		}(p)
+	}
+	wg.Wait()
+	w.broker.Quiesce()
+
+	for p := 0; p < principals; p++ {
+		got := atomic.LoadInt64(&counts[p])
+		// The direct revocation may or may not win the race for one
+		// record; every other record must be counted exactly once.
+		if got < rolesEach-1 || got > rolesEach {
+			t.Errorf("principal %d: EndSession counted %d records, want %d or %d",
+				p, got, rolesEach-1, rolesEach)
+		}
+		if roles := login.ActiveRoles(fmt.Sprintf("p%d", p)); len(roles) != 0 {
+			t.Errorf("principal %d still has %d active roles after concurrent teardown", p, len(roles))
+		}
+		if again := login.EndSession(fmt.Sprintf("p%d", p)); again != 0 {
+			t.Errorf("principal %d: repeated EndSession deactivated %d records, want 0", p, again)
+		}
+	}
 }

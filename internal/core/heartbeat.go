@@ -10,12 +10,7 @@ import (
 // Deployments drive this from a ticker; tests and the experiment harness
 // call it directly. It returns the number of heartbeats published.
 func (s *Service) EmitHeartbeats() int {
-	s.mu.Lock()
-	serials := make([]uint64, 0, len(s.crs))
-	for serial := range s.crs {
-		serials = append(serials, serial)
-	}
-	s.mu.Unlock()
+	serials := s.crs.allSerials()
 
 	subjects := make([]string, 0, len(serials))
 	for _, serial := range serials {

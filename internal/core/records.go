@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 )
 
 // RecordStore holds the validity state of issued role membership
@@ -31,31 +32,48 @@ type RecordStatus struct {
 	Reason  string
 }
 
-// memRecords is the default in-memory RecordStore.
+// memRecords is the default in-memory RecordStore. Serial allocation is a
+// single atomic, and the record table is sharded by serial so local
+// validations (Status reads on the Invoke path) do not serialise behind
+// issues and revocations.
 type memRecords struct {
-	mu      sync.Mutex
-	next    uint64
+	next   atomic.Uint64
+	shards [crShards]recordShard
+}
+
+type recordShard struct {
+	mu      sync.RWMutex
 	records map[uint64]*RecordStatus
 }
 
 var _ RecordStore = (*memRecords)(nil)
 
 func newMemRecords() *memRecords {
-	return &memRecords{records: make(map[uint64]*RecordStatus)}
+	m := &memRecords{}
+	for i := range m.shards {
+		m.shards[i].records = make(map[uint64]*RecordStatus)
+	}
+	return m
+}
+
+func (m *memRecords) shard(serial uint64) *recordShard {
+	return &m.shards[serial%crShards]
 }
 
 func (m *memRecords) Issue(subject, holder string) (uint64, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.next++
-	m.records[m.next] = &RecordStatus{Exists: true, Holder: holder, Subject: subject}
-	return m.next, nil
+	serial := m.next.Add(1)
+	sh := m.shard(serial)
+	sh.mu.Lock()
+	sh.records[serial] = &RecordStatus{Exists: true, Holder: holder, Subject: subject}
+	sh.mu.Unlock()
+	return serial, nil
 }
 
 func (m *memRecords) Revoke(serial uint64, reason string) (bool, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	rec, ok := m.records[serial]
+	sh := m.shard(serial)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rec, ok := sh.records[serial]
 	if !ok || rec.Revoked {
 		return false, nil
 	}
@@ -65,9 +83,10 @@ func (m *memRecords) Revoke(serial uint64, reason string) (bool, error) {
 }
 
 func (m *memRecords) Status(serial uint64) (RecordStatus, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	rec, ok := m.records[serial]
+	sh := m.shard(serial)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	rec, ok := sh.records[serial]
 	if !ok {
 		return RecordStatus{}, nil
 	}

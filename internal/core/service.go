@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cert"
@@ -67,7 +68,7 @@ type Config struct {
 	Records RecordStore
 }
 
-// Stats counts service activity for the experiment harness.
+// Stats is a snapshot of the service counters for the experiment harness.
 type Stats struct {
 	Activations         uint64
 	ActivationsDenied   uint64
@@ -79,13 +80,51 @@ type Stats struct {
 	Revocations         uint64
 }
 
+// statCounters is the live form of Stats: independent atomics so the
+// authorize-and-dispatch path never takes a lock to count.
+type statCounters struct {
+	activations         atomic.Uint64
+	activationsDenied   atomic.Uint64
+	invocations         atomic.Uint64
+	invocationsDenied   atomic.Uint64
+	localValidations    atomic.Uint64
+	callbackValidations atomic.Uint64
+	cacheHits           atomic.Uint64
+	revocations         atomic.Uint64
+}
+
+func (c *statCounters) snapshot() Stats {
+	return Stats{
+		Activations:         c.activations.Load(),
+		ActivationsDenied:   c.activationsDenied.Load(),
+		Invocations:         c.invocations.Load(),
+		InvocationsDenied:   c.invocationsDenied.Load(),
+		LocalValidations:    c.localValidations.Load(),
+		CallbackValidations: c.callbackValidations.Load(),
+		CacheHits:           c.cacheHits.Load(),
+		Revocations:         c.revocations.Load(),
+	}
+}
+
 // Service is an OASIS-secured service (Fig. 2). It defines roles, enforces
 // activation and authorization policy, issues and validates certificates,
 // and monitors membership rules through the event infrastructure.
+//
+// Concurrency: there is no service-wide lock. State is split per concern —
+// the sharded credential-record table (crs), the lock-free validation
+// cache (vcache), copy-on-write registration maps (methods, observers),
+// atomic counters (stats), and small dedicated mutexes for the cold maps
+// (appointments, env index) — so concurrent invocations on the hot path
+// synchronise only through atomics. See DESIGN.md "Concurrency model".
 type Service struct {
 	name   string
 	pol    policy.Policy
-	broker *event.Broker
+	// authIndex and roleIndex are immutable per-method / per-role views
+	// of the policy, precomputed so the hot paths do not rescan (and
+	// reallocate) the rule lists on every request.
+	authIndex map[string][]policy.AuthRule
+	roleIndex map[names.RoleName][]policy.Rule
+	broker    *event.Broker
 	caller rpc.Caller
 	clk    clock.Clock
 	eval   *policy.Evaluator
@@ -96,17 +135,24 @@ type Service struct {
 
 	records RecordStore
 
-	mu             sync.Mutex
+	crs    crTable
+	vcache valCache
+	stats  statCounters
+
+	// setupMu serialises writers of the copy-on-write registration
+	// snapshots below; readers load them without locking.
+	setupMu   sync.Mutex
+	methods   atomic.Value // map[string]MethodImpl
+	observers atomic.Value // []InvokeObserver
+
+	envMu    sync.Mutex
+	envIndex map[string]map[uint64]struct{} // predicate -> CR serials with env deps
+
+	apptMu         sync.Mutex
 	nextApptSerial uint64
-	crs            map[uint64]*CredRecord
 	appts          map[uint64]*apptRecord
-	methods        map[string]MethodImpl
-	envIndex       map[string]map[uint64]struct{} // predicate -> CR serials with env deps
-	cache          map[string]bool                // positive validations (presence == issuer said valid)
-	cacheSubs      map[string]*event.Subscription
-	observers      []InvokeObserver
-	stats          Stats
-	proofState     *sessionProofs
+
+	proofState *sessionProofs
 
 	stopTimers chan struct{}
 	stopOnce   sync.Once
@@ -122,8 +168,13 @@ type CredRecord struct {
 	Principal string
 	Role      names.Role
 
-	subs    []*event.Subscription
-	envDeps []envDep
+	// mu guards the mutable monitoring state below; deactivated marks
+	// the record dead so a membership watch installed concurrently with
+	// deactivation is cancelled rather than leaked.
+	mu          sync.Mutex
+	deactivated bool
+	subs        []*event.Subscription
+	envDeps     []envDep
 }
 
 type envDep struct {
@@ -172,10 +223,20 @@ func NewService(cfg Config) (*Service, error) {
 	if records == nil {
 		records = newMemRecords()
 	}
-	return &Service{
+	authIndex := make(map[string][]policy.AuthRule)
+	for _, r := range cfg.Policy.Auth {
+		authIndex[r.Method] = append(authIndex[r.Method], r)
+	}
+	roleIndex := make(map[names.RoleName][]policy.Rule)
+	for _, r := range cfg.Policy.Rules {
+		roleIndex[r.Head.Name] = append(roleIndex[r.Head.Name], r)
+	}
+	s := &Service{
 		name:             cfg.Name,
 		records:          records,
 		pol:              cfg.Policy,
+		authIndex:        authIndex,
+		roleIndex:        roleIndex,
 		broker:           cfg.Broker,
 		caller:           cfg.Caller,
 		clk:              clk,
@@ -183,14 +244,14 @@ func NewService(cfg Config) (*Service, error) {
 		ring:             ring,
 		chal:             sign.NewChallenger(time.Minute, clk.Now, nil),
 		cacheValidations: cfg.CacheValidations,
-		crs:              make(map[uint64]*CredRecord),
-		appts:            make(map[uint64]*apptRecord),
-		methods:          make(map[string]MethodImpl),
 		envIndex:         make(map[string]map[uint64]struct{}),
-		cache:            make(map[string]bool),
-		cacheSubs:        make(map[string]*event.Subscription),
+		appts:            make(map[uint64]*apptRecord),
+		proofState:       newSessionProofs(),
 		stopTimers:       make(chan struct{}),
-	}, nil
+	}
+	s.methods.Store(map[string]MethodImpl{})
+	s.observers.Store([]InvokeObserver{})
+	return s, nil
 }
 
 // Name returns the service name.
@@ -204,26 +265,32 @@ func (s *Service) Env() *policy.Registry { return s.eval.Env }
 func (s *Service) Challenger() *sign.Challenger { return s.chal }
 
 // Bind installs application logic for a method; invocation remains policy
-// gated.
+// gated. The method table is copied on write so Invoke reads it without a
+// lock.
 func (s *Service) Bind(method string, impl MethodImpl) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.methods[method] = impl
+	s.setupMu.Lock()
+	defer s.setupMu.Unlock()
+	old := s.methods.Load().(map[string]MethodImpl)
+	next := make(map[string]MethodImpl, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[method] = impl
+	s.methods.Store(next)
 }
 
 // Observe registers an invocation observer (audit hook).
 func (s *Service) Observe(o InvokeObserver) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.observers = append(s.observers, o)
+	s.setupMu.Lock()
+	defer s.setupMu.Unlock()
+	old := s.observers.Load().([]InvokeObserver)
+	next := make([]InvokeObserver, len(old), len(old)+1)
+	copy(next, old)
+	s.observers.Store(append(next, o))
 }
 
 // Stats returns a snapshot of the service counters.
-func (s *Service) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
-}
+func (s *Service) Stats() Stats { return s.stats.snapshot() }
 
 // Policy returns the service's policy document.
 func (s *Service) Policy() policy.Policy { return s.pol }
@@ -234,7 +301,7 @@ func (s *Service) Activate(principal string, requested names.Role, p Presented) 
 	if requested.Name.Service != s.name {
 		return cert.RMC{}, wrap(s.name, fmt.Errorf("%w: %s", ErrUnknownRole, requested.Name))
 	}
-	rules := s.pol.RulesFor(requested.Name)
+	rules := s.roleIndex[requested.Name]
 	if len(rules) == 0 {
 		return cert.RMC{}, wrap(s.name, fmt.Errorf("%w: %s", ErrUnknownRole, requested.Name))
 	}
@@ -247,9 +314,7 @@ func (s *Service) Activate(principal string, requested names.Role, p Presented) 
 		return cert.RMC{}, wrap(s.name, err)
 	}
 	if !ok {
-		s.mu.Lock()
-		s.stats.ActivationsDenied++
-		s.mu.Unlock()
+		s.stats.activationsDenied.Add(1)
 		return cert.RMC{}, wrap(s.name, fmt.Errorf("%w: %s", ErrActivationDenied, requested.Name))
 	}
 	rule := rules[idx]
@@ -263,17 +328,17 @@ func (s *Service) Activate(principal string, requested names.Role, p Presented) 
 		return cert.RMC{}, wrap(s.name, err)
 	}
 	cr := &CredRecord{Serial: serial, Principal: principal, Role: ground}
-	s.mu.Lock()
-	s.crs[serial] = cr
-	s.stats.Activations++
-	s.mu.Unlock()
+	s.crs.insert(cr)
+	s.stats.activations.Add(1)
 
 	ref := cert.CRR{Issuer: s.name, Serial: serial}
 	rmc, err := cert.IssueRMC(s.ring, principal, ground, ref)
 	if err != nil {
+		s.deactivate(serial, "activation aborted")
 		return cert.RMC{}, wrap(s.name, err)
 	}
 	if err := s.installMembership(cr, rule, sol); err != nil {
+		s.deactivate(serial, "activation aborted")
 		return cert.RMC{}, wrap(s.name, err)
 	}
 	return rmc, nil
@@ -304,18 +369,54 @@ func (s *Service) installMembership(cr *CredRecord, rule policy.Rule, sol policy
 		case match.EnvName != "":
 			ec, _ := match.Cond.(policy.EnvCond)
 			dep := envDep{name: match.EnvName, args: match.EnvArgs, negated: ec.Negated}
-			s.mu.Lock()
-			cr.envDeps = append(cr.envDeps, dep)
-			set, ok := s.envIndex[dep.name]
-			if !ok {
-				set = make(map[uint64]struct{})
-				s.envIndex[dep.name] = set
+			cr.mu.Lock()
+			if cr.deactivated {
+				cr.mu.Unlock()
+				continue
 			}
-			set[cr.Serial] = struct{}{}
-			s.mu.Unlock()
+			cr.envDeps = append(cr.envDeps, dep)
+			cr.mu.Unlock()
+
+			s.envIndexAdd(dep.name, cr.Serial)
+			// The record may have been deactivated between the append
+			// and the index insert; undo the insert so dead serials do
+			// not accumulate in the index.
+			cr.mu.Lock()
+			dead := cr.deactivated
+			cr.mu.Unlock()
+			if dead {
+				s.envIndexRemove([]envDep{dep}, cr.Serial)
+			}
 		}
 	}
 	return nil
+}
+
+func (s *Service) envIndexAdd(predicate string, serial uint64) {
+	s.envMu.Lock()
+	set, ok := s.envIndex[predicate]
+	if !ok {
+		set = make(map[uint64]struct{})
+		s.envIndex[predicate] = set
+	}
+	set[serial] = struct{}{}
+	s.envMu.Unlock()
+}
+
+func (s *Service) envIndexRemove(deps []envDep, serial uint64) {
+	if len(deps) == 0 {
+		return
+	}
+	s.envMu.Lock()
+	for _, dep := range deps {
+		if set, ok := s.envIndex[dep.name]; ok {
+			delete(set, serial)
+			if len(set) == 0 {
+				delete(s.envIndex, dep.name)
+			}
+		}
+	}
+	s.envMu.Unlock()
 }
 
 // scheduleExpiry deactivates a credential record when the clock reaches
@@ -346,9 +447,14 @@ func (s *Service) watchTopic(cr *CredRecord, topic string) error {
 	if err != nil {
 		return err
 	}
-	s.mu.Lock()
+	cr.mu.Lock()
+	if cr.deactivated {
+		cr.mu.Unlock()
+		sub.Cancel()
+		return nil
+	}
 	cr.subs = append(cr.subs, sub)
-	s.mu.Unlock()
+	cr.mu.Unlock()
 	return nil
 }
 
@@ -356,29 +462,31 @@ func (s *Service) watchTopic(cr *CredRecord, topic string) error {
 // on its event channel, collapsing the dependent role subtree. It is
 // idempotent.
 func (s *Service) Deactivate(serial uint64, reason string) {
+	s.deactivate(serial, reason)
+}
+
+// deactivate reports whether this call performed the revocation: the
+// RecordStore's revoke-once semantics make concurrent deactivations of the
+// same serial (logout racing revocation) resolve to exactly one winner.
+func (s *Service) deactivate(serial uint64, reason string) bool {
 	wasLive, err := s.records.Revoke(serial, reason)
 	if err != nil || !wasLive {
 		// Already revoked, unknown, or the record store is unreachable
 		// (in which case validation also fails, which is the safe
 		// direction).
-		return
+		return false
 	}
-	s.mu.Lock()
 	var subs []*event.Subscription
-	if cr, ok := s.crs[serial]; ok {
+	if cr := s.crs.remove(serial); cr != nil {
+		cr.mu.Lock()
+		cr.deactivated = true
 		subs = cr.subs
 		cr.subs = nil
-		for _, dep := range cr.envDeps {
-			if set, ok := s.envIndex[dep.name]; ok {
-				delete(set, serial)
-				if len(set) == 0 {
-					delete(s.envIndex, dep.name)
-				}
-			}
-		}
+		deps := cr.envDeps
+		cr.mu.Unlock()
+		s.envIndexRemove(deps, serial)
 	}
-	s.stats.Revocations++
-	s.mu.Unlock()
+	s.stats.revocations.Add(1)
 
 	for _, sub := range subs {
 		sub.Cancel()
@@ -391,6 +499,7 @@ func (s *Service) Deactivate(serial uint64, reason string) {
 		Reason:  reason,
 		At:      s.clk.Now(),
 	})
+	return true
 }
 
 // NotifyEnvChanged re-checks the membership conditions of every active
@@ -399,21 +508,22 @@ func (s *Service) Deactivate(serial uint64, reason string) {
 // environmental state changes; WatchStore wires it to a fact store
 // automatically.
 func (s *Service) NotifyEnvChanged(predicate string) {
-	s.mu.Lock()
+	s.envMu.Lock()
 	set := s.envIndex[predicate]
 	serials := make([]uint64, 0, len(set))
 	for serial := range set {
 		serials = append(serials, serial)
 	}
-	s.mu.Unlock()
+	s.envMu.Unlock()
 
 	for _, serial := range serials {
-		s.mu.Lock()
-		var deps []envDep
-		if cr, ok := s.crs[serial]; ok {
-			deps = append(deps, cr.envDeps...)
+		cr := s.crs.get(serial)
+		if cr == nil {
+			continue
 		}
-		s.mu.Unlock()
+		cr.mu.Lock()
+		deps := append([]envDep(nil), cr.envDeps...)
+		cr.mu.Unlock()
 		for _, dep := range deps {
 			if dep.name != predicate {
 				continue
@@ -471,9 +581,12 @@ func (s *Service) WatchStore(db *store.Store, relationToPredicate map[string]str
 
 // Invoke is path 3-4 of Fig. 2: the principal presents credentials with a
 // method invocation; the service checks its authorization rules and any
-// environmental constraints, then runs the bound implementation.
+// environmental constraints, then runs the bound implementation. The
+// authorize-and-dispatch path takes no lock: validation reads the
+// lock-free cache, counters are atomics, and the method/observer tables
+// are copy-on-write snapshots.
 func (s *Service) Invoke(principal, method string, args []names.Term, p Presented) ([]byte, error) {
-	rules := s.pol.AuthFor(method)
+	rules := s.authIndex[method]
 	if len(rules) == 0 {
 		return nil, wrap(s.name, fmt.Errorf("%w: %s", ErrUnknownMethod, method))
 	}
@@ -492,31 +605,26 @@ func (s *Service) Invoke(principal, method string, args []names.Term, p Presente
 		if !ok {
 			continue
 		}
-		s.mu.Lock()
-		s.stats.Invocations++
-		impl := s.methods[method]
-		observers := make([]InvokeObserver, len(s.observers))
-		copy(observers, s.observers)
-		s.mu.Unlock()
-
-		rec := InvokeRecord{
-			Service:     s.name,
-			Method:      method,
-			Args:        args,
-			Principal:   principal,
-			Credentials: credentialKeys(sol),
-		}
-		for _, o := range observers {
-			o(rec)
+		s.stats.invocations.Add(1)
+		impl := s.methods.Load().(map[string]MethodImpl)[method]
+		if observers := s.observers.Load().([]InvokeObserver); len(observers) > 0 {
+			rec := InvokeRecord{
+				Service:     s.name,
+				Method:      method,
+				Args:        args,
+				Principal:   principal,
+				Credentials: credentialKeys(sol),
+			}
+			for _, o := range observers {
+				o(rec)
+			}
 		}
 		if impl == nil {
 			return nil, nil
 		}
 		return impl(args)
 	}
-	s.mu.Lock()
-	s.stats.InvocationsDenied++
-	s.mu.Unlock()
+	s.stats.invocationsDenied.Add(1)
 	return nil, wrap(s.name, fmt.Errorf("%w: %s", ErrInvocationDenied, method))
 }
 
@@ -536,20 +644,13 @@ func credentialKeys(sol policy.Solution) []string {
 // EndSession deactivates every live credential record issued to the
 // principal by this service (the logout of Sect. 4: deactivating the
 // initial roles collapses the whole session tree through the event
-// channels). It returns the number of records deactivated.
+// channels). It returns the number of records this call deactivated;
+// records concurrently revoked by another path (logout racing revocation)
+// are counted exactly once across all callers.
 func (s *Service) EndSession(principal string) int {
-	s.mu.Lock()
-	serials := make([]uint64, 0, len(s.crs))
-	for serial, cr := range s.crs {
-		if cr.Principal == principal {
-			serials = append(serials, serial)
-		}
-	}
-	s.mu.Unlock()
 	n := 0
-	for _, serial := range serials {
-		if valid, _ := s.CRStatus(serial); valid {
-			s.Deactivate(serial, "session ended")
+	for _, serial := range s.crs.serialsOf(principal) {
+		if s.deactivate(serial, "session ended") {
 			n++
 		}
 	}
@@ -559,25 +660,17 @@ func (s *Service) EndSession(principal string) int {
 // ActiveRoles lists the ground roles currently active (non-revoked CRs)
 // for a principal, in serial order.
 func (s *Service) ActiveRoles(principal string) []names.Role {
-	type entry struct {
-		serial uint64
-		role   names.Role
-	}
-	s.mu.Lock()
-	candidates := make([]entry, 0, len(s.crs))
-	for serial, cr := range s.crs {
-		if cr.Principal == principal {
-			candidates = append(candidates, entry{serial, cr.Role})
-		}
-	}
-	s.mu.Unlock()
-
-	sort.Slice(candidates, func(i, j int) bool { return candidates[i].serial < candidates[j].serial })
+	serials := s.crs.serialsOf(principal)
+	sort.Slice(serials, func(i, j int) bool { return serials[i] < serials[j] })
 	var out []names.Role
-	for _, c := range candidates {
-		status, err := s.records.Status(c.serial)
+	for _, serial := range serials {
+		cr := s.crs.get(serial)
+		if cr == nil {
+			continue
+		}
+		status, err := s.records.Status(serial)
 		if err == nil && status.Exists && !status.Revoked {
-			out = append(out, c.role)
+			out = append(out, cr.Role)
 		}
 	}
 	return out

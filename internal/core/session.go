@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cert"
 	"repro/internal/sign"
@@ -21,6 +22,11 @@ type Session struct {
 	mu           sync.RWMutex
 	rmcs         []cert.RMC
 	appointments []cert.AppointmentCertificate
+
+	// snapshot caches the immutable Presented bundle between wallet
+	// mutations, so concurrent presenters (one session driving many
+	// parallel requests) do not copy the wallet per call.
+	snapshot atomic.Pointer[Presented]
 }
 
 // NewSession generates a session key pair and an empty certificate wallet.
@@ -45,6 +51,7 @@ func (s *Session) AddRMC(r cert.RMC) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.rmcs = append(s.rmcs, r)
+	s.snapshot.Store(nil)
 }
 
 // AddAppointment stores a long-lived appointment certificate presented
@@ -54,6 +61,7 @@ func (s *Session) AddAppointment(a cert.AppointmentCertificate) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.appointments = append(s.appointments, a)
+	s.snapshot.Store(nil)
 }
 
 // RMCs returns a copy of the collected role membership certificates.
@@ -75,8 +83,24 @@ func (s *Session) Appointments() []cert.AppointmentCertificate {
 }
 
 // Credentials bundles the session's wallet for presentation to a service.
+// The bundle is cached until the wallet next changes, so repeated
+// presentations are lock-free reads of an immutable snapshot.
 func (s *Session) Credentials() Presented {
-	return Presented{RMCs: s.RMCs(), Appointments: s.Appointments()}
+	if p := s.snapshot.Load(); p != nil {
+		return *p
+	}
+	// Build and publish the snapshot while holding the read lock:
+	// writers (which invalidate the snapshot) are excluded for the whole
+	// critical section, so a stale bundle can never overwrite their
+	// invalidation.
+	s.mu.RLock()
+	p := &Presented{
+		RMCs:         append([]cert.RMC(nil), s.rmcs...),
+		Appointments: append([]cert.AppointmentCertificate(nil), s.appointments...),
+	}
+	s.snapshot.Store(p)
+	s.mu.RUnlock()
+	return *p
 }
 
 // DropRMC removes an RMC (e.g. after its role was deactivated); it reports
@@ -87,6 +111,7 @@ func (s *Session) DropRMC(ref cert.CRR) bool {
 	for i, r := range s.rmcs {
 		if r.Ref == ref {
 			s.rmcs = append(s.rmcs[:i], s.rmcs[i+1:]...)
+			s.snapshot.Store(nil)
 			return true
 		}
 	}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"hash/maphash"
+	"sync"
+)
+
+// crShards is the shard count of the credential-record table. 16 keeps the
+// per-shard maps small under millions of sessions while bounding the cost
+// of full-table sweeps (heartbeats, Close) to a handful of lock
+// acquisitions.
+const crShards = 16
+
+var principalSeed = maphash.MakeSeed()
+
+// crTable is the sharded credential-record store of one service: a
+// serial-keyed record table split crShards ways so concurrent activations
+// and deactivations rarely contend, plus a principal-keyed index (sharded
+// by principal hash) so EndSession and ActiveRoles run in
+// O(roles-of-principal) instead of scanning every CR the service has ever
+// issued.
+//
+// Lock discipline: a serial shard lock and a principal shard lock are
+// never held together — insert and remove touch them in sequence, and
+// every reader tolerates the brief window in which a record is present in
+// one but not the other (validity always comes from the RecordStore, not
+// from table presence).
+type crTable struct {
+	serials    [crShards]serialShard
+	principals [crShards]principalShard
+}
+
+type serialShard struct {
+	mu  sync.RWMutex
+	crs map[uint64]*CredRecord
+}
+
+type principalShard struct {
+	mu      sync.Mutex
+	serials map[string]map[uint64]struct{}
+}
+
+func (t *crTable) serialShard(serial uint64) *serialShard {
+	return &t.serials[serial%crShards]
+}
+
+func (t *crTable) principalShard(principal string) *principalShard {
+	return &t.principals[maphash.String(principalSeed, principal)%crShards]
+}
+
+// insert publishes a freshly issued credential record.
+func (t *crTable) insert(cr *CredRecord) {
+	ss := t.serialShard(cr.Serial)
+	ss.mu.Lock()
+	if ss.crs == nil {
+		ss.crs = make(map[uint64]*CredRecord)
+	}
+	ss.crs[cr.Serial] = cr
+	ss.mu.Unlock()
+
+	ps := t.principalShard(cr.Principal)
+	ps.mu.Lock()
+	if ps.serials == nil {
+		ps.serials = make(map[string]map[uint64]struct{})
+	}
+	set, ok := ps.serials[cr.Principal]
+	if !ok {
+		set = make(map[uint64]struct{})
+		ps.serials[cr.Principal] = set
+	}
+	set[cr.Serial] = struct{}{}
+	ps.mu.Unlock()
+}
+
+// get returns the live record for serial, or nil after deactivation.
+func (t *crTable) get(serial uint64) *CredRecord {
+	ss := t.serialShard(serial)
+	ss.mu.RLock()
+	cr := ss.crs[serial]
+	ss.mu.RUnlock()
+	return cr
+}
+
+// remove unpublishes a record (on deactivation) and returns it, or nil if
+// it was already removed.
+func (t *crTable) remove(serial uint64) *CredRecord {
+	ss := t.serialShard(serial)
+	ss.mu.Lock()
+	cr := ss.crs[serial]
+	delete(ss.crs, serial)
+	ss.mu.Unlock()
+	if cr == nil {
+		return nil
+	}
+
+	ps := t.principalShard(cr.Principal)
+	ps.mu.Lock()
+	if set, ok := ps.serials[cr.Principal]; ok {
+		delete(set, serial)
+		if len(set) == 0 {
+			delete(ps.serials, cr.Principal)
+		}
+	}
+	ps.mu.Unlock()
+	return cr
+}
+
+// serialsOf lists the serials currently indexed for a principal.
+func (t *crTable) serialsOf(principal string) []uint64 {
+	ps := t.principalShard(principal)
+	ps.mu.Lock()
+	set := ps.serials[principal]
+	out := make([]uint64, 0, len(set))
+	for serial := range set {
+		out = append(out, serial)
+	}
+	ps.mu.Unlock()
+	return out
+}
+
+// allSerials snapshots every live serial (heartbeat sweep).
+func (t *crTable) allSerials() []uint64 {
+	var out []uint64
+	for i := range t.serials {
+		ss := &t.serials[i]
+		ss.mu.RLock()
+		for serial := range ss.crs {
+			out = append(out, serial)
+		}
+		ss.mu.RUnlock()
+	}
+	return out
+}
+
+// allRecords snapshots every live record (Close sweep).
+func (t *crTable) allRecords() []*CredRecord {
+	var out []*CredRecord
+	for i := range t.serials {
+		ss := &t.serials[i]
+		ss.mu.RLock()
+		for _, cr := range ss.crs {
+			out = append(out, cr)
+		}
+		ss.mu.RUnlock()
+	}
+	return out
+}

@@ -3,11 +3,73 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/cert"
 	"repro/internal/event"
 	"repro/internal/policy"
 )
+
+// valCache is the external credential record proxy (ECR, Fig. 5) rebuilt
+// for concurrency: a lock-free read path (sync.Map of per-key entries with
+// an atomic validity bit) and a per-key singleflight so N concurrent
+// presentations of the same uncached certificate trigger one issuer
+// callback, not N.
+//
+// The revocation race is closed by ordering: the key's revocation channel
+// is subscribed *before* the callback validation is issued, and every
+// revocation event bumps the entry's generation. A positive result is only
+// cached if the generation is unchanged since before the callback, so a
+// revocation delivered at any point around the fill can never leave a
+// stale positive entry.
+type valCache struct {
+	entries sync.Map // key string -> *cacheEntry
+}
+
+// cacheEntry is the cache state of one foreign certificate key.
+type cacheEntry struct {
+	// valid is the lock-free hit path: true means the issuer said valid
+	// and no revocation event has arrived since.
+	valid atomic.Bool
+
+	mu     sync.Mutex
+	gen    uint64 // bumped by every revocation event for this key
+	sub    *event.Subscription
+	flight *flight
+}
+
+// flight is one in-progress callback validation shared by all concurrent
+// presenters of the same key.
+type flight struct {
+	done chan struct{}
+	err  error
+}
+
+func (c *valCache) entry(key string) *cacheEntry {
+	if e, ok := c.entries.Load(key); ok {
+		return e.(*cacheEntry)
+	}
+	e, _ := c.entries.LoadOrStore(key, &cacheEntry{})
+	return e.(*cacheEntry)
+}
+
+// subscriptions snapshots the live revocation subscriptions (Close sweep).
+func (c *valCache) subscriptions() []*event.Subscription {
+	var subs []*event.Subscription
+	c.entries.Range(func(_, v any) bool {
+		e := v.(*cacheEntry)
+		e.mu.Lock()
+		if e.sub != nil {
+			subs = append(subs, e.sub)
+			e.sub = nil
+		}
+		e.valid.Store(false)
+		e.mu.Unlock()
+		return true
+	})
+	return subs
+}
 
 // validateAll checks every presented certificate and converts the valid set
 // into the evaluator's credential view. Any invalid certificate rejects the
@@ -41,9 +103,7 @@ func (s *Service) validateAll(principal string, p Presented) (policy.CredentialS
 // consulting the ECR cache when enabled.
 func (s *Service) validateRMC(principal string, r cert.RMC) error {
 	if r.Ref.Issuer == s.name {
-		s.mu.Lock()
-		s.stats.LocalValidations++
-		s.mu.Unlock()
+		s.stats.localValidations.Add(1)
 		status, err := s.records.Status(r.Ref.Serial)
 		if err != nil {
 			return fmt.Errorf("record store: %w", err)
@@ -59,7 +119,7 @@ func (s *Service) validateRMC(principal string, r cert.RMC) error {
 		}
 		return r.Verify(s.ring, principal)
 	}
-	return s.validateForeign("cr", r.Ref.String(), TopicCR(r.Ref), r.Ref.Issuer, "validate_rmc",
+	return s.validateForeign("cr", r.Ref.String(), "cr/", r.Ref.Issuer, "validate_rmc",
 		validateRMCRequest{RMC: r, Principal: principal})
 }
 
@@ -67,19 +127,23 @@ func (s *Service) validateRMC(principal string, r cert.RMC) error {
 // callback to its issuer, including expiry at the current instant.
 func (s *Service) validateAppointment(a cert.AppointmentCertificate) error {
 	if a.Issuer == s.name {
-		s.mu.Lock()
-		s.stats.LocalValidations++
+		s.stats.localValidations.Add(1)
+		s.apptMu.Lock()
 		rec, ok := s.appts[a.Serial]
-		s.mu.Unlock()
+		var revoked bool
+		if ok {
+			revoked = rec.revoked
+		}
+		s.apptMu.Unlock()
 		if !ok {
 			return ErrUnknownCR
 		}
-		if rec.revoked {
+		if revoked {
 			return ErrRevoked
 		}
 		return a.Verify(s.ring, s.clk.Now())
 	}
-	return s.validateForeign("appt", a.Key(), TopicAppt(a.Key()), a.Issuer, "validate_appt",
+	return s.validateForeign("appt", a.Key(), "appt/", a.Issuer, "validate_appt",
 		validateApptRequest{Appointment: a})
 }
 
@@ -87,22 +151,95 @@ func (s *Service) validateAppointment(a cert.AppointmentCertificate) error {
 // certificate issued elsewhere. With caching enabled it implements the ECR
 // proxy of Fig. 5: the first validation subscribes to the certificate's
 // revocation channel so the cached result is dropped the instant the
-// issuer invalidates it.
-func (s *Service) validateForeign(kindTag, key, topic, issuer, method string, reqBody any) error {
-	if s.cacheValidations {
-		s.mu.Lock()
-		_, cached := s.cache[key]
-		if cached {
-			s.stats.CacheHits++
-		}
-		s.mu.Unlock()
-		if cached {
+// issuer invalidates it; concurrent presenters of the same uncached key
+// share a single callback. topicPrefix plus key names the certificate's
+// revocation channel (TopicCR / TopicAppt); the concatenation is deferred
+// to the fill path so cache hits allocate nothing.
+func (s *Service) validateForeign(kindTag, key, topicPrefix, issuer, method string, reqBody any) error {
+	if !s.cacheValidations {
+		return s.callbackValidate(kindTag, issuer, method, reqBody)
+	}
+	e := s.vcache.entry(key)
+	for {
+		if e.valid.Load() {
 			// Only positive results are cached; revocation events
-			// delete the entry, so a hit means "valid as far as the
+			// clear the bit, so a hit means "valid as far as the
 			// issuer has told us".
+			s.stats.cacheHits.Add(1)
 			return nil
 		}
+		e.mu.Lock()
+		if e.valid.Load() {
+			e.mu.Unlock()
+			continue
+		}
+		if f := e.flight; f != nil {
+			// Another presenter is already validating this key: wait
+			// for its verdict instead of issuing a duplicate callback.
+			e.mu.Unlock()
+			<-f.done
+			return f.err
+		}
+		f := &flight{done: make(chan struct{})}
+		e.flight = f
+		e.mu.Unlock()
+
+		f.err = s.fillCache(e, topicPrefix+key, kindTag, issuer, method, reqBody)
+		e.mu.Lock()
+		e.flight = nil
+		e.mu.Unlock()
+		close(f.done)
+		return f.err
 	}
+}
+
+// fillCache runs the singleflight leader's validation: subscribe to the
+// revocation channel first, then ask the issuer, then publish the positive
+// result only if no revocation arrived in between.
+func (s *Service) fillCache(e *cacheEntry, topic, kindTag, issuer, method string, reqBody any) error {
+	e.mu.Lock()
+	if e.sub == nil {
+		e.mu.Unlock()
+		sub, err := s.broker.Subscribe(topic, func(ev event.Event) {
+			if ev.Kind != event.KindRevoked {
+				return
+			}
+			// Drop the cached result rather than caching "revoked":
+			// the next presentation re-validates with the
+			// authoritative issuer, which also lets heartbeat-driven
+			// synthetic revocations fail safe without denying
+			// permanently.
+			e.mu.Lock()
+			e.gen++
+			e.valid.Store(false)
+			e.mu.Unlock()
+		})
+		e.mu.Lock()
+		if err == nil {
+			e.sub = sub
+		}
+		// A closed broker leaves e.sub nil: validation still answers,
+		// but the result is not cached (no channel would invalidate it).
+	}
+	gen := e.gen
+	subscribed := e.sub != nil
+	e.mu.Unlock()
+
+	if err := s.callbackValidate(kindTag, issuer, method, reqBody); err != nil {
+		return err
+	}
+	if subscribed {
+		e.mu.Lock()
+		if e.gen == gen {
+			e.valid.Store(true)
+		}
+		e.mu.Unlock()
+	}
+	return nil
+}
+
+// callbackValidate asks the issuing service to validate one certificate.
+func (s *Service) callbackValidate(kindTag, issuer, method string, reqBody any) error {
 	if s.caller == nil {
 		return fmt.Errorf("no transport to validate %s certificate from %s", kindTag, issuer)
 	}
@@ -110,9 +247,7 @@ func (s *Service) validateForeign(kindTag, key, topic, issuer, method string, re
 	if err != nil {
 		return fmt.Errorf("encode validation request: %w", err)
 	}
-	s.mu.Lock()
-	s.stats.CallbackValidations++
-	s.mu.Unlock()
+	s.stats.callbackValidations.Add(1)
 	out, err := s.caller.Call(issuer, method, body)
 	if err != nil {
 		return fmt.Errorf("callback to %s: %w", issuer, err)
@@ -124,52 +259,7 @@ func (s *Service) validateForeign(kindTag, key, topic, issuer, method string, re
 	if !resp.Valid {
 		return fmt.Errorf("%w: issuer says %s", ErrRevoked, resp.Reason)
 	}
-	if s.cacheValidations {
-		s.cacheStore(key, topic)
-	}
 	return nil
-}
-
-// cacheStore records a positive validation and subscribes to the
-// certificate's revocation channel to invalidate it.
-func (s *Service) cacheStore(key, topic string) {
-	s.mu.Lock()
-	if _, exists := s.cacheSubs[key]; exists {
-		s.cache[key] = true
-		s.mu.Unlock()
-		return
-	}
-	s.cache[key] = true
-	s.mu.Unlock()
-
-	sub, err := s.broker.Subscribe(topic, func(ev event.Event) {
-		if ev.Kind != event.KindRevoked {
-			return
-		}
-		// Drop the cached result rather than caching "revoked": the
-		// next presentation re-validates with the authoritative
-		// issuer, which also lets heartbeat-driven synthetic
-		// revocations fail safe without denying permanently.
-		s.mu.Lock()
-		delete(s.cache, key)
-		s.mu.Unlock()
-	})
-	if err != nil {
-		// Broker closed: drop the cache entry so we fail safe to
-		// callback validation.
-		s.mu.Lock()
-		delete(s.cache, key)
-		s.mu.Unlock()
-		return
-	}
-	s.mu.Lock()
-	if _, exists := s.cacheSubs[key]; exists {
-		s.mu.Unlock()
-		sub.Cancel()
-		return
-	}
-	s.cacheSubs[key] = sub
-	s.mu.Unlock()
 }
 
 // Close cancels the service's cache subscriptions and expiry timers
@@ -177,22 +267,14 @@ func (s *Service) cacheStore(key, topic string) {
 func (s *Service) Close() {
 	s.stopOnce.Do(func() { close(s.stopTimers) })
 	s.timersWG.Wait()
-	s.mu.Lock()
-	subs := make([]*event.Subscription, 0, len(s.cacheSubs))
-	for _, sub := range s.cacheSubs {
-		subs = append(subs, sub)
-	}
-	s.cacheSubs = make(map[string]*event.Subscription)
-	crSubs := make([]*event.Subscription, 0)
-	for _, cr := range s.crs {
-		crSubs = append(crSubs, cr.subs...)
+	subs := s.vcache.subscriptions()
+	for _, cr := range s.crs.allRecords() {
+		cr.mu.Lock()
+		subs = append(subs, cr.subs...)
 		cr.subs = nil
+		cr.mu.Unlock()
 	}
-	s.mu.Unlock()
 	for _, sub := range subs {
-		sub.Cancel()
-	}
-	for _, sub := range crSubs {
 		sub.Cancel()
 	}
 }

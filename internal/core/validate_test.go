@@ -2,7 +2,10 @@ package core
 
 import (
 	"errors"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/cert"
 	"repro/internal/names"
@@ -283,4 +286,105 @@ func newOwnsDB(t *testing.T, svc *Service) struct{} {
 
 func mustPolicy(src string) policy.Policy {
 	return policy.MustParse(src)
+}
+
+// callerFunc adapts a function to the rpc.Caller interface for tests that
+// intercept callback validations.
+type callerFunc func(service, method string, body []byte) ([]byte, error)
+
+func (f callerFunc) Call(service, method string, body []byte) ([]byte, error) {
+	return f(service, method, body)
+}
+
+func withCaller(c rpc.Caller) func(*Config) {
+	return func(cfg *Config) { cfg.Caller = c }
+}
+
+// TestRevocationDuringCacheFillNotCachedStale is the regression test for
+// the cache-fill race: a revocation delivered between the issuer answering
+// "valid" and the cache entry landing must not leave a stale positive
+// entry. The interceptor revokes the certificate (and waits for the event
+// fan-out to settle) after the issuer has answered but before the answer
+// reaches the caching service.
+func TestRevocationDuringCacheFillNotCachedStale(t *testing.T) {
+	w := newWorld(t)
+	login := w.service("login", `login.user <- env ok.`)
+	alwaysTrue(login, "ok")
+
+	var serial atomic.Uint64
+	interceptor := callerFunc(func(service, method string, body []byte) ([]byte, error) {
+		out, err := w.bus.Call(service, method, body)
+		if method == "validate_rmc" {
+			login.Deactivate(serial.Load(), "revoked mid-validation")
+			w.broker.Quiesce()
+		}
+		return out, err
+	})
+	guard := w.service("guard", `auth enter <- login.user.`, withCache(), withCaller(interceptor))
+
+	sess := w.session()
+	rmc, err := login.Activate(sess.PrincipalID(), role("login", "user"), Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial.Store(rmc.Ref.Serial)
+	sess.AddRMC(rmc)
+	creds := sess.Credentials()
+
+	// The first invocation may succeed (the issuer answered "valid"
+	// before the revocation), but it must not cache that answer.
+	guard.Invoke(sess.PrincipalID(), "enter", nil, creds) //nolint:errcheck
+
+	if _, err := guard.Invoke(sess.PrincipalID(), "enter", nil, creds); err == nil {
+		t.Fatal("revoked certificate accepted from a stale cache entry")
+	}
+	if hits := guard.Stats().CacheHits; hits != 0 {
+		t.Errorf("CacheHits = %d, want 0 (no positive entry may survive the fill race)", hits)
+	}
+}
+
+// TestSingleflightCoalescesConcurrentFills checks that N concurrent
+// presentations of the same uncached certificate trigger one issuer
+// callback, not N.
+func TestSingleflightCoalescesConcurrentFills(t *testing.T) {
+	w := newWorld(t)
+	login := w.service("login", `login.user <- env ok.`)
+	alwaysTrue(login, "ok")
+
+	var callbacks atomic.Uint64
+	slowCaller := callerFunc(func(service, method string, body []byte) ([]byte, error) {
+		if method == "validate_rmc" {
+			callbacks.Add(1)
+			time.Sleep(20 * time.Millisecond) // hold the flight open so presenters pile up
+		}
+		return w.bus.Call(service, method, body)
+	})
+	guard := w.service("guard", `auth enter <- login.user.`, withCache(), withCaller(slowCaller))
+
+	sess := w.session()
+	rmc, err := login.Activate(sess.PrincipalID(), role("login", "user"), Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(rmc)
+	creds := sess.Credentials()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := guard.Invoke(sess.PrincipalID(), "enter", nil, creds); err != nil {
+				t.Errorf("invoke: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := callbacks.Load(); got != 1 {
+		t.Errorf("callback validations = %d, want 1 (singleflight)", got)
+	}
+	if got := guard.Stats().CallbackValidations; got != 1 {
+		t.Errorf("stats.CallbackValidations = %d, want 1", got)
+	}
 }

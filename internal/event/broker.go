@@ -7,7 +7,9 @@ package event
 
 import (
 	"errors"
+	"hash/maphash"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -61,33 +63,56 @@ type Handler func(Event)
 // ErrClosed is returned by operations on a closed broker.
 var ErrClosed = errors.New("event broker closed")
 
+// topicShards is the shard count of the subscriber table. Topics hash to
+// shards, so revocation fan-out on one credential channel does not block
+// subscribes or publishes on unrelated channels.
+const topicShards = 16
+
+var topicSeed = maphash.MakeSeed()
+
 // Broker is a topic-based publish/subscribe hub. Publishing never blocks on
 // slow subscribers: each subscription owns a goroutine draining an
 // unbounded FIFO queue. Quiesce waits for all queues to drain, giving tests
 // and the experiment harness a deterministic "after the revocation event
 // storm has settled" point.
+//
+// The subscriber table is sharded by topic hash and all counters are
+// atomics; the only broker-wide synchronisation points are Close and the
+// idle condition used by Quiesce.
 type Broker struct {
-	mu     sync.Mutex
-	topics map[string]map[int]*Subscription
-	nextID int
-	closed bool
+	shards [topicShards]topicShard
+	nextID atomic.Int64
+	closed atomic.Bool
 	wg     sync.WaitGroup
 
-	pendingMu sync.Mutex
-	pending   int
+	pending   atomic.Int64
+	delivered atomic.Uint64
+	published atomic.Uint64
+	idleMu    sync.Mutex
 	idle      *sync.Cond
 
-	published uint64
-	delivered uint64
+	tapMu sync.Mutex
+	taps  atomic.Value // []func(Event)
+}
 
-	taps []func(Event)
+type topicShard struct {
+	mu     sync.Mutex
+	topics map[string]map[int]*Subscription
 }
 
 // NewBroker creates an empty broker.
 func NewBroker() *Broker {
-	b := &Broker{topics: make(map[string]map[int]*Subscription)}
-	b.idle = sync.NewCond(&b.pendingMu)
+	b := &Broker{}
+	for i := range b.shards {
+		b.shards[i].topics = make(map[string]map[int]*Subscription)
+	}
+	b.idle = sync.NewCond(&b.idleMu)
+	b.taps.Store([]func(Event){})
 	return b
+}
+
+func (b *Broker) shard(topic string) *topicShard {
+	return &b.shards[maphash.String(topicSeed, topic)%topicShards]
 }
 
 // Subscription is a registration of a handler on one topic.
@@ -106,25 +131,30 @@ type Subscription struct {
 // handler runs on a dedicated goroutine, one event at a time, in publish
 // order for this topic.
 func (b *Broker) Subscribe(topic string, handler Handler) (*Subscription, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.closed {
-		return nil, ErrClosed
-	}
 	s := &Subscription{
 		broker: b,
 		topic:  topic,
-		id:     b.nextID,
+		id:     int(b.nextID.Add(1)),
 		wake:   make(chan struct{}, 1),
 	}
-	b.nextID++
-	subs, ok := b.topics[topic]
+	sh := b.shard(topic)
+	sh.mu.Lock()
+	// The closed check must happen under the shard lock: Close drains
+	// every shard under its lock after setting the flag, so a subscribe
+	// either lands before the drain (and is cancelled by it) or observes
+	// the flag and is refused.
+	if b.closed.Load() {
+		sh.mu.Unlock()
+		return nil, ErrClosed
+	}
+	subs, ok := sh.topics[topic]
 	if !ok {
 		subs = make(map[int]*Subscription)
-		b.topics[topic] = subs
+		sh.topics[topic] = subs
 	}
 	subs[s.id] = s
 	b.wg.Add(1)
+	sh.mu.Unlock()
 	go s.run(handler)
 	return s, nil
 }
@@ -154,14 +184,15 @@ func (s *Subscription) run(handler Handler) {
 // Cancel removes the subscription; queued events already assigned to it
 // are still delivered before its goroutine exits.
 func (s *Subscription) Cancel() {
-	s.broker.mu.Lock()
-	if subs, ok := s.broker.topics[s.topic]; ok {
+	sh := s.broker.shard(s.topic)
+	sh.mu.Lock()
+	if subs, ok := sh.topics[s.topic]; ok {
 		delete(subs, s.id)
 		if len(subs) == 0 {
-			delete(s.broker.topics, s.topic)
+			delete(sh.topics, s.topic)
 		}
 	}
-	s.broker.mu.Unlock()
+	sh.mu.Unlock()
 
 	s.mu.Lock()
 	s.closed = true
@@ -193,27 +224,25 @@ func (s *Subscription) enqueue(ev Event) bool {
 // Publish delivers ev to every current subscriber of ev.Topic. It returns
 // the number of subscribers the event was queued for.
 func (b *Broker) Publish(ev Event) (int, error) {
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
+	if b.closed.Load() {
 		return 0, ErrClosed
 	}
-	subs := b.topics[ev.Topic]
+	sh := b.shard(ev.Topic)
+	sh.mu.Lock()
+	subs := sh.topics[ev.Topic]
 	targets := make([]*Subscription, 0, len(subs))
 	for _, s := range subs {
 		targets = append(targets, s)
 	}
-	taps := make([]func(Event), len(b.taps))
-	copy(taps, b.taps)
-	b.published++
-	b.mu.Unlock()
+	sh.mu.Unlock()
+	b.published.Add(1)
 
-	for _, tap := range taps {
+	for _, tap := range b.taps.Load().([]func(Event)) {
 		tap(ev)
 	}
 	n := 0
 	for _, s := range targets {
-		b.taskAdd()
+		b.pending.Add(1)
 		if s.enqueue(ev) {
 			n++
 		} else {
@@ -223,69 +252,57 @@ func (b *Broker) Publish(ev Event) (int, error) {
 	return n, nil
 }
 
-func (b *Broker) taskAdd() {
-	b.pendingMu.Lock()
-	b.pending++
-	b.pendingMu.Unlock()
-}
-
 func (b *Broker) taskDone() {
-	b.pendingMu.Lock()
-	b.pending--
-	b.delivered++
-	if b.pending == 0 {
+	b.delivered.Add(1)
+	if b.pending.Add(-1) == 0 {
+		b.idleMu.Lock()
 		b.idle.Broadcast()
+		b.idleMu.Unlock()
 	}
-	b.pendingMu.Unlock()
 }
 
 // Quiesce blocks until every queued event (including events published by
 // handlers while draining) has been handled.
 func (b *Broker) Quiesce() {
-	b.pendingMu.Lock()
-	for b.pending > 0 {
+	b.idleMu.Lock()
+	for b.pending.Load() > 0 {
 		b.idle.Wait()
 	}
-	b.pendingMu.Unlock()
+	b.idleMu.Unlock()
 }
 
 // Stats reports the total events published and handler deliveries completed.
 func (b *Broker) Stats() (published, delivered uint64) {
-	b.mu.Lock()
-	p := b.published
-	b.mu.Unlock()
-	b.pendingMu.Lock()
-	d := b.delivered
-	b.pendingMu.Unlock()
-	return p, d
+	return b.published.Load(), b.delivered.Load()
 }
 
 // SubscriberCount reports the number of live subscriptions on a topic.
 func (b *Broker) SubscriberCount(topic string) int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return len(b.topics[topic])
+	sh := b.shard(topic)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return len(sh.topics[topic])
 }
 
 // Close cancels all subscriptions and waits for their goroutines to exit.
 // Pending events are delivered first.
 func (b *Broker) Close() {
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
+	if b.closed.Swap(true) {
 		b.wg.Wait()
 		return
 	}
-	b.closed = true
 	var all []*Subscription
-	for _, subs := range b.topics {
-		for _, s := range subs {
-			all = append(all, s)
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.Lock()
+		for _, subs := range sh.topics {
+			for _, s := range subs {
+				all = append(all, s)
+			}
 		}
+		sh.topics = make(map[string]map[int]*Subscription)
+		sh.mu.Unlock()
 	}
-	b.topics = make(map[string]map[int]*Subscription)
-	b.mu.Unlock()
-
 	for _, s := range all {
 		s.mu.Lock()
 		s.closed = true

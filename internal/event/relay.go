@@ -11,9 +11,12 @@ import (
 // cross-node relays and diagnostics; they must be fast and must not
 // publish to the same broker synchronously.
 func (b *Broker) Tap(f func(Event)) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.taps = append(b.taps, f)
+	b.tapMu.Lock()
+	defer b.tapMu.Unlock()
+	old := b.taps.Load().([]func(Event))
+	next := make([]func(Event), len(old), len(old)+1)
+	copy(next, old)
+	b.taps.Store(append(next, f))
 }
 
 // Relay bridges brokers across nodes so that revocation events reach

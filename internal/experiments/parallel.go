@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/core"
+	"repro/internal/names"
+	"repro/internal/sign"
+	"repro/internal/store"
+)
+
+// ---------------------------------------------------------------------------
+// E11 — multi-core scaling of the authorization hot path.
+//
+// Each workload drives one of the engine's hot operations from `procs`
+// goroutines at once for a fixed wall-clock window and reports aggregate
+// throughput. The same operations exist as -cpu-parametrised testing.B
+// benchmarks in bench_test.go; this harness produces the machine-readable
+// rows for `benchtab -exp parallel` and BENCH_parallel.json.
+// ---------------------------------------------------------------------------
+
+// ParallelRow is one throughput measurement of a hot-path operation at a
+// given GOMAXPROCS.
+type ParallelRow struct {
+	Benchmark string  `json:"benchmark"`
+	Procs     int     `json:"procs"`
+	Ops       int64   `json:"ops"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// parallelWorkload builds one measurable operation. setup constructs a
+// fresh world and returns the per-worker loop body; cleanup tears the
+// world down after the window closes.
+type parallelWorkload struct {
+	name  string
+	setup func() (op func(worker int) error, cleanup func(), err error)
+}
+
+// RunParallelScaling measures every hot-path workload at each GOMAXPROCS
+// value for one window apiece. Each (workload, procs) point gets a fresh
+// world so no point inherits the previous point's cache or record state.
+func RunParallelScaling(procs []int, window time.Duration) ([]ParallelRow, error) {
+	var rows []ParallelRow
+	for _, wl := range parallelWorkloads() {
+		for _, p := range procs {
+			row, err := runParallelPoint(wl, p, window)
+			if err != nil {
+				return nil, fmt.Errorf("%s at procs=%d: %w", wl.name, p, err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// runParallelPoint runs one workload with `procs` workers (and GOMAXPROCS
+// pinned to match) for the window and reports aggregate throughput.
+func runParallelPoint(wl parallelWorkload, procs int, window time.Duration) (ParallelRow, error) {
+	op, cleanup, err := wl.setup()
+	if err != nil {
+		return ParallelRow{}, err
+	}
+	defer cleanup()
+
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+
+	var stop atomic.Bool
+	var total atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	start := time.Now()
+	timer := time.AfterFunc(window, func() { stop.Store(true) })
+	defer timer.Stop()
+	for w := 0; w < procs; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			var n int64
+			for !stop.Load() {
+				if err := op(worker); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					break
+				}
+				n++
+			}
+			total.Add(n)
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if err, ok := firstErr.Load().(error); ok {
+		return ParallelRow{}, err
+	}
+	ops := total.Load()
+	if ops == 0 {
+		return ParallelRow{}, fmt.Errorf("no operations completed in %v", window)
+	}
+	return ParallelRow{
+		Benchmark: wl.name,
+		Procs:     procs,
+		Ops:       ops,
+		NsPerOp:   float64(elapsed.Nanoseconds()) / float64(ops),
+		OpsPerSec: float64(ops) / elapsed.Seconds(),
+	}, nil
+}
+
+func parallelWorkloads() []parallelWorkload {
+	return []parallelWorkload{
+		{name: "invoke_cached", setup: setupInvokeCached},
+		{name: "rmc_validate", setup: setupRMCValidate},
+		{name: "authorize_parametrised", setup: setupAuthorizeParametrised},
+		{name: "mixed_session_churn", setup: setupMixedChurn},
+		{name: "end_session_1000_residents", setup: setupEndSession},
+	}
+}
+
+// setupInvokeCached is the Fig. 2 steady state: every worker re-presents
+// the same warm-cached foreign RMC at the guard.
+func setupInvokeCached() (func(int) error, func(), error) {
+	w := NewWorld()
+	login, err := w.Service("login", `login.user <- env ok.`, false)
+	if err != nil {
+		w.Close()
+		return nil, nil, err
+	}
+	AlwaysTrue(login, "ok")
+	guard, err := w.Service("guard", `auth enter <- login.user.`, true)
+	if err != nil {
+		w.Close()
+		return nil, nil, err
+	}
+	sess := NewSession()
+	principal := sess.PrincipalID()
+	rmc, err := login.Activate(principal, Role("login", "user"), core.Presented{})
+	if err != nil {
+		w.Close()
+		return nil, nil, err
+	}
+	sess.AddRMC(rmc)
+	creds := sess.Credentials()
+	if _, err := guard.Invoke(principal, "enter", nil, creds); err != nil {
+		w.Close()
+		return nil, nil, err
+	}
+	op := func(int) error {
+		_, err := guard.Invoke(principal, "enter", nil, creds)
+		return err
+	}
+	return op, w.Close, nil
+}
+
+// setupRMCValidate is pure certificate verification (Fig. 4): no service
+// state at all, so it bounds what the crypto alone allows per core.
+func setupRMCValidate() (func(int) error, func(), error) {
+	ring, err := sign.NewKeyRing(2, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	role := names.MustRole(names.MustRoleName("svc", "r", 2),
+		names.Atom("d1"), names.Int(42))
+	rmc, err := cert.IssueRMC(ring, "principal", role, cert.CRR{Issuer: "svc", Serial: 1})
+	if err != nil {
+		return nil, nil, err
+	}
+	op := func(int) error { return rmc.Verify(ring, "principal") }
+	return op, func() {}, nil
+}
+
+// setupAuthorizeParametrised is the E9 OASIS check: one parametrised auth
+// rule resolved against a 100x100 registration fact store per call.
+func setupAuthorizeParametrised() (func(int) error, func(), error) {
+	w := NewWorld()
+	svc, err := w.Service("h", `
+h.doctor(D) <- env is_doctor(D).
+auth read_record(D, P) <- h.doctor(D), env registered(D, P).
+`, false)
+	if err != nil {
+		w.Close()
+		return nil, nil, err
+	}
+	db := store.New()
+	for d := 0; d < 100; d++ {
+		for p := 0; p < 100; p++ {
+			if _, err := db.Assert("registered",
+				names.Atom(fmt.Sprintf("dr_%d", d)),
+				names.Atom(fmt.Sprintf("p_%d_%d", d, p))); err != nil {
+				w.Close()
+				return nil, nil, err
+			}
+		}
+	}
+	svc.Env().RegisterStore("registered", db, "registered")
+	AlwaysTrue(svc, "is_doctor")
+	sess := NewSession()
+	principal := sess.PrincipalID()
+	rmc, err := svc.Activate(principal, Role("h", "doctor", names.Atom("dr_50")), core.Presented{})
+	if err != nil {
+		w.Close()
+		return nil, nil, err
+	}
+	sess.AddRMC(rmc)
+	creds := sess.Credentials()
+	args := []names.Term{names.Atom("dr_50"), names.Atom("p_50_50")}
+	op := func(int) error {
+		_, err := svc.Invoke(principal, "read_record", args, creds)
+		return err
+	}
+	return op, w.Close, nil
+}
+
+// setupMixedChurn runs full session lifecycles — activate, four cached
+// invocations, revoke — so activation writes, cache fills, revocation
+// fan-out and invoke reads all contend on the same two services.
+func setupMixedChurn() (func(int) error, func(), error) {
+	w := NewWorld()
+	login, err := w.Service("login", `login.user <- env ok.`, false)
+	if err != nil {
+		w.Close()
+		return nil, nil, err
+	}
+	AlwaysTrue(login, "ok")
+	guard, err := w.Service("guard", `auth enter <- login.user.`, true)
+	if err != nil {
+		w.Close()
+		return nil, nil, err
+	}
+	roleUser := Role("login", "user")
+	op := func(worker int) error {
+		principal := fmt.Sprintf("worker_%d", worker)
+		rmc, err := login.Activate(principal, roleUser, core.Presented{})
+		if err != nil {
+			return err
+		}
+		creds := core.Presented{RMCs: []cert.RMC{rmc}}
+		for k := 0; k < 4; k++ {
+			if _, err := guard.Invoke(principal, "enter", nil, creds); err != nil {
+				return err
+			}
+		}
+		login.Deactivate(rmc.Ref.Serial, "logout")
+		return nil
+	}
+	return op, w.Close, nil
+}
+
+// setupEndSession measures session teardown against a resident population
+// of 1000 live credential records: each op activates one role for a fresh
+// principal and immediately ends that principal's session.
+func setupEndSession() (func(int) error, func(), error) {
+	w := NewWorld()
+	login, err := w.Service("login", `login.user <- env ok.`, false)
+	if err != nil {
+		w.Close()
+		return nil, nil, err
+	}
+	AlwaysTrue(login, "ok")
+	roleUser := Role("login", "user")
+	for i := 0; i < 1000; i++ {
+		if _, err := login.Activate(fmt.Sprintf("resident_%d", i), roleUser, core.Presented{}); err != nil {
+			w.Close()
+			return nil, nil, err
+		}
+	}
+	var visitor atomic.Int64
+	op := func(int) error {
+		p := fmt.Sprintf("visitor_%d", visitor.Add(1))
+		if _, err := login.Activate(p, roleUser, core.Presented{}); err != nil {
+			return err
+		}
+		if got := login.EndSession(p); got != 1 {
+			return fmt.Errorf("ended %d sessions for %s, want 1", got, p)
+		}
+		return nil
+	}
+	return op, w.Close, nil
+}
