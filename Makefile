@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench tables examples cover clean
+.PHONY: all build vet lint test race bench tables examples cover clean
 
 all: build vet test race
 
@@ -11,6 +11,15 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: vet always; golangci-lint when installed (CI installs
+# it, local runs degrade gracefully).
+lint: vet
+	@if command -v golangci-lint >/dev/null 2>&1; then \
+		golangci-lint run ./...; \
+	else \
+		echo "golangci-lint not installed; ran go vet only"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -23,9 +32,9 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every figure/scenario table from the paper reproduction and
-# the machine-readable parallel-scaling rows (BENCH_parallel.json).
+# the machine-readable rows (BENCH_parallel.json, BENCH_faults.json).
 tables:
-	$(GO) run ./cmd/benchtab -json BENCH_parallel.json
+	$(GO) run ./cmd/benchtab -json BENCH_parallel.json -faults-json BENCH_faults.json
 
 # Run all six runnable paper scenarios.
 examples:

@@ -9,7 +9,7 @@
 //	benchtab -json out.json  # also write machine-readable rows (parallel)
 //
 // Experiment ids: fig1 fig2 fig3 fig4 fig5 auth sect5 sect6 baselines
-// soak parallel
+// soak parallel faults
 package main
 
 import (
@@ -26,12 +26,17 @@ import (
 
 // jsonPath, when set, receives the parallel-scaling rows as a JSON array
 // (one row per benchmark x GOMAXPROCS point) — the BENCH_*.json seed.
-var jsonPath string
+// faultsJSONPath does the same for the E12 fault-injection rows.
+var (
+	jsonPath       string
+	faultsJSONPath string
+)
 
 func main() {
 	exp := flag.String("exp", "", "experiment id to run (default: all)")
 	list := flag.Bool("list", false, "list experiment ids")
 	flag.StringVar(&jsonPath, "json", "", "write parallel-scaling rows to this JSON file")
+	flag.StringVar(&faultsJSONPath, "faults-json", "", "write fault-injection rows to this JSON file")
 	flag.Parse()
 	if err := run(*exp, *list); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
@@ -51,6 +56,7 @@ var experimentsTable = map[string]func(*tabwriter.Writer) error{
 	"baselines": runBaselines,
 	"soak":      runSoak,
 	"parallel":  runParallelScaling,
+	"faults":    runFaults,
 }
 
 func run(exp string, list bool) error {
@@ -265,6 +271,32 @@ func runParallelScaling(w *tabwriter.Writer) error {
 		return err
 	}
 	fmt.Fprintf(w, "(rows written to %s)\n", jsonPath)
+	return nil
+}
+
+func runFaults(w *tabwriter.Writer) error {
+	fmt.Fprintln(w, "== E12: fault injection — retry, circuit breaker, degraded validation ==")
+	fmt.Fprintln(w, "scenario\tauthorized\twire calls\tretries\tfast fails\tbreaker\tdegraded hits\tnote")
+	rows, err := experiments.RunFaults()
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		fmt.Fprintf(w, "%s\t%v\t%d\t%d\t%d\t%s\t%d\t%s\n",
+			row.Scenario, row.Authorized, row.TransportCalls, row.Retries,
+			row.FastFails, row.Breaker, row.DegradedHits, row.Note)
+	}
+	if faultsJSONPath == "" {
+		return nil
+	}
+	out, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(faultsJSONPath, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "(rows written to %s)\n", faultsJSONPath)
 	return nil
 }
 

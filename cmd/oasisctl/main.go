@@ -102,12 +102,17 @@ func saveWallet(path string, w *wallet) error {
 	return nil
 }
 
+// client dials the daemon and wraps the connection in the resilient
+// caller: per-call deadlines, retries for idempotent methods, and a
+// circuit breaker, so a flaky daemon yields a quick typed error instead
+// of a hung CLI.
 func client(addr string) (*core.Client, func(), error) {
 	conn, err := rpc.DialTCP(addr, 10*time.Second)
 	if err != nil {
 		return nil, nil, err
 	}
-	return core.NewClient(conn), func() { conn.Close() }, nil //nolint:errcheck
+	rc := rpc.NewResilientCaller(conn, rpc.ResilientConfig{CallTimeout: 15 * time.Second})
+	return core.NewClient(rc), func() { conn.Close() }, nil //nolint:errcheck
 }
 
 func newSession(path string) error {
@@ -218,7 +223,9 @@ func logout(path, addr, service string) error {
 	if err != nil {
 		return err
 	}
-	out, err := conn.Call(service, "end_session", body)
+	// end_session is idempotent, so the resilient caller may retry it.
+	rc := rpc.NewResilientCaller(conn, rpc.ResilientConfig{CallTimeout: 15 * time.Second})
+	out, err := rc.Call(service, "end_session", body)
 	if err != nil {
 		return err
 	}

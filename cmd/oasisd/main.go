@@ -25,6 +25,11 @@
 //	    -relay-peer B=10.0.0.8:7070
 //	oasisd -addr :7070 -node B -svc files=files.policy \
 //	    -peer login=10.0.0.7:7070 -relay-peer A=10.0.0.7:7070
+//
+// Peer calls go through a resilient caller (per-call deadlines, retries
+// for idempotent methods, per-service circuit breaker). -revalidate,
+// -stale-grace and -heartbeat bound degraded validation while a peer is
+// unreachable (see DESIGN.md Sect. 8).
 package main
 
 import (
@@ -38,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/civ"
+	"repro/internal/clock"
 	"repro/internal/cmdutil"
 	"repro/internal/core"
 	"repro/internal/domain"
@@ -58,13 +64,16 @@ func (m *multiFlag) Set(v string) error {
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":7070", "listen address")
-		facts    = flag.String("facts", "", "facts file (relation arg1 arg2 per line)")
-		civCount = flag.Int("civ", 0, "share a replicated CIV record store of N replicas across hosted services (0 = service-local records)")
-		node     = flag.String("node", "", "node name for cross-process event relaying (default: the listen address)")
-		svcs     multiFlag
-		peers    multiFlag
-		relayTo  multiFlag
+		addr       = flag.String("addr", ":7070", "listen address")
+		facts      = flag.String("facts", "", "facts file (relation arg1 arg2 per line)")
+		civCount   = flag.Int("civ", 0, "share a replicated CIV record store of N replicas across hosted services (0 = service-local records)")
+		node       = flag.String("node", "", "node name for cross-process event relaying (default: the listen address)")
+		revalidate = flag.Duration("revalidate", 0, "re-confirm cached foreign certificates after this age (0 = cache until revoked)")
+		staleGrace = flag.Duration("stale-grace", 0, "serve previously-confirmed certificates for this long when the issuer is unreachable (0 = fail closed immediately)")
+		heartbeat  = flag.Duration("heartbeat", 0, "emit and sweep liveness heartbeats at this period; silence past 3x the period synthetically revokes (0 = off)")
+		svcs       multiFlag
+		peers      multiFlag
+		relayTo    multiFlag
 	)
 	flag.Var(&svcs, "svc", "service to host: name=policyfile (repeatable)")
 	flag.Var(&peers, "peer", "remote service address: name=host:port (repeatable)")
@@ -74,13 +83,33 @@ func main() {
 		*node = *addr
 	}
 
-	if err := run(*addr, *facts, *civCount, *node, svcs, peers, relayTo); err != nil {
+	cfg := daemonConfig{
+		addr: *addr, factsPath: *facts, civCount: *civCount, node: *node,
+		revalidate: *revalidate, staleGrace: *staleGrace, heartbeat: *heartbeat,
+		svcs: svcs, peers: peers, relayTo: relayTo,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "oasisd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, factsPath string, civCount int, node string, svcs, peers, relayTo []string) error {
+type daemonConfig struct {
+	addr       string
+	factsPath  string
+	civCount   int
+	node       string
+	revalidate time.Duration
+	staleGrace time.Duration
+	heartbeat  time.Duration
+	svcs       []string
+	peers      []string
+	relayTo    []string
+}
+
+func run(cfg daemonConfig) error {
+	addr, factsPath, civCount, node := cfg.addr, cfg.factsPath, cfg.civCount, cfg.node
+	svcs, peers, relayTo := cfg.svcs, cfg.peers, cfg.relayTo
 	if len(svcs) == 0 {
 		return fmt.Errorf("at least one -svc name=policyfile is required")
 	}
@@ -98,9 +127,13 @@ func run(addr, factsPath string, civCount int, node string, svcs, peers, relayTo
 	defer broker.Close()
 
 	// The caller used for callback validation: local services are
-	// reached in-process; peers over TCP.
+	// reached in-process; peers over TCP through a small connection pool
+	// (no head-of-line blocking across concurrent validations). The
+	// resilient wrapper adds per-call deadlines, retries for idempotent
+	// methods, and a per-service circuit breaker so a dead peer fails
+	// fast instead of stalling every validation.
 	local := rpc.NewLoopback()
-	directory := rpc.NewDirectory(10 * time.Second)
+	directory := rpc.NewDirectoryPool(10*time.Second, 4)
 	defer directory.Close()
 	for _, p := range peers {
 		name, peerAddr, ok := strings.Cut(p, "=")
@@ -112,7 +145,10 @@ func run(addr, factsPath string, civCount int, node string, svcs, peers, relayTo
 	// localNames is filled as services are created; the map is shared by
 	// reference with every copy of the caller handed to services.
 	localNames := make(map[string]bool)
-	caller := splitCaller{local: local, remote: directory, localNames: localNames}
+	caller := rpc.NewResilientCaller(
+		splitCaller{local: local, remote: directory, localNames: localNames},
+		rpc.ResilientConfig{CallTimeout: 10 * time.Second},
+	)
 
 	db := store.New()
 	var relations []string
@@ -125,6 +161,16 @@ func run(addr, factsPath string, civCount int, node string, svcs, peers, relayTo
 		if err != nil {
 			return fmt.Errorf("load facts: %w", err)
 		}
+	}
+
+	// Liveness monitoring for degraded validation: hosted services emit
+	// heartbeats every period, and validated foreign certificates are
+	// watched — an issuer silent past 3x the period is treated as revoked,
+	// cutting any stale-grace window short.
+	var hb *event.HeartbeatMonitor
+	if cfg.heartbeat > 0 {
+		hb = event.NewHeartbeatMonitor(broker, clock.Real{}, 3*cfg.heartbeat)
+		defer hb.Close()
 	}
 
 	server := rpc.NewTCPServer()
@@ -149,6 +195,9 @@ func run(addr, factsPath string, civCount int, node string, svcs, peers, relayTo
 			Caller:           caller,
 			CacheValidations: true,
 			Records:          records,
+			RevalidateAfter:  cfg.revalidate,
+			StaleGrace:       cfg.staleGrace,
+			Heartbeats:       hb,
 		})
 		if err != nil {
 			return err
@@ -195,10 +244,37 @@ func run(addr, factsPath string, civCount int, node string, svcs, peers, relayTo
 			}
 			// Best-effort async delivery: a slow peer must not stall
 			// local publication; peers re-validate by callback anyway.
-			go directory.Call(target, "publish", body) //nolint:errcheck
+			// The resilient caller retries transient drops (publish is
+			// idempotent) and fast-fails while the peer is down.
+			go caller.Call(target, "publish", body) //nolint:errcheck
 			return nil
 		})
 		fmt.Printf("relaying events to node %s at %s\n", peerNode, peerAddr)
+	}
+
+	// Heartbeat loop: every period, each hosted service announces the
+	// certificates it issued and the monitor sweeps for silent issuers.
+	stopHB := make(chan struct{})
+	defer close(stopHB)
+	if hb != nil {
+		go func() {
+			ticker := time.NewTicker(cfg.heartbeat)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stopHB:
+					return
+				case <-ticker.C:
+					for _, svc := range hosted {
+						svc.EmitHeartbeats()
+					}
+					for _, subject := range hb.Sweep() {
+						fmt.Printf("liveness: %s missed its heartbeat deadline, synthetically revoked\n", subject)
+					}
+				}
+			}
+		}()
+		fmt.Printf("heartbeats every %v (deadline %v)\n", cfg.heartbeat, 3*cfg.heartbeat)
 	}
 
 	// Static policy consistency check across everything hosted here

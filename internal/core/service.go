@@ -61,6 +61,26 @@ type Config struct {
 	// (ECR, Fig. 5): results of callback validation are cached and
 	// invalidated by revocation events instead of re-validated per use.
 	CacheValidations bool
+	// RevalidateAfter bounds how long a cached positive validation is
+	// trusted without re-confirming with the issuer (0 = event-driven
+	// invalidation only, the classic ECR behaviour). Setting it enables
+	// the degraded-operation path below.
+	RevalidateAfter time.Duration
+	// StaleGrace is the bounded degraded-operation window: when
+	// re-confirmation fails because the issuer is unreachable (circuit
+	// open, partition, timeout), a previously-confirmed certificate
+	// keeps validating for at most this long past RevalidateAfter.
+	// Authoritative "revoked" answers and revocation events — including
+	// the HeartbeatMonitor's synthetic revocation on issuer silence —
+	// deny immediately regardless of the window. 0 disables the grace:
+	// any re-confirmation failure denies (fully fail-closed).
+	StaleGrace time.Duration
+	// Heartbeats, when set, liveness-watches every foreign RMC that
+	// enters the validation cache: if the issuer's heartbeats stop, the
+	// monitor's synthetic revocation clears the cached verdict and
+	// collapses dependent roles, bounding the stale-grace window by the
+	// heartbeat deadline (Fig. 5 fail-safe stance).
+	Heartbeats *event.HeartbeatMonitor
 	// Records holds credential-record validity state. Nil selects
 	// service-local memory; a domain may instead share its replicated
 	// CIV service across services (paper ref [10]; see
@@ -77,7 +97,10 @@ type Stats struct {
 	LocalValidations    uint64
 	CallbackValidations uint64
 	CacheHits           uint64
-	Revocations         uint64
+	// DegradedHits counts validations answered from a stale cache entry
+	// inside the StaleGrace window while the issuer was unreachable.
+	DegradedHits uint64
+	Revocations  uint64
 }
 
 // statCounters is the live form of Stats: independent atomics so the
@@ -90,6 +113,7 @@ type statCounters struct {
 	localValidations    atomic.Uint64
 	callbackValidations atomic.Uint64
 	cacheHits           atomic.Uint64
+	degradedHits        atomic.Uint64
 	revocations         atomic.Uint64
 }
 
@@ -102,6 +126,7 @@ func (c *statCounters) snapshot() Stats {
 		LocalValidations:    c.localValidations.Load(),
 		CallbackValidations: c.callbackValidations.Load(),
 		CacheHits:           c.cacheHits.Load(),
+		DegradedHits:        c.degradedHits.Load(),
 		Revocations:         c.revocations.Load(),
 	}
 }
@@ -132,6 +157,9 @@ type Service struct {
 	chal   *sign.Challenger
 
 	cacheValidations bool
+	revalidateAfter  time.Duration
+	staleGrace       time.Duration
+	hb               *event.HeartbeatMonitor
 
 	records RecordStore
 
@@ -244,6 +272,9 @@ func NewService(cfg Config) (*Service, error) {
 		ring:             ring,
 		chal:             sign.NewChallenger(time.Minute, clk.Now, nil),
 		cacheValidations: cfg.CacheValidations,
+		revalidateAfter:  cfg.RevalidateAfter,
+		staleGrace:       cfg.StaleGrace,
+		hb:               cfg.Heartbeats,
 		envIndex:         make(map[string]map[uint64]struct{}),
 		appts:            make(map[uint64]*apptRecord),
 		proofState:       newSessionProofs(),

@@ -2,13 +2,16 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cert"
 	"repro/internal/event"
 	"repro/internal/policy"
+	"repro/internal/rpc"
 )
 
 // valCache is the external credential record proxy (ECR, Fig. 5) rebuilt
@@ -32,11 +35,16 @@ type cacheEntry struct {
 	// valid is the lock-free hit path: true means the issuer said valid
 	// and no revocation event has arrived since.
 	valid atomic.Bool
+	// validatedAt is the service-clock instant (unix nanos) of the last
+	// verdict confirmed by the issuer; the revalidation deadline and the
+	// stale-grace window are measured from it. 0 = never confirmed.
+	validatedAt atomic.Int64
 
-	mu     sync.Mutex
-	gen    uint64 // bumped by every revocation event for this key
-	sub    *event.Subscription
-	flight *flight
+	mu      sync.Mutex
+	gen     uint64 // bumped by every revocation event for this key
+	sub     *event.Subscription
+	flight  *flight
+	watched bool // a liveness watch is installed for this key
 }
 
 // flight is one in-progress callback validation shared by all concurrent
@@ -161,15 +169,16 @@ func (s *Service) validateForeign(kindTag, key, topicPrefix, issuer, method stri
 	}
 	e := s.vcache.entry(key)
 	for {
-		if e.valid.Load() {
+		if s.cacheFresh(e) {
 			// Only positive results are cached; revocation events
 			// clear the bit, so a hit means "valid as far as the
-			// issuer has told us".
+			// issuer has told us" — and, with RevalidateAfter set,
+			// recently enough to trust without re-confirmation.
 			s.stats.cacheHits.Add(1)
 			return nil
 		}
 		e.mu.Lock()
-		if e.valid.Load() {
+		if s.cacheFresh(e) {
 			e.mu.Unlock()
 			continue
 		}
@@ -184,7 +193,7 @@ func (s *Service) validateForeign(kindTag, key, topicPrefix, issuer, method stri
 		e.flight = f
 		e.mu.Unlock()
 
-		f.err = s.fillCache(e, topicPrefix+key, kindTag, issuer, method, reqBody)
+		f.err = s.fillCache(e, topicPrefix+key, kindTag, key, issuer, method, reqBody)
 		e.mu.Lock()
 		e.flight = nil
 		e.mu.Unlock()
@@ -193,10 +202,30 @@ func (s *Service) validateForeign(kindTag, key, topicPrefix, issuer, method stri
 	}
 }
 
+// cacheFresh reports whether the entry's cached positive verdict may be
+// served without re-confirming with the issuer.
+func (s *Service) cacheFresh(e *cacheEntry) bool {
+	if !e.valid.Load() {
+		return false
+	}
+	if s.revalidateAfter <= 0 {
+		return true
+	}
+	at := e.validatedAt.Load()
+	return at != 0 && s.clk.Now().Sub(time.Unix(0, at)) <= s.revalidateAfter
+}
+
 // fillCache runs the singleflight leader's validation: subscribe to the
 // revocation channel first, then ask the issuer, then publish the positive
 // result only if no revocation arrived in between.
-func (s *Service) fillCache(e *cacheEntry, topic, kindTag, issuer, method string, reqBody any) error {
+//
+// When the issuer cannot be reached at all (circuit open, partition,
+// timeout — anything rpc.IsUnavailable), a previously-confirmed entry is
+// served degraded inside the StaleGrace window instead of denying;
+// revocation events (including the heartbeat monitor's synthetic
+// revocation on issuer silence) clear the entry and end the grace
+// immediately, so availability degrades but safety never does.
+func (s *Service) fillCache(e *cacheEntry, topic, kindTag, key, issuer, method string, reqBody any) error {
 	e.mu.Lock()
 	if e.sub == nil {
 		e.mu.Unlock()
@@ -212,7 +241,13 @@ func (s *Service) fillCache(e *cacheEntry, topic, kindTag, issuer, method string
 			e.mu.Lock()
 			e.gen++
 			e.valid.Store(false)
+			e.validatedAt.Store(0) // ends any stale-grace window too
+			watched := e.watched
+			e.watched = false
 			e.mu.Unlock()
+			if watched && s.hb != nil {
+				s.hb.Unwatch(key)
+			}
 		})
 		e.mu.Lock()
 		if err == nil {
@@ -225,17 +260,67 @@ func (s *Service) fillCache(e *cacheEntry, topic, kindTag, issuer, method string
 	subscribed := e.sub != nil
 	e.mu.Unlock()
 
-	if err := s.callbackValidate(kindTag, issuer, method, reqBody); err != nil {
+	err := s.callbackValidate(kindTag, issuer, method, reqBody)
+	switch {
+	case err == nil:
+		if subscribed {
+			now := s.clk.Now().UnixNano()
+			e.mu.Lock()
+			if e.gen == gen {
+				e.valid.Store(true)
+				e.validatedAt.Store(now)
+			}
+			e.mu.Unlock()
+			s.watchIssuerLiveness(e, kindTag, key, issuer)
+		}
+		return nil
+	case !rpc.IsUnavailable(err) || errors.Is(err, ErrRevoked):
+		// Authoritative answer (the issuer ran and refused, or said
+		// revoked): the cached verdict is dead, grace or not.
+		e.valid.Store(false)
+		e.validatedAt.Store(0)
+		return err
+	default:
+		// Issuer unreachable. Fail safe but not fail-closed: a verdict
+		// confirmed within the grace window, with no revocation event
+		// since, still stands.
+		if s.staleGrace > 0 && e.valid.Load() {
+			if at := e.validatedAt.Load(); at != 0 &&
+				s.clk.Now().Sub(time.Unix(0, at)) <= s.revalidateAfter+s.staleGrace {
+				s.stats.degradedHits.Add(1)
+				return nil
+			}
+			// Grace exhausted: drop the entry so later presentations
+			// fail fast on the cache path as well.
+			e.valid.Store(false)
+		}
 		return err
 	}
-	if subscribed {
+}
+
+// watchIssuerLiveness registers a freshly confirmed foreign RMC with the
+// optional heartbeat monitor, bounding degraded operation by the issuer's
+// heartbeat deadline: on silence the monitor publishes a synthetic
+// revocation on the certificate's channel, which the subscription above
+// turns into an immediate cache drop. Appointment certificates are not
+// heartbeated (EmitHeartbeats covers credential records only), so only
+// "cr" entries are watched.
+func (s *Service) watchIssuerLiveness(e *cacheEntry, kindTag, key, issuer string) {
+	if s.hb == nil || kindTag != "cr" {
+		return
+	}
+	e.mu.Lock()
+	if e.watched {
+		e.mu.Unlock()
+		return
+	}
+	e.watched = true
+	e.mu.Unlock()
+	if err := s.hb.Watch(key, TopicHeartbeat(issuer), "cr/"+key); err != nil {
 		e.mu.Lock()
-		if e.gen == gen {
-			e.valid.Store(true)
-		}
+		e.watched = false
 		e.mu.Unlock()
 	}
-	return nil
 }
 
 // callbackValidate asks the issuing service to validate one certificate.

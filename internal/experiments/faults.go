@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/policy"
+	"repro/internal/rpc"
+)
+
+// ---------------------------------------------------------------------------
+// E12 — fault injection: resilient RPC and fail-safe degraded validation.
+//
+// The deployment shape is two OASIS domains without an event relay (the
+// worst case for cached trust): issuer and consumer on separate brokers,
+// the consumer validating by callback through a ResilientCaller over the
+// fault-injectable loopback transport. Faults are injected per scenario
+// (drop-N, full partition, added latency) and the rows measure what the
+// resilience layer does: retries recovering transient faults, the breaker
+// opening and fast-failing, degraded stale-grace validation, and the
+// heartbeat deadline cutting degraded operation short.
+// ---------------------------------------------------------------------------
+
+// FaultRow is one E12 scenario measurement (also serialised into
+// BENCH_faults.json by cmd/benchtab).
+type FaultRow struct {
+	Scenario        string        `json:"scenario"`
+	Authorized      bool          `json:"authorized"`      // the probe invocation's outcome
+	TransportCalls  uint64        `json:"transportCalls"`  // calls that reached the wire
+	Retries         uint64        `json:"retries"`         // resilience-layer retries
+	FastFails       uint64        `json:"fastFails"`       // calls rejected by an open breaker
+	Breaker         string        `json:"breaker"`         // breaker state after the scenario
+	DegradedHits    uint64        `json:"degradedHits"`    // validations served stale-under-grace
+	RecoveryLatency time.Duration `json:"recoveryLatencyNs"`
+	Note            string        `json:"note"`
+}
+
+// faultWorld is the E12 fixture.
+type faultWorld struct {
+	w        *World
+	issuerBr *event.Broker
+	rc       *rpc.ResilientCaller
+	hb       *event.HeartbeatMonitor
+	login    *core.Service
+	guard    *core.Service
+
+	principal string
+	creds     core.Presented
+}
+
+const (
+	e12RevalidateAfter = time.Minute
+	e12StaleGrace      = 5 * time.Minute
+	e12HeartbeatDeadln = 2 * time.Minute
+	e12Cooldown        = 30 * time.Second
+)
+
+// newFaultWorld builds the two-domain fixture and warms one credential
+// through activation (and optionally through a first cached validation).
+func newFaultWorld(warmCache bool) (*faultWorld, error) {
+	f := &faultWorld{w: NewWorld(), issuerBr: event.NewBroker()}
+	f.hb = event.NewHeartbeatMonitor(f.w.Broker, f.w.Clock, e12HeartbeatDeadln)
+	f.rc = rpc.NewResilientCaller(f.w.Bus, rpc.ResilientConfig{
+		MaxAttempts:      3,
+		FailureThreshold: 3,
+		Cooldown:         e12Cooldown,
+		BaseBackoff:      time.Millisecond,
+		MaxBackoff:       4 * time.Millisecond,
+		Now:              f.w.Clock.Now,
+	})
+
+	login, err := core.NewService(core.Config{
+		Name:   "login",
+		Policy: policy.MustParse(`login.user <- env ok.`),
+		Broker: f.issuerBr,
+		Clock:  f.w.Clock,
+	})
+	if err != nil {
+		return nil, err
+	}
+	AlwaysTrue(login, "ok")
+	f.w.Bus.Register("login", login.Handler())
+	f.login = login
+
+	guard, err := core.NewService(core.Config{
+		Name:             "guard",
+		Policy:           policy.MustParse(`auth enter <- login.user.`),
+		Broker:           f.w.Broker,
+		Caller:           f.rc,
+		Clock:            f.w.Clock,
+		CacheValidations: true,
+		RevalidateAfter:  e12RevalidateAfter,
+		StaleGrace:       e12StaleGrace,
+		Heartbeats:       f.hb,
+	})
+	if err != nil {
+		return nil, err
+	}
+	f.guard = guard
+
+	sess := NewSession()
+	rmc, err := login.Activate(sess.PrincipalID(), Role("login", "user"), core.Presented{})
+	if err != nil {
+		return nil, err
+	}
+	sess.AddRMC(rmc)
+	f.principal, f.creds = sess.PrincipalID(), sess.Credentials()
+
+	if warmCache {
+		if _, err := guard.Invoke(f.principal, "enter", nil, f.creds); err != nil {
+			return nil, fmt.Errorf("warm validation: %w", err)
+		}
+	}
+	return f, nil
+}
+
+func (f *faultWorld) close() {
+	f.guard.Close()
+	f.login.Close()
+	f.hb.Close()
+	f.issuerBr.Close()
+	f.w.Close()
+}
+
+// invoke runs the probe invocation, reporting whether it was authorized.
+func (f *faultWorld) invoke() bool {
+	_, err := f.guard.Invoke(f.principal, "enter", nil, f.creds)
+	return err == nil
+}
+
+// RunFaults executes every E12 scenario and returns one row per scenario.
+func RunFaults() ([]FaultRow, error) {
+	var rows []FaultRow
+
+	// Scenario 1 — transient drop: the issuer drops the first two
+	// callback frames; bounded retries recover within the call.
+	{
+		f, err := newFaultWorld(false)
+		if err != nil {
+			return nil, err
+		}
+		f.w.Bus.SetFault(rpc.FailNTimes("login", 2))
+		before := f.w.Bus.Calls()
+		start := time.Now()
+		ok := f.invoke()
+		rows = append(rows, FaultRow{
+			Scenario:        "transient-drop(2)",
+			Authorized:      ok,
+			TransportCalls:  f.w.Bus.Calls() - before,
+			Retries:         f.rc.Metrics().Retries,
+			Breaker:         f.rc.BreakerState("login").String(),
+			RecoveryLatency: time.Since(start),
+			Note:            "retry with backoff recovers inside one validation",
+		})
+		f.close()
+	}
+
+	// Scenario 2 — injected latency: the transport is slow but healthy;
+	// calls succeed without retries and the breaker stays closed.
+	{
+		f, err := newFaultWorld(false)
+		if err != nil {
+			return nil, err
+		}
+		f.w.Bus.SetLatency(2 * time.Millisecond)
+		before := f.w.Bus.Calls()
+		start := time.Now()
+		ok := f.invoke()
+		rows = append(rows, FaultRow{
+			Scenario:        "latency(2ms)",
+			Authorized:      ok,
+			TransportCalls:  f.w.Bus.Calls() - before,
+			Retries:         f.rc.Metrics().Retries,
+			Breaker:         f.rc.BreakerState("login").String(),
+			RecoveryLatency: time.Since(start),
+			Note:            "slow-but-up issuer: no retries, breaker closed",
+		})
+		f.close()
+	}
+
+	// Scenario 3 — partition, cold cache: persistent failure opens the
+	// breaker; later presentations fail fast without touching the wire.
+	{
+		f, err := newFaultWorld(false)
+		if err != nil {
+			return nil, err
+		}
+		f.w.Bus.SetFault(rpc.FailAll("login"))
+		f.invoke() // burns through retries, opens the breaker
+		before := f.w.Bus.Calls()
+		for i := 0; i < 5; i++ {
+			f.invoke()
+		}
+		m := f.rc.Metrics()
+		rows = append(rows, FaultRow{
+			Scenario:       "partition-cold-cache",
+			Authorized:     false,
+			TransportCalls: f.w.Bus.Calls() - before,
+			Retries:        m.Retries,
+			FastFails:      m.FastFails,
+			Breaker:        f.rc.BreakerState("login").String(),
+			Note:           "unconfirmed cert denied; breaker fast-fails follow-ups",
+		})
+		f.close()
+	}
+
+	// Scenario 4 — partition, warm cache: inside the stale-grace window
+	// a previously confirmed certificate keeps validating (degraded
+	// availability); past the grace deadline it is denied, and the
+	// heartbeat deadline cuts the window short via synthetic revocation
+	// (never degraded safety).
+	{
+		f, err := newFaultWorld(true)
+		if err != nil {
+			return nil, err
+		}
+		f.w.Bus.SetFault(rpc.FailAll("login"))
+		f.w.Clock.Advance(e12RevalidateAfter + time.Second)
+		okDegraded := f.invoke() // within grace AND within heartbeat deadline
+
+		f.w.Clock.Advance(e12HeartbeatDeadln) // issuer silent past its deadline
+		f.hb.Sweep()                          // synthetic revocation
+		f.w.Broker.Quiesce()
+		okPastDeadline := f.invoke() // must be denied
+
+		rows = append(rows, FaultRow{
+			Scenario:     "partition-warm-cache",
+			Authorized:   okDegraded && !okPastDeadline,
+			DegradedHits: f.guard.Stats().DegradedHits,
+			Breaker:      f.rc.BreakerState("login").String(),
+			Note: fmt.Sprintf("degraded-in-grace=%v denied-past-heartbeat-deadline=%v",
+				okDegraded, !okPastDeadline),
+		})
+		if okPastDeadline {
+			f.close()
+			return nil, fmt.Errorf("E12 safety violation: authorization granted past the heartbeat deadline")
+		}
+		f.close()
+	}
+
+	// Scenario 5 — recovery: the partition heals; after the breaker
+	// cooldown a half-open probe closes the circuit and validation
+	// round-trips again. RecoveryLatency is the wall time of the first
+	// successful post-heal validation.
+	{
+		f, err := newFaultWorld(false)
+		if err != nil {
+			return nil, err
+		}
+		f.w.Bus.SetFault(rpc.FailAll("login"))
+		f.invoke() // open the breaker
+		f.w.Bus.SetFault(nil)
+		f.w.Clock.Advance(e12Cooldown)
+		start := time.Now()
+		ok := f.invoke()
+		rows = append(rows, FaultRow{
+			Scenario:        "recovery-after-partition",
+			Authorized:      ok,
+			Retries:         f.rc.Metrics().Retries,
+			FastFails:       f.rc.Metrics().FastFails,
+			Breaker:         f.rc.BreakerState("login").String(),
+			RecoveryLatency: time.Since(start),
+			Note:            "half-open probe closes the breaker after cooldown",
+		})
+		f.close()
+	}
+
+	return rows, nil
+}

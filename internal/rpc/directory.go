@@ -8,9 +8,12 @@ import (
 
 // Directory routes calls to services spread over several TCP endpoints:
 // the deployment shape of cmd/oasisd, where each process hosts one or more
-// services. Connections are dialled lazily and reused.
+// services. Clients are dialled lazily and reused; each client keeps its
+// own connections alive (redial with backoff), so a transport error does
+// not evict it from the directory.
 type Directory struct {
-	timeout time.Duration
+	timeout  time.Duration
+	poolSize int
 
 	mu    sync.Mutex
 	addrs map[string]string // service -> address
@@ -19,12 +22,23 @@ type Directory struct {
 
 var _ Caller = (*Directory)(nil)
 
-// NewDirectory creates an empty directory; timeout bounds each call.
+// NewDirectory creates an empty directory; timeout bounds each call. One
+// connection per endpoint — use NewDirectoryPool to avoid head-of-line
+// blocking under concurrent callers.
 func NewDirectory(timeout time.Duration) *Directory {
+	return NewDirectoryPool(timeout, 1)
+}
+
+// NewDirectoryPool is NewDirectory with poolSize connections per endpoint.
+func NewDirectoryPool(timeout time.Duration, poolSize int) *Directory {
+	if poolSize < 1 {
+		poolSize = 1
+	}
 	return &Directory{
-		timeout: timeout,
-		addrs:   make(map[string]string),
-		conns:   make(map[string]*TCPClient),
+		timeout:  timeout,
+		poolSize: poolSize,
+		addrs:    make(map[string]string),
+		conns:    make(map[string]*TCPClient),
 	}
 }
 
@@ -47,7 +61,7 @@ func (d *Directory) Call(service, method string, body []byte) ([]byte, error) {
 	d.mu.Unlock()
 
 	if cli == nil {
-		fresh, err := DialTCP(addr, d.timeout)
+		fresh, err := DialTCPPool(addr, d.timeout, d.poolSize)
 		if err != nil {
 			return nil, err
 		}
@@ -62,20 +76,9 @@ func (d *Directory) Call(service, method string, body []byte) ([]byte, error) {
 			cli = fresh
 		}
 	}
-	out, err := cli.Call(service, method, body)
-	if err != nil {
-		// Drop a possibly broken connection so the next call redials,
-		// unless the failure was an application-level RemoteError.
-		if _, remote := err.(*RemoteError); !remote {
-			d.mu.Lock()
-			if d.conns[addr] == cli {
-				delete(d.conns, addr)
-			}
-			d.mu.Unlock()
-			cli.Close() //nolint:errcheck
-		}
-	}
-	return out, err
+	// The client marks broken connections and redials on the next call,
+	// so a transport error does not evict it here.
+	return cli.Call(service, method, body)
 }
 
 // Close closes all pooled connections.

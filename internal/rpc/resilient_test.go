@@ -1,0 +1,215 @@
+package rpc
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// noSleep makes retry backoff instantaneous in tests.
+func noSleep(time.Duration) {}
+
+// manualClock is an injectable Now for breaker cooldown tests.
+type manualClock struct{ now atomic.Int64 }
+
+func newManualClock() *manualClock {
+	c := &manualClock{}
+	c.now.Store(time.Date(2001, 11, 12, 9, 0, 0, 0, time.UTC).UnixNano())
+	return c
+}
+
+func (c *manualClock) Now() time.Time        { return time.Unix(0, c.now.Load()) }
+func (c *manualClock) Advance(d time.Duration) { c.now.Add(int64(d)) }
+
+func newTestResilient(next Caller, clk *manualClock, cfg ResilientConfig) *ResilientCaller {
+	cfg.Sleep = noSleep
+	if clk != nil {
+		cfg.Now = clk.Now
+	}
+	return NewResilientCaller(next, cfg)
+}
+
+func TestResilientRetryRecoversTransientFault(t *testing.T) {
+	bus := NewLoopback()
+	bus.Register("issuer", func(method string, body []byte) ([]byte, error) {
+		return []byte("ok"), nil
+	})
+	bus.SetFault(FailNTimes("issuer", 2))
+	rc := newTestResilient(bus, nil, ResilientConfig{MaxAttempts: 3})
+
+	out, err := rc.Call("issuer", "validate_rmc", nil)
+	if err != nil {
+		t.Fatalf("retry did not recover: %v", err)
+	}
+	if string(out) != "ok" {
+		t.Errorf("out = %q", out)
+	}
+	m := rc.Metrics()
+	if m.Retries != 2 || m.Attempts != 3 {
+		t.Errorf("metrics = %+v, want 2 retries over 3 attempts", m)
+	}
+	if got := rc.BreakerState("issuer"); got != BreakerClosed {
+		t.Errorf("breaker = %v after recovery", got)
+	}
+}
+
+func TestResilientNonIdempotentNotRetried(t *testing.T) {
+	bus := NewLoopback()
+	bus.Register("issuer", func(method string, body []byte) ([]byte, error) {
+		return nil, nil
+	})
+	bus.SetFault(FailNTimes("issuer", 1))
+	rc := newTestResilient(bus, nil, ResilientConfig{MaxAttempts: 3})
+
+	if _, err := rc.Call("issuer", "activate", nil); !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("err = %v, want injected fault surfaced without retry", err)
+	}
+	if calls := bus.Calls(); calls != 1 {
+		t.Errorf("transport calls = %d, want 1 (activate must not be retried)", calls)
+	}
+}
+
+func TestResilientRemoteErrorPassesThrough(t *testing.T) {
+	bus := NewLoopback()
+	bus.Register("issuer", func(method string, body []byte) ([]byte, error) {
+		return nil, errors.New("denied")
+	})
+	rc := newTestResilient(bus, nil, ResilientConfig{MaxAttempts: 3, FailureThreshold: 1})
+
+	for i := 0; i < 5; i++ {
+		var re *RemoteError
+		if _, err := rc.Call("issuer", "validate_rmc", nil); !errors.As(err, &re) {
+			t.Fatalf("err = %v, want RemoteError", err)
+		}
+	}
+	// Application errors prove the service is up: no retries, no trips.
+	if calls := bus.Calls(); calls != 5 {
+		t.Errorf("transport calls = %d, want 5", calls)
+	}
+	if got := rc.BreakerState("issuer"); got != BreakerClosed {
+		t.Errorf("breaker = %v, application errors must not trip it", got)
+	}
+}
+
+func TestResilientBreakerOpensAndFastFails(t *testing.T) {
+	bus := NewLoopback()
+	bus.Register("issuer", func(method string, body []byte) ([]byte, error) { return nil, nil })
+	bus.SetFault(FailAll("issuer"))
+	clk := newManualClock()
+	rc := newTestResilient(bus, clk, ResilientConfig{MaxAttempts: 1, FailureThreshold: 3, Cooldown: time.Minute})
+
+	for i := 0; i < 3; i++ {
+		if _, err := rc.Call("issuer", "activate", nil); !errors.Is(err, ErrInjectedFault) {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if got := rc.BreakerState("issuer"); got != BreakerOpen {
+		t.Fatalf("breaker = %v after %d consecutive failures", got, 3)
+	}
+	transportBefore := bus.Calls()
+	for i := 0; i < 4; i++ {
+		if _, err := rc.Call("issuer", "activate", nil); !errors.Is(err, ErrCircuitOpen) {
+			t.Fatalf("open breaker admitted a call: %v", err)
+		}
+	}
+	if bus.Calls() != transportBefore {
+		t.Error("open breaker still reached the transport")
+	}
+	if m := rc.Metrics(); m.FastFails != 4 || m.Opens != 1 {
+		t.Errorf("metrics = %+v", m)
+	}
+	// A healthy, unrelated service is unaffected (per-service breakers).
+	bus.Register("other", func(method string, body []byte) ([]byte, error) { return nil, nil })
+	if _, err := rc.Call("other", "activate", nil); err != nil {
+		t.Errorf("healthy service blocked by issuer's breaker: %v", err)
+	}
+}
+
+func TestResilientHalfOpenProbeClosesOnSuccess(t *testing.T) {
+	bus := NewLoopback()
+	bus.Register("issuer", func(method string, body []byte) ([]byte, error) { return nil, nil })
+	bus.SetFault(FailAll("issuer"))
+	clk := newManualClock()
+	rc := newTestResilient(bus, clk, ResilientConfig{MaxAttempts: 1, FailureThreshold: 2, Cooldown: time.Minute})
+
+	for i := 0; i < 2; i++ {
+		rc.Call("issuer", "activate", nil) //nolint:errcheck
+	}
+	if got := rc.BreakerState("issuer"); got != BreakerOpen {
+		t.Fatalf("breaker = %v", got)
+	}
+	// Partition heals; before the cooldown the breaker still fails fast.
+	bus.SetFault(nil)
+	if _, err := rc.Call("issuer", "activate", nil); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("pre-cooldown call: %v", err)
+	}
+	clk.Advance(time.Minute)
+	if _, err := rc.Call("issuer", "activate", nil); err != nil {
+		t.Fatalf("probe failed: %v", err)
+	}
+	if got := rc.BreakerState("issuer"); got != BreakerClosed {
+		t.Errorf("breaker = %v after successful probe", got)
+	}
+}
+
+func TestResilientHalfOpenProbeReopensOnFailure(t *testing.T) {
+	bus := NewLoopback()
+	bus.Register("issuer", func(method string, body []byte) ([]byte, error) { return nil, nil })
+	bus.SetFault(FailAll("issuer"))
+	clk := newManualClock()
+	rc := newTestResilient(bus, clk, ResilientConfig{MaxAttempts: 1, FailureThreshold: 2, Cooldown: time.Minute})
+
+	for i := 0; i < 2; i++ {
+		rc.Call("issuer", "activate", nil) //nolint:errcheck
+	}
+	clk.Advance(time.Minute)
+	if _, err := rc.Call("issuer", "activate", nil); !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("probe err = %v", err)
+	}
+	if got := rc.BreakerState("issuer"); got != BreakerOpen {
+		t.Errorf("breaker = %v after failed probe, want open again", got)
+	}
+	// And it stays open for another full cooldown.
+	clk.Advance(30 * time.Second)
+	if _, err := rc.Call("issuer", "activate", nil); !errors.Is(err, ErrCircuitOpen) {
+		t.Errorf("reopened breaker admitted a call: %v", err)
+	}
+}
+
+func TestResilientCallTimeout(t *testing.T) {
+	bus := NewLoopback()
+	bus.Register("issuer", func(method string, body []byte) ([]byte, error) { return nil, nil })
+	bus.SetLatency(200 * time.Millisecond)
+	rc := newTestResilient(bus, nil, ResilientConfig{MaxAttempts: 1, CallTimeout: 20 * time.Millisecond})
+
+	start := time.Now()
+	_, err := rc.Call("issuer", "activate", nil)
+	if !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("err = %v, want ErrCallTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+		t.Errorf("deadline not enforced: call took %v", elapsed)
+	}
+}
+
+func TestIsUnavailableClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{&RemoteError{Service: "s", Method: "m", Msg: "denied"}, false},
+		{ErrInjectedFault, true},
+		{ErrConnBroken, true},
+		{ErrCircuitOpen, true},
+		{ErrCallTimeout, true},
+		{ErrUnknownService, true},
+		{errors.New("dial tcp: connection refused"), true},
+	}
+	for _, c := range cases {
+		if got := IsUnavailable(c.err); got != c.want {
+			t.Errorf("IsUnavailable(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}

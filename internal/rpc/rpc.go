@@ -21,7 +21,31 @@ var (
 	// ErrInjectedFault is the base error for faults injected by tests
 	// and the experiment harness.
 	ErrInjectedFault = errors.New("injected transport fault")
+	// ErrConnBroken marks a connection whose stream state can no longer
+	// be trusted (a lost, late, or skewed response frame). The client
+	// drops the connection and redials; callers may retry idempotent
+	// work through a ResilientCaller.
+	ErrConnBroken = errors.New("rpc: connection broken")
+	// ErrCircuitOpen is returned by a ResilientCaller without touching
+	// the transport while the target service's circuit breaker is open.
+	ErrCircuitOpen = errors.New("rpc: circuit open")
+	// ErrCallTimeout is returned by a ResilientCaller when one attempt
+	// exceeds its per-call deadline.
+	ErrCallTimeout = errors.New("rpc: call timed out")
 )
+
+// IsUnavailable reports whether err indicates the target service could not
+// be reached or answered unusably (dial/deadline/stream failures, injected
+// faults, open circuits) as opposed to an application-level *RemoteError,
+// which proves the remote handler ran. Retry, breaker accounting and the
+// fail-safe degraded-validation path all key off this distinction.
+func IsUnavailable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var re *RemoteError
+	return !errors.As(err, &re)
+}
 
 // RemoteError wraps an application-level error returned by the remote
 // handler, preserving the remote message across the wire.
@@ -129,6 +153,18 @@ func (l *Loopback) Call(service, method string, body []byte) ([]byte, error) {
 		return nil, &RemoteError{Service: service, Method: method, Msg: err.Error()}
 	}
 	return out, nil
+}
+
+// FailAll returns a Fault that fails every matching call (a network
+// partition between the caller and one service); service=="" severs
+// everything. Clear it with SetFault(nil) to heal the partition.
+func FailAll(service string) Fault {
+	return func(svc, method string) error {
+		if service != "" && svc != service {
+			return nil
+		}
+		return fmt.Errorf("%w: partition: %s.%s", ErrInjectedFault, svc, method)
+	}
 }
 
 // FailNTimes returns a Fault that fails the first n matching calls and then

@@ -2,11 +2,10 @@ package rpc
 
 import (
 	"encoding/gob"
-	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -25,9 +24,15 @@ type wireResponse struct {
 	Err  string
 }
 
+// maxInflightPerConn bounds concurrently dispatched handlers per
+// connection so one pipelining client cannot exhaust the server.
+const maxInflightPerConn = 64
+
 // TCPServer serves registered handlers over a net.Listener. One goroutine
-// per connection; requests on a connection are handled sequentially, which
-// is sufficient for the demo deployment (cmd/oasisd).
+// per connection reads requests; each request is dispatched on its own
+// goroutine so a slow handler does not head-of-line block the connection,
+// and response writes are serialised on a per-connection mutex (responses
+// may therefore arrive out of request order — clients match on ID).
 type TCPServer struct {
 	mu       sync.RWMutex
 	handlers map[string]Handler
@@ -78,7 +83,9 @@ func (s *TCPServer) Serve(ln net.Listener) {
 
 func (s *TCPServer) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	var inflight sync.WaitGroup
 	defer func() {
+		inflight.Wait()
 		conn.Close() //nolint:errcheck
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -86,6 +93,8 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 	}()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
+	var wmu sync.Mutex // serialises response writes across handler goroutines
+	sem := make(chan struct{}, maxInflightPerConn)
 	for {
 		var req wireRequest
 		if err := dec.Decode(&req); err != nil {
@@ -94,17 +103,24 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		s.mu.RLock()
 		h, ok := s.handlers[req.Service]
 		s.mu.RUnlock()
-		resp := wireResponse{ID: req.ID}
-		if !ok {
-			resp.Err = ErrUnknownService.Error() + ": " + req.Service
-		} else if out, err := h(req.Method, req.Body); err != nil {
-			resp.Err = err.Error()
-		} else {
-			resp.Body = out
-		}
-		if err := enc.Encode(resp); err != nil {
-			return
-		}
+		sem <- struct{}{}
+		inflight.Add(1)
+		go func(req wireRequest, h Handler, ok bool) {
+			defer func() { <-sem; inflight.Done() }()
+			resp := wireResponse{ID: req.ID}
+			if !ok {
+				resp.Err = ErrUnknownService.Error() + ": " + req.Service
+			} else if out, err := h(req.Method, req.Body); err != nil {
+				resp.Err = err.Error()
+			} else {
+				resp.Body = out
+			}
+			wmu.Lock()
+			defer wmu.Unlock()
+			// A write failure means the connection is going away; the
+			// read loop will observe the same failure and tear down.
+			enc.Encode(resp) //nolint:errcheck
+		}(req, h, ok)
 	}
 }
 
@@ -133,67 +149,187 @@ func (s *TCPServer) Close() {
 	s.wg.Wait()
 }
 
-// TCPClient issues calls over a single TCP connection. It is safe for
-// concurrent use; calls are serialised on the connection.
+// defaultDialTimeout bounds connection establishment when the client has
+// no per-call budget of its own.
+const defaultDialTimeout = 5 * time.Second
+
+// Redial backoff bounds: consecutive dial failures back off exponentially
+// between these, so a dead peer is not hammered while a recovered one is
+// picked up within a bounded window.
+const (
+	redialBackoffBase = 10 * time.Millisecond
+	redialBackoffMax  = 1 * time.Second
+)
+
+// TCPClient issues calls over a small pool of TCP connections to one
+// server. It is safe for concurrent use: calls are spread round-robin over
+// the pool (removing head-of-line blocking between concurrent callers),
+// with at most one in-flight call per connection.
+//
+// The client is self-healing: any encode, decode, or deadline failure
+// marks that connection broken — a late response would otherwise desync
+// the shared gob stream and poison every later call — and the next call on
+// the slot transparently redials with bounded exponential backoff.
 type TCPClient struct {
-	mu      sync.Mutex
-	conn    net.Conn
-	enc     *gob.Encoder
-	dec     *gob.Decoder
-	nextID  uint64
-	timeout time.Duration
+	addr        string
+	timeout     time.Duration // per-call round-trip budget; 0 = none
+	dialTimeout time.Duration
+
+	nextID atomic.Uint64 // client-global so IDs never repeat across redials
+	next   atomic.Uint64 // round-robin pool cursor
+	pool   []*tcpConn
+	closed atomic.Bool
 }
 
 var _ Caller = (*TCPClient)(nil)
 
-// DialTCP connects to a TCPServer. timeout bounds each call round trip
-// (zero means no deadline).
+// tcpConn is one pool slot: a connection with its gob codec pair and the
+// redial backoff state left by previous failures. conn == nil means the
+// slot is disconnected and the next call dials.
+type tcpConn struct {
+	cli *TCPClient
+
+	mu        sync.Mutex
+	conn      net.Conn
+	enc       *gob.Encoder
+	dec       *gob.Decoder
+	dialFails int
+	nextDial  time.Time
+}
+
+// DialTCP connects to a TCPServer with a single pooled connection. timeout
+// bounds each call round trip and, when set, connection establishment too
+// (zero means no call deadline and a default dial timeout).
 func DialTCP(addr string, timeout time.Duration) (*TCPClient, error) {
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
-	if err != nil {
-		return nil, fmt.Errorf("dial %s: %w", addr, err)
+	return DialTCPPool(addr, timeout, 1)
+}
+
+// DialTCPPool connects to a TCPServer with size pooled connections. The
+// first connection is dialled eagerly so configuration errors surface
+// immediately; the rest are dialled lazily on demand.
+func DialTCPPool(addr string, timeout time.Duration, size int) (*TCPClient, error) {
+	if size < 1 {
+		size = 1
 	}
-	return &TCPClient{
-		conn:    conn,
-		enc:     gob.NewEncoder(conn),
-		dec:     gob.NewDecoder(conn),
-		timeout: timeout,
-	}, nil
+	dialTimeout := timeout
+	if dialTimeout <= 0 {
+		dialTimeout = defaultDialTimeout
+	}
+	c := &TCPClient{addr: addr, timeout: timeout, dialTimeout: dialTimeout}
+	c.pool = make([]*tcpConn, size)
+	for i := range c.pool {
+		c.pool[i] = &tcpConn{cli: c}
+	}
+	if err := c.pool[0].redialLocked(); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
 // Call implements Caller.
 func (c *TCPClient) Call(service, method string, body []byte) ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.nextID++
-	req := wireRequest{ID: c.nextID, Service: service, Method: method, Body: body}
-	if c.timeout > 0 {
-		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
-			return nil, fmt.Errorf("set deadline: %w", err)
+	if c.closed.Load() {
+		return nil, fmt.Errorf("call %s.%s on closed client: %w", service, method, ErrConnBroken)
+	}
+	p := c.pool[c.next.Add(1)%uint64(len(c.pool))]
+	return p.roundTrip(service, method, body)
+}
+
+// Close closes all pooled connections; subsequent calls fail.
+func (c *TCPClient) Close() error {
+	c.closed.Store(true)
+	var first error
+	for _, p := range c.pool {
+		p.mu.Lock()
+		if p.conn != nil {
+			if err := p.conn.Close(); err != nil && first == nil {
+				first = err
+			}
+			p.conn, p.enc, p.dec = nil, nil, nil
+		}
+		p.mu.Unlock()
+	}
+	return first
+}
+
+// redialLocked (re)establishes the slot's connection, honouring the
+// backoff window left by previous dial failures. Called with p.mu held
+// (or before the client is shared).
+func (p *tcpConn) redialLocked() error {
+	if wait := time.Until(p.nextDial); wait > 0 {
+		time.Sleep(wait)
+	}
+	conn, err := net.DialTimeout("tcp", p.cli.addr, p.cli.dialTimeout)
+	if err != nil {
+		p.dialFails++
+		backoff := redialBackoffBase << uint(min(p.dialFails-1, 10))
+		if backoff > redialBackoffMax {
+			backoff = redialBackoffMax
+		}
+		p.nextDial = time.Now().Add(backoff)
+		return fmt.Errorf("dial %s: %w", p.cli.addr, err)
+	}
+	p.dialFails = 0
+	p.nextDial = time.Time{}
+	p.conn = conn
+	p.enc = gob.NewEncoder(conn)
+	p.dec = gob.NewDecoder(conn)
+	return nil
+}
+
+// breakLocked discards a connection whose stream state is no longer
+// trustworthy. Called with p.mu held.
+func (p *tcpConn) breakLocked() {
+	if p.conn != nil {
+		p.conn.Close() //nolint:errcheck
+	}
+	p.conn, p.enc, p.dec = nil, nil, nil
+}
+
+func (p *tcpConn) roundTrip(service, method string, body []byte) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn == nil {
+		if err := p.redialLocked(); err != nil {
+			return nil, err
 		}
 	}
-	if err := c.enc.Encode(req); err != nil {
-		return nil, fmt.Errorf("send %s.%s: %w", service, method, err)
+	req := wireRequest{ID: p.cli.nextID.Add(1), Service: service, Method: method, Body: body}
+	if t := p.cli.timeout; t > 0 {
+		if err := p.conn.SetDeadline(time.Now().Add(t)); err != nil {
+			p.breakLocked()
+			return nil, fmt.Errorf("set deadline for %s.%s: %w", service, method, ErrConnBroken)
+		}
+	}
+	if err := p.enc.Encode(req); err != nil {
+		p.breakLocked()
+		return nil, fmt.Errorf("send %s.%s: %v: %w", service, method, err, ErrConnBroken)
 	}
 	var resp wireResponse
-	if err := c.dec.Decode(&resp); err != nil {
-		if errors.Is(err, io.EOF) {
-			return nil, fmt.Errorf("connection closed during %s.%s: %w", service, method, err)
-		}
-		return nil, fmt.Errorf("receive %s.%s: %w", service, method, err)
+	if err := p.dec.Decode(&resp); err != nil {
+		// The response may still arrive later (slow handler) or never;
+		// either way undecoded frames would desync the stream, so the
+		// connection can never be trusted again.
+		p.breakLocked()
+		return nil, fmt.Errorf("receive %s.%s: %v: %w", service, method, err, ErrConnBroken)
 	}
 	if resp.ID != req.ID {
-		return nil, fmt.Errorf("response id %d for request %d", resp.ID, req.ID)
+		// A skewed frame (e.g. the answer to an abandoned request):
+		// resynchronising is impossible without framing guarantees, so
+		// drop the connection.
+		p.breakLocked()
+		return nil, fmt.Errorf("%s.%s: response id %d for request %d: %w",
+			service, method, resp.ID, req.ID, ErrConnBroken)
+	}
+	if t := p.cli.timeout; t > 0 {
+		// Clear the per-call deadline so the idle connection does not
+		// expire it later and surface a spurious i/o timeout on reuse.
+		if err := p.conn.SetDeadline(time.Time{}); err != nil {
+			p.breakLocked()
+		}
 	}
 	if resp.Err != "" {
 		return nil, &RemoteError{Service: service, Method: method, Msg: resp.Err}
 	}
 	return resp.Body, nil
-}
-
-// Close closes the underlying connection.
-func (c *TCPClient) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.conn.Close()
 }

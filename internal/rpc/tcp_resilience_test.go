@@ -1,0 +1,257 @@
+package rpc
+
+import (
+	"encoding/gob"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestTCPSlowResponseDoesNotPoisonStream is the regression test for the
+// poisoned-stream bug: a call that times out leaves its (late) response
+// frame in flight. The old client kept the connection, so the next call
+// decoded the stale frame (or failed forever); the reconnecting client
+// must mark the connection broken and redial, and the second call must
+// succeed cleanly.
+func TestTCPSlowResponseDoesNotPoisonStream(t *testing.T) {
+	srv, addr := startServer(t)
+	var calls atomic.Int64
+	srv.Register("svc", func(method string, body []byte) ([]byte, error) {
+		if calls.Add(1) == 1 {
+			time.Sleep(300 * time.Millisecond) // outlives the client deadline
+		}
+		return append([]byte("echo:"), body...), nil
+	})
+	cli, err := DialTCP(addr, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close() //nolint:errcheck
+
+	if _, err := cli.Call("svc", "m", []byte("first")); !errors.Is(err, ErrConnBroken) {
+		t.Fatalf("slow call err = %v, want ErrConnBroken", err)
+	}
+	// The second call must not read the first call's late frame.
+	out, err := cli.Call("svc", "m", []byte("second"))
+	if err != nil {
+		t.Fatalf("call after timeout failed (stream poisoned?): %v", err)
+	}
+	if string(out) != "echo:second" {
+		t.Fatalf("out = %q, want the second call's own response", out)
+	}
+	// And the connection stays healthy for subsequent traffic.
+	for i := 0; i < 5; i++ {
+		if out, err := cli.Call("svc", "m", []byte{byte(i)}); err != nil || string(out) != "echo:"+string([]byte{byte(i)}) {
+			t.Fatalf("call %d after recovery: (%q, %v)", i, out, err)
+		}
+	}
+}
+
+// TestTCPResponseIDMismatchBreaksConn drives the client against a
+// misbehaving server that answers the first request with the wrong ID. The
+// client must surface ErrConnBroken (not a silent skew) and recover by
+// redialling.
+func TestTCPResponseIDMismatchBreaksConn(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close() //nolint:errcheck
+	var first atomic.Bool
+	first.Store(true)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close() //nolint:errcheck
+				dec := gob.NewDecoder(conn)
+				enc := gob.NewEncoder(conn)
+				for {
+					var req wireRequest
+					if err := dec.Decode(&req); err != nil {
+						return
+					}
+					id := req.ID
+					if first.Swap(false) {
+						id += 1000 // skewed frame
+					}
+					if err := enc.Encode(wireResponse{ID: id, Body: req.Body}); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+
+	cli, err := DialTCP(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close() //nolint:errcheck
+	if _, err := cli.Call("svc", "m", []byte("a")); !errors.Is(err, ErrConnBroken) {
+		t.Fatalf("skewed response err = %v, want ErrConnBroken", err)
+	}
+	out, err := cli.Call("svc", "m", []byte("b"))
+	if err != nil || string(out) != "b" {
+		t.Fatalf("call after redial = (%q, %v)", out, err)
+	}
+}
+
+// TestTCPDeadlineClearedAfterRoundTrip: a successful call must clear the
+// connection deadline, so an idle period longer than the call budget does
+// not poison the next call on the same connection.
+func TestTCPDeadlineClearedAfterRoundTrip(t *testing.T) {
+	srv, addr := startServer(t)
+	srv.Register("svc", func(method string, body []byte) ([]byte, error) { return body, nil })
+	cli, err := DialTCP(addr, 75*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close() //nolint:errcheck
+	if _, err := cli.Call("svc", "m", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond) // idle past the per-call budget
+	if out, err := cli.Call("svc", "m", []byte("y")); err != nil || string(out) != "y" {
+		t.Fatalf("call after idle = (%q, %v); stale deadline inherited?", out, err)
+	}
+}
+
+// TestTCPReconnectAfterServerRestart: calls fail while the server is down
+// and recover once a new server listens on the same address.
+func TestTCPReconnectAfterServerRestart(t *testing.T) {
+	srv := NewTCPServer()
+	srv.Register("svc", func(method string, body []byte) ([]byte, error) { return body, nil })
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	go srv.Serve(ln)
+
+	cli, err := DialTCP(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close() //nolint:errcheck
+	if _, err := cli.Call("svc", "m", []byte("up")); err != nil {
+		t.Fatal(err)
+	}
+
+	srv.Close()
+	if _, err := cli.Call("svc", "m", []byte("down")); err == nil {
+		t.Fatal("call against closed server succeeded")
+	}
+
+	// Restart on the same address (retry briefly: the OS may lag
+	// releasing the port).
+	var ln2 net.Listener
+	for i := 0; i < 50; i++ {
+		ln2, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	srv2 := NewTCPServer()
+	srv2.Register("svc", func(method string, body []byte) ([]byte, error) { return body, nil })
+	go srv2.Serve(ln2)
+	t.Cleanup(srv2.Close)
+
+	// The client redials with backoff; allow a few attempts.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		out, err := cli.Call("svc", "m", []byte("back"))
+		if err == nil {
+			if string(out) != "back" {
+				t.Fatalf("out = %q", out)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("client never reconnected: %v", err)
+		}
+	}
+}
+
+// TestTCPServerConcurrentDispatch pipelines two requests on one raw
+// connection; with concurrent dispatch the fast second request must be
+// answered before the slow first one.
+func TestTCPServerConcurrentDispatch(t *testing.T) {
+	srv, addr := startServer(t)
+	release := make(chan struct{})
+	srv.Register("svc", func(method string, body []byte) ([]byte, error) {
+		if method == "slow" {
+			<-release
+		}
+		return body, nil
+	})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close() //nolint:errcheck
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+
+	if err := enc.Encode(wireRequest{ID: 1, Service: "svc", Method: "slow"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(wireRequest{ID: 2, Service: "svc", Method: "fast"}); err != nil {
+		t.Fatal(err)
+	}
+	var resp wireResponse
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 2 {
+		t.Fatalf("first response ID = %d, want 2 (slow handler blocked the connection)", resp.ID)
+	}
+	close(release)
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 1 {
+		t.Fatalf("second response ID = %d, want 1", resp.ID)
+	}
+}
+
+// TestTCPPoolConcurrentCalls exercises a pooled client under concurrent
+// load: all calls succeed with their own responses.
+func TestTCPPoolConcurrentCalls(t *testing.T) {
+	srv, addr := startServer(t)
+	srv.Register("svc", func(method string, body []byte) ([]byte, error) {
+		time.Sleep(5 * time.Millisecond)
+		return body, nil
+	})
+	cli, err := DialTCPPool(addr, 5*time.Second, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close() //nolint:errcheck
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				msg := []byte{byte(g), byte(i)}
+				out, err := cli.Call("svc", "echo", msg)
+				if err != nil || string(out) != string(msg) {
+					t.Errorf("goroutine %d call %d = (%v, %v)", g, i, out, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
