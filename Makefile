@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench tables examples cover clean
+.PHONY: all build vet lint test race bench tables obs examples cover clean
 
 all: build vet test race
 
@@ -35,6 +35,11 @@ bench:
 # the machine-readable rows (BENCH_parallel.json, BENCH_faults.json).
 tables:
 	$(GO) run ./cmd/benchtab -json BENCH_parallel.json -faults-json BENCH_faults.json
+
+# E13: measure the observability layer's overhead on the hot paths and
+# write the machine-readable rows (BENCH_obs.json).
+obs:
+	$(GO) run ./cmd/benchtab -exp obs -obs-json BENCH_obs.json
 
 # Run all six runnable paper scenarios.
 examples:

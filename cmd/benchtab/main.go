@@ -9,7 +9,7 @@
 //	benchtab -json out.json  # also write machine-readable rows (parallel)
 //
 // Experiment ids: fig1 fig2 fig3 fig4 fig5 auth sect5 sect6 baselines
-// soak parallel faults
+// soak parallel faults obs
 package main
 
 import (
@@ -26,10 +26,12 @@ import (
 
 // jsonPath, when set, receives the parallel-scaling rows as a JSON array
 // (one row per benchmark x GOMAXPROCS point) — the BENCH_*.json seed.
-// faultsJSONPath does the same for the E12 fault-injection rows.
+// faultsJSONPath does the same for the E12 fault-injection rows, and
+// obsJSONPath for the E13 observability-overhead rows.
 var (
 	jsonPath       string
 	faultsJSONPath string
+	obsJSONPath    string
 )
 
 func main() {
@@ -37,6 +39,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids")
 	flag.StringVar(&jsonPath, "json", "", "write parallel-scaling rows to this JSON file")
 	flag.StringVar(&faultsJSONPath, "faults-json", "", "write fault-injection rows to this JSON file")
+	flag.StringVar(&obsJSONPath, "obs-json", "", "write observability-overhead rows to this JSON file")
 	flag.Parse()
 	if err := run(*exp, *list); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
@@ -57,6 +60,7 @@ var experimentsTable = map[string]func(*tabwriter.Writer) error{
 	"soak":      runSoak,
 	"parallel":  runParallelScaling,
 	"faults":    runFaults,
+	"obs":       runObs,
 }
 
 func run(exp string, list bool) error {
@@ -297,6 +301,32 @@ func runFaults(w *tabwriter.Writer) error {
 		return err
 	}
 	fmt.Fprintf(w, "(rows written to %s)\n", faultsJSONPath)
+	return nil
+}
+
+func runObs(w *tabwriter.Writer) error {
+	fmt.Fprintln(w, "== E13: observability overhead — hot paths with metrics + tracing attached ==")
+	fmt.Fprintln(w, "benchmark\tprocs\tbase ns/op\tobs ns/op\toverhead\ttrace events")
+	rows, err := experiments.RunObsOverhead([]int{1, 8}, 150*time.Millisecond, 3)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%.0f\t%.0f\t%+.2f%%\t%d\n",
+			row.Benchmark, row.Procs, row.BaseNsPerOp, row.ObsNsPerOp,
+			row.OverheadPct, row.TraceEvents)
+	}
+	if obsJSONPath == "" {
+		return nil
+	}
+	out, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(obsJSONPath, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "(rows written to %s)\n", obsJSONPath)
 	return nil
 }
 

@@ -36,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -48,10 +49,23 @@ import (
 	"repro/internal/core"
 	"repro/internal/domain"
 	"repro/internal/event"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/rpc"
 	"repro/internal/store"
 )
+
+// heartbeatDeadlineFactor is how many heartbeat periods of silence declare
+// an issuer dead: the monitor's timeout, the startup log line, and the
+// documentation all derive from this one constant (an earlier version
+// hard-coded the multiplier in two places, and the log drifted from the
+// behaviour when one of them changed).
+const heartbeatDeadlineFactor = 3
+
+// relayQueueCapacity bounds the per-peer relay dispatch queue; overflow
+// drops the oldest events (counted in relay_dropped_total) rather than
+// growing without bound while a peer is partitioned.
+const relayQueueCapacity = 256
 
 type multiFlag []string
 
@@ -70,10 +84,13 @@ func main() {
 		node       = flag.String("node", "", "node name for cross-process event relaying (default: the listen address)")
 		revalidate = flag.Duration("revalidate", 0, "re-confirm cached foreign certificates after this age (0 = cache until revoked)")
 		staleGrace = flag.Duration("stale-grace", 0, "serve previously-confirmed certificates for this long when the issuer is unreachable (0 = fail closed immediately)")
-		heartbeat  = flag.Duration("heartbeat", 0, "emit and sweep liveness heartbeats at this period; silence past 3x the period synthetically revokes (0 = off)")
-		svcs       multiFlag
-		peers      multiFlag
-		relayTo    multiFlag
+		heartbeat = flag.Duration("heartbeat", 0, fmt.Sprintf(
+			"emit and sweep liveness heartbeats at this period; silence past %dx the period synthetically revokes (0 = off)",
+			heartbeatDeadlineFactor))
+		obsAddr = flag.String("obs-addr", "", "serve /metrics, /trace and /debug/pprof on this address (empty = off)")
+		svcs    multiFlag
+		peers   multiFlag
+		relayTo multiFlag
 	)
 	flag.Var(&svcs, "svc", "service to host: name=policyfile (repeatable)")
 	flag.Var(&peers, "peer", "remote service address: name=host:port (repeatable)")
@@ -86,7 +103,8 @@ func main() {
 	cfg := daemonConfig{
 		addr: *addr, factsPath: *facts, civCount: *civCount, node: *node,
 		revalidate: *revalidate, staleGrace: *staleGrace, heartbeat: *heartbeat,
-		svcs: svcs, peers: peers, relayTo: relayTo,
+		obsAddr: *obsAddr,
+		svcs:    svcs, peers: peers, relayTo: relayTo,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "oasisd:", err)
@@ -102,6 +120,7 @@ type daemonConfig struct {
 	revalidate time.Duration
 	staleGrace time.Duration
 	heartbeat  time.Duration
+	obsAddr    string
 	svcs       []string
 	peers      []string
 	relayTo    []string
@@ -123,8 +142,19 @@ func run(cfg daemonConfig) error {
 		fmt.Printf("credential records on a %d-replica CIV cluster\n", civCount)
 	}
 
+	// Observability: the registry and tracer always exist (recording is
+	// cheap and nil-safe throughout the stack); the HTTP exposition below
+	// only starts when -obs-addr is set. Liveness trace events are echoed
+	// to stdout so issuer deaths stay visible in the daemon log.
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(4096)
+	tracer.Echo(os.Stdout, "liveness")
+
 	broker := event.NewBroker()
 	defer broker.Close()
+	reg.Func("event_published_total", func() uint64 { p, _ := broker.Stats(); return p })
+	reg.Func("event_delivered_total", func() uint64 { _, d := broker.Stats(); return d })
+	reg.Func("event_pending", func() uint64 { return uint64(max(broker.Pending(), 0)) })
 
 	// The caller used for callback validation: local services are
 	// reached in-process; peers over TCP through a small connection pool
@@ -147,7 +177,7 @@ func run(cfg daemonConfig) error {
 	localNames := make(map[string]bool)
 	caller := rpc.NewResilientCaller(
 		splitCaller{local: local, remote: directory, localNames: localNames},
-		rpc.ResilientConfig{CallTimeout: 10 * time.Second},
+		rpc.ResilientConfig{CallTimeout: 10 * time.Second, Obs: reg, Trace: tracer},
 	)
 
 	db := store.New()
@@ -169,7 +199,8 @@ func run(cfg daemonConfig) error {
 	// cutting any stale-grace window short.
 	var hb *event.HeartbeatMonitor
 	if cfg.heartbeat > 0 {
-		hb = event.NewHeartbeatMonitor(broker, clock.Real{}, 3*cfg.heartbeat)
+		hb = event.NewHeartbeatMonitor(broker, clock.Real{}, heartbeatDeadlineFactor*cfg.heartbeat)
+		hb.Instrument(reg, tracer)
 		defer hb.Close()
 	}
 
@@ -198,6 +229,8 @@ func run(cfg daemonConfig) error {
 			RevalidateAfter:  cfg.revalidate,
 			StaleGrace:       cfg.staleGrace,
 			Heartbeats:       hb,
+			Obs:              reg,
+			Trace:            tracer,
 		})
 		if err != nil {
 			return err
@@ -237,19 +270,30 @@ func run(cfg daemonConfig) error {
 		}
 		directory.Add(eventsService(peerNode), peerAddr)
 		target := eventsService(peerNode)
-		relay.AddPeer(peerNode, func(ev event.Event) error {
+		// Bounded async delivery: one worker goroutine per peer drains a
+		// drop-oldest queue, so a slow or partitioned peer neither stalls
+		// local publication nor leaks a goroutine per event (the previous
+		// `go caller.Call(...)` per event accumulated one goroutine per
+		// publication inside retry/backoff while a peer was down). The
+		// resilient caller still retries transient drops (publish is
+		// idempotent) and fast-fails while the breaker is open; overflow
+		// losses are counted, and peers re-validate by callback anyway.
+		q := event.NewPeerQueue(relayQueueCapacity, func(ev event.Event) error {
 			body, err := event.MarshalEvent(ev)
 			if err != nil {
 				return err
 			}
-			// Best-effort async delivery: a slow peer must not stall
-			// local publication; peers re-validate by callback anyway.
-			// The resilient caller retries transient drops (publish is
-			// idempotent) and fast-fails while the peer is down.
-			go caller.Call(target, "publish", body) //nolint:errcheck
+			_, err = caller.Call(target, "publish", body)
+			return err
+		})
+		q.Instrument(reg, peerNode)
+		defer q.Close()
+		relay.AddPeer(peerNode, func(ev event.Event) error {
+			q.Enqueue(ev)
 			return nil
 		})
-		fmt.Printf("relaying events to node %s at %s\n", peerNode, peerAddr)
+		fmt.Printf("relaying events to node %s at %s (queue %d, drop-oldest)\n",
+			peerNode, peerAddr, relayQueueCapacity)
 	}
 
 	// Heartbeat loop: every period, each hosted service announces the
@@ -268,13 +312,14 @@ func run(cfg daemonConfig) error {
 					for _, svc := range hosted {
 						svc.EmitHeartbeats()
 					}
-					for _, subject := range hb.Sweep() {
-						fmt.Printf("liveness: %s missed its heartbeat deadline, synthetically revoked\n", subject)
-					}
+					// Deaths surface through the monitor's liveness
+					// trace events, echoed to stdout above.
+					hb.Sweep()
 				}
 			}
 		}()
-		fmt.Printf("heartbeats every %v (deadline %v)\n", cfg.heartbeat, 3*cfg.heartbeat)
+		fmt.Printf("heartbeats every %v (deadline %v)\n",
+			cfg.heartbeat, heartbeatDeadlineFactor*cfg.heartbeat)
 	}
 
 	// Static policy consistency check across everything hosted here
@@ -291,6 +336,16 @@ func run(cfg daemonConfig) error {
 	}
 	for _, issue := range checker.Check() {
 		fmt.Printf("policy check %s\n", issue)
+	}
+
+	if cfg.obsAddr != "" {
+		obsLn, err := net.Listen("tcp", cfg.obsAddr)
+		if err != nil {
+			return fmt.Errorf("listen obs %s: %w", cfg.obsAddr, err)
+		}
+		defer obsLn.Close()
+		go http.Serve(obsLn, obs.Handler(reg, tracer)) //nolint:errcheck // dies with the daemon
+		fmt.Printf("observability on http://%s/ (/metrics, /trace, /debug/pprof)\n", obsLn.Addr())
 	}
 
 	ln, err := net.Listen("tcp", addr)

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// serviceObs bundles a service's observability handles. Handles are
+// resolved once in NewService; with no registry/tracer configured every
+// field is nil and each instrumentation site costs one branch, keeping
+// the hot paths at their uninstrumented speed (the E13 overhead budget in
+// EXPERIMENTS.md is checked by `benchtab -exp obs`).
+//
+// Counting and tracing are deliberately split by path temperature: the
+// per-request counters (validations, cache hits, invocations) already
+// exist as lock-free statCounters and are exported as read-at-scrape
+// function metrics with zero hot-path cost, while trace events and
+// latency histograms attach only to state-changing or issuer-facing
+// operations — activation, callback validation, degraded acceptance,
+// denial, revocation — whose base cost dwarfs the instrumentation.
+type serviceObs struct {
+	tracer *obs.Tracer
+
+	// activateNs is the end-to-end latency of successful role activations.
+	activateNs *obs.Histogram
+	// callbackNs is the latency of callback validations to issuers.
+	callbackNs *obs.Histogram
+	// cascadeHopNs is the per-hop propagation latency of revocation
+	// cascades (publish at depth d to deactivation at depth d+1).
+	cascadeHopNs *obs.Histogram
+	// cascadeDepth distributes the hop distance from each deactivation
+	// to its cascade root (0 = root revocations).
+	cascadeDepth *obs.Histogram
+}
+
+// cascadeDepthBuckets sizes the depth histogram: collapse trees deeper
+// than 64 hops land in +Inf.
+var cascadeDepthBuckets = []int64{0, 1, 2, 4, 8, 16, 32, 64}
+
+// newServiceObs wires a service into the registry and tracer (both may be
+// nil). Every per-service series carries a service label.
+func newServiceObs(name string, reg *obs.Registry, tracer *obs.Tracer, stats *statCounters) serviceObs {
+	o := serviceObs{tracer: tracer}
+	if reg == nil {
+		return o
+	}
+	label := fmt.Sprintf("{service=%q}", name)
+	for _, m := range []struct {
+		name string
+		fn   func() uint64
+	}{
+		{"core_activations_total", stats.activations.Load},
+		{"core_activations_denied_total", stats.activationsDenied.Load},
+		{"core_invocations_total", stats.invocations.Load},
+		{"core_invocations_denied_total", stats.invocationsDenied.Load},
+		{"core_local_validations_total", stats.localValidations.Load},
+		{"core_callback_validations_total", stats.callbackValidations.Load},
+		{"core_cache_hits_total", stats.cacheHits.Load},
+		{"core_degraded_hits_total", stats.degradedHits.Load},
+		{"core_revocations_total", stats.revocations.Load},
+	} {
+		reg.Func(m.name+label, m.fn)
+	}
+	o.activateNs = reg.Histogram("core_activate_ns"+label, nil)
+	o.callbackNs = reg.Histogram("core_callback_validate_ns"+label, nil)
+	o.cascadeHopNs = reg.Histogram("core_revoke_hop_ns"+label, nil)
+	o.cascadeDepth = reg.Histogram("core_revoke_depth"+label, cascadeDepthBuckets)
+	return o
+}
+
+// trace records ev if tracing is enabled; the Service field is filled in
+// by the caller.
+func (o *serviceObs) trace(ev obs.TraceEvent) {
+	o.tracer.Record(ev)
+}

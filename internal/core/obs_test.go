@@ -1,0 +1,139 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/names"
+	"repro/internal/obs"
+)
+
+func withObs(reg *obs.Registry, tr *obs.Tracer) func(*Config) {
+	return func(c *Config) {
+		c.Obs = reg
+		c.Trace = tr
+	}
+}
+
+// traceOf filters a tracer snapshot by kind.
+func traceOf(tr *obs.Tracer, kind string) []obs.TraceEvent {
+	var out []obs.TraceEvent
+	for _, ev := range tr.Snapshot() {
+		if ev.Kind == kind {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// TestCascadeTraceCorrelation drives the a<-b<-c revocation cascade of
+// TestRevocationCascade with tracing on and checks the observability
+// contract: every deactivation in the collapse appears as a revoke trace
+// event, all three share the root's correlation id, and the depths count
+// the hops 0, 1, 2 from the root.
+func TestCascadeTraceCorrelation(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(256)
+	w := newWorld(t)
+	a := w.service("a", `a.ra <- env ok.`, withObs(reg, tr))
+	b := w.service("b", `b.rb <- a.ra keep [1].`, withObs(reg, tr))
+	c := w.service("c", `c.rc <- b.rb keep [1].`, withObs(reg, tr))
+	alwaysTrue(a, "ok")
+	sess := w.session()
+	pid := sess.PrincipalID()
+
+	rmcA, err := a.Activate(pid, role("a", "ra"), Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(rmcA)
+	rmcB, err := b.Activate(pid, role("b", "rb"), sess.Credentials())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(rmcB)
+	if _, err := c.Activate(pid, role("c", "rc"), sess.Credentials()); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := len(traceOf(tr, "activate")); got != 3 {
+		t.Errorf("activate trace events = %d, want 3", got)
+	}
+
+	a.Deactivate(rmcA.Ref.Serial, "logout")
+	w.broker.Quiesce()
+
+	revokes := traceOf(tr, "revoke")
+	if len(revokes) != 3 {
+		t.Fatalf("revoke trace events = %d, want 3 (root + 2 hops): %+v", len(revokes), revokes)
+	}
+	rootCorr := revokes[0].Corr
+	if !strings.HasPrefix(rootCorr, "cas:a#") {
+		t.Errorf("root correlation id = %q, want cas:a#<serial>", rootCorr)
+	}
+	depths := map[int]string{}
+	for _, ev := range revokes {
+		if ev.Corr != rootCorr {
+			t.Errorf("event %+v does not share the root correlation id %q", ev, rootCorr)
+		}
+		depths[ev.Depth] = ev.Service
+	}
+	want := map[int]string{0: "a", 1: "b", 2: "c"}
+	for d, svc := range want {
+		if depths[d] != svc {
+			t.Errorf("depth %d revoked at %q, want %q (all: %v)", d, depths[d], svc, depths)
+		}
+	}
+	// The dependent hops measure latency from the triggering event.
+	for _, ev := range revokes {
+		if ev.Depth > 0 && ev.DurNs < 0 {
+			t.Errorf("negative hop latency: %+v", ev)
+		}
+	}
+
+	// The registry exposes the per-service counters and the cascade
+	// depth histogram under service labels.
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, wantLine := range []string{
+		`core_activations_total{service="a"} 1`,
+		`core_revocations_total{service="b"} 1`,
+		`core_revoke_depth_bucket{service="c",le="2"} 1`,
+		`core_revoke_depth_count{service="a"} 1`,
+	} {
+		if !strings.Contains(out, wantLine) {
+			t.Errorf("metrics missing %q", wantLine)
+		}
+	}
+}
+
+// TestDenialTraces checks that refused activations and invocations land in
+// the trace with outcome "denied".
+func TestDenialTraces(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(64)
+	w := newWorld(t)
+	login := w.service("login", "login.user <- env password_ok.\nauth read(X) <- login.user.",
+		withObs(reg, tr))
+	// A predicate that never holds: every activation is refused.
+	login.Env().Register("password_ok", func(args []names.Term, s names.Substitution) []names.Substitution {
+		return nil
+	})
+	_, err := login.Activate("p", role("login", "user"), Presented{})
+	if err == nil {
+		t.Fatal("activation unexpectedly succeeded")
+	}
+	denied := traceOf(tr, "activate")
+	if len(denied) != 1 || denied[0].Outcome != "denied" {
+		t.Fatalf("activate traces = %+v, want one denied", denied)
+	}
+	if _, err := login.Invoke("p", "read", nil, Presented{}); err == nil {
+		t.Fatal("invoke unexpectedly succeeded")
+	}
+	if inv := traceOf(tr, "invoke"); len(inv) != 1 || inv[0].Outcome != "denied" {
+		t.Fatalf("invoke traces = %+v, want one denied", inv)
+	}
+}

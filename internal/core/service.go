@@ -11,6 +11,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/event"
 	"repro/internal/names"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/rpc"
 	"repro/internal/sign"
@@ -86,6 +87,14 @@ type Config struct {
 	// CIV service across services (paper ref [10]; see
 	// domain.CIVRecords).
 	Records RecordStore
+	// Obs, when set, registers the service's counters and latency
+	// histograms (activation, callback validation, revocation cascade)
+	// with the observability registry under a service label.
+	Obs *obs.Registry
+	// Trace, when set, records activation, validation, denial and
+	// revocation-cascade trace events. Both may be nil independently;
+	// nil disables that half of the instrumentation at one-branch cost.
+	Trace *obs.Tracer
 }
 
 // Stats is a snapshot of the service counters for the experiment harness.
@@ -166,6 +175,7 @@ type Service struct {
 	crs    crTable
 	vcache valCache
 	stats  statCounters
+	obsm   serviceObs
 
 	// setupMu serialises writers of the copy-on-write registration
 	// snapshots below; readers load them without locking.
@@ -282,6 +292,7 @@ func NewService(cfg Config) (*Service, error) {
 	}
 	s.methods.Store(map[string]MethodImpl{})
 	s.observers.Store([]InvokeObserver{})
+	s.obsm = newServiceObs(cfg.Name, cfg.Obs, cfg.Trace, &s.stats)
 	return s, nil
 }
 
@@ -329,6 +340,7 @@ func (s *Service) Policy() policy.Policy { return s.pol }
 // Activate is path 1-2 of Fig. 2: the principal presents credentials to
 // activate the requested role; on success a signed RMC is returned.
 func (s *Service) Activate(principal string, requested names.Role, p Presented) (cert.RMC, error) {
+	start := time.Now()
 	if requested.Name.Service != s.name {
 		return cert.RMC{}, wrap(s.name, fmt.Errorf("%w: %s", ErrUnknownRole, requested.Name))
 	}
@@ -346,6 +358,10 @@ func (s *Service) Activate(principal string, requested names.Role, p Presented) 
 	}
 	if !ok {
 		s.stats.activationsDenied.Add(1)
+		s.obsm.trace(obs.TraceEvent{
+			Kind: "activate", Service: s.name, Subject: principal,
+			Outcome: "denied", Detail: requested.Name.String(),
+		})
 		return cert.RMC{}, wrap(s.name, fmt.Errorf("%w: %s", ErrActivationDenied, requested.Name))
 	}
 	rule := rules[idx]
@@ -372,6 +388,12 @@ func (s *Service) Activate(principal string, requested names.Role, p Presented) 
 		s.deactivate(serial, "activation aborted")
 		return cert.RMC{}, wrap(s.name, err)
 	}
+	s.obsm.activateNs.ObserveSince(start)
+	s.obsm.trace(obs.TraceEvent{
+		Kind: "activate", Service: s.name, Subject: principal,
+		Outcome: "ok", Corr: ref.String(), Detail: ground.String(),
+		DurNs: time.Since(start).Nanoseconds(),
+	})
 	return rmc, nil
 }
 
@@ -472,7 +494,9 @@ func (s *Service) watchTopic(cr *CredRecord, topic string) error {
 	serial := cr.Serial
 	sub, err := s.broker.Subscribe(topic, func(ev event.Event) {
 		if ev.Kind == event.KindRevoked {
-			s.Deactivate(serial, "dependency revoked: "+ev.Subject)
+			// Propagate the cascade provenance: the dependent revocation
+			// inherits the root's correlation id one hop deeper.
+			s.deactivateCascade(serial, "dependency revoked: "+ev.Subject, ev)
 		}
 	})
 	if err != nil {
@@ -496,10 +520,20 @@ func (s *Service) Deactivate(serial uint64, reason string) {
 	s.deactivate(serial, reason)
 }
 
-// deactivate reports whether this call performed the revocation: the
-// RecordStore's revoke-once semantics make concurrent deactivations of the
-// same serial (logout racing revocation) resolve to exactly one winner.
+// deactivate revokes a record as a cascade root (no triggering event).
 func (s *Service) deactivate(serial uint64, reason string) bool {
+	return s.deactivateCascade(serial, reason, event.Event{})
+}
+
+// deactivateCascade reports whether this call performed the revocation:
+// the RecordStore's revoke-once semantics make concurrent deactivations of
+// the same serial (logout racing revocation) resolve to exactly one
+// winner. via is the revocation event that triggered this deactivation
+// (zero for cascade roots); its correlation id and depth are propagated on
+// the published revocation so trace consumers can reconstruct the whole
+// collapse, and the hop latency (via.At to now) lands in the cascade
+// histogram.
+func (s *Service) deactivateCascade(serial uint64, reason string, via event.Event) bool {
 	wasLive, err := s.records.Revoke(serial, reason)
 	if err != nil || !wasLive {
 		// Already revoked, unknown, or the record store is unreachable
@@ -523,12 +557,34 @@ func (s *Service) deactivate(serial uint64, reason string) bool {
 		sub.Cancel()
 	}
 	ref := cert.CRR{Issuer: s.name, Serial: serial}
+	now := s.clk.Now()
+	corr, depth := via.Corr, 0
+	var hopNs int64
+	if corr == "" {
+		// This revocation is a cascade root: mint the correlation id every
+		// dependent deactivation will inherit. Serials are revoke-once, so
+		// the id is unique without a counter.
+		corr = fmt.Sprintf("cas:%s#%d", s.name, serial)
+	} else {
+		depth = via.Depth + 1
+		if !via.At.IsZero() {
+			hopNs = now.Sub(via.At).Nanoseconds()
+			s.obsm.cascadeHopNs.Observe(hopNs)
+		}
+	}
+	s.obsm.cascadeDepth.Observe(int64(depth))
 	s.broker.Publish(event.Event{ //nolint:errcheck // revocation is fire-and-forget fan-out
 		Topic:   TopicCR(ref),
 		Kind:    event.KindRevoked,
 		Subject: ref.String(),
 		Reason:  reason,
-		At:      s.clk.Now(),
+		At:      now,
+		Corr:    corr,
+		Depth:   depth,
+	})
+	s.obsm.trace(obs.TraceEvent{
+		Kind: "revoke", Service: s.name, Subject: ref.String(),
+		Outcome: "ok", Corr: corr, Depth: depth, Detail: reason, DurNs: hopNs,
 	})
 	return true
 }
@@ -656,6 +712,10 @@ func (s *Service) Invoke(principal, method string, args []names.Term, p Presente
 		return impl(args)
 	}
 	s.stats.invocationsDenied.Add(1)
+	s.obsm.trace(obs.TraceEvent{
+		Kind: "invoke", Service: s.name, Subject: principal,
+		Outcome: "denied", Detail: method,
+	})
 	return nil, wrap(s.name, fmt.Errorf("%w: %s", ErrInvocationDenied, method))
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cert"
 	"repro/internal/event"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/rpc"
 )
@@ -165,7 +166,7 @@ func (s *Service) validateAppointment(a cert.AppointmentCertificate) error {
 // to the fill path so cache hits allocate nothing.
 func (s *Service) validateForeign(kindTag, key, topicPrefix, issuer, method string, reqBody any) error {
 	if !s.cacheValidations {
-		return s.callbackValidate(kindTag, issuer, method, reqBody)
+		return s.timedCallbackValidate(kindTag, key, issuer, method, reqBody)
 	}
 	e := s.vcache.entry(key)
 	for {
@@ -248,6 +249,14 @@ func (s *Service) fillCache(e *cacheEntry, topic, kindTag, key, issuer, method s
 			if watched && s.hb != nil {
 				s.hb.Unwatch(key)
 			}
+			// The invalidation inherits the revocation's cascade
+			// provenance, so a trace consumer sees ECR cache drops as
+			// part of the collapse they belong to.
+			s.obsm.trace(obs.TraceEvent{
+				Kind: "validate", Service: s.name, Subject: key,
+				Outcome: "invalidated", Corr: ev.Corr, Depth: ev.Depth,
+				Detail: ev.Reason,
+			})
 		})
 		e.mu.Lock()
 		if err == nil {
@@ -260,7 +269,10 @@ func (s *Service) fillCache(e *cacheEntry, topic, kindTag, key, issuer, method s
 	subscribed := e.sub != nil
 	e.mu.Unlock()
 
+	start := time.Now()
 	err := s.callbackValidate(kindTag, issuer, method, reqBody)
+	s.obsm.callbackNs.ObserveSince(start)
+	durNs := time.Since(start).Nanoseconds()
 	switch {
 	case err == nil:
 		if subscribed {
@@ -273,12 +285,20 @@ func (s *Service) fillCache(e *cacheEntry, topic, kindTag, key, issuer, method s
 			e.mu.Unlock()
 			s.watchIssuerLiveness(e, kindTag, key, issuer)
 		}
+		s.obsm.trace(obs.TraceEvent{
+			Kind: "validate", Service: s.name, Subject: key,
+			Outcome: "ok", Detail: "issuer=" + issuer, DurNs: durNs,
+		})
 		return nil
 	case !rpc.IsUnavailable(err) || errors.Is(err, ErrRevoked):
 		// Authoritative answer (the issuer ran and refused, or said
 		// revoked): the cached verdict is dead, grace or not.
 		e.valid.Store(false)
 		e.validatedAt.Store(0)
+		s.obsm.trace(obs.TraceEvent{
+			Kind: "validate", Service: s.name, Subject: key,
+			Outcome: "revoked", Detail: "issuer=" + issuer, DurNs: durNs,
+		})
 		return err
 	default:
 		// Issuer unreachable. Fail safe but not fail-closed: a verdict
@@ -288,12 +308,20 @@ func (s *Service) fillCache(e *cacheEntry, topic, kindTag, key, issuer, method s
 			if at := e.validatedAt.Load(); at != 0 &&
 				s.clk.Now().Sub(time.Unix(0, at)) <= s.revalidateAfter+s.staleGrace {
 				s.stats.degradedHits.Add(1)
+				s.obsm.trace(obs.TraceEvent{
+					Kind: "validate", Service: s.name, Subject: key,
+					Outcome: "degraded", Detail: "issuer unreachable, stale-grace accept", DurNs: durNs,
+				})
 				return nil
 			}
 			// Grace exhausted: drop the entry so later presentations
 			// fail fast on the cache path as well.
 			e.valid.Store(false)
 		}
+		s.obsm.trace(obs.TraceEvent{
+			Kind: "validate", Service: s.name, Subject: key,
+			Outcome: "unreachable", Detail: "issuer=" + issuer, DurNs: durNs,
+		})
 		return err
 	}
 }
@@ -321,6 +349,27 @@ func (s *Service) watchIssuerLiveness(e *cacheEntry, kindTag, key, issuer string
 		e.watched = false
 		e.mu.Unlock()
 	}
+}
+
+// timedCallbackValidate wraps callbackValidate with the callback-latency
+// histogram and a validate trace event; it serves the uncached validation
+// path (the ECR path instruments fillCache instead, where the outcome
+// classification is richer). The instrumentation is negligible against the
+// RPC it measures.
+func (s *Service) timedCallbackValidate(kindTag, key, issuer, method string, reqBody any) error {
+	start := time.Now()
+	err := s.callbackValidate(kindTag, issuer, method, reqBody)
+	s.obsm.callbackNs.ObserveSince(start)
+	outcome := "ok"
+	if err != nil {
+		outcome = "error"
+	}
+	s.obsm.trace(obs.TraceEvent{
+		Kind: "validate", Service: s.name, Subject: key,
+		Outcome: outcome, Detail: "issuer=" + issuer,
+		DurNs: time.Since(start).Nanoseconds(),
+	})
+	return err
 }
 
 // callbackValidate asks the issuing service to validate one certificate.

@@ -48,6 +48,13 @@ func (k Kind) String() string {
 // record or environmental fact concerned; Reason is free-text diagnostics.
 // Origin is empty for locally published events and carries the source node
 // name once a Relay has forwarded the event across processes.
+//
+// Corr and Depth thread revocation-cascade provenance through the event
+// fabric for the observability layer: the root revocation of a cascade
+// stamps a correlation id that every dependent revocation inherits, and
+// Depth counts the hops from that root, so a trace consumer can
+// reconstruct the whole collapse (and its end-to-end latency) from the
+// per-hop trace events sharing one Corr.
 type Event struct {
 	Topic   string    `json:"topic"`
 	Kind    Kind      `json:"kind"`
@@ -55,6 +62,8 @@ type Event struct {
 	Reason  string    `json:"reason,omitempty"`
 	At      time.Time `json:"at,omitempty"`
 	Origin  string    `json:"origin,omitempty"`
+	Corr    string    `json:"corr,omitempty"`
+	Depth   int       `json:"depth,omitempty"`
 }
 
 // Handler consumes events; it is invoked serially per subscription.
@@ -274,6 +283,12 @@ func (b *Broker) Quiesce() {
 // Stats reports the total events published and handler deliveries completed.
 func (b *Broker) Stats() (published, delivered uint64) {
 	return b.published.Load(), b.delivered.Load()
+}
+
+// Pending reports the number of queued deliveries not yet handled — the
+// broker's backlog gauge for the observability layer.
+func (b *Broker) Pending() int64 {
+	return b.pending.Load()
 }
 
 // SubscriberCount reports the number of live subscriptions on a topic.

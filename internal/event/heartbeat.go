@@ -1,10 +1,14 @@
 package event
 
 import (
+	"fmt"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/obs"
 )
 
 // HeartbeatMonitor watches credential channels for liveness (Fig. 5:
@@ -13,16 +17,28 @@ import (
 // if the issuer's heartbeats stop arriving within the timeout, the monitor
 // publishes a synthetic revocation so that cached validity is discarded
 // fail-safe rather than trusted indefinitely.
+//
+// Every watched subject owns exactly one broker subscription, keyed by
+// subject: Unwatch, Sweep and Close cancel it, and re-watching a subject
+// replaces (never stacks) the previous subscription. An earlier version
+// kept subscriptions in an append-only slice and cancelled them only on
+// Close, so every dead or unwatched issuer leaked a live callback for the
+// monitor's whole lifetime — the regression tests in heartbeat_test.go
+// pin the broker's subscriber count back to baseline.
 type HeartbeatMonitor struct {
 	broker  *Broker
 	clk     clock.Clock
 	timeout time.Duration
 
 	mu       sync.Mutex
-	lastSeen map[string]time.Time // subject -> last heartbeat
-	topics   map[string]string    // subject -> revocation topic
-	subs     []*Subscription
+	lastSeen map[string]time.Time     // subject -> last heartbeat
+	topics   map[string]string        // subject -> revocation topic
+	subs     map[string]*Subscription // subject -> heartbeat subscription
 	closed   bool
+
+	tracer *obs.Tracer // set by Instrument before traffic; nil = no tracing
+	sweeps atomic.Uint64
+	dead   atomic.Uint64
 }
 
 // NewHeartbeatMonitor creates a monitor that declares a subject dead when
@@ -34,11 +50,30 @@ func NewHeartbeatMonitor(broker *Broker, clk clock.Clock, timeout time.Duration)
 		timeout:  timeout,
 		lastSeen: make(map[string]time.Time),
 		topics:   make(map[string]string),
+		subs:     make(map[string]*Subscription),
 	}
 }
 
+// Instrument attaches the monitor to the observability layer: watched
+// count, sweep and death totals land in reg, and every sweep that
+// declares subjects dead records a liveness trace event. Call it once,
+// before the monitor sees traffic.
+func (m *HeartbeatMonitor) Instrument(reg *obs.Registry, tracer *obs.Tracer) {
+	m.mu.Lock()
+	m.tracer = tracer
+	m.mu.Unlock()
+	if reg == nil {
+		return
+	}
+	reg.Func("event_hb_watched", func() uint64 { return uint64(m.WatchedCount()) })
+	reg.Func("event_hb_sweeps_total", m.sweeps.Load)
+	reg.Func("event_hb_dead_total", m.dead.Load)
+}
+
 // Watch starts monitoring heartbeats for subject on heartbeatTopic; on
-// silence it publishes KindRevoked on revocationTopic.
+// silence it publishes KindRevoked on revocationTopic. Watching an
+// already-watched subject refreshes its deadline and replaces its
+// subscription.
 func (m *HeartbeatMonitor) Watch(subject, heartbeatTopic, revocationTopic string) error {
 	m.mu.Lock()
 	if m.closed {
@@ -60,43 +95,71 @@ func (m *HeartbeatMonitor) Watch(subject, heartbeatTopic, revocationTopic string
 		m.mu.Unlock()
 	})
 	if err != nil {
+		m.mu.Lock()
+		delete(m.lastSeen, subject)
+		delete(m.topics, subject)
+		m.mu.Unlock()
 		return err
 	}
 	m.mu.Lock()
-	m.subs = append(m.subs, sub)
+	if m.closed {
+		m.mu.Unlock()
+		sub.Cancel()
+		return ErrClosed
+	}
+	prev := m.subs[subject]
+	m.subs[subject] = sub
 	m.mu.Unlock()
+	if prev != nil {
+		prev.Cancel()
+	}
 	return nil
 }
 
-// Unwatch stops monitoring a subject.
+// Unwatch stops monitoring a subject and cancels its subscription.
 func (m *HeartbeatMonitor) Unwatch(subject string) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	delete(m.lastSeen, subject)
 	delete(m.topics, subject)
+	sub := m.subs[subject]
+	delete(m.subs, subject)
+	m.mu.Unlock()
+	if sub != nil {
+		sub.Cancel()
+	}
 }
 
 // Sweep checks all watched subjects against the timeout and publishes
-// revocations for silent ones. It returns the subjects declared dead.
-// Callers drive Sweep from a ticker (production) or directly (tests and the
-// deterministic experiment harness).
+// revocations for silent ones, cancelling their heartbeat subscriptions.
+// It returns the subjects declared dead. Callers drive Sweep from a
+// ticker (production) or directly (tests and the deterministic experiment
+// harness).
 func (m *HeartbeatMonitor) Sweep() []string {
 	now := m.clk.Now()
 	var dead []string
 	type revocation struct{ topic, subject string }
 	var toPublish []revocation
+	var toCancel []*Subscription
 
 	m.mu.Lock()
+	tracer := m.tracer
 	for subject, last := range m.lastSeen {
 		if now.Sub(last) > m.timeout {
 			dead = append(dead, subject)
 			toPublish = append(toPublish, revocation{m.topics[subject], subject})
+			if sub := m.subs[subject]; sub != nil {
+				toCancel = append(toCancel, sub)
+			}
 			delete(m.lastSeen, subject)
 			delete(m.topics, subject)
+			delete(m.subs, subject)
 		}
 	}
 	m.mu.Unlock()
 
+	for _, sub := range toCancel {
+		sub.Cancel()
+	}
 	for _, r := range toPublish {
 		m.broker.Publish(Event{ //nolint:errcheck // best-effort on shutdown
 			Topic:   r.topic,
@@ -106,7 +169,25 @@ func (m *HeartbeatMonitor) Sweep() []string {
 			At:      now,
 		})
 	}
+	m.sweeps.Add(1)
+	if len(dead) > 0 {
+		m.dead.Add(uint64(len(dead)))
+		tracer.Record(obs.TraceEvent{
+			Kind:    "liveness",
+			Outcome: "dead",
+			Subject: strings.Join(capStrings(dead, 10), ","),
+			Detail:  fmt.Sprintf("%d subject(s) missed the heartbeat deadline, synthetically revoked", len(dead)),
+		})
+	}
 	return dead
+}
+
+// capStrings bounds a string list for trace detail fields.
+func capStrings(s []string, n int) []string {
+	if len(s) <= n {
+		return s
+	}
+	return append(append([]string(nil), s[:n]...), fmt.Sprintf("(+%d more)", len(s)-n))
 }
 
 // WatchedCount reports how many subjects are currently monitored.
@@ -120,7 +201,7 @@ func (m *HeartbeatMonitor) WatchedCount() int {
 func (m *HeartbeatMonitor) Close() {
 	m.mu.Lock()
 	subs := m.subs
-	m.subs = nil
+	m.subs = make(map[string]*Subscription)
 	m.closed = true
 	m.mu.Unlock()
 	for _, s := range subs {

@@ -1,6 +1,7 @@
 package event
 
 import (
+	"fmt"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -135,6 +136,70 @@ func TestUnwatch(t *testing.T) {
 	clk.Advance(time.Hour)
 	if dead := m.Sweep(); len(dead) != 0 {
 		t.Errorf("unwatched subject declared dead: %v", dead)
+	}
+}
+
+// TestWatchSubscriptionLifecycle is the regression test for the
+// heartbeat-subscription leak: Watch used to append subscriptions to a
+// flat slice that only Close ever cancelled, so Unwatch and Sweep left a
+// live broker callback behind forever and re-watching a subject stacked
+// duplicates. The broker's subscriber count must return to baseline.
+func TestWatchSubscriptionLifecycle(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	clk := clock.NewSimulated(time.Unix(0, 0))
+	m := NewHeartbeatMonitor(b, clk, 10*time.Second)
+	defer m.Close()
+
+	base := b.SubscriberCount("hb")
+
+	// Re-watching a subject replaces its subscription, never stacks.
+	for i := 0; i < 5; i++ {
+		if err := m.Watch("cr-1", "hb", "revoke"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.SubscriberCount("hb"); got != base+1 {
+		t.Fatalf("after 5x Watch of one subject: %d subscriptions on hb, want %d", got, base+1)
+	}
+
+	// Unwatch cancels the subject's subscription.
+	m.Unwatch("cr-1")
+	if got := b.SubscriberCount("hb"); got != base {
+		t.Fatalf("after Unwatch: %d subscriptions on hb, want baseline %d", got, base)
+	}
+
+	// Sweep cancels the subscriptions of subjects it declares dead.
+	for i := 0; i < 3; i++ {
+		if err := m.Watch(fmt.Sprintf("cr-%d", i), "hb", "revoke"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.SubscriberCount("hb"); got != base+3 {
+		t.Fatalf("3 watched subjects: %d subscriptions, want %d", got, base+3)
+	}
+	clk.Advance(time.Hour)
+	if dead := m.Sweep(); len(dead) != 3 {
+		t.Fatalf("Sweep = %v, want 3 dead", dead)
+	}
+	if got := b.SubscriberCount("hb"); got != base {
+		t.Fatalf("after Sweep: %d subscriptions on hb, want baseline %d", got, base)
+	}
+
+	// A dead subject's heartbeats no longer invoke any callback: watch
+	// again, let it die, then publish — WatchedCount must stay zero
+	// (a leaked callback would refresh lastSeen for a forgotten subject).
+	if err := m.Watch("cr-9", "hb", "revoke"); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Hour)
+	m.Sweep()
+	if _, err := b.Publish(Event{Topic: "hb", Kind: KindHeartbeat, Subject: "cr-9"}); err != nil {
+		t.Fatal(err)
+	}
+	b.Quiesce()
+	if got := m.WatchedCount(); got != 0 {
+		t.Errorf("dead subject resurrected by stale callback: watched = %d", got)
 	}
 }
 

@@ -1,0 +1,159 @@
+package event
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestPeerQueueDeliversInOrder(t *testing.T) {
+	var got []string
+	done := make(chan struct{})
+	q := NewPeerQueue(16, func(ev Event) error {
+		got = append(got, ev.Subject) // worker goroutine only; read after Close
+		if len(got) == 3 {
+			close(done)
+		}
+		return nil
+	})
+	for i := 0; i < 3; i++ {
+		if !q.Enqueue(Event{Subject: fmt.Sprintf("e%d", i)}) {
+			t.Fatal("enqueue refused")
+		}
+	}
+	<-done
+	q.Close()
+	if want := []string{"e0", "e1", "e2"}; fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("delivered %v, want %v", got, want)
+	}
+	st := q.Stats()
+	if st.Sent != 3 || st.Enqueued != 3 || st.Dropped != 0 || st.Failed != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if q.Enqueue(Event{}) {
+		t.Error("Enqueue accepted after Close")
+	}
+}
+
+// TestPeerQueueBackpressureBoundsGoroutines is the regression test for
+// the relay goroutine leak: oasisd used to `go caller.Call(...)` per
+// event, so a partitioned peer under heavy publish load accumulated one
+// goroutine per event inside retry/backoff. With a PeerQueue the worker
+// count stays exactly one per peer no matter how many events arrive while
+// the peer is down, the backlog stays bounded at the queue capacity, and
+// every loss is counted instead of silent.
+func TestPeerQueueBackpressureBoundsGoroutines(t *testing.T) {
+	const capacity = 64
+	const events = 10_000
+
+	gate := make(chan struct{})
+	var inFlight atomic.Int64
+	q := NewPeerQueue(capacity, func(Event) error {
+		inFlight.Add(1)
+		<-gate // a partitioned peer: the send hangs
+		return errors.New("peer unreachable")
+	})
+
+	before := runtime.NumGoroutine()
+	for i := 0; i < events; i++ {
+		q.Enqueue(Event{Subject: fmt.Sprintf("e%d", i)})
+	}
+	after := runtime.NumGoroutine()
+	// One worker goroutine total — not one per event. Allow slack for
+	// unrelated runtime goroutines.
+	if after-before > 3 {
+		t.Errorf("goroutines grew by %d while peer partitioned (leak)", after-before)
+	}
+	st := q.Stats()
+	if st.Depth > capacity {
+		t.Errorf("backlog depth %d exceeds capacity %d", st.Depth, capacity)
+	}
+	// Conservation: everything enqueued is buffered, in flight, or was
+	// dropped by backpressure — and the drops are counted.
+	if st.Enqueued != events {
+		t.Errorf("enqueued = %d, want %d", st.Enqueued, events)
+	}
+	accounted := uint64(st.Depth) + st.Dropped + st.Sent + st.Failed + uint64(inFlight.Load())
+	if accounted != events {
+		t.Errorf("event accounting: depth %d + dropped %d + sent %d + failed %d + inflight %d = %d, want %d",
+			st.Depth, st.Dropped, st.Sent, st.Failed, inFlight.Load(), accounted, events)
+	}
+	if st.Dropped == 0 {
+		t.Error("no drops counted despite overload")
+	}
+
+	close(gate) // heal the partition; Close drains the rest
+	q.Close()
+	st = q.Stats()
+	if st.Depth != 0 {
+		t.Errorf("depth %d after Close, want 0", st.Depth)
+	}
+	if st.Failed == 0 {
+		t.Error("send failures not counted")
+	}
+}
+
+func TestPeerQueueDropsOldestFirst(t *testing.T) {
+	gate := make(chan struct{})
+	started := make(chan string, 8)
+	q := NewPeerQueue(2, func(ev Event) error {
+		started <- ev.Subject
+		<-gate
+		return nil
+	})
+	// Let the worker pick up e0, then overflow the 2-slot buffer.
+	q.Enqueue(Event{Subject: "e0"})
+	if got := <-started; got != "e0" {
+		t.Fatalf("first delivered = %q, want e0", got)
+	}
+	for i := 1; i <= 5; i++ {
+		q.Enqueue(Event{Subject: fmt.Sprintf("e%d", i)})
+	}
+	st := q.Stats()
+	if st.Dropped != 3 || st.Depth != 2 {
+		t.Errorf("dropped %d depth %d, want 3 dropped, 2 buffered", st.Dropped, st.Depth)
+	}
+	close(gate)
+	q.Close()
+	// The two newest (e4, e5) survive the eviction alongside e0.
+	if st := q.Stats(); st.Sent != 3 {
+		t.Errorf("sent = %d, want 3", st.Sent)
+	}
+	close(started)
+	var order []string
+	for s := range started {
+		order = append(order, s)
+	}
+	// e0 was consumed above; the survivors of the eviction follow in order.
+	if want := "[e4 e5]"; fmt.Sprint(order) != want {
+		t.Errorf("delivery order after e0 = %v, want %s", order, want)
+	}
+}
+
+func TestPeerQueueInstrument(t *testing.T) {
+	reg := obs.NewRegistry()
+	q := NewPeerQueue(4, func(Event) error { return nil })
+	q.Instrument(reg, "nodeB")
+	q.Enqueue(Event{Subject: "x"})
+	q.Close()
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`relay_enqueued_total{peer="nodeB"} 1`,
+		`relay_sent_total{peer="nodeB"} 1`,
+		`relay_dropped_total{peer="nodeB"} 0`,
+		`relay_depth{peer="nodeB"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/names"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/rpc"
 )
@@ -23,6 +24,11 @@ type World struct {
 	Broker *event.Broker
 	Bus    *rpc.Loopback
 	Clock  *clock.Simulated
+	// Obs and Trace, when set, are threaded into every service the world
+	// creates — the E13 overhead experiment runs the same workloads with
+	// and without them.
+	Obs   *obs.Registry
+	Trace *obs.Tracer
 }
 
 // NewWorld creates a fresh world with a simulated clock.
@@ -46,6 +52,8 @@ func (w *World) Service(name, policyText string, cache bool) (*core.Service, err
 		Caller:           w.Bus,
 		Clock:            w.Clock,
 		CacheValidations: cache,
+		Obs:              w.Obs,
+		Trace:            w.Trace,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ---------------------------------------------------------------------------
+// E13 — observability overhead.
+//
+// The observability layer promises to be cheap enough to leave on: the
+// hot-path counters are the pre-existing lock-free stat atomics exported
+// at scrape time, and histograms/trace events attach only to
+// state-changing operations. This harness verifies the promise by running
+// the E11 hot-path workloads twice — once with a bare world and once with
+// a registry and tracer threaded through every service — and reporting the
+// relative slowdown. Each variant takes the best of `reps` windows so a
+// scheduler hiccup in one window does not masquerade as overhead.
+// ---------------------------------------------------------------------------
+
+// ObsRow compares one workload's throughput with and without the
+// observability layer attached.
+type ObsRow struct {
+	Benchmark   string  `json:"benchmark"`
+	Procs       int     `json:"procs"`
+	BaseNsPerOp float64 `json:"base_ns_per_op"`
+	ObsNsPerOp  float64 `json:"obs_ns_per_op"`
+	OverheadPct float64 `json:"overhead_pct"`
+	// TraceEvents is how many trace events the instrumented run recorded
+	// (proof the layer was actually live, not optimised away).
+	TraceEvents uint64 `json:"trace_events"`
+}
+
+// obsWorkloads are the E11 workloads the overhead is measured on: the
+// cache-hit invoke steady state (the tightest loop in the engine), the
+// parametrised authorization check, and the session-churn mix whose
+// activations and revocations exercise the histograms and the tracer.
+func obsWorkloads() []parallelWorkload {
+	keep := map[string]bool{
+		"invoke_cached":          true,
+		"authorize_parametrised": true,
+		"mixed_session_churn":    true,
+	}
+	var out []parallelWorkload
+	for _, wl := range parallelWorkloads() {
+		if keep[wl.name] {
+			out = append(out, wl)
+		}
+	}
+	return out
+}
+
+// RunObsOverhead measures every obs workload at each GOMAXPROCS value,
+// bare versus instrumented. The two variants run in alternation (bare,
+// instrumented, bare, ...) so background load during the run hits both
+// equally, and each side keeps the fastest of its reps windows — the
+// variance of a shared machine shows up as noise around zero instead of
+// biasing one variant.
+func RunObsOverhead(procs []int, window time.Duration, reps int) ([]ObsRow, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	var rows []ObsRow
+	for _, wl := range obsWorkloads() {
+		for _, p := range procs {
+			var tracer *obs.Tracer
+			instrumented := func() *World {
+				w := NewWorld()
+				w.Obs = obs.NewRegistry()
+				w.Trace = obs.NewTracer(4096)
+				tracer = w.Trace
+				return w
+			}
+			var base, inst float64
+			var traced uint64
+			for i := 0; i < reps; i++ {
+				b, err := runParallelPoint(wl, p, window, NewWorld)
+				if err != nil {
+					return nil, fmt.Errorf("%s bare at procs=%d: %w", wl.name, p, err)
+				}
+				o, err := runParallelPoint(wl, p, window, instrumented)
+				if err != nil {
+					return nil, fmt.Errorf("%s instrumented at procs=%d: %w", wl.name, p, err)
+				}
+				if base == 0 || b.NsPerOp < base {
+					base = b.NsPerOp
+				}
+				if inst == 0 || o.NsPerOp < inst {
+					inst = o.NsPerOp
+					traced = tracer.Total()
+				}
+			}
+			rows = append(rows, ObsRow{
+				Benchmark:   wl.name,
+				Procs:       p,
+				BaseNsPerOp: base,
+				ObsNsPerOp:  inst,
+				OverheadPct: (inst - base) / base * 100,
+				TraceEvents: traced,
+			})
+		}
+	}
+	return rows, nil
+}

@@ -39,7 +39,7 @@ type ParallelRow struct {
 // world down after the window closes.
 type parallelWorkload struct {
 	name  string
-	setup func() (op func(worker int) error, cleanup func(), err error)
+	setup func(newWorld func() *World) (op func(worker int) error, cleanup func(), err error)
 }
 
 // RunParallelScaling measures every hot-path workload at each GOMAXPROCS
@@ -49,7 +49,7 @@ func RunParallelScaling(procs []int, window time.Duration) ([]ParallelRow, error
 	var rows []ParallelRow
 	for _, wl := range parallelWorkloads() {
 		for _, p := range procs {
-			row, err := runParallelPoint(wl, p, window)
+			row, err := runParallelPoint(wl, p, window, NewWorld)
 			if err != nil {
 				return nil, fmt.Errorf("%s at procs=%d: %w", wl.name, p, err)
 			}
@@ -61,8 +61,10 @@ func RunParallelScaling(procs []int, window time.Duration) ([]ParallelRow, error
 
 // runParallelPoint runs one workload with `procs` workers (and GOMAXPROCS
 // pinned to match) for the window and reports aggregate throughput.
-func runParallelPoint(wl parallelWorkload, procs int, window time.Duration) (ParallelRow, error) {
-	op, cleanup, err := wl.setup()
+// newWorld builds the workload's world, letting the E13 overhead harness
+// substitute an instrumented one.
+func runParallelPoint(wl parallelWorkload, procs int, window time.Duration, newWorld func() *World) (ParallelRow, error) {
+	op, cleanup, err := wl.setup(newWorld)
 	if err != nil {
 		return ParallelRow{}, err
 	}
@@ -124,8 +126,8 @@ func parallelWorkloads() []parallelWorkload {
 
 // setupInvokeCached is the Fig. 2 steady state: every worker re-presents
 // the same warm-cached foreign RMC at the guard.
-func setupInvokeCached() (func(int) error, func(), error) {
-	w := NewWorld()
+func setupInvokeCached(newWorld func() *World) (func(int) error, func(), error) {
+	w := newWorld()
 	login, err := w.Service("login", `login.user <- env ok.`, false)
 	if err != nil {
 		w.Close()
@@ -159,7 +161,7 @@ func setupInvokeCached() (func(int) error, func(), error) {
 
 // setupRMCValidate is pure certificate verification (Fig. 4): no service
 // state at all, so it bounds what the crypto alone allows per core.
-func setupRMCValidate() (func(int) error, func(), error) {
+func setupRMCValidate(newWorld func() *World) (func(int) error, func(), error) {
 	ring, err := sign.NewKeyRing(2, nil)
 	if err != nil {
 		return nil, nil, err
@@ -176,8 +178,8 @@ func setupRMCValidate() (func(int) error, func(), error) {
 
 // setupAuthorizeParametrised is the E9 OASIS check: one parametrised auth
 // rule resolved against a 100x100 registration fact store per call.
-func setupAuthorizeParametrised() (func(int) error, func(), error) {
-	w := NewWorld()
+func setupAuthorizeParametrised(newWorld func() *World) (func(int) error, func(), error) {
+	w := newWorld()
 	svc, err := w.Service("h", `
 h.doctor(D) <- env is_doctor(D).
 auth read_record(D, P) <- h.doctor(D), env registered(D, P).
@@ -219,8 +221,8 @@ auth read_record(D, P) <- h.doctor(D), env registered(D, P).
 // setupMixedChurn runs full session lifecycles — activate, four cached
 // invocations, revoke — so activation writes, cache fills, revocation
 // fan-out and invoke reads all contend on the same two services.
-func setupMixedChurn() (func(int) error, func(), error) {
-	w := NewWorld()
+func setupMixedChurn(newWorld func() *World) (func(int) error, func(), error) {
+	w := newWorld()
 	login, err := w.Service("login", `login.user <- env ok.`, false)
 	if err != nil {
 		w.Close()
@@ -254,8 +256,8 @@ func setupMixedChurn() (func(int) error, func(), error) {
 // setupEndSession measures session teardown against a resident population
 // of 1000 live credential records: each op activates one role for a fresh
 // principal and immediately ends that principal's session.
-func setupEndSession() (func(int) error, func(), error) {
-	w := NewWorld()
+func setupEndSession(newWorld func() *World) (func(int) error, func(), error) {
+	w := newWorld()
 	login, err := w.Service("login", `login.user <- env ok.`, false)
 	if err != nil {
 		w.Close()

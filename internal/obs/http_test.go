@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerServesMetricsTraceAndPprof(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up_total").Add(3)
+	tr := NewTracer(16)
+	tr.Record(TraceEvent{Kind: "activate", Service: "login", Subject: "alice", Outcome: "ok"})
+	srv := httptest.NewServer(Handler(reg, tr))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close() //nolint:errcheck
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "up_total 3") {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+	code, body := get("/trace?n=10")
+	if code != 200 {
+		t.Fatalf("/trace = %d", code)
+	}
+	var dump struct {
+		Total  uint64 `json:"total"`
+		Events []struct {
+			Kind    string `json:"kind"`
+			Subject string `json:"subject"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatalf("/trace not JSON: %v\n%s", err, body)
+	}
+	if dump.Total != 1 || len(dump.Events) != 1 || dump.Events[0].Subject != "alice" {
+		t.Errorf("/trace dump = %+v", dump)
+	}
+	if code, _ := get("/trace?n=bogus"); code != 400 {
+		t.Errorf("/trace?n=bogus = %d, want 400", code)
+	}
+	if code, body := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+	if code, body := get("/"); code != 200 || !strings.Contains(body, "/metrics") {
+		t.Errorf("/ = %d %q", code, body)
+	}
+	if code, _ := get("/nope"); code != 404 {
+		t.Errorf("/nope = %d, want 404", code)
+	}
+}

@@ -1,0 +1,392 @@
+// Package obs is the observability layer of the OASIS reproduction: a
+// dependency-free metrics registry (atomic counters, gauges, read-only
+// function metrics and fixed-bucket latency histograms) plus a structured
+// trace recorder (trace.go) and a plaintext HTTP exposition surface
+// (http.go) mounted by cmd/oasisd under -obs-addr.
+//
+// Everything here is designed for the engine's hot paths: handles are
+// resolved once at setup time, every mutation is a handful of atomic
+// operations, and all types are nil-safe so instrumented code needs no
+// "is observability enabled?" branches — a nil *Registry hands out nil
+// handles whose methods are no-ops.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The nil counter discards
+// all updates, so code instrumented against a disabled registry pays one
+// predictable branch.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can move in both directions.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores an absolute value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add moves the gauge by delta (negative deltas decrease it).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current gauge reading.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefaultBuckets are the histogram upper bounds used when none are given:
+// 24 exponential buckets from 250ns to ~2s, matching the dynamic range of
+// the engine's operations (sub-µs cache hits up to multi-second degraded
+// RPC timelines).
+func DefaultBuckets() []int64 {
+	bounds := make([]int64, 24)
+	b := int64(250)
+	for i := range bounds {
+		bounds[i] = b
+		b *= 2
+	}
+	return bounds
+}
+
+// Histogram is a fixed-bucket distribution of int64 observations
+// (latencies in nanoseconds by convention, but any magnitude works — the
+// revocation-cascade depth histogram uses small integers). Observations
+// land in the first bucket whose upper bound is >= the value; values above
+// every bound land in the implicit +Inf bucket.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Uint64 // len(bounds)+1, last is +Inf
+	sum    atomic.Int64
+	count  atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	// Binary search over the (typically ~24-entry) bound slice: the
+	// slice is immutable after construction, so this path is lock-free.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// ObserveSince records the elapsed wall time since start in nanoseconds.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h != nil {
+		h.Observe(time.Since(start).Nanoseconds())
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) from the bucket
+// counts by linear interpolation inside the winning bucket. It returns 0
+// when the histogram is empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var seen float64
+	lower := int64(0)
+	for i := range h.counts {
+		n := float64(h.counts[i].Load())
+		upper := int64(0)
+		if i < len(h.bounds) {
+			upper = h.bounds[i]
+		} else {
+			// +Inf bucket: report the largest finite bound.
+			upper = h.bounds[len(h.bounds)-1]
+		}
+		if n > 0 && seen+n >= rank {
+			frac := (rank - seen) / n
+			return lower + int64(frac*float64(upper-lower))
+		}
+		seen += n
+		lower = upper
+	}
+	return lower
+}
+
+// funcMetric is a read-only metric backed by a closure; it mirrors
+// counters that already exist elsewhere (service stats, broker totals,
+// resilient-caller counters) into the registry with zero hot-path cost.
+type funcMetric func() uint64
+
+// Registry is a named collection of metrics. Handles are created lazily
+// and idempotently: asking twice for the same name returns the same
+// metric. Names follow the prometheus convention, with any labels
+// embedded in the name itself (e.g. `core_activations_total{service="login"}`).
+type Registry struct {
+	mu      sync.Mutex
+	order   []string
+	metrics map[string]any
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]any)}
+}
+
+// lookup returns the existing metric under name or stores the one built
+// by mk.
+func (r *Registry) lookup(name string, mk func() any) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		return m
+	}
+	m := mk()
+	r.metrics[name] = m
+	r.order = append(r.order, name)
+	return m
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. A nil registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	m := r.lookup(name, func() any { return new(Counter) })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as %T", name, m))
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	m := r.lookup(name, func() any { return new(Gauge) })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as %T", name, m))
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket upper bounds (nil selects DefaultBuckets) on first use.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	m := r.lookup(name, func() any {
+		if len(bounds) == 0 {
+			bounds = DefaultBuckets()
+		}
+		b := append([]int64(nil), bounds...)
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	})
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as %T", name, m))
+	}
+	return h
+}
+
+// Func registers a read-only metric whose value is produced by fn at
+// scrape time. Registering the same name again replaces the closure.
+func (r *Registry) Func(name string, fn func() uint64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.metrics[name]; !ok {
+		r.order = append(r.order, name)
+	}
+	r.metrics[name] = funcMetric(fn)
+}
+
+// snapshot copies the name->metric table so exposition runs without
+// holding the registry lock while formatting.
+func (r *Registry) snapshot() ([]string, map[string]any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := append([]string(nil), r.order...)
+	metrics := make(map[string]any, len(r.metrics))
+	for k, v := range r.metrics {
+		metrics[k] = v
+	}
+	return names, metrics
+}
+
+// Value returns the current value of a counter, gauge or func metric by
+// name (0 when absent); histograms report their observation count. It is
+// a convenience for tests and experiments.
+func (r *Registry) Value(name string) uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	m := r.metrics[name]
+	r.mu.Unlock()
+	switch m := m.(type) {
+	case *Counter:
+		return m.Value()
+	case *Gauge:
+		return uint64(m.Value())
+	case *Histogram:
+		return m.Count()
+	case funcMetric:
+		return m()
+	default:
+		return 0
+	}
+}
+
+// splitName divides a labelled metric name into base and label suffix so
+// derived series (histogram _count/_sum/_bucket) keep the labels attached
+// to the right spot: `x_ns{m="y"}` -> `x_ns_count{m="y"}`.
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}
+
+// WriteText writes every metric in the prometheus text exposition style:
+// one `name value` line per scalar, and `_bucket{le=...}`/`_sum`/`_count`
+// plus interpolated `_p50/_p95/_p99` series per histogram. Metrics appear
+// in registration order, so related series stay adjacent.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	names, metrics := r.snapshot()
+	for _, name := range names {
+		switch m := metrics[name].(type) {
+		case *Counter:
+			if _, err := fmt.Fprintf(w, "%s %d\n", name, m.Value()); err != nil {
+				return err
+			}
+		case *Gauge:
+			if _, err := fmt.Fprintf(w, "%s %d\n", name, m.Value()); err != nil {
+				return err
+			}
+		case funcMetric:
+			if _, err := fmt.Fprintf(w, "%s %d\n", name, m()); err != nil {
+				return err
+			}
+		case *Histogram:
+			if err := writeHistogram(w, name, m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name string, h *Histogram) error {
+	base, labels := splitName(name)
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		if err := writeBucket(w, base, labels, fmt.Sprintf("%d", bound), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	if err := writeBucket(w, base, labels, "+Inf", cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", base, labels, h.Sum()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_count%s %d\n", base, labels, h.Count()); err != nil {
+		return err
+	}
+	for _, q := range []struct {
+		tag string
+		q   float64
+	}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}} {
+		if _, err := fmt.Fprintf(w, "%s_%s%s %d\n", base, q.tag, labels, h.Quantile(q.q)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeBucket(w io.Writer, base, labels, le string, cum uint64) error {
+	sep := "{"
+	if labels != "" {
+		// Splice le into the existing label set: {a="b"} -> {a="b",le="..."}.
+		sep = labels[:len(labels)-1] + ","
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket%sle=%q} %d\n", base, sep, le, cum)
+	return err
+}

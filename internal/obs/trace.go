@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceEvent is one structured record in the engine's operation trace.
+// Events are ordered by Seq (a global atomic sequence) and correlated by
+// Corr: a role activation and every validation/revocation touching the
+// same certificate share the certificate's key, and a revocation cascade
+// shares one generated cascade id across all hops, with Depth recording
+// each hop's distance from the root revocation.
+type TraceEvent struct {
+	Seq     uint64    `json:"seq"`
+	At      time.Time `json:"at"`
+	Kind    string    `json:"kind"`              // activate | validate | revoke | invoke | breaker | sweep | liveness | relay
+	Service string    `json:"service,omitempty"` // reporting component
+	Subject string    `json:"subject,omitempty"` // principal or certificate key
+	Corr    string    `json:"corr,omitempty"`    // session/cert/cascade correlation id
+	Outcome string    `json:"outcome,omitempty"` // ok | denied | degraded | unreachable | open | half-open | closed | ...
+	Detail  string    `json:"detail,omitempty"`
+	Depth   int       `json:"depth,omitempty"`  // cascade hops from the root revocation
+	DurNs   int64     `json:"dur_ns,omitempty"` // operation or hop latency
+}
+
+// Tracer records TraceEvents into a fixed-size ring: recording never
+// blocks and never allocates beyond the event itself, and once the ring
+// wraps the oldest events are overwritten (Total minus the ring size
+// counts the overwritten ones). Each slot has its own mutex, so
+// concurrent recorders contend only when they hash to the same slot.
+//
+// The nil tracer discards all records, so instrumented code needs no
+// enabled-check.
+type Tracer struct {
+	mask  uint64
+	seq   atomic.Uint64
+	slots []traceSlot
+
+	now  func() time.Time
+	echo atomic.Pointer[echoSink]
+}
+
+type traceSlot struct {
+	mu sync.Mutex
+	ev TraceEvent
+	ok bool
+}
+
+// echoSink mirrors selected event kinds to a writer as human-readable
+// lines — the obs layer's replacement for ad-hoc fmt.Printf logging in
+// the daemons.
+type echoSink struct {
+	mu    sync.Mutex
+	w     io.Writer
+	kinds map[string]bool
+}
+
+// NewTracer creates a tracer whose ring holds capacity events (rounded up
+// to a power of two; <=0 selects 4096).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	return &Tracer{
+		mask:  uint64(size - 1),
+		slots: make([]traceSlot, size),
+		now:   time.Now,
+	}
+}
+
+// SetNow replaces the tracer's timestamp source (tests).
+func (t *Tracer) SetNow(now func() time.Time) {
+	if t != nil && now != nil {
+		t.now = now
+	}
+}
+
+// Echo mirrors every recorded event whose Kind is in kinds to w as a
+// formatted log line. Passing no kinds mirrors everything; passing a nil
+// writer disables echoing.
+func (t *Tracer) Echo(w io.Writer, kinds ...string) {
+	if t == nil {
+		return
+	}
+	if w == nil {
+		t.echo.Store(nil)
+		return
+	}
+	sink := &echoSink{w: w}
+	if len(kinds) > 0 {
+		sink.kinds = make(map[string]bool, len(kinds))
+		for _, k := range kinds {
+			sink.kinds[k] = true
+		}
+	}
+	t.echo.Store(sink)
+}
+
+// Record appends one event to the trace, stamping Seq and, if unset, At.
+func (t *Tracer) Record(ev TraceEvent) {
+	if t == nil {
+		return
+	}
+	ev.Seq = t.seq.Add(1)
+	if ev.At.IsZero() {
+		ev.At = t.now()
+	}
+	s := &t.slots[ev.Seq&t.mask]
+	s.mu.Lock()
+	s.ev = ev
+	s.ok = true
+	s.mu.Unlock()
+
+	if sink := t.echo.Load(); sink != nil && (sink.kinds == nil || sink.kinds[ev.Kind]) {
+		sink.mu.Lock()
+		fmt.Fprintln(sink.w, ev.line()) //nolint:errcheck // logging is best-effort
+		sink.mu.Unlock()
+	}
+}
+
+// line formats an event as a log line for Echo.
+func (ev TraceEvent) line() string {
+	out := fmt.Sprintf("%s [%s]", ev.At.Format(time.RFC3339), ev.Kind)
+	for _, part := range []struct{ k, v string }{
+		{"service", ev.Service}, {"subject", ev.Subject}, {"outcome", ev.Outcome}, {"detail", ev.Detail},
+	} {
+		if part.v != "" {
+			out += " " + part.k + "=" + part.v
+		}
+	}
+	return out
+}
+
+// Total returns how many events have ever been recorded (including ones
+// the ring has since overwritten).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.seq.Load()
+}
+
+// Snapshot returns the events currently held in the ring, oldest first.
+func (t *Tracer) Snapshot() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	out := make([]TraceEvent, 0, len(t.slots))
+	for i := range t.slots {
+		s := &t.slots[i]
+		s.mu.Lock()
+		if s.ok {
+			out = append(out, s.ev)
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// traceDump is the JSON document served by /trace.
+type traceDump struct {
+	Total     uint64       `json:"total"`
+	Retained  int          `json:"retained"`
+	RingSize  int          `json:"ring_size"`
+	Events    []TraceEvent `json:"events"`
+	Truncated bool         `json:"truncated"` // ring has wrapped: oldest events were overwritten
+}
+
+// WriteJSON writes the retained trace (at most limit events, newest kept;
+// limit <= 0 means all retained) as one JSON document.
+func (t *Tracer) WriteJSON(w io.Writer, limit int) error {
+	if t == nil {
+		return nil
+	}
+	events := t.Snapshot()
+	if limit > 0 && len(events) > limit {
+		events = events[len(events)-limit:]
+	}
+	total := t.Total()
+	dump := traceDump{
+		Total:     total,
+		Retained:  len(events),
+		RingSize:  len(t.slots),
+		Events:    events,
+		Truncated: total > uint64(len(t.slots)),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(dump)
+}

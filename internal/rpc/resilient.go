@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // BreakerState is the per-service circuit breaker state machine of a
@@ -76,6 +78,14 @@ type ResilientConfig struct {
 	Sleep func(time.Duration)
 	Now   func() time.Time
 	Rand  func() float64
+	// Obs, when set, registers the caller's counters and per-method
+	// call-latency histograms (rpc_call_ns{service=...,method=...}) with
+	// the observability registry. Nil disables metric export and all
+	// per-call timing.
+	Obs *obs.Registry
+	// Trace, when set, records every circuit-breaker state transition
+	// (closed/open/half-open) as a "breaker" trace event.
+	Trace *obs.Tracer
 }
 
 // ResilientMetrics is a snapshot of a ResilientCaller's counters.
@@ -109,6 +119,11 @@ type ResilientCaller struct {
 
 	mu       sync.Mutex
 	breakers map[string]*breaker
+
+	// hists caches per-(service,method) latency histogram handles so the
+	// instrumented call path does one sync.Map load, not a registry
+	// lookup with name formatting.
+	hists sync.Map // "service\x00method" -> *obs.Histogram
 }
 
 var _ Caller = (*ResilientCaller)(nil)
@@ -142,15 +157,48 @@ func NewResilientCaller(next Caller, cfg ResilientConfig) *ResilientCaller {
 	if cfg.Rand == nil {
 		cfg.Rand = rand.Float64 //nolint:gosec // jitter, not crypto
 	}
-	return &ResilientCaller{
+	r := &ResilientCaller{
 		next:     next,
 		cfg:      cfg,
 		breakers: make(map[string]*breaker),
 	}
+	if reg := cfg.Obs; reg != nil {
+		reg.Func("rpc_calls_total", r.calls.Load)
+		reg.Func("rpc_attempts_total", r.attempts.Load)
+		reg.Func("rpc_retries_total", r.retries.Load)
+		reg.Func("rpc_failures_total", r.failures.Load)
+		reg.Func("rpc_fastfails_total", r.fastFails.Load)
+		reg.Func("rpc_breaker_opens_total", r.opens.Load)
+	}
+	return r
 }
 
-// Call implements Caller.
+// Call implements Caller. With a registry configured, the end-to-end call
+// latency (attempts, backoff and fast-fails included) lands in a
+// per-(service,method) histogram; without one the timing is skipped
+// entirely so the uninstrumented path stays at its original cost.
 func (r *ResilientCaller) Call(service, method string, body []byte) ([]byte, error) {
+	if r.cfg.Obs == nil {
+		return r.call(service, method, body)
+	}
+	start := time.Now()
+	out, err := r.call(service, method, body)
+	r.callHist(service, method).ObserveSince(start)
+	return out, err
+}
+
+// callHist returns the latency histogram for one (service, method) pair.
+func (r *ResilientCaller) callHist(service, method string) *obs.Histogram {
+	key := service + "\x00" + method
+	if h, ok := r.hists.Load(key); ok {
+		return h.(*obs.Histogram)
+	}
+	h := r.cfg.Obs.Histogram(fmt.Sprintf("rpc_call_ns{service=%q,method=%q}", service, method), nil)
+	actual, _ := r.hists.LoadOrStore(key, h)
+	return actual.(*obs.Histogram)
+}
+
+func (r *ResilientCaller) call(service, method string, body []byte) ([]byte, error) {
 	r.calls.Add(1)
 	br := r.breaker(service)
 	attempts := 1
@@ -257,6 +305,16 @@ func (r *ResilientCaller) breaker(service string) *breaker {
 	br := r.breakers[service]
 	if br == nil {
 		br = &breaker{}
+		if tr := r.cfg.Trace; tr != nil {
+			br.notify = func(from, to BreakerState, detail string) {
+				tr.Record(obs.TraceEvent{
+					Kind:    "breaker",
+					Service: service,
+					Outcome: to.String(),
+					Detail:  fmt.Sprintf("%s -> %s: %s", from, to, detail),
+				})
+			}
+		}
 		r.breakers[service] = br
 	}
 	return br
@@ -269,6 +327,19 @@ type breaker struct {
 	failures int // consecutive transport failures while closed
 	openedAt time.Time
 	probing  bool // a half-open probe is in flight
+
+	// notify observes state transitions (set once at construction, called
+	// under mu with from != to).
+	notify func(from, to BreakerState, detail string)
+}
+
+// transition moves the state machine and reports the change.
+func (b *breaker) transition(to BreakerState, detail string) {
+	from := b.state
+	b.state = to
+	if b.notify != nil && from != to {
+		b.notify(from, to, detail)
+	}
 }
 
 // allow reports whether a call may proceed, transitioning Open→HalfOpen
@@ -279,7 +350,7 @@ func (b *breaker) allow(now time.Time, cooldown time.Duration) bool {
 	switch b.state {
 	case BreakerOpen:
 		if now.Sub(b.openedAt) >= cooldown {
-			b.state = BreakerHalfOpen
+			b.transition(BreakerHalfOpen, "cooldown elapsed, probing")
 			b.probing = true
 			return true
 		}
@@ -297,7 +368,7 @@ func (b *breaker) allow(now time.Time, cooldown time.Duration) bool {
 func (b *breaker) success() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.state = BreakerClosed
+	b.transition(BreakerClosed, "call reached the service")
 	b.failures = 0
 	b.probing = false
 }
@@ -309,14 +380,14 @@ func (b *breaker) failure(now time.Time, threshold int) bool {
 	defer b.mu.Unlock()
 	if b.state == BreakerHalfOpen {
 		// The probe failed: back to open for another cooldown.
-		b.state = BreakerOpen
+		b.transition(BreakerOpen, "half-open probe failed")
 		b.openedAt = now
 		b.probing = false
 		return true
 	}
 	b.failures++
 	if b.state == BreakerClosed && b.failures >= threshold {
-		b.state = BreakerOpen
+		b.transition(BreakerOpen, fmt.Sprintf("%d consecutive transport failures", b.failures))
 		b.openedAt = now
 		return true
 	}

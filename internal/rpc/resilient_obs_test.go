@@ -1,0 +1,82 @@
+package rpc
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestBreakerTransitionsTraced walks one breaker through its full state
+// machine — closed -> open on consecutive failures, open -> half-open on
+// cooldown, a failed probe, a second cooldown and a successful probe — and
+// checks that every transition lands in the trace and the counters land in
+// the registry.
+func TestBreakerTransitionsTraced(t *testing.T) {
+	bus := NewLoopback()
+	bus.Register("issuer", func(method string, body []byte) ([]byte, error) {
+		return []byte("ok"), nil
+	})
+	bus.SetFault(FailNTimes("issuer", 6))
+	clk := newManualClock()
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(64)
+	rc := newTestResilient(bus, clk, ResilientConfig{
+		MaxAttempts:      1,
+		FailureThreshold: 5,
+		Cooldown:         time.Second,
+		Obs:              reg,
+		Trace:            tr,
+	})
+
+	for i := 0; i < 5; i++ {
+		rc.Call("issuer", "validate_rmc", nil) //nolint:errcheck // driving the breaker
+	}
+	if got := rc.BreakerState("issuer"); got != BreakerOpen {
+		t.Fatalf("breaker = %v after threshold failures, want open", got)
+	}
+	// Fast-fail while open: no transition, no trace.
+	rc.Call("issuer", "validate_rmc", nil) //nolint:errcheck
+
+	clk.Advance(time.Second)
+	rc.Call("issuer", "validate_rmc", nil) //nolint:errcheck // probe, fails (6th fault)
+	clk.Advance(time.Second)
+	if _, err := rc.Call("issuer", "validate_rmc", nil); err != nil {
+		t.Fatalf("probe after faults exhausted: %v", err)
+	}
+	if got := rc.BreakerState("issuer"); got != BreakerClosed {
+		t.Fatalf("breaker = %v after successful probe, want closed", got)
+	}
+
+	var outcomes []string
+	for _, ev := range tr.Snapshot() {
+		if ev.Kind != "breaker" {
+			continue
+		}
+		if ev.Service != "issuer" {
+			t.Errorf("breaker trace for wrong service: %+v", ev)
+		}
+		outcomes = append(outcomes, ev.Outcome)
+	}
+	want := "open half-open open half-open closed"
+	if got := strings.Join(outcomes, " "); got != want {
+		t.Errorf("breaker transitions = %q, want %q", got, want)
+	}
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, wantLine := range []string{
+		"rpc_breaker_opens_total 2",
+		"rpc_fastfails_total 1",
+		// 5 threshold failures + 1 fast-fail + 2 probes.
+		`rpc_call_ns_count{service="issuer",method="validate_rmc"} 8`,
+	} {
+		if !strings.Contains(out, wantLine) {
+			t.Errorf("metrics missing %q:\n%s", wantLine, out)
+		}
+	}
+}
