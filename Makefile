@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench tables obs examples cover clean
+.PHONY: all build vet lint test race bench tables obs recover examples cover clean
 
 all: build vet test race
 
@@ -40,6 +40,11 @@ tables:
 # write the machine-readable rows (BENCH_obs.json).
 obs:
 	$(GO) run ./cmd/benchtab -exp obs -obs-json BENCH_obs.json
+
+# E14: measure steady-state journaling overhead on the hot paths and the
+# recovery time as a function of journal size (BENCH_recover.json).
+recover:
+	$(GO) run ./cmd/benchtab -exp recover -recover-json BENCH_recover.json
 
 # Run all six runnable paper scenarios.
 examples:

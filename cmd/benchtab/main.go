@@ -9,7 +9,7 @@
 //	benchtab -json out.json  # also write machine-readable rows (parallel)
 //
 // Experiment ids: fig1 fig2 fig3 fig4 fig5 auth sect5 sect6 baselines
-// soak parallel faults obs
+// soak parallel faults obs recover
 package main
 
 import (
@@ -29,9 +29,10 @@ import (
 // faultsJSONPath does the same for the E12 fault-injection rows, and
 // obsJSONPath for the E13 observability-overhead rows.
 var (
-	jsonPath       string
-	faultsJSONPath string
-	obsJSONPath    string
+	jsonPath        string
+	faultsJSONPath  string
+	obsJSONPath     string
+	recoverJSONPath string
 )
 
 func main() {
@@ -40,6 +41,7 @@ func main() {
 	flag.StringVar(&jsonPath, "json", "", "write parallel-scaling rows to this JSON file")
 	flag.StringVar(&faultsJSONPath, "faults-json", "", "write fault-injection rows to this JSON file")
 	flag.StringVar(&obsJSONPath, "obs-json", "", "write observability-overhead rows to this JSON file")
+	flag.StringVar(&recoverJSONPath, "recover-json", "", "write durability overhead + recovery-time rows to this JSON file")
 	flag.Parse()
 	if err := run(*exp, *list); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
@@ -61,6 +63,7 @@ var experimentsTable = map[string]func(*tabwriter.Writer) error{
 	"parallel":  runParallelScaling,
 	"faults":    runFaults,
 	"obs":       runObs,
+	"recover":   runRecover,
 }
 
 func run(exp string, list bool) error {
@@ -327,6 +330,48 @@ func runObs(w *tabwriter.Writer) error {
 		return err
 	}
 	fmt.Fprintf(w, "(rows written to %s)\n", obsJSONPath)
+	return nil
+}
+
+func runRecover(w *tabwriter.Writer) error {
+	fmt.Fprintln(w, "== E14: durability — journaling overhead on hot paths, recovery time vs journal size ==")
+	fmt.Fprintln(w, "benchmark\tprocs\tbase ns/op\tdurable ns/op\toverhead\tappended")
+	// Overhead is defined on the hot path with a core available for the
+	// background committer (procs >= 2): at GOMAXPROCS=1 the measurement
+	// would conflate the foreground issue path with the deliberately
+	// offloaded encode/write/fsync work sharing the only core.
+	overhead, err := experiments.RunRecoverOverhead([]int{2, 8}, 120*time.Millisecond, 8)
+	if err != nil {
+		return err
+	}
+	for _, row := range overhead {
+		fmt.Fprintf(w, "%s\t%d\t%.0f\t%.0f\t%+.2f%%\t%d\n",
+			row.Benchmark, row.Procs, row.BaseNsPerOp, row.DurableNsPerOp,
+			row.OverheadPct, row.Appended)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nrecords\tcompacted\tbytes read at boot\treplayed\trecovery")
+	recovery, err := experiments.RunRecoverTime([]int{1_000, 10_000, 100_000})
+	if err != nil {
+		return err
+	}
+	for _, row := range recovery {
+		fmt.Fprintf(w, "%d\t%v\t%d\t%d\t%.2fms\n",
+			row.Records, row.Compacted, row.JournalBytes, row.Replayed, row.RecoverMs)
+	}
+	if recoverJSONPath == "" {
+		return nil
+	}
+	out, err := json.MarshalIndent(experiments.RecoverResult{Overhead: overhead, Recovery: recovery}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(recoverJSONPath, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "(rows written to %s)\n", recoverJSONPath)
 	return nil
 }
 

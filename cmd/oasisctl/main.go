@@ -8,6 +8,11 @@
 //	oasisctl appoint     -wallet w.json -addr :7070 -service admin -kind employed_as_doctor \
 //	                     -holder dr-jones-key -params 'st_marys'
 //	oasisctl show        -wallet w.json
+//
+// It also verifies a daemon's durable state directory offline (checksums,
+// torn tails, replayable totals) without touching the files:
+//
+//	oasisctl state verify -state-dir /var/lib/oasisd
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"repro/internal/cert"
 	"repro/internal/cmdutil"
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/rpc"
 )
 
@@ -41,9 +47,12 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: oasisctl <new-session|activate|invoke|appoint|logout|show> [flags]")
+		return fmt.Errorf("usage: oasisctl <new-session|activate|invoke|appoint|logout|show|state> [flags]")
 	}
 	cmd, rest := args[0], args[1:]
+	if cmd == "state" {
+		return stateCmd(rest)
+	}
 	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	var (
 		walletPath = fs.String("wallet", "oasis-wallet.json", "session wallet file")
@@ -77,6 +86,41 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// stateCmd handles the offline `state` subcommands; only `verify` exists
+// today. It reads the directory without modifying it, so it is safe to run
+// against a live daemon's state dir.
+func stateCmd(args []string) error {
+	if len(args) == 0 || args[0] != "verify" {
+		return fmt.Errorf("usage: oasisctl state verify -state-dir <dir> [-json]")
+	}
+	fs := flag.NewFlagSet("state verify", flag.ContinueOnError)
+	stateDir := fs.String("state-dir", "", "daemon state directory to verify")
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if *stateDir == "" {
+		return fmt.Errorf("-state-dir is required")
+	}
+	rep, err := durable.Verify(*stateDir)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", b)
+	} else {
+		rep.WriteText(os.Stdout)
+	}
+	if !rep.OK {
+		return fmt.Errorf("state verification failed")
+	}
+	return nil
 }
 
 func loadWallet(path string) (*wallet, error) {

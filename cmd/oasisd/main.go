@@ -48,12 +48,17 @@ import (
 	"repro/internal/cmdutil"
 	"repro/internal/core"
 	"repro/internal/domain"
+	"repro/internal/durable"
 	"repro/internal/event"
 	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/rpc"
+	"repro/internal/sign"
 	"repro/internal/store"
 )
+
+// The durable log is the daemon's journal implementation.
+var _ core.Journal = (*durable.Log)(nil)
 
 // heartbeatDeadlineFactor is how many heartbeat periods of silence declare
 // an issuer dead: the monitor's timeout, the startup log line, and the
@@ -84,13 +89,14 @@ func main() {
 		node       = flag.String("node", "", "node name for cross-process event relaying (default: the listen address)")
 		revalidate = flag.Duration("revalidate", 0, "re-confirm cached foreign certificates after this age (0 = cache until revoked)")
 		staleGrace = flag.Duration("stale-grace", 0, "serve previously-confirmed certificates for this long when the issuer is unreachable (0 = fail closed immediately)")
-		heartbeat = flag.Duration("heartbeat", 0, fmt.Sprintf(
+		heartbeat  = flag.Duration("heartbeat", 0, fmt.Sprintf(
 			"emit and sweep liveness heartbeats at this period; silence past %dx the period synthetically revokes (0 = off)",
 			heartbeatDeadlineFactor))
-		obsAddr = flag.String("obs-addr", "", "serve /metrics, /trace and /debug/pprof on this address (empty = off)")
-		svcs    multiFlag
-		peers   multiFlag
-		relayTo multiFlag
+		obsAddr  = flag.String("obs-addr", "", "serve /metrics, /trace and /debug/pprof on this address (empty = off)")
+		stateDir = flag.String("state-dir", "", "journal issued credentials, appointments, facts and signing keys here; recovered on restart (empty = ephemeral)")
+		svcs     multiFlag
+		peers    multiFlag
+		relayTo  multiFlag
 	)
 	flag.Var(&svcs, "svc", "service to host: name=policyfile (repeatable)")
 	flag.Var(&peers, "peer", "remote service address: name=host:port (repeatable)")
@@ -103,8 +109,8 @@ func main() {
 	cfg := daemonConfig{
 		addr: *addr, factsPath: *facts, civCount: *civCount, node: *node,
 		revalidate: *revalidate, staleGrace: *staleGrace, heartbeat: *heartbeat,
-		obsAddr: *obsAddr,
-		svcs:    svcs, peers: peers, relayTo: relayTo,
+		obsAddr: *obsAddr, stateDir: *stateDir,
+		svcs: svcs, peers: peers, relayTo: relayTo,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "oasisd:", err)
@@ -121,6 +127,7 @@ type daemonConfig struct {
 	staleGrace time.Duration
 	heartbeat  time.Duration
 	obsAddr    string
+	stateDir   string
 	svcs       []string
 	peers      []string
 	relayTo    []string
@@ -180,16 +187,68 @@ func run(cfg daemonConfig) error {
 		rpc.ResilientConfig{CallTimeout: 10 * time.Second, Obs: reg, Trace: tracer},
 	)
 
+	// Durable state: recover the journal before anything issues or
+	// validates, so pre-crash certificates keep answering authoritatively
+	// the moment the listener opens.
+	var dlog *durable.Log
+	recovered := durable.NewState()
+	if cfg.stateDir != "" {
+		var err error
+		dlog, err = durable.Open(durable.Options{Dir: cfg.stateDir, Obs: reg})
+		if err != nil {
+			return fmt.Errorf("recover state from %s: %w", cfg.stateDir, err)
+		}
+		defer func() {
+			// Clean shutdown: seal the journal behind a snapshot so the
+			// next start replays one file instead of the whole history.
+			if err := dlog.Compact(); err != nil {
+				fmt.Fprintln(os.Stderr, "oasisd: compact state:", err)
+			}
+			if err := dlog.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "oasisd: close state:", err)
+			}
+		}()
+		recovered, err = dlog.Recovered()
+		if err != nil {
+			return fmt.Errorf("decode recovered state: %w", err)
+		}
+		rs := dlog.ReplayStats()
+		fmt.Printf("durable state in %s: replayed %d records (snapshot gen %d loaded=%v, %d torn bytes discarded) in %v\n",
+			cfg.stateDir, rs.Records, rs.SnapshotGen, rs.SnapshotLoaded, rs.TruncatedBytes, rs.Elapsed)
+	}
+
 	db := store.New()
 	var relations []string
+	seenRel := make(map[string]bool)
+	// Journal-recovered facts first, silently: no observer is registered
+	// yet, so replay does not re-journal or trigger membership checks.
+	for _, f := range recovered.Facts {
+		if _, err := db.Assert(f.Relation, f.Tuple...); err != nil {
+			return fmt.Errorf("replay fact %s: %w", f.Relation, err)
+		}
+		if !seenRel[f.Relation] {
+			seenRel[f.Relation] = true
+			relations = append(relations, f.Relation)
+		}
+	}
+	if dlog != nil {
+		// From here on, every fact mutation is journaled.
+		db.Observe(dlog.FactChanged)
+	}
 	if factsPath != "" {
 		text, err := os.ReadFile(factsPath)
 		if err != nil {
 			return fmt.Errorf("read facts: %w", err)
 		}
-		relations, err = cmdutil.LoadFacts(db, string(text))
+		loaded, err := cmdutil.LoadFacts(db, string(text))
 		if err != nil {
 			return fmt.Errorf("load facts: %w", err)
+		}
+		for _, rel := range loaded {
+			if !seenRel[rel] {
+				seenRel[rel] = true
+				relations = append(relations, rel)
+			}
 		}
 	}
 
@@ -219,7 +278,7 @@ func run(cfg daemonConfig) error {
 		if err != nil {
 			return fmt.Errorf("policy for %s: %w", name, err)
 		}
-		svc, err := core.NewService(core.Config{
+		svcCfg := core.Config{
 			Name:             name,
 			Policy:           pol,
 			Broker:           broker,
@@ -231,11 +290,54 @@ func run(cfg daemonConfig) error {
 			Heartbeats:       hb,
 			Obs:              reg,
 			Trace:            tracer,
-		})
+		}
+		ss := recovered.Services[name]
+		if dlog != nil {
+			svcCfg.Journal = dlog
+			if ss != nil && len(ss.Secrets) > 0 {
+				// Restore the signing ring so certificates issued before
+				// the crash still verify.
+				ring, err := sign.NewKeyRingFromSecrets(ss.Secrets, ss.Retain, nil)
+				if err != nil {
+					return fmt.Errorf("restore keys for %s: %w", name, err)
+				}
+				svcCfg.KeyRing = ring
+			}
+		}
+		svc, err := core.NewService(svcCfg)
 		if err != nil {
 			return err
 		}
 		defer svc.Close()
+		if dlog != nil {
+			if svcCfg.KeyRing == nil {
+				// First boot for this service: make its fresh secrets
+				// durable before it signs anything with them.
+				secrets, retain := svc.ExportKeys()
+				if err := dlog.KeysInstalled(name, retain, secrets); err != nil {
+					return fmt.Errorf("journal keys for %s: %w", name, err)
+				}
+			}
+			if ss != nil {
+				nCR, nAppt := 0, 0
+				for serial, cr := range ss.CRs {
+					if err := svc.RestoreCR(serial, cr.Subject, cr.Holder, cr.Revoked, cr.Reason); err != nil {
+						// A shared CIV record store survives by
+						// replication instead; skip, don't fail.
+						fmt.Fprintf(os.Stderr, "oasisd: %s: skipping CR restore: %v\n", name, err)
+						break
+					}
+					nCR++
+				}
+				for _, a := range ss.Appts {
+					svc.RestoreAppointment(a.Cert, a.Revoked)
+					nAppt++
+				}
+				if nCR > 0 || nAppt > 0 {
+					fmt.Printf("restored %s: %d credential records, %d appointments\n", name, nCR, nAppt)
+				}
+			}
+		}
 		mapping := make(map[string]string, len(relations))
 		for _, rel := range relations {
 			svc.Env().RegisterStore(rel, db, rel)

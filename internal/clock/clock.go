@@ -20,16 +20,33 @@ type Clock interface {
 	After(d time.Duration) <-chan time.Time
 }
 
+// Canceling is the optional extension implemented by clocks whose After
+// waiters can be abandoned: the returned cancel func releases whatever
+// the clock registered for the timer, so a consumer that stops caring
+// (e.g. a service shutting its expiry timers down) does not leak the
+// waiter. Cancel is idempotent and safe to call after the channel fired.
+type Canceling interface {
+	Clock
+	AfterCancel(d time.Duration) (<-chan time.Time, func())
+}
+
 // Real is a Clock backed by the system wall clock.
 type Real struct{}
 
-var _ Clock = Real{}
+var _ Canceling = Real{}
 
 // Now implements Clock.
 func (Real) Now() time.Time { return time.Now() }
 
 // After implements Clock.
 func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// AfterCancel implements Canceling; cancelling stops the runtime timer so
+// it can be collected before the deadline.
+func (Real) AfterCancel(d time.Duration) (<-chan time.Time, func()) {
+	t := time.NewTimer(d)
+	return t.C, func() { t.Stop() }
+}
 
 // Simulated is a manually advanced Clock. The zero value is not usable;
 // construct one with NewSimulated.
@@ -44,7 +61,7 @@ type waiter struct {
 	ch       chan time.Time
 }
 
-var _ Clock = (*Simulated)(nil)
+var _ Canceling = (*Simulated)(nil)
 
 // NewSimulated returns a Simulated clock initialised to start.
 func NewSimulated(start time.Time) *Simulated {
@@ -59,18 +76,46 @@ func (s *Simulated) Now() time.Time {
 }
 
 // After implements Clock. The returned channel fires when Advance moves the
-// simulated time past the deadline.
+// simulated time past the deadline. Prefer AfterCancel for waiters that may
+// be abandoned before their deadline: a plain After waiter stays registered
+// until the simulated time reaches it, so a long simulation that keeps
+// creating and dropping far-future timers grows the waiter list without
+// bound.
 func (s *Simulated) After(d time.Duration) <-chan time.Time {
+	ch, _ := s.AfterCancel(d)
+	return ch
+}
+
+// AfterCancel implements Canceling: the cancel func removes the waiter from
+// the clock's list immediately, whatever its deadline.
+func (s *Simulated) AfterCancel(d time.Duration) (<-chan time.Time, func()) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ch := make(chan time.Time, 1)
 	w := &waiter{deadline: s.now.Add(d), ch: ch}
 	if d <= 0 {
 		ch <- s.now
-		return ch
+		return ch, func() {}
 	}
 	s.waiters = append(s.waiters, w)
-	return ch
+	return ch, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for i, x := range s.waiters {
+			if x == w {
+				s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// WaiterCount reports how many registered waiters have not yet fired or
+// been cancelled (leak diagnostics and tests).
+func (s *Simulated) WaiterCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.waiters)
 }
 
 // Advance moves the simulated time forward by d and releases any waiters

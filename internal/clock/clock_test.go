@@ -113,3 +113,51 @@ func TestSimulatedMultipleWaiters(t *testing.T) {
 		t.Fatal("late waiter never released")
 	}
 }
+
+func TestSimulatedAfterCancelRemovesWaiter(t *testing.T) {
+	c := NewSimulated(time.Unix(0, 0))
+	var cancels []func()
+	for i := 0; i < 100; i++ {
+		_, cancel := c.AfterCancel(time.Duration(i+1) * time.Hour)
+		cancels = append(cancels, cancel)
+	}
+	if got := c.WaiterCount(); got != 100 {
+		t.Fatalf("WaiterCount() = %d, want 100", got)
+	}
+	for _, cancel := range cancels {
+		cancel()
+	}
+	if got := c.WaiterCount(); got != 0 {
+		t.Fatalf("after cancel WaiterCount() = %d, want 0 (waiter leak)", got)
+	}
+	// Cancel is idempotent and safe after firing.
+	ch, cancel := c.AfterCancel(time.Second)
+	c.Advance(2 * time.Second)
+	<-ch
+	cancel()
+	cancel()
+	if got := c.WaiterCount(); got != 0 {
+		t.Fatalf("after fire+cancel WaiterCount() = %d, want 0", got)
+	}
+}
+
+func TestSimulatedAfterCancelImmediate(t *testing.T) {
+	c := NewSimulated(time.Unix(0, 0))
+	ch, cancel := c.AfterCancel(0)
+	select {
+	case <-ch:
+	default:
+		t.Fatal("zero-duration AfterCancel did not fire immediately")
+	}
+	cancel()
+}
+
+func TestRealAfterCancel(t *testing.T) {
+	ch, cancel := Real{}.AfterCancel(time.Hour)
+	cancel()
+	select {
+	case <-ch:
+		t.Fatal("cancelled Real timer fired")
+	case <-time.After(10 * time.Millisecond):
+	}
+}

@@ -82,6 +82,11 @@ func (s *Service) Appoint(principal string, req AppointmentRequest, p Presented)
 	s.apptMu.Lock()
 	s.appts[serial] = &apptRecord{serial: serial, appt: a}
 	s.apptMu.Unlock()
+	if s.journal != nil {
+		// Durable before handed out: the certificate outlives sessions,
+		// so the issuer must remember it before the holder can hold it.
+		s.journal.ApptIssued(s.name, a)
+	}
 	return a, nil
 }
 
@@ -100,6 +105,10 @@ func (s *Service) RevokeAppointment(serial uint64, reason string) bool {
 	key := rec.appt.Key()
 	s.apptMu.Unlock()
 
+	if s.journal != nil {
+		// Durable before published, as with CR revocations.
+		s.journal.ApptRevoked(s.name, serial, reason)
+	}
 	s.broker.Publish(event.Event{ //nolint:errcheck
 		Topic:   TopicAppt(key),
 		Kind:    event.KindRevoked,

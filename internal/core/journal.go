@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cert"
+	"repro/internal/sign"
+)
+
+// Journal receives the engine's durable-state mutation hooks. A service
+// configured with a Journal reports every credential-record issue and
+// revocation and every appointment issue and revocation, so a journal
+// implementation (internal/durable) can replay them after a crash.
+// Implementations decide the durability class per hook: the contract here
+// is only ordering — each hook is called after the in-memory mutation has
+// been applied, and revocation/issue hooks for long-lived credentials
+// should not return before the record is durable.
+type Journal interface {
+	// CRIssued reports a freshly issued credential record.
+	CRIssued(service string, serial uint64, subject, holder string)
+	// CRRevoked reports a credential-record revocation. Called only for
+	// the winning revocation (revoke-once semantics upstream).
+	CRRevoked(service string, serial uint64, reason string)
+	// ApptIssued reports an issued appointment certificate, in full.
+	ApptIssued(service string, a cert.AppointmentCertificate)
+	// ApptRevoked reports an appointment revocation.
+	ApptRevoked(service string, serial uint64, reason string)
+}
+
+// RecordRestorer is the optional RecordStore extension used during crash
+// recovery: restoring a record re-creates it under its original serial
+// and advances the allocator past it. The in-memory store implements it;
+// a shared replicated CIV store does not need to (its records survive the
+// daemon by replication, not by journal).
+type RecordRestorer interface {
+	RestoreRecord(serial uint64, st RecordStatus) error
+}
+
+// ExportKeys returns the service's retained signing secrets (oldest
+// first) and the retention window, for journaling. Whoever holds the
+// export holds the ability to forge this service's certificates; it goes
+// to the journal and nowhere else.
+func (s *Service) ExportKeys() ([]sign.Secret, int) { return s.ring.Export() }
+
+// RestoreCR re-creates a credential record from the journal during
+// recovery, before the service starts answering validation callbacks.
+// Restored records carry validation continuity only: pre-crash RMCs keep
+// answering valid (or revoked) by callback, but no membership monitoring
+// is re-established — sessions are deliberately ephemeral (Sect. 4: an
+// RMC is session-scoped, and the session did not survive the crash).
+// Live restored records are indexed by holder so EndSession (logout) and
+// Deactivate can still revoke them.
+func (s *Service) RestoreCR(serial uint64, subject, holder string, revoked bool, reason string) error {
+	rr, ok := s.records.(RecordRestorer)
+	if !ok {
+		return fmt.Errorf("service %s: record store %T does not support restore", s.name, s.records)
+	}
+	if err := rr.RestoreRecord(serial, RecordStatus{
+		Exists:  true,
+		Revoked: revoked,
+		Subject: subject,
+		Holder:  holder,
+		Reason:  reason,
+	}); err != nil {
+		return err
+	}
+	if !revoked {
+		s.restoredMu.Lock()
+		if s.restoredCRs == nil {
+			s.restoredCRs = make(map[string][]uint64)
+		}
+		s.restoredCRs[holder] = append(s.restoredCRs[holder], serial)
+		s.restoredMu.Unlock()
+	}
+	return nil
+}
+
+// RestoreAppointment re-installs an issued appointment from the journal
+// during recovery: the certificate validates by callback again (or stays
+// revoked), and the serial allocator advances past it so new appointments
+// never collide with restored ones.
+func (s *Service) RestoreAppointment(a cert.AppointmentCertificate, revoked bool) {
+	s.apptMu.Lock()
+	defer s.apptMu.Unlock()
+	s.appts[a.Serial] = &apptRecord{serial: a.Serial, appt: a, revoked: revoked}
+	if a.Serial > s.nextApptSerial {
+		s.nextApptSerial = a.Serial
+	}
+}
+
+// RestoreRecord implements RecordRestorer for the in-memory store.
+func (m *memRecords) RestoreRecord(serial uint64, st RecordStatus) error {
+	if serial == 0 {
+		return fmt.Errorf("restore record: serial 0")
+	}
+	sh := m.shard(serial)
+	sh.mu.Lock()
+	cp := st
+	cp.Exists = true
+	sh.records[serial] = &cp
+	sh.mu.Unlock()
+	// Advance the allocator so future issues never reuse a restored
+	// serial.
+	for {
+		cur := m.next.Load()
+		if cur >= serial || m.next.CompareAndSwap(cur, serial) {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cert"
+)
+
+// captureJournal records the revocation hooks a service fires.
+type captureJournal struct {
+	issued  []uint64
+	revoked []uint64
+}
+
+func (c *captureJournal) CRIssued(service string, serial uint64, subject, holder string) {
+	c.issued = append(c.issued, serial)
+}
+func (c *captureJournal) CRRevoked(service string, serial uint64, reason string) {
+	c.revoked = append(c.revoked, serial)
+}
+func (c *captureJournal) ApptIssued(service string, a cert.AppointmentCertificate) {}
+func (c *captureJournal) ApptRevoked(service string, serial uint64, reason string) {}
+
+// A journal-restored credential record has no session state (crs entry),
+// but logout must still be able to revoke it — otherwise a pre-crash
+// certificate would stay valid forever after restart with no revocation
+// path. Regression test for the restored-serials index behind EndSession.
+func TestEndSessionRevokesRestoredRecords(t *testing.T) {
+	w := newWorld(t)
+	j := &captureJournal{}
+	svc := w.service("login", `login.user(U) <- env ok(U).`, func(c *Config) { c.Journal = j })
+
+	if err := svc.RestoreCR(7, "login.user(alice)", "alice", false, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.RestoreCR(9, "login.user(alice)", "alice", true, "logout"); err != nil {
+		t.Fatal(err)
+	}
+	if valid, exists := svc.CRStatus(7); !valid || !exists {
+		t.Fatalf("restored record 7: valid=%v exists=%v, want live", valid, exists)
+	}
+
+	if n := svc.EndSession("alice"); n != 1 {
+		t.Fatalf("EndSession deactivated %d records, want 1 (the live restored one)", n)
+	}
+	if valid, exists := svc.CRStatus(7); valid || !exists {
+		t.Fatalf("after logout, record 7: valid=%v exists=%v, want revoked", valid, exists)
+	}
+	if len(j.revoked) != 1 || j.revoked[0] != 7 {
+		t.Fatalf("journal saw revocations %v, want [7]", j.revoked)
+	}
+
+	// Idempotent: the drained index must not resurrect the serials.
+	if n := svc.EndSession("alice"); n != 0 {
+		t.Fatalf("second EndSession deactivated %d records, want 0", n)
+	}
+}

@@ -87,6 +87,14 @@ type Config struct {
 	// CIV service across services (paper ref [10]; see
 	// domain.CIVRecords).
 	Records RecordStore
+	// Journal, when set, receives every credential-record and
+	// appointment issue/revoke so durable state (internal/durable) can
+	// replay them after a crash. Nil disables journaling.
+	Journal Journal
+	// KeyRing, when set, is the signing key ring to use — a ring
+	// restored from the journal, so certificates issued before a crash
+	// still verify. Nil generates a fresh ring.
+	KeyRing *sign.KeyRing
 	// Obs, when set, registers the service's counters and latency
 	// histograms (activation, callback validation, revocation cascade)
 	// with the observability registry under a service label.
@@ -151,19 +159,19 @@ func (c *statCounters) snapshot() Stats {
 // (appointments, env index) — so concurrent invocations on the hot path
 // synchronise only through atomics. See DESIGN.md "Concurrency model".
 type Service struct {
-	name   string
-	pol    policy.Policy
+	name string
+	pol  policy.Policy
 	// authIndex and roleIndex are immutable per-method / per-role views
 	// of the policy, precomputed so the hot paths do not rescan (and
 	// reallocate) the rule lists on every request.
 	authIndex map[string][]policy.AuthRule
 	roleIndex map[names.RoleName][]policy.Rule
 	broker    *event.Broker
-	caller rpc.Caller
-	clk    clock.Clock
-	eval   *policy.Evaluator
-	ring   *sign.KeyRing
-	chal   *sign.Challenger
+	caller    rpc.Caller
+	clk       clock.Clock
+	eval      *policy.Evaluator
+	ring      *sign.KeyRing
+	chal      *sign.Challenger
 
 	cacheValidations bool
 	revalidateAfter  time.Duration
@@ -171,6 +179,7 @@ type Service struct {
 	hb               *event.HeartbeatMonitor
 
 	records RecordStore
+	journal Journal
 
 	crs    crTable
 	vcache valCache
@@ -189,6 +198,13 @@ type Service struct {
 	apptMu         sync.Mutex
 	nextApptSerial uint64
 	appts          map[uint64]*apptRecord
+
+	// restoredMu guards restoredCRs: live credential records re-created
+	// from the journal, indexed by holder. Restored records have no crs
+	// entry (the session died with the crash), so EndSession consults
+	// this index to keep logout able to revoke pre-crash certificates.
+	restoredMu  sync.Mutex
+	restoredCRs map[string][]uint64
 
 	proofState *sessionProofs
 
@@ -253,9 +269,13 @@ func NewService(cfg Config) (*Service, error) {
 	if retain < 1 {
 		retain = 1
 	}
-	ring, err := sign.NewKeyRing(retain, nil)
-	if err != nil {
-		return nil, fmt.Errorf("service %s: %w", cfg.Name, err)
+	ring := cfg.KeyRing
+	if ring == nil {
+		var err error
+		ring, err = sign.NewKeyRing(retain, nil)
+		if err != nil {
+			return nil, fmt.Errorf("service %s: %w", cfg.Name, err)
+		}
 	}
 	records := cfg.Records
 	if records == nil {
@@ -272,6 +292,7 @@ func NewService(cfg Config) (*Service, error) {
 	s := &Service{
 		name:             cfg.Name,
 		records:          records,
+		journal:          cfg.Journal,
 		pol:              cfg.Policy,
 		authIndex:        authIndex,
 		roleIndex:        roleIndex,
@@ -370,9 +391,13 @@ func (s *Service) Activate(principal string, requested names.Role, p Presented) 
 		return cert.RMC{}, wrap(s.name, fmt.Errorf("%w: %s left unbound parameters", ErrActivationDenied, ground))
 	}
 
-	serial, err := s.records.Issue(ground.Key(), principal)
+	subject := ground.Key()
+	serial, err := s.records.Issue(subject, principal)
 	if err != nil {
 		return cert.RMC{}, wrap(s.name, err)
+	}
+	if s.journal != nil {
+		s.journal.CRIssued(s.name, serial, subject, principal)
 	}
 	cr := &CredRecord{Serial: serial, Principal: principal, Role: ground}
 	s.crs.insert(cr)
@@ -477,8 +502,17 @@ func (s *Service) envIndexRemove(deps []envDep, serial uint64) {
 // goroutine is bounded by the service lifetime (Close).
 func (s *Service) scheduleExpiry(serial uint64, at time.Time, apptKey string) {
 	// Register the timer synchronously so that a simulated clock
-	// advanced immediately after activation still fires it.
-	fire := s.clk.After(at.Sub(s.clk.Now()))
+	// advanced immediately after activation still fires it. When the
+	// clock supports cancellation the waiter is deregistered on Close,
+	// so a stopped service does not leave far-future expiry waiters
+	// accumulating in a long-lived simulated clock.
+	var fire <-chan time.Time
+	cancel := func() {}
+	if c, ok := s.clk.(clock.Canceling); ok {
+		fire, cancel = c.AfterCancel(at.Sub(s.clk.Now()))
+	} else {
+		fire = s.clk.After(at.Sub(s.clk.Now()))
+	}
 	s.timersWG.Add(1)
 	go func() {
 		defer s.timersWG.Done()
@@ -486,6 +520,7 @@ func (s *Service) scheduleExpiry(serial uint64, at time.Time, apptKey string) {
 		case <-fire:
 			s.Deactivate(serial, "appointment expired: "+apptKey)
 		case <-s.stopTimers:
+			cancel()
 		}
 	}()
 }
@@ -540,6 +575,11 @@ func (s *Service) deactivateCascade(serial uint64, reason string, via event.Even
 		// (in which case validation also fails, which is the safe
 		// direction).
 		return false
+	}
+	if s.journal != nil {
+		// Durable before published: once the revocation fans out, remote
+		// caches drop the credential, and a crash must not resurrect it.
+		s.journal.CRRevoked(s.name, serial, reason)
 	}
 	var subs []*event.Subscription
 	if cr := s.crs.remove(serial); cr != nil {
@@ -741,6 +781,18 @@ func credentialKeys(sol policy.Solution) []string {
 func (s *Service) EndSession(principal string) int {
 	n := 0
 	for _, serial := range s.crs.serialsOf(principal) {
+		if s.deactivate(serial, "session ended") {
+			n++
+		}
+	}
+	// Journal-restored records have no crs entry but must still honour a
+	// logout: drain the holder's restored serials (revoke-once makes a
+	// race with a direct Deactivate resolve to one winner).
+	s.restoredMu.Lock()
+	restored := s.restoredCRs[principal]
+	delete(s.restoredCRs, principal)
+	s.restoredMu.Unlock()
+	for _, serial := range restored {
 		if s.deactivate(serial, "session ended") {
 			n++
 		}

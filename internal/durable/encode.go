@@ -1,0 +1,63 @@
+package durable
+
+import "strconv"
+
+// appendRecordJSON appends r's JSON encoding to buf for the record shapes
+// the hot paths journal — credential-record issue/revoke and appointment
+// revoke, which carry only scalar fields. It reports false when the record
+// needs the reflective encoder (appointment certificates, key rings, fact
+// tuples, or strings that need escaping); the output for the shapes it
+// does handle decodes identically to encoding/json's.
+func appendRecordJSON(buf []byte, r *Record) ([]byte, bool) {
+	switch r.Op {
+	case OpCRIssue, OpCRRevoke, OpApptRevoke:
+	default:
+		return buf, false
+	}
+	if !plainJSONString(r.Service) || !plainJSONString(r.Subject) ||
+		!plainJSONString(r.Holder) || !plainJSONString(r.Reason) {
+		return buf, false
+	}
+	buf = append(buf, `{"op":"`...)
+	buf = append(buf, r.Op...)
+	buf = append(buf, '"')
+	if r.Service != "" {
+		buf = append(buf, `,"svc":"`...)
+		buf = append(buf, r.Service...)
+		buf = append(buf, '"')
+	}
+	if r.Serial != 0 {
+		buf = append(buf, `,"serial":`...)
+		buf = strconv.AppendUint(buf, r.Serial, 10)
+	}
+	if r.Subject != "" {
+		buf = append(buf, `,"subject":"`...)
+		buf = append(buf, r.Subject...)
+		buf = append(buf, '"')
+	}
+	if r.Holder != "" {
+		buf = append(buf, `,"holder":"`...)
+		buf = append(buf, r.Holder...)
+		buf = append(buf, '"')
+	}
+	if r.Reason != "" {
+		buf = append(buf, `,"reason":"`...)
+		buf = append(buf, r.Reason...)
+		buf = append(buf, '"')
+	}
+	buf = append(buf, '}')
+	return buf, true
+}
+
+// plainJSONString reports whether s encodes between quotes as itself:
+// printable ASCII with nothing encoding/json would escape (it also
+// escapes <, >, & for HTML safety).
+func plainJSONString(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c > 0x7e || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			return false
+		}
+	}
+	return true
+}

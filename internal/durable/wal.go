@@ -1,0 +1,216 @@
+package durable
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Journal and snapshot files are generation-numbered: the daemon appends
+// to wal-<gen>; compaction rotates to wal-<gen+1>, then writes
+// snap-<gen+1> (which covers everything up to the rotation point), then
+// deletes older generations. Recovery loads the newest readable snapshot
+// and replays every journal generation at or above it, in order — replay
+// is idempotent, so the overlap between a snapshot and the generation it
+// sealed is harmless.
+
+// frameHeaderSize is the per-record framing overhead: a 4-byte big-endian
+// payload length followed by a 4-byte CRC32 (IEEE) of the payload.
+const frameHeaderSize = 8
+
+// maxFrameSize bounds a single record; anything larger in a file is
+// treated as corruption rather than an allocation request.
+const maxFrameSize = 16 << 20
+
+// ErrCorrupt reports a record that fails its checksum or framing away
+// from the journal tail — damage that replay cannot safely skip.
+var ErrCorrupt = errors.New("durable: corrupt journal record")
+
+func walName(gen uint64) string  { return fmt.Sprintf("wal-%08d.log", gen) }
+func snapName(gen uint64) string { return fmt.Sprintf("snap-%08d.json", gen) }
+
+// parseGen extracts the generation from a wal/snap file name, reporting
+// whether the name matches the given prefix scheme.
+func parseGen(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+	gen, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return gen, true
+}
+
+// listGens scans dir for wal and snapshot generations, each sorted
+// ascending.
+func listGens(dir string) (wals, snaps []uint64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range entries {
+		if gen, ok := parseGen(e.Name(), "wal-", ".log"); ok {
+			wals = append(wals, gen)
+		}
+		if gen, ok := parseGen(e.Name(), "snap-", ".json"); ok {
+			snaps = append(snaps, gen)
+		}
+	}
+	sort.Slice(wals, func(i, j int) bool { return wals[i] < wals[j] })
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	return wals, snaps, nil
+}
+
+// appendFrame appends one length-prefixed checksummed payload to buf.
+func appendFrame(buf, payload []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	return append(append(buf, hdr[:]...), payload...)
+}
+
+// readFrames reads consecutive frames from r, returning the decoded
+// payloads and the byte offset of the first byte past the last intact
+// frame. truncated reports that the stream ended mid-frame or with a
+// checksum mismatch — the signature of a crash mid-append.
+func readFrames(r io.Reader) (payloads [][]byte, goodOffset int64, truncated bool, err error) {
+	br := &countingReader{r: r}
+	for {
+		var hdr [frameHeaderSize]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) && br.n == goodOffset {
+				return payloads, goodOffset, false, nil // clean end
+			}
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return payloads, goodOffset, true, nil // partial header
+			}
+			return payloads, goodOffset, false, err
+		}
+		size := binary.BigEndian.Uint32(hdr[:4])
+		sum := binary.BigEndian.Uint32(hdr[4:])
+		if size == 0 || size > maxFrameSize {
+			return payloads, goodOffset, true, nil // nonsense length: torn write
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return payloads, goodOffset, true, nil // partial payload
+			}
+			return payloads, goodOffset, false, err
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return payloads, goodOffset, true, nil // checksum mismatch
+		}
+		payloads = append(payloads, payload)
+		goodOffset = br.n
+	}
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// readWAL decodes one journal segment. A damaged tail yields the intact
+// prefix with truncated=true; a record that fails to decode as JSON is
+// treated the same way (it can only be the torn tail of a crashed
+// append — full frames are checksummed).
+func readWAL(path string) (recs []Record, goodOffset int64, truncated bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	defer f.Close() //nolint:errcheck // read-only
+	payloads, goodOffset, truncated, err := readFrames(f)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("read %s: %w", filepath.Base(path), err)
+	}
+	offset := int64(0)
+	for _, p := range payloads {
+		var r Record
+		if jerr := json.Unmarshal(p, &r); jerr != nil {
+			return recs, offset, true, nil
+		}
+		offset += frameHeaderSize + int64(len(p))
+		recs = append(recs, r)
+	}
+	return recs, goodOffset, truncated, nil
+}
+
+// writeSnapshot atomically writes the state as snap-<gen>: encode to a
+// temp file (one checksummed frame), fsync, rename into place, fsync the
+// directory so the rename is durable.
+func writeSnapshot(dir string, gen uint64, st *State) error {
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("encode snapshot: %w", err)
+	}
+	buf := appendFrame(nil, payload)
+	tmp := filepath.Join(dir, snapName(gen)+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close() //nolint:errcheck
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close() //nolint:errcheck
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, snapName(gen))); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// readSnapshot loads snap-<gen>, verifying its checksum.
+func readSnapshot(dir string, gen uint64) (*State, error) {
+	f, err := os.Open(filepath.Join(dir, snapName(gen)))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() //nolint:errcheck // read-only
+	payloads, _, truncated, err := readFrames(f)
+	if err != nil {
+		return nil, err
+	}
+	if truncated || len(payloads) != 1 {
+		return nil, fmt.Errorf("%w: snapshot %s", ErrCorrupt, snapName(gen))
+	}
+	st := NewState()
+	if err := json.Unmarshal(payloads[0], st); err != nil {
+		return nil, fmt.Errorf("decode snapshot %s: %w", snapName(gen), err)
+	}
+	return st, nil
+}
+
+// syncDir fsyncs a directory so recent creates/renames survive power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close() //nolint:errcheck // read-only handle
+	return d.Sync()
+}

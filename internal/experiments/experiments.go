@@ -29,6 +29,13 @@ type World struct {
 	// and without them.
 	Obs   *obs.Registry
 	Trace *obs.Tracer
+	// Journal, when set, is threaded into every service the world creates
+	// — the E14 durability experiment runs the same workloads with and
+	// without it.
+	Journal core.Journal
+	// OnClose hooks run when the world closes (after the broker), letting
+	// experiments attach per-world resources like a journal directory.
+	OnClose []func()
 }
 
 // NewWorld creates a fresh world with a simulated clock.
@@ -41,7 +48,12 @@ func NewWorld() *World {
 }
 
 // Close tears the world down.
-func (w *World) Close() { w.Broker.Close() }
+func (w *World) Close() {
+	w.Broker.Close()
+	for _, f := range w.OnClose {
+		f()
+	}
+}
 
 // Service builds a service in this world and registers its handler.
 func (w *World) Service(name, policyText string, cache bool) (*core.Service, error) {
@@ -54,6 +66,7 @@ func (w *World) Service(name, policyText string, cache bool) (*core.Service, err
 		CacheValidations: cache,
 		Obs:              w.Obs,
 		Trace:            w.Trace,
+		Journal:          w.Journal,
 	})
 	if err != nil {
 		return nil, err

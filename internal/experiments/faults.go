@@ -27,12 +27,12 @@ import (
 // BENCH_faults.json by cmd/benchtab).
 type FaultRow struct {
 	Scenario        string        `json:"scenario"`
-	Authorized      bool          `json:"authorized"`      // the probe invocation's outcome
-	TransportCalls  uint64        `json:"transportCalls"`  // calls that reached the wire
-	Retries         uint64        `json:"retries"`         // resilience-layer retries
-	FastFails       uint64        `json:"fastFails"`       // calls rejected by an open breaker
-	Breaker         string        `json:"breaker"`         // breaker state after the scenario
-	DegradedHits    uint64        `json:"degradedHits"`    // validations served stale-under-grace
+	Authorized      bool          `json:"authorized"`     // the probe invocation's outcome
+	TransportCalls  uint64        `json:"transportCalls"` // calls that reached the wire
+	Retries         uint64        `json:"retries"`        // resilience-layer retries
+	FastFails       uint64        `json:"fastFails"`      // calls rejected by an open breaker
+	Breaker         string        `json:"breaker"`        // breaker state after the scenario
+	DegradedHits    uint64        `json:"degradedHits"`   // validations served stale-under-grace
 	RecoveryLatency time.Duration `json:"recoveryLatencyNs"`
 	Note            string        `json:"note"`
 }

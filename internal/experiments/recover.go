@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/core"
+	"repro/internal/durable"
+	"repro/internal/names"
+	"repro/internal/obs"
+	"repro/internal/sign"
+)
+
+// ---------------------------------------------------------------------------
+// E14 — durability: steady-state journaling overhead and recovery time.
+//
+// The journal promises to stay off the hot paths: validation journals
+// nothing, and credential-record issues are asynchronous appends absorbed
+// by the group-commit window (revocations and appointment issues block on
+// the batch fsync deliberately — durability before publication — and are
+// not part of the steady-state budget). This harness verifies the promise
+// the same way E13 does for observability: the workloads run bare and
+// journaled in alternating back-to-back pairs, and the reported overhead
+// is the median of the per-pair ratios (robust against machine drift).
+// It then measures the other half of the durability story: how long
+// recovery takes as a function of journal size, with and without a
+// compacting snapshot.
+// ---------------------------------------------------------------------------
+
+// RecoverOverheadRow compares one workload's throughput with and without
+// a journal attached. BaseNsPerOp and DurableNsPerOp are each side's best
+// window; OverheadPct is the median of the per-rep paired ratios (each
+// bare/journaled pair runs back to back, so slow machine drift hits both
+// sides of a ratio instead of skewing a best-vs-best comparison).
+type RecoverOverheadRow struct {
+	Benchmark      string  `json:"benchmark"`
+	Procs          int     `json:"procs"`
+	BaseNsPerOp    float64 `json:"base_ns_per_op"`
+	DurableNsPerOp float64 `json:"durable_ns_per_op"`
+	OverheadPct    float64 `json:"overhead_pct"`
+	// Appended is how many records the journaled run wrote (proof the
+	// journal was live, not optimised away).
+	Appended uint64 `json:"appended"`
+}
+
+// RecoverTimeRow is one recovery-time measurement: reopen a state
+// directory holding `Records` journaled mutations and time the replay.
+type RecoverTimeRow struct {
+	Records      int     `json:"records"`
+	JournalBytes int64   `json:"journal_bytes"`
+	Compacted    bool    `json:"compacted"`
+	Replayed     int     `json:"replayed"`
+	RecoverMs    float64 `json:"recover_ms"`
+}
+
+// RecoverResult bundles both halves of E14.
+type RecoverResult struct {
+	Overhead []RecoverOverheadRow `json:"overhead"`
+	Recovery []RecoverTimeRow     `json:"recovery"`
+}
+
+// recoverWorkloads are the workloads the steady-state budget applies to:
+// the cache-hit validation loop (journals nothing) and the role-entry
+// loop (one asynchronous issue append per entry).
+func recoverWorkloads() []parallelWorkload {
+	return []parallelWorkload{
+		{name: "invoke_cached", setup: setupInvokeCached},
+		{name: "activate_entry", setup: setupActivateEntry},
+	}
+}
+
+// maxEntryWorkers bounds the per-worker credentials setupActivateEntry
+// prepares; runParallelPoint never exceeds GOMAXPROCS values this large.
+const maxEntryWorkers = 64
+
+// setupActivateEntry measures the paper's role-entry hot path (Fig. 2
+// paths 1-2): each op enters guard.inside presenting a prerequisite login
+// RMC, which guard validates by callback to login before issuing its own
+// RMC. With a journal attached, every entry lands as one asynchronous
+// issue append; nothing in the loop blocks on an fsync.
+func setupActivateEntry(newWorld func() *World) (func(int) error, func(), error) {
+	w := newWorld()
+	login, err := w.Service("login", `login.user <- env ok.`, false)
+	if err != nil {
+		w.Close()
+		return nil, nil, err
+	}
+	AlwaysTrue(login, "ok")
+	guard, err := w.Service("guard", `guard.inside <- login.user keep [1].`, false)
+	if err != nil {
+		w.Close()
+		return nil, nil, err
+	}
+	roleInside := Role("guard", "inside")
+	principals := make([]string, maxEntryWorkers)
+	creds := make([]core.Presented, maxEntryWorkers)
+	for i := range creds {
+		principals[i] = fmt.Sprintf("worker_%d", i)
+		rmc, err := login.Activate(principals[i], Role("login", "user"), core.Presented{})
+		if err != nil {
+			w.Close()
+			return nil, nil, err
+		}
+		creds[i] = core.Presented{RMCs: []cert.RMC{rmc}}
+	}
+	op := func(worker int) error {
+		_, err := guard.Activate(principals[worker], roleInside, creds[worker])
+		return err
+	}
+	return op, w.Close, nil
+}
+
+// RunRecoverOverhead measures the journaling overhead on each workload at
+// each GOMAXPROCS value, bare versus journaled, alternating variants so
+// machine noise hits both equally (the E13 protocol). Pass procs >= 2:
+// the journal's committer is a background goroutine by design, so the
+// hot-path overhead is defined with a core available for it to run on —
+// at GOMAXPROCS=1 the number would instead measure the whole durability
+// subsystem time-slicing the foreground core.
+func RunRecoverOverhead(procs []int, window time.Duration, reps int) ([]RecoverOverheadRow, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	var rows []RecoverOverheadRow
+	for _, wl := range recoverWorkloads() {
+		for _, p := range procs {
+			var appended uint64
+			var reg *obs.Registry
+			journaled := func() *World {
+				w := NewWorld()
+				dir, err := os.MkdirTemp("", "e14-journal-*")
+				if err != nil {
+					panic(err)
+				}
+				reg = obs.NewRegistry() // private: services stay uninstrumented on both sides
+				l, err := durable.Open(durable.Options{Dir: dir, Obs: reg})
+				if err != nil {
+					panic(err)
+				}
+				w.Journal = l
+				w.OnClose = append(w.OnClose, func() {
+					l.Close()         //nolint:errcheck
+					os.RemoveAll(dir) //nolint:errcheck
+				})
+				return w
+			}
+			var base, dur float64
+			ratios := make([]float64, 0, reps)
+			for i := 0; i < reps; i++ {
+				// Swap which side runs first each rep so slow drift in
+				// machine load cancels instead of biasing one side.
+				var b, d ParallelRow
+				var err error
+				if i%2 == 0 {
+					b, err = runParallelPoint(wl, p, window, NewWorld)
+					if err == nil {
+						d, err = runParallelPoint(wl, p, window, journaled)
+					}
+				} else {
+					d, err = runParallelPoint(wl, p, window, journaled)
+					if err == nil {
+						b, err = runParallelPoint(wl, p, window, NewWorld)
+					}
+				}
+				if err != nil {
+					return nil, fmt.Errorf("%s at procs=%d: %w", wl.name, p, err)
+				}
+				ratios = append(ratios, d.NsPerOp/b.NsPerOp)
+				if base == 0 || b.NsPerOp < base {
+					base = b.NsPerOp
+				}
+				if dur == 0 || d.NsPerOp < dur {
+					dur = d.NsPerOp
+					appended = reg.Value("durable_append_records_total")
+				}
+			}
+			sort.Float64s(ratios)
+			med := ratios[len(ratios)/2]
+			if len(ratios)%2 == 0 {
+				med = (med + ratios[len(ratios)/2-1]) / 2
+			}
+			rows = append(rows, RecoverOverheadRow{
+				Benchmark:      wl.name,
+				Procs:          p,
+				BaseNsPerOp:    base,
+				DurableNsPerOp: dur,
+				OverheadPct:    (med - 1) * 100,
+				Appended:       appended,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RunRecoverTime builds state directories holding `sizes[i]` journaled
+// mutations and times recovery from each, journal-only and compacted.
+func RunRecoverTime(sizes []int) ([]RecoverTimeRow, error) {
+	var rows []RecoverTimeRow
+	for _, n := range sizes {
+		for _, compacted := range []bool{false, true} {
+			row, err := recoverTimePoint(n, compacted)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func recoverTimePoint(n int, compacted bool) (RecoverTimeRow, error) {
+	dir, err := os.MkdirTemp("", "e14-recover-*")
+	if err != nil {
+		return RecoverTimeRow{}, err
+	}
+	defer os.RemoveAll(dir) //nolint:errcheck
+
+	// NoSync while building the corpus: we are measuring replay, not the
+	// build, and the file contents are identical either way.
+	l, err := durable.Open(durable.Options{Dir: dir, NoSync: true, GroupWindow: -1})
+	if err != nil {
+		return RecoverTimeRow{}, err
+	}
+	if err := l.AppendWait(durable.Record{
+		Op: durable.OpKeys, Service: "login", Retain: 1,
+		Secrets: []sign.Secret{{KeyID: 1}},
+	}); err != nil {
+		return RecoverTimeRow{}, err
+	}
+	for i := 0; i < n; i++ {
+		serial := uint64(i + 1)
+		l.Append(durable.Record{
+			Op: durable.OpCRIssue, Service: "login", Serial: serial,
+			Subject: "login.user", Holder: fmt.Sprintf("p_%d", i%1000),
+		})
+		if i%5 == 0 {
+			l.Append(durable.Record{
+				Op: durable.OpCRRevoke, Service: "login", Serial: serial, Reason: "logout",
+			})
+		}
+		if i%10 == 0 {
+			l.Append(durable.Record{
+				Op: durable.OpFactAssert, Relation: "registered",
+				Tuple: []names.Term{names.Atom(fmt.Sprintf("d_%d", i%100)), names.Atom(fmt.Sprintf("p_%d", i))},
+			})
+		}
+	}
+	if err := l.Sync(); err != nil {
+		return RecoverTimeRow{}, err
+	}
+	if compacted {
+		if err := l.Compact(); err != nil {
+			return RecoverTimeRow{}, err
+		}
+	}
+	size := l.JournalSize()
+	if err := l.Close(); err != nil {
+		return RecoverTimeRow{}, err
+	}
+	if compacted {
+		// The active journal is empty after compaction; report the
+		// snapshot size instead so the row reflects bytes read at boot.
+		if fis, err := os.ReadDir(dir); err == nil {
+			size = 0
+			for _, fi := range fis {
+				if info, err := fi.Info(); err == nil {
+					size += info.Size()
+				}
+			}
+		}
+	}
+
+	start := time.Now()
+	l2, err := durable.Open(durable.Options{Dir: dir})
+	if err != nil {
+		return RecoverTimeRow{}, err
+	}
+	elapsed := time.Since(start)
+	rs := l2.ReplayStats()
+	l2.Close() //nolint:errcheck
+	return RecoverTimeRow{
+		Records:      n,
+		JournalBytes: size,
+		Compacted:    compacted,
+		Replayed:     rs.Records,
+		RecoverMs:    float64(elapsed.Nanoseconds()) / 1e6,
+	}, nil
+}

@@ -19,7 +19,7 @@ func newManualClock() *manualClock {
 	return c
 }
 
-func (c *manualClock) Now() time.Time        { return time.Unix(0, c.now.Load()) }
+func (c *manualClock) Now() time.Time          { return time.Unix(0, c.now.Load()) }
 func (c *manualClock) Advance(d time.Duration) { c.now.Add(int64(d)) }
 
 func newTestResilient(next Caller, clk *manualClock, cfg ResilientConfig) *ResilientCaller {

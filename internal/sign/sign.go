@@ -182,6 +182,59 @@ func (k *KeyRing) Sign(principalID string, fields ...[]byte) (Signature, uint32)
 	return sec.Sign(principalID, fields...), sec.KeyID
 }
 
+// Export returns the retained secrets, oldest first, plus the retention
+// window — everything needed to reconstruct an equivalent ring with
+// NewKeyRingFromSecrets. Callers own the durability of the result: the
+// secrets are the service's ability to verify every certificate it has
+// issued.
+func (k *KeyRing) Export() (secrets []Secret, retain int) {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	secrets = make([]Secret, 0, len(k.order))
+	for _, id := range k.order {
+		secrets = append(secrets, k.byID[id])
+	}
+	return secrets, k.retain
+}
+
+// NewKeyRingFromSecrets reconstructs a ring from an Export, restoring the
+// signing/verification state a service held before a crash: the last
+// secret becomes current, and future rotations continue past the highest
+// restored key id. Entropy defaults to crypto/rand.Reader when nil.
+func NewKeyRingFromSecrets(secrets []Secret, retain int, entropy io.Reader) (*KeyRing, error) {
+	if len(secrets) == 0 {
+		return nil, errors.New("sign: no secrets to restore")
+	}
+	if retain < 1 {
+		retain = 1
+	}
+	if entropy == nil {
+		entropy = rand.Reader
+	}
+	kr := &KeyRing{
+		byID:    make(map[uint32]Secret),
+		retain:  retain,
+		entropy: entropy,
+	}
+	for _, s := range secrets {
+		if _, dup := kr.byID[s.KeyID]; dup {
+			return nil, fmt.Errorf("sign: duplicate key id %d in restore", s.KeyID)
+		}
+		kr.byID[s.KeyID] = s
+		kr.order = append(kr.order, s.KeyID)
+		kr.current = s.KeyID
+		if s.KeyID >= kr.nextID {
+			kr.nextID = s.KeyID + 1
+		}
+	}
+	for len(kr.order) > kr.retain {
+		drop := kr.order[0]
+		kr.order = kr.order[1:]
+		delete(kr.byID, drop)
+	}
+	return kr, nil
+}
+
 // Verify checks a signature produced under keyID, if that secret is still
 // retained.
 func (k *KeyRing) Verify(keyID uint32, sig Signature, principalID string, fields ...[]byte) error {

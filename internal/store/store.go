@@ -28,8 +28,14 @@ import (
 var ErrNotGround = errors.New("store facts must be ground")
 
 // ChangeFunc observes assertions (added=true) and retractions
-// (added=false). Observers are called synchronously under no store lock,
-// after the change has been applied.
+// (added=false). Observers are called under no store lock, after the
+// change has been applied, and always in apply order: when concurrent
+// mutations race, every observer sees the notifications in exactly the
+// sequence the store applied them (a membership-rule monitor or journal
+// can never observe a retract-then-assert inversion of an
+// assert-then-retract history). A mutation call returns only after its
+// own notification has been delivered. Observers must not mutate the
+// store synchronously — hand mutations to another goroutine instead.
 type ChangeFunc func(relation string, tuple []names.Term, added bool)
 
 // relation holds one relation's tuples plus its indexes.
@@ -55,6 +61,24 @@ type Store struct {
 	mu        sync.RWMutex
 	relations map[string]*relation
 	observers []ChangeFunc
+
+	// Notification dispatch. Mutations enqueue under mu (so queue order
+	// is apply order) and then deliver through dispatchMu, which
+	// serialises observer callbacks; delivered counts dequeued items so
+	// each mutator can drain exactly until its own notification is out.
+	// Releasing mu before delivery used to let two racing mutations of
+	// the same fact notify observers in the inverted order.
+	dispatchMu sync.Mutex
+	notifyq    []notification
+	enqueued   uint64 // items ever enqueued (next item's 1-based seq)
+	delivered  uint64 // items ever delivered; guarded by dispatchMu
+}
+
+// notification is one queued observer delivery.
+type notification struct {
+	relation string
+	tuple    []names.Term
+	added    bool
 }
 
 // New creates an empty store.
@@ -79,13 +103,34 @@ func (s *Store) Observe(f ChangeFunc) {
 	s.observers = append(s.observers, f)
 }
 
-func (s *Store) notify(relationName string, tuple []names.Term, added bool) {
-	s.mu.RLock()
-	obs := make([]ChangeFunc, len(s.observers))
-	copy(obs, s.observers)
-	s.mu.RUnlock()
-	for _, f := range obs {
-		f(relationName, tuple, added)
+// enqueueLocked queues a notification while the caller still holds s.mu
+// (write-locked), fixing the queue position to the apply order. It returns
+// the notification's 1-based sequence number.
+func (s *Store) enqueueLocked(relationName string, tuple []names.Term, added bool) uint64 {
+	s.notifyq = append(s.notifyq, notification{relation: relationName, tuple: tuple, added: added})
+	s.enqueued++
+	return s.enqueued
+}
+
+// deliverUntil drains the notification queue, in order, at least until the
+// notification with sequence seq has been delivered. Delivery is
+// serialised by dispatchMu, so whichever mutator holds it delivers for
+// everyone queued ahead of it; mutators queued behind finish the rest when
+// their turn comes.
+func (s *Store) deliverUntil(seq uint64) {
+	s.dispatchMu.Lock()
+	defer s.dispatchMu.Unlock()
+	for s.delivered < seq {
+		s.mu.Lock()
+		n := s.notifyq[0]
+		s.notifyq = s.notifyq[1:]
+		obs := make([]ChangeFunc, len(s.observers))
+		copy(obs, s.observers)
+		s.mu.Unlock()
+		for _, f := range obs {
+			f(n.relation, n.tuple, n.added)
+		}
+		s.delivered++
 	}
 }
 
@@ -122,9 +167,10 @@ func (s *Store) Assert(relationName string, tuple ...names.Term) (bool, error) {
 		}
 		set[key] = struct{}{}
 	}
+	seq := s.enqueueLocked(relationName, cp, true)
 	s.mu.Unlock()
 
-	s.notify(relationName, cp, true)
+	s.deliverUntil(seq)
 	return true, nil
 }
 
@@ -161,9 +207,10 @@ func (s *Store) Retract(relationName string, tuple ...names.Term) (bool, error) 
 	if len(rel.tuples) == 0 {
 		delete(s.relations, relationName)
 	}
+	seq := s.enqueueLocked(relationName, fact, false)
 	s.mu.Unlock()
 
-	s.notify(relationName, fact, false)
+	s.deliverUntil(seq)
 	return true, nil
 }
 

@@ -3,6 +3,7 @@ package store
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -293,5 +294,66 @@ func TestQuickAssertRetract(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestObserverOrderUnderContention is the regression test for the
+// observer-ordering race: Assert/Retract used to release the store lock
+// before notifying, so two racing mutations of the same fact could deliver
+// their observer callbacks inverted (retract-then-assert for an
+// assert-then-retract history). With apply-order dispatch, the observed
+// stream for a single fact must be a strict added/retracted alternation
+// starting with added. Run with -race.
+func TestObserverOrderUnderContention(t *testing.T) {
+	s := New()
+	var mu sync.Mutex
+	var seen []bool
+	s.Observe(func(rel string, tuple []names.Term, added bool) {
+		mu.Lock()
+		seen = append(seen, added)
+		mu.Unlock()
+	})
+
+	tuple := []names.Term{names.Atom("contended")}
+	const workers = 8
+	const iters = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				s.Assert("f", tuple...)  //nolint:errcheck
+				s.Retract("f", tuple...) //nolint:errcheck
+			}
+		}()
+	}
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) == 0 || len(seen)%2 != 0 {
+		t.Fatalf("observed %d notifications, want a positive even count", len(seen))
+	}
+	for i, added := range seen {
+		if want := i%2 == 0; added != want {
+			t.Fatalf("notification %d: added=%v, want %v — observer order inverted", i, added, want)
+		}
+	}
+}
+
+// TestObserverDeliveredBeforeReturn checks that a mutation does not return
+// before its own notification has been delivered.
+func TestObserverDeliveredBeforeReturn(t *testing.T) {
+	s := New()
+	var delivered atomic.Int64
+	s.Observe(func(string, []names.Term, bool) { delivered.Add(1) })
+	for i := 0; i < 50; i++ {
+		if _, err := s.Assert("r", names.Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+		if got := delivered.Load(); got != int64(i+1) {
+			t.Fatalf("after assert %d: %d notifications delivered", i, got)
+		}
 	}
 }
