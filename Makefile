@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench tables obs recover examples cover clean
+.PHONY: all build vet lint test race bench tables obs recover wire examples cover clean
 
 all: build vet test race
 
@@ -45,6 +45,11 @@ obs:
 # recovery time as a function of journal size (BENCH_recover.json).
 recover:
 	$(GO) run ./cmd/benchtab -exp recover -recover-json BENCH_recover.json
+
+# E15: wire hot path — framing latency, batched callback validation
+# under fan-in, and binary-vs-JSON codec rows (BENCH_wire.json).
+wire:
+	$(GO) run ./cmd/benchtab -exp wire -wire-json BENCH_wire.json
 
 # Run all six runnable paper scenarios.
 examples:

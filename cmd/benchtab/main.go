@@ -33,6 +33,8 @@ var (
 	faultsJSONPath  string
 	obsJSONPath     string
 	recoverJSONPath string
+	wireJSONPath    string
+	quick           bool
 )
 
 func main() {
@@ -42,6 +44,8 @@ func main() {
 	flag.StringVar(&faultsJSONPath, "faults-json", "", "write fault-injection rows to this JSON file")
 	flag.StringVar(&obsJSONPath, "obs-json", "", "write observability-overhead rows to this JSON file")
 	flag.StringVar(&recoverJSONPath, "recover-json", "", "write durability overhead + recovery-time rows to this JSON file")
+	flag.StringVar(&wireJSONPath, "wire-json", "", "write wire hot-path rows to this JSON file")
+	flag.BoolVar(&quick, "quick", false, "shrink sample counts and windows (CI smoke, not for published numbers)")
 	flag.Parse()
 	if err := run(*exp, *list); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
@@ -64,6 +68,7 @@ var experimentsTable = map[string]func(*tabwriter.Writer) error{
 	"faults":    runFaults,
 	"obs":       runObs,
 	"recover":   runRecover,
+	"wire":      runWire,
 }
 
 func run(exp string, list bool) error {
@@ -372,6 +377,55 @@ func runRecover(w *tabwriter.Writer) error {
 		return err
 	}
 	fmt.Fprintf(w, "(rows written to %s)\n", recoverJSONPath)
+	return nil
+}
+
+func runWire(w *tabwriter.Writer) error {
+	// Fan-in windows are long enough to ride out scheduler and GC noise;
+	// a storm cycles in ~1ms, so 2s covers thousands of herd round trips.
+	latencyOps, window := 2000, 2*time.Second
+	if quick {
+		latencyOps, window = 200, 80*time.Millisecond
+	}
+	res, err := experiments.RunWire([]int{2, 8}, latencyOps, window)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "== E15: wire hot path — framing, batched validation, binary codecs ==")
+	fmt.Fprintln(w, "protocol\tops\tmedian\tp99")
+	for _, row := range res.Latency {
+		fmt.Fprintf(w, "%s\t%d\t%v\t%v\n", row.Mode, row.Ops,
+			time.Duration(row.MedianNs).Round(100*time.Nanosecond),
+			time.Duration(row.P99Ns).Round(100*time.Nanosecond))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nmode\tprocs\tworkers\tinvocations\tops/sec\tbatches\tbatched validations\tbytes sent/op")
+	for _, row := range res.Fanin {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.0f\t%d\t%d\t%.0f\n",
+			row.Mode, row.Procs, row.Workers, row.Invocations, row.OpsPerSec,
+			row.BatchesSent, row.BatchedValidations, row.BytesSentPerOp)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\ncodec\tpayload\tbytes/op\tallocs/op\tns/op")
+	for _, row := range res.Codec {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%.1f\t%.0f\n",
+			row.Codec, row.Payload, row.BytesPerOp, row.AllocsPerOp, row.NsPerOp)
+	}
+	if wireJSONPath == "" {
+		return nil
+	}
+	out, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(wireJSONPath, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "(rows written to %s)\n", wireJSONPath)
 	return nil
 }
 

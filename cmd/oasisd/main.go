@@ -88,6 +88,7 @@ func main() {
 		civCount   = flag.Int("civ", 0, "share a replicated CIV record store of N replicas across hosted services (0 = service-local records)")
 		node       = flag.String("node", "", "node name for cross-process event relaying (default: the listen address)")
 		revalidate = flag.Duration("revalidate", 0, "re-confirm cached foreign certificates after this age (0 = cache until revoked)")
+		batchWin   = flag.Duration("batch-window", 0, "coalesce concurrent callback validations per issuer for up to this long (0 = default window, negative = disable batching)")
 		staleGrace = flag.Duration("stale-grace", 0, "serve previously-confirmed certificates for this long when the issuer is unreachable (0 = fail closed immediately)")
 		heartbeat  = flag.Duration("heartbeat", 0, fmt.Sprintf(
 			"emit and sweep liveness heartbeats at this period; silence past %dx the period synthetically revokes (0 = off)",
@@ -109,7 +110,8 @@ func main() {
 	cfg := daemonConfig{
 		addr: *addr, factsPath: *facts, civCount: *civCount, node: *node,
 		revalidate: *revalidate, staleGrace: *staleGrace, heartbeat: *heartbeat,
-		obsAddr: *obsAddr, stateDir: *stateDir,
+		batchWindow: *batchWin,
+		obsAddr:     *obsAddr, stateDir: *stateDir,
 		svcs: svcs, peers: peers, relayTo: relayTo,
 	}
 	if err := run(cfg); err != nil {
@@ -119,18 +121,19 @@ func main() {
 }
 
 type daemonConfig struct {
-	addr       string
-	factsPath  string
-	civCount   int
-	node       string
-	revalidate time.Duration
-	staleGrace time.Duration
-	heartbeat  time.Duration
-	obsAddr    string
-	stateDir   string
-	svcs       []string
-	peers      []string
-	relayTo    []string
+	addr        string
+	factsPath   string
+	civCount    int
+	node        string
+	revalidate  time.Duration
+	staleGrace  time.Duration
+	heartbeat   time.Duration
+	batchWindow time.Duration
+	obsAddr     string
+	stateDir    string
+	svcs        []string
+	peers       []string
+	relayTo     []string
 }
 
 func run(cfg daemonConfig) error {
@@ -171,6 +174,7 @@ func run(cfg daemonConfig) error {
 	// fast instead of stalling every validation.
 	local := rpc.NewLoopback()
 	directory := rpc.NewDirectoryPool(10*time.Second, 4)
+	directory.Instrument(reg)
 	defer directory.Close()
 	for _, p := range peers {
 		name, peerAddr, ok := strings.Cut(p, "=")
@@ -264,6 +268,7 @@ func run(cfg daemonConfig) error {
 	}
 
 	server := rpc.NewTCPServer()
+	server.Instrument(reg)
 	var hosted []*core.Service
 	for _, s := range svcs {
 		name, policyPath, ok := strings.Cut(s, "=")
@@ -287,6 +292,7 @@ func run(cfg daemonConfig) error {
 			Records:          records,
 			RevalidateAfter:  cfg.revalidate,
 			StaleGrace:       cfg.staleGrace,
+			BatchWindow:      cfg.batchWindow,
 			Heartbeats:       hb,
 			Obs:              reg,
 			Trace:            tracer,

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/names"
@@ -57,20 +58,60 @@ type RMC struct {
 	Sig   sign.Signature `json:"sig"`
 }
 
-// protectedFields serialises the fields covered by an RMC signature. Any
-// change to these bytes invalidates the signature (protection from
-// tampering).
-func (r RMC) protectedFields() [][]byte {
-	fields := make([][]byte, 0, 3+len(r.Role.Params))
-	fields = append(fields, []byte(r.Role.Name.String()))
-	for _, p := range r.Role.Params {
-		fields = append(fields, encodeTerm(p))
+// pfScratch backs one protected-fields construction: every field's bytes
+// live in one pooled arena and the fields slice holds sub-slices of it,
+// so signing or verifying a certificate allocates nothing in steady
+// state (verification runs per item on the callback-validation hot
+// path). Field boundaries are recorded as offsets during the build and
+// materialised afterwards, because arena growth would invalidate
+// sub-slices taken early.
+type pfScratch struct {
+	fields [][]byte
+	offs   []int
+	buf    []byte
+}
+
+var pfPool = sync.Pool{New: func() any { return &pfScratch{} }}
+
+func (s *pfScratch) reset() {
+	s.fields = s.fields[:0]
+	s.offs = append(s.offs[:0], 0)
+	s.buf = s.buf[:0]
+}
+
+// mark ends the current field at the arena's write position.
+func (s *pfScratch) mark() { s.offs = append(s.offs, len(s.buf)) }
+
+// done slices the arena into the recorded fields.
+func (s *pfScratch) done() [][]byte {
+	for i := 1; i < len(s.offs); i++ {
+		s.fields = append(s.fields, s.buf[s.offs[i-1]:s.offs[i]])
 	}
-	var refKey [12]byte
-	binary.BigEndian.PutUint64(refKey[:8], r.Ref.Serial)
-	binary.BigEndian.PutUint32(refKey[8:], r.KeyID)
-	fields = append(fields, []byte(r.Ref.Issuer), refKey[:])
-	return fields
+	return s.fields
+}
+
+// appendProtected serialises the fields covered by an RMC signature into
+// the scratch arena. Any change to these bytes invalidates the signature
+// (protection from tampering). The first field is the role name rendered
+// exactly as RoleName.String (service.name/arity).
+func (r RMC) appendProtected(s *pfScratch) [][]byte {
+	s.reset()
+	s.buf = append(s.buf, r.Role.Name.Service...)
+	s.buf = append(s.buf, '.')
+	s.buf = append(s.buf, r.Role.Name.Name...)
+	s.buf = append(s.buf, '/')
+	s.buf = strconv.AppendInt(s.buf, int64(r.Role.Name.Arity), 10)
+	s.mark()
+	for _, p := range r.Role.Params {
+		s.buf = appendTerm(s.buf, p)
+		s.mark()
+	}
+	s.buf = append(s.buf, r.Ref.Issuer...)
+	s.mark()
+	s.buf = binary.BigEndian.AppendUint64(s.buf, r.Ref.Serial)
+	s.buf = binary.BigEndian.AppendUint32(s.buf, r.KeyID)
+	s.mark()
+	return s.done()
 }
 
 // IssueRMC creates a signed RMC for a ground role, bound to principalID,
@@ -80,12 +121,14 @@ func IssueRMC(ring *sign.KeyRing, principalID string, role names.Role, ref CRR) 
 		return RMC{}, fmt.Errorf("%w: %s", ErrNotGround, role)
 	}
 	r := RMC{Role: role, Ref: ref}
+	s := pfPool.Get().(*pfScratch)
+	defer pfPool.Put(s)
 	// The key id is itself a protected field, so fix it before signing;
 	// if a rotation races between reading the id and signing, the ring
 	// reports the id it actually used and we retry under that key.
 	r.KeyID = ring.CurrentKeyID()
 	for {
-		sig, used := ring.Sign(principalID, r.protectedFields()...)
+		sig, used := ring.Sign(principalID, r.appendProtected(s)...)
 		if used == r.KeyID {
 			r.Sig = sig
 			return r, nil
@@ -98,7 +141,10 @@ func IssueRMC(ring *sign.KeyRing, principalID string, role names.Role, ref CRR) 
 // the issuer's key ring. It detects tampering, forgery, and theft (wrong
 // principal id).
 func (r RMC) Verify(ring *sign.KeyRing, principalID string) error {
-	return ring.Verify(r.KeyID, r.Sig, principalID, r.protectedFields()...)
+	s := pfPool.Get().(*pfScratch)
+	err := ring.Verify(r.KeyID, r.Sig, principalID, r.appendProtected(s)...)
+	pfPool.Put(s)
+	return err
 }
 
 // AppointmentCertificate is a long-lived credential whose lifetime is
@@ -132,23 +178,33 @@ type AppointmentCertificate struct {
 	Sig   sign.Signature `json:"sig"`
 }
 
-func (a AppointmentCertificate) protectedFields() [][]byte {
-	fields := make([][]byte, 0, 6+len(a.Params))
-	var nums [20]byte
-	binary.BigEndian.PutUint64(nums[:8], a.Serial)
-	binary.BigEndian.PutUint64(nums[8:16], uint64(a.IssuedAt.UnixNano()))
-	binary.BigEndian.PutUint32(nums[16:], a.KeyID)
-	var exp [8]byte
+// appendProtected serialises the fields covered by an appointment
+// signature into the scratch arena (same framing as before pooling:
+// issuer, serial/issued-at/key-id block, expiry block, kind, appointer,
+// then each parameter).
+func (a AppointmentCertificate) appendProtected(s *pfScratch) [][]byte {
+	s.reset()
+	s.buf = append(s.buf, a.Issuer...)
+	s.mark()
+	s.buf = binary.BigEndian.AppendUint64(s.buf, a.Serial)
+	s.buf = binary.BigEndian.AppendUint64(s.buf, uint64(a.IssuedAt.UnixNano()))
+	s.buf = binary.BigEndian.AppendUint32(s.buf, a.KeyID)
+	s.mark()
+	exp := uint64(0)
 	if !a.ExpiresAt.IsZero() {
-		binary.BigEndian.PutUint64(exp[:], uint64(a.ExpiresAt.UnixNano()))
+		exp = uint64(a.ExpiresAt.UnixNano())
 	}
-	fields = append(fields,
-		[]byte(a.Issuer), nums[:], exp[:], []byte(a.Kind),
-		[]byte(a.AppointedBy))
+	s.buf = binary.BigEndian.AppendUint64(s.buf, exp)
+	s.mark()
+	s.buf = append(s.buf, a.Kind...)
+	s.mark()
+	s.buf = append(s.buf, a.AppointedBy...)
+	s.mark()
 	for _, p := range a.Params {
-		fields = append(fields, encodeTerm(p))
+		s.buf = appendTerm(s.buf, p)
+		s.mark()
 	}
-	return fields
+	return s.done()
 }
 
 // IssueAppointment signs an appointment certificate with the issuer's
@@ -160,8 +216,10 @@ func IssueAppointment(ring *sign.KeyRing, a AppointmentCertificate) (Appointment
 		}
 	}
 	a.KeyID = ring.CurrentKeyID()
+	s := pfPool.Get().(*pfScratch)
+	defer pfPool.Put(s)
 	for {
-		sig, used := ring.Sign(a.Holder, a.protectedFields()...)
+		sig, used := ring.Sign(a.Holder, a.appendProtected(s)...)
 		if used == a.KeyID {
 			a.Sig = sig
 			return a, nil
@@ -177,7 +235,10 @@ func (a AppointmentCertificate) Verify(ring *sign.KeyRing, now time.Time) error 
 	if !a.ExpiresAt.IsZero() && now.After(a.ExpiresAt) {
 		return fmt.Errorf("%w: at %s", ErrExpired, a.ExpiresAt.Format(time.RFC3339))
 	}
-	return ring.Verify(a.KeyID, a.Sig, a.Holder, a.protectedFields()...)
+	s := pfPool.Get().(*pfScratch)
+	err := ring.Verify(a.KeyID, a.Sig, a.Holder, a.appendProtected(s)...)
+	pfPool.Put(s)
+	return err
 }
 
 // Key returns a canonical identity for the appointment record at its
@@ -186,20 +247,21 @@ func (a AppointmentCertificate) Key() string {
 	return a.Issuer + "#appt#" + strconv.FormatUint(a.Serial, 10)
 }
 
-// encodeTerm gives a term an unambiguous byte encoding for signing.
-func encodeTerm(t names.Term) []byte {
+// appendTerm gives a term an unambiguous byte encoding for signing.
+func appendTerm(dst []byte, t names.Term) []byte {
 	switch t.Kind {
 	case names.KindAtom:
-		return append([]byte{'a'}, t.Sym...)
+		dst = append(dst, 'a')
+		return append(dst, t.Sym...)
 	case names.KindString:
-		return append([]byte{'s'}, t.Sym...)
+		dst = append(dst, 's')
+		return append(dst, t.Sym...)
 	case names.KindInt:
-		var b [9]byte
-		b[0] = 'i'
-		binary.BigEndian.PutUint64(b[1:], uint64(t.Num))
-		return b[:]
+		dst = append(dst, 'i')
+		return binary.BigEndian.AppendUint64(dst, uint64(t.Num))
 	default:
-		return append([]byte{'v'}, t.Sym...)
+		dst = append(dst, 'v')
+		return append(dst, t.Sym...)
 	}
 }
 

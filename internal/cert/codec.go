@@ -1,0 +1,307 @@
+package cert
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/names"
+	"repro/internal/sign"
+)
+
+// Binary certificate codec: hand-rolled append-style encoders and
+// cursor-style decoders for the wire bodies on the validation hot path,
+// replacing encoding/json there (the JSON forms remain the readable
+// interchange format, per Sect. 5 of the paper; the signature protects
+// the fields, not the encoding, so the two forms are interchangeable).
+//
+// Layout conventions: uvarint lengths and counts, signed varints for
+// int64 values, raw bytes for fixed-size fields, and a one-byte presence
+// flag + UnixNano varint for timestamps (flag 0 encodes the zero time,
+// which has no in-range UnixNano). Decoders never trust a length beyond
+// the remaining input and never panic on garbage — they return
+// ErrBinaryCodec.
+
+// ErrBinaryCodec is returned for any malformed binary certificate input.
+var ErrBinaryCodec = errors.New("cert: malformed binary encoding")
+
+// appendUvarint/appendVarint wrap binary.Append*; appendLenBytes and
+// appendLenString write a uvarint length followed by the raw bytes.
+func appendLenString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// binReader is a bounds-checked decode cursor. Methods keep the first
+// error sticky so call sites can check once at the end of a struct.
+type binReader struct {
+	b   []byte
+	err error
+}
+
+func (r *binReader) fail() {
+	if r.err == nil {
+		r.err = ErrBinaryCodec
+	}
+}
+
+func (r *binReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *binReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *binReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 1 {
+		r.fail()
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *binReader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if uint64(len(r.b)) < n {
+		r.fail()
+		return ""
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s
+}
+
+func (r *binReader) raw(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.b) < n {
+		r.fail()
+		return nil
+	}
+	v := r.b[:n]
+	r.b = r.b[n:]
+	return v
+}
+
+// Timestamps: presence flag + UnixNano varint. The zero time has no
+// representable UnixNano, hence the flag.
+func appendTime(dst []byte, t time.Time) []byte {
+	if t.IsZero() {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	return binary.AppendVarint(dst, t.UnixNano())
+}
+
+func (r *binReader) time() time.Time {
+	switch r.byte() {
+	case 0:
+		return time.Time{}
+	case 1:
+		return time.Unix(0, r.varint())
+	default:
+		r.fail()
+		return time.Time{}
+	}
+}
+
+// Terms: kind byte, then the kind's payload.
+func appendTermBinary(dst []byte, t names.Term) []byte {
+	dst = append(dst, byte(t.Kind))
+	if t.Kind == names.KindInt {
+		return binary.AppendVarint(dst, t.Num)
+	}
+	return appendLenString(dst, t.Sym)
+}
+
+func (r *binReader) term() names.Term {
+	kind := names.TermKind(r.byte())
+	switch kind {
+	case names.KindInt:
+		return names.Term{Kind: kind, Num: r.varint()}
+	case names.KindVar, names.KindAtom, names.KindString:
+		return names.Term{Kind: kind, Sym: r.str()}
+	default:
+		r.fail()
+		return names.Term{}
+	}
+}
+
+func appendTermsBinary(dst []byte, ts []names.Term) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ts)))
+	for _, t := range ts {
+		dst = appendTermBinary(dst, t)
+	}
+	return dst
+}
+
+// maxBinaryCount bounds decoded element counts so a corrupt uvarint
+// cannot drive a huge allocation before the input runs out.
+const maxBinaryCount = 1 << 16
+
+func (r *binReader) terms() []names.Term {
+	n := r.uvarint()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if n > maxBinaryCount || uint64(len(r.b)) < n {
+		// Every term costs at least one byte; anything larger is corrupt.
+		r.fail()
+		return nil
+	}
+	ts := make([]names.Term, n)
+	for i := range ts {
+		ts[i] = r.term()
+	}
+	return ts
+}
+
+// AppendCRRBinary appends the binary form of a CRR to dst.
+func AppendCRRBinary(dst []byte, c CRR) []byte {
+	dst = appendLenString(dst, c.Issuer)
+	return binary.AppendUvarint(dst, c.Serial)
+}
+
+func (r *binReader) crr() CRR {
+	return CRR{Issuer: r.str(), Serial: r.uvarint()}
+}
+
+// AppendRMCBinary appends the binary form of an RMC to dst: role
+// (service, name, arity, params), CRR, key id, signature.
+func AppendRMCBinary(dst []byte, rmc RMC) []byte {
+	dst = appendLenString(dst, rmc.Role.Name.Service)
+	dst = appendLenString(dst, rmc.Role.Name.Name)
+	dst = binary.AppendUvarint(dst, uint64(rmc.Role.Name.Arity))
+	dst = appendTermsBinary(dst, rmc.Role.Params)
+	dst = AppendCRRBinary(dst, rmc.Ref)
+	dst = binary.AppendUvarint(dst, uint64(rmc.KeyID))
+	return append(dst, rmc.Sig[:]...)
+}
+
+func (r *binReader) rmc() RMC {
+	var rmc RMC
+	rmc.Role.Name.Service = r.str()
+	rmc.Role.Name.Name = r.str()
+	rmc.Role.Name.Arity = int(r.uvarint())
+	rmc.Role.Params = r.terms()
+	rmc.Ref = r.crr()
+	rmc.KeyID = uint32(r.uvarint())
+	copy(rmc.Sig[:], r.raw(len(sign.Signature{})))
+	return rmc
+}
+
+// AppendAppointmentBinary appends the binary form of an appointment
+// certificate to dst.
+func AppendAppointmentBinary(dst []byte, a AppointmentCertificate) []byte {
+	dst = appendLenString(dst, a.Issuer)
+	dst = binary.AppendUvarint(dst, a.Serial)
+	dst = appendLenString(dst, a.Kind)
+	dst = appendTermsBinary(dst, a.Params)
+	dst = appendLenString(dst, a.Holder)
+	dst = appendLenString(dst, a.AppointedBy)
+	dst = appendTime(dst, a.IssuedAt)
+	dst = appendTime(dst, a.ExpiresAt)
+	dst = binary.AppendUvarint(dst, uint64(a.KeyID))
+	return append(dst, a.Sig[:]...)
+}
+
+func (r *binReader) appointment() AppointmentCertificate {
+	var a AppointmentCertificate
+	a.Issuer = r.str()
+	a.Serial = r.uvarint()
+	a.Kind = r.str()
+	a.Params = r.terms()
+	a.Holder = r.str()
+	a.AppointedBy = r.str()
+	a.IssuedAt = r.time()
+	a.ExpiresAt = r.time()
+	a.KeyID = uint32(r.uvarint())
+	copy(a.Sig[:], r.raw(len(sign.Signature{})))
+	return a
+}
+
+// ReadRMCBinary decodes one RMC from the front of b, returning the
+// remaining bytes — the composition point for multi-certificate wire
+// bodies such as validation batches.
+func ReadRMCBinary(b []byte) (RMC, []byte, error) {
+	r := binReader{b: b}
+	rmc := r.rmc()
+	if r.err != nil {
+		return RMC{}, nil, fmt.Errorf("decode rmc: %w", r.err)
+	}
+	return rmc, r.b, nil
+}
+
+// ReadAppointmentBinary decodes one appointment certificate from the
+// front of b, returning the remaining bytes.
+func ReadAppointmentBinary(b []byte) (AppointmentCertificate, []byte, error) {
+	r := binReader{b: b}
+	a := r.appointment()
+	if r.err != nil {
+		return AppointmentCertificate{}, nil, fmt.Errorf("decode appointment: %w", r.err)
+	}
+	return a, r.b, nil
+}
+
+// EncodeRMCBinary encodes a single RMC.
+func EncodeRMCBinary(rmc RMC) []byte { return AppendRMCBinary(nil, rmc) }
+
+// DecodeRMCBinary decodes a single RMC, requiring the whole input to be
+// consumed.
+func DecodeRMCBinary(b []byte) (RMC, error) {
+	rmc, rest, err := ReadRMCBinary(b)
+	if err != nil {
+		return RMC{}, err
+	}
+	if len(rest) != 0 {
+		return RMC{}, fmt.Errorf("decode rmc: %d trailing bytes: %w", len(rest), ErrBinaryCodec)
+	}
+	return rmc, nil
+}
+
+// EncodeAppointmentBinary encodes a single appointment certificate.
+func EncodeAppointmentBinary(a AppointmentCertificate) []byte {
+	return AppendAppointmentBinary(nil, a)
+}
+
+// DecodeAppointmentBinary decodes a single appointment certificate,
+// requiring the whole input to be consumed.
+func DecodeAppointmentBinary(b []byte) (AppointmentCertificate, error) {
+	a, rest, err := ReadAppointmentBinary(b)
+	if err != nil {
+		return AppointmentCertificate{}, err
+	}
+	if len(rest) != 0 {
+		return AppointmentCertificate{}, fmt.Errorf("decode appointment: %d trailing bytes: %w", len(rest), ErrBinaryCodec)
+	}
+	return a, nil
+}

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func withBatchWindow(d time.Duration) func(*Config) {
+	return func(c *Config) { c.BatchWindow = d }
+}
+
+// slowValidateCaller delays single validate calls so concurrent
+// validations pile up behind the gating flight; validate_batch departures
+// pass through undelayed.
+func (w *world) slowValidateCaller(delay time.Duration) callerFunc {
+	return func(service, method string, body []byte) ([]byte, error) {
+		if method == "validate_rmc" || method == "validate_appt" {
+			time.Sleep(delay)
+		}
+		return w.bus.Call(service, method, body)
+	}
+}
+
+// TestBatchCoalescesFanIn drives 8 concurrent uncached validations for
+// the same issuer: the first two take the flight slots as single calls,
+// the rest gather behind them and leave together as one validate_batch.
+func TestBatchCoalescesFanIn(t *testing.T) {
+	w := newWorld(t)
+	login := w.service("login", `login.user <- env ok.`)
+	alwaysTrue(login, "ok")
+	guard := w.service("guard", `auth enter <- login.user.`,
+		withCaller(w.slowValidateCaller(250*time.Millisecond)),
+		withBatchWindow(time.Second))
+
+	sess := w.session()
+	rmc, err := login.Activate(sess.PrincipalID(), role("login", "user"), Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(rmc)
+	creds := sess.Credentials()
+
+	var wg sync.WaitGroup
+	invoke := func() {
+		defer wg.Done()
+		if _, err := guard.Invoke(sess.PrincipalID(), "enter", nil, creds); err != nil {
+			t.Errorf("invoke: %v", err)
+		}
+	}
+	wg.Add(1)
+	go invoke() // gating single flight, held 250ms by the slow caller
+	time.Sleep(50 * time.Millisecond)
+	for g := 0; g < 7; g++ {
+		wg.Add(1)
+		go invoke() // pile up behind the gate
+	}
+	wg.Wait()
+
+	st := guard.Stats()
+	if st.BatchesSent != 1 {
+		t.Errorf("BatchesSent = %d, want 1", st.BatchesSent)
+	}
+	if st.BatchedValidations != 6 {
+		t.Errorf("BatchedValidations = %d, want 6 (8 minus the two flight-slot singles)", st.BatchedValidations)
+	}
+	if st.CallbackValidations != 8 {
+		t.Errorf("CallbackValidations = %d, want 8", st.CallbackValidations)
+	}
+}
+
+// TestBatchLoneCallDepartsImmediately: with no concurrent traffic a
+// validation must leave as a single binary-coded call — no batch, no
+// added window wait.
+func TestBatchLoneCallDepartsImmediately(t *testing.T) {
+	w := newWorld(t)
+	login := w.service("login", `login.user <- env ok.`)
+	alwaysTrue(login, "ok")
+
+	var mu sync.Mutex
+	var methods []string
+	var binaries []bool
+	spy := callerFunc(func(service, method string, body []byte) ([]byte, error) {
+		mu.Lock()
+		methods = append(methods, method)
+		binaries = append(binaries, isBinaryBody(body))
+		mu.Unlock()
+		return w.bus.Call(service, method, body)
+	})
+	guard := w.service("guard", `auth enter <- login.user.`, withCaller(spy),
+		withBatchWindow(time.Hour)) // a huge window must not delay a lone call
+
+	sess := w.session()
+	rmc, err := login.Activate(sess.PrincipalID(), role("login", "user"), Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(rmc)
+
+	start := time.Now()
+	if _, err := guard.Invoke(sess.PrincipalID(), "enter", nil, sess.Credentials()); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("lone call took %v; batching must not delay it", elapsed)
+	}
+	st := guard.Stats()
+	if st.BatchesSent != 0 || st.BatchedValidations != 0 {
+		t.Errorf("lone call was batched: %+v", st)
+	}
+	if st.CallbackValidations != 1 {
+		t.Errorf("CallbackValidations = %d, want 1", st.CallbackValidations)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(methods) != 1 || methods[0] != "validate_rmc" {
+		t.Fatalf("methods = %v, want [validate_rmc]", methods)
+	}
+	if !binaries[0] {
+		t.Error("lone call did not use the binary wire body")
+	}
+}
+
+// legacyHandler simulates a pre-upgrade issuer: validate_batch is an
+// unknown method and binary request bodies fail to decode; JSON bodies
+// are delegated to the real handler.
+func legacyHandler(h func(string, []byte) ([]byte, error)) func(string, []byte) ([]byte, error) {
+	return func(method string, body []byte) ([]byte, error) {
+		switch method {
+		case "validate_batch":
+			return nil, fmt.Errorf("unknown method %q", method)
+		case "validate_rmc", "validate_appt":
+			if isBinaryBody(body) {
+				return nil, fmt.Errorf("decode: invalid character %q looking for beginning of value", body[0])
+			}
+		}
+		return h(method, body)
+	}
+}
+
+// TestBatchFallsBackToJSONForLegacyIssuer: an issuer that cannot decode
+// binary bodies triggers one JSON retry and a sticky per-issuer
+// downgrade; validation still succeeds both times.
+func TestBatchFallsBackToJSONForLegacyIssuer(t *testing.T) {
+	w := newWorld(t)
+	login := w.service("login", `login.user <- env ok.`)
+	alwaysTrue(login, "ok")
+	w.bus.Register("login", legacyHandler(login.Handler()))
+	guard := w.service("guard", `auth enter <- login.user.`)
+
+	sess := w.session()
+	rmc, err := login.Activate(sess.PrincipalID(), role("login", "user"), Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(rmc)
+	creds := sess.Credentials()
+
+	// First use: binary attempt is refused ("decode:"), JSON retry lands.
+	if _, err := guard.Invoke(sess.PrincipalID(), "enter", nil, creds); err != nil {
+		t.Fatalf("invoke against legacy issuer: %v", err)
+	}
+	if got := guard.Stats().CallbackValidations; got != 2 {
+		t.Errorf("CallbackValidations = %d, want 2 (binary attempt + JSON retry)", got)
+	}
+	// Second use: the downgrade is sticky — straight to JSON, one call.
+	if _, err := guard.Invoke(sess.PrincipalID(), "enter", nil, creds); err != nil {
+		t.Fatalf("second invoke: %v", err)
+	}
+	if got := guard.Stats().CallbackValidations; got != 3 {
+		t.Errorf("CallbackValidations = %d, want 3 (sticky JSON downgrade)", got)
+	}
+}
+
+// TestBatchFallsBackPerItemForLegacyIssuer: a coalesced batch sent to an
+// issuer without validate_batch falls back to per-item calls; every
+// validation still succeeds and the noBatch downgrade sticks.
+func TestBatchFallsBackPerItemForLegacyIssuer(t *testing.T) {
+	w := newWorld(t)
+	login := w.service("login", `login.user <- env ok.`)
+	alwaysTrue(login, "ok")
+	slow := w.slowValidateCaller(250 * time.Millisecond)
+	legacy := legacyHandler(login.Handler())
+	w.bus.Register("login", legacy)
+	guard := w.service("guard", `auth enter <- login.user.`,
+		withCaller(slow), withBatchWindow(time.Second))
+
+	sess := w.session()
+	rmc, err := login.Activate(sess.PrincipalID(), role("login", "user"), Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(rmc)
+	creds := sess.Credentials()
+
+	var wg sync.WaitGroup
+	invoke := func() {
+		defer wg.Done()
+		if _, err := guard.Invoke(sess.PrincipalID(), "enter", nil, creds); err != nil {
+			t.Errorf("invoke: %v", err)
+		}
+	}
+	wg.Add(1)
+	go invoke()
+	time.Sleep(50 * time.Millisecond)
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go invoke()
+	}
+	wg.Wait()
+
+	st := guard.Stats()
+	if st.BatchesSent != 1 {
+		t.Errorf("BatchesSent = %d, want 1 (the rejected attempt)", st.BatchesSent)
+	}
+	if st.BatchedValidations != 0 {
+		t.Errorf("BatchedValidations = %d, want 0 (batch was rejected)", st.BatchedValidations)
+	}
+
+	// The noBatch downgrade is sticky: a second fan-in round coalesces
+	// again but sends no further validate_batch attempts.
+	wg.Add(1)
+	go invoke()
+	time.Sleep(50 * time.Millisecond)
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go invoke()
+	}
+	wg.Wait()
+	if st := guard.Stats(); st.BatchesSent != 1 {
+		t.Errorf("BatchesSent = %d after second round, want still 1", st.BatchesSent)
+	}
+}
+
+// TestBatchPreservesVerdictClassification: inside one coalesced batch a
+// revoked certificate is refused with the authoritative ErrInvalid-
+// Credential while its valid companion is accepted.
+func TestBatchPreservesVerdictClassification(t *testing.T) {
+	w := newWorld(t)
+	login := w.service("login", `login.user <- env ok.`)
+	alwaysTrue(login, "ok")
+	guard := w.service("guard", `auth enter <- login.user.`,
+		withCaller(w.slowValidateCaller(250*time.Millisecond)),
+		withBatchWindow(time.Second))
+
+	mint := func() *Session {
+		sess := w.session()
+		rmc, err := login.Activate(sess.PrincipalID(), role("login", "user"), Presented{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess.AddRMC(rmc)
+		return sess
+	}
+	gate1, gate2, good, bad := mint(), mint(), mint(), mint()
+	login.Deactivate(bad.Credentials().RMCs[0].Ref.Serial, "account closed")
+	w.broker.Quiesce()
+
+	var wg sync.WaitGroup
+	for _, gate := range []*Session{gate1, gate2} { // occupy both flight slots
+		wg.Add(1)
+		go func(gate *Session) {
+			defer wg.Done()
+			if _, err := guard.Invoke(gate.PrincipalID(), "enter", nil, gate.Credentials()); err != nil {
+				t.Errorf("gate invoke: %v", err)
+			}
+		}(gate)
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	var goodErr, badErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, goodErr = guard.Invoke(good.PrincipalID(), "enter", nil, good.Credentials())
+	}()
+	go func() {
+		defer wg.Done()
+		_, badErr = guard.Invoke(bad.PrincipalID(), "enter", nil, bad.Credentials())
+	}()
+	wg.Wait()
+
+	if goodErr != nil {
+		t.Errorf("valid certificate refused: %v", goodErr)
+	}
+	if !errors.Is(badErr, ErrInvalidCredential) {
+		t.Errorf("revoked certificate in batch: err = %v, want ErrInvalidCredential", badErr)
+	}
+	if st := guard.Stats(); st.BatchedValidations != 2 {
+		t.Errorf("BatchedValidations = %d, want 2 (verdicts rode one batch)", st.BatchedValidations)
+	}
+}
+
+// TestBatchDisabledByNegativeWindow: BatchWindow < 0 turns coalescing off
+// entirely — fan-in traffic departs as concurrent singles.
+func TestBatchDisabledByNegativeWindow(t *testing.T) {
+	w := newWorld(t)
+	login := w.service("login", `login.user <- env ok.`)
+	alwaysTrue(login, "ok")
+	guard := w.service("guard", `auth enter <- login.user.`,
+		withCaller(w.slowValidateCaller(30*time.Millisecond)),
+		withBatchWindow(-1))
+
+	sess := w.session()
+	rmc, err := login.Activate(sess.PrincipalID(), role("login", "user"), Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(rmc)
+	creds := sess.Credentials()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := guard.Invoke(sess.PrincipalID(), "enter", nil, creds); err != nil {
+				t.Errorf("invoke: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	st := guard.Stats()
+	if st.BatchesSent != 0 || st.BatchedValidations != 0 {
+		t.Errorf("batching ran while disabled: %+v", st)
+	}
+	if st.CallbackValidations != 6 {
+		t.Errorf("CallbackValidations = %d, want 6", st.CallbackValidations)
+	}
+}

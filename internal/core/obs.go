@@ -32,11 +32,18 @@ type serviceObs struct {
 	// cascadeDepth distributes the hop distance from each deactivation
 	// to its cascade root (0 = root revocations).
 	cascadeDepth *obs.Histogram
+	// batchSize distributes the item count of each callback-validation
+	// departure (1 = un-coalesced single call).
+	batchSize *obs.Histogram
 }
 
 // cascadeDepthBuckets sizes the depth histogram: collapse trees deeper
 // than 64 hops land in +Inf.
 var cascadeDepthBuckets = []int64{0, 1, 2, 4, 8, 16, 32, 64}
+
+// batchSizeBuckets sizes the validation batch histogram; batches larger
+// than 256 land in +Inf.
+var batchSizeBuckets = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 
 // newServiceObs wires a service into the registry and tracer (both may be
 // nil). Every per-service series carries a service label.
@@ -59,6 +66,8 @@ func newServiceObs(name string, reg *obs.Registry, tracer *obs.Tracer, stats *st
 		{"core_cache_hits_total", stats.cacheHits.Load},
 		{"core_degraded_hits_total", stats.degradedHits.Load},
 		{"core_revocations_total", stats.revocations.Load},
+		{"core_validate_batches_total", stats.batchesSent.Load},
+		{"core_batched_validations_total", stats.batchedValidations.Load},
 	} {
 		reg.Func(m.name+label, m.fn)
 	}
@@ -66,6 +75,7 @@ func newServiceObs(name string, reg *obs.Registry, tracer *obs.Tracer, stats *st
 	o.callbackNs = reg.Histogram("core_callback_validate_ns"+label, nil)
 	o.cascadeHopNs = reg.Histogram("core_revoke_hop_ns"+label, nil)
 	o.cascadeDepth = reg.Histogram("core_revoke_depth"+label, cascadeDepthBuckets)
+	o.batchSize = reg.Histogram("core_validate_batch_size"+label, batchSizeBuckets)
 	return o
 }
 

@@ -62,6 +62,12 @@ type Config struct {
 	// (ECR, Fig. 5): results of callback validation are cached and
 	// invalidated by revocation events instead of re-validated per use.
 	CacheValidations bool
+	// BatchWindow bounds how long a callback validation queued behind an
+	// outstanding flight to the same issuer waits for companions before
+	// departing as a validate_batch call (see batch.go; a validation
+	// with no flight outstanding always departs immediately). 0 selects
+	// the ~1ms default; negative disables coalescing entirely.
+	BatchWindow time.Duration
 	// RevalidateAfter bounds how long a cached positive validation is
 	// trusted without re-confirming with the issuer (0 = event-driven
 	// invalidation only, the classic ECR behaviour). Setting it enables
@@ -118,6 +124,12 @@ type Stats struct {
 	// inside the StaleGrace window while the issuer was unreachable.
 	DegradedHits uint64
 	Revocations  uint64
+	// BatchesSent counts validate_batch wire calls issued; each carried
+	// two or more coalesced validations.
+	BatchesSent uint64
+	// BatchedValidations counts callback validations answered via a
+	// validate_batch call (CallbackValidations includes them too).
+	BatchedValidations uint64
 }
 
 // statCounters is the live form of Stats: independent atomics so the
@@ -132,6 +144,8 @@ type statCounters struct {
 	cacheHits           atomic.Uint64
 	degradedHits        atomic.Uint64
 	revocations         atomic.Uint64
+	batchesSent         atomic.Uint64
+	batchedValidations  atomic.Uint64
 }
 
 func (c *statCounters) snapshot() Stats {
@@ -145,6 +159,8 @@ func (c *statCounters) snapshot() Stats {
 		CacheHits:           c.cacheHits.Load(),
 		DegradedHits:        c.degradedHits.Load(),
 		Revocations:         c.revocations.Load(),
+		BatchesSent:         c.batchesSent.Load(),
+		BatchedValidations:  c.batchedValidations.Load(),
 	}
 }
 
@@ -185,6 +201,7 @@ type Service struct {
 	vcache valCache
 	stats  statCounters
 	obsm   serviceObs
+	batch  *batcher
 
 	// setupMu serialises writers of the copy-on-write registration
 	// snapshots below; readers load them without locking.
@@ -314,6 +331,7 @@ func NewService(cfg Config) (*Service, error) {
 	s.methods.Store(map[string]MethodImpl{})
 	s.observers.Store([]InvokeObserver{})
 	s.obsm = newServiceObs(cfg.Name, cfg.Obs, cfg.Trace, &s.stats)
+	s.batch = newBatcher(s, cfg.BatchWindow)
 	return s, nil
 }
 

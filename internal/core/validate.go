@@ -128,8 +128,7 @@ func (s *Service) validateRMC(principal string, r cert.RMC) error {
 		}
 		return r.Verify(s.ring, principal)
 	}
-	return s.validateForeign("cr", r.Ref.String(), "cr/", r.Ref.Issuer, "validate_rmc",
-		validateRMCRequest{RMC: r, Principal: principal})
+	return s.validateForeign("cr", r.Ref.String(), "cr/", r.Ref.Issuer, rmcItem(r, principal))
 }
 
 // validateAppointment checks an appointment certificate locally or by
@@ -152,8 +151,7 @@ func (s *Service) validateAppointment(a cert.AppointmentCertificate) error {
 		}
 		return a.Verify(s.ring, s.clk.Now())
 	}
-	return s.validateForeign("appt", a.Key(), "appt/", a.Issuer, "validate_appt",
-		validateApptRequest{Appointment: a})
+	return s.validateForeign("appt", a.Key(), "appt/", a.Issuer, apptItem(a))
 }
 
 // validateForeign performs (or reuses) a callback validation of a
@@ -164,9 +162,9 @@ func (s *Service) validateAppointment(a cert.AppointmentCertificate) error {
 // share a single callback. topicPrefix plus key names the certificate's
 // revocation channel (TopicCR / TopicAppt); the concatenation is deferred
 // to the fill path so cache hits allocate nothing.
-func (s *Service) validateForeign(kindTag, key, topicPrefix, issuer, method string, reqBody any) error {
+func (s *Service) validateForeign(kindTag, key, topicPrefix, issuer string, it validateItem) error {
 	if !s.cacheValidations {
-		return s.timedCallbackValidate(kindTag, key, issuer, method, reqBody)
+		return s.timedCallbackValidate(kindTag, key, issuer, it)
 	}
 	e := s.vcache.entry(key)
 	for {
@@ -194,7 +192,7 @@ func (s *Service) validateForeign(kindTag, key, topicPrefix, issuer, method stri
 		e.flight = f
 		e.mu.Unlock()
 
-		f.err = s.fillCache(e, topicPrefix+key, kindTag, key, issuer, method, reqBody)
+		f.err = s.fillCache(e, topicPrefix+key, kindTag, key, issuer, it)
 		e.mu.Lock()
 		e.flight = nil
 		e.mu.Unlock()
@@ -226,7 +224,7 @@ func (s *Service) cacheFresh(e *cacheEntry) bool {
 // revocation events (including the heartbeat monitor's synthetic
 // revocation on issuer silence) clear the entry and end the grace
 // immediately, so availability degrades but safety never does.
-func (s *Service) fillCache(e *cacheEntry, topic, kindTag, key, issuer, method string, reqBody any) error {
+func (s *Service) fillCache(e *cacheEntry, topic, kindTag, key, issuer string, it validateItem) error {
 	e.mu.Lock()
 	if e.sub == nil {
 		e.mu.Unlock()
@@ -270,7 +268,7 @@ func (s *Service) fillCache(e *cacheEntry, topic, kindTag, key, issuer, method s
 	e.mu.Unlock()
 
 	start := time.Now()
-	err := s.callbackValidate(kindTag, issuer, method, reqBody)
+	err := s.callbackValidate(kindTag, issuer, it)
 	s.obsm.callbackNs.ObserveSince(start)
 	durNs := time.Since(start).Nanoseconds()
 	switch {
@@ -356,9 +354,9 @@ func (s *Service) watchIssuerLiveness(e *cacheEntry, kindTag, key, issuer string
 // path (the ECR path instruments fillCache instead, where the outcome
 // classification is richer). The instrumentation is negligible against the
 // RPC it measures.
-func (s *Service) timedCallbackValidate(kindTag, key, issuer, method string, reqBody any) error {
+func (s *Service) timedCallbackValidate(kindTag, key, issuer string, it validateItem) error {
 	start := time.Now()
-	err := s.callbackValidate(kindTag, issuer, method, reqBody)
+	err := s.callbackValidate(kindTag, issuer, it)
 	s.obsm.callbackNs.ObserveSince(start)
 	outcome := "ok"
 	if err != nil {
@@ -372,28 +370,15 @@ func (s *Service) timedCallbackValidate(kindTag, key, issuer, method string, req
 	return err
 }
 
-// callbackValidate asks the issuing service to validate one certificate.
-func (s *Service) callbackValidate(kindTag, issuer, method string, reqBody any) error {
+// callbackValidate asks the issuing service to validate one certificate,
+// routing through the per-issuer batcher: concurrent validations bound
+// for the same issuer coalesce into validate_batch calls (see batch.go),
+// while a lone call departs immediately as a single binary-coded call.
+func (s *Service) callbackValidate(kindTag, issuer string, it validateItem) error {
 	if s.caller == nil {
 		return fmt.Errorf("no transport to validate %s certificate from %s", kindTag, issuer)
 	}
-	body, err := json.Marshal(reqBody)
-	if err != nil {
-		return fmt.Errorf("encode validation request: %w", err)
-	}
-	s.stats.callbackValidations.Add(1)
-	out, err := s.caller.Call(issuer, method, body)
-	if err != nil {
-		return fmt.Errorf("callback to %s: %w", issuer, err)
-	}
-	var resp validateResponse
-	if err := json.Unmarshal(out, &resp); err != nil {
-		return fmt.Errorf("decode validation response: %w", err)
-	}
-	if !resp.Valid {
-		return fmt.Errorf("%w: issuer says %s", ErrRevoked, resp.Reason)
-	}
-	return nil
+	return s.batch.do(issuer, it)
 }
 
 // Close cancels the service's cache subscriptions and expiry timers
@@ -429,33 +414,97 @@ type validateResponse struct {
 	Reason string `json:"reason,omitempty"`
 }
 
+// validateItemVerdict runs one validation item and renders the verdict.
+func (s *Service) validateItemVerdict(it validateItem) validateResponse {
+	var err error
+	if it.isAppt {
+		err = s.validateAppointment(it.appt)
+	} else {
+		err = s.validateRMC(it.principal, it.rmc)
+	}
+	if err != nil {
+		return validateResponse{Valid: false, Reason: err.Error()}
+	}
+	return validateResponse{Valid: true}
+}
+
 // Handler exposes the service's remote endpoints over the rpc transport:
-// validate_rmc and validate_appt (callback validation), activate and
-// invoke (remote role activation and invocation, used for cross-domain
-// sessions).
+// validate_rmc, validate_appt and validate_batch (callback validation),
+// activate and invoke (remote role activation and invocation, used for
+// cross-domain sessions). The validation endpoints sniff the body's
+// first byte and accept both the binary wire bodies (wirebin.go) and the
+// legacy JSON forms, answering in the encoding the caller used, so new
+// and old peers interoperate during a rolling upgrade.
 func (s *Service) Handler() func(method string, body []byte) ([]byte, error) {
 	return func(method string, body []byte) ([]byte, error) {
 		switch method {
-		case "validate_rmc":
-			var req validateRMCRequest
-			if err := json.Unmarshal(body, &req); err != nil {
+		case "validate_rmc", "validate_appt":
+			if isBinaryBody(body) {
+				it, err := decodeValidateReqBinary(body)
+				if err != nil {
+					return nil, fmt.Errorf("decode: %w", err)
+				}
+				return encodeValidateRespBinary(s.validateItemVerdict(it)), nil
+			}
+			var it validateItem
+			if method == "validate_rmc" {
+				var req validateRMCRequest
+				if err := json.Unmarshal(body, &req); err != nil {
+					return nil, fmt.Errorf("decode: %w", err)
+				}
+				it = rmcItem(req.RMC, req.Principal)
+			} else {
+				var req validateApptRequest
+				if err := json.Unmarshal(body, &req); err != nil {
+					return nil, fmt.Errorf("decode: %w", err)
+				}
+				it = apptItem(req.Appointment)
+			}
+			return json.Marshal(s.validateItemVerdict(it))
+		case "validate_batch":
+			pooled, _ := batchItemsPool.Get().([]validateItem)
+			items, err := decodeValidateBatchReqInto(pooled, body)
+			if err != nil {
 				return nil, fmt.Errorf("decode: %w", err)
 			}
-			resp := validateResponse{Valid: true}
-			if err := s.validateRMC(req.Principal, req.RMC); err != nil {
-				resp = validateResponse{Valid: false, Reason: err.Error()}
+			defer func() {
+				clear(items)
+				batchItemsPool.Put(items[:0]) //nolint:staticcheck // slice reuse, header copy is fine
+			}()
+			pr, _ := batchRespsPool.Get().([]validateResponse)
+			var resps []validateResponse
+			if cap(pr) >= len(items) {
+				resps = pr[:len(items)]
+			} else {
+				resps = make([]validateResponse, len(items))
 			}
-			return json.Marshal(resp)
-		case "validate_appt":
-			var req validateApptRequest
-			if err := json.Unmarshal(body, &req); err != nil {
-				return nil, fmt.Errorf("decode: %w", err)
+			defer func() {
+				clear(resps)
+				batchRespsPool.Put(resps[:0]) //nolint:staticcheck // slice reuse, header copy is fine
+			}()
+			// Big batches are the whole point of the endpoint: verify
+			// chunks across cores so the round trip does not grow
+			// linearly with the herd the batch carries.
+			const chunk = 16
+			if len(items) <= chunk {
+				for i, it := range items {
+					resps[i] = s.validateItemVerdict(it)
+				}
+			} else {
+				var wg sync.WaitGroup
+				for lo := 0; lo < len(items); lo += chunk {
+					hi := min(lo+chunk, len(items))
+					wg.Add(1)
+					go func(lo, hi int) {
+						defer wg.Done()
+						for i := lo; i < hi; i++ {
+							resps[i] = s.validateItemVerdict(items[i])
+						}
+					}(lo, hi)
+				}
+				wg.Wait()
 			}
-			resp := validateResponse{Valid: true}
-			if err := s.validateAppointment(req.Appointment); err != nil {
-				resp = validateResponse{Valid: false, Reason: err.Error()}
-			}
-			return json.Marshal(resp)
+			return encodeValidateBatchResp(resps), nil
 		case "activate":
 			var req RemoteActivateRequest
 			if err := json.Unmarshal(body, &req); err != nil {

@@ -193,10 +193,17 @@ func Unify(a, b Term, s Substitution) bool {
 
 // UnifyTuples unifies two equal-length tuples under s, returning the
 // extended substitution and true on success. s itself is never mutated; on
-// failure the original s remains valid.
+// failure the original s remains valid. Empty tuples (parameterless
+// roles, argument-free rules) unify without cloning — there is nothing
+// to bind, and every mutation path in this package clones first, so
+// handing back s unchanged is safe and keeps the rule-evaluation hot
+// path from allocating a map per condition.
 func UnifyTuples(as, bs []Term, s Substitution) (Substitution, bool) {
 	if len(as) != len(bs) {
 		return s, false
+	}
+	if len(as) == 0 {
+		return s, true
 	}
 	out := s.Clone()
 	for i := range as {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Directory routes calls to services spread over several TCP endpoints:
@@ -18,6 +20,7 @@ type Directory struct {
 	mu    sync.Mutex
 	addrs map[string]string // service -> address
 	conns map[string]*TCPClient
+	reg   *obs.Registry // applied to every client, incl. lazily dialled
 }
 
 var _ Caller = (*Directory)(nil)
@@ -49,6 +52,18 @@ func (d *Directory) Add(service, addr string) {
 	d.addrs[service] = addr
 }
 
+// Instrument registers wire-level byte counters for the directory's
+// clients with reg. Clients dialled later inherit the registry, so the
+// call order relative to traffic does not matter.
+func (d *Directory) Instrument(reg *obs.Registry) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.reg = reg
+	for _, c := range d.conns {
+		c.Instrument(reg)
+	}
+}
+
 // Call implements Caller by routing to the service's registered address.
 func (d *Directory) Call(service, method string, body []byte) ([]byte, error) {
 	d.mu.Lock()
@@ -71,6 +86,9 @@ func (d *Directory) Call(service, method string, body []byte) ([]byte, error) {
 			fresh.Close() //nolint:errcheck
 			cli = existing
 		} else {
+			if d.reg != nil {
+				fresh.Instrument(d.reg)
+			}
 			d.conns[addr] = fresh
 			d.mu.Unlock()
 			cli = fresh

@@ -43,10 +43,11 @@ func (s BreakerState) String() string {
 // ambiguous failure could issue a second certificate.
 func DefaultIdempotent() map[string]bool {
 	return map[string]bool{
-		"validate_rmc":  true,
-		"validate_appt": true,
-		"end_session":   true, // deactivation is revoke-once idempotent
-		"publish":       true, // event relay delivery is at-least-once
+		"validate_rmc":   true,
+		"validate_appt":  true,
+		"validate_batch": true, // batch of the two validations above
+		"end_session":    true, // deactivation is revoke-once idempotent
+		"publish":        true, // event relay delivery is at-least-once
 	}
 }
 

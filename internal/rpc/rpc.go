@@ -75,13 +75,17 @@ type Fault func(service, method string) error
 
 // Loopback is an in-process transport: handlers registered on it are
 // invoked synchronously by Call. Latency can be simulated per call and
-// faults injected deterministically.
+// faults injected deterministically. Besides call counts it tracks the
+// serialized bytes moved in each direction, so codec-overhead harnesses
+// can compare wire sizes without a TCP socket in the loop.
 type Loopback struct {
 	mu       sync.RWMutex
 	handlers map[string]Handler
 	fault    Fault
 	latency  time.Duration
 	calls    uint64
+	bytesOut uint64 // request body bytes handed to handlers
+	bytesIn  uint64 // response body bytes returned by handlers
 }
 
 var _ Caller = (*Loopback)(nil)
@@ -128,10 +132,21 @@ func (l *Loopback) Calls() uint64 {
 	return l.calls
 }
 
+// Bytes reports the serialized body bytes moved through the transport:
+// sent is request bytes handed to handlers, received is response bytes
+// returned by them. Faulted and unknown-service calls count their request
+// bytes (they were serialized and "sent") but no response.
+func (l *Loopback) Bytes() (sent, received uint64) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.bytesOut, l.bytesIn
+}
+
 // Call implements Caller.
 func (l *Loopback) Call(service, method string, body []byte) ([]byte, error) {
 	l.mu.Lock()
 	l.calls++
+	l.bytesOut += uint64(len(body))
 	h, ok := l.handlers[service]
 	fault := l.fault
 	latency := l.latency
@@ -152,6 +167,9 @@ func (l *Loopback) Call(service, method string, body []byte) ([]byte, error) {
 	if err != nil {
 		return nil, &RemoteError{Service: service, Method: method, Msg: err.Error()}
 	}
+	l.mu.Lock()
+	l.bytesIn += uint64(len(out))
+	l.mu.Unlock()
 	return out, nil
 }
 

@@ -1,16 +1,20 @@
 package rpc
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// wireRequest and wireResponse are the gob frames exchanged by the TCP
-// transport. Err distinguishes transport-visible handler failures.
+// wireRequest and wireResponse are the gob frames exchanged by the legacy
+// (protocol v1) TCP transport. Err distinguishes transport-visible handler
+// failures.
 type wireRequest struct {
 	ID      uint64
 	Service string
@@ -28,11 +32,101 @@ type wireResponse struct {
 // connection so one pipelining client cannot exhaust the server.
 const maxInflightPerConn = 64
 
-// TCPServer serves registered handlers over a net.Listener. One goroutine
-// per connection reads requests; each request is dispatched on its own
-// goroutine so a slow handler does not head-of-line block the connection,
-// and response writes are serialised on a per-connection mutex (responses
-// may therefore arrive out of request order — clients match on ID).
+// writeQueueDepth is the per-connection frame write queue: deep enough
+// that a burst of concurrent callers keeps the writer goroutine fed (and
+// coalescing), shallow enough that a stalled peer exerts backpressure
+// instead of buffering without bound.
+const writeQueueDepth = 64
+
+// wireBufSize sizes the buffered reader/writer on each connection; writes
+// below it coalesce into one socket write per writer-goroutine wakeup.
+const wireBufSize = 32 << 10
+
+// wireMetrics carries the wire-level observability handles. The fields
+// are atomic pointers (so Instrument may race with live traffic) to
+// nil-safe obs handles (so an uninstrumented transport pays one nil check
+// per update).
+type wireMetrics struct {
+	bytesSent       atomic.Pointer[obs.Counter]
+	bytesReceived   atomic.Pointer[obs.Counter]
+	framesCoalesced atomic.Pointer[obs.Counter]
+	unmatched       atomic.Pointer[obs.Counter]
+}
+
+// instrument resolves the wire counters under a side label ("client" or
+// "server") so one registry can carry both ends of a loopback deployment.
+func (m *wireMetrics) instrument(reg *obs.Registry, side string) {
+	label := fmt.Sprintf("{side=%q}", side)
+	m.bytesSent.Store(reg.Counter("rpc_bytes_sent_total" + label))
+	m.bytesReceived.Store(reg.Counter("rpc_bytes_received_total" + label))
+	m.framesCoalesced.Store(reg.Counter("rpc_frames_coalesced_total" + label))
+	m.unmatched.Store(reg.Counter("rpc_responses_unmatched_total" + label))
+}
+
+// countingConn counts the bytes crossing the socket boundary (i.e. after
+// any buffering), attributing them to the owning transport's metrics.
+type countingConn struct {
+	net.Conn
+	m *wireMetrics
+}
+
+func (c countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.m.bytesReceived.Load().Add(uint64(n))
+	return n, err
+}
+
+func (c countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.m.bytesSent.Load().Add(uint64(n))
+	return n, err
+}
+
+// runFrameWriter is the shared per-connection writer goroutine body: it
+// drains writeCh into a buffered writer, coalescing every frame already
+// queued into a single flush (one syscall for a burst of small frames),
+// and tears the connection down through onErr on the first write failure.
+func runFrameWriter(conn net.Conn, writeCh <-chan []byte, done <-chan struct{}, m *wireMetrics, onErr func()) {
+	bw := bufio.NewWriterSize(conn, wireBufSize)
+	for {
+		select {
+		case buf := <-writeCh:
+			coalesced := uint64(0)
+			for {
+				_, err := bw.Write(buf)
+				putFrameBuf(buf)
+				if err != nil {
+					onErr()
+					return
+				}
+				select {
+				case buf = <-writeCh:
+					coalesced++
+					continue
+				default:
+				}
+				break
+			}
+			if coalesced > 0 {
+				m.framesCoalesced.Load().Add(coalesced)
+			}
+			if err := bw.Flush(); err != nil {
+				onErr()
+				return
+			}
+		case <-done:
+			return
+		}
+	}
+}
+
+// TCPServer serves registered handlers over a net.Listener. It speaks
+// both wire protocols: the pipelined binary framing of frame.go (new
+// clients, detected by the connection preamble) and the legacy gob
+// request/response stream (old clients). In both, each request is
+// dispatched on its own goroutine so a slow handler does not
+// head-of-line block the connection, and responses may arrive out of
+// request order — clients match on ID.
 type TCPServer struct {
 	mu       sync.RWMutex
 	handlers map[string]Handler
@@ -40,6 +134,7 @@ type TCPServer struct {
 	wg       sync.WaitGroup
 	closed   bool
 	conns    map[net.Conn]struct{}
+	metrics  wireMetrics
 }
 
 // NewTCPServer creates a server with no handlers.
@@ -48,6 +143,15 @@ func NewTCPServer() *TCPServer {
 		handlers: make(map[string]Handler),
 		conns:    make(map[net.Conn]struct{}),
 	}
+}
+
+// Instrument registers the server's wire-level byte and coalescing
+// counters with reg (side="server"). Call before Serve.
+func (s *TCPServer) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.metrics.instrument(reg, "server")
 }
 
 // Register installs the handler for a service name.
@@ -81,17 +185,102 @@ func (s *TCPServer) Serve(ln net.Listener) {
 	}
 }
 
+// serveConn sniffs the client's protocol from the first byte and serves
+// the matching loop. Gob streams never begin with 0x00 (see frame.go), so
+// the discriminator is unambiguous.
 func (s *TCPServer) serveConn(conn net.Conn) {
 	defer s.wg.Done()
-	var inflight sync.WaitGroup
 	defer func() {
-		inflight.Wait()
 		conn.Close() //nolint:errcheck
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
+	cc := countingConn{Conn: conn, m: &s.metrics}
+	br := bufio.NewReaderSize(cc, wireBufSize)
+	first, err := br.Peek(1)
+	if err != nil {
+		return
+	}
+	if first[0] == frameProtoByte {
+		s.serveBinary(cc, br)
+		return
+	}
+	s.serveGob(cc, br)
+}
+
+// handle runs the handler lookup + invocation for one request and
+// returns the response body or error text.
+func (s *TCPServer) handle(service, method string, body []byte) (out []byte, errMsg string) {
+	s.mu.RLock()
+	h, ok := s.handlers[service]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, ErrUnknownService.Error() + ": " + service
+	}
+	out, err := h(method, body)
+	if err != nil {
+		return nil, err.Error()
+	}
+	return out, ""
+}
+
+// serveBinary is the protocol-v2 connection loop: demux-free on the read
+// side (requests are independent), concurrent dispatch bounded by
+// maxInflightPerConn, responses funnelled through one coalescing writer
+// goroutine.
+func (s *TCPServer) serveBinary(conn net.Conn, br *bufio.Reader) {
+	var pre [4]byte
+	if _, err := br.Read(pre[:1]); err != nil { // the peeked discriminator
+		return
+	}
+	if _, err := br.Read(pre[1:]); err != nil || checkPreamble(pre[1:]) != nil {
+		return
+	}
+	writeCh := make(chan []byte, writeQueueDepth)
+	done := make(chan struct{})
+	var closeOnce sync.Once
+	stop := func() { closeOnce.Do(func() { close(done) }) }
+	defer stop()
+	go runFrameWriter(conn, writeCh, done, &s.metrics, stop)
+
+	var inflight sync.WaitGroup
+	defer inflight.Wait()
+	sem := make(chan struct{}, maxInflightPerConn)
+	for {
+		kind, id, payload, reqFrame, err := readFrameInto(br, getFrameBuf())
+		if err != nil || kind != frameKindRequest {
+			return
+		}
+		service, method, body, err := parseRequest(payload)
+		if err != nil {
+			return
+		}
+		sem <- struct{}{}
+		inflight.Add(1)
+		go func(id uint64, service, method string, body, reqFrame []byte) {
+			defer func() { <-sem; inflight.Done() }()
+			out, errMsg := s.handle(service, method, body)
+			frame := appendResponseFrame(getFrameBuf(), id, errMsg, out)
+			// The response frame holds a copy of out, so even a handler
+			// that echoed (aliased) the request body is done with the
+			// request frame now; recycle it for a later read.
+			putFrameBuf(reqFrame)
+			select {
+			case writeCh <- frame:
+			case <-done:
+			}
+		}(id, service, method, body, reqFrame)
+	}
+}
+
+// serveGob is the legacy protocol-v1 loop: a shared gob stream with
+// serialized response writes (kept for rolling compatibility with old
+// clients; see DESIGN.md §11).
+func (s *TCPServer) serveGob(conn net.Conn, br *bufio.Reader) {
+	var inflight sync.WaitGroup
+	defer inflight.Wait()
+	dec := gob.NewDecoder(br)
 	enc := gob.NewEncoder(conn)
 	var wmu sync.Mutex // serialises response writes across handler goroutines
 	sem := make(chan struct{}, maxInflightPerConn)
@@ -100,27 +289,18 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			return // EOF or broken connection
 		}
-		s.mu.RLock()
-		h, ok := s.handlers[req.Service]
-		s.mu.RUnlock()
 		sem <- struct{}{}
 		inflight.Add(1)
-		go func(req wireRequest, h Handler, ok bool) {
+		go func(req wireRequest) {
 			defer func() { <-sem; inflight.Done() }()
 			resp := wireResponse{ID: req.ID}
-			if !ok {
-				resp.Err = ErrUnknownService.Error() + ": " + req.Service
-			} else if out, err := h(req.Method, req.Body); err != nil {
-				resp.Err = err.Error()
-			} else {
-				resp.Body = out
-			}
+			resp.Body, resp.Err = s.handle(req.Service, req.Method, req.Body)
 			wmu.Lock()
 			defer wmu.Unlock()
 			// A write failure means the connection is going away; the
 			// read loop will observe the same failure and tear down.
 			enc.Encode(resp) //nolint:errcheck
-		}(req, h, ok)
+		}(req)
 	}
 }
 
@@ -161,53 +341,68 @@ const (
 	redialBackoffMax  = 1 * time.Second
 )
 
+// poolConn is one slot of a TCPClient's connection pool. Two
+// implementations: muxConn (protocol v2, many in-flight calls per
+// connection) and tcpConn (legacy gob lockstep, one call at a time).
+type poolConn interface {
+	roundTrip(service, method string, body []byte) ([]byte, error)
+	close() error
+}
+
 // TCPClient issues calls over a small pool of TCP connections to one
-// server. It is safe for concurrent use: calls are spread round-robin over
-// the pool (removing head-of-line blocking between concurrent callers),
-// with at most one in-flight call per connection.
+// server. It is safe for concurrent use: calls are spread round-robin
+// over the pool, and (protocol v2) each connection multiplexes many
+// in-flight calls by request id, so a slow handler delays only its own
+// caller.
 //
-// The client is self-healing: any encode, decode, or deadline failure
-// marks that connection broken — a late response would otherwise desync
-// the shared gob stream and poison every later call — and the next call on
-// the slot transparently redials with bounded exponential backoff.
+// The client is self-healing: any dial, write, read, or framing failure
+// marks that connection broken and the next call on the slot
+// transparently redials with bounded exponential backoff. A per-call
+// timeout (protocol v2) abandons only that call — the connection and
+// every other in-flight call on it survive, and the late response is
+// dropped by the demux when it eventually arrives.
 type TCPClient struct {
 	addr        string
 	timeout     time.Duration // per-call round-trip budget; 0 = none
 	dialTimeout time.Duration
 
-	nextID atomic.Uint64 // client-global so IDs never repeat across redials
-	next   atomic.Uint64 // round-robin pool cursor
-	pool   []*tcpConn
-	closed atomic.Bool
+	nextID  atomic.Uint64 // client-global so IDs never repeat across redials
+	next    atomic.Uint64 // round-robin pool cursor
+	pool    []poolConn
+	closed  atomic.Bool
+	metrics wireMetrics
 }
 
 var _ Caller = (*TCPClient)(nil)
 
-// tcpConn is one pool slot: a connection with its gob codec pair and the
-// redial backoff state left by previous failures. conn == nil means the
-// slot is disconnected and the next call dials.
-type tcpConn struct {
-	cli *TCPClient
-
-	mu        sync.Mutex
-	conn      net.Conn
-	enc       *gob.Encoder
-	dec       *gob.Decoder
-	dialFails int
-	nextDial  time.Time
-}
-
-// DialTCP connects to a TCPServer with a single pooled connection. timeout
-// bounds each call round trip and, when set, connection establishment too
-// (zero means no call deadline and a default dial timeout).
+// DialTCP connects to a TCPServer with a single pooled connection,
+// speaking the pipelined binary framing (protocol v2). timeout bounds
+// each call round trip and, when set, connection establishment too (zero
+// means no call deadline and a default dial timeout).
 func DialTCP(addr string, timeout time.Duration) (*TCPClient, error) {
 	return DialTCPPool(addr, timeout, 1)
 }
 
-// DialTCPPool connects to a TCPServer with size pooled connections. The
-// first connection is dialled eagerly so configuration errors surface
-// immediately; the rest are dialled lazily on demand.
+// DialTCPPool connects to a TCPServer with size pooled connections
+// (protocol v2). The first connection is dialled eagerly so configuration
+// errors surface immediately; the rest are dialled lazily on demand.
 func DialTCPPool(addr string, timeout time.Duration, size int) (*TCPClient, error) {
+	return dialPool(addr, timeout, size, false)
+}
+
+// DialTCPGob connects with the legacy lockstep gob protocol (v1): one
+// in-flight call per connection, any stream disturbance breaks the
+// connection. Kept for rolling compatibility with pre-v2 servers.
+func DialTCPGob(addr string, timeout time.Duration) (*TCPClient, error) {
+	return dialPool(addr, timeout, 1, true)
+}
+
+// DialTCPPoolGob is DialTCPGob with size pooled connections.
+func DialTCPPoolGob(addr string, timeout time.Duration, size int) (*TCPClient, error) {
+	return dialPool(addr, timeout, size, true)
+}
+
+func dialPool(addr string, timeout time.Duration, size int, legacy bool) (*TCPClient, error) {
 	if size < 1 {
 		size = 1
 	}
@@ -216,14 +411,38 @@ func DialTCPPool(addr string, timeout time.Duration, size int) (*TCPClient, erro
 		dialTimeout = defaultDialTimeout
 	}
 	c := &TCPClient{addr: addr, timeout: timeout, dialTimeout: dialTimeout}
-	c.pool = make([]*tcpConn, size)
+	c.pool = make([]poolConn, size)
 	for i := range c.pool {
-		c.pool[i] = &tcpConn{cli: c}
+		if legacy {
+			c.pool[i] = &tcpConn{cli: c}
+		} else {
+			c.pool[i] = &muxConn{cli: c}
+		}
 	}
-	if err := c.pool[0].redialLocked(); err != nil {
+	var err error
+	switch p := c.pool[0].(type) {
+	case *tcpConn:
+		err = p.redialLocked()
+	case *muxConn:
+		p.mu.Lock()
+		_, err = p.redialLocked()
+		p.mu.Unlock()
+	}
+	if err != nil {
 		return nil, err
 	}
 	return c, nil
+}
+
+// Instrument registers the client's wire-level byte, coalescing and
+// unmatched-response counters with reg (side="client"). Call before
+// issuing traffic; connections already established keep counting through
+// the shared handle struct.
+func (c *TCPClient) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	c.metrics.instrument(reg, "client")
 }
 
 // Call implements Caller.
@@ -240,16 +459,219 @@ func (c *TCPClient) Close() error {
 	c.closed.Store(true)
 	var first error
 	for _, p := range c.pool {
-		p.mu.Lock()
-		if p.conn != nil {
-			if err := p.conn.Close(); err != nil && first == nil {
-				first = err
-			}
-			p.conn, p.enc, p.dec = nil, nil, nil
+		if err := p.close(); err != nil && first == nil {
+			first = err
 		}
-		p.mu.Unlock()
 	}
 	return first
+}
+
+// ---------------------------------------------------------------------------
+// Protocol v2 pool slot: multiplexed binary framing.
+// ---------------------------------------------------------------------------
+
+// muxResult is one demuxed response (or teardown notice) delivered to a
+// waiting call.
+type muxResult struct {
+	body   []byte
+	errMsg string
+	isErr  bool
+	broken bool
+}
+
+// muxStream is the live connection state of one muxConn generation: the
+// socket, the frame write queue, and the in-flight call table. A new
+// generation replaces it wholesale on redial, so calls racing a teardown
+// hold a consistent snapshot.
+type muxStream struct {
+	conn    net.Conn
+	writeCh chan []byte
+	done    chan struct{}
+	once    sync.Once
+	pending map[uint64]chan muxResult // guarded by the owning muxConn's mu
+}
+
+// muxConn is one pool slot speaking protocol v2. conn state lives in cur;
+// nil means disconnected and the next call dials (honouring the backoff
+// window left by previous dial failures).
+type muxConn struct {
+	cli *TCPClient
+
+	mu        sync.Mutex
+	cur       *muxStream
+	dialFails int
+	nextDial  time.Time
+}
+
+// redialLocked (re)establishes the slot's connection and starts its
+// reader and writer goroutines. Called with m.mu held.
+func (m *muxConn) redialLocked() (*muxStream, error) {
+	if wait := time.Until(m.nextDial); wait > 0 {
+		time.Sleep(wait)
+	}
+	conn, err := net.DialTimeout("tcp", m.cli.addr, m.cli.dialTimeout)
+	if err != nil {
+		m.dialFails++
+		backoff := redialBackoffBase << uint(min(m.dialFails-1, 10))
+		if backoff > redialBackoffMax {
+			backoff = redialBackoffMax
+		}
+		m.nextDial = time.Now().Add(backoff)
+		return nil, fmt.Errorf("dial %s: %w", m.cli.addr, err)
+	}
+	cc := countingConn{Conn: conn, m: &m.cli.metrics}
+	// The preamble is written synchronously under the dial budget so a
+	// half-dead peer surfaces here, not on the first call.
+	conn.SetDeadline(time.Now().Add(m.cli.dialTimeout)) //nolint:errcheck
+	if _, err := cc.Write(framePreamble()); err != nil {
+		conn.Close() //nolint:errcheck
+		m.dialFails++
+		m.nextDial = time.Now().Add(redialBackoffBase)
+		return nil, fmt.Errorf("preamble %s: %w", m.cli.addr, err)
+	}
+	conn.SetDeadline(time.Time{}) //nolint:errcheck
+	m.dialFails = 0
+	m.nextDial = time.Time{}
+	st := &muxStream{
+		conn:    conn,
+		writeCh: make(chan []byte, writeQueueDepth),
+		done:    make(chan struct{}),
+		pending: make(map[uint64]chan muxResult),
+	}
+	m.cur = st
+	go m.readLoop(st, cc)
+	go runFrameWriter(cc, st.writeCh, st.done, &m.cli.metrics, func() { m.fail(st) })
+	return st, nil
+}
+
+// fail tears down one stream generation: the socket closes, the writer
+// and reader stop, and every in-flight call on it gets ErrConnBroken. A
+// later generation (or a concurrent fail of the same one) is untouched.
+func (m *muxConn) fail(st *muxStream) {
+	st.once.Do(func() {
+		close(st.done)
+		st.conn.Close() //nolint:errcheck
+	})
+	m.mu.Lock()
+	if m.cur == st {
+		m.cur = nil
+	}
+	pend := st.pending
+	st.pending = nil
+	m.mu.Unlock()
+	for _, ch := range pend {
+		ch <- muxResult{broken: true}
+	}
+}
+
+// readLoop demuxes response frames to their waiting calls by request id.
+// A response whose id has no waiter (abandoned by a per-call timeout, or
+// a server bug) is dropped and counted — it can no longer poison the
+// stream the way it did under lockstep gob.
+func (m *muxConn) readLoop(st *muxStream, conn net.Conn) {
+	br := bufio.NewReaderSize(conn, wireBufSize)
+	for {
+		kind, id, payload, err := readFrame(br)
+		if err != nil || kind != frameKindRespons {
+			m.fail(st)
+			return
+		}
+		body, isErr, errMsg, err := parseResponse(payload)
+		if err != nil {
+			m.fail(st)
+			return
+		}
+		m.mu.Lock()
+		ch := st.pending[id]
+		delete(st.pending, id)
+		m.mu.Unlock()
+		if ch == nil {
+			m.cli.metrics.unmatched.Load().Inc()
+			continue
+		}
+		ch <- muxResult{body: body, errMsg: errMsg, isErr: isErr}
+	}
+}
+
+func (m *muxConn) roundTrip(service, method string, body []byte) ([]byte, error) {
+	m.mu.Lock()
+	st := m.cur
+	if st == nil {
+		var err error
+		st, err = m.redialLocked()
+		if err != nil {
+			m.mu.Unlock()
+			return nil, err
+		}
+	}
+	id := m.cli.nextID.Add(1)
+	ch := make(chan muxResult, 1)
+	st.pending[id] = ch
+	m.mu.Unlock()
+
+	frame := appendRequestFrame(getFrameBuf(), id, service, method, body)
+	select {
+	case st.writeCh <- frame:
+	case <-st.done:
+		return nil, fmt.Errorf("send %s.%s: %w", service, method, ErrConnBroken)
+	}
+
+	var timeoutCh <-chan time.Time
+	if t := m.cli.timeout; t > 0 {
+		timer := time.NewTimer(t)
+		defer timer.Stop()
+		timeoutCh = timer.C
+	}
+	select {
+	case res := <-ch:
+		if res.broken {
+			return nil, fmt.Errorf("receive %s.%s: %w", service, method, ErrConnBroken)
+		}
+		if res.isErr {
+			return nil, &RemoteError{Service: service, Method: method, Msg: res.errMsg}
+		}
+		return res.body, nil
+	case <-timeoutCh:
+		// Abandon only this call: deregister the id so the late response
+		// is dropped by the demux. The connection — and every other call
+		// in flight on it — is unaffected.
+		m.mu.Lock()
+		delete(st.pending, id)
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%s.%s after %v: %w", service, method, m.cli.timeout, ErrCallTimeout)
+	}
+}
+
+func (m *muxConn) close() error {
+	m.mu.Lock()
+	st := m.cur
+	m.mu.Unlock()
+	if st != nil {
+		m.fail(st)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Protocol v1 pool slot: legacy lockstep gob.
+// ---------------------------------------------------------------------------
+
+// tcpConn is one legacy pool slot: a connection with its gob codec pair
+// and the redial backoff state left by previous failures. conn == nil
+// means the slot is disconnected and the next call dials.
+//
+// Any encode, decode, or deadline failure marks the connection broken — a
+// late response would otherwise desync the shared gob stream and poison
+// every later call — and the next call on the slot transparently redials.
+type tcpConn struct {
+	cli *TCPClient
+
+	mu        sync.Mutex
+	conn      net.Conn
+	enc       *gob.Encoder
+	dec       *gob.Decoder
+	dialFails int
+	nextDial  time.Time
 }
 
 // redialLocked (re)establishes the slot's connection, honouring the
@@ -272,8 +694,9 @@ func (p *tcpConn) redialLocked() error {
 	p.dialFails = 0
 	p.nextDial = time.Time{}
 	p.conn = conn
-	p.enc = gob.NewEncoder(conn)
-	p.dec = gob.NewDecoder(conn)
+	cc := countingConn{Conn: conn, m: &p.cli.metrics}
+	p.enc = gob.NewEncoder(cc)
+	p.dec = gob.NewDecoder(cc)
 	return nil
 }
 
@@ -332,4 +755,15 @@ func (p *tcpConn) roundTrip(service, method string, body []byte) ([]byte, error)
 		return nil, &RemoteError{Service: service, Method: method, Msg: resp.Err}
 	}
 	return resp.Body, nil
+}
+
+func (p *tcpConn) close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var err error
+	if p.conn != nil {
+		err = p.conn.Close()
+		p.conn, p.enc, p.dec = nil, nil, nil
+	}
+	return err
 }

@@ -1,21 +1,24 @@
 package rpc
 
 import (
+	"bufio"
 	"encoding/gob"
 	"errors"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// TestTCPSlowResponseDoesNotPoisonStream is the regression test for the
-// poisoned-stream bug: a call that times out leaves its (late) response
-// frame in flight. The old client kept the connection, so the next call
-// decoded the stale frame (or failed forever); the reconnecting client
-// must mark the connection broken and redial, and the second call must
-// succeed cleanly.
+// TestTCPSlowResponseDoesNotPoisonStream: under the multiplexed binary
+// protocol a call that outlives its budget fails with ErrCallTimeout and
+// the connection survives — the late response is matched by id and
+// dropped by the demux, so later calls on the same connection succeed
+// without a redial and never read a stale frame.
 func TestTCPSlowResponseDoesNotPoisonStream(t *testing.T) {
 	srv, addr := startServer(t)
 	var calls atomic.Int64
@@ -31,8 +34,8 @@ func TestTCPSlowResponseDoesNotPoisonStream(t *testing.T) {
 	}
 	defer cli.Close() //nolint:errcheck
 
-	if _, err := cli.Call("svc", "m", []byte("first")); !errors.Is(err, ErrConnBroken) {
-		t.Fatalf("slow call err = %v, want ErrConnBroken", err)
+	if _, err := cli.Call("svc", "m", []byte("first")); !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("slow call err = %v, want ErrCallTimeout", err)
 	}
 	// The second call must not read the first call's late frame.
 	out, err := cli.Call("svc", "m", []byte("second"))
@@ -50,10 +53,44 @@ func TestTCPSlowResponseDoesNotPoisonStream(t *testing.T) {
 	}
 }
 
-// TestTCPResponseIDMismatchBreaksConn drives the client against a
-// misbehaving server that answers the first request with the wrong ID. The
-// client must surface ErrConnBroken (not a silent skew) and recover by
-// redialling.
+// TestTCPGobSlowResponseBreaksConn is the legacy-protocol regression test
+// for the poisoned-stream bug: under lockstep gob a timed-out call leaves
+// its late response frame in flight, so the client must mark the
+// connection broken (ErrConnBroken) and the next call must redial rather
+// than decode the stale frame.
+func TestTCPGobSlowResponseBreaksConn(t *testing.T) {
+	srv, addr := startServer(t)
+	var calls atomic.Int64
+	srv.Register("svc", func(method string, body []byte) ([]byte, error) {
+		if calls.Add(1) == 1 {
+			time.Sleep(300 * time.Millisecond) // outlives the client deadline
+		}
+		return append([]byte("echo:"), body...), nil
+	})
+	cli, err := DialTCPGob(addr, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close() //nolint:errcheck
+
+	if _, err := cli.Call("svc", "m", []byte("first")); !errors.Is(err, ErrConnBroken) {
+		t.Fatalf("slow call err = %v, want ErrConnBroken", err)
+	}
+	out, err := cli.Call("svc", "m", []byte("second"))
+	if err != nil {
+		t.Fatalf("call after timeout failed (stream poisoned?): %v", err)
+	}
+	if string(out) != "echo:second" {
+		t.Fatalf("out = %q, want the second call's own response", out)
+	}
+}
+
+// TestTCPResponseIDMismatchBreaksConn drives the legacy gob client
+// against a misbehaving server that answers the first request with the
+// wrong ID. Without framing guarantees the stream cannot be resynced, so
+// the client must surface ErrConnBroken (not a silent skew) and recover
+// by redialling. (The binary protocol instead drops unmatched ids — see
+// TestTCPMuxUnmatchedResponseDropped.)
 func TestTCPResponseIDMismatchBreaksConn(t *testing.T) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -89,7 +126,7 @@ func TestTCPResponseIDMismatchBreaksConn(t *testing.T) {
 		}
 	}()
 
-	cli, err := DialTCP(ln.Addr().String(), time.Second)
+	cli, err := DialTCPGob(ln.Addr().String(), time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,4 +291,184 @@ func TestTCPPoolConcurrentCalls(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+// TestTCPMuxUnmatchedResponseDropped: under the binary protocol a
+// response whose id matches no waiting call (late answer to an abandoned
+// request, or a buggy server) is dropped and counted, not fatal — the
+// matched response that follows is still delivered on the same
+// connection.
+func TestTCPMuxUnmatchedResponseDropped(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close() //nolint:errcheck
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close() //nolint:errcheck
+		br := bufio.NewReader(conn)
+		var pre [4]byte
+		if _, err := io.ReadFull(br, pre[:]); err != nil {
+			return
+		}
+		for {
+			_, id, payload, err := readFrame(br)
+			if err != nil {
+				return
+			}
+			_, _, body, err := parseRequest(payload)
+			if err != nil {
+				return
+			}
+			// A ghost frame for an id nobody is waiting on, then the
+			// real answer.
+			out := appendResponseFrame(nil, id+1000, "", []byte("ghost"))
+			out = appendResponseFrame(out, id, "", body)
+			if _, err := conn.Write(out); err != nil {
+				return
+			}
+		}
+	}()
+
+	cli, err := DialTCP(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close() //nolint:errcheck
+	reg := obs.NewRegistry()
+	cli.Instrument(reg)
+	out, err := cli.Call("svc", "m", []byte("payload"))
+	if err != nil || string(out) != "payload" {
+		t.Fatalf("call = (%q, %v), want own payload", out, err)
+	}
+	if n := reg.Counter(`rpc_responses_unmatched_total{side="client"}`).Value(); n == 0 {
+		t.Fatal("unmatched-response counter not incremented for the ghost frame")
+	}
+	// The connection survived the ghost: a second call works without a
+	// redial window.
+	if out, err := cli.Call("svc", "m", []byte("again")); err != nil || string(out) != "again" {
+		t.Fatalf("call after ghost = (%q, %v)", out, err)
+	}
+}
+
+// chaosProxy forwards TCP connections to a backend and can sever every
+// live connection on demand, simulating mid-stream network breakage
+// without touching either endpoint.
+type chaosProxy struct {
+	ln      net.Listener
+	backend string
+	mu      sync.Mutex
+	conns   []net.Conn
+}
+
+func newChaosProxy(t *testing.T, backend string) *chaosProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &chaosProxy{ln: ln, backend: backend}
+	t.Cleanup(func() {
+		ln.Close() //nolint:errcheck
+		p.sever()
+	})
+	go func() {
+		for {
+			client, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			server, err := net.Dial("tcp", backend)
+			if err != nil {
+				client.Close() //nolint:errcheck
+				continue
+			}
+			p.mu.Lock()
+			p.conns = append(p.conns, client, server)
+			p.mu.Unlock()
+			go func() { io.Copy(server, client); server.Close() }() //nolint:errcheck
+			go func() { io.Copy(client, server); client.Close() }() //nolint:errcheck
+		}
+	}()
+	return p
+}
+
+func (p *chaosProxy) addr() string { return p.ln.Addr().String() }
+
+// sever closes every connection currently flowing through the proxy.
+func (p *chaosProxy) sever() {
+	p.mu.Lock()
+	conns := p.conns
+	p.conns = nil
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.Close() //nolint:errcheck
+	}
+}
+
+// TestTCPPoolStressNoCrossDelivery hammers a small pool (far more callers
+// than slots, so every slot multiplexes many in-flight calls) while the
+// network is severed mid-stream, and asserts the core mux invariant: a
+// successful call NEVER returns another request's response. Errors during
+// the breakage window are expected; cross-delivery is not. Run under
+// -race in CI.
+func TestTCPPoolStressNoCrossDelivery(t *testing.T) {
+	srv, addr := startServer(t)
+	srv.Register("svc", func(method string, body []byte) ([]byte, error) {
+		// Shuffle completion order so responses interleave across ids.
+		time.Sleep(time.Duration(body[1]%5) * time.Millisecond)
+		return body, nil
+	})
+	proxy := newChaosProxy(t, addr)
+
+	cli, err := DialTCPPool(proxy.addr(), 2*time.Second, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close() //nolint:errcheck
+
+	const goroutines = 32
+	const callsEach = 25
+	var wg sync.WaitGroup
+	var severed atomic.Bool
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < callsEach; i++ {
+				msg := []byte{byte(g), byte(i), byte(g ^ i)}
+				out, err := cli.Call("svc", "echo", msg)
+				if err != nil {
+					continue // breakage window: failure is fine, skew is not
+				}
+				if string(out) != string(msg) {
+					t.Errorf("goroutine %d call %d: got %v want %v (cross-delivered response)", g, i, out, msg)
+					return
+				}
+				if g == 0 && i == callsEach/2 && !severed.Swap(true) {
+					proxy.sever() // mid-stream breakage while calls are in flight
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// After the chaos the pool must heal: fresh calls succeed again.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		out, err := cli.Call("svc", "echo", []byte{9, 9, 9})
+		if err == nil {
+			if string(out) != string([]byte{9, 9, 9}) {
+				t.Fatalf("post-recovery echo = %v", out)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pool never recovered: %v", err)
+		}
+	}
 }

@@ -13,12 +13,14 @@
 package sign
 
 import (
+	"bytes"
 	"crypto/hmac"
 	"crypto/rand"
 	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
 	"io"
 	"sync"
 )
@@ -72,24 +74,58 @@ func MustNewSecret(keyID uint32) Secret {
 	return s
 }
 
+// macState is a pooled keyed HMAC: certificate verification runs on the
+// callback-validation hot path, and building a fresh HMAC (two SHA-256
+// states) per signature is the dominant allocation there. Reset restores
+// the keyed initial state, so an instance is reusable as long as the key
+// matches; on a key mismatch (rotation, multiple rings) it is re-keyed.
+// The scratch fields keep the length frames and the principal-id bytes
+// off the per-call heap: both would otherwise escape through the
+// hash.Hash interface on every signature.
+type macState struct {
+	key  [32]byte
+	h    hash.Hash
+	lenb [8]byte
+	pid  []byte
+	sum  []byte
+}
+
+var macPool sync.Pool
+
 // mac computes HMAC-SHA256(key, principalID || 0x00 || fields...) with
 // length framing so that distinct field splits never collide.
 func mac(key []byte, principalID string, fields [][]byte) Signature {
-	h := hmac.New(sha256.New, key)
-	writeFramed(h, []byte(principalID))
-	for _, f := range fields {
-		writeFramed(h, f)
+	st, _ := macPool.Get().(*macState)
+	switch {
+	case st == nil:
+		st = &macState{}
+		copy(st.key[:], key)
+		st.h = hmac.New(sha256.New, key)
+	case !bytes.Equal(st.key[:], key):
+		copy(st.key[:], key)
+		st.h = hmac.New(sha256.New, key)
+	default:
+		st.h.Reset()
 	}
+	st.pid = append(st.pid[:0], principalID...)
+	st.writeFramed(st.pid)
+	for _, f := range fields {
+		st.writeFramed(f)
+	}
+	// Sum through the pooled scratch: passing sig[:0] straight into the
+	// hash.Hash interface would make sig escape and cost a heap
+	// allocation per signature.
+	st.sum = st.h.Sum(st.sum[:0])
 	var sig Signature
-	copy(sig[:], h.Sum(nil))
+	copy(sig[:], st.sum)
+	macPool.Put(st)
 	return sig
 }
 
-func writeFramed(h io.Writer, b []byte) {
-	var n [8]byte
-	binary.BigEndian.PutUint64(n[:], uint64(len(b)))
-	h.Write(n[:]) //nolint:errcheck // hash writers never fail
-	h.Write(b)    //nolint:errcheck
+func (st *macState) writeFramed(b []byte) {
+	binary.BigEndian.PutUint64(st.lenb[:], uint64(len(b)))
+	st.h.Write(st.lenb[:]) //nolint:errcheck // hash writers never fail
+	st.h.Write(b)          //nolint:errcheck
 }
 
 // Sign computes the certificate signature for the protected fields, bound
