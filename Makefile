@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench tables obs recover wire examples cover clean
+.PHONY: all build vet lint test race bench tables obs recover wire capacity capacity-quick examples cover clean
 
-all: build vet test race
+all: build vet test race capacity-quick
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,19 @@ recover:
 # under fan-in, and binary-vs-JSON codec rows (BENCH_wire.json).
 wire:
 	$(GO) run ./cmd/benchtab -exp wire -wire-json BENCH_wire.json
+
+# E16: million-principal capacity — resident bytes per principal
+# (compact vs pre-capacity baseline), p99 validation latency under churn,
+# and cascade-collapse latency for a 100k-cert dependency tree
+# (BENCH_capacity.json). The full run holds two million-principal worlds
+# in memory; use capacity-quick on small machines.
+capacity:
+	$(GO) run ./cmd/benchtab -exp capacity -capacity-json BENCH_capacity.json
+
+# Same harness at smoke scale (20k principals): exercises both variants,
+# eviction, expiry waves and the cascade without the memory footprint.
+capacity-quick:
+	$(GO) run ./cmd/benchtab -exp capacity -quick
 
 # Run all six runnable paper scenarios.
 examples:

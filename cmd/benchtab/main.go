@@ -9,7 +9,7 @@
 //	benchtab -json out.json  # also write machine-readable rows (parallel)
 //
 // Experiment ids: fig1 fig2 fig3 fig4 fig5 auth sect5 sect6 baselines
-// soak parallel faults obs recover
+// soak parallel faults obs recover wire capacity
 package main
 
 import (
@@ -32,9 +32,10 @@ var (
 	jsonPath        string
 	faultsJSONPath  string
 	obsJSONPath     string
-	recoverJSONPath string
-	wireJSONPath    string
-	quick           bool
+	recoverJSONPath  string
+	wireJSONPath     string
+	capacityJSONPath string
+	quick            bool
 )
 
 func main() {
@@ -45,6 +46,7 @@ func main() {
 	flag.StringVar(&obsJSONPath, "obs-json", "", "write observability-overhead rows to this JSON file")
 	flag.StringVar(&recoverJSONPath, "recover-json", "", "write durability overhead + recovery-time rows to this JSON file")
 	flag.StringVar(&wireJSONPath, "wire-json", "", "write wire hot-path rows to this JSON file")
+	flag.StringVar(&capacityJSONPath, "capacity-json", "", "write million-principal capacity rows to this JSON file")
 	flag.BoolVar(&quick, "quick", false, "shrink sample counts and windows (CI smoke, not for published numbers)")
 	flag.Parse()
 	if err := run(*exp, *list); err != nil {
@@ -69,6 +71,7 @@ var experimentsTable = map[string]func(*tabwriter.Writer) error{
 	"obs":       runObs,
 	"recover":   runRecover,
 	"wire":      runWire,
+	"capacity":  runCapacity,
 }
 
 func run(exp string, list bool) error {
@@ -426,6 +429,62 @@ func runWire(w *tabwriter.Writer) error {
 		return err
 	}
 	fmt.Fprintf(w, "(rows written to %s)\n", wireJSONPath)
+	return nil
+}
+
+func runCapacity(w *tabwriter.Writer) error {
+	// The published numbers run at a million resident principals; quick
+	// mode shrinks the population for CI smoke, where only the machinery
+	// (both variants, eviction, expiry waves, cascade) is under test.
+	principals, ops, cascade := 1_000_000, 200_000, 100_000
+	if quick {
+		principals, ops, cascade = 20_000, 20_000, 5_000
+	}
+	res, err := experiments.RunCapacity(principals, ops, cascade)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "== E16: million-principal capacity — compact resident state under churn ==")
+	fmt.Fprintln(w, "variant\tprincipals\tresident MB\tbytes/principal\tresident CRs\tcached validations\tintern entries\tpopulate")
+	for _, row := range res.Resident {
+		fmt.Fprintf(w, "%s\t%d\t%.1f\t%.0f\t%d\t%d\t%d\t%.0fms\n",
+			row.Variant, row.Principals, float64(row.ResidentBytes)/(1<<20),
+			row.BytesPerPrincipal, row.ResidentCRs, row.CachedValidations,
+			row.InternEntries, row.PopulateMs)
+	}
+	fmt.Fprintf(w, "bytes/principal improvement\t%+.1f%%\n", res.ImprovementPct)
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nvariant\tops\tp50\tp99\tallocs/op\tauthorized\tdenied\trevocations\tappts expired")
+	for _, row := range res.Churn {
+		fmt.Fprintf(w, "%s\t%d\t%v\t%v\t%.1f\t%d\t%d\t%d\t%d\n",
+			row.Variant, row.Ops,
+			time.Duration(row.P50Ns).Round(100*time.Nanosecond),
+			time.Duration(row.P99Ns).Round(100*time.Nanosecond),
+			row.AllocsPerOp, row.Authorized, row.Denied, row.Revocations, row.ApptExpired)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nvariant\tcascade certs\tcollapse\tfully collapsed")
+	for _, row := range res.Cascade {
+		fmt.Fprintf(w, "%s\t%d\t%.2fms\t%v\n", row.Variant, row.Certs, row.CollapseMs, row.Collapsed)
+	}
+	if len(res.Violations) > 0 {
+		return fmt.Errorf("capacity violations: %v", res.Violations)
+	}
+	if capacityJSONPath == "" {
+		return nil
+	}
+	out, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(capacityJSONPath, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "(rows written to %s)\n", capacityJSONPath)
 	return nil
 }
 

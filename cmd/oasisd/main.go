@@ -95,6 +95,9 @@ func main() {
 			heartbeatDeadlineFactor))
 		obsAddr  = flag.String("obs-addr", "", "serve /metrics, /trace and /debug/pprof on this address (empty = off)")
 		stateDir = flag.String("state-dir", "", "journal issued credentials, appointments, facts and signing keys here; recovered on restart (empty = ephemeral)")
+		ecrMax   = flag.Int("ecr-cache-max", 0, "bound each service's ECR validation cache to this many entries, evicting cold verdicts (0 = unbounded)")
+		acBytes  = flag.Int64("auto-compact-bytes", 0, "live-compact the journal when the active generation exceeds this many bytes (0 = compact only at shutdown)")
+		acGarb   = flag.Int("auto-compact-garbage", 0, "live-compact the journal after this many superseding records (revocations, retractions; 0 = off)")
 		svcs     multiFlag
 		peers    multiFlag
 		relayTo  multiFlag
@@ -112,6 +115,7 @@ func main() {
 		revalidate: *revalidate, staleGrace: *staleGrace, heartbeat: *heartbeat,
 		batchWindow: *batchWin,
 		obsAddr:     *obsAddr, stateDir: *stateDir,
+		ecrCacheMax: *ecrMax, autoCompactBytes: *acBytes, autoCompactGarbage: *acGarb,
 		svcs: svcs, peers: peers, relayTo: relayTo,
 	}
 	if err := run(cfg); err != nil {
@@ -131,9 +135,16 @@ type daemonConfig struct {
 	batchWindow time.Duration
 	obsAddr     string
 	stateDir    string
-	svcs        []string
-	peers       []string
-	relayTo     []string
+
+	// Capacity knobs (E16): bound the resident footprint of a long-lived
+	// daemon — the per-service validation cache and the on-disk journal.
+	ecrCacheMax        int
+	autoCompactBytes   int64
+	autoCompactGarbage int
+
+	svcs    []string
+	peers   []string
+	relayTo []string
 }
 
 func run(cfg daemonConfig) error {
@@ -159,6 +170,10 @@ func run(cfg daemonConfig) error {
 	reg := obs.NewRegistry()
 	tracer := obs.NewTracer(4096)
 	tracer.Echo(os.Stdout, "liveness")
+	// Process-level resident-memory gauges: together with the per-service
+	// core_resident_crs and core_ecr_cache_entries gauges they answer the
+	// capacity question (bytes per resident principal) on a live daemon.
+	obs.RegisterRuntimeMetrics(reg)
 
 	broker := event.NewBroker()
 	defer broker.Close()
@@ -198,7 +213,12 @@ func run(cfg daemonConfig) error {
 	recovered := durable.NewState()
 	if cfg.stateDir != "" {
 		var err error
-		dlog, err = durable.Open(durable.Options{Dir: cfg.stateDir, Obs: reg})
+		dlog, err = durable.Open(durable.Options{
+			Dir:                cfg.stateDir,
+			Obs:                reg,
+			AutoCompactBytes:   cfg.autoCompactBytes,
+			AutoCompactGarbage: cfg.autoCompactGarbage,
+		})
 		if err != nil {
 			return fmt.Errorf("recover state from %s: %w", cfg.stateDir, err)
 		}
@@ -289,6 +309,7 @@ func run(cfg daemonConfig) error {
 			Broker:           broker,
 			Caller:           caller,
 			CacheValidations: true,
+			CacheMaxEntries:  cfg.ecrCacheMax,
 			Records:          records,
 			RevalidateAfter:  cfg.revalidate,
 			StaleGrace:       cfg.staleGrace,

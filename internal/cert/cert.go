@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -44,8 +45,18 @@ type CRR struct {
 	Serial uint64 `json:"serial"`
 }
 
-// String renders issuer#serial.
-func (c CRR) String() string { return c.Issuer + "#" + strconv.FormatUint(c.Serial, 10) }
+// String renders issuer#serial in a single allocation — it is computed
+// per presented certificate on the validation hot path (cache key and
+// monitoring key).
+func (c CRR) String() string {
+	var tmp [20]byte
+	var b strings.Builder
+	b.Grow(len(c.Issuer) + 21)
+	b.WriteString(c.Issuer)
+	b.WriteByte('#')
+	b.Write(strconv.AppendUint(tmp[:0], c.Serial, 10))
+	return b.String()
+}
 
 // RMC is a role membership certificate: proof that a principal has
 // activated Role at the issuing service, within a session. The signature

@@ -41,7 +41,9 @@ func (s *Service) Appoint(principal string, req AppointmentRequest, p Presented)
 		return cert.AppointmentCertificate{}, wrap(s.name,
 			fmt.Errorf("%w: no appointer rule %s", ErrAppointmentDenied, ruleName))
 	}
-	creds, err := s.validateAll(principal, p)
+	sc := getCredsScratch()
+	defer sc.release()
+	creds, err := s.validateAll(principal, p, sc)
 	if err != nil {
 		return cert.AppointmentCertificate{}, wrap(s.name, err)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cert"
+	"repro/internal/names"
 	"repro/internal/sign"
 )
 
@@ -93,11 +94,17 @@ func (m *memRecords) RestoreRecord(serial uint64, st RecordStatus) error {
 	if serial == 0 {
 		return fmt.Errorf("restore record: serial 0")
 	}
+	rec := memRecord{
+		subject: names.InternString(st.Subject),
+		holder:  names.InternString(st.Holder),
+		reason:  names.InternString(st.Reason),
+	}
+	if st.Revoked {
+		rec.flags |= recRevoked
+	}
 	sh := m.shard(serial)
 	sh.mu.Lock()
-	cp := st
-	cp.Exists = true
-	sh.records[serial] = &cp
+	sh.records[serial] = rec
 	sh.mu.Unlock()
 	// Advance the allocator so future issues never reuse a restored
 	// serial.

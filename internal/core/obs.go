@@ -47,11 +47,12 @@ var batchSizeBuckets = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 
 // newServiceObs wires a service into the registry and tracer (both may be
 // nil). Every per-service series carries a service label.
-func newServiceObs(name string, reg *obs.Registry, tracer *obs.Tracer, stats *statCounters) serviceObs {
+func newServiceObs(s *Service, name string, reg *obs.Registry, tracer *obs.Tracer) serviceObs {
 	o := serviceObs{tracer: tracer}
 	if reg == nil {
 		return o
 	}
+	stats := &s.stats
 	label := fmt.Sprintf("{service=%q}", name)
 	for _, m := range []struct {
 		name string
@@ -64,6 +65,8 @@ func newServiceObs(name string, reg *obs.Registry, tracer *obs.Tracer, stats *st
 		{"core_local_validations_total", stats.localValidations.Load},
 		{"core_callback_validations_total", stats.callbackValidations.Load},
 		{"core_cache_hits_total", stats.cacheHits.Load},
+		{"core_cache_misses_total", stats.cacheMisses.Load},
+		{"core_cache_evictions_total", stats.cacheEvictions.Load},
 		{"core_degraded_hits_total", stats.degradedHits.Load},
 		{"core_revocations_total", stats.revocations.Load},
 		{"core_validate_batches_total", stats.batchesSent.Load},
@@ -71,6 +74,11 @@ func newServiceObs(name string, reg *obs.Registry, tracer *obs.Tracer, stats *st
 	} {
 		reg.Func(m.name+label, m.fn)
 	}
+	// Cache-pressure and resident-state gauges: the ECR entry population
+	// (against its CacheMaxEntries bound) and the live credential-record
+	// count, both O(1) reads at scrape time.
+	reg.Func("core_ecr_cache_entries"+label, func() uint64 { return uint64(s.vcache.count.Load()) })
+	reg.Func("core_resident_crs"+label, func() uint64 { return uint64(s.crs.residents()) })
 	o.activateNs = reg.Histogram("core_activate_ns"+label, nil)
 	o.callbackNs = reg.Histogram("core_callback_validate_ns"+label, nil)
 	o.cascadeHopNs = reg.Histogram("core_revoke_hop_ns"+label, nil)

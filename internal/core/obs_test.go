@@ -1,9 +1,11 @@
 package core
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
+	"repro/internal/cert"
 	"repro/internal/names"
 	"repro/internal/obs"
 )
@@ -107,6 +109,77 @@ func TestCascadeTraceCorrelation(t *testing.T) {
 		if !strings.Contains(out, wantLine) {
 			t.Errorf("metrics missing %q", wantLine)
 		}
+	}
+}
+
+// TestCachePressureMetrics drives a bounded ECR cache past its capacity
+// and checks the capacity-facing exposition (E16): the hit/miss/eviction
+// counters and the resident-state gauges (cache entries, credential
+// records) land on /metrics text under the service label, and the gauges
+// track the live populations.
+func TestCachePressureMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	w := newWorld(t)
+	login := w.service("login", `login.user <- env ok.`, withObs(reg, nil))
+	alwaysTrue(login, "ok")
+	guard := w.service("guard", `auth enter <- login.user.`, withObs(reg, nil),
+		func(c *Config) {
+			c.CacheValidations = true
+			c.CacheMaxEntries = 4
+		})
+
+	const principals = 12
+	for i := 0; i < principals; i++ {
+		pid := fmt.Sprintf("p%d", i)
+		rmc, err := login.Activate(pid, role("login", "user"), Presented{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		creds := Presented{RMCs: []cert.RMC{rmc}}
+		// Two invokes per principal: the first misses and fills the
+		// cache, the second hits (eviction permitting).
+		for k := 0; k < 2; k++ {
+			if _, err := guard.Invoke(pid, "enter", nil, creds); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	stats := guard.Stats()
+	if stats.CacheMisses == 0 || stats.CacheHits == 0 {
+		t.Fatalf("stats = %+v, want both hits and misses", stats)
+	}
+	if stats.CacheEvictions == 0 {
+		t.Fatalf("stats = %+v, want evictions: %d principals through a cache of 4", stats, principals)
+	}
+	if got := guard.CachedValidations(); got > 4+4/16+1 {
+		t.Errorf("cached validations = %d, want bounded near 4", got)
+	}
+	if got := login.ResidentCRs(); got != principals {
+		t.Errorf("login resident CRs = %d, want %d", got, principals)
+	}
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{
+		`core_cache_hits_total{service="guard"}`,
+		`core_cache_misses_total{service="guard"}`,
+		`core_cache_evictions_total{service="guard"}`,
+		`core_ecr_cache_entries{service="guard"}`,
+		`core_resident_crs{service="login"}`,
+	} {
+		if !strings.Contains(out, name+" ") {
+			t.Errorf("metrics missing %s", name)
+		}
+	}
+	if got := reg.Value(`core_resident_crs{service="login"}`); got != principals {
+		t.Errorf("core_resident_crs gauge = %d, want %d", got, principals)
+	}
+	if hits := reg.Value(`core_cache_hits_total{service="guard"}`); hits != stats.CacheHits {
+		t.Errorf("core_cache_hits_total = %d, want %d", hits, stats.CacheHits)
 	}
 }
 

@@ -3,6 +3,8 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/names"
 )
 
 // RecordStore holds the validity state of issued role membership
@@ -32,6 +34,34 @@ type RecordStatus struct {
 	Reason  string
 }
 
+// memRecord is the resident form of one credential record: three interned
+// string handles plus a packed flag byte, stored by value in the shard
+// map. Compared with the pre-capacity layout (a heap-allocated
+// *RecordStatus per record) this removes one pointer, one heap object and
+// its allocator slack per resident record, and — because subject, holder
+// and revocation reason are interned — the string contents are shared
+// across the millions of records that spell the same role or reason.
+// Existence is map membership; the wire-facing RecordStatus is
+// materialised lazily on Status reads.
+type memRecord struct {
+	subject string
+	holder  string
+	reason  string
+	flags   uint8
+}
+
+const recRevoked uint8 = 1 << 0
+
+func (r memRecord) status() RecordStatus {
+	return RecordStatus{
+		Exists:  true,
+		Revoked: r.flags&recRevoked != 0,
+		Holder:  r.holder,
+		Subject: r.subject,
+		Reason:  r.reason,
+	}
+}
+
 // memRecords is the default in-memory RecordStore. Serial allocation is a
 // single atomic, and the record table is sharded by serial so local
 // validations (Status reads on the Invoke path) do not serialise behind
@@ -43,7 +73,7 @@ type memRecords struct {
 
 type recordShard struct {
 	mu      sync.RWMutex
-	records map[uint64]*RecordStatus
+	records map[uint64]memRecord
 }
 
 var _ RecordStore = (*memRecords)(nil)
@@ -51,7 +81,7 @@ var _ RecordStore = (*memRecords)(nil)
 func newMemRecords() *memRecords {
 	m := &memRecords{}
 	for i := range m.shards {
-		m.shards[i].records = make(map[uint64]*RecordStatus)
+		m.shards[i].records = make(map[uint64]memRecord)
 	}
 	return m
 }
@@ -64,12 +94,86 @@ func (m *memRecords) Issue(subject, holder string) (uint64, error) {
 	serial := m.next.Add(1)
 	sh := m.shard(serial)
 	sh.mu.Lock()
-	sh.records[serial] = &RecordStatus{Exists: true, Holder: holder, Subject: subject}
+	// Subjects (ground role keys) come from a small vocabulary and are
+	// interned; holders are per-session principal ids — high-cardinality
+	// and short-lived, so interning them would grow the canonical table
+	// without bound. They stay as plain strings (sharing the caller's
+	// copy).
+	sh.records[serial] = memRecord{
+		subject: names.InternString(subject),
+		holder:  holder,
+	}
 	sh.mu.Unlock()
 	return serial, nil
 }
 
 func (m *memRecords) Revoke(serial uint64, reason string) (bool, error) {
+	sh := m.shard(serial)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rec, ok := sh.records[serial]
+	if !ok || rec.flags&recRevoked != 0 {
+		return false, nil
+	}
+	rec.flags |= recRevoked
+	// Revocation reasons come from a small vocabulary (logout, cascade,
+	// explicit deactivation, …); interning keeps a mass revocation from
+	// retaining a copy per record.
+	rec.reason = names.InternString(reason)
+	sh.records[serial] = rec
+	return true, nil
+}
+
+func (m *memRecords) Status(serial uint64) (RecordStatus, error) {
+	sh := m.shard(serial)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	rec, ok := sh.records[serial]
+	if !ok {
+		return RecordStatus{}, nil
+	}
+	return rec.status(), nil
+}
+
+// baselineRecords preserves the pre-capacity record layout — one
+// heap-allocated RecordStatus per record, no interning, unpacked flags —
+// behind the same RecordStore interface. The E16 capacity harness plugs
+// it in (Config.Records) to measure the compact layout against the state
+// of the world it replaced; it has no production use.
+type baselineRecords struct {
+	next   atomic.Uint64
+	shards [crShards]baselineShard
+}
+
+type baselineShard struct {
+	mu      sync.RWMutex
+	records map[uint64]*RecordStatus
+}
+
+// NewBaselineRecords constructs the pre-capacity record store. See
+// baselineRecords.
+func NewBaselineRecords() RecordStore {
+	m := &baselineRecords{}
+	for i := range m.shards {
+		m.shards[i].records = make(map[uint64]*RecordStatus)
+	}
+	return m
+}
+
+func (m *baselineRecords) shard(serial uint64) *baselineShard {
+	return &m.shards[serial%crShards]
+}
+
+func (m *baselineRecords) Issue(subject, holder string) (uint64, error) {
+	serial := m.next.Add(1)
+	sh := m.shard(serial)
+	sh.mu.Lock()
+	sh.records[serial] = &RecordStatus{Exists: true, Holder: holder, Subject: subject}
+	sh.mu.Unlock()
+	return serial, nil
+}
+
+func (m *baselineRecords) Revoke(serial uint64, reason string) (bool, error) {
 	sh := m.shard(serial)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -82,7 +186,7 @@ func (m *memRecords) Revoke(serial uint64, reason string) (bool, error) {
 	return true, nil
 }
 
-func (m *memRecords) Status(serial uint64) (RecordStatus, error) {
+func (m *baselineRecords) Status(serial uint64) (RecordStatus, error) {
 	sh := m.shard(serial)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()

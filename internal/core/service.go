@@ -62,6 +62,16 @@ type Config struct {
 	// (ECR, Fig. 5): results of callback validation are cached and
 	// invalidated by revocation events instead of re-validated per use.
 	CacheValidations bool
+	// CacheMaxEntries bounds the ECR validation cache. 0 (the default)
+	// leaves it unbounded — the classic ECR behaviour, fine when the
+	// foreign-credential population is small. At million-principal scale
+	// every cached verdict also pins a broker subscription, so a bound
+	// with second-chance eviction (see valCache) keeps the resident cost
+	// proportional to the hot working set rather than to every
+	// credential ever presented. Evictions are counted in Stats and
+	// exposed on /metrics; an evicted credential simply re-validates by
+	// callback on next presentation.
+	CacheMaxEntries int
 	// BatchWindow bounds how long a callback validation queued behind an
 	// outstanding flight to the same issuer waits for companions before
 	// departing as a validate_batch call (see batch.go; a validation
@@ -120,6 +130,13 @@ type Stats struct {
 	LocalValidations    uint64
 	CallbackValidations uint64
 	CacheHits           uint64
+	// CacheMisses counts foreign validations that found no fresh cached
+	// verdict and went to the issuer (first presentation, staleness, or
+	// re-presentation after eviction).
+	CacheMisses uint64
+	// CacheEvictions counts cached verdicts discarded by the
+	// CacheMaxEntries bound's second-chance sweep.
+	CacheEvictions uint64
 	// DegradedHits counts validations answered from a stale cache entry
 	// inside the StaleGrace window while the issuer was unreachable.
 	DegradedHits uint64
@@ -142,6 +159,8 @@ type statCounters struct {
 	localValidations    atomic.Uint64
 	callbackValidations atomic.Uint64
 	cacheHits           atomic.Uint64
+	cacheMisses         atomic.Uint64
+	cacheEvictions      atomic.Uint64
 	degradedHits        atomic.Uint64
 	revocations         atomic.Uint64
 	batchesSent         atomic.Uint64
@@ -157,6 +176,8 @@ func (c *statCounters) snapshot() Stats {
 		LocalValidations:    c.localValidations.Load(),
 		CallbackValidations: c.callbackValidations.Load(),
 		CacheHits:           c.cacheHits.Load(),
+		CacheMisses:         c.cacheMisses.Load(),
+		CacheEvictions:      c.cacheEvictions.Load(),
 		DegradedHits:        c.degradedHits.Load(),
 		Revocations:         c.revocations.Load(),
 		BatchesSent:         c.batchesSent.Load(),
@@ -328,9 +349,10 @@ func NewService(cfg Config) (*Service, error) {
 		proofState:       newSessionProofs(),
 		stopTimers:       make(chan struct{}),
 	}
+	s.vcache.max = cfg.CacheMaxEntries
 	s.methods.Store(map[string]MethodImpl{})
 	s.observers.Store([]InvokeObserver{})
-	s.obsm = newServiceObs(cfg.Name, cfg.Obs, cfg.Trace, &s.stats)
+	s.obsm = newServiceObs(s, cfg.Name, cfg.Obs, cfg.Trace)
 	s.batch = newBatcher(s, cfg.BatchWindow)
 	return s, nil
 }
@@ -373,6 +395,14 @@ func (s *Service) Observe(o InvokeObserver) {
 // Stats returns a snapshot of the service counters.
 func (s *Service) Stats() Stats { return s.stats.snapshot() }
 
+// ResidentCRs reports the live credential-record population (the
+// service's resident principal-state footprint, one record per active
+// role instance).
+func (s *Service) ResidentCRs() int64 { return s.crs.residents() }
+
+// CachedValidations reports the ECR validation cache's entry population.
+func (s *Service) CachedValidations() int64 { return s.vcache.count.Load() }
+
 // Policy returns the service's policy document.
 func (s *Service) Policy() policy.Policy { return s.pol }
 
@@ -387,7 +417,9 @@ func (s *Service) Activate(principal string, requested names.Role, p Presented) 
 	if len(rules) == 0 {
 		return cert.RMC{}, wrap(s.name, fmt.Errorf("%w: %s", ErrUnknownRole, requested.Name))
 	}
-	creds, err := s.validateAll(principal, p)
+	sc := getCredsScratch()
+	defer sc.release()
+	creds, err := s.validateAll(principal, p, sc)
 	if err != nil {
 		return cert.RMC{}, wrap(s.name, err)
 	}
@@ -404,7 +436,12 @@ func (s *Service) Activate(principal string, requested names.Role, p Presented) 
 		return cert.RMC{}, wrap(s.name, fmt.Errorf("%w: %s", ErrActivationDenied, requested.Name))
 	}
 	rule := rules[idx]
-	ground := rule.Head.Apply(sol.Subst)
+	// Intern the ground role before it becomes resident state: the role
+	// name and parameter vocabulary is tiny relative to the principal
+	// population, so every credential record spelling the same hospital,
+	// ward or role shares one canonical copy instead of retaining the
+	// request's wire-decoded strings.
+	ground := rule.Head.Apply(sol.Subst).Intern()
 	if !ground.IsGround() {
 		return cert.RMC{}, wrap(s.name, fmt.Errorf("%w: %s left unbound parameters", ErrActivationDenied, ground))
 	}
@@ -738,7 +775,9 @@ func (s *Service) Invoke(principal, method string, args []names.Term, p Presente
 	if err := s.proofFreshEnough(principal, method); err != nil {
 		return nil, wrap(s.name, err)
 	}
-	creds, err := s.validateAll(principal, p)
+	sc := getCredsScratch()
+	defer sc.release()
+	creds, err := s.validateAll(principal, p, sc)
 	if err != nil {
 		return nil, wrap(s.name, err)
 	}

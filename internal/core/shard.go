@@ -3,6 +3,7 @@ package core
 import (
 	"hash/maphash"
 	"sync"
+	"sync/atomic"
 )
 
 // crShards is the shard count of the credential-record table. 16 keeps the
@@ -28,6 +29,10 @@ var principalSeed = maphash.MakeSeed()
 type crTable struct {
 	serials    [crShards]serialShard
 	principals [crShards]principalShard
+	// count tracks the live record population for the resident-state
+	// gauge (core_resident_crs); maintained by insert/remove so reading
+	// it never sweeps the shards.
+	count atomic.Int64
 }
 
 type serialShard struct {
@@ -35,9 +40,14 @@ type serialShard struct {
 	crs map[uint64]*CredRecord
 }
 
+// principalShard indexes serials by principal as a small slice rather
+// than a nested map: a principal holds a handful of roles, so linear
+// scans beat per-principal map headers and bucket arrays by a wide
+// margin at million-principal populations (one slice header per
+// principal versus a 48-byte map header plus bucket allocations).
 type principalShard struct {
 	mu      sync.Mutex
-	serials map[string]map[uint64]struct{}
+	serials map[string][]uint64
 }
 
 func (t *crTable) serialShard(serial uint64) *serialShard {
@@ -61,15 +71,11 @@ func (t *crTable) insert(cr *CredRecord) {
 	ps := t.principalShard(cr.Principal)
 	ps.mu.Lock()
 	if ps.serials == nil {
-		ps.serials = make(map[string]map[uint64]struct{})
+		ps.serials = make(map[string][]uint64)
 	}
-	set, ok := ps.serials[cr.Principal]
-	if !ok {
-		set = make(map[uint64]struct{})
-		ps.serials[cr.Principal] = set
-	}
-	set[cr.Serial] = struct{}{}
+	ps.serials[cr.Principal] = append(ps.serials[cr.Principal], cr.Serial)
 	ps.mu.Unlock()
+	t.count.Add(1)
 }
 
 // get returns the live record for serial, or nil after deactivation.
@@ -95,25 +101,35 @@ func (t *crTable) remove(serial uint64) *CredRecord {
 
 	ps := t.principalShard(cr.Principal)
 	ps.mu.Lock()
-	if set, ok := ps.serials[cr.Principal]; ok {
-		delete(set, serial)
-		if len(set) == 0 {
+	if list, ok := ps.serials[cr.Principal]; ok {
+		for i, s := range list {
+			if s == serial {
+				list[i] = list[len(list)-1]
+				list = list[:len(list)-1]
+				break
+			}
+		}
+		if len(list) == 0 {
 			delete(ps.serials, cr.Principal)
+		} else {
+			ps.serials[cr.Principal] = list
 		}
 	}
 	ps.mu.Unlock()
+	t.count.Add(-1)
 	return cr
 }
+
+// residents returns the live record population.
+func (t *crTable) residents() int64 { return t.count.Load() }
 
 // serialsOf lists the serials currently indexed for a principal.
 func (t *crTable) serialsOf(principal string) []uint64 {
 	ps := t.principalShard(principal)
 	ps.mu.Lock()
-	set := ps.serials[principal]
-	out := make([]uint64, 0, len(set))
-	for serial := range set {
-		out = append(out, serial)
-	}
+	list := ps.serials[principal]
+	out := make([]uint64, len(list))
+	copy(out, list)
 	ps.mu.Unlock()
 	return out
 }

@@ -27,8 +27,22 @@ import (
 // cached if the generation is unchanged since before the callback, so a
 // revocation delivered at any point around the fill can never leave a
 // stale positive entry.
+// When bounded (Config.CacheMaxEntries), the cache runs a second-chance
+// (CLOCK-style) sweep on overflow: every hit sets the entry's recent bit,
+// the sweep clears recent bits and evicts entries whose bit was already
+// clear, skipping entries with a validation in flight. Eviction cancels
+// the entry's revocation subscription and liveness watch — the dominant
+// per-entry resident cost — and an evicted credential simply
+// re-validates by callback on its next presentation, so boundedness
+// trades issuer round-trips for memory, never safety.
 type valCache struct {
 	entries sync.Map // key string -> *cacheEntry
+	// count tracks the entry population (the sync.Map has no O(1) len);
+	// max is the configured bound, 0 = unbounded. sweeping serialises
+	// eviction sweeps so an insert herd does not scan the map in chorus.
+	count    atomic.Int64
+	max      int
+	sweeping atomic.Bool
 }
 
 // cacheEntry is the cache state of one foreign certificate key.
@@ -40,12 +54,21 @@ type cacheEntry struct {
 	// verdict confirmed by the issuer; the revalidation deadline and the
 	// stale-grace window are measured from it. 0 = never confirmed.
 	validatedAt atomic.Int64
+	// recent is the second-chance bit: set on every cache hit, cleared
+	// by the eviction sweep.
+	recent atomic.Bool
 
 	mu      sync.Mutex
 	gen     uint64 // bumped by every revocation event for this key
 	sub     *event.Subscription
 	flight  *flight
 	watched bool // a liveness watch is installed for this key
+	// dead marks an entry removed from the map by eviction. A presenter
+	// that loaded the pointer before removal may still complete its
+	// validation through it, but a dead entry never caches a verdict and
+	// never (re-)subscribes — the live state belongs to the fresh entry
+	// the next presenter creates under the same key.
+	dead bool
 }
 
 // flight is one in-progress callback validation shared by all concurrent
@@ -55,12 +78,67 @@ type flight struct {
 	err  error
 }
 
-func (c *valCache) entry(key string) *cacheEntry {
-	if e, ok := c.entries.Load(key); ok {
-		return e.(*cacheEntry)
+// entry returns the cache entry for key, creating it if absent; created
+// reports whether this call inserted it (the insert point for the
+// eviction sweep).
+func (c *valCache) entry(key string) (e *cacheEntry, created bool) {
+	if v, ok := c.entries.Load(key); ok {
+		return v.(*cacheEntry), false
 	}
-	e, _ := c.entries.LoadOrStore(key, &cacheEntry{})
-	return e.(*cacheEntry)
+	v, loaded := c.entries.LoadOrStore(key, &cacheEntry{})
+	if !loaded {
+		c.count.Add(1)
+	}
+	return v.(*cacheEntry), !loaded
+}
+
+// evictCacheEntries brings the bounded cache back under its limit with a
+// second-chance sweep, evicting a slack batch (max/16) beyond the
+// overflow so sweeps stay infrequent under a steady insert stream. At
+// most one sweep runs at a time; racing inserters skip out and leave the
+// cache transiently a few entries over its bound.
+func (s *Service) evictCacheEntries() {
+	c := &s.vcache
+	if c.max <= 0 || !c.sweeping.CompareAndSwap(false, true) {
+		return
+	}
+	defer c.sweeping.Store(false)
+	need := c.count.Load() - int64(c.max)
+	if need <= 0 {
+		return
+	}
+	need += int64(c.max/16) + 1
+	c.entries.Range(func(k, v any) bool {
+		e := v.(*cacheEntry)
+		if e.recent.Swap(false) {
+			return true // recently hit: spare this round
+		}
+		e.mu.Lock()
+		if e.flight != nil || e.dead {
+			e.mu.Unlock()
+			return true
+		}
+		e.dead = true
+		e.gen++
+		e.valid.Store(false)
+		e.validatedAt.Store(0)
+		sub := e.sub
+		e.sub = nil
+		watched := e.watched
+		e.watched = false
+		e.mu.Unlock()
+		c.entries.Delete(k)
+		c.count.Add(-1)
+		if sub != nil {
+			sub.Cancel()
+		}
+		if watched && s.hb != nil {
+			s.hb.Unwatch(k.(string))
+		}
+		s.stats.cacheEvictions.Add(1)
+		need--
+		return need > 0
+	})
 }
 
 // subscriptions snapshots the live revocation subscriptions (Close sweep).
@@ -80,23 +158,53 @@ func (c *valCache) subscriptions() []*event.Subscription {
 	return subs
 }
 
+// credsScratch backs one validateAll call: the credential-set slices are
+// pooled so the authorize-and-dispatch hot path does not allocate a
+// fresh slice per request. Solutions hold pointers into these slices
+// (policy.Match.Role/Appt), so callers release the scratch only after
+// the last use of the evaluation's solution — which is always within the
+// same request (Solution never outlives Activate/Invoke).
+type credsScratch struct {
+	roles []policy.HeldRole
+	appts []policy.Appointment
+}
+
+var credsPool = sync.Pool{New: func() any { return &credsScratch{} }}
+
+func getCredsScratch() *credsScratch { return credsPool.Get().(*credsScratch) }
+
+// release zeroes the live elements (dropping their string and term
+// references) and returns the scratch to the pool.
+func (sc *credsScratch) release() {
+	clear(sc.roles)
+	clear(sc.appts)
+	sc.roles = sc.roles[:0]
+	sc.appts = sc.appts[:0]
+	credsPool.Put(sc)
+}
+
 // validateAll checks every presented certificate and converts the valid set
-// into the evaluator's credential view. Any invalid certificate rejects the
-// whole request — a principal presenting forged or revoked credentials is
-// refused outright rather than silently narrowed.
-func (s *Service) validateAll(principal string, p Presented) (policy.CredentialSet, error) {
-	var creds policy.CredentialSet
+// into the evaluator's credential view, built into the caller's pooled
+// scratch. Any invalid certificate rejects the whole request — a principal
+// presenting forged or revoked credentials is refused outright rather than
+// silently narrowed.
+func (s *Service) validateAll(principal string, p Presented, sc *credsScratch) (policy.CredentialSet, error) {
+	sc.roles = sc.roles[:0]
+	sc.appts = sc.appts[:0]
 	for _, r := range p.RMCs {
-		if err := s.validateRMC(principal, r); err != nil {
+		// One rendering of the CRR serves both the validation cache key
+		// and the held role's monitoring key.
+		key := r.Ref.String()
+		if err := s.validateRMCKeyed(principal, r, key); err != nil {
 			return policy.CredentialSet{}, fmt.Errorf("%w: rmc %s: %v", ErrInvalidCredential, r.Ref, err)
 		}
-		creds.Roles = append(creds.Roles, policy.HeldRole{Role: r.Role, Key: r.Ref.String()})
+		sc.roles = append(sc.roles, policy.HeldRole{Role: r.Role, Key: key})
 	}
 	for _, a := range p.Appointments {
 		if err := s.validateAppointment(a); err != nil {
 			return policy.CredentialSet{}, fmt.Errorf("%w: appointment %s: %v", ErrInvalidCredential, a.Key(), err)
 		}
-		creds.Appointments = append(creds.Appointments, policy.Appointment{
+		sc.appts = append(sc.appts, policy.Appointment{
 			Issuer:    a.Issuer,
 			Kind:      a.Kind,
 			Params:    a.Params,
@@ -104,13 +212,20 @@ func (s *Service) validateAll(principal string, p Presented) (policy.CredentialS
 			ExpiresAt: a.ExpiresAt,
 		})
 	}
-	return creds, nil
+	return policy.CredentialSet{Roles: sc.roles, Appointments: sc.appts}, nil
 }
 
 // validateRMC checks one RMC for the presenting principal: locally when
 // this service issued it, otherwise by callback to the issuer (Sect. 4),
 // consulting the ECR cache when enabled.
 func (s *Service) validateRMC(principal string, r cert.RMC) error {
+	return s.validateRMCKeyed(principal, r, "")
+}
+
+// validateRMCKeyed is validateRMC with the CRR rendering precomputed by
+// the caller ("" renders on demand), so validateAll does not build the
+// same key twice per certificate.
+func (s *Service) validateRMCKeyed(principal string, r cert.RMC, key string) error {
 	if r.Ref.Issuer == s.name {
 		s.stats.localValidations.Add(1)
 		status, err := s.records.Status(r.Ref.Serial)
@@ -128,12 +243,22 @@ func (s *Service) validateRMC(principal string, r cert.RMC) error {
 		}
 		return r.Verify(s.ring, principal)
 	}
-	return s.validateForeign("cr", r.Ref.String(), "cr/", r.Ref.Issuer, rmcItem(r, principal))
+	if key == "" {
+		key = r.Ref.String()
+	}
+	return s.validateForeign("cr", key, "cr/", r.Ref.Issuer, rmcItem(r, principal))
 }
 
 // validateAppointment checks an appointment certificate locally or by
 // callback to its issuer, including expiry at the current instant.
 func (s *Service) validateAppointment(a cert.AppointmentCertificate) error {
+	// Expiry is a clock fact the certificate itself carries, so check it
+	// locally before consulting the record table or the ECR cache: a
+	// cached pre-expiry verdict is event-invalidated (revocation), not
+	// clock-invalidated, and must not outlive the certificate.
+	if !a.ExpiresAt.IsZero() && s.clk.Now().After(a.ExpiresAt) {
+		return fmt.Errorf("%w: at %s", cert.ErrExpired, a.ExpiresAt.Format(time.RFC3339))
+	}
 	if a.Issuer == s.name {
 		s.stats.localValidations.Add(1)
 		s.apptMu.Lock()
@@ -166,7 +291,10 @@ func (s *Service) validateForeign(kindTag, key, topicPrefix, issuer string, it v
 	if !s.cacheValidations {
 		return s.timedCallbackValidate(kindTag, key, issuer, it)
 	}
-	e := s.vcache.entry(key)
+	e, created := s.vcache.entry(key)
+	if created {
+		s.evictCacheEntries()
+	}
 	for {
 		if s.cacheFresh(e) {
 			// Only positive results are cached; revocation events
@@ -174,6 +302,9 @@ func (s *Service) validateForeign(kindTag, key, topicPrefix, issuer string, it v
 			// issuer has told us" — and, with RevalidateAfter set,
 			// recently enough to trust without re-confirmation.
 			s.stats.cacheHits.Add(1)
+			if !e.recent.Load() {
+				e.recent.Store(true)
+			}
 			return nil
 		}
 		e.mu.Lock()
@@ -191,6 +322,7 @@ func (s *Service) validateForeign(kindTag, key, topicPrefix, issuer string, it v
 		f := &flight{done: make(chan struct{})}
 		e.flight = f
 		e.mu.Unlock()
+		s.stats.cacheMisses.Add(1)
 
 		f.err = s.fillCache(e, topicPrefix+key, kindTag, key, issuer, it)
 		e.mu.Lock()
@@ -226,7 +358,10 @@ func (s *Service) cacheFresh(e *cacheEntry) bool {
 // immediately, so availability degrades but safety never does.
 func (s *Service) fillCache(e *cacheEntry, topic, kindTag, key, issuer string, it validateItem) error {
 	e.mu.Lock()
-	if e.sub == nil {
+	// A dead entry (evicted between the presenter loading it and the
+	// flight starting) still answers, but never subscribes or caches:
+	// its map slot belongs to a fresh entry now.
+	if e.sub == nil && !e.dead {
 		e.mu.Unlock()
 		sub, err := s.broker.Subscribe(topic, func(ev event.Event) {
 			if ev.Kind != event.KindRevoked {

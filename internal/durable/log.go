@@ -43,6 +43,19 @@ type Options struct {
 	// measure CPU cost; a crash may then lose acknowledged records, so
 	// the daemon never sets it).
 	NoSync bool
+	// AutoCompactBytes, when > 0, has the committer trigger a live
+	// compaction (rotate + snapshot + prune, exactly Compact) once the
+	// active journal generation exceeds this many bytes. Without it the
+	// journal only shrinks at clean shutdown, so a long-lived daemon
+	// under sustained issue/revoke churn replays an ever-growing log
+	// after a crash. Appends enqueued during the compaction are delayed,
+	// not lost (they take flushMu after it completes).
+	AutoCompactBytes int64
+	// AutoCompactGarbage, when > 0, triggers a live compaction once this
+	// many superseding records (revocations, retractions) have been
+	// appended since the last compaction — a churn-heavy workload can
+	// fill the journal with tombstones long before the byte threshold.
+	AutoCompactGarbage int
 	// Obs, when set, registers the durable.append.* / durable.replay.*
 	// counters and the fsync latency histogram.
 	Obs *obs.Registry
@@ -71,10 +84,12 @@ type ReplayStats struct {
 // maintained, so the committer's per-record cost is one encode, and
 // Compact/Recovered rebuild state from disk when they need it.
 type Log struct {
-	dir     string
-	window  time.Duration
-	syncLag time.Duration
-	noSync  bool
+	dir         string
+	window      time.Duration
+	syncLag     time.Duration
+	noSync      bool
+	autoBytes   int64
+	autoGarbage int
 
 	// mu guards the append queue and the closed flag; appends touch only
 	// these, so the hot path never pays for encoding or IO. spare is the
@@ -95,6 +110,7 @@ type Log struct {
 	wbuf     []byte    // reusable batch encode buffer
 	unsynced bool      // bytes written since the last fsync
 	lastSync time.Time // when the journal was last fsynced
+	garbage  int       // superseding records appended since the last compaction
 
 	// ioMu guards the journal file, its size and the generation; it is
 	// only ever taken under flushMu or alone.
@@ -116,6 +132,7 @@ type Log struct {
 	replayRecords *obs.Counter
 	replayTrunc   *obs.Counter
 	snapshots     *obs.Counter
+	autoCompacts  *obs.Counter
 	fsyncNs       *obs.Histogram
 }
 
@@ -152,13 +169,15 @@ func Open(opts Options) (*Log, error) {
 		syncLag = 0
 	}
 	l := &Log{
-		dir:     opts.Dir,
-		window:  window,
-		syncLag: syncLag,
-		noSync:  opts.NoSync,
-		state:   NewState(),
-		wake:    make(chan struct{}, 1),
-		stop:    make(chan struct{}),
+		dir:         opts.Dir,
+		window:      window,
+		syncLag:     syncLag,
+		noSync:      opts.NoSync,
+		autoBytes:   opts.AutoCompactBytes,
+		autoGarbage: opts.AutoCompactGarbage,
+		state:       NewState(),
+		wake:        make(chan struct{}, 1),
+		stop:        make(chan struct{}),
 
 		appendRecords: opts.Obs.Counter("durable_append_records_total"),
 		appendBatches: opts.Obs.Counter("durable_append_batches_total"),
@@ -167,6 +186,7 @@ func Open(opts Options) (*Log, error) {
 		replayRecords: opts.Obs.Counter("durable_replay_records_total"),
 		replayTrunc:   opts.Obs.Counter("durable_replay_truncated_records_total"),
 		snapshots:     opts.Obs.Counter("durable_snapshot_writes_total"),
+		autoCompacts:  opts.Obs.Counter("durable_autocompactions_total"),
 		fsyncNs:       opts.Obs.Histogram("durable_fsync_ns", nil),
 	}
 	if err := l.recover(); err != nil {
@@ -376,8 +396,10 @@ func (l *Log) runCommitter() {
 				time.Sleep(l.window) // let racers join the batch
 			}
 			l.flush()
+			l.maybeAutoCompact()
 		case <-syncTimer:
 			l.flushSync(true)
+			l.maybeAutoCompact()
 		case <-l.stop:
 			l.flushSync(true)
 			return
@@ -460,6 +482,15 @@ func (l *Log) flushSync(force bool) {
 		buf = appendFrame(buf, payload)
 	}
 	l.dirty = true
+	for i := range batch {
+		switch batch[i].rec.Op {
+		case OpCRRevoke, OpApptRevoke, OpFactRetract, OpKeys:
+			// Superseding records: each shadows an earlier record (or, for
+			// keys, the previous ring export), so it is journal garbage a
+			// compaction would collapse into the snapshot.
+			l.garbage++
+		}
+	}
 
 	hasWaiter := false
 	for i := range batch {
@@ -520,6 +551,36 @@ func (l *Log) flushSync(force bool) {
 		l.spare = batch[:0]
 	}
 	l.mu.Unlock()
+}
+
+// maybeAutoCompact runs a live compaction when a configured threshold is
+// crossed. Called only from the committer goroutine after a flush, so at
+// most one compaction is ever in flight and it never races another
+// trigger. It must not hold flushMu: Compact takes it for the whole
+// rotate-and-snapshot.
+func (l *Log) maybeAutoCompact() {
+	if l.autoBytes <= 0 && l.autoGarbage <= 0 {
+		return
+	}
+	l.flushMu.Lock()
+	garbage := l.garbage
+	l.flushMu.Unlock()
+	hit := (l.autoBytes > 0 && l.JournalSize() >= l.autoBytes) ||
+		(l.autoGarbage > 0 && garbage >= l.autoGarbage)
+	if !hit {
+		return
+	}
+	if err := l.Compact(); err != nil {
+		// The journal keeps appending to whichever generation is active;
+		// the next flush retries the compaction. Surface the error the
+		// same way write errors are surfaced.
+		l.appendErrors.Inc()
+		l.mu.Lock()
+		l.lastErr = err
+		l.mu.Unlock()
+		return
+	}
+	l.autoCompacts.Inc()
 }
 
 // Sync forces everything queued onto disk, fsync included.
@@ -600,6 +661,9 @@ func (l *Log) Compact() error {
 			os.Remove(filepath.Join(l.dir, snapName(gen))) //nolint:errcheck // best-effort GC
 		}
 	}
+	// Every superseding record so far is folded into the snapshot; the
+	// garbage trigger restarts from zero (flushMu is still held).
+	l.garbage = 0
 	return nil
 }
 

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// E16 — million-principal capacity: compact resident state under churn.
+//
+// The paper sizes OASIS for wide distribution — services whose credential
+// population is the user base of a public infrastructure, not a department.
+// E16 measures what one resident principal costs: the harness
+// (workload.Churn) drives a large synthetic population through a login
+// storm and role-activation burst, then a skewed validation workload with
+// revoke/re-login churn and appointment-expiry waves, and finally collapses
+// a deep dependency tree with a single revocation. Every phase runs twice
+// in the same process: once against the compact resident layout (value
+// records, interned terms, bounded second-chance ECR cache) and once
+// against the pre-capacity baseline (pointer-per-record store, no
+// interning, unbounded cache), so the headline bytes-per-principal
+// improvement is measured inside one harness, not across commits.
+// ---------------------------------------------------------------------------
+
+// CapacityResidentRow is the resident-state footprint of one variant after
+// the population settles.
+type CapacityResidentRow struct {
+	Variant           string  `json:"variant"` // "baseline" or "compact"
+	Principals        int     `json:"principals"`
+	ResidentBytes     int64   `json:"resident_bytes"`
+	BytesPerPrincipal float64 `json:"bytes_per_principal"`
+	ResidentCRs       int64   `json:"resident_crs"`
+	CachedValidations int64   `json:"cached_validations"`
+	InternEntries     int64   `json:"intern_entries"`
+	InternBytes       int64   `json:"intern_bytes"`
+	PopulateMs        float64 `json:"populate_ms"`
+}
+
+// CapacityChurnRow is one variant's validation profile under churn.
+type CapacityChurnRow struct {
+	Variant     string  `json:"variant"`
+	Ops         int     `json:"ops"`
+	P50Ns       int64   `json:"p50_ns"`
+	P99Ns       int64   `json:"p99_ns"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Authorized  int     `json:"authorized"`
+	Denied      int     `json:"denied"`
+	Revocations int     `json:"revocations"`
+	ApptExpired int     `json:"appt_expired"`
+}
+
+// CapacityCascadeRow is one variant's cascade-collapse measurement.
+type CapacityCascadeRow struct {
+	Variant    string  `json:"variant"`
+	Certs      int     `json:"certs"`
+	CollapseMs float64 `json:"collapse_ms"`
+	Collapsed  bool    `json:"collapsed"`
+}
+
+// CapacityResult bundles E16: per-variant resident footprint, churn
+// latency and cascade collapse, plus the headline improvement.
+type CapacityResult struct {
+	Principals int `json:"principals"`
+	// ImprovementPct is the bytes-per-principal reduction of the compact
+	// layout against the baseline, in percent.
+	ImprovementPct float64               `json:"bytes_per_principal_improvement_pct"`
+	Resident       []CapacityResidentRow `json:"resident"`
+	Churn          []CapacityChurnRow    `json:"churn"`
+	Cascade        []CapacityCascadeRow  `json:"cascade"`
+	Violations     []string              `json:"violations,omitempty"`
+}
+
+// RunCapacity runs the E16 harness at the given population, churn-op count
+// and cascade size, compact and baseline back to back.
+func RunCapacity(principals, ops, cascade int) (CapacityResult, error) {
+	// The compact variant bounds the ECR cache to a tenth of the
+	// population (the hot working set the churn phase actually touches),
+	// floored so small smoke runs still exercise eviction.
+	cacheMax := principals / 10
+	if cacheMax < 1024 {
+		cacheMax = 1024
+	}
+	res := CapacityResult{Principals: principals}
+	// Baseline first: it leaves no intern-table residue for the compact
+	// run to inherit (interning is off while it runs).
+	for _, variant := range []string{"baseline", "compact"} {
+		cfg := workload.ChurnConfig{
+			Seed:            1,
+			Principals:      principals,
+			Ops:             ops,
+			HotFrac:         0.1,
+			RevokeEvery:     50,
+			ApptWaves:       3,
+			ApptsPerWave:    64,
+			CascadeCerts:    cascade,
+			CacheMaxEntries: cacheMax,
+			Baseline:        variant == "baseline",
+		}
+		r, err := workload.Churn(cfg)
+		if err != nil {
+			return CapacityResult{}, fmt.Errorf("capacity %s: %w", variant, err)
+		}
+		for _, v := range r.Violations {
+			res.Violations = append(res.Violations, variant+": "+v)
+		}
+		res.Resident = append(res.Resident, CapacityResidentRow{
+			Variant:           variant,
+			Principals:        r.Principals,
+			ResidentBytes:     r.ResidentBytes,
+			BytesPerPrincipal: r.BytesPerPrincipal,
+			ResidentCRs:       r.ResidentCRs,
+			CachedValidations: r.CachedValidations,
+			InternEntries:     r.InternEntries,
+			InternBytes:       r.InternBytes,
+			PopulateMs:        float64(r.PopulateElapsed.Nanoseconds()) / 1e6,
+		})
+		res.Churn = append(res.Churn, CapacityChurnRow{
+			Variant:     variant,
+			Ops:         r.Ops,
+			P50Ns:       r.P50Ns,
+			P99Ns:       r.P99Ns,
+			AllocsPerOp: r.AllocsPerOp,
+			Authorized:  r.Authorized,
+			Denied:      r.Denied,
+			Revocations: r.Revocations,
+			ApptExpired: r.ApptExpired,
+		})
+		res.Cascade = append(res.Cascade, CapacityCascadeRow{
+			Variant:    variant,
+			Certs:      r.CascadeCerts,
+			CollapseMs: float64(r.CascadeCollapseNs) / 1e6,
+			Collapsed:  r.CascadeOK,
+		})
+	}
+	base, compact := res.Resident[0], res.Resident[1]
+	if base.BytesPerPrincipal > 0 {
+		res.ImprovementPct = (base.BytesPerPrincipal - compact.BytesPerPrincipal) /
+			base.BytesPerPrincipal * 100
+	}
+	return res, nil
+}

@@ -3,6 +3,7 @@ package names
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -99,6 +100,19 @@ func (r Role) IsGround() bool {
 	return true
 }
 
+// Equal reports structural equality of two roles.
+func (r Role) Equal(g Role) bool {
+	if r.Name != g.Name || len(r.Params) != len(g.Params) {
+		return false
+	}
+	for i := range r.Params {
+		if r.Params[i] != g.Params[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Apply returns a copy of r with the substitution applied to its parameters.
 func (r Role) Apply(s Substitution) Role {
 	return Role{Name: r.Name, Params: s.ApplyAll(r.Params)}
@@ -113,16 +127,37 @@ func (r Role) Unify(g Role, s Substitution) (Substitution, bool) {
 	return UnifyTuples(r.Params, g.Params, s)
 }
 
-// String renders the role instance in policy syntax.
+// String renders the role instance in policy syntax. Built in a single
+// buffer rather than Sprintf+Join: Key (below) is computed on every
+// activation and credential-set construction, so this sits on the hot
+// path for million-principal login storms.
 func (r Role) String() string {
-	if len(r.Params) == 0 {
-		return fmt.Sprintf("%s.%s", r.Name.Service, r.Name.Name)
+	var b strings.Builder
+	b.Grow(len(r.Name.Service) + 1 + len(r.Name.Name) + 2 + 18*len(r.Params))
+	b.WriteString(r.Name.Service)
+	b.WriteByte('.')
+	b.WriteString(r.Name.Name)
+	if len(r.Params) > 0 {
+		b.WriteByte('(')
+		for i, p := range r.Params {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			switch p.Kind {
+			case KindVar, KindAtom:
+				b.WriteString(p.Sym)
+			case KindString:
+				b.WriteString(strconv.Quote(p.Sym))
+			case KindInt:
+				var tmp [20]byte
+				b.Write(strconv.AppendInt(tmp[:0], p.Num, 10))
+			default:
+				b.WriteString("<invalid>")
+			}
+		}
+		b.WriteByte(')')
 	}
-	parts := make([]string, len(r.Params))
-	for i, p := range r.Params {
-		parts[i] = p.String()
-	}
-	return fmt.Sprintf("%s.%s(%s)", r.Name.Service, r.Name.Name, strings.Join(parts, ", "))
+	return b.String()
 }
 
 // Key returns a canonical map key for a ground role instance.

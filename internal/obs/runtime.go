@@ -1,0 +1,29 @@
+package obs
+
+import "runtime"
+
+// RegisterRuntimeMetrics exposes the process's resident-memory footprint
+// on the registry as read-at-scrape function gauges. At million-principal
+// scale the headline capacity question — what does a resident principal
+// cost? — is answered by watching these alongside the per-service
+// core_resident_crs and core_ecr_cache_entries gauges (E16). Each read
+// calls runtime.ReadMemStats, which briefly stops the world; that cost is
+// paid per scrape, never on an engine path.
+func RegisterRuntimeMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.Func("runtime_heap_alloc_bytes", func() uint64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms.HeapAlloc
+	})
+	r.Func("runtime_heap_objects", func() uint64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms.HeapObjects
+	})
+	r.Func("runtime_goroutines", func() uint64 {
+		return uint64(runtime.NumGoroutine())
+	})
+}

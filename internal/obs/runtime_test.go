@@ -1,0 +1,30 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRuntimeMetricsExposed(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{
+		"runtime_heap_alloc_bytes",
+		"runtime_heap_objects",
+		"runtime_goroutines",
+	} {
+		if !strings.Contains(out, name+" ") {
+			t.Errorf("metrics missing %s:\n%s", name, out)
+		}
+	}
+	if reg.Value("runtime_heap_alloc_bytes") == 0 {
+		t.Error("runtime_heap_alloc_bytes reads 0: a live process always has heap")
+	}
+	// Nil registry is a no-op, matching the nil-safety of the rest of obs.
+	RegisterRuntimeMetrics(nil)
+}
