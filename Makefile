@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench tables obs recover wire capacity capacity-quick examples cover clean
+.PHONY: all build vet lint test race bench tables obs recover wire capacity capacity-quick gw examples cover clean
 
 all: build vet test race capacity-quick
 
@@ -63,6 +63,12 @@ capacity:
 # eviction, expiry waves and the cascade without the memory footprint.
 capacity-quick:
 	$(GO) run ./cmd/benchtab -exp capacity -quick
+
+# E17: HTTP edge gateway — per-call edge tax vs raw OW2, batched HTTP
+# fan-in in free-CPU and issuer-bound regimes, and the overload rows
+# showing admission (429/503) holding accepted p99 (BENCH_gateway.json).
+gw:
+	$(GO) run ./cmd/benchtab -exp gateway -gateway-json BENCH_gateway.json
 
 # Run all six runnable paper scenarios.
 examples:

@@ -9,7 +9,7 @@
 //	benchtab -json out.json  # also write machine-readable rows (parallel)
 //
 // Experiment ids: fig1 fig2 fig3 fig4 fig5 auth sect5 sect6 baselines
-// soak parallel faults obs recover wire capacity
+// soak parallel faults obs recover wire capacity gateway
 package main
 
 import (
@@ -29,12 +29,13 @@ import (
 // faultsJSONPath does the same for the E12 fault-injection rows, and
 // obsJSONPath for the E13 observability-overhead rows.
 var (
-	jsonPath        string
-	faultsJSONPath  string
-	obsJSONPath     string
+	jsonPath         string
+	faultsJSONPath   string
+	obsJSONPath      string
 	recoverJSONPath  string
 	wireJSONPath     string
 	capacityJSONPath string
+	gatewayJSONPath  string
 	quick            bool
 )
 
@@ -47,6 +48,7 @@ func main() {
 	flag.StringVar(&recoverJSONPath, "recover-json", "", "write durability overhead + recovery-time rows to this JSON file")
 	flag.StringVar(&wireJSONPath, "wire-json", "", "write wire hot-path rows to this JSON file")
 	flag.StringVar(&capacityJSONPath, "capacity-json", "", "write million-principal capacity rows to this JSON file")
+	flag.StringVar(&gatewayJSONPath, "gateway-json", "", "write HTTP edge gateway rows to this JSON file")
 	flag.BoolVar(&quick, "quick", false, "shrink sample counts and windows (CI smoke, not for published numbers)")
 	flag.Parse()
 	if err := run(*exp, *list); err != nil {
@@ -72,6 +74,7 @@ var experimentsTable = map[string]func(*tabwriter.Writer) error{
 	"recover":   runRecover,
 	"wire":      runWire,
 	"capacity":  runCapacity,
+	"gateway":   runGateway,
 }
 
 func run(exp string, list bool) error {
@@ -429,6 +432,60 @@ func runWire(w *tabwriter.Writer) error {
 		return err
 	}
 	fmt.Fprintf(w, "(rows written to %s)\n", wireJSONPath)
+	return nil
+}
+
+func runGateway(w *tabwriter.Writer) error {
+	// 24 workers is far past the serialized overload backend's ~500
+	// verdicts/sec capacity, so the admission comparison always saturates;
+	// quick mode only proves the machinery end to end.
+	latencyOps, window, workers := 1000, 2*time.Second, 24
+	if quick {
+		latencyOps, window, workers = 100, 80*time.Millisecond, 8
+	}
+	res, err := experiments.RunGateway(latencyOps, window, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "== E17: HTTP edge gateway — edge tax, batched fan-in, overload admission ==")
+	fmt.Fprintln(w, "mode\tops\tmedian\tp99")
+	for _, row := range res.Latency {
+		fmt.Fprintf(w, "%s\t%d\t%v\t%v\n", row.Mode, row.Ops,
+			time.Duration(row.MedianNs).Round(100*time.Nanosecond),
+			time.Duration(row.P99Ns).Round(100*time.Nanosecond))
+	}
+	fmt.Fprintf(w, "edge tax (median)\t%v\n", time.Duration(res.EdgeTaxNs).Round(100*time.Nanosecond))
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nmode\tissuer µs/call\tworkers\trequests\tops/sec\tbatches\tbatched validations")
+	for _, row := range res.Fanin {
+		fmt.Fprintf(w, "%s\t%.0f\t%d\t%d\t%.0f\t%d\t%d\n",
+			row.Mode, row.IssuerUs, row.Workers, row.Requests, row.OpsPerSec,
+			row.BatchesSent, row.BatchedValidations)
+	}
+	fmt.Fprintf(w, "http_batched / raw_per_call (issuer-bound)\t%.2fx\n", res.FaninHTTPOverRaw)
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nadmission\tworkers\taccepted\tshed 503\tshed 429\taccepted p50\taccepted p99")
+	for _, row := range res.Overload {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%v\t%v\n",
+			row.Admission, row.Workers, row.Accepted, row.Shed503, row.Shed429,
+			time.Duration(row.AcceptedP50Ns).Round(100*time.Nanosecond),
+			time.Duration(row.AcceptedP99Ns).Round(100*time.Nanosecond))
+	}
+	if gatewayJSONPath == "" {
+		return nil
+	}
+	out, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(gatewayJSONPath, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "(rows written to %s)\n", gatewayJSONPath)
 	return nil
 }
 

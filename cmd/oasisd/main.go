@@ -33,12 +33,13 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
-	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -50,6 +51,8 @@ import (
 	"repro/internal/domain"
 	"repro/internal/durable"
 	"repro/internal/event"
+	"repro/internal/gateway"
+	"repro/internal/httpx"
 	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/rpc"
@@ -71,6 +74,17 @@ const heartbeatDeadlineFactor = 3
 // drops the oldest events (counted in relay_dropped_total) rather than
 // growing without bound while a peer is partitioned.
 const relayQueueCapacity = 256
+
+// defaultShutdownGrace bounds the drain after the first shutdown signal;
+// past it (or on a second signal) the daemon stops waiting and forces the
+// exit instead of hanging around half-dead.
+const defaultShutdownGrace = 15 * time.Second
+
+// httpMaxInflight is the admission cap of the in-process -http-addr
+// gateway. A convenience endpoint gets a fixed sane bound; deployments
+// that need to tune edge admission run cmd/oasisgw, which exposes every
+// knob.
+const httpMaxInflight = 256
 
 type multiFlag []string
 
@@ -94,6 +108,8 @@ func main() {
 			"emit and sweep liveness heartbeats at this period; silence past %dx the period synthetically revokes (0 = off)",
 			heartbeatDeadlineFactor))
 		obsAddr  = flag.String("obs-addr", "", "serve /metrics, /trace and /debug/pprof on this address (empty = off)")
+		httpAddr = flag.String("http-addr", "", "serve the HTTP/JSON edge gateway (POST /validate, /activate, /appoint, /revoke) on this address (empty = off)")
+		shutGr   = flag.Duration("shutdown-grace", defaultShutdownGrace, "force exit if shutdown has not drained within this long of the first signal")
 		stateDir = flag.String("state-dir", "", "journal issued credentials, appointments, facts and signing keys here; recovered on restart (empty = ephemeral)")
 		ecrMax   = flag.Int("ecr-cache-max", 0, "bound each service's ECR validation cache to this many entries, evicting cold verdicts (0 = unbounded)")
 		acBytes  = flag.Int64("auto-compact-bytes", 0, "live-compact the journal when the active generation exceeds this many bytes (0 = compact only at shutdown)")
@@ -114,8 +130,9 @@ func main() {
 		addr: *addr, factsPath: *facts, civCount: *civCount, node: *node,
 		revalidate: *revalidate, staleGrace: *staleGrace, heartbeat: *heartbeat,
 		batchWindow: *batchWin,
-		obsAddr:     *obsAddr, stateDir: *stateDir,
-		ecrCacheMax: *ecrMax, autoCompactBytes: *acBytes, autoCompactGarbage: *acGarb,
+		obsAddr:     *obsAddr, httpAddr: *httpAddr, stateDir: *stateDir,
+		shutdownGrace: *shutGr,
+		ecrCacheMax:   *ecrMax, autoCompactBytes: *acBytes, autoCompactGarbage: *acGarb,
 		svcs: svcs, peers: peers, relayTo: relayTo,
 	}
 	if err := run(cfg); err != nil {
@@ -134,7 +151,12 @@ type daemonConfig struct {
 	heartbeat   time.Duration
 	batchWindow time.Duration
 	obsAddr     string
+	httpAddr    string
 	stateDir    string
+
+	// shutdownGrace bounds the drain after the first shutdown signal
+	// (0 selects defaultShutdownGrace).
+	shutdownGrace time.Duration
 
 	// Capacity knobs (E16): bound the resident footprint of a long-lived
 	// daemon — the per-service validation cache and the on-disk journal.
@@ -467,14 +489,58 @@ func run(cfg daemonConfig) error {
 		fmt.Printf("policy check %s\n", issue)
 	}
 
+	grace := cfg.shutdownGrace
+	if grace <= 0 {
+		grace = defaultShutdownGrace
+	}
+
 	if cfg.obsAddr != "" {
 		obsLn, err := net.Listen("tcp", cfg.obsAddr)
 		if err != nil {
 			return fmt.Errorf("listen obs %s: %w", cfg.obsAddr, err)
 		}
-		defer obsLn.Close()
-		go http.Serve(obsLn, obs.Handler(reg, tracer)) //nolint:errcheck // dies with the daemon
+		// A hardened server, not a bare http.Serve: the obs port faces the
+		// same slow clients as any other, and it must drain on exit instead
+		// of dropping scrapes mid-response.
+		obsSrv := httpx.NewServer(obs.Handler(reg, tracer))
+		go obsSrv.Serve(obsLn)              //nolint:errcheck // dies with the daemon
+		defer httpx.Shutdown(obsSrv, grace) //nolint:errcheck // best-effort drain on the way out
 		fmt.Printf("observability on http://%s/ (/metrics, /trace, /debug/pprof)\n", obsLn.Addr())
+	}
+
+	// In-process HTTP edge: the same gateway cmd/oasisgw serves standalone,
+	// mounted over this daemon's resilient caller so /validate coalesces
+	// into validate_batch flights and local services are reached in-process.
+	if cfg.httpAddr != "" {
+		var fronted []string
+		for name := range localNames {
+			fronted = append(fronted, name)
+		}
+		for _, p := range peers {
+			if name, _, ok := strings.Cut(p, "="); ok {
+				fronted = append(fronted, name)
+			}
+		}
+		sort.Strings(fronted)
+		gw, err := gateway.New(gateway.Config{
+			Caller:      caller,
+			Validator:   core.NewRemoteValidator("oasisd", caller, cfg.batchWindow, reg),
+			Services:    fronted,
+			Breaker:     caller,
+			MaxInflight: httpMaxInflight,
+			Obs:         reg,
+		})
+		if err != nil {
+			return fmt.Errorf("http gateway: %w", err)
+		}
+		httpLn, err := net.Listen("tcp", cfg.httpAddr)
+		if err != nil {
+			return fmt.Errorf("listen http %s: %w", cfg.httpAddr, err)
+		}
+		httpSrv := httpx.NewServer(gw.Handler())
+		go httpSrv.Serve(httpLn)             //nolint:errcheck // dies with the daemon
+		defer httpx.Shutdown(httpSrv, grace) //nolint:errcheck // best-effort drain on the way out
+		fmt.Printf("http gateway on http://%s/ (POST /validate, /activate, /appoint, /revoke)\n", httpLn.Addr())
 	}
 
 	ln, err := net.Listen("tcp", addr)
@@ -483,18 +549,59 @@ func run(cfg daemonConfig) error {
 	}
 	fmt.Printf("oasisd listening on %s\n", ln.Addr())
 
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		server.Serve(ln)
-	}()
-	sig := make(chan os.Signal, 1)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- server.Serve(ln) }()
+	// Capacity 2: the buffer must hold a second signal arriving while the
+	// drain select is busy — the previous version stopped draining sig
+	// after the first one, so repeated Ctrl-C was swallowed and a wedged
+	// drain could only be ended with SIGKILL.
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	err = awaitShutdown(sig, serveErr, func() { server.Close() }, grace)
+	if errors.Is(err, errForcedShutdown) {
+		// Deferred cleanup (journal compaction, service close) still gets a
+		// bounded chance; if it wedges too, the process dies regardless.
+		time.AfterFunc(grace, func() { os.Exit(1) })
+	}
+	return err
+}
+
+// errForcedShutdown reports an exit that did not finish draining: a
+// second signal or a blown shutdown deadline.
+var errForcedShutdown = errors.New("forced shutdown before drain completed")
+
+// awaitShutdown runs the daemon's termination protocol: block until the
+// first signal (or until the listener dies on its own — an accept error
+// must surface and end the daemon, not leave it running deaf), then stop
+// the server and wait for the drain, bounded by a second signal or the
+// grace deadline. It is deliberately free of daemon state so the
+// protocol is testable with plain channels.
+func awaitShutdown(sig <-chan os.Signal, serveErr <-chan error, stop func(), grace time.Duration) error {
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		return errors.New("rpc listener closed unexpectedly")
+	case <-sig:
+	}
 	fmt.Println("shutting down")
-	server.Close()
-	<-done
-	return nil
+	go stop()
+	timer := time.NewTimer(grace)
+	defer timer.Stop()
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		return nil
+	case <-sig:
+		fmt.Fprintln(os.Stderr, "oasisd: second signal, forcing exit")
+		return fmt.Errorf("%w: second signal", errForcedShutdown)
+	case <-timer.C:
+		fmt.Fprintf(os.Stderr, "oasisd: drain exceeded %v, forcing exit\n", grace)
+		return fmt.Errorf("%w: drain exceeded %v", errForcedShutdown, grace)
+	}
 }
 
 // eventsService names the relay endpoint a node exposes on its rpc server.

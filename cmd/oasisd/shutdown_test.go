@@ -1,0 +1,106 @@
+package main
+
+// Regression tests for the daemon termination protocol. The original
+// loop had two lifecycle bugs: after the first signal it stopped
+// draining the signal channel (a second Ctrl-C was swallowed, so a
+// wedged drain could only be ended with SIGKILL), and the rpc server's
+// accept error was discarded (a dead listener left the daemon running
+// deaf). awaitShutdown is driven here with plain channels so every path
+// is exercised without spawning a process.
+
+import (
+	"errors"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// runAwait drives awaitShutdown in a goroutine and returns its result,
+// failing the test if it does not return within the deadline — the
+// hang-forever outcome is exactly the bug class under test.
+func runAwait(t *testing.T, sig chan os.Signal, serveErr chan error, stop func(), grace time.Duration) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- awaitShutdown(sig, serveErr, stop, grace) }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(5 * time.Second):
+		t.Fatal("awaitShutdown did not return")
+		return nil
+	}
+}
+
+func TestShutdownCleanDrain(t *testing.T) {
+	sig := make(chan os.Signal, 2)
+	serveErr := make(chan error, 1)
+	stopped := false
+	sig <- syscall.SIGTERM
+	err := runAwait(t, sig, serveErr, func() {
+		stopped = true
+		serveErr <- nil // Serve returns nil on Close
+	}, time.Minute)
+	if err != nil {
+		t.Fatalf("clean drain returned %v", err)
+	}
+	if !stopped {
+		t.Fatal("stop was never called")
+	}
+}
+
+func TestShutdownSecondSignalForcesExit(t *testing.T) {
+	sig := make(chan os.Signal, 2)
+	serveErr := make(chan error, 1)
+	// The drain wedges forever; the second signal must still force the
+	// exit well inside the (long) grace window.
+	sig <- syscall.SIGTERM
+	sig <- syscall.SIGTERM
+	start := time.Now()
+	err := runAwait(t, sig, serveErr, func() { select {} }, time.Minute)
+	if !errors.Is(err, errForcedShutdown) {
+		t.Fatalf("second signal returned %v, want errForcedShutdown", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("forced exit took %v", elapsed)
+	}
+}
+
+func TestShutdownGraceDeadlineForcesExit(t *testing.T) {
+	sig := make(chan os.Signal, 2)
+	serveErr := make(chan error, 1)
+	sig <- syscall.SIGTERM
+	start := time.Now()
+	err := runAwait(t, sig, serveErr, func() { select {} }, 50*time.Millisecond)
+	if !errors.Is(err, errForcedShutdown) {
+		t.Fatalf("blown deadline returned %v, want errForcedShutdown", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("deadline exit took %v, want ~the 50ms grace", elapsed)
+	}
+}
+
+func TestShutdownSurfacesServeError(t *testing.T) {
+	sig := make(chan os.Signal, 2)
+	serveErr := make(chan error, 1)
+	serveErr <- errors.New("accept tcp: too many open files")
+	err := runAwait(t, sig, serveErr, func() { t.Error("stop called for a listener that died on its own") }, time.Minute)
+	if err == nil {
+		t.Fatal("serve error not surfaced")
+	}
+	if got := err.Error(); got != "serve: accept tcp: too many open files" {
+		t.Errorf("surfaced error = %q", got)
+	}
+}
+
+func TestShutdownSurfacesServeErrorDuringDrain(t *testing.T) {
+	sig := make(chan os.Signal, 2)
+	serveErr := make(chan error, 1)
+	sig <- syscall.SIGTERM
+	err := runAwait(t, sig, serveErr, func() {
+		serveErr <- errors.New("close tcp: use of closed network connection")
+	}, time.Minute)
+	if err == nil {
+		t.Fatal("drain-time serve error swallowed")
+	}
+}

@@ -1,0 +1,156 @@
+// Command oasisgw is the standalone HTTP/JSON edge gateway for OASIS
+// services: a warden-style validation API that fronts one or more oasisd
+// backends over the pooled binary protocol, so HTTP clients get
+// authoritative certificate verdicts without speaking OW2.
+//
+//	oasisgw -addr :8080 \
+//	    -backend login=10.0.0.7:7070 -backend files=10.0.0.8:7070 \
+//	    -rate 100 -burst 200 -max-inflight 256
+//
+// Endpoints: POST /validate, /activate, /appoint, /revoke; GET /healthz
+// (liveness + per-backend circuit state) and /metrics (the obs
+// registry). Concurrent /validate requests for the same issuer coalesce
+// into validate_batch flights, so an HTTP herd costs a backend about one
+// wire call per round trip instead of one per request.
+//
+// Admission is layered: -max-conns caps accepted TCP connections at the
+// listener, -max-inflight sheds requests with 503 before any backend
+// work, and -rate/-burst is a per-principal token bucket answering 429.
+// Backend calls ride a resilient caller (per-call deadline, idempotent
+// retries, per-service circuit breaker), so a dead backend fails fast as
+// 502 instead of stalling the edge.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gateway"
+	"repro/internal/httpx"
+	"repro/internal/obs"
+	"repro/internal/rpc"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "HTTP listen address")
+		pool        = flag.Int("pool", 4, "TCP connections per backend")
+		batchWin    = flag.Duration("batch-window", 0, "coalesce concurrent validations per issuer for up to this long (0 = default window, negative = disable batching)")
+		rate        = flag.Float64("rate", 0, "per-principal sustained requests/second (0 = no rate limit)")
+		burst       = flag.Int("burst", 0, "per-principal burst size (default: the rate, at least 1)")
+		maxInflight = flag.Int("max-inflight", 256, "shed requests with 503 beyond this many in flight (0 = unbounded)")
+		maxConns    = flag.Int("max-conns", 1024, "cap concurrently accepted TCP connections (0 = unbounded)")
+		reqTimeout  = flag.Duration("request-timeout", 10*time.Second, "per-call deadline for backend traffic")
+		shutGrace   = flag.Duration("shutdown-grace", 15*time.Second, "drain window after the first shutdown signal")
+		backends    multiFlag
+	)
+	flag.Var(&backends, "backend", "backend service address: name=host:port (repeatable)")
+	flag.Parse()
+	if err := run(*addr, backends, *pool, *batchWin, *rate, *burst,
+		*maxInflight, *maxConns, *reqTimeout, *shutGrace); err != nil {
+		fmt.Fprintln(os.Stderr, "oasisgw:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, backends []string, pool int, batchWin time.Duration,
+	rate float64, burst, maxInflight, maxConns int, reqTimeout, shutGrace time.Duration) error {
+	if len(backends) == 0 {
+		return fmt.Errorf("at least one -backend name=host:port is required")
+	}
+	if burst <= 0 && rate > 0 {
+		burst = int(rate)
+	}
+
+	reg := obs.NewRegistry()
+	obs.RegisterRuntimeMetrics(reg)
+	dir := rpc.NewDirectoryPool(reqTimeout, pool)
+	defer dir.Close()
+	dir.Instrument(reg)
+	var services []string
+	for _, b := range backends {
+		name, backendAddr, ok := strings.Cut(b, "=")
+		if !ok {
+			return fmt.Errorf("bad -backend %q, want name=host:port", b)
+		}
+		dir.Add(name, backendAddr)
+		services = append(services, name)
+		fmt.Printf("backend %s at %s\n", name, backendAddr)
+	}
+	caller := rpc.NewResilientCaller(dir, rpc.ResilientConfig{
+		CallTimeout: reqTimeout,
+		Obs:         reg,
+	})
+
+	gw, err := gateway.New(gateway.Config{
+		Caller:      caller,
+		Validator:   core.NewRemoteValidator("oasisgw", caller, batchWin, reg),
+		Services:    services,
+		Breaker:     caller,
+		RatePerSec:  rate,
+		Burst:       burst,
+		MaxInflight: maxInflight,
+		Obs:         reg,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", addr, err)
+	}
+	if maxConns > 0 {
+		ln = httpx.LimitListener(ln, maxConns)
+	}
+	srv := httpx.NewServer(gw.Handler())
+	serveErr := make(chan error, 1)
+	go func() {
+		err := srv.Serve(ln)
+		if err == http.ErrServerClosed {
+			err = nil
+		}
+		serveErr <- err
+	}()
+	fmt.Printf("oasisgw listening on http://%s/ (POST /validate, /activate, /appoint, /revoke)\n", ln.Addr())
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		return fmt.Errorf("listener closed unexpectedly")
+	case <-sig:
+	}
+	fmt.Println("shutting down")
+	// A second signal during the drain forces the exit immediately;
+	// httpx.Shutdown itself force-closes once the grace window blows.
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "oasisgw: second signal, forcing exit")
+		os.Exit(1)
+	}()
+	if err := httpx.Shutdown(srv, shutGrace); err != nil {
+		fmt.Fprintln(os.Stderr, "oasisgw: drain incomplete:", err)
+	}
+	return nil
+}

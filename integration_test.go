@@ -40,7 +40,7 @@ func startNode(t *testing.T, broker *oasis.Broker, dir *oasis.Directory, name, p
 	if err != nil {
 		t.Fatal(err)
 	}
-	go server.Serve(ln)
+	go server.Serve(ln) //nolint:errcheck // dies with the test server
 	t.Cleanup(server.Close)
 	addr := ln.Addr().String()
 	dir.Add(name, addr)

@@ -8,8 +8,10 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rpc"
 )
 
@@ -43,6 +45,15 @@ const regatherSettle = 50 * time.Microsecond
 // regatherDeadline hard-caps the spinner so a continuous arrival stream
 // (pending never settles) still flushes promptly.
 const regatherDeadline = time.Millisecond
+
+// regatherNap is the sleep the spinner backs off to once it has yielded
+// for a full settle interval without the queue settling. Gosched on a
+// busy scheduler is the cheap way to wait out a re-arriving herd, but on
+// a queue that drains elsewhere (the arrival timer won the race, or the
+// herd dispersed) pure yielding busy-burns a core for the rest of the
+// deadline; past the first settle interval the spinner trades a little
+// flush precision for giving the core back between polls.
+const regatherNap = 20 * time.Microsecond
 
 // batcher coalesces concurrent callback validations destined for the
 // same issuer into validate_batch calls, collapsing the N-callbacks
@@ -78,10 +89,20 @@ const regatherDeadline = time.Millisecond
 // issuer that cannot decode binary bodies is marked noBinary and calls
 // fall back to the JSON forms. Both fallbacks preserve the per-item
 // error classification (authoritative ErrRevoked vs unavailable).
+// The batcher is deliberately independent of *Service: it needs only a
+// transport and somewhere to count, so the HTTP edge gateway reuses the
+// exact same coalescer (via RemoteValidator) for out-of-process clients.
 type batcher struct {
-	svc      *Service
+	caller   rpc.Caller
 	window   time.Duration
 	disabled bool
+
+	// Sinks. batchSize is nil-safe; the counters are always non-nil
+	// (wired to service stats or a RemoteValidator's own counters).
+	batchSize           *obs.Histogram
+	batchesSent         *atomic.Uint64
+	callbackValidations *atomic.Uint64
+	batchedValidations  *atomic.Uint64
 
 	mu     sync.Mutex
 	queues map[string]*issuerQueue
@@ -160,7 +181,26 @@ func putBatchBody(buf []byte) {
 }
 
 func newBatcher(svc *Service, window time.Duration) *batcher {
-	b := &batcher{svc: svc, window: window, queues: make(map[string]*issuerQueue)}
+	b := newCallerBatcher(svc.caller, window)
+	b.batchSize = svc.obsm.batchSize
+	b.batchesSent = &svc.stats.batchesSent
+	b.callbackValidations = &svc.stats.callbackValidations
+	b.batchedValidations = &svc.stats.batchedValidations
+	return b
+}
+
+// newCallerBatcher builds a coalescer over a bare transport with private
+// counters; RemoteValidator uses it directly, services re-point the sinks
+// at their stats.
+func newCallerBatcher(caller rpc.Caller, window time.Duration) *batcher {
+	b := &batcher{
+		caller:              caller,
+		window:              window,
+		queues:              make(map[string]*issuerQueue),
+		batchesSent:         new(atomic.Uint64),
+		callbackValidations: new(atomic.Uint64),
+		batchedValidations:  new(atomic.Uint64),
+	}
 	if window < 0 {
 		b.disabled = true
 	} else if window == 0 {
@@ -286,7 +326,16 @@ func (b *batcher) regatherFlush(issuer string, q *issuerQueue) {
 		if now.Sub(start) >= deadline {
 			break
 		}
-		runtime.Gosched()
+		if now.Sub(start) < settle {
+			// The herd is (probably) re-arriving right now: yield to the
+			// scheduler that is running it.
+			runtime.Gosched()
+		} else {
+			// Still not settled after a full settle interval of yielding —
+			// the queue is draining elsewhere or filling slowly. Stop
+			// burning the core; nap between polls instead.
+			time.Sleep(regatherNap)
+		}
 	}
 	q.mu.Lock()
 	q.regathering = false
@@ -314,7 +363,7 @@ func (b *batcher) flushPending(issuer string, q *issuerQueue) {
 
 // dispatch sends one gathered batch and delivers each item's verdict.
 func (b *batcher) dispatch(issuer string, q *issuerQueue, batch []*batchCall) {
-	b.svc.obsm.batchSize.Observe(int64(len(batch)))
+	b.batchSize.Observe(int64(len(batch)))
 	q.mu.Lock()
 	noBatch := q.noBatch || len(batch) == 1
 	q.mu.Unlock()
@@ -349,8 +398,8 @@ func (b *batcher) tryBatch(issuer string, q *issuerQueue, batch []*batchCall) bo
 	for _, c := range batch {
 		body = appendBatchItem(body, &c.item)
 	}
-	b.svc.stats.batchesSent.Add(1)
-	out, err := b.svc.caller.Call(issuer, "validate_batch", body)
+	b.batchesSent.Add(1)
+	out, err := b.caller.Call(issuer, "validate_batch", body)
 	// Call is synchronous and the transport copies the body into its own
 	// frame before sending (retries happen inside Call), so the buffer is
 	// dead here and can be recycled for the next herd.
@@ -361,7 +410,7 @@ func (b *batcher) tryBatch(issuer string, q *issuerQueue, batch []*batchCall) bo
 		q.mu.Unlock()
 		return false // fallback singles do the per-item accounting
 	}
-	b.svc.stats.callbackValidations.Add(uint64(len(batch)))
+	b.callbackValidations.Add(uint64(len(batch)))
 	if err != nil {
 		deliverAll(batch, fmt.Errorf("callback to %s: %w", issuer, err))
 		return true
@@ -375,7 +424,7 @@ func (b *batcher) tryBatch(issuer string, q *issuerQueue, batch []*batchCall) bo
 		deliverAll(batch, fmt.Errorf("decode validation response: %w", derr))
 		return true
 	}
-	b.svc.stats.batchedValidations.Add(uint64(len(batch)))
+	b.batchedValidations.Add(uint64(len(batch)))
 	for i, c := range batch {
 		c.done <- verdictErr(resps[i])
 	}
@@ -398,8 +447,8 @@ func (b *batcher) single(issuer string, q *issuerQueue, it validateItem) error {
 			return fmt.Errorf("encode validation request: %w", err)
 		}
 	}
-	b.svc.stats.callbackValidations.Add(1)
-	out, err := b.svc.caller.Call(issuer, it.method(), body)
+	b.callbackValidations.Add(1)
+	out, err := b.caller.Call(issuer, it.method(), body)
 	if err != nil && useBinary && isDecodeRemoteError(err) {
 		// An old issuer ran the handler but could not parse the binary
 		// body. Downgrade this issuer to JSON and retry once (validation
@@ -411,8 +460,8 @@ func (b *batcher) single(issuer string, q *issuerQueue, it validateItem) error {
 		if jerr != nil {
 			return fmt.Errorf("encode validation request: %w", jerr)
 		}
-		b.svc.stats.callbackValidations.Add(1)
-		out, err = b.svc.caller.Call(issuer, it.method(), jsonBody)
+		b.callbackValidations.Add(1)
+		out, err = b.caller.Call(issuer, it.method(), jsonBody)
 	}
 	if err != nil {
 		return fmt.Errorf("callback to %s: %w", issuer, err)

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 	"time"
@@ -328,5 +329,70 @@ func TestBatchDisabledByNegativeWindow(t *testing.T) {
 	}
 	if st.CallbackValidations != 6 {
 		t.Errorf("CallbackValidations = %d, want 6", st.CallbackValidations)
+	}
+}
+
+// TestRegatherTimerSpinnerRace hammers the seam between the two flush
+// paths — the per-arrival window timer (flushPending) and the hot-queue
+// re-gather spinner (regatherFlush) — with a window small enough that
+// both routinely try to claim the same herd. Whichever side wins
+// takePending, every do() must receive exactly one verdict: a lost
+// verdict parks its caller forever, and a double delivery plants a stale
+// verdict in a pooled call that a later caller would receive as its own.
+func TestRegatherTimerSpinnerRace(t *testing.T) {
+	w := newWorld(t)
+	login := w.service("login", `login.user <- env ok.`)
+	alwaysTrue(login, "ok")
+	sess := w.session()
+	rmc, err := login.Activate(sess.PrincipalID(), role("login", "user"), Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Jitter the transport so flight returns interleave unpredictably
+	// with timer firings and spinner polls.
+	jitter := callerFunc(func(service, method string, body []byte) ([]byte, error) {
+		time.Sleep(time.Duration(rand.Intn(150)) * time.Microsecond)
+		return w.bus.Call(service, method, body)
+	})
+	b := newCallerBatcher(jitter, 100*time.Microsecond)
+
+	const rounds, herd = 40, 12
+	for r := 0; r < rounds; r++ {
+		var wg sync.WaitGroup
+		errs := make([]error, herd)
+		for i := 0; i < herd; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = b.do("login", rmcItem(rmc, sess.PrincipalID()))
+			}(i)
+		}
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("round %d: a verdict was lost — do() never returned", r)
+		}
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("round %d item %d: %v", r, i, err)
+			}
+		}
+	}
+	if b.batchesSent.Load() == 0 {
+		t.Fatal("no batch ever departed; the race under test was not exercised")
+	}
+
+	// A double-delivered verdict survives in a pooled call's buffered
+	// channel and surfaces as a stale answer to a later caller. Flip the
+	// authoritative verdict: every subsequent validation must see the
+	// revocation, never a leftover "valid".
+	login.Deactivate(rmc.Ref.Serial, "logout")
+	for i := 0; i < 2*herd; i++ {
+		if err := b.do("login", rmcItem(rmc, sess.PrincipalID())); !errors.Is(err, ErrRevoked) {
+			t.Fatalf("post-revocation verdict %d = %v, want ErrRevoked (stale pooled verdict?)", i, err)
+		}
 	}
 }

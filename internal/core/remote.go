@@ -56,6 +56,24 @@ func (r RemoteAppointRequest) Presented() Presented {
 	return Presented{RMCs: r.RMCs, Appointments: r.Appointments}
 }
 
+// RemoteRevokeRequest asks a (possibly remote) service to revoke the
+// credential record with the given serial, collapsing its dependent role
+// subtree. The transport boundary is trusted the same way the other
+// mutating methods (activate, appoint) are: a deployment exposing it to
+// untrusted networks must front it with an authenticating edge (see
+// cmd/oasisgw and THREATMODEL.md).
+type RemoteRevokeRequest struct {
+	Serial uint64 `json:"serial"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// RemoteRevokeResponse acknowledges a revocation request. Revoked is
+// false when the serial was unknown or already revoked (the request is
+// idempotent; either way the record is dead afterwards).
+type RemoteRevokeResponse struct {
+	Revoked bool `json:"revoked"`
+}
+
 // Client invokes a service through an rpc transport, as a roving principal
 // or cross-domain caller does. It mirrors the local Activate/Invoke API.
 type Client struct {
@@ -121,4 +139,23 @@ func (c *Client) Appoint(service, principal string, req AppointmentRequest, p Pr
 		return cert.AppointmentCertificate{}, err
 	}
 	return cert.UnmarshalAppointment(out)
+}
+
+// Revoke asks the named remote service to revoke a credential record by
+// serial. It reports whether the call performed the revocation (false
+// when the record was unknown or already dead).
+func (c *Client) Revoke(service string, serial uint64, reason string) (bool, error) {
+	body, err := json.Marshal(RemoteRevokeRequest{Serial: serial, Reason: reason})
+	if err != nil {
+		return false, fmt.Errorf("encode revoke: %w", err)
+	}
+	out, err := c.caller.Call(service, "revoke", body)
+	if err != nil {
+		return false, err
+	}
+	var resp RemoteRevokeResponse
+	if err := json.Unmarshal(out, &resp); err != nil {
+		return false, fmt.Errorf("decode revoke response: %w", err)
+	}
+	return resp.Revoked, nil
 }

@@ -610,6 +610,15 @@ func (s *Service) Deactivate(serial uint64, reason string) {
 	s.deactivate(serial, reason)
 }
 
+// Revoke is Deactivate with an acknowledgement: it reports whether this
+// call performed the revocation (false when the serial is unknown or the
+// record was already revoked). Remote revocation — the gateway's
+// /revoke endpoint and the "revoke" wire method — needs the distinction
+// to answer idempotent retries honestly.
+func (s *Service) Revoke(serial uint64, reason string) bool {
+	return s.deactivate(serial, reason)
+}
+
 // deactivate revokes a record as a cascade root (no triggering event).
 func (s *Service) deactivate(serial uint64, reason string) bool {
 	return s.deactivateCascade(serial, reason, event.Event{})

@@ -565,8 +565,10 @@ func (s *Service) validateItemVerdict(it validateItem) validateResponse {
 
 // Handler exposes the service's remote endpoints over the rpc transport:
 // validate_rmc, validate_appt and validate_batch (callback validation),
-// activate and invoke (remote role activation and invocation, used for
-// cross-domain sessions). The validation endpoints sniff the body's
+// activate, invoke, appoint, revoke and end_session (remote role
+// activation, invocation and credential management, used for
+// cross-domain sessions and the HTTP edge gateway). The validation
+// endpoints sniff the body's
 // first byte and accept both the binary wire bodies (wirebin.go) and the
 // legacy JSON forms, answering in the encoding the caller used, so new
 // and old peers interoperate during a rolling upgrade.
@@ -665,6 +667,12 @@ func (s *Service) Handler() func(method string, body []byte) ([]byte, error) {
 			}
 			n := s.EndSession(req.Principal)
 			return json.Marshal(map[string]int{"deactivated": n})
+		case "revoke":
+			var req RemoteRevokeRequest
+			if err := json.Unmarshal(body, &req); err != nil {
+				return nil, fmt.Errorf("decode: %w", err)
+			}
+			return json.Marshal(RemoteRevokeResponse{Revoked: s.Revoke(req.Serial, req.Reason)})
 		case "appoint":
 			var req RemoteAppointRequest
 			if err := json.Unmarshal(body, &req); err != nil {

@@ -1,0 +1,525 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/gateway"
+	"repro/internal/policy"
+	"repro/internal/rpc"
+)
+
+// ---------------------------------------------------------------------------
+// E17 — HTTP edge gateway: what the warden-style HTTP/JSON edge costs
+// against raw OW2, and what its admission control buys under overload.
+//
+// Three sections, the backend always a real core service behind TCP:
+//
+//   latency   sequential /validate verdicts: raw binary per-call protocol
+//             vs the same verdict through HTTP — the edge tax per call.
+//   fanin     N workers hammering verdicts concurrently: raw per-call vs
+//             HTTP through the gateway's validate_batch coalescing. The
+//             HTTP herd must stay within ~2x of raw per-call throughput.
+//   overload  a serialized ~2ms backend and far more demand than it can
+//             serve: admission off (every request queues, p99 melts) vs
+//             on (inflight cap + per-principal rate limit shed with
+//             503/429 while the accepted requests' p99 holds).
+// ---------------------------------------------------------------------------
+
+// GatewayLatencyRow is one sequential verdict-latency measurement.
+type GatewayLatencyRow struct {
+	Mode     string  `json:"mode"` // "raw_ow2" or "http_gateway"
+	Ops      int     `json:"ops"`
+	MedianNs float64 `json:"median_ns"`
+	P99Ns    float64 `json:"p99_ns"`
+}
+
+// GatewayFaninRow is one concurrent verdict-throughput measurement.
+// IssuerUs is the serialized per-wire-call overhead at the issuer for
+// the row's regime: 0 is the loopback free-CPU regime where the HTTP
+// tax dominates; a positive value models an issuer whose wire calls are
+// the scarce resource, the regime coalescing exists for.
+type GatewayFaninRow struct {
+	Mode               string  `json:"mode"` // "raw_per_call", "http_per_call", "http_batched"
+	IssuerUs           float64 `json:"issuer_us"`
+	Workers            int     `json:"workers"`
+	Requests           int64   `json:"requests"`
+	OpsPerSec          float64 `json:"ops_per_sec"`
+	BatchesSent        uint64  `json:"batches_sent"`
+	BatchedValidations uint64  `json:"batched_validations"`
+}
+
+// GatewayOverloadRow is one overload measurement: what admitted requests
+// experienced and how much was shed to protect them.
+type GatewayOverloadRow struct {
+	Admission     string  `json:"admission"` // "off" or "on"
+	Workers       int     `json:"workers"`
+	Accepted      int64   `json:"accepted"`
+	Shed503       int64   `json:"shed_503"`
+	Shed429       int64   `json:"shed_429"`
+	AcceptedP50Ns float64 `json:"accepted_p50_ns"`
+	AcceptedP99Ns float64 `json:"accepted_p99_ns"`
+}
+
+// GatewayResult bundles the E17 sections (the BENCH_gateway.json shape).
+type GatewayResult struct {
+	Latency []GatewayLatencyRow `json:"latency"`
+	// EdgeTaxNs is the median HTTP verdict latency minus the median raw
+	// one: what a caller pays for speaking JSON over HTTP instead of OW2.
+	EdgeTaxNs float64           `json:"edge_tax_ns"`
+	Fanin     []GatewayFaninRow `json:"fanin"`
+	// FaninHTTPOverRaw is http_batched throughput over raw_per_call
+	// throughput in the issuer-bound regime (positive IssuerUs rows);
+	// the gateway's acceptance floor is 0.5 (within 2x). The free-CPU
+	// rows are reported too but not held to the floor: on a small host
+	// they measure the HTTP stack's CPU tax, which no amount of
+	// coalescing can pay down.
+	FaninHTTPOverRaw float64              `json:"fanin_http_over_raw"`
+	Overload         []GatewayOverloadRow `json:"overload"`
+}
+
+// gatewayBackend is one login issuer behind TCP with per-worker
+// credentials pre-activated.
+type gatewayBackend struct {
+	svc        *core.Service
+	addr       string
+	principals []string
+	rmcs       []cert.RMC
+	shutdown   func()
+}
+
+func startGatewayBackend(workers int, wrap func(rpc.Handler) rpc.Handler) (*gatewayBackend, error) {
+	broker := event.NewBroker()
+	svc, err := core.NewService(core.Config{
+		Name:   "login",
+		Policy: policy.MustParse(`login.user <- env ok.`),
+		Broker: broker,
+	})
+	if err != nil {
+		broker.Close()
+		return nil, err
+	}
+	AlwaysTrue(svc, "ok")
+
+	h := rpc.Handler(svc.Handler())
+	if wrap != nil {
+		h = wrap(h)
+	}
+	addr, stopSrv, err := startWireServer(map[string]rpc.Handler{"login": h})
+	if err != nil {
+		svc.Close()
+		broker.Close()
+		return nil, err
+	}
+
+	b := &gatewayBackend{
+		svc:  svc,
+		addr: addr,
+		shutdown: func() {
+			stopSrv()
+			svc.Close()
+			broker.Close()
+		},
+	}
+	b.principals = make([]string, workers)
+	b.rmcs = make([]cert.RMC, workers)
+	for w := 0; w < workers; w++ {
+		sess := NewSession()
+		b.principals[w] = sess.PrincipalID()
+		rmc, err := svc.Activate(b.principals[w], Role("login", "user"), core.Presented{})
+		if err != nil {
+			b.shutdown()
+			return nil, err
+		}
+		b.rmcs[w] = rmc
+	}
+	return b, nil
+}
+
+// startGatewayHTTP serves a gateway over the backend and returns its base
+// URL, a keep-alive client sized for the worker count, and the validator
+// whose stats expose the coalescing.
+func startGatewayHTTP(b *gatewayBackend, window time.Duration, workers int,
+	mutate func(*gateway.Config)) (string, *http.Client, *core.RemoteValidator, func(), error) {
+	dir := rpc.NewDirectoryPool(5*time.Second, 4)
+	dir.Add("login", b.addr)
+	validator := core.NewRemoteValidator("e17", dir, window, nil)
+	cfg := gateway.Config{Caller: dir, Validator: validator, Services: []string{"login"}}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	gw, err := gateway.New(cfg)
+	if err != nil {
+		dir.Close()
+		return "", nil, nil, nil, err
+	}
+	ts := httptest.NewServer(gw.Handler())
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        workers + 4,
+		MaxIdleConnsPerHost: workers + 4,
+	}}
+	stop := func() {
+		client.CloseIdleConnections()
+		ts.Close()
+		dir.Close()
+	}
+	return ts.URL, client, validator, stop, nil
+}
+
+// postValidate posts one prebuilt /validate body and checks the verdict.
+// The response is drained to EOF — not just decoded — so the transport
+// can reuse the connection; without the drain every request pays a fresh
+// TCP handshake and the measurement is of connection churn, not verdicts.
+func postValidate(client *http.Client, url string, body []byte) error {
+	resp, err := client.Post(url+"/validate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var v gateway.ValidateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return err
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK || !v.Valid {
+		return fmt.Errorf("verdict %d %+v", resp.StatusCode, v)
+	}
+	return nil
+}
+
+func validateBody(b *gatewayBackend, w int) []byte {
+	body, err := json.Marshal(gateway.ValidateRequest{Principal: b.principals[w], RMC: &b.rmcs[w]})
+	if err != nil {
+		panic(err) // fixture marshaling cannot fail
+	}
+	return body
+}
+
+// RunGateway runs all three sections: latencyOps sequential verdicts per
+// mode, then each fan-in mode for one window with the given worker
+// count, then the overload comparison.
+func RunGateway(latencyOps int, window time.Duration, workers int) (GatewayResult, error) {
+	var res GatewayResult
+	lat, err := runGatewayLatency(latencyOps)
+	if err != nil {
+		return GatewayResult{}, fmt.Errorf("latency: %w", err)
+	}
+	res.Latency = lat
+	res.EdgeTaxNs = lat[1].MedianNs - lat[0].MedianNs
+
+	var rawBound, batchedBound float64
+	for _, issuer := range []time.Duration{0, faninIssuerDelay} {
+		for _, mode := range []string{"raw_per_call", "http_per_call", "http_batched"} {
+			row, err := runGatewayFanin(mode, workers, window, issuer)
+			if err != nil {
+				return GatewayResult{}, fmt.Errorf("fanin %s issuer=%v: %w", mode, issuer, err)
+			}
+			res.Fanin = append(res.Fanin, row)
+			if issuer > 0 {
+				switch mode {
+				case "raw_per_call":
+					rawBound = row.OpsPerSec
+				case "http_batched":
+					batchedBound = row.OpsPerSec
+				}
+			}
+		}
+	}
+	res.FaninHTTPOverRaw = batchedBound / rawBound
+
+	for _, admission := range []string{"off", "on"} {
+		row, err := runGatewayOverload(admission, workers, window)
+		if err != nil {
+			return GatewayResult{}, fmt.Errorf("overload admission=%s: %w", admission, err)
+		}
+		res.Overload = append(res.Overload, row)
+	}
+	return res, nil
+}
+
+func quantiles(lat []float64) (p50, p99 float64) {
+	if len(lat) == 0 {
+		return 0, 0
+	}
+	sort.Float64s(lat)
+	return lat[len(lat)/2], lat[len(lat)*99/100]
+}
+
+// runGatewayLatency measures the same sequential verdict through both
+// faces: the raw binary per-call protocol and HTTP POST /validate.
+func runGatewayLatency(ops int) ([]GatewayLatencyRow, error) {
+	b, err := startGatewayBackend(1, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer b.shutdown()
+
+	// Raw OW2: a per-call validator (window < 0) over one TCP connection.
+	cli, err := rpc.DialTCP(b.addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer cli.Close() //nolint:errcheck
+	raw := core.NewRemoteValidator("raw", cli, -1, nil)
+	for i := 0; i < 50; i++ { // warm
+		if err := raw.ValidateRMC(b.rmcs[0], b.principals[0]); err != nil {
+			return nil, err
+		}
+	}
+	rawLat := make([]float64, ops)
+	for i := range rawLat {
+		start := time.Now()
+		if err := raw.ValidateRMC(b.rmcs[0], b.principals[0]); err != nil {
+			return nil, err
+		}
+		rawLat[i] = float64(time.Since(start).Nanoseconds())
+	}
+
+	url, client, _, stop, err := startGatewayHTTP(b, -1, 1, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer stop()
+	body := validateBody(b, 0)
+	post := func() error { return postValidate(client, url, body) }
+	for i := 0; i < 50; i++ { // warm
+		if err := post(); err != nil {
+			return nil, err
+		}
+	}
+	httpLat := make([]float64, ops)
+	for i := range httpLat {
+		start := time.Now()
+		if err := post(); err != nil {
+			return nil, err
+		}
+		httpLat[i] = float64(time.Since(start).Nanoseconds())
+	}
+
+	rows := make([]GatewayLatencyRow, 0, 2)
+	for _, m := range []struct {
+		mode string
+		lat  []float64
+	}{{"raw_ow2", rawLat}, {"http_gateway", httpLat}} {
+		p50, p99 := quantiles(m.lat)
+		rows = append(rows, GatewayLatencyRow{Mode: m.mode, Ops: ops, MedianNs: p50, P99Ns: p99})
+	}
+	return rows, nil
+}
+
+// faninIssuerDelay is the serialized per-wire-call overhead for the
+// issuer-bound fan-in regime: each wire call — single or batch — costs
+// the issuer this long of exclusive time, so verdict throughput is set
+// by how many verdicts ride each call.
+const faninIssuerDelay = 200 * time.Microsecond
+
+// serializedDelay wraps a handler so every wire call holds the issuer
+// exclusively for d. Zero or negative d wraps nothing.
+func serializedDelay(d time.Duration) func(rpc.Handler) rpc.Handler {
+	if d <= 0 {
+		return nil
+	}
+	var mu sync.Mutex
+	return func(h rpc.Handler) rpc.Handler {
+		return func(method string, body []byte) ([]byte, error) {
+			mu.Lock()
+			time.Sleep(d)
+			mu.Unlock()
+			return h(method, body)
+		}
+	}
+}
+
+// runGatewayFanin measures concurrent verdict throughput for one mode
+// against an issuer with the given serialized per-wire-call overhead.
+func runGatewayFanin(mode string, workers int, window, issuer time.Duration) (GatewayFaninRow, error) {
+	b, err := startGatewayBackend(workers, serializedDelay(issuer))
+	if err != nil {
+		return GatewayFaninRow{}, err
+	}
+	defer b.shutdown()
+
+	var validate func(w int) error
+	var validator *core.RemoteValidator
+	switch mode {
+	case "raw_per_call":
+		dir := rpc.NewDirectoryPool(5*time.Second, 4)
+		defer dir.Close()
+		dir.Add("login", b.addr)
+		validator = core.NewRemoteValidator("raw", dir, -1, nil)
+		validate = func(w int) error { return validator.ValidateRMC(b.rmcs[w], b.principals[w]) }
+	case "http_per_call", "http_batched":
+		batchWindow := time.Duration(0)
+		if mode == "http_per_call" {
+			batchWindow = -1
+		}
+		url, client, v, stop, err := startGatewayHTTP(b, batchWindow, workers, nil)
+		if err != nil {
+			return GatewayFaninRow{}, err
+		}
+		defer stop()
+		validator = v
+		bodies := make([][]byte, workers)
+		for w := range bodies {
+			bodies[w] = validateBody(b, w)
+		}
+		validate = func(w int) error { return postValidate(client, url, bodies[w]) }
+	default:
+		return GatewayFaninRow{}, fmt.Errorf("unknown mode %q", mode)
+	}
+
+	if err := validate(0); err != nil {
+		return GatewayFaninRow{}, err
+	}
+	var stop atomic.Bool
+	var total atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	start := time.Now()
+	timer := time.AfterFunc(window, func() { stop.Store(true) })
+	defer timer.Stop()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var n int64
+			for !stop.Load() {
+				if err := validate(w); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					break
+				}
+				n++
+			}
+			total.Add(n)
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, ok := firstErr.Load().(error); ok {
+		return GatewayFaninRow{}, err
+	}
+	st := validator.Stats()
+	return GatewayFaninRow{
+		Mode:               mode,
+		IssuerUs:           float64(issuer) / float64(time.Microsecond),
+		Workers:            workers,
+		Requests:           total.Load(),
+		OpsPerSec:          float64(total.Load()) / elapsed.Seconds(),
+		BatchesSent:        st.BatchesSent,
+		BatchedValidations: st.BatchedValidations,
+	}, nil
+}
+
+// overloadBackendDelay serializes the overload backend at ~this long per
+// wire call, so demand beyond 1/delay must queue or be shed.
+const overloadBackendDelay = 2 * time.Millisecond
+
+// shedBackoff is how long an overload client waits after a 429/503
+// before retrying, honoring the shed in miniature (the gateway's
+// Retry-After says 1s; a 2s measurement window needs a shorter nod).
+// Without it the workers spin on cheap shed responses and the
+// measurement drowns in client-side retry CPU.
+const shedBackoff = 2 * time.Millisecond
+
+// runGatewayOverload drives far more demand than the serialized backend
+// can serve and measures what the admitted requests experienced.
+func runGatewayOverload(admission string, workers int, window time.Duration) (GatewayOverloadRow, error) {
+	b, err := startGatewayBackend(workers, serializedDelay(overloadBackendDelay))
+	if err != nil {
+		return GatewayOverloadRow{}, err
+	}
+	defer b.shutdown()
+
+	// Per-call validation (window < 0) so admission, not coalescing, is
+	// the only defense under test.
+	// The inflight cap sheds 503 before any principal's bucket is
+	// consulted, so the rate limit only bites requests that won a slot —
+	// it must sit below the per-principal accepted rate (backend
+	// capacity / workers) to contribute 429s alongside the 503s.
+	mutate := func(cfg *gateway.Config) {}
+	if admission == "on" {
+		mutate = func(cfg *gateway.Config) {
+			cfg.MaxInflight = 8
+			cfg.RatePerSec = 5
+			cfg.Burst = 5
+		}
+	}
+	url, client, _, stopGW, err := startGatewayHTTP(b, -1, workers, mutate)
+	if err != nil {
+		return GatewayOverloadRow{}, err
+	}
+	defer stopGW()
+
+	bodies := make([][]byte, workers)
+	for w := range bodies {
+		bodies[w] = validateBody(b, w)
+	}
+	var stop atomic.Bool
+	var accepted, shed503, shed429 atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	lats := make([][]float64, workers)
+	timer := time.AfterFunc(window, func() { stop.Store(true) })
+	defer timer.Stop()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for !stop.Load() {
+				start := time.Now()
+				resp, err := client.Post(url+"/validate", "application/json", bytes.NewReader(bodies[w]))
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				_, _ = new(bytes.Buffer).ReadFrom(resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					accepted.Add(1)
+					lats[w] = append(lats[w], float64(time.Since(start).Nanoseconds()))
+				case http.StatusServiceUnavailable:
+					shed503.Add(1)
+					time.Sleep(shedBackoff)
+				case http.StatusTooManyRequests:
+					shed429.Add(1)
+					time.Sleep(shedBackoff)
+				default:
+					firstErr.CompareAndSwap(nil, fmt.Errorf("unexpected status %d", resp.StatusCode))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok {
+		return GatewayOverloadRow{}, err
+	}
+	var all []float64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	p50, p99 := quantiles(all)
+	return GatewayOverloadRow{
+		Admission:     admission,
+		Workers:       workers,
+		Accepted:      accepted.Load(),
+		Shed503:       shed503.Load(),
+		Shed429:       shed429.Load(),
+		AcceptedP50Ns: p50,
+		AcceptedP99Ns: p99,
+	}, nil
+}

@@ -114,7 +114,7 @@ func startWireServer(handlers map[string]rpc.Handler) (string, func(), error) {
 	if err != nil {
 		return "", nil, err
 	}
-	go srv.Serve(ln)
+	go srv.Serve(ln) //nolint:errcheck // dies with the test server
 	return ln.Addr().String(), srv.Close, nil
 }
 

@@ -1,0 +1,97 @@
+package gateway
+
+import (
+	"hash/maphash"
+	"sync"
+	"time"
+)
+
+// limiterShards spreads principals over independent mutexes so hot
+// /validate traffic from many principals doesn't serialize on one lock.
+const limiterShards = 16
+
+// shardSweepSize is the per-shard bucket count past which allow() sweeps
+// out idle buckets while it already holds the shard lock. It bounds
+// memory against principal churn (every request with a fresh key —
+// honest or abusive — otherwise grows the map forever).
+const shardSweepSize = 8192
+
+// limiter is a sharded per-key token bucket: each key accrues rate
+// tokens per second up to burst, and a request spends one. A nil
+// limiter admits everything (rate limiting disabled).
+type limiter struct {
+	rate  float64
+	burst float64
+	now   func() time.Time
+	seed  maphash.Seed
+	shard [limiterShards]limiterShard
+}
+
+type limiterShard struct {
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newLimiter builds a limiter admitting rate requests/second sustained
+// with bursts of burst per key. rate <= 0 returns nil (disabled); a
+// burst below 1 is raised to 1 so a conforming key can ever succeed.
+func newLimiter(rate float64, burst int, now func() time.Time) *limiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	l := &limiter{rate: rate, burst: float64(burst), now: now, seed: maphash.MakeSeed()}
+	for i := range l.shard {
+		l.shard[i].buckets = make(map[string]*bucket)
+	}
+	return l
+}
+
+// allow spends one token from key's bucket, reporting whether one was
+// available.
+func (l *limiter) allow(key string) bool {
+	if l == nil {
+		return true
+	}
+	now := l.now()
+	s := &l.shard[maphash.String(l.seed, key)%limiterShards]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.buckets[key]
+	if b == nil {
+		if len(s.buckets) >= shardSweepSize {
+			l.sweep(s, now)
+		}
+		s.buckets[key] = &bucket{tokens: l.burst - 1, last: now}
+		return true
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.rate
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// sweep drops buckets idle long enough to have refilled completely —
+// indistinguishable from fresh ones, so forgetting them changes no
+// verdict. Called with the shard lock held.
+func (l *limiter) sweep(s *limiterShard, now time.Time) {
+	idle := time.Duration(l.burst / l.rate * float64(time.Second))
+	for key, b := range s.buckets {
+		if now.Sub(b.last) >= idle {
+			delete(s.buckets, key)
+		}
+	}
+}

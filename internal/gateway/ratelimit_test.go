@@ -1,0 +1,87 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced clock for limiter tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestLimiterBurstAndRefill(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	l := newLimiter(2, 3, clk.now) // 2 req/s sustained, bursts of 3
+
+	for i := 0; i < 3; i++ {
+		if !l.allow("alice") {
+			t.Fatalf("burst request %d refused", i)
+		}
+	}
+	if l.allow("alice") {
+		t.Fatal("request past the burst admitted")
+	}
+	if !l.allow("bob") {
+		t.Fatal("independent key refused by alice's empty bucket")
+	}
+
+	clk.advance(500 * time.Millisecond) // refills one token at 2/s
+	if !l.allow("alice") {
+		t.Fatal("refilled token refused")
+	}
+	if l.allow("alice") {
+		t.Fatal("second request on a single refilled token admitted")
+	}
+
+	clk.advance(time.Hour) // refill caps at burst, not rate*hours
+	for i := 0; i < 3; i++ {
+		if !l.allow("alice") {
+			t.Fatalf("post-idle burst request %d refused", i)
+		}
+	}
+	if l.allow("alice") {
+		t.Fatal("idle accrual exceeded the burst cap")
+	}
+}
+
+func TestLimiterDisabledAndMinimumBurst(t *testing.T) {
+	if l := newLimiter(0, 5, time.Now); l != nil {
+		t.Error("rate 0 should disable the limiter")
+	}
+	var nilLimiter *limiter
+	if !nilLimiter.allow("anyone") {
+		t.Error("nil limiter must admit everything")
+	}
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	l := newLimiter(1, 0, clk.now) // burst raised to 1
+	if !l.allow("k") {
+		t.Error("burst<1 must still admit a conforming key")
+	}
+}
+
+func TestLimiterSweepBoundsMemory(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	l := newLimiter(100, 1, clk.now) // idle horizon: 10ms
+
+	// Fill well past the sweep threshold with distinct keys (principal
+	// churn), advancing the clock so earlier buckets go idle.
+	const keys = limiterShards*shardSweepSize + 4096
+	for i := 0; i < keys; i++ {
+		l.allow(fmt.Sprintf("key-%d", i))
+		if i%1024 == 0 {
+			clk.advance(20 * time.Millisecond)
+		}
+	}
+	total := 0
+	for i := range l.shard {
+		l.shard[i].mu.Lock()
+		total += len(l.shard[i].buckets)
+		l.shard[i].mu.Unlock()
+	}
+	if total > limiterShards*shardSweepSize+limiterShards {
+		t.Errorf("%d buckets retained across %d keys; the sweep is not bounding memory", total, keys)
+	}
+}

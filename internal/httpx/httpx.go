@@ -1,0 +1,97 @@
+// Package httpx holds the HTTP server hardening shared by everything in
+// this repo that listens on an HTTP port: the oasisd observability
+// endpoint and the oasisgw edge gateway. It exists because the first
+// version of the obs endpoint was a bare `go http.Serve(ln, mux)` — no
+// header timeout, no idle timeout, no shutdown — and a single slow
+// client could pin its goroutines forever. Every HTTP listener goes
+// through NewServer now, so the limits live in one place.
+package httpx
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Server limits applied by NewServer. An edge port faces slow-loris
+// clients, stalled proxies and dead TCP peers; each limit bounds one of
+// them.
+const (
+	// ReadHeaderTimeout bounds how long a connection may dribble its
+	// request head — the classic slow-loris hold.
+	ReadHeaderTimeout = 5 * time.Second
+	// ReadTimeout bounds the whole request read; request bodies here are
+	// small JSON documents, never uploads.
+	ReadTimeout = 15 * time.Second
+	// WriteTimeout bounds the response write to a stalled reader.
+	WriteTimeout = 30 * time.Second
+	// IdleTimeout reclaims keep-alive connections that stopped sending.
+	IdleTimeout = 2 * time.Minute
+	// MaxHeaderBytes caps header memory per connection.
+	MaxHeaderBytes = 64 << 10
+)
+
+// NewServer wraps a handler in an http.Server with the package's
+// hardening limits. The caller owns the listener and shutdown (pair it
+// with Shutdown below).
+func NewServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: ReadHeaderTimeout,
+		ReadTimeout:       ReadTimeout,
+		WriteTimeout:      WriteTimeout,
+		IdleTimeout:       IdleTimeout,
+		MaxHeaderBytes:    MaxHeaderBytes,
+	}
+}
+
+// Shutdown drains srv gracefully for at most grace, then force-closes
+// whatever is still connected. It always tears the server down; the
+// error reports whether draining finished in time.
+func Shutdown(srv *http.Server, grace time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	err := srv.Shutdown(ctx)
+	if err != nil {
+		srv.Close() //nolint:errcheck // the drain already failed; this is the hammer
+	}
+	return err
+}
+
+// LimitListener caps the number of connections accepted concurrently —
+// the accept-side admission control in front of the per-request inflight
+// cap. Accept blocks while n connections are open; a closed connection
+// frees its slot. (The x/net/netutil shape, rebuilt here because this
+// module is stdlib-only.)
+func LimitListener(ln net.Listener, n int) net.Listener {
+	return &limitListener{Listener: ln, sem: make(chan struct{}, n)}
+}
+
+type limitListener struct {
+	net.Listener
+	sem chan struct{}
+}
+
+func (l *limitListener) Accept() (net.Conn, error) {
+	l.sem <- struct{}{}
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		<-l.sem
+		return nil, err
+	}
+	return &limitConn{Conn: conn, release: func() { <-l.sem }}, nil
+}
+
+type limitConn struct {
+	net.Conn
+	releaseOnce sync.Once
+	release     func()
+}
+
+func (c *limitConn) Close() error {
+	err := c.Conn.Close()
+	c.releaseOnce.Do(c.release)
+	return err
+}

@@ -1,0 +1,178 @@
+package httpx
+
+import (
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNewServerLimitsSet(t *testing.T) {
+	srv := NewServer(http.NotFoundHandler())
+	if srv.ReadHeaderTimeout == 0 || srv.IdleTimeout == 0 || srv.ReadTimeout == 0 ||
+		srv.WriteTimeout == 0 || srv.MaxHeaderBytes == 0 {
+		t.Fatalf("hardening limits missing: %+v", srv)
+	}
+}
+
+// TestSlowClientDoesNotPinServer: a connection that never finishes its
+// request head is cut by ReadHeaderTimeout, and Shutdown returns even
+// though the slow client never went away — the regression the package
+// exists to prevent.
+func TestSlowClientDoesNotPinServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	srv.ReadHeaderTimeout = 50 * time.Millisecond
+	go srv.Serve(ln) //nolint:errcheck // dies with the test server
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET / HT")); err != nil { // ...and stall
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- Shutdown(srv, 2*time.Second) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("shutdown with a stalled client: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown never returned with a slow-loris client attached")
+	}
+}
+
+// TestShutdownForcesAfterGrace: a handler that outlives the grace window
+// does not wedge Shutdown — the connection is force-closed and the drain
+// error reported.
+func TestShutdownForcesAfterGrace(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	block := make(chan struct{})
+	srv := NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-block
+	}))
+	defer close(block)
+	go srv.Serve(ln) //nolint:errcheck // dies with the test server
+
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered
+
+	start := time.Now()
+	if err := Shutdown(srv, 100*time.Millisecond); err == nil {
+		t.Error("Shutdown reported a clean drain around a wedged handler")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("forced shutdown took %v, want ~the 100ms grace", elapsed)
+	}
+}
+
+// TestLimitListenerCapsConcurrentConns: with a cap of 2, a third
+// connection is not accepted until one of the first two closes.
+func TestLimitListenerCapsConcurrentConns(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := LimitListener(inner, 2)
+	defer ln.Close()
+
+	var accepted atomic.Int64
+	var mu sync.Mutex
+	var open []net.Conn
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepted.Add(1)
+			mu.Lock()
+			open = append(open, c)
+			mu.Unlock()
+		}
+	}()
+
+	dial := func() net.Conn {
+		c, err := net.Dial("tcp", inner.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	c1, c2, c3 := dial(), dial(), dial()
+	defer c1.Close()
+	defer c2.Close()
+	defer c3.Close()
+
+	waitFor := func(n int64) bool {
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			if accepted.Load() == n {
+				return true
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		return accepted.Load() == n
+	}
+	if !waitFor(2) {
+		t.Fatalf("accepted %d connections, want the cap of 2", accepted.Load())
+	}
+	time.Sleep(50 * time.Millisecond) // give a leak the chance to surface
+	if got := accepted.Load(); got != 2 {
+		t.Fatalf("accepted %d connections past the cap", got)
+	}
+
+	// Release one slot; the third connection must now come through.
+	mu.Lock()
+	open[0].Close()
+	mu.Unlock()
+	if !waitFor(3) {
+		t.Fatalf("accepted %d connections after freeing a slot, want 3", accepted.Load())
+	}
+}
+
+// TestLimitListenerDoubleCloseFreesOneSlot: closing a conn twice must
+// not release two slots.
+func TestLimitListenerDoubleCloseFreesOneSlot(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := LimitListener(inner, 1).(*limitListener)
+	defer ln.Close()
+
+	go func() {
+		c, err := net.Dial("tcp", inner.Addr().String())
+		if err == nil {
+			c.Close()
+		}
+	}()
+	conn, err := ln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	conn.Close()
+	if got := len(ln.sem); got != 0 {
+		t.Fatalf("sem holds %d tokens after double close, want 0", got)
+	}
+}

@@ -49,7 +49,7 @@ func TestDirectoryReusesConnection(t *testing.T) {
 		t.Fatal(err)
 	}
 	counting := &countingListener{Listener: ln, accepted: &accepted}
-	go srv.Serve(counting)
+	go srv.Serve(counting) //nolint:errcheck // dies with the test server
 	t.Cleanup(srv.Close)
 
 	d := NewDirectory(5 * time.Second)
@@ -94,7 +94,7 @@ func TestDirectoryRedialsAfterServerRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	addr := ln.Addr().String()
-	go srv.Serve(ln)
+	go srv.Serve(ln) //nolint:errcheck // dies with the test server
 
 	d := NewDirectory(5 * time.Second)
 	defer d.Close()
@@ -116,7 +116,7 @@ func TestDirectoryRedialsAfterServerRestart(t *testing.T) {
 	if err != nil {
 		t.Skipf("could not rebind %s: %v", addr, err)
 	}
-	go srv2.Serve(ln2)
+	go srv2.Serve(ln2) //nolint:errcheck // dies with the test server
 	t.Cleanup(srv2.Close)
 
 	var out []byte

@@ -47,6 +47,7 @@ func DefaultIdempotent() map[string]bool {
 		"validate_appt":  true,
 		"validate_batch": true, // batch of the two validations above
 		"end_session":    true, // deactivation is revoke-once idempotent
+		"revoke":         true, // ditto; the ack may flip to false on a retry
 		"publish":        true, // event relay delivery is at-least-once
 	}
 }

@@ -161,22 +161,30 @@ func (s *TCPServer) Register(service string, h Handler) {
 	s.handlers[service] = h
 }
 
-// Serve accepts connections on ln until Close. It returns after the
-// listener fails (normally because Close closed it).
-func (s *TCPServer) Serve(ln net.Listener) {
+// Serve accepts connections on ln until Close. It returns nil after
+// Close tears the listener down, and the accept error when the listener
+// failed on its own — a daemon must surface that instead of hanging
+// around deaf (an earlier oasisd discarded it and kept running).
+func (s *TCPServer) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	s.ln = ln
 	s.mu.Unlock()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			return
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
 		}
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
 			conn.Close() //nolint:errcheck
-			return
+			return nil
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()

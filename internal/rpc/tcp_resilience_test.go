@@ -170,7 +170,7 @@ func TestTCPReconnectAfterServerRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	addr := ln.Addr().String()
-	go srv.Serve(ln)
+	go srv.Serve(ln) //nolint:errcheck // dies with the test server
 
 	cli, err := DialTCP(addr, time.Second)
 	if err != nil {
@@ -201,7 +201,7 @@ func TestTCPReconnectAfterServerRestart(t *testing.T) {
 	}
 	srv2 := NewTCPServer()
 	srv2.Register("svc", func(method string, body []byte) ([]byte, error) { return body, nil })
-	go srv2.Serve(ln2)
+	go srv2.Serve(ln2) //nolint:errcheck // dies with the test server
 	t.Cleanup(srv2.Close)
 
 	// The client redials with backoff; allow a few attempts.

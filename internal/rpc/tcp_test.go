@@ -15,7 +15,7 @@ func startServer(t *testing.T) (*TCPServer, string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	go srv.Serve(ln)
+	go srv.Serve(ln) //nolint:errcheck // dies with the test server
 	t.Cleanup(srv.Close)
 	return srv, ln.Addr().String()
 }
