@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench tables obs recover wire capacity capacity-quick gw examples cover clean
+.PHONY: all build vet lint test race bench tables obs recover wire capacity capacity-quick gw edgecache examples cover clean
 
 all: build vet test race capacity-quick
 
@@ -69,6 +69,13 @@ capacity-quick:
 # showing admission (429/503) holding accepted p99 (BENCH_gateway.json).
 gw:
 	$(GO) run ./cmd/benchtab -exp gateway -gateway-json BENCH_gateway.json
+
+# E18: event-fed edge verdict cache — cached-edge hit latency vs local
+# and uncached-edge validation, the kill-the-cert run proving verdicts
+# die by revocation event (zero issuer calls), and the severed-feed run
+# proving fail-closed behavior (BENCH_edgecache.json).
+edgecache:
+	$(GO) run ./cmd/benchtab -exp edgecache -edgecache-json BENCH_edgecache.json
 
 # Run all six runnable paper scenarios.
 examples:

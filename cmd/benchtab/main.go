@@ -9,7 +9,7 @@
 //	benchtab -json out.json  # also write machine-readable rows (parallel)
 //
 // Experiment ids: fig1 fig2 fig3 fig4 fig5 auth sect5 sect6 baselines
-// soak parallel faults obs recover wire capacity gateway
+// soak parallel faults obs recover wire capacity gateway edgecache
 package main
 
 import (
@@ -34,9 +34,10 @@ var (
 	obsJSONPath      string
 	recoverJSONPath  string
 	wireJSONPath     string
-	capacityJSONPath string
-	gatewayJSONPath  string
-	quick            bool
+	capacityJSONPath  string
+	gatewayJSONPath   string
+	edgecacheJSONPath string
+	quick             bool
 )
 
 func main() {
@@ -49,6 +50,7 @@ func main() {
 	flag.StringVar(&wireJSONPath, "wire-json", "", "write wire hot-path rows to this JSON file")
 	flag.StringVar(&capacityJSONPath, "capacity-json", "", "write million-principal capacity rows to this JSON file")
 	flag.StringVar(&gatewayJSONPath, "gateway-json", "", "write HTTP edge gateway rows to this JSON file")
+	flag.StringVar(&edgecacheJSONPath, "edgecache-json", "", "write edge verdict cache rows to this JSON file")
 	flag.BoolVar(&quick, "quick", false, "shrink sample counts and windows (CI smoke, not for published numbers)")
 	flag.Parse()
 	if err := run(*exp, *list); err != nil {
@@ -75,6 +77,7 @@ var experimentsTable = map[string]func(*tabwriter.Writer) error{
 	"wire":      runWire,
 	"capacity":  runCapacity,
 	"gateway":   runGateway,
+	"edgecache": runEdgecache,
 }
 
 func run(exp string, list bool) error {
@@ -486,6 +489,54 @@ func runGateway(w *tabwriter.Writer) error {
 		return err
 	}
 	fmt.Fprintf(w, "(rows written to %s)\n", gatewayJSONPath)
+	return nil
+}
+
+func runEdgecache(w *tabwriter.Writer) error {
+	// The latency rows are sequential verdicts; the kill-the-cert and
+	// severed sections are event-driven and need no scaling — quick mode
+	// only shrinks the measured sample.
+	latencyOps := 1000
+	if quick {
+		latencyOps = 100
+	}
+	res, err := experiments.RunEdgecache(latencyOps)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "== E18: event-fed edge verdict cache — hit latency, event-bound invalidation, fail-closed feed loss ==")
+	fmt.Fprintln(w, "mode\tops\tmedian\tp99")
+	for _, row := range res.Latency {
+		fmt.Fprintf(w, "%s\t%d\t%v\t%v\n", row.Mode, row.Ops,
+			time.Duration(row.MedianNs).Round(100*time.Nanosecond),
+			time.Duration(row.P99Ns).Round(100*time.Nanosecond))
+	}
+	fmt.Fprintf(w, "edge_cached / local_inproc (median)\t%.2fx (ceiling 2x)\n", res.CachedOverLocal)
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nkill-the-cert\trevoke -> invalidation\tissuer calls (must be 0)\trefused after")
+	fmt.Fprintf(w, "\t%v\t%d\t%v\n",
+		time.Duration(res.Kill.InvalidateNs).Round(time.Microsecond),
+		res.Kill.IssuerCallsDuringKill, res.Kill.RefusedAfter)
+	fmt.Fprintln(w, "\nsevered feed\tsever -> detach\tbypassed\tstale positive (must be false)\tresumed hits")
+	fmt.Fprintf(w, "\t%v\t%d\t%v\t%d\n",
+		time.Duration(res.Severed.DetachNs).Round(time.Microsecond),
+		res.Severed.BypassedDuringOutage, res.Severed.StalePositive, res.Severed.ResumedHits)
+	if len(res.Violations) > 0 {
+		return fmt.Errorf("edgecache violations: %v", res.Violations)
+	}
+	if edgecacheJSONPath == "" {
+		return nil
+	}
+	out, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(edgecacheJSONPath, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "(rows written to %s)\n", edgecacheJSONPath)
 	return nil
 }
 

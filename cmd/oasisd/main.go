@@ -107,8 +107,10 @@ func main() {
 		heartbeat  = flag.Duration("heartbeat", 0, fmt.Sprintf(
 			"emit and sweep liveness heartbeats at this period; silence past %dx the period synthetically revokes (0 = off)",
 			heartbeatDeadlineFactor))
-		obsAddr  = flag.String("obs-addr", "", "serve /metrics, /trace and /debug/pprof on this address (empty = off)")
-		httpAddr = flag.String("http-addr", "", "serve the HTTP/JSON edge gateway (POST /validate, /activate, /appoint, /revoke) on this address (empty = off)")
+		obsAddr   = flag.String("obs-addr", "", "serve /metrics, /trace and /debug/pprof on this address (empty = off)")
+		httpAddr  = flag.String("http-addr", "", "serve the HTTP/JSON edge gateway (POST /validate, /activate, /appoint, /revoke) on this address (empty = off)")
+		httpCache = flag.Bool("http-cache", false, "cache /validate verdicts in the embedded gateway, invalidated by this broker's revocation events (peer revocations invalidate only when bridged with -relay-peer)")
+		httpCMax  = flag.Int("http-cache-max", 65536, "bound the embedded gateway's verdict cache to this many entries (0 = unbounded)")
 		shutGr   = flag.Duration("shutdown-grace", defaultShutdownGrace, "force exit if shutdown has not drained within this long of the first signal")
 		stateDir = flag.String("state-dir", "", "journal issued credentials, appointments, facts and signing keys here; recovered on restart (empty = ephemeral)")
 		ecrMax   = flag.Int("ecr-cache-max", 0, "bound each service's ECR validation cache to this many entries, evicting cold verdicts (0 = unbounded)")
@@ -131,6 +133,7 @@ func main() {
 		revalidate: *revalidate, staleGrace: *staleGrace, heartbeat: *heartbeat,
 		batchWindow: *batchWin,
 		obsAddr:     *obsAddr, httpAddr: *httpAddr, stateDir: *stateDir,
+		httpCache: *httpCache, httpCacheMax: *httpCMax,
 		shutdownGrace: *shutGr,
 		ecrCacheMax:   *ecrMax, autoCompactBytes: *acBytes, autoCompactGarbage: *acGarb,
 		svcs: svcs, peers: peers, relayTo: relayTo,
@@ -153,6 +156,12 @@ type daemonConfig struct {
 	obsAddr     string
 	httpAddr    string
 	stateDir    string
+
+	// httpCache enables the embedded gateway's event-invalidated verdict
+	// cache, fed by a direct tap on the local broker (always "attached":
+	// an in-process subscription cannot be lost short of process death).
+	httpCache    bool
+	httpCacheMax int
 
 	// shutdownGrace bounds the drain after the first shutdown signal
 	// (0 selects defaultShutdownGrace).
@@ -407,6 +416,8 @@ func run(cfg daemonConfig) error {
 	// local broker travel to the configured peer daemons, so active
 	// revocation spans processes.
 	relay := event.NewRelay(broker, node)
+	relay.Instrument(reg)
+	defer relay.Close()
 	server.Register(eventsService(node), func(method string, body []byte) ([]byte, error) {
 		ev, err := event.UnmarshalEvent(body)
 		if err != nil {
@@ -440,12 +451,30 @@ func run(cfg daemonConfig) error {
 		q.Instrument(reg, peerNode)
 		defer q.Close()
 		relay.AddPeer(peerNode, func(ev event.Event) error {
-			q.Enqueue(ev)
+			if !q.Enqueue(ev) {
+				// Queue already closed (shutdown ordering): surface it so
+				// the relay's failure counter sees the drop instead of
+				// reporting a clean send.
+				return event.ErrClosed
+			}
 			return nil
 		})
 		fmt.Printf("relaying events to node %s at %s (queue %d, drop-oldest)\n",
 			peerNode, peerAddr, relayQueueCapacity)
 	}
+
+	// Edge revocation feed: oasisgw instances running a verdict cache
+	// subscribe here and receive every local revocation (including the
+	// heartbeat monitor's synthetic ones) as stream events. Each
+	// subscriber is decoupled through its own bounded drop-oldest queue,
+	// so a slow edge can never stall Publish.
+	feed := event.NewFeed(broker, relayQueueCapacity)
+	feed.Instrument(reg)
+	defer feed.Close()
+	server.RegisterStream(event.FeedService, event.FeedMethod,
+		func(method string, body []byte, send func([]byte) error) (func(), error) {
+			return feed.Subscribe(send)
+		})
 
 	// Heartbeat loop: every period, each hosted service announces the
 	// certificates it issued and the monitor sweeps for silent issuers.
@@ -522,9 +551,22 @@ func run(cfg daemonConfig) error {
 			}
 		}
 		sort.Strings(fronted)
+		validator := core.NewRemoteValidator("oasisd", caller, cfg.batchWindow, reg)
+		var cache *core.EdgeCache
+		if cfg.httpCache {
+			// In-process feed: a direct broker tap. It cannot be severed
+			// short of process death, so the cache attaches once and stays
+			// live — the fail-closed reconnect dance is for cmd/oasisgw.
+			cache = core.NewEdgeCache(validator, cfg.httpCacheMax)
+			cancelTap := broker.Tap(cache.HandleEvent)
+			defer cancelTap()
+			cache.Attach()
+			fmt.Printf("http gateway verdict cache on (max %d entries)\n", cfg.httpCacheMax)
+		}
 		gw, err := gateway.New(gateway.Config{
 			Caller:      caller,
-			Validator:   core.NewRemoteValidator("oasisd", caller, cfg.batchWindow, reg),
+			Validator:   validator,
+			Cache:       cache,
 			Services:    fronted,
 			Breaker:     caller,
 			MaxInflight: httpMaxInflight,

@@ -59,19 +59,22 @@ func main() {
 		maxConns    = flag.Int("max-conns", 1024, "cap concurrently accepted TCP connections (0 = unbounded)")
 		reqTimeout  = flag.Duration("request-timeout", 10*time.Second, "per-call deadline for backend traffic")
 		shutGrace   = flag.Duration("shutdown-grace", 15*time.Second, "drain window after the first shutdown signal")
+		cache       = flag.Bool("cache", false, "cache /validate verdicts, invalidated by revocation events streamed from every backend (fails closed to uncached while any subscription is down)")
+		cacheMax    = flag.Int("cache-max", 65536, "bound the verdict cache to this many entries (0 = unbounded)")
 		backends    multiFlag
 	)
 	flag.Var(&backends, "backend", "backend service address: name=host:port (repeatable)")
 	flag.Parse()
 	if err := run(*addr, backends, *pool, *batchWin, *rate, *burst,
-		*maxInflight, *maxConns, *reqTimeout, *shutGrace); err != nil {
+		*maxInflight, *maxConns, *reqTimeout, *shutGrace, *cache, *cacheMax); err != nil {
 		fmt.Fprintln(os.Stderr, "oasisgw:", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr string, backends []string, pool int, batchWin time.Duration,
-	rate float64, burst, maxInflight, maxConns int, reqTimeout, shutGrace time.Duration) error {
+	rate float64, burst, maxInflight, maxConns int, reqTimeout, shutGrace time.Duration,
+	cacheOn bool, cacheMax int) error {
 	if len(backends) == 0 {
 		return fmt.Errorf("at least one -backend name=host:port is required")
 	}
@@ -85,6 +88,8 @@ func run(addr string, backends []string, pool int, batchWin time.Duration,
 	defer dir.Close()
 	dir.Instrument(reg)
 	var services []string
+	var backendAddrs []string
+	seenAddr := make(map[string]bool)
 	for _, b := range backends {
 		name, backendAddr, ok := strings.Cut(b, "=")
 		if !ok {
@@ -92,6 +97,10 @@ func run(addr string, backends []string, pool int, batchWin time.Duration,
 		}
 		dir.Add(name, backendAddr)
 		services = append(services, name)
+		if !seenAddr[backendAddr] {
+			seenAddr[backendAddr] = true
+			backendAddrs = append(backendAddrs, backendAddr)
+		}
 		fmt.Printf("backend %s at %s\n", name, backendAddr)
 	}
 	caller := rpc.NewResilientCaller(dir, rpc.ResilientConfig{
@@ -99,9 +108,26 @@ func run(addr string, backends []string, pool int, batchWin time.Duration,
 		Obs:         reg,
 	})
 
+	validator := core.NewRemoteValidator("oasisgw", caller, batchWin, reg)
+	var verdictCache *core.EdgeCache
+	if cacheOn {
+		// One revocation subscription per distinct backend daemon; the
+		// cache serves hits only while every one of them is live and
+		// flushes on any disturbance (DESIGN.md §14). A backend restart
+		// degrades this edge to uncached (PR 7) behavior, then caching
+		// resumes by itself once the feed loop resubscribes.
+		verdictCache = core.NewEdgeCache(validator, cacheMax)
+		feed := gateway.NewEdgeFeed(verdictCache, backendAddrs, reqTimeout, reg)
+		feed.Run()
+		defer feed.Close()
+		fmt.Printf("verdict cache on (max %d entries), revocation feeds from %s\n",
+			cacheMax, strings.Join(backendAddrs, ", "))
+	}
+
 	gw, err := gateway.New(gateway.Config{
 		Caller:      caller,
-		Validator:   core.NewRemoteValidator("oasisgw", caller, batchWin, reg),
+		Validator:   validator,
+		Cache:       verdictCache,
 		Services:    services,
 		Breaker:     caller,
 		RatePerSec:  rate,

@@ -1,0 +1,327 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/event"
+)
+
+// EdgeCache wraps a RemoteValidator with an event-invalidated verdict
+// cache for edge tiers (oasisgw, oasisd's embedded gateway). It closes
+// the loop PR 7 deliberately left open: an edge used to answer every
+// /validate from the issuer because caching would re-open the revocation
+// window — now the edge subscribes to the backend's revocation events
+// and only then caches, invalidated by event exactly like a service's
+// own ECR cache (same subscribe-before-fill generation gate, same
+// second-chance bounded eviction).
+//
+// Safety argument (DESIGN.md §14):
+//
+//   - Subscribe-before-fill: the cache entry is created before the
+//     issuer callback departs, and every revocation event for the key
+//     bumps the entry's generation. A positive verdict is committed only
+//     if the generation is unchanged since before the callback, so an
+//     event delivered at any point around the fill can never leave a
+//     stale positive. An event arriving before the entry existed is
+//     covered by ordering at the issuer: the revocation was committed
+//     before the event was published, so the callback's authoritative
+//     verdict already reflects it.
+//   - Fail-closed lifecycle: hits are served only while the event feed
+//     is live (Attach ... Detach). Detach — and every reconnect's Attach
+//     — flushes the whole cache before any new fill commits (the flush
+//     bumps the cache epoch first; a fill that snapshotted the previous
+//     epoch refuses to commit), so events missed while the feed was down
+//     can never leave a stale entry. With the feed down every validation
+//     bypasses the cache straight to the issuer — PR 7 behavior, paid as
+//     wire latency, never as staleness.
+//   - Presentation fingerprint: cache keys are revocation topics (one
+//     per credential record) for O(1) event invalidation, but the edge
+//     never verifies signatures itself — so each entry stores a
+//     fingerprint of the exact presentation (principal binding + the
+//     certificate's canonical binary encoding) and a hit requires a
+//     byte-equal match. A forged or re-bound presentation under a cached
+//     key misses and goes to the issuer.
+//   - Appointment expiry is checked locally before the cache is
+//     consulted (expiry fires no revocation event; PR 6 fixed the same
+//     hazard in the core cache), surfacing as an ErrRevoked wrap like an
+//     issuer refusal.
+//
+// Negative verdicts are never cached: a revoked credential stays a
+// per-presentation issuer refusal (cheap — it rides the same batch
+// coalescer), and re-issue/un-revoke semantics never need edge
+// invalidation.
+type EdgeCache struct {
+	v   *RemoteValidator
+	max int
+	now func() time.Time
+
+	// live/epoch gate every hit and fill; see the safety argument above.
+	mu    sync.Mutex
+	live  bool
+	epoch uint64
+
+	entries  sync.Map // revocation topic -> *edgeEntry
+	count    atomic.Int64
+	sweeping atomic.Bool
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	bypassed      atomic.Uint64
+	invalidations atomic.Uint64
+	flushes       atomic.Uint64
+	evictions     atomic.Uint64
+}
+
+// edgeEntry is the cache state of one credential record at the edge.
+type edgeEntry struct {
+	valid  atomic.Bool // lock-free pre-check; confirmed under mu with the fingerprint
+	recent atomic.Bool // second-chance bit
+
+	mu   sync.Mutex
+	gen  uint64 // bumped by every revocation event (and flush) for this key
+	fp   []byte // fingerprint of the presentation the verdict covers
+	dead bool   // removed by eviction/flush; never caches again
+}
+
+// NewEdgeCache builds a cache over v. maxEntries bounds the entry
+// population with second-chance eviction (0 = unbounded). The cache
+// starts detached (not live): until Attach it serves no hits and caches
+// nothing, passing every validation through to v.
+func NewEdgeCache(v *RemoteValidator, maxEntries int) *EdgeCache {
+	return &EdgeCache{v: v, max: maxEntries, now: time.Now}
+}
+
+// Attach marks the event feed live: first the cache is flushed (anything
+// filled before or during the outage predates the subscription), then
+// hits and fills are enabled. Call it only once the revocation
+// subscription is established and delivering.
+func (c *EdgeCache) Attach() {
+	c.Flush()
+	c.mu.Lock()
+	c.live = true
+	c.mu.Unlock()
+}
+
+// Detach marks the event feed dead: hits and fills stop first, then the
+// cache is flushed. Call it the moment stream loss is detected.
+func (c *EdgeCache) Detach() {
+	c.mu.Lock()
+	c.live = false
+	c.mu.Unlock()
+	c.Flush()
+}
+
+// Flush drops every entry. The epoch bump comes first so a fill that
+// snapshotted the pre-flush epoch refuses to commit even if it races the
+// sweep below.
+func (c *EdgeCache) Flush() {
+	c.mu.Lock()
+	c.epoch++
+	c.mu.Unlock()
+	c.flushes.Add(1)
+	c.entries.Range(func(k, v any) bool {
+		e := v.(*edgeEntry)
+		e.mu.Lock()
+		e.dead = true
+		e.gen++
+		e.valid.Store(false)
+		e.mu.Unlock()
+		c.entries.Delete(k)
+		c.count.Add(-1)
+		return true
+	})
+}
+
+// HandleEvent consumes one feed event: revocations invalidate their
+// topic's entry. Safe to call from any goroutine (the stream read loop,
+// an in-process broker tap).
+func (c *EdgeCache) HandleEvent(ev event.Event) {
+	if ev.Kind != event.KindRevoked {
+		return
+	}
+	c.Invalidate(ev.Topic)
+}
+
+// Invalidate kills the cached verdict for one revocation topic. The
+// entry stays resident with a bumped generation so a concurrent fill for
+// the same key refuses to commit.
+func (c *EdgeCache) Invalidate(topic string) {
+	v, ok := c.entries.Load(topic)
+	if !ok {
+		return
+	}
+	e := v.(*edgeEntry)
+	e.mu.Lock()
+	e.gen++
+	e.valid.Store(false)
+	e.fp = nil
+	e.mu.Unlock()
+	c.invalidations.Add(1)
+}
+
+// ValidateRMC validates like RemoteValidator.ValidateRMC, serving cached
+// positive verdicts for byte-identical presentations while the feed is
+// live.
+func (c *EdgeCache) ValidateRMC(r cert.RMC, principal string) error {
+	fp := append(append(getFp(), principal...), 0)
+	fp = cert.AppendRMCBinary(fp, r)
+	err := c.validate(TopicCR(r.Ref), fp, func() error { return c.v.ValidateRMC(r, principal) })
+	putFp(fp)
+	return err
+}
+
+// ValidateAppointment validates like RemoteValidator.ValidateAppointment
+// with the same caching. Expiry is enforced locally before the cache
+// (see the safety argument) and surfaces as an ErrRevoked wrap, matching
+// the issuer's refusal class at the gateway.
+func (c *EdgeCache) ValidateAppointment(a cert.AppointmentCertificate) error {
+	if !a.ExpiresAt.IsZero() && c.now().After(a.ExpiresAt) {
+		return fmt.Errorf("%w: appointment expired at %s", ErrRevoked, a.ExpiresAt.Format(time.RFC3339))
+	}
+	fp := cert.AppendAppointmentBinary(getFp(), a)
+	err := c.validate(TopicAppt(a.Key()), fp, func() error { return c.v.ValidateAppointment(a) })
+	putFp(fp)
+	return err
+}
+
+// fpPool recycles fingerprint scratch buffers: a fingerprint is built,
+// compared (hit) or copied into the entry (fill), and dead.
+var fpPool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+func getFp() []byte  { return (*fpPool.Get().(*[]byte))[:0] }
+func putFp(b []byte) { fpPool.Put(&b) }
+
+// validate is the shared hit/fill path.
+func (c *EdgeCache) validate(topic string, fp []byte, do func() error) error {
+	c.mu.Lock()
+	live, epoch := c.live, c.epoch
+	c.mu.Unlock()
+	if !live {
+		c.bypassed.Add(1)
+		return do()
+	}
+
+	e, created := c.entry(topic)
+	if created && c.max > 0 && c.count.Load() > int64(c.max) {
+		c.evict()
+	}
+	if e.valid.Load() {
+		e.mu.Lock()
+		hit := !e.dead && e.valid.Load() && bytes.Equal(e.fp, fp)
+		e.mu.Unlock()
+		if hit {
+			e.recent.Store(true)
+			c.hits.Add(1)
+			return nil
+		}
+	}
+	c.misses.Add(1)
+
+	e.mu.Lock()
+	gen := e.gen
+	e.mu.Unlock()
+	if err := do(); err != nil {
+		return err
+	}
+	// Positive verdict: commit only if the feed stayed live in the same
+	// epoch (no flush since before the callback) and no revocation event
+	// bumped the key's generation.
+	c.mu.Lock()
+	committable := c.live && c.epoch == epoch
+	c.mu.Unlock()
+	if !committable {
+		return nil
+	}
+	e.mu.Lock()
+	if !e.dead && e.gen == gen {
+		e.fp = append(e.fp[:0], fp...)
+		e.valid.Store(true)
+	}
+	e.mu.Unlock()
+	return nil
+}
+
+// entry returns the cache entry for topic, creating it if absent.
+func (c *EdgeCache) entry(topic string) (e *edgeEntry, created bool) {
+	if v, ok := c.entries.Load(topic); ok {
+		return v.(*edgeEntry), false
+	}
+	v, loaded := c.entries.LoadOrStore(topic, &edgeEntry{})
+	if !loaded {
+		c.count.Add(1)
+	}
+	return v.(*edgeEntry), !loaded
+}
+
+// evict runs one second-chance sweep past the bound (same protocol as
+// the core valCache: recent bit spares an entry one round, a slack batch
+// of max/16 keeps sweeps infrequent, at most one sweep at a time).
+func (c *EdgeCache) evict() {
+	if c.max <= 0 || !c.sweeping.CompareAndSwap(false, true) {
+		return
+	}
+	defer c.sweeping.Store(false)
+	need := c.count.Load() - int64(c.max)
+	if need <= 0 {
+		return
+	}
+	need += int64(c.max/16) + 1
+	c.entries.Range(func(k, v any) bool {
+		e := v.(*edgeEntry)
+		if e.recent.Swap(false) {
+			return true
+		}
+		e.mu.Lock()
+		if e.dead {
+			e.mu.Unlock()
+			return true
+		}
+		e.dead = true
+		e.gen++
+		e.valid.Store(false)
+		e.mu.Unlock()
+		c.entries.Delete(k)
+		c.count.Add(-1)
+		c.evictions.Add(1)
+		need--
+		return need > 0
+	})
+}
+
+// EdgeCacheStats is a snapshot of the cache's counters.
+type EdgeCacheStats struct {
+	// Live reports whether the event feed is attached (hits enabled).
+	Live bool
+	// Entries is the resident entry population.
+	Entries int64
+	// Hits are validations served from cache; Misses went to the issuer
+	// with caching armed; Bypassed went to the issuer because the feed
+	// was down (fail-closed fallback).
+	Hits, Misses, Bypassed uint64
+	// Invalidations counts revocation events that killed an entry;
+	// Flushes counts whole-cache drops (lifecycle transitions);
+	// Evictions counts entries dropped by the bound.
+	Invalidations, Flushes, Evictions uint64
+}
+
+// Stats snapshots the cache.
+func (c *EdgeCache) Stats() EdgeCacheStats {
+	c.mu.Lock()
+	live := c.live
+	c.mu.Unlock()
+	return EdgeCacheStats{
+		Live:          live,
+		Entries:       c.count.Load(),
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Bypassed:      c.bypassed.Load(),
+		Invalidations: c.invalidations.Load(),
+		Flushes:       c.flushes.Load(),
+		Evictions:     c.evictions.Load(),
+	}
+}

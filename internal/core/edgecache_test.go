@@ -1,0 +1,378 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/event"
+	"repro/internal/names"
+	"repro/internal/rpc"
+)
+
+// edgeWorld is one issuer service plus an EdgeCache fed directly from the
+// local broker (the oasisd -http-cache embedded-mode topology: no wire
+// hop between broker and cache).
+type edgeWorld struct {
+	w      *world
+	svc    *Service
+	rv     *RemoteValidator
+	ec     *EdgeCache
+	cancel func()
+}
+
+func newEdgeWorld(t *testing.T, maxEntries int, wrap func(rpc.Caller) rpc.Caller) *edgeWorld {
+	t.Helper()
+	w := newWorld(t)
+	svc := w.service("login", `login.user <- env ok.`)
+	svc.Env().Register("ok", func(args []names.Term, s names.Substitution) []names.Substitution {
+		return []names.Substitution{s.Clone()}
+	})
+	var caller rpc.Caller = w.bus
+	if wrap != nil {
+		caller = wrap(caller)
+	}
+	// Negative window disables batching: every validation departs as one
+	// deterministic call, which the race tests below rely on.
+	rv := NewRemoteValidator("edge", caller, -1, nil)
+	ec := NewEdgeCache(rv, maxEntries)
+	cancel := w.broker.Tap(ec.HandleEvent)
+	t.Cleanup(cancel)
+	return &edgeWorld{w: w, svc: svc, rv: rv, ec: ec, cancel: cancel}
+}
+
+func (e *edgeWorld) activate(t *testing.T, principal string) cert.RMC {
+	t.Helper()
+	rmc, err := e.svc.Activate(principal, role("login", "user"), Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rmc
+}
+
+func TestEdgeCacheHitWhileLive(t *testing.T) {
+	e := newEdgeWorld(t, 0, nil)
+	e.ec.Attach()
+	rmc := e.activate(t, "alice-key")
+
+	for i := 0; i < 3; i++ {
+		if err := e.ec.ValidateRMC(rmc, "alice-key"); err != nil {
+			t.Fatalf("validate %d: %v", i, err)
+		}
+	}
+	st := e.ec.Stats()
+	if st.Misses != 1 || st.Hits != 2 {
+		t.Errorf("stats = %+v, want 1 miss / 2 hits", st)
+	}
+	if rvst := e.rv.Stats(); rvst.Validations != 1 {
+		t.Errorf("issuer saw %d validations, want 1 (rest cached)", rvst.Validations)
+	}
+}
+
+func TestEdgeCacheDetachedBypasses(t *testing.T) {
+	e := newEdgeWorld(t, 0, nil)
+	rmc := e.activate(t, "alice-key")
+
+	for i := 0; i < 2; i++ {
+		if err := e.ec.ValidateRMC(rmc, "alice-key"); err != nil {
+			t.Fatalf("validate %d: %v", i, err)
+		}
+	}
+	st := e.ec.Stats()
+	if st.Bypassed != 2 || st.Hits != 0 || st.Entries != 0 {
+		t.Errorf("stats = %+v, want 2 bypassed, nothing cached", st)
+	}
+	if rvst := e.rv.Stats(); rvst.Validations != 2 {
+		t.Errorf("issuer saw %d validations, want 2 (no cache while detached)", rvst.Validations)
+	}
+}
+
+// TestEdgeCacheEventKillsVerdict is the kill-the-cert scenario at unit
+// scale: the cached verdict must die with the revocation event — no
+// validation traffic required, no TTL in play (the cache has none).
+func TestEdgeCacheEventKillsVerdict(t *testing.T) {
+	e := newEdgeWorld(t, 0, nil)
+	e.ec.Attach()
+	rmc := e.activate(t, "alice-key")
+
+	if err := e.ec.ValidateRMC(rmc, "alice-key"); err != nil {
+		t.Fatal(err)
+	}
+	// Revoke at the issuer. Taps fire synchronously inside Publish, so
+	// by the time Deactivate returns the cache has seen the event.
+	e.svc.Deactivate(rmc.Ref.Serial, "logout")
+	if st := e.ec.Stats(); st.Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1 (event-bound, not traffic-bound)", st.Invalidations)
+	}
+	err := e.ec.ValidateRMC(rmc, "alice-key")
+	if !errors.Is(err, ErrRevoked) {
+		t.Fatalf("validate after revocation = %v, want ErrRevoked", err)
+	}
+	if st := e.ec.Stats(); st.Hits != 0 {
+		t.Errorf("stale hit served after revocation event: %+v", st)
+	}
+}
+
+func TestEdgeCacheDetachFlushesBeforeRefill(t *testing.T) {
+	e := newEdgeWorld(t, 0, nil)
+	e.ec.Attach()
+	rmc := e.activate(t, "alice-key")
+	if err := e.ec.ValidateRMC(rmc, "alice-key"); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.ec.Stats(); st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1", st.Entries)
+	}
+
+	// Feed lost: hits stop instantly, the cache empties.
+	e.ec.Detach()
+	if st := e.ec.Stats(); st.Entries != 0 || st.Live {
+		t.Fatalf("after detach: %+v, want empty and not live", st)
+	}
+	if err := e.ec.ValidateRMC(rmc, "alice-key"); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.ec.Stats(); st.Bypassed != 1 {
+		t.Fatalf("detached validate bypassed = %d, want 1", st.Bypassed)
+	}
+
+	// Resubscribed: the first validation is a miss (nothing filled while
+	// the feed was down may survive), then caching resumes.
+	e.ec.Attach()
+	if err := e.ec.ValidateRMC(rmc, "alice-key"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ec.ValidateRMC(rmc, "alice-key"); err != nil {
+		t.Fatal(err)
+	}
+	st := e.ec.Stats()
+	if st.Misses != 2 || st.Hits != 1 {
+		t.Errorf("after reattach: %+v, want 2 misses / 1 hit total", st)
+	}
+}
+
+// TestEdgeCacheFingerprintGuard: a hit requires the exact presentation.
+// The same certificate presented by a different principal must not ride
+// alice's cached verdict — the edge never verifies signatures, so the
+// fingerprint is what stops a re-bound presentation.
+func TestEdgeCacheFingerprintGuard(t *testing.T) {
+	e := newEdgeWorld(t, 0, nil)
+	e.ec.Attach()
+	rmc := e.activate(t, "alice-key")
+
+	if err := e.ec.ValidateRMC(rmc, "alice-key"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ec.ValidateRMC(rmc, "mallory-key"); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("re-bound presentation = %v, want issuer refusal", err)
+	}
+	st := e.ec.Stats()
+	if st.Hits != 0 {
+		t.Errorf("re-bound presentation served from cache: %+v", st)
+	}
+
+	// A tampered certificate under the cached key must miss too.
+	forged := rmc
+	forged.KeyID++
+	if err := e.ec.ValidateRMC(forged, "alice-key"); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("forged presentation = %v, want issuer refusal", err)
+	}
+	if st := e.ec.Stats(); st.Hits != 0 {
+		t.Errorf("forged presentation served from cache: %+v", st)
+	}
+
+	// The genuine presentation still hits.
+	if err := e.ec.ValidateRMC(rmc, "alice-key"); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.ec.Stats(); st.Hits != 1 {
+		t.Errorf("genuine presentation after probes: %+v, want 1 hit", st)
+	}
+}
+
+// gateCaller blocks configured calls until released, making the
+// event-during-fill race deterministic.
+type gateCaller struct {
+	inner rpc.Caller
+	mu    sync.Mutex
+	gate  chan struct{} // non-nil: next Call parks here
+	held  chan struct{} // signalled when a call parks
+}
+
+func (g *gateCaller) Call(service, method string, body []byte) ([]byte, error) {
+	g.mu.Lock()
+	gate, held := g.gate, g.held
+	g.gate, g.held = nil, nil
+	g.mu.Unlock()
+	if gate != nil {
+		held <- struct{}{}
+		<-gate
+	}
+	return g.inner.Call(service, method, body)
+}
+
+func (g *gateCaller) arm() (release func(), held chan struct{}) {
+	gate := make(chan struct{})
+	held = make(chan struct{}, 1)
+	g.mu.Lock()
+	g.gate, g.held = gate, held
+	g.mu.Unlock()
+	return func() { close(gate) }, held
+}
+
+// TestEdgeCacheEventDuringFillRefusesCommit injects a revocation event
+// while the fill's issuer callback is parked in flight: the generation
+// gate must refuse to commit the (positive) verdict that raced the
+// event.
+func TestEdgeCacheEventDuringFillRefusesCommit(t *testing.T) {
+	var gc *gateCaller
+	e := newEdgeWorld(t, 0, func(bus rpc.Caller) rpc.Caller {
+		gc = &gateCaller{inner: bus}
+		return gc
+	})
+	e.ec.Attach()
+	rmc := e.activate(t, "alice-key")
+
+	release, held := gc.arm()
+	done := make(chan error, 1)
+	go func() { done <- e.ec.ValidateRMC(rmc, "alice-key") }()
+	<-held // the callback is in flight, gen already snapshotted
+
+	// The revocation event lands mid-flight. (Injected directly: the
+	// issuer still answers valid, which is exactly the race — a verdict
+	// computed before the revocation arriving after the event.)
+	e.ec.HandleEvent(event.Event{Topic: TopicCR(rmc.Ref), Kind: event.KindRevoked})
+	release()
+	if err := <-done; err != nil {
+		t.Fatalf("in-flight validate: %v", err)
+	}
+
+	// The raced verdict must not have been cached: next validate misses.
+	if err := e.ec.ValidateRMC(rmc, "alice-key"); err != nil {
+		t.Fatal(err)
+	}
+	st := e.ec.Stats()
+	if st.Hits != 0 || st.Misses != 2 {
+		t.Errorf("stats = %+v, want 0 hits / 2 misses (no stale commit)", st)
+	}
+}
+
+func TestEdgeCacheEviction(t *testing.T) {
+	const maxEntries = 8
+	e := newEdgeWorld(t, maxEntries, nil)
+	e.ec.Attach()
+	const n = 40
+	for i := 0; i < n; i++ {
+		rmc := e.activate(t, fmt.Sprintf("p%02d-key", i))
+		if err := e.ec.ValidateRMC(rmc, fmt.Sprintf("p%02d-key", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.ec.Stats()
+	if st.Evictions == 0 {
+		t.Errorf("no evictions after %d inserts with max %d: %+v", n, maxEntries, st)
+	}
+	// The sweep allows transient slack (max/16+1 plus racing inserts);
+	// anything near the bound is fine, unbounded growth is not.
+	if st.Entries > maxEntries+maxEntries/2+2 {
+		t.Errorf("entries = %d, want ~%d", st.Entries, maxEntries)
+	}
+}
+
+func TestEdgeCacheAppointmentExpiryBeatsCache(t *testing.T) {
+	e := newEdgeWorld(t, 0, nil)
+	e.ec.now = e.w.clk.Now // appointments are stamped by the simulated clock
+	e.ec.Attach()
+
+	admin := e.w.service("admin", `
+admin.administrator <- env is_admin.
+auth appoint_badge <- admin.administrator.
+`)
+	admin.Env().Register("is_admin", func(args []names.Term, s names.Substitution) []names.Substitution {
+		return []names.Substitution{s.Clone()}
+	})
+	sess := e.w.session()
+	arm, err := admin.Activate(sess.PrincipalID(), role("admin", "administrator"), Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.AddRMC(arm)
+	appt, err := admin.Appoint(sess.PrincipalID(), AppointmentRequest{
+		Kind:      "badge",
+		Holder:    "contractor-key",
+		ExpiresAt: e.w.clk.Now().Add(time.Hour),
+	}, sess.Credentials())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := e.ec.ValidateAppointment(appt); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ec.ValidateAppointment(appt); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.ec.Stats(); st.Hits != 1 {
+		t.Fatalf("stats = %+v, want the second validation cached", st)
+	}
+
+	// Past expiry the cached verdict is unreachable: expiry is checked
+	// before the cache, because no revocation event fires for it.
+	e.w.clk.Advance(2 * time.Hour)
+	err = e.ec.ValidateAppointment(appt)
+	if !errors.Is(err, ErrRevoked) {
+		t.Fatalf("expired appointment = %v, want ErrRevoked wrap", err)
+	}
+	if st := e.ec.Stats(); st.Hits != 1 {
+		t.Errorf("expired appointment served from cache: %+v", st)
+	}
+}
+
+func TestEdgeCacheConcurrentChurn(t *testing.T) {
+	e := newEdgeWorld(t, 16, nil)
+	e.ec.Attach()
+	const principals = 8
+	rmcs := make([]cert.RMC, principals)
+	for i := range rmcs {
+		rmcs[i] = e.activate(t, fmt.Sprintf("p%d-key", i))
+	}
+	stopFlush := make(chan struct{})
+	var flusher sync.WaitGroup
+	flusher.Add(1)
+	go func() {
+		defer flusher.Done()
+		for {
+			select {
+			case <-stopFlush:
+				return
+			default:
+				e.ec.Flush()
+				e.ec.Attach()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				idx := (w + i) % principals
+				p := fmt.Sprintf("p%d-key", idx)
+				if err := e.ec.ValidateRMC(rmcs[idx], p); err != nil {
+					t.Errorf("churn validate: %v", err)
+					return
+				}
+				if i%17 == 0 {
+					e.ec.Invalidate(TopicCR(rmcs[idx].Ref))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stopFlush)
+	flusher.Wait()
+}

@@ -19,10 +19,12 @@ import (
 // thousands of HTTP checks costs the issuer ~one wire call per herd.
 //
 // A RemoteValidator answers authoritatively from the issuer every time;
-// it deliberately has no verdict cache. Caching at the edge would
-// re-open the revocation window the core's event-driven cache closes —
-// an edge tier that wants caching should subscribe to revocation events
-// like a Service does, which is future work, not a default.
+// it deliberately has no verdict cache of its own. Caching at the edge
+// without a revocation subscription would re-open the revocation window
+// the core's event-driven cache closes. An edge tier that wants caching
+// wraps the validator in an EdgeCache, which subscribes to the backend's
+// revocation events like a Service does and fails closed to this
+// uncached behavior whenever the subscription is down.
 type RemoteValidator struct {
 	b *batcher
 

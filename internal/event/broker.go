@@ -101,7 +101,7 @@ type Broker struct {
 	idle      *sync.Cond
 
 	tapMu sync.Mutex
-	taps  atomic.Value // []func(Event)
+	taps  atomic.Value // []*tapFn
 }
 
 type topicShard struct {
@@ -116,7 +116,7 @@ func NewBroker() *Broker {
 		b.shards[i].topics = make(map[string]map[int]*Subscription)
 	}
 	b.idle = sync.NewCond(&b.idleMu)
-	b.taps.Store([]func(Event){})
+	b.taps.Store([]*tapFn{})
 	return b
 }
 
@@ -246,8 +246,8 @@ func (b *Broker) Publish(ev Event) (int, error) {
 	sh.mu.Unlock()
 	b.published.Add(1)
 
-	for _, tap := range b.taps.Load().([]func(Event)) {
-		tap(ev)
+	for _, tap := range b.taps.Load().([]*tapFn) {
+		tap.f(ev)
 	}
 	n := 0
 	for _, s := range targets {

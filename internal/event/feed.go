@@ -1,0 +1,161 @@
+package event
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Feed fans the local broker's revocation events out to edge subscribers
+// (oasisgw instances running an event-invalidated verdict cache). Each
+// subscriber gets its own PeerQueue between the broker tap and its wire
+// send, so a slow or stalled edge can never stall Publish — the queue
+// drops oldest under backpressure, which is safe for this consumer: an
+// edge that loses a revocation event must not have been promised
+// delivery, and the EdgeCache protocol treats any feed disturbance as
+// cause for a full flush (the drop counters below are how an operator
+// sees it happening).
+//
+// Only KindRevoked events are forwarded. That includes the heartbeat
+// monitor's synthetic revocations (issuer silence past the deadline
+// publishes KindRevoked on the affected credential topics), so an edge
+// subscriber inherits the same fail-safe liveness semantics as a local
+// Service without seeing raw heartbeat traffic.
+//
+// The service/method names below are the wire identity of the stream
+// endpoint; the daemon adapts Subscribe to rpc.StreamHandler (the event
+// package stays transport-free).
+const (
+	// FeedService is the OW2 service name the event feed registers under.
+	FeedService = "_events"
+	// FeedMethod is the stream-open method name.
+	FeedMethod = "subscribe_events"
+)
+
+// Feed is the server-side fan-out of revocation events to edge
+// subscribers.
+type Feed struct {
+	broker   *Broker
+	queueCap int
+
+	mu      sync.Mutex
+	subs    map[*feedSub]struct{}
+	closed  bool
+	retired PeerQueueStats // accumulated counters of ended subscriptions
+}
+
+type feedSub struct {
+	q      *PeerQueue
+	cancel func()
+	once   sync.Once
+}
+
+// NewFeed creates a feed on b. queueCap bounds each subscriber's backlog
+// (<=0 selects the PeerQueue default).
+func NewFeed(b *Broker, queueCap int) *Feed {
+	return &Feed{broker: b, queueCap: queueCap, subs: make(map[*feedSub]struct{})}
+}
+
+// Subscribe attaches one edge subscriber: every KindRevoked event the
+// local broker publishes from now on is encoded with MarshalEvent and
+// handed to send, in order, decoupled through a bounded PeerQueue. The
+// returned stop func (idempotent) detaches the tap and drains the queue.
+// The signature matches the tail of rpc.StreamHandler so a daemon adapts
+// it with a one-line closure.
+func (f *Feed) Subscribe(send func([]byte) error) (stop func(), err error) {
+	sub := &feedSub{}
+	sub.q = NewPeerQueue(f.queueCap, func(ev Event) error {
+		b, err := MarshalEvent(ev)
+		if err != nil {
+			return err
+		}
+		return send(b)
+	})
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		sub.q.Close()
+		return nil, ErrClosed
+	}
+	sub.cancel = f.broker.Tap(func(ev Event) {
+		if ev.Kind != KindRevoked {
+			return
+		}
+		sub.q.Enqueue(ev)
+	})
+	f.subs[sub] = struct{}{}
+	f.mu.Unlock()
+	return func() { f.end(sub) }, nil
+}
+
+// end tears one subscription down: tap first (no new enqueues), then the
+// queue (drains what's buffered), then fold its counters into retired.
+func (f *Feed) end(sub *feedSub) {
+	sub.once.Do(func() {
+		sub.cancel()
+		sub.q.Close()
+		st := sub.q.Stats()
+		f.mu.Lock()
+		f.retired.Enqueued += st.Enqueued
+		f.retired.Sent += st.Sent
+		f.retired.Failed += st.Failed
+		f.retired.Dropped += st.Dropped
+		delete(f.subs, sub)
+		f.mu.Unlock()
+	})
+}
+
+// Close ends every live subscription and refuses new ones.
+func (f *Feed) Close() {
+	f.mu.Lock()
+	f.closed = true
+	subs := make([]*feedSub, 0, len(f.subs))
+	for s := range f.subs {
+		subs = append(subs, s)
+	}
+	f.mu.Unlock()
+	for _, s := range subs {
+		f.end(s)
+	}
+}
+
+// FeedStats is a point-in-time snapshot across live and ended
+// subscriptions.
+type FeedStats struct {
+	Subscribers uint64 // currently attached edges
+	Forwarded   uint64 // events delivered to subscriber sends
+	Failed      uint64 // sends that returned an error
+	Dropped     uint64 // events evicted by subscriber backpressure
+}
+
+// Stats snapshots the feed's counters.
+func (f *Feed) Stats() FeedStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := FeedStats{
+		Subscribers: uint64(len(f.subs)),
+		Forwarded:   f.retired.Sent,
+		Failed:      f.retired.Failed,
+		Dropped:     f.retired.Dropped,
+	}
+	for s := range f.subs {
+		qs := s.q.Stats()
+		st.Forwarded += qs.Sent
+		st.Failed += qs.Failed
+		st.Dropped += qs.Dropped
+	}
+	return st
+}
+
+// Instrument exposes the feed's gauges/counters
+// (event_feed_subscribers, event_feed_forwarded_total,
+// event_feed_dropped_total, event_feed_send_failures_total) in reg.
+func (f *Feed) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Func("event_feed_subscribers", func() uint64 { return f.Stats().Subscribers })
+	reg.Func("event_feed_forwarded_total", func() uint64 { return f.Stats().Forwarded })
+	reg.Func("event_feed_dropped_total", func() uint64 { return f.Stats().Dropped })
+	reg.Func("event_feed_send_failures_total", func() uint64 { return f.Stats().Failed })
+}

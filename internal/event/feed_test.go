@@ -1,0 +1,172 @@
+package event
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collectFeed subscribes a recording sink to f.
+func collectFeed(t *testing.T, f *Feed) (stop func(), got func() []Event) {
+	t.Helper()
+	var mu sync.Mutex
+	var evs []Event
+	stop, err := f.Subscribe(func(b []byte) error {
+		ev, err := UnmarshalEvent(b)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		evs = append(evs, ev)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stop, func() []Event {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]Event(nil), evs...)
+	}
+}
+
+func waitForFeed(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestFeedForwardsOnlyRevocations(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	f := NewFeed(b, 16)
+	defer f.Close()
+	stop, got := collectFeed(t, f)
+	defer stop()
+
+	pubs := []Event{
+		{Topic: "cr/login#1", Kind: KindRevoked, Subject: "login#1"},
+		{Topic: "hb/login", Kind: KindHeartbeat, Subject: "login"},
+		{Topic: "appt/h#appt#1", Kind: KindRevoked, Subject: "h#appt#1"},
+	}
+	for _, ev := range pubs {
+		if _, err := b.Publish(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Quiesce()
+	waitForFeed(t, "2 revocations", func() bool { return len(got()) == 2 })
+	for _, ev := range got() {
+		if ev.Kind != KindRevoked {
+			t.Errorf("forwarded non-revocation event %+v", ev)
+		}
+	}
+	if st := f.Stats(); st.Subscribers != 1 || st.Forwarded != 2 {
+		t.Errorf("stats = %+v, want 1 subscriber / 2 forwarded", st)
+	}
+}
+
+func TestFeedStopDetaches(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	f := NewFeed(b, 16)
+	defer f.Close()
+	stop, got := collectFeed(t, f)
+	if _, err := b.Publish(Event{Topic: "cr/x#1", Kind: KindRevoked}); err != nil {
+		t.Fatal(err)
+	}
+	b.Quiesce()
+	waitForFeed(t, "first event", func() bool { return len(got()) == 1 })
+	stop()
+	stop() // idempotent
+	if st := f.Stats(); st.Subscribers != 0 {
+		t.Fatalf("subscribers after stop = %d", st.Subscribers)
+	}
+	if _, err := b.Publish(Event{Topic: "cr/x#2", Kind: KindRevoked}); err != nil {
+		t.Fatal(err)
+	}
+	b.Quiesce()
+	time.Sleep(10 * time.Millisecond)
+	if n := len(got()); n != 1 {
+		t.Errorf("stopped subscriber saw %d events, want 1", n)
+	}
+	// Retired counters survive the subscription.
+	if st := f.Stats(); st.Forwarded != 1 {
+		t.Errorf("retired Forwarded = %d, want 1", st.Forwarded)
+	}
+}
+
+func TestFeedSlowSubscriberDoesNotStallPublish(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	f := NewFeed(b, 4)
+	defer f.Close()
+	release := make(chan struct{})
+	var once sync.Once
+	stop, err := f.Subscribe(func([]byte) error {
+		<-release
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	defer once.Do(func() { close(release) })
+
+	// Far more events than queue capacity: Publish must never block.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			b.Publish(Event{Topic: "cr/x#1", Kind: KindRevoked}) //nolint:errcheck
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Publish stalled behind a slow feed subscriber")
+	}
+	b.Quiesce()
+	once.Do(func() { close(release) })
+	waitForFeed(t, "drops recorded", func() bool { return f.Stats().Dropped > 0 })
+}
+
+func TestFeedCloseRefusesNewSubscribers(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	f := NewFeed(b, 4)
+	stop, _ := collectFeed(t, f)
+	_ = stop
+	f.Close()
+	if st := f.Stats(); st.Subscribers != 0 {
+		t.Errorf("subscribers after Close = %d", st.Subscribers)
+	}
+	if _, err := f.Subscribe(func([]byte) error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Errorf("Subscribe after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestFeedCountsSendFailures(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	f := NewFeed(b, 16)
+	defer f.Close()
+	stop, err := f.Subscribe(func([]byte) error { return errors.New("edge gone") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	if _, err := b.Publish(Event{Topic: "cr/x#1", Kind: KindRevoked}); err != nil {
+		t.Fatal(err)
+	}
+	b.Quiesce()
+	waitForFeed(t, "failure counted", func() bool { return f.Stats().Failed == 1 })
+}

@@ -4,19 +4,44 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
 )
+
+// tapFn wraps a tap callback in a pointer so a registration has an
+// identity: cancellation removes exactly the tap it was returned for,
+// even when the same func value was registered twice.
+type tapFn struct{ f func(Event) }
 
 // Tap registers a function invoked synchronously for every event accepted
 // by Publish (before Quiesce accounting completes). Taps are the hook for
-// cross-node relays and diagnostics; they must be fast and must not
-// publish to the same broker synchronously.
-func (b *Broker) Tap(f func(Event)) {
+// cross-node relays, edge feeds and diagnostics; they must be fast and
+// must not publish to the same broker synchronously.
+//
+// The returned cancel func removes the registration (idempotent). Earlier
+// versions had no cancel, so every reconnecting subscriber leaked a dead
+// tap that still ran on every publish for the broker's lifetime.
+func (b *Broker) Tap(f func(Event)) (cancel func()) {
+	t := &tapFn{f: f}
 	b.tapMu.Lock()
-	defer b.tapMu.Unlock()
-	old := b.taps.Load().([]func(Event))
-	next := make([]func(Event), len(old), len(old)+1)
+	old := b.taps.Load().([]*tapFn)
+	next := make([]*tapFn, len(old), len(old)+1)
 	copy(next, old)
-	b.taps.Store(append(next, f))
+	b.taps.Store(append(next, t))
+	b.tapMu.Unlock()
+	return func() {
+		b.tapMu.Lock()
+		defer b.tapMu.Unlock()
+		cur := b.taps.Load().([]*tapFn)
+		next := make([]*tapFn, 0, len(cur))
+		for _, x := range cur {
+			if x != t {
+				next = append(next, x)
+			}
+		}
+		b.taps.Store(next)
+	}
 }
 
 // Relay bridges brokers across nodes so that revocation events reach
@@ -26,29 +51,64 @@ func (b *Broker) Tap(f func(Event)) {
 // received from peers into the local broker exactly once. The Origin tag
 // prevents echo and loops.
 type Relay struct {
-	broker *Broker
-	node   string
+	broker    *Broker
+	node      string
+	cancelTap func()
+	closeOnce sync.Once
+
+	sendFailures atomic.Uint64
 
 	mu    sync.RWMutex
-	peers map[string]func(Event) error
+	reg   *obs.Registry
+	peers map[string]*relayPeer
+}
+
+// relayPeer is one registered transport plus its failure counter (nil
+// until Instrument; obs handles are nil-safe).
+type relayPeer struct {
+	send  func(Event) error
+	fails *obs.Counter
 }
 
 // NewRelay attaches a relay to a broker under a unique node name.
 func NewRelay(b *Broker, node string) *Relay {
-	r := &Relay{broker: b, node: node, peers: make(map[string]func(Event) error)}
-	b.Tap(r.forward)
+	r := &Relay{broker: b, node: node, peers: make(map[string]*relayPeer)}
+	r.cancelTap = b.Tap(r.forward)
 	return r
 }
 
 // Node returns the relay's node name.
 func (r *Relay) Node() string { return r.node }
 
+// Instrument registers per-peer send-failure counters
+// (event_relay_send_failures_total{peer=...}) with reg, covering peers
+// already added and peers added later.
+func (r *Relay) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.reg = reg
+	for node, p := range r.peers {
+		p.fails = peerFailCounter(reg, node)
+	}
+}
+
+func peerFailCounter(reg *obs.Registry, node string) *obs.Counter {
+	return reg.Counter(fmt.Sprintf("event_relay_send_failures_total{peer=%q}", node))
+}
+
 // AddPeer registers a transport to another node's relay. send delivers a
 // wire event to the peer's Receive.
 func (r *Relay) AddPeer(node string, send func(Event) error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.peers[node] = send
+	p := &relayPeer{send: send}
+	if r.reg != nil {
+		p.fails = peerFailCounter(r.reg, node)
+	}
+	r.peers[node] = p
 }
 
 // RemovePeer drops a peer.
@@ -58,22 +118,41 @@ func (r *Relay) RemovePeer(node string) {
 	delete(r.peers, node)
 }
 
+// SendFailures reports how many peer sends have failed since the relay
+// was created (across all peers).
+func (r *Relay) SendFailures() uint64 { return r.sendFailures.Load() }
+
+// Close detaches the relay from its broker's tap list. A relay used to
+// stay tapped forever; a daemon cycling relays leaked them all.
+func (r *Relay) Close() {
+	r.closeOnce.Do(r.cancelTap)
+}
+
 // forward ships locally originated events to every peer. Events that
 // arrived from another node carry that node's Origin and are not
-// re-forwarded (single-hop mesh).
+// re-forwarded (single-hop mesh). Send failures are counted — delivery
+// stays best-effort (peers re-validate by callback), but a partitioned
+// peer used to lose revocation events with zero signal.
 func (r *Relay) forward(ev Event) {
 	if ev.Origin != "" {
 		return
 	}
 	ev.Origin = r.node
+	type peerSend struct {
+		send  func(Event) error
+		fails *obs.Counter
+	}
 	r.mu.RLock()
-	sends := make([]func(Event) error, 0, len(r.peers))
-	for _, s := range r.peers {
-		sends = append(sends, s)
+	sends := make([]peerSend, 0, len(r.peers))
+	for _, p := range r.peers {
+		sends = append(sends, peerSend{p.send, p.fails})
 	}
 	r.mu.RUnlock()
-	for _, send := range sends {
-		send(ev) //nolint:errcheck // relay delivery is best-effort; peers re-validate by callback
+	for _, s := range sends {
+		if err := s.send(ev); err != nil {
+			r.sendFailures.Add(1)
+			s.fails.Inc()
+		}
 	}
 }
 

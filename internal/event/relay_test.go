@@ -1,9 +1,12 @@
 package event
 
 import (
+	"errors"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // linkRelays wires two relays directly (in-process transport).
@@ -168,5 +171,96 @@ func TestEventWireRoundTrip(t *testing.T) {
 	}
 	if _, err := UnmarshalEvent([]byte("{bad")); err == nil {
 		t.Error("garbage decoded")
+	}
+}
+
+func TestTapCancelRemovesRegistration(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	var n1, n2 atomic.Int64
+	cancel1 := b.Tap(func(Event) { n1.Add(1) })
+	cancel2 := b.Tap(func(Event) { n2.Add(1) })
+	if _, err := b.Publish(Event{Topic: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	cancel1()
+	cancel1() // idempotent
+	if _, err := b.Publish(Event{Topic: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	b.Quiesce()
+	if n1.Load() != 1 {
+		t.Errorf("cancelled tap ran %d times, want 1", n1.Load())
+	}
+	if n2.Load() != 2 {
+		t.Errorf("surviving tap ran %d times, want 2", n2.Load())
+	}
+	cancel2()
+}
+
+func TestRelayCloseDetachesTap(t *testing.T) {
+	b1 := NewBroker()
+	defer b1.Close()
+	b2 := NewBroker()
+	defer b2.Close()
+	r1 := NewRelay(b1, "n1")
+	r2 := NewRelay(b2, "n2")
+	linkRelays(r1, r2)
+	var got atomic.Int64
+	if _, err := b2.Subscribe("t", func(Event) { got.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	r1.Close()
+	r1.Close() // idempotent
+	if _, err := b1.Publish(Event{Topic: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	b1.Quiesce()
+	b2.Quiesce()
+	if got.Load() != 0 {
+		t.Errorf("closed relay still forwarded %d events", got.Load())
+	}
+}
+
+func TestRelayCountsSendFailures(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	r := NewRelay(b, "n1")
+	defer r.Close()
+	reg := obs.NewRegistry()
+	r.Instrument(reg)
+	r.AddPeer("dead", func(Event) error { return errors.New("partitioned") })
+	r.AddPeer("alive", func(Event) error { return nil })
+	for i := 0; i < 3; i++ {
+		if _, err := b.Publish(Event{Topic: "t"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Quiesce()
+	if got := r.SendFailures(); got != 3 {
+		t.Errorf("SendFailures = %d, want 3", got)
+	}
+	if got := reg.Value(`event_relay_send_failures_total{peer="dead"}`); got != 3 {
+		t.Errorf("dead peer counter = %d, want 3", got)
+	}
+	if got := reg.Value(`event_relay_send_failures_total{peer="alive"}`); got != 0 {
+		t.Errorf("alive peer counter = %d, want 0", got)
+	}
+}
+
+func TestRelayInstrumentCoversExistingPeers(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	r := NewRelay(b, "n1")
+	defer r.Close()
+	r.AddPeer("dead", func(Event) error { return errors.New("partitioned") })
+	reg := obs.NewRegistry()
+	r.Instrument(reg) // after AddPeer: counter must be retrofitted
+	if _, err := b.Publish(Event{Topic: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	b.Quiesce()
+	if got := reg.Value(`event_relay_send_failures_total{peer="dead"}`); got != 1 {
+		t.Errorf("retrofitted counter = %d, want 1", got)
 	}
 }

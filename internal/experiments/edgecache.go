@@ -1,0 +1,347 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/gateway"
+	"repro/internal/policy"
+	"repro/internal/rpc"
+)
+
+// ---------------------------------------------------------------------------
+// E18 — event-fed edge verdict cache: what the EdgeCache buys an edge
+// tier over PR 7's always-callback behavior, and proof that its verdicts
+// die by revocation event, not by TTL.
+//
+// Three sections:
+//
+//   latency        the same sequential verdict three ways — a local
+//                  in-process validator (loopback, the lower bound), an
+//                  uncached edge over TCP (PR 7), and a cached edge hit.
+//                  Acceptance: cached p50 within 2x of local in-process.
+//   kill-the-cert  revoke at the issuer with NO validate traffic flowing
+//                  and time how long until the edge cache kills the
+//                  verdict — event-bound invalidation, with the next
+//                  validation the issuer's authoritative refusal.
+//   severed        cut the feed listener mid-traffic: the cache must
+//                  detach and flush, a revocation missed during the
+//                  outage must never surface as a stale positive, and
+//                  caching must resume by itself once the feed port
+//                  comes back.
+// ---------------------------------------------------------------------------
+
+// EdgecacheLatencyRow is one sequential verdict-latency measurement.
+type EdgecacheLatencyRow struct {
+	Mode     string  `json:"mode"` // "local_inproc", "edge_uncached", "edge_cached"
+	Ops      int     `json:"ops"`
+	MedianNs float64 `json:"median_ns"`
+	P99Ns    float64 `json:"p99_ns"`
+}
+
+// EdgecacheKillRow is the kill-the-cert measurement.
+type EdgecacheKillRow struct {
+	// InvalidateNs is revoke-to-invalidation as seen at the edge, with no
+	// validate traffic in flight — the event propagation bound.
+	InvalidateNs float64 `json:"invalidate_ns"`
+	// RefusedAfter reports the post-kill validation was an authoritative
+	// refusal (and not served from cache).
+	RefusedAfter bool `json:"refused_after"`
+	// IssuerCallsDuringKill counts validator traffic between the revoke
+	// and the observed invalidation; 0 proves the verdict died by event.
+	IssuerCallsDuringKill uint64 `json:"issuer_calls_during_kill"`
+}
+
+// EdgecacheSeveredRow is the subscription-loss measurement.
+type EdgecacheSeveredRow struct {
+	// DetachNs is sever-to-detach as seen at the edge.
+	DetachNs float64 `json:"detach_ns"`
+	// BypassedDuringOutage counts validations that went straight to the
+	// issuer while the feed was down.
+	BypassedDuringOutage uint64 `json:"bypassed_during_outage"`
+	// StalePositive reports whether a verdict revoked during the outage
+	// was ever served as valid. Must be false.
+	StalePositive bool `json:"stale_positive"`
+	// ResumedHits counts cache hits after the feed reconnected.
+	ResumedHits uint64 `json:"resumed_hits"`
+}
+
+// EdgecacheResult bundles the E18 sections (the BENCH_edgecache.json
+// shape).
+type EdgecacheResult struct {
+	Latency []EdgecacheLatencyRow `json:"latency"`
+	// CachedOverLocal is cached-edge p50 over local in-process p50; the
+	// acceptance ceiling is 2.0 (a hit is a fingerprint compare, so in
+	// practice this lands well under 1).
+	CachedOverLocal float64             `json:"cached_over_local"`
+	Kill            EdgecacheKillRow    `json:"kill_the_cert"`
+	Severed         EdgecacheSeveredRow `json:"severed"`
+	// Violations lists broken invariants; the run fails if any appear.
+	Violations []string `json:"violations,omitempty"`
+}
+
+// edgecacheWorld is one issuer with its validate server and its feed
+// server on separate listeners (so the feed can be severed alone), plus
+// a cached edge subscribed through a real EdgeFeed.
+type edgecacheWorld struct {
+	svc      *core.Service
+	broker   *event.Broker
+	feed     *event.Feed
+	feedAddr string
+	feedSrv  *rpc.TCPServer
+
+	cli       *rpc.TCPClient
+	validator *core.RemoteValidator
+	cache     *core.EdgeCache
+	edgeFeed  *gateway.EdgeFeed
+	shutdown  func()
+}
+
+func startEdgecacheWorld() (*edgecacheWorld, error) {
+	broker := event.NewBroker()
+	svc, err := core.NewService(core.Config{
+		Name:   "login",
+		Policy: policy.MustParse(`login.user <- env ok.`),
+		Broker: broker,
+	})
+	if err != nil {
+		broker.Close()
+		return nil, err
+	}
+	AlwaysTrue(svc, "ok")
+
+	addr, stopSrv, err := startWireServer(map[string]rpc.Handler{"login": svc.Handler()})
+	if err != nil {
+		svc.Close()
+		broker.Close()
+		return nil, err
+	}
+
+	w := &edgecacheWorld{svc: svc, broker: broker}
+	w.feed = event.NewFeed(broker, 256)
+	if err := w.startFeedServer("127.0.0.1:0"); err != nil {
+		stopSrv()
+		svc.Close()
+		broker.Close()
+		return nil, err
+	}
+
+	w.cli, err = rpc.DialTCP(addr, 5*time.Second)
+	if err != nil {
+		w.feedSrv.Close()
+		stopSrv()
+		svc.Close()
+		broker.Close()
+		return nil, err
+	}
+	w.validator = core.NewRemoteValidator("edge", w.cli, -1, nil)
+	w.cache = core.NewEdgeCache(w.validator, 65536)
+	w.edgeFeed = gateway.NewEdgeFeed(w.cache, []string{w.feedAddr}, 5*time.Second, nil)
+	w.edgeFeed.Run()
+	w.shutdown = func() {
+		w.edgeFeed.Close()
+		w.cli.Close() //nolint:errcheck
+		w.feedSrv.Close()
+		w.feed.Close()
+		stopSrv()
+		svc.Close()
+		broker.Close()
+	}
+	return w, nil
+}
+
+func (w *edgecacheWorld) startFeedServer(addr string) error {
+	srv := rpc.NewTCPServer()
+	srv.RegisterStream(event.FeedService, event.FeedMethod,
+		func(method string, body []byte, send func([]byte) error) (func(), error) {
+			return w.feed.Subscribe(send)
+		})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	go srv.Serve(ln) //nolint:errcheck // dies with the world
+	w.feedSrv = srv
+	w.feedAddr = ln.Addr().String()
+	return nil
+}
+
+// waitCache polls the cache until cond holds.
+func (w *edgecacheWorld) waitCache(what string, cond func(core.EdgeCacheStats) bool) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond(w.cache.Stats()) {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return fmt.Errorf("timed out waiting for %s (cache %+v)", what, w.cache.Stats())
+}
+
+func (w *edgecacheWorld) activate(principal string) (cert.RMC, error) {
+	return w.svc.Activate(principal, Role("login", "user"), core.Presented{})
+}
+
+// RunEdgecache runs all three E18 sections with latencyOps measured
+// verdicts per latency mode.
+func RunEdgecache(latencyOps int) (EdgecacheResult, error) {
+	var res EdgecacheResult
+	violate := func(format string, args ...any) {
+		res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
+	}
+
+	w, err := startEdgecacheWorld()
+	if err != nil {
+		return EdgecacheResult{}, err
+	}
+	defer w.shutdown()
+	if err := w.waitCache("feed live", func(s core.EdgeCacheStats) bool { return s.Live }); err != nil {
+		return EdgecacheResult{}, err
+	}
+
+	// -------- latency --------
+	// Local in-process lower bound: the validator over a loopback bus.
+	local := rpc.NewLoopback()
+	local.Register("login", w.svc.Handler())
+	localVal := core.NewRemoteValidator("local", local, -1, nil)
+
+	sess := NewSession()
+	rmc, err := w.activate(sess.PrincipalID())
+	if err != nil {
+		return EdgecacheResult{}, err
+	}
+	measure := func(mode string, validate func() error) (EdgecacheLatencyRow, error) {
+		for i := 0; i < 50; i++ { // warm
+			if err := validate(); err != nil {
+				return EdgecacheLatencyRow{}, fmt.Errorf("%s warm: %w", mode, err)
+			}
+		}
+		lat := make([]float64, latencyOps)
+		for i := range lat {
+			start := time.Now()
+			if err := validate(); err != nil {
+				return EdgecacheLatencyRow{}, fmt.Errorf("%s: %w", mode, err)
+			}
+			lat[i] = float64(time.Since(start).Nanoseconds())
+		}
+		p50, p99 := quantiles(lat)
+		return EdgecacheLatencyRow{Mode: mode, Ops: latencyOps, MedianNs: p50, P99Ns: p99}, nil
+	}
+	principal := sess.PrincipalID()
+	for _, m := range []struct {
+		mode     string
+		validate func() error
+	}{
+		{"local_inproc", func() error { return localVal.ValidateRMC(rmc, principal) }},
+		{"edge_uncached", func() error { return w.validator.ValidateRMC(rmc, principal) }},
+		{"edge_cached", func() error { return w.cache.ValidateRMC(rmc, principal) }},
+	} {
+		row, err := measure(m.mode, m.validate)
+		if err != nil {
+			return EdgecacheResult{}, err
+		}
+		res.Latency = append(res.Latency, row)
+	}
+	res.CachedOverLocal = res.Latency[2].MedianNs / res.Latency[0].MedianNs
+	if res.CachedOverLocal > 2 {
+		violate("cached-edge p50 %.0fns is %.2fx local in-process p50 %.0fns (ceiling 2x)",
+			res.Latency[2].MedianNs, res.CachedOverLocal, res.Latency[0].MedianNs)
+	}
+	if hits := w.cache.Stats().Hits; hits == 0 {
+		violate("edge_cached section recorded no cache hits")
+	}
+
+	// -------- kill-the-cert --------
+	// The verdict for rmc is resident from the latency section. Revoke it
+	// at the issuer with no validate traffic flowing; the invalidation
+	// must arrive by event.
+	callsBefore := w.validator.Stats().Validations
+	invBefore := w.cache.Stats().Invalidations
+	killStart := time.Now()
+	w.svc.Deactivate(rmc.Ref.Serial, "kill the cert")
+	if err := w.waitCache("event invalidation",
+		func(s core.EdgeCacheStats) bool { return s.Invalidations > invBefore }); err != nil {
+		return EdgecacheResult{}, err
+	}
+	res.Kill.InvalidateNs = float64(time.Since(killStart).Nanoseconds())
+	res.Kill.IssuerCallsDuringKill = w.validator.Stats().Validations - callsBefore
+	if res.Kill.IssuerCallsDuringKill != 0 {
+		violate("invalidation required %d issuer calls; it must be event-bound", res.Kill.IssuerCallsDuringKill)
+	}
+	hitsBefore := w.cache.Stats().Hits
+	err = w.cache.ValidateRMC(rmc, principal)
+	res.Kill.RefusedAfter = errors.Is(err, core.ErrRevoked)
+	if !res.Kill.RefusedAfter {
+		violate("post-kill validation = %v, want authoritative refusal", err)
+	}
+	if w.cache.Stats().Hits != hitsBefore {
+		violate("post-kill validation was served from cache")
+	}
+
+	// -------- severed feed --------
+	sess2 := NewSession()
+	rmc2, err := w.activate(sess2.PrincipalID())
+	if err != nil {
+		return EdgecacheResult{}, err
+	}
+	principal2 := sess2.PrincipalID()
+	for i := 0; i < 2; i++ { // fill, then hit
+		if err := w.cache.ValidateRMC(rmc2, principal2); err != nil {
+			return EdgecacheResult{}, err
+		}
+	}
+	severStart := time.Now()
+	w.feedSrv.Close()
+	if err := w.waitCache("detach on sever",
+		func(s core.EdgeCacheStats) bool { return !s.Live && s.Entries == 0 }); err != nil {
+		return EdgecacheResult{}, err
+	}
+	res.Severed.DetachNs = float64(time.Since(severStart).Nanoseconds())
+
+	// Revoke during the outage: the event is lost; the verdict must come
+	// authoritatively from the issuer, never from a stale cache entry.
+	w.svc.Deactivate(rmc2.Ref.Serial, "revoked during outage")
+	bypassedBefore := w.cache.Stats().Bypassed
+	err = w.cache.ValidateRMC(rmc2, principal2)
+	res.Severed.StalePositive = err == nil
+	if res.Severed.StalePositive {
+		violate("stale cached positive served while the feed was down")
+	} else if !errors.Is(err, core.ErrRevoked) {
+		return EdgecacheResult{}, fmt.Errorf("feed-down validation: %w", err)
+	}
+	res.Severed.BypassedDuringOutage = w.cache.Stats().Bypassed - bypassedBefore
+	if res.Severed.BypassedDuringOutage == 0 {
+		violate("feed-down validation did not bypass the cache")
+	}
+
+	// Reconnect: rebind the freed port; the edge resubscribes and caching
+	// resumes without intervention.
+	if err := w.startFeedServer(w.feedAddr); err != nil {
+		return EdgecacheResult{}, fmt.Errorf("rebind feed port: %w", err)
+	}
+	if err := w.waitCache("reattach after reconnect",
+		func(s core.EdgeCacheStats) bool { return s.Live }); err != nil {
+		return EdgecacheResult{}, err
+	}
+	sess3 := NewSession()
+	rmc3, err := w.activate(sess3.PrincipalID())
+	if err != nil {
+		return EdgecacheResult{}, err
+	}
+	resumeHitsBefore := w.cache.Stats().Hits
+	for i := 0; i < 3; i++ {
+		if err := w.cache.ValidateRMC(rmc3, sess3.PrincipalID()); err != nil {
+			return EdgecacheResult{}, fmt.Errorf("post-reconnect validation: %w", err)
+		}
+	}
+	res.Severed.ResumedHits = w.cache.Stats().Hits - resumeHitsBefore
+	if res.Severed.ResumedHits == 0 {
+		violate("caching did not resume after the feed reconnected")
+	}
+	return res, nil
+}

@@ -1,0 +1,26 @@
+package experiments
+
+import "testing"
+
+// TestEdgecacheShape pins E18's qualitative claims: a cached-edge hit is
+// not slower than 2x local in-process validation, the kill-the-cert run
+// invalidates by event with zero issuer traffic, and the severed-feed
+// run never serves a stale positive.
+func TestEdgecacheShape(t *testing.T) {
+	res, err := RunEdgecache(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) > 0 {
+		t.Fatalf("E18 invariant violations: %v", res.Violations)
+	}
+	if len(res.Latency) != 3 {
+		t.Fatalf("latency rows = %d, want 3", len(res.Latency))
+	}
+	if !res.Kill.RefusedAfter || res.Kill.IssuerCallsDuringKill != 0 {
+		t.Errorf("kill-the-cert row %+v: want event-bound refusal", res.Kill)
+	}
+	if res.Severed.StalePositive || res.Severed.BypassedDuringOutage == 0 || res.Severed.ResumedHits == 0 {
+		t.Errorf("severed row %+v: want bypass during outage and resumed hits after", res.Severed)
+	}
+}

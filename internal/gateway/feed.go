@@ -1,0 +1,185 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/obs"
+	"repro/internal/rpc"
+)
+
+// EdgeFeed maintains the revocation-event subscriptions that make an
+// EdgeCache safe to serve hits from. It opens one subscribe_events
+// stream per backend address on a dedicated single-connection client
+// (so Close tears exactly that connection down, which is what triggers
+// the server-side stop func) and drives the cache's fail-closed
+// lifecycle:
+//
+//   - the cache is Attached only while ALL backends' streams are live —
+//     a cached verdict may cover a credential issued by any backend, so
+//     one dead stream means events can be missed for some keys;
+//   - the moment any stream drops, the cache is Detached (hits stop,
+//     full flush) and stays bypassing to the issuer until every stream
+//     is re-established, at which point Attach flushes again and
+//     re-enables caching.
+//
+// Reconnection is per-address with exponential backoff. The feed never
+// fails permanently: an edge outliving a backend restart resubscribes
+// and resumes caching by itself.
+type EdgeFeed struct {
+	cache   *core.EdgeCache
+	addrs   []string
+	timeout time.Duration
+
+	// backoff bounds for the per-address reconnect loop; tests shrink
+	// them.
+	baseBackoff time.Duration
+	maxBackoff  time.Duration
+
+	connects    *obs.Counter
+	disconnects *obs.Counter
+	events      *obs.Counter
+
+	mu sync.Mutex
+	up map[string]bool
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewEdgeFeed builds (without starting) a feed that keeps cache attached
+// to the revocation streams of addrs. timeout is the per-connection
+// dial/subscribe budget. reg may be nil.
+func NewEdgeFeed(cache *core.EdgeCache, addrs []string, timeout time.Duration, reg *obs.Registry) *EdgeFeed {
+	return &EdgeFeed{
+		cache:       cache,
+		addrs:       append([]string(nil), addrs...),
+		timeout:     timeout,
+		baseBackoff: 100 * time.Millisecond,
+		maxBackoff:  5 * time.Second,
+		connects:    reg.Counter("gw_feed_connects_total"),
+		disconnects: reg.Counter("gw_feed_disconnects_total"),
+		events:      reg.Counter("gw_feed_events_total"),
+		up:          make(map[string]bool),
+		stop:        make(chan struct{}),
+	}
+}
+
+// Run starts the per-address subscription loops. Call once.
+func (f *EdgeFeed) Run() {
+	for _, addr := range f.addrs {
+		f.wg.Add(1)
+		go f.runAddr(addr)
+	}
+}
+
+// Close ends every subscription (tearing their dedicated connections
+// down, which runs the server-side stops) and leaves the cache detached.
+func (f *EdgeFeed) Close() {
+	f.stopOnce.Do(func() { close(f.stop) })
+	f.wg.Wait()
+	f.cache.Detach()
+}
+
+// runAddr is one address's connect → subscribe → wait → backoff loop.
+func (f *EdgeFeed) runAddr(addr string) {
+	defer f.wg.Done()
+	backoff := f.baseBackoff
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		st, cli, err := f.subscribe(addr)
+		if err != nil {
+			if !f.sleep(backoff) {
+				return
+			}
+			if backoff *= 2; backoff > f.maxBackoff {
+				backoff = f.maxBackoff
+			}
+			continue
+		}
+		backoff = f.baseBackoff
+		f.connects.Inc()
+		f.markUp(addr)
+		select {
+		case <-st.Done():
+			// Stream died under us: fail closed before reconnecting.
+			f.disconnects.Inc()
+			f.markDown(addr)
+			cli.Close()
+		case <-f.stop:
+			f.markDown(addr)
+			cli.Close()
+			return
+		}
+	}
+}
+
+// subscribe dials addr on a fresh single-connection client and opens the
+// event stream on it. Event payloads flow straight into the cache; a
+// payload that fails to decode is counted nowhere and ignored — the
+// cache stays safe because unseen events only ever mean a missed
+// invalidation for an entry the stream's death will flush anyway, and a
+// corrupt frame kills the connection at the rpc layer regardless.
+func (f *EdgeFeed) subscribe(addr string) (*rpc.ClientStream, *rpc.TCPClient, error) {
+	cli, err := rpc.DialTCP(addr, f.timeout)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := cli.Stream(event.FeedService, event.FeedMethod, nil, func(b []byte) {
+		ev, err := event.UnmarshalEvent(b)
+		if err != nil {
+			return
+		}
+		f.events.Inc()
+		f.cache.HandleEvent(ev)
+	})
+	if err != nil {
+		cli.Close()
+		return nil, nil, err
+	}
+	return st, cli, nil
+}
+
+// markUp records addr's stream as live; when that completes the set the
+// cache attaches (flushing first — anything filled while detached
+// predates full subscription coverage).
+func (f *EdgeFeed) markUp(addr string) {
+	f.mu.Lock()
+	f.up[addr] = true
+	all := len(f.up) == len(f.addrs)
+	f.mu.Unlock()
+	if all {
+		f.cache.Attach()
+	}
+}
+
+// markDown records addr's stream as dead and detaches the cache — one
+// missing subscription is enough to make any hit unsafe.
+func (f *EdgeFeed) markDown(addr string) {
+	f.mu.Lock()
+	wasUp := f.up[addr]
+	delete(f.up, addr)
+	f.mu.Unlock()
+	if wasUp {
+		f.cache.Detach()
+	}
+}
+
+// sleep waits d or until Close; false means the feed is stopping.
+func (f *EdgeFeed) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-f.stop:
+		return false
+	}
+}

@@ -1,0 +1,255 @@
+package gateway
+
+// End-to-end tests of the event-fed edge verdict cache: the full
+// cmd/oasisgw topology with caching on — HTTP -> gateway -> EdgeCache
+// -> pooled TCP -> core service, with an EdgeFeed subscribed to the
+// backend's revocation stream on a separate listener so the feed can be
+// severed without touching the validate path.
+
+import (
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/names"
+	"repro/internal/obs"
+	"repro/internal/policy"
+	"repro/internal/rpc"
+)
+
+// feedBackend is a backend with its revocation feed served on a second
+// listener, mirroring oasisd (one process, the feed stream registered
+// alongside the service) while letting tests kill the feed alone.
+type feedBackend struct {
+	svc      *core.Service
+	broker   *event.Broker
+	feed     *event.Feed
+	addr     string // validate/activate server
+	feedAddr string // subscribe_events server
+	feedSrv  *rpc.TCPServer
+}
+
+func startFeedBackend(t *testing.T) *feedBackend {
+	t.Helper()
+	broker := event.NewBroker()
+	t.Cleanup(broker.Close)
+	svc, err := core.NewService(core.Config{
+		Name:   "login",
+		Policy: policy.MustParse(`login.user <- env ok.`),
+		Broker: broker,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	svc.Env().Register("ok", func(args []names.Term, s names.Substitution) []names.Substitution {
+		return []names.Substitution{s.Clone()}
+	})
+
+	srv := rpc.NewTCPServer()
+	srv.Register("login", svc.Handler())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck // dies with the test server
+	t.Cleanup(srv.Close)
+
+	fb := &feedBackend{svc: svc, broker: broker, addr: ln.Addr().String()}
+	fb.feed = event.NewFeed(broker, 64)
+	t.Cleanup(fb.feed.Close)
+	fb.startFeedServer(t, "127.0.0.1:0")
+	return fb
+}
+
+// startFeedServer serves the subscribe_events stream on addr, exactly as
+// cmd/oasisd registers it.
+func (fb *feedBackend) startFeedServer(t *testing.T, addr string) {
+	t.Helper()
+	srv := rpc.NewTCPServer()
+	srv.RegisterStream(event.FeedService, event.FeedMethod,
+		func(method string, body []byte, send func([]byte) error) (func(), error) {
+			return fb.feed.Subscribe(send)
+		})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck // dies with the test server
+	t.Cleanup(srv.Close)
+	fb.feedSrv = srv
+	fb.feedAddr = ln.Addr().String()
+}
+
+// severFeed kills the feed listener and every live stream on it; the
+// validate path stays up.
+func (fb *feedBackend) severFeed() { fb.feedSrv.Close() }
+
+// restoreFeed rebinds the freed feed port so the edge's reconnect loop
+// finds the backend again at the address it was configured with.
+func (fb *feedBackend) restoreFeed(t *testing.T) { fb.startFeedServer(t, fb.feedAddr) }
+
+// cachedEdge is an edge with the verdict cache and its feed running.
+type cachedEdge struct {
+	*edge
+	cache *core.EdgeCache
+	feed  *EdgeFeed
+}
+
+func startCachedEdge(t *testing.T, fb *feedBackend) *cachedEdge {
+	t.Helper()
+	dir := rpc.NewDirectoryPool(5*time.Second, 2)
+	t.Cleanup(dir.Close)
+	dir.Add("login", fb.addr)
+	reg := obs.NewRegistry()
+	validator := core.NewRemoteValidator("edge", dir, 0, reg)
+	cache := core.NewEdgeCache(validator, 1024)
+	feed := NewEdgeFeed(cache, []string{fb.feedAddr}, 2*time.Second, reg)
+	feed.baseBackoff = 5 * time.Millisecond
+	feed.maxBackoff = 50 * time.Millisecond
+	feed.Run()
+	t.Cleanup(feed.Close)
+
+	gw, err := New(Config{
+		Caller:    dir,
+		Validator: validator,
+		Cache:     cache,
+		Services:  []string{"login"},
+		Obs:       reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(gw.Handler())
+	t.Cleanup(ts.Close)
+	return &cachedEdge{
+		edge:  &edge{gw: gw, validator: validator, reg: reg, url: ts.URL, client: ts.Client()},
+		cache: cache,
+		feed:  feed,
+	}
+}
+
+func waitForCache(t *testing.T, what string, cond func(core.EdgeCacheStats) bool, cache *core.EdgeCache) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond(cache.Stats()) {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s; cache stats %+v", what, cache.Stats())
+}
+
+// TestGatewayCacheKillTheCert is the kill-the-cert e2e: a cached verdict
+// must die by revocation event, not by TTL, and the next introspection
+// must be the issuer's authoritative refusal.
+func TestGatewayCacheKillTheCert(t *testing.T) {
+	fb := startFeedBackend(t)
+	e := startCachedEdge(t, fb)
+	waitForCache(t, "feed live", func(s core.EdgeCacheStats) bool { return s.Live }, e.cache)
+
+	rmc := activateAt(t, &backend{svc: fb.svc}, "alice-key")
+	req := ValidateRequest{Principal: "alice-key", RMC: &rmc}
+	var verdict ValidateResponse
+	for i := 0; i < 3; i++ {
+		if code := e.post(t, "/validate", req, &verdict); code != http.StatusOK || !verdict.Valid {
+			t.Fatalf("validate %d: status %d, verdict %+v", i, code, verdict)
+		}
+	}
+	if st := e.cache.Stats(); st.Misses != 1 || st.Hits != 2 {
+		t.Fatalf("cache stats after 3 validations = %+v, want 1 miss / 2 hits", st)
+	}
+	if e.reg.Value("gw_cache_hits_total") != 2 {
+		t.Errorf("gw_cache_hits_total = %d, want 2", e.reg.Value("gw_cache_hits_total"))
+	}
+
+	// Kill the cert at the issuer. No validate traffic flows; the verdict
+	// must die from the event alone.
+	fb.svc.Deactivate(rmc.Ref.Serial, "kill the cert")
+	waitForCache(t, "event invalidation",
+		func(s core.EdgeCacheStats) bool { return s.Invalidations >= 1 }, e.cache)
+
+	if code := e.post(t, "/validate", req, &verdict); code != http.StatusOK {
+		t.Fatalf("validate after revocation: status %d", code)
+	}
+	if verdict.Valid || verdict.Reason == "" {
+		t.Fatalf("revoked cert verdict = %+v, want authoritative refusal", verdict)
+	}
+	if st := e.cache.Stats(); st.Hits != 2 {
+		t.Errorf("revoked cert served from cache: %+v", st)
+	}
+}
+
+// TestGatewayCacheSubscriptionLossFlushes severs the feed mid-traffic: the
+// cache must fail closed — flush, stop hitting, answer from the issuer —
+// and a revocation missed during the outage must never surface as a stale
+// cached positive, before or after the feed reconnects.
+func TestGatewayCacheSubscriptionLossFlushes(t *testing.T) {
+	fb := startFeedBackend(t)
+	e := startCachedEdge(t, fb)
+	waitForCache(t, "feed live", func(s core.EdgeCacheStats) bool { return s.Live }, e.cache)
+
+	rmc := activateAt(t, &backend{svc: fb.svc}, "alice-key")
+	req := ValidateRequest{Principal: "alice-key", RMC: &rmc}
+	var verdict ValidateResponse
+	for i := 0; i < 2; i++ {
+		if code := e.post(t, "/validate", req, &verdict); code != http.StatusOK || !verdict.Valid {
+			t.Fatalf("warm-up validate %d: status %d, verdict %+v", i, code, verdict)
+		}
+	}
+	if st := e.cache.Stats(); st.Hits != 1 {
+		t.Fatalf("cache not serving before the cut: %+v", st)
+	}
+
+	fb.severFeed()
+	waitForCache(t, "detach on stream loss",
+		func(s core.EdgeCacheStats) bool { return !s.Live && s.Entries == 0 }, e.cache)
+
+	// Revoke while the feed is down: the event is lost, and must not
+	// matter — every validation now bypasses to the issuer.
+	fb.svc.Deactivate(rmc.Ref.Serial, "revoked during outage")
+	hitsBefore := e.cache.Stats().Hits
+	if code := e.post(t, "/validate", req, &verdict); code != http.StatusOK {
+		t.Fatalf("validate with feed down: status %d", code)
+	}
+	if verdict.Valid {
+		t.Fatal("stale cached positive served while the feed was down")
+	}
+	st := e.cache.Stats()
+	if st.Hits != hitsBefore || st.Bypassed == 0 {
+		t.Fatalf("feed-down validation did not bypass: %+v", st)
+	}
+
+	// A still-valid cert also answers from the issuer, uncached.
+	bob := activateAt(t, &backend{svc: fb.svc}, "bob-key")
+	bobReq := ValidateRequest{Principal: "bob-key", RMC: &bob}
+	if code := e.post(t, "/validate", bobReq, &verdict); code != http.StatusOK || !verdict.Valid {
+		t.Fatalf("feed-down validate of valid cert: status %d, verdict %+v", code, verdict)
+	}
+	if e.cache.Stats().Hits != hitsBefore {
+		t.Fatal("cache hit while detached")
+	}
+
+	// Reconnect: the feed loop finds the rebound port, resubscribes, and
+	// Attach flushes before re-enabling — the revoked cert stays refused.
+	fb.restoreFeed(t)
+	waitForCache(t, "reattach after reconnect",
+		func(s core.EdgeCacheStats) bool { return s.Live }, e.cache)
+	if code := e.post(t, "/validate", req, &verdict); code != http.StatusOK || verdict.Valid {
+		t.Fatalf("revoked cert after reconnect: status %d, verdict %+v", code, verdict)
+	}
+	// Caching resumes for live certificates.
+	for i := 0; i < 2; i++ {
+		if code := e.post(t, "/validate", bobReq, &verdict); code != http.StatusOK || !verdict.Valid {
+			t.Fatalf("post-reconnect validate %d: status %d, verdict %+v", i, code, verdict)
+		}
+	}
+	if e.cache.Stats().Hits <= hitsBefore {
+		t.Errorf("caching did not resume after reconnect: %+v", e.cache.Stats())
+	}
+}

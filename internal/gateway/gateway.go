@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -60,6 +61,13 @@ type Config struct {
 	// Validator coalesces /validate traffic into validate_batch
 	// flights. Required; build it over the same transport as Caller.
 	Validator *core.RemoteValidator
+	// Cache, when set, serves /validate through an event-invalidated
+	// EdgeCache wrapping Validator. The gateway only routes through it;
+	// lifecycle (Attach on subscription, Detach on stream loss) belongs
+	// to whoever owns the event feed (EdgeFeed in cmd/oasisgw, a direct
+	// broker tap in oasisd's embedded mode). Detached, the cache
+	// bypasses itself to the validator — PR 7 behavior.
+	Cache *core.EdgeCache
 	// Services names the backends this gateway fronts, for /healthz.
 	Services []string
 	// Breaker, when set, reports per-backend circuit state on /healthz.
@@ -87,6 +95,7 @@ type Config struct {
 type Gateway struct {
 	caller    rpc.Caller
 	validator *core.RemoteValidator
+	cache     *core.EdgeCache
 	services  []string
 	breaker   BreakerReporter
 
@@ -115,6 +124,7 @@ func New(cfg Config) (*Gateway, error) {
 	g := &Gateway{
 		caller:    cfg.Caller,
 		validator: cfg.Validator,
+		cache:     cfg.Cache,
 		services:  append([]string(nil), cfg.Services...),
 		breaker:   cfg.Breaker,
 		limiter:   newLimiter(cfg.RatePerSec, cfg.Burst, now),
@@ -130,6 +140,29 @@ func New(cfg Config) (*Gateway, error) {
 	g.inflightG = cfg.Obs.Gauge("gw_inflight")
 	g.dropOverload = cfg.Obs.Counter(`gw_admission_dropped_total{reason="overload"}`)
 	g.dropRate = cfg.Obs.Counter(`gw_admission_dropped_total{reason="ratelimit"}`)
+	if g.cache != nil && cfg.Obs != nil {
+		for _, m := range []struct {
+			name string
+			load func(core.EdgeCacheStats) uint64
+		}{
+			{"gw_cache_hits_total", func(s core.EdgeCacheStats) uint64 { return s.Hits }},
+			{"gw_cache_misses_total", func(s core.EdgeCacheStats) uint64 { return s.Misses }},
+			{"gw_cache_bypassed_total", func(s core.EdgeCacheStats) uint64 { return s.Bypassed }},
+			{"gw_cache_invalidations_total", func(s core.EdgeCacheStats) uint64 { return s.Invalidations }},
+			{"gw_cache_flushes_total", func(s core.EdgeCacheStats) uint64 { return s.Flushes }},
+			{"gw_cache_evictions_total", func(s core.EdgeCacheStats) uint64 { return s.Evictions }},
+			{"gw_cache_entries", func(s core.EdgeCacheStats) uint64 { return uint64(s.Entries) }},
+			{"gw_cache_live", func(s core.EdgeCacheStats) uint64 {
+				if s.Live {
+					return 1
+				}
+				return 0
+			}},
+		} {
+			load := m.load
+			cfg.Obs.Func(m.name, func() uint64 { return load(g.cache.Stats()) })
+		}
+	}
 	return g, nil
 }
 
@@ -256,13 +289,15 @@ func (g *Gateway) admit(w http.ResponseWriter, r *http.Request, run func() int) 
 }
 
 // ratelimit enforces the per-principal bucket; it reports whether the
-// request may proceed and writes the 429 if not.
+// request may proceed and writes the 429 if not. The Retry-After header
+// is computed from the key's actual token deficit, not a fixed guess.
 func (g *Gateway) ratelimit(w http.ResponseWriter, key string) (ok bool, code int) {
-	if g.limiter.allow(key) {
+	admitted, retryAfter := g.limiter.allow(key)
+	if admitted {
 		return true, 0
 	}
 	g.dropRate.Inc()
-	w.Header().Set("Retry-After", "1")
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 	return false, writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "rate limit exceeded for " + key})
 }
 
@@ -292,9 +327,14 @@ func (g *Gateway) handleValidate(w http.ResponseWriter, r *http.Request) int {
 		return code
 	}
 	var err error
-	if req.RMC != nil {
+	switch {
+	case g.cache != nil && req.RMC != nil:
+		err = g.cache.ValidateRMC(*req.RMC, req.Principal)
+	case g.cache != nil:
+		err = g.cache.ValidateAppointment(*req.Appointment)
+	case req.RMC != nil:
 		err = g.validator.ValidateRMC(*req.RMC, req.Principal)
-	} else {
+	default:
 		err = g.validator.ValidateAppointment(*req.Appointment)
 	}
 	switch {

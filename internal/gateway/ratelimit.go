@@ -2,6 +2,7 @@ package gateway
 
 import (
 	"hash/maphash"
+	"math"
 	"sync"
 	"time"
 )
@@ -16,15 +17,21 @@ const limiterShards = 16
 // honest or abusive — otherwise grows the map forever).
 const shardSweepSize = 8192
 
+// maxRetryAfterSec caps the computed Retry-After header: past a minute
+// the number stops being advice and starts being a lie (the client's
+// own bucket may refill from other traffic patterns first).
+const maxRetryAfterSec = 60
+
 // limiter is a sharded per-key token bucket: each key accrues rate
 // tokens per second up to burst, and a request spends one. A nil
 // limiter admits everything (rate limiting disabled).
 type limiter struct {
-	rate  float64
-	burst float64
-	now   func() time.Time
-	seed  maphash.Seed
-	shard [limiterShards]limiterShard
+	rate        float64
+	burst       float64
+	now         func() time.Time
+	seed        maphash.Seed
+	capPerShard int // sweep/evict threshold, shardSweepSize unless a test shrinks it
+	shard       [limiterShards]limiterShard
 }
 
 type limiterShard struct {
@@ -47,18 +54,20 @@ func newLimiter(rate float64, burst int, now func() time.Time) *limiter {
 	if burst < 1 {
 		burst = 1
 	}
-	l := &limiter{rate: rate, burst: float64(burst), now: now, seed: maphash.MakeSeed()}
+	l := &limiter{rate: rate, burst: float64(burst), now: now, seed: maphash.MakeSeed(), capPerShard: shardSweepSize}
 	for i := range l.shard {
 		l.shard[i].buckets = make(map[string]*bucket)
 	}
 	return l
 }
 
-// allow spends one token from key's bucket, reporting whether one was
-// available.
-func (l *limiter) allow(key string) bool {
+// allow spends one token from key's bucket. When no token is available
+// it reports how many whole seconds until one will be — the Retry-After
+// a client should honor — computed from the actual deficit, never a
+// hardcoded guess.
+func (l *limiter) allow(key string) (ok bool, retryAfter int) {
 	if l == nil {
-		return true
+		return true, 0
 	}
 	now := l.now()
 	s := &l.shard[maphash.String(l.seed, key)%limiterShards]
@@ -66,11 +75,17 @@ func (l *limiter) allow(key string) bool {
 	defer s.mu.Unlock()
 	b := s.buckets[key]
 	if b == nil {
-		if len(s.buckets) >= shardSweepSize {
-			l.sweep(s, now)
+		if len(s.buckets) >= l.capPerShard && l.sweep(s, now) == 0 {
+			// Nothing idle to reclaim: every resident bucket is mid-window.
+			// Evict the least recently touched one instead of growing the
+			// map without bound under a key-churn flood. That bucket's
+			// token deficit is forgotten — its key gets a fresh burst on
+			// return — which is the bounded-memory trade: the limiter
+			// stays O(capPerShard) even against an adversary minting keys.
+			l.evictLRU(s)
 		}
 		s.buckets[key] = &bucket{tokens: l.burst - 1, last: now}
-		return true
+		return true, 0
 	}
 	b.tokens += now.Sub(b.last).Seconds() * l.rate
 	if b.tokens > l.burst {
@@ -78,20 +93,55 @@ func (l *limiter) allow(key string) bool {
 	}
 	b.last = now
 	if b.tokens < 1 {
-		return false
+		return false, l.retryAfter(b.tokens)
 	}
 	b.tokens--
-	return true
+	return true, 0
+}
+
+// retryAfter converts a token deficit into whole seconds until one token
+// is available, clamped to [1, maxRetryAfterSec].
+func (l *limiter) retryAfter(tokens float64) int {
+	sec := int(math.Ceil((1 - tokens) / l.rate))
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > maxRetryAfterSec {
+		sec = maxRetryAfterSec
+	}
+	return sec
 }
 
 // sweep drops buckets idle long enough to have refilled completely —
 // indistinguishable from fresh ones, so forgetting them changes no
-// verdict. Called with the shard lock held.
-func (l *limiter) sweep(s *limiterShard, now time.Time) {
+// verdict — and reports how many it freed. Called with the shard lock
+// held.
+func (l *limiter) sweep(s *limiterShard, now time.Time) (freed int) {
 	idle := time.Duration(l.burst / l.rate * float64(time.Second))
 	for key, b := range s.buckets {
 		if now.Sub(b.last) >= idle {
 			delete(s.buckets, key)
+			freed++
 		}
+	}
+	return freed
+}
+
+// evictLRU removes the single least-recently-touched bucket. One pass
+// over the shard; called with the shard lock held, only when a sweep
+// freed nothing.
+func (l *limiter) evictLRU(s *limiterShard) {
+	var (
+		victim string
+		oldest time.Time
+		found  bool
+	)
+	for key, b := range s.buckets {
+		if !found || b.last.Before(oldest) {
+			victim, oldest, found = key, b.last, true
+		}
+	}
+	if found {
+		delete(s.buckets, victim)
 	}
 }

@@ -2,6 +2,7 @@ package gateway
 
 import (
 	"fmt"
+	"hash/maphash"
 	"testing"
 	"time"
 )
@@ -12,37 +13,44 @@ type fakeClock struct{ t time.Time }
 func (c *fakeClock) now() time.Time          { return c.t }
 func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
 
+// admit strips the Retry-After value for tests that only care about the
+// verdict.
+func admit(l *limiter, key string) bool {
+	ok, _ := l.allow(key)
+	return ok
+}
+
 func TestLimiterBurstAndRefill(t *testing.T) {
 	clk := &fakeClock{t: time.Unix(1000, 0)}
 	l := newLimiter(2, 3, clk.now) // 2 req/s sustained, bursts of 3
 
 	for i := 0; i < 3; i++ {
-		if !l.allow("alice") {
+		if !admit(l, "alice") {
 			t.Fatalf("burst request %d refused", i)
 		}
 	}
-	if l.allow("alice") {
+	if admit(l, "alice") {
 		t.Fatal("request past the burst admitted")
 	}
-	if !l.allow("bob") {
+	if !admit(l, "bob") {
 		t.Fatal("independent key refused by alice's empty bucket")
 	}
 
 	clk.advance(500 * time.Millisecond) // refills one token at 2/s
-	if !l.allow("alice") {
+	if !admit(l, "alice") {
 		t.Fatal("refilled token refused")
 	}
-	if l.allow("alice") {
+	if admit(l, "alice") {
 		t.Fatal("second request on a single refilled token admitted")
 	}
 
 	clk.advance(time.Hour) // refill caps at burst, not rate*hours
 	for i := 0; i < 3; i++ {
-		if !l.allow("alice") {
+		if !admit(l, "alice") {
 			t.Fatalf("post-idle burst request %d refused", i)
 		}
 	}
-	if l.allow("alice") {
+	if admit(l, "alice") {
 		t.Fatal("idle accrual exceeded the burst cap")
 	}
 }
@@ -52,13 +60,43 @@ func TestLimiterDisabledAndMinimumBurst(t *testing.T) {
 		t.Error("rate 0 should disable the limiter")
 	}
 	var nilLimiter *limiter
-	if !nilLimiter.allow("anyone") {
+	if !admit(nilLimiter, "anyone") {
 		t.Error("nil limiter must admit everything")
 	}
 	clk := &fakeClock{t: time.Unix(1000, 0)}
 	l := newLimiter(1, 0, clk.now) // burst raised to 1
-	if !l.allow("k") {
+	if !admit(l, "k") {
 		t.Error("burst<1 must still admit a conforming key")
+	}
+}
+
+func TestLimiterRetryAfterComputed(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	l := newLimiter(0.5, 1, clk.now) // one token per 2s
+
+	if !admit(l, "k") {
+		t.Fatal("first request refused")
+	}
+	ok, retry := l.allow("k")
+	if ok {
+		t.Fatal("empty bucket admitted")
+	}
+	if retry != 2 { // deficit 1 token at 0.5/s = 2s
+		t.Errorf("Retry-After = %d, want 2", retry)
+	}
+
+	clk.advance(time.Second) // half a token accrued
+	if ok, retry = l.allow("k"); ok || retry != 1 {
+		t.Errorf("after 1s: ok=%v retry=%d, want refused with Retry-After 1", ok, retry)
+	}
+
+	// A very slow bucket's advice is clamped, not absurd.
+	slow := newLimiter(0.001, 1, clk.now)
+	if !admit(slow, "k") {
+		t.Fatal("slow bucket's burst refused")
+	}
+	if _, retry = slow.allow("k"); retry != maxRetryAfterSec {
+		t.Errorf("slow-bucket Retry-After = %d, want clamp to %d", retry, maxRetryAfterSec)
 	}
 }
 
@@ -70,7 +108,7 @@ func TestLimiterSweepBoundsMemory(t *testing.T) {
 	// churn), advancing the clock so earlier buckets go idle.
 	const keys = limiterShards*shardSweepSize + 4096
 	for i := 0; i < keys; i++ {
-		l.allow(fmt.Sprintf("key-%d", i))
+		admit(l, fmt.Sprintf("key-%d", i))
 		if i%1024 == 0 {
 			clk.advance(20 * time.Millisecond)
 		}
@@ -83,5 +121,68 @@ func TestLimiterSweepBoundsMemory(t *testing.T) {
 	}
 	if total > limiterShards*shardSweepSize+limiterShards {
 		t.Errorf("%d buckets retained across %d keys; the sweep is not bounding memory", total, keys)
+	}
+}
+
+// sameShardKeys finds n distinct keys that l hashes into one shard, so a
+// test can exercise per-shard behavior deterministically.
+func sameShardKeys(l *limiter, n int) []string {
+	want := maphash.String(l.seed, "seed-key") % limiterShards
+	keys := []string{"seed-key"}
+	for i := 0; len(keys) < n; i++ {
+		k := fmt.Sprintf("probe-%d", i)
+		if maphash.String(l.seed, k)%limiterShards == want {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+func TestLimiterEvictsLRUWhenSweepFreesNothing(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	l := newLimiter(1, 60, clk.now) // idle horizon 60s: nothing sweeps below
+	l.capPerShard = 3
+	keys := sameShardKeys(l, 4)
+	shard := &l.shard[maphash.String(l.seed, keys[0])%limiterShards]
+
+	// Insert three buckets at distinct times; keys[0] ends up oldest.
+	for _, k := range keys[:3] {
+		admit(l, k)
+		clk.advance(10 * time.Millisecond)
+	}
+	// Fourth key at the cap: the sweep finds nothing idle, so the LRU
+	// bucket must go — the map may not grow past the cap.
+	if !admit(l, keys[3]) {
+		t.Fatal("insert at cap refused")
+	}
+	shard.mu.Lock()
+	defer shard.mu.Unlock()
+	if len(shard.buckets) != 3 {
+		t.Fatalf("shard holds %d buckets past capPerShard=3", len(shard.buckets))
+	}
+	if _, ok := shard.buckets[keys[0]]; ok {
+		t.Error("oldest bucket survived LRU eviction")
+	}
+	for _, k := range keys[1:] {
+		if _, ok := shard.buckets[k]; !ok {
+			t.Errorf("bucket %q missing; LRU evicted the wrong victim", k)
+		}
+	}
+}
+
+func TestLimiterStaysBoundedUnderKeyFlood(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	l := newLimiter(1, 60, clk.now) // nothing ever goes idle in this test
+	l.capPerShard = 8
+	for i := 0; i < 4096; i++ {
+		admit(l, fmt.Sprintf("flood-%d", i))
+	}
+	for i := range l.shard {
+		l.shard[i].mu.Lock()
+		n := len(l.shard[i].buckets)
+		l.shard[i].mu.Unlock()
+		if n > l.capPerShard {
+			t.Fatalf("shard %d grew to %d buckets, cap %d", i, n, l.capPerShard)
+		}
 	}
 }

@@ -33,7 +33,7 @@ import (
 // directions:
 //
 //	u32  length   big-endian count of the bytes that follow (kind..crc)
-//	u8   kind     1 = request, 2 = response
+//	u8   kind     1 = request, 2 = response, 3 = event
 //	u64  id       big-endian request id
 //	...  payload  kind-specific (below)
 //	u32  crc      IEEE CRC-32 of kind..payload
@@ -41,6 +41,8 @@ import (
 // Request payload:  u16 len + service, u16 len + method, body (to crc).
 // Response payload: u8 flags (bit0 = error), data (to crc) — the handler
 // result body, or the error text when the flag is set.
+// Event payload:    opaque bytes, pushed server→client on a stream whose
+// id is the id of the subscribe request that opened it (see stream.go).
 const (
 	frameProtoByte   = 0x00 // discriminator: never the first byte of a gob stream
 	frameMagic0      = 'O'
@@ -48,6 +50,7 @@ const (
 	frameVersion     = 0x02
 	frameKindRequest = 0x01
 	frameKindRespons = 0x02
+	frameKindEvent   = 0x03
 	respFlagError    = 0x01
 
 	// frameEnvelope is the non-payload byte count covered by the length

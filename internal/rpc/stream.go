@@ -1,0 +1,275 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Server→client event streams over the protocol-v2 framing.
+//
+// A stream is opened by an ordinary request frame whose (service, method)
+// pair was registered with RegisterStream instead of Register. The server
+// runs the StreamHandler to set the subscription up, acknowledges with an
+// empty response frame (or an error response if setup failed), and from
+// then on pushes frameKindEvent frames carrying opaque payloads, all
+// tagged with the id of the opening request. Events share the
+// connection's single coalescing writer with ordinary responses, so a
+// stream never reorders or blocks concurrent calls on the same
+// connection beyond the usual write-queue backpressure.
+//
+// Lifecycle: the stream lives until the client closes it (tearing the
+// connection down — the edge feed dedicates a connection to its stream
+// precisely so Close is cheap and unambiguous) or the connection dies for
+// any reason, at which point the server invokes the handler's stop func.
+// There is no per-stream unsubscribe message: the intended consumers are
+// long-lived subscriptions whose teardown coincides with connection
+// teardown, and conflating the two keeps the wire protocol at exactly
+// one new frame kind.
+//
+// Ordering note: an event frame may legally arrive before the ack
+// response (the subscription is live from the moment the handler
+// returns). Clients register their event callback before sending the
+// opening request, so early events are delivered, not dropped.
+
+// ErrStreamUnsupported is returned by TCPClient.Stream when the pool slot
+// speaks the legacy gob protocol (v1), which has no event framing.
+var ErrStreamUnsupported = errors.New("rpc: event streams require protocol v2")
+
+// StreamHandler sets up one server-side stream subscription. It is called
+// on the connection's dispatch path with the opening request's method and
+// body (valid only until the handler returns — copy anything retained)
+// and a send func that pushes one event frame to the client. send is safe
+// for concurrent use and returns ErrConnBroken once the connection is
+// gone; the handler must arrange its own decoupling (e.g. a PeerQueue) if
+// its event source must never block on a slow client. On success the
+// handler returns a stop func, invoked exactly once when the stream ends.
+type StreamHandler func(method string, body []byte, send func([]byte) error) (stop func(), err error)
+
+// RegisterStream installs a stream handler for (service, method). Stream
+// registrations are keyed by both names and take priority over a Register
+// handler for the same service, for those two names only.
+func (s *TCPServer) RegisterStream(service, method string, h StreamHandler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.streams == nil {
+		s.streams = make(map[string]StreamHandler)
+	}
+	s.streams[service+"\x00"+method] = h
+}
+
+// streamHandler looks up a stream registration; nil means (service,
+// method) dispatches as an ordinary call.
+func (s *TCPServer) streamHandler(service, method string) StreamHandler {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.streams[service+"\x00"+method]
+}
+
+// connStreams tracks the live streams of one server connection so
+// teardown can run every stop func exactly once, even against a
+// concurrent setup racing the connection's death.
+type connStreams struct {
+	mu     sync.Mutex
+	stops  map[uint64]func()
+	closed bool
+}
+
+// add registers a stream's stop func; false means the connection is
+// already tearing down and the caller must invoke stop itself.
+func (c *connStreams) add(id uint64, stop func()) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return false
+	}
+	if c.stops == nil {
+		c.stops = make(map[uint64]func())
+	}
+	c.stops[id] = stop
+	return true
+}
+
+// stopAll ends every live stream and refuses later adds. Runs after the
+// connection's dispatch goroutines drained but while its writer is still
+// alive, so a stop func may flush queued events without deadlocking.
+func (c *connStreams) stopAll() {
+	c.mu.Lock()
+	c.closed = true
+	stops := c.stops
+	c.stops = nil
+	c.mu.Unlock()
+	for _, stop := range stops {
+		stop()
+	}
+}
+
+// startStream runs one stream setup on the server: invoke the handler,
+// register the stop func, acknowledge. Runs on a dispatch goroutine of
+// serveBinary under the connection's inflight/sem accounting.
+func (s *TCPServer) startStream(id uint64, h StreamHandler, method string, body []byte, writeCh chan<- []byte, done <-chan struct{}, cs *connStreams) {
+	send := func(payload []byte) error {
+		frame := appendFrame(getFrameBuf(), frameKindEvent, id, payload)
+		select {
+		case writeCh <- frame:
+			return nil
+		case <-done:
+			putFrameBuf(frame)
+			return ErrConnBroken
+		}
+	}
+	stop, err := h(method, body, send)
+	if err != nil {
+		frame := appendResponseFrame(getFrameBuf(), id, err.Error(), nil)
+		select {
+		case writeCh <- frame:
+		case <-done:
+			putFrameBuf(frame)
+		}
+		return
+	}
+	if !cs.add(id, stop) {
+		// The connection died between dispatch and registration; the
+		// teardown sweep can no longer see this stream, so end it here.
+		stop()
+		return
+	}
+	frame := appendResponseFrame(getFrameBuf(), id, "", nil)
+	select {
+	case writeCh <- frame:
+	case <-done:
+		putFrameBuf(frame)
+	}
+}
+
+// ClientStream is the client handle of one open event stream. Events are
+// delivered to the onEvent callback passed to TCPClient.Stream,
+// synchronously on the connection's read loop — the callback must be
+// fast and must not call back into the client, and the payload slice is
+// owned by the callback (freshly allocated per frame).
+type ClientStream struct {
+	onEvent func([]byte)
+
+	mu      sync.Mutex
+	err     error
+	done    chan struct{}
+	once    sync.Once
+	closeFn func()
+}
+
+// Done is closed when the stream ends, by either side.
+func (cs *ClientStream) Done() <-chan struct{} { return cs.done }
+
+// Err reports why the stream ended: nil after a local Close,
+// ErrConnBroken when the connection died under it. Valid after Done.
+func (cs *ClientStream) Err() error {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.err
+}
+
+// Close ends the stream locally: events stop being delivered immediately.
+// The server-side stop func runs when the connection tears down — callers
+// that want prompt server-side cleanup close the owning TCPClient (the
+// edge feed dedicates a client to its stream for exactly this reason).
+func (cs *ClientStream) Close() {
+	cs.closeFn()
+	cs.finish(nil)
+}
+
+func (cs *ClientStream) finish(err error) {
+	cs.once.Do(func() {
+		cs.mu.Lock()
+		cs.err = err
+		cs.mu.Unlock()
+		close(cs.done)
+	})
+}
+
+// Stream opens an event stream for (service, method) on one pooled
+// connection and delivers every event payload to onEvent (see
+// ClientStream for the callback contract). The call blocks until the
+// server acknowledges the subscription (bounded by the client's per-call
+// timeout); setup errors surface as RemoteError exactly like a failed
+// call. Requires protocol v2 — legacy gob pool slots return
+// ErrStreamUnsupported.
+func (c *TCPClient) Stream(service, method string, body []byte, onEvent func([]byte)) (*ClientStream, error) {
+	if c.closed.Load() {
+		return nil, fmt.Errorf("stream %s.%s on closed client: %w", service, method, ErrConnBroken)
+	}
+	p := c.pool[c.next.Add(1)%uint64(len(c.pool))]
+	m, ok := p.(*muxConn)
+	if !ok {
+		return nil, fmt.Errorf("stream %s.%s: %w", service, method, ErrStreamUnsupported)
+	}
+	return m.stream(service, method, body, onEvent)
+}
+
+func (m *muxConn) stream(service, method string, body []byte, onEvent func([]byte)) (*ClientStream, error) {
+	m.mu.Lock()
+	st := m.cur
+	if st == nil {
+		var err error
+		st, err = m.redialLocked()
+		if err != nil {
+			m.mu.Unlock()
+			return nil, err
+		}
+	}
+	id := m.cli.nextID.Add(1)
+	ch := make(chan muxResult, 1)
+	st.pending[id] = ch
+	cs := &ClientStream{onEvent: onEvent, done: make(chan struct{})}
+	cs.closeFn = func() {
+		m.mu.Lock()
+		if st.streams != nil {
+			delete(st.streams, id)
+		}
+		m.mu.Unlock()
+	}
+	if st.streams == nil {
+		st.streams = make(map[uint64]*ClientStream)
+	}
+	st.streams[id] = cs
+	m.mu.Unlock()
+
+	deregister := func() {
+		m.mu.Lock()
+		delete(st.pending, id)
+		if st.streams != nil {
+			delete(st.streams, id)
+		}
+		m.mu.Unlock()
+	}
+
+	frame := appendRequestFrame(getFrameBuf(), id, service, method, body)
+	select {
+	case st.writeCh <- frame:
+	case <-st.done:
+		deregister()
+		return nil, fmt.Errorf("send %s.%s: %w", service, method, ErrConnBroken)
+	}
+
+	var timeoutCh <-chan time.Time
+	if t := m.cli.timeout; t > 0 {
+		timer := time.NewTimer(t)
+		defer timer.Stop()
+		timeoutCh = timer.C
+	}
+	select {
+	case res := <-ch:
+		if res.broken {
+			// fail(st) already finished cs with ErrConnBroken.
+			return nil, fmt.Errorf("subscribe %s.%s: %w", service, method, ErrConnBroken)
+		}
+		if res.isErr {
+			deregister()
+			return nil, &RemoteError{Service: service, Method: method, Msg: res.errMsg}
+		}
+		return cs, nil
+	case <-timeoutCh:
+		deregister()
+		return nil, fmt.Errorf("%s.%s after %v: %w", service, method, m.cli.timeout, ErrCallTimeout)
+	}
+}

@@ -130,6 +130,7 @@ func runFrameWriter(conn net.Conn, writeCh <-chan []byte, done <-chan struct{}, 
 type TCPServer struct {
 	mu       sync.RWMutex
 	handlers map[string]Handler
+	streams  map[string]StreamHandler // keyed service+"\x00"+method; see stream.go
 	ln       net.Listener
 	wg       sync.WaitGroup
 	closed   bool
@@ -250,6 +251,12 @@ func (s *TCPServer) serveBinary(conn net.Conn, br *bufio.Reader) {
 	var closeOnce sync.Once
 	stop := func() { closeOnce.Do(func() { close(done) }) }
 	defer stop()
+	// Stream teardown runs after the dispatch goroutines drain (a racing
+	// setup must have registered or self-stopped) but before the writer
+	// stops, so a stop func can still flush queued events (defers below
+	// run LIFO).
+	var streams connStreams
+	defer streams.stopAll()
 	go runFrameWriter(conn, writeCh, done, &s.metrics, stop)
 
 	var inflight sync.WaitGroup
@@ -263,6 +270,16 @@ func (s *TCPServer) serveBinary(conn net.Conn, br *bufio.Reader) {
 		service, method, body, err := parseRequest(payload)
 		if err != nil {
 			return
+		}
+		if sh := s.streamHandler(service, method); sh != nil {
+			sem <- struct{}{}
+			inflight.Add(1)
+			go func(id uint64, method string, body, reqFrame []byte) {
+				defer func() { <-sem; inflight.Done() }()
+				s.startStream(id, sh, method, body, writeCh, done, &streams)
+				putFrameBuf(reqFrame)
+			}(id, method, body, reqFrame)
+			continue
 		}
 		sem <- struct{}{}
 		inflight.Add(1)
@@ -497,6 +514,7 @@ type muxStream struct {
 	done    chan struct{}
 	once    sync.Once
 	pending map[uint64]chan muxResult // guarded by the owning muxConn's mu
+	streams map[uint64]*ClientStream  // open event streams, same guard
 }
 
 // muxConn is one pool slot speaking protocol v2. conn state lives in cur;
@@ -566,9 +584,14 @@ func (m *muxConn) fail(st *muxStream) {
 	}
 	pend := st.pending
 	st.pending = nil
+	strs := st.streams
+	st.streams = nil
 	m.mu.Unlock()
 	for _, ch := range pend {
 		ch <- muxResult{broken: true}
+	}
+	for _, cs := range strs {
+		cs.finish(ErrConnBroken)
 	}
 }
 
@@ -580,7 +603,26 @@ func (m *muxConn) readLoop(st *muxStream, conn net.Conn) {
 	br := bufio.NewReaderSize(conn, wireBufSize)
 	for {
 		kind, id, payload, err := readFrame(br)
-		if err != nil || kind != frameKindRespons {
+		if err != nil {
+			m.fail(st)
+			return
+		}
+		if kind == frameKindEvent {
+			// Stream push: deliver synchronously on this loop (the
+			// ClientStream contract demands a fast, non-reentrant
+			// callback). The payload is freshly allocated per frame, so
+			// the callback owns it.
+			m.mu.Lock()
+			cs := st.streams[id]
+			m.mu.Unlock()
+			if cs == nil {
+				m.cli.metrics.unmatched.Load().Inc()
+				continue
+			}
+			cs.onEvent(payload)
+			continue
+		}
+		if kind != frameKindRespons {
 			m.fail(st)
 			return
 		}
