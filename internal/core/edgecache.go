@@ -38,7 +38,11 @@ import (
 //     epoch refuses to commit), so events missed while the feed was down
 //     can never leave a stale entry. With the feed down every validation
 //     bypasses the cache straight to the issuer — PR 7 behavior, paid as
-//     wire latency, never as staleness.
+//     wire latency, never as staleness. Losses while the feed is up are
+//     in-band: the server-side feed precedes the first event after any
+//     drop with a KindGap marker, which HandleEvent turns into the same
+//     full flush — so server-side backpressure can't silently widen the
+//     revocation window either.
 //   - Presentation fingerprint: cache keys are revocation topics (one
 //     per credential record) for O(1) event invalidation, but the edge
 //     never verifies signatures itself — so each entry stores a
@@ -138,13 +142,18 @@ func (c *EdgeCache) Flush() {
 }
 
 // HandleEvent consumes one feed event: revocations invalidate their
-// topic's entry. Safe to call from any goroutine (the stream read loop,
-// an in-process broker tap).
+// topic's entry, and a KindGap loss marker (the wire feed's in-band
+// signal that events were dropped between the broker and this edge)
+// flushes the whole cache — the stream is still live, but any entry
+// filled before the gap may have missed its revocation. Safe to call
+// from any goroutine (the stream read loop, an in-process broker tap).
 func (c *EdgeCache) HandleEvent(ev event.Event) {
-	if ev.Kind != event.KindRevoked {
-		return
+	switch ev.Kind {
+	case event.KindRevoked:
+		c.Invalidate(ev.Topic)
+	case event.KindGap:
+		c.Flush()
 	}
-	c.Invalidate(ev.Topic)
 }
 
 // Invalidate kills the cached verdict for one revocation topic. The

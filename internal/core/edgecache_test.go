@@ -154,6 +154,45 @@ func TestEdgeCacheDetachFlushesBeforeRefill(t *testing.T) {
 	}
 }
 
+// TestEdgeCacheGapMarkerFlushes: a KindGap loss marker (the feed's
+// in-band signal that events were dropped upstream while the stream
+// stayed live) must flush the whole cache without detaching it — the
+// next validation refills from the issuer, so a revocation lost in the
+// gap can never survive as a cached positive.
+func TestEdgeCacheGapMarkerFlushes(t *testing.T) {
+	e := newEdgeWorld(t, 0, nil)
+	e.ec.Attach()
+	rmc := e.activate(t, "alice-key")
+	for i := 0; i < 2; i++ {
+		if err := e.ec.ValidateRMC(rmc, "alice-key"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := e.ec.Stats(); st.Hits != 1 || st.Entries != 1 {
+		t.Fatalf("before gap: %+v, want 1 hit / 1 entry", st)
+	}
+
+	e.ec.HandleEvent(event.Event{Kind: event.KindGap, Reason: "feed overflow"})
+	st := e.ec.Stats()
+	if st.Entries != 0 {
+		t.Fatalf("after gap: %+v, want flushed", st)
+	}
+	if !st.Live {
+		t.Fatal("gap marker detached the cache; it must only flush")
+	}
+
+	// The next validation is an issuer round trip, then caching resumes.
+	for i := 0; i < 2; i++ {
+		if err := e.ec.ValidateRMC(rmc, "alice-key"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = e.ec.Stats()
+	if st.Misses != 2 || st.Hits != 2 || st.Bypassed != 0 {
+		t.Errorf("after gap refill: %+v, want a fresh miss then hits, no bypass", st)
+	}
+}
+
 // TestEdgeCacheFingerprintGuard: a hit requires the exact presentation.
 // The same certificate presented by a different principal must not ride
 // alice's cached verdict — the edge never verifies signatures, so the

@@ -28,6 +28,13 @@ const (
 	// KindChanged announces that environmental state referenced by a
 	// membership rule changed and must be re-checked.
 	KindChanged
+	// KindGap is a synthetic marker on an edge feed stream: events were
+	// lost between the broker and this subscriber (queue overflow under
+	// backpressure), so the subscriber can no longer assume it has seen
+	// every revocation. It is never published on broker topics — the
+	// Feed injects it directly into a subscriber's stream, and an
+	// EdgeCache receiving it must flush before trusting any entry again.
+	KindGap
 )
 
 // String names the kind for diagnostics.
@@ -39,6 +46,8 @@ func (k Kind) String() string {
 		return "heartbeat"
 	case KindChanged:
 		return "changed"
+	case KindGap:
+		return "gap"
 	default:
 		return "unknown"
 	}

@@ -2,6 +2,7 @@ package event
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
 )
@@ -10,13 +11,24 @@ import (
 // (oasisgw instances running an event-invalidated verdict cache). Each
 // subscriber gets its own PeerQueue between the broker tap and its wire
 // send, so a slow or stalled edge can never stall Publish — the queue
-// drops oldest under backpressure, which is safe for this consumer: an
-// edge that loses a revocation event must not have been promised
-// delivery, and the EdgeCache protocol treats any feed disturbance as
-// cause for a full flush (the drop counters below are how an operator
-// sees it happening).
+// drops oldest under backpressure.
 //
-// Only KindRevoked events are forwarded. That includes the heartbeat
+// A drop is a loss the edge cannot otherwise detect: the stream stays
+// live, so without a signal the EdgeCache would keep serving a cached
+// positive whose revocation was the dropped event. The feed therefore
+// makes every loss in-band: when a subscriber's queue overflows (or a
+// send fails while the stream may still be live), the next event
+// delivered to that subscriber is preceded by a synthetic KindGap
+// marker, which the EdgeCache treats as "flush everything before
+// trusting any entry again". The drop-notify hook runs under the
+// queue's mutex, before the worker can dequeue anything enqueued after
+// the drop, so the marker always reaches the edge before any post-gap
+// event — no stale positive can survive a drop. Overflow is guaranteed
+// to be followed by deliveries (a queue only drops when full), so the
+// marker is never stranded waiting for traffic.
+//
+// Only KindRevoked events are forwarded (plus the synthetic KindGap
+// markers above, which originate in the feed itself). That includes the heartbeat
 // monitor's synthetic revocations (issuer silence past the deadline
 // publishes KindRevoked on the affected credential topics), so an edge
 // subscriber inherits the same fail-safe liveness semantics as a local
@@ -38,6 +50,8 @@ type Feed struct {
 	broker   *Broker
 	queueCap int
 
+	gaps atomic.Uint64 // KindGap markers delivered to subscribers
+
 	mu      sync.Mutex
 	subs    map[*feedSub]struct{}
 	closed  bool
@@ -48,6 +62,7 @@ type feedSub struct {
 	q      *PeerQueue
 	cancel func()
 	once   sync.Once
+	gap    atomic.Bool // events lost since the last delivered marker
 }
 
 // NewFeed creates a feed on b. queueCap bounds each subscriber's backlog
@@ -65,12 +80,35 @@ func NewFeed(b *Broker, queueCap int) *Feed {
 func (f *Feed) Subscribe(send func([]byte) error) (stop func(), err error) {
 	sub := &feedSub{}
 	sub.q = NewPeerQueue(f.queueCap, func(ev Event) error {
+		// A pending gap marker departs before the event, so the edge
+		// flushes before it sees anything newer than the loss. If the
+		// marker itself fails to go out, the flag is restored and the
+		// next delivery retries it.
+		if sub.gap.Swap(false) {
+			gb, err := MarshalEvent(Event{Kind: KindGap, Reason: "edge feed overflow: events lost"})
+			if err == nil {
+				err = send(gb)
+			}
+			if err != nil {
+				sub.gap.Store(true)
+				return err
+			}
+			f.gaps.Add(1)
+		}
 		b, err := MarshalEvent(ev)
+		if err == nil {
+			err = send(b)
+		}
 		if err != nil {
+			// The event is lost; should the stream survive (send errors
+			// normally mean a dead connection, but that is the
+			// transport's business), the edge must flush first.
+			sub.gap.Store(true)
 			return err
 		}
-		return send(b)
+		return nil
 	})
+	sub.q.OnDrop(func(int) { sub.gap.Store(true) })
 	f.mu.Lock()
 	if f.closed {
 		f.mu.Unlock()
@@ -126,6 +164,7 @@ type FeedStats struct {
 	Forwarded   uint64 // events delivered to subscriber sends
 	Failed      uint64 // sends that returned an error
 	Dropped     uint64 // events evicted by subscriber backpressure
+	Gaps        uint64 // loss markers delivered after drops/failures
 }
 
 // Stats snapshots the feed's counters.
@@ -137,6 +176,7 @@ func (f *Feed) Stats() FeedStats {
 		Forwarded:   f.retired.Sent,
 		Failed:      f.retired.Failed,
 		Dropped:     f.retired.Dropped,
+		Gaps:        f.gaps.Load(),
 	}
 	for s := range f.subs {
 		qs := s.q.Stats()
@@ -149,7 +189,8 @@ func (f *Feed) Stats() FeedStats {
 
 // Instrument exposes the feed's gauges/counters
 // (event_feed_subscribers, event_feed_forwarded_total,
-// event_feed_dropped_total, event_feed_send_failures_total) in reg.
+// event_feed_dropped_total, event_feed_send_failures_total,
+// event_feed_gaps_total) in reg.
 func (f *Feed) Instrument(reg *obs.Registry) {
 	if reg == nil {
 		return
@@ -158,4 +199,5 @@ func (f *Feed) Instrument(reg *obs.Registry) {
 	reg.Func("event_feed_forwarded_total", func() uint64 { return f.Stats().Forwarded })
 	reg.Func("event_feed_dropped_total", func() uint64 { return f.Stats().Dropped })
 	reg.Func("event_feed_send_failures_total", func() uint64 { return f.Stats().Failed })
+	reg.Func("event_feed_gaps_total", f.gaps.Load)
 }

@@ -139,6 +139,70 @@ func TestFeedSlowSubscriberDoesNotStallPublish(t *testing.T) {
 	waitForFeed(t, "drops recorded", func() bool { return f.Stats().Dropped > 0 })
 }
 
+// TestFeedDropInjectsGapMarker pins the feed's loss protocol: when a
+// subscriber's queue overflows, the dropped revocation must not vanish
+// silently on a live stream — a KindGap marker must precede the next
+// delivered event so the edge flushes before trusting anything newer
+// than the loss.
+func TestFeedDropInjectsGapMarker(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	f := NewFeed(b, 1) // capacity 1: the third publish must drop the second
+	defer f.Close()
+
+	entered := make(chan struct{})
+	gate := make(chan struct{})
+	first := true // touched only by the queue's single worker
+	var mu sync.Mutex
+	var evs []Event
+	stop, err := f.Subscribe(func(bs []byte) error {
+		if first {
+			first = false
+			close(entered)
+			<-gate // hold the worker mid-send while the queue overflows
+		}
+		ev, err := UnmarshalEvent(bs)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		evs = append(evs, ev)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	if _, err := b.Publish(Event{Topic: "cr/x#1", Kind: KindRevoked, Subject: "1"}); err != nil {
+		t.Fatal(err)
+	}
+	<-entered // worker is now blocked sending #1; the queue buffer is empty
+	for _, s := range []string{"2", "3"} {
+		if _, err := b.Publish(Event{Topic: "cr/x#" + s, Kind: KindRevoked, Subject: s}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(gate)
+	b.Quiesce()
+
+	got := func() []Event {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]Event(nil), evs...)
+	}
+	waitForFeed(t, "post-drop delivery", func() bool { return len(got()) == 3 })
+	seq := got()
+	if seq[0].Subject != "1" || seq[1].Kind != KindGap || seq[2].Subject != "3" {
+		t.Fatalf("delivery order = %+v, want [#1, gap, #3]", seq)
+	}
+	st := f.Stats()
+	if st.Dropped != 1 || st.Gaps != 1 {
+		t.Errorf("stats = %+v, want 1 dropped / 1 gap marker", st)
+	}
+}
+
 func TestFeedCloseRefusesNewSubscribers(t *testing.T) {
 	b := NewBroker()
 	defer b.Close()

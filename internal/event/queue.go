@@ -21,6 +21,7 @@ import (
 type PeerQueue struct {
 	send     func(Event) error
 	capacity int
+	onDrop   func(n int) // nil unless set by OnDrop before traffic
 
 	mu     sync.Mutex
 	buf    []Event
@@ -59,6 +60,15 @@ func NewPeerQueue(capacity int, send func(Event) error) *PeerQueue {
 	return q
 }
 
+// OnDrop installs a callback invoked with the number of events evicted
+// by each drop-oldest overflow. It runs under the queue's mutex — before
+// the worker can dequeue anything enqueued after the drop — so a
+// consumer that turns drops into in-band loss markers (the edge feed's
+// gap protocol) is guaranteed the marker precedes every post-drop
+// event. The callback must be fast and must not call back into the
+// queue. Set it right after NewPeerQueue, before any Enqueue.
+func (q *PeerQueue) OnDrop(fn func(n int)) { q.onDrop = fn }
+
 // Instrument registers the queue's counters and depth gauge under the
 // peer's name (relay_* series) in reg.
 func (q *PeerQueue) Instrument(reg *obs.Registry, peer string) {
@@ -85,6 +95,9 @@ func (q *PeerQueue) Enqueue(ev Event) bool {
 	if drop := len(q.buf) + 1 - q.capacity; drop > 0 {
 		q.buf = q.buf[drop:]
 		q.dropped.Add(uint64(drop))
+		if q.onDrop != nil {
+			q.onDrop(drop)
+		}
 	}
 	q.buf = append(q.buf, ev)
 	q.mu.Unlock()

@@ -54,9 +54,20 @@ type EdgeFeed struct {
 // to the revocation streams of addrs. timeout is the per-connection
 // dial/subscribe budget. reg may be nil.
 func NewEdgeFeed(cache *core.EdgeCache, addrs []string, timeout time.Duration, reg *obs.Registry) *EdgeFeed {
+	// Deduplicate: the up-set is keyed by address, so a repeated address
+	// would make the all-streams-up count unreachable (and one of its
+	// loops would double-subscribe for no coverage gain).
+	uniq := make([]string, 0, len(addrs))
+	seen := make(map[string]bool, len(addrs))
+	for _, a := range addrs {
+		if !seen[a] {
+			seen[a] = true
+			uniq = append(uniq, a)
+		}
+	}
 	return &EdgeFeed{
 		cache:       cache,
-		addrs:       append([]string(nil), addrs...),
+		addrs:       uniq,
 		timeout:     timeout,
 		baseBackoff: 100 * time.Millisecond,
 		maxBackoff:  5 * time.Second,
@@ -150,24 +161,30 @@ func (f *EdgeFeed) subscribe(addr string) (*rpc.ClientStream, *rpc.TCPClient, er
 // markUp records addr's stream as live; when that completes the set the
 // cache attaches (flushing first — anything filled while detached
 // predates full subscription coverage).
+//
+// The up-set decision and the cache transition happen atomically under
+// f.mu: deciding "all up" and then attaching outside the lock would let
+// a concurrent markDown's Detach land in the window, after which the
+// delayed Attach would re-enable hits with a backend stream down.
+// EdgeCache never calls back into the feed, so holding f.mu across the
+// cache call cannot deadlock.
 func (f *EdgeFeed) markUp(addr string) {
 	f.mu.Lock()
+	defer f.mu.Unlock()
 	f.up[addr] = true
-	all := len(f.up) == len(f.addrs)
-	f.mu.Unlock()
-	if all {
+	if len(f.up) == len(f.addrs) {
 		f.cache.Attach()
 	}
 }
 
 // markDown records addr's stream as dead and detaches the cache — one
-// missing subscription is enough to make any hit unsafe.
+// missing subscription is enough to make any hit unsafe. Atomic under
+// f.mu for the same reason as markUp.
 func (f *EdgeFeed) markDown(addr string) {
 	f.mu.Lock()
-	wasUp := f.up[addr]
-	delete(f.up, addr)
-	f.mu.Unlock()
-	if wasUp {
+	defer f.mu.Unlock()
+	if f.up[addr] {
+		delete(f.up, addr)
 		f.cache.Detach()
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
@@ -143,6 +144,51 @@ func waitForCache(t *testing.T, what string, cond func(core.EdgeCacheStats) bool
 		time.Sleep(2 * time.Millisecond)
 	}
 	t.Fatalf("timed out waiting for %s; cache stats %+v", what, cache.Stats())
+}
+
+// TestEdgeFeedAttachDetachAtomic hammers the up/down transitions. They
+// used to decide "all streams up" under the lock but call Attach after
+// releasing it, so a concurrent markDown's Detach could land in the
+// window and be overtaken by the delayed Attach — hits re-enabled with a
+// backend stream down. Every goroutine ends on markDown, so once they
+// join the cache must not be live, whatever the interleaving was.
+func TestEdgeFeedAttachDetachAtomic(t *testing.T) {
+	cache := core.NewEdgeCache(nil, 0)
+	f := NewEdgeFeed(cache, []string{"a", "b"}, time.Second, nil)
+	f.markUp("a")
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				f.markUp("b")
+				f.markDown("b")
+			}
+		}()
+	}
+	wg.Wait()
+	if cache.Stats().Live {
+		t.Fatal("cache live after final markDown — an Attach overtook a Detach")
+	}
+	f.markUp("b")
+	if !cache.Stats().Live {
+		t.Fatal("cache not live with every stream up")
+	}
+}
+
+// TestEdgeFeedDedupesAddrs: a repeated backend address must not make the
+// all-streams-up count unreachable (the up-set is keyed by address).
+func TestEdgeFeedDedupesAddrs(t *testing.T) {
+	f := NewEdgeFeed(core.NewEdgeCache(nil, 0), []string{"a", "b", "a"}, time.Second, nil)
+	if len(f.addrs) != 2 {
+		t.Fatalf("addrs = %v, want deduplicated to 2", f.addrs)
+	}
+	f.markUp("a")
+	f.markUp("b")
+	if !f.cache.Stats().Live {
+		t.Fatal("cache not live with both unique addresses up")
+	}
 }
 
 // TestGatewayCacheKillTheCert is the kill-the-cert e2e: a cached verdict

@@ -33,7 +33,7 @@ import (
 // directions:
 //
 //	u32  length   big-endian count of the bytes that follow (kind..crc)
-//	u8   kind     1 = request, 2 = response, 3 = event
+//	u8   kind     1 = request, 2 = response, 3 = event, 4 = cancel
 //	u64  id       big-endian request id
 //	...  payload  kind-specific (below)
 //	u32  crc      IEEE CRC-32 of kind..payload
@@ -43,6 +43,8 @@ import (
 // result body, or the error text when the flag is set.
 // Event payload:    opaque bytes, pushed server→client on a stream whose
 // id is the id of the subscribe request that opened it (see stream.go).
+// Cancel payload:   empty, sent client→server to end the stream opened
+// by the request with the same id (unacknowledged; see stream.go).
 const (
 	frameProtoByte   = 0x00 // discriminator: never the first byte of a gob stream
 	frameMagic0      = 'O'
@@ -51,6 +53,7 @@ const (
 	frameKindRequest = 0x01
 	frameKindRespons = 0x02
 	frameKindEvent   = 0x03
+	frameKindCancel  = 0x04
 	respFlagError    = 0x01
 
 	// frameEnvelope is the non-payload byte count covered by the length

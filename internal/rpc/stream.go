@@ -19,14 +19,17 @@ import (
 // stream never reorders or blocks concurrent calls on the same
 // connection beyond the usual write-queue backpressure.
 //
-// Lifecycle: the stream lives until the client closes it (tearing the
-// connection down — the edge feed dedicates a connection to its stream
-// precisely so Close is cheap and unambiguous) or the connection dies for
-// any reason, at which point the server invokes the handler's stop func.
-// There is no per-stream unsubscribe message: the intended consumers are
-// long-lived subscriptions whose teardown coincides with connection
-// teardown, and conflating the two keeps the wire protocol at exactly
-// one new frame kind.
+// Lifecycle: the stream lives until the client closes it or the
+// connection dies for any reason, at which point the server invokes the
+// handler's stop func exactly once. ClientStream.Close (and a subscribe
+// abandoned by the per-call timeout) sends a frameKindCancel frame
+// carrying the stream's id, so the server ends that one subscription
+// promptly — without the cancel, an abandoned stream on a shared pooled
+// connection would keep encoding and pushing every event, all discarded
+// by the client demux as unmatched, until the whole connection died.
+// The cancel is fire-and-forget: no ack, and a cancel racing the
+// stream's setup is remembered so the subscription is stopped the
+// moment the handler returns it.
 //
 // Ordering note: an event frame may legally arrive before the ack
 // response (the subscription is live from the moment the handler
@@ -71,17 +74,23 @@ func (s *TCPServer) streamHandler(service, method string) StreamHandler {
 // teardown can run every stop func exactly once, even against a
 // concurrent setup racing the connection's death.
 type connStreams struct {
-	mu     sync.Mutex
-	stops  map[uint64]func()
-	closed bool
+	mu        sync.Mutex
+	stops     map[uint64]func()
+	cancelled map[uint64]struct{} // cancel frames that beat their stream's setup
+	closed    bool
 }
 
 // add registers a stream's stop func; false means the connection is
-// already tearing down and the caller must invoke stop itself.
+// already tearing down — or a cancel frame for this id already arrived —
+// and the caller must invoke stop itself.
 func (c *connStreams) add(id uint64, stop func()) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
+		return false
+	}
+	if _, ok := c.cancelled[id]; ok {
+		delete(c.cancelled, id)
 		return false
 	}
 	if c.stops == nil {
@@ -89,6 +98,37 @@ func (c *connStreams) add(id uint64, stop func()) bool {
 	}
 	c.stops[id] = stop
 	return true
+}
+
+// cancel ends the stream opened by request id: the returned stop func
+// (nil if there is nothing to stop) must be invoked by the caller, off
+// this lock. A cancel that raced ahead of its stream's setup (the open
+// request dispatches on its own goroutine, so the read loop can reach
+// the cancel frame first) is remembered, and add refuses the late
+// registration so startStream stops it immediately.
+func (c *connStreams) cancel(id uint64) (stop func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	if stop, ok := c.stops[id]; ok {
+		delete(c.stops, id)
+		return stop
+	}
+	if c.cancelled == nil {
+		c.cancelled = make(map[uint64]struct{})
+	}
+	c.cancelled[id] = struct{}{}
+	return nil
+}
+
+// forget discards a remembered early cancel for a stream whose setup
+// failed (no stop func will ever register under the id).
+func (c *connStreams) forget(id uint64) {
+	c.mu.Lock()
+	delete(c.cancelled, id)
+	c.mu.Unlock()
 }
 
 // stopAll ends every live stream and refuses later adds. Runs after the
@@ -121,6 +161,7 @@ func (s *TCPServer) startStream(id uint64, h StreamHandler, method string, body 
 	}
 	stop, err := h(method, body, send)
 	if err != nil {
+		cs.forget(id)
 		frame := appendResponseFrame(getFrameBuf(), id, err.Error(), nil)
 		select {
 		case writeCh <- frame:
@@ -130,8 +171,9 @@ func (s *TCPServer) startStream(id uint64, h StreamHandler, method string, body 
 		return
 	}
 	if !cs.add(id, stop) {
-		// The connection died between dispatch and registration; the
-		// teardown sweep can no longer see this stream, so end it here.
+		// The connection died — or the client's cancel frame arrived —
+		// between dispatch and registration; the teardown sweep and the
+		// cancel path can no longer see this stream, so end it here.
 		stop()
 		return
 	}
@@ -151,11 +193,12 @@ func (s *TCPServer) startStream(id uint64, h StreamHandler, method string, body 
 type ClientStream struct {
 	onEvent func([]byte)
 
-	mu      sync.Mutex
-	err     error
-	done    chan struct{}
-	once    sync.Once
-	closeFn func()
+	mu        sync.Mutex
+	err       error
+	done      chan struct{}
+	once      sync.Once
+	closeOnce sync.Once
+	closeFn   func()
 }
 
 // Done is closed when the stream ends, by either side.
@@ -169,12 +212,13 @@ func (cs *ClientStream) Err() error {
 	return cs.err
 }
 
-// Close ends the stream locally: events stop being delivered immediately.
-// The server-side stop func runs when the connection tears down — callers
-// that want prompt server-side cleanup close the owning TCPClient (the
-// edge feed dedicates a client to its stream for exactly this reason).
+// Close ends the stream: events stop being delivered immediately, and a
+// cancel frame is sent so the server stops the subscription promptly
+// instead of pushing discarded events until the connection dies. The
+// connection itself survives — Close is safe on a stream sharing a
+// pooled connection with ordinary calls.
 func (cs *ClientStream) Close() {
-	cs.closeFn()
+	cs.closeOnce.Do(cs.closeFn)
 	cs.finish(nil)
 }
 
@@ -220,6 +264,17 @@ func (m *muxConn) stream(service, method string, body []byte, onEvent func([]byt
 	id := m.cli.nextID.Add(1)
 	ch := make(chan muxResult, 1)
 	st.pending[id] = ch
+	// sendCancel tells the server to end this stream's subscription. Best
+	// effort: if the connection is already gone the server-side stop ran
+	// (or will run) with the connection teardown anyway.
+	sendCancel := func() {
+		frame := appendFrame(getFrameBuf(), frameKindCancel, id)
+		select {
+		case st.writeCh <- frame:
+		case <-st.done:
+			putFrameBuf(frame)
+		}
+	}
 	cs := &ClientStream{onEvent: onEvent, done: make(chan struct{})}
 	cs.closeFn = func() {
 		m.mu.Lock()
@@ -227,6 +282,7 @@ func (m *muxConn) stream(service, method string, body []byte, onEvent func([]byt
 			delete(st.streams, id)
 		}
 		m.mu.Unlock()
+		sendCancel()
 	}
 	if st.streams == nil {
 		st.streams = make(map[uint64]*ClientStream)
@@ -269,7 +325,12 @@ func (m *muxConn) stream(service, method string, body []byte, onEvent func([]byt
 		}
 		return cs, nil
 	case <-timeoutCh:
+		// The server may still establish the subscription after this
+		// deadline; the cancel frame ends it (immediately, or the moment
+		// its racing setup registers) so an abandoned stream never keeps
+		// pushing events at a client that stopped listening.
 		deregister()
+		sendCancel()
 		return nil, fmt.Errorf("%s.%s after %v: %w", service, method, m.cli.timeout, ErrCallTimeout)
 	}
 }

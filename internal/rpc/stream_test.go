@@ -148,6 +148,56 @@ func TestStreamLocalCloseStopsDelivery(t *testing.T) {
 	}
 }
 
+// TestStreamCloseStopsServerSubscription: Close must end the server-side
+// subscription promptly via the cancel frame — not leave it encoding and
+// pushing discarded events until the (possibly shared, pooled)
+// connection dies — while the connection itself stays usable.
+func TestStreamCloseStopsServerSubscription(t *testing.T) {
+	srv, addr := startServer(t)
+	var stopped atomic.Bool
+	srv.RegisterStream("feed", "subscribe", func(string, []byte, func([]byte) error) (func(), error) {
+		return func() { stopped.Store(true) }, nil
+	})
+	srv.Register("svc", func(string, []byte) ([]byte, error) { return nil, nil })
+	cli, err := DialTCP(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close() //nolint:errcheck
+	cs, _ := collectStream(t, cli, "feed", "subscribe", nil)
+	cs.Close()
+	cs.Close() // idempotent: one cancel frame, not two
+	waitFor(t, "server-side stop after Close", stopped.Load)
+	if _, err := cli.Call("svc", "ping", nil); err != nil {
+		t.Fatalf("connection unusable after stream close: %v", err)
+	}
+}
+
+// TestStreamTimeoutCancelsRacingSetup: a subscribe abandoned by the
+// per-call timeout sends its cancel before the slow server-side setup
+// completes; the subscription must be stopped the moment the handler
+// returns it instead of living on unobserved.
+func TestStreamTimeoutCancelsRacingSetup(t *testing.T) {
+	srv, addr := startServer(t)
+	release := make(chan struct{})
+	var stopped atomic.Bool
+	srv.RegisterStream("feed", "subscribe", func(string, []byte, func([]byte) error) (func(), error) {
+		<-release
+		return func() { stopped.Store(true) }, nil
+	})
+	cli, err := DialTCP(addr, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close() //nolint:errcheck
+	_, err = cli.Stream("feed", "subscribe", nil, func([]byte) {})
+	if !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("err = %v, want ErrCallTimeout", err)
+	}
+	close(release)
+	waitFor(t, "abandoned subscription stopped", stopped.Load)
+}
+
 func TestStreamSetupError(t *testing.T) {
 	srv, addr := startServer(t)
 	srv.RegisterStream("feed", "subscribe", func(string, []byte, func([]byte) error) (func(), error) {

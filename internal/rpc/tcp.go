@@ -264,7 +264,25 @@ func (s *TCPServer) serveBinary(conn net.Conn, br *bufio.Reader) {
 	sem := make(chan struct{}, maxInflightPerConn)
 	for {
 		kind, id, payload, reqFrame, err := readFrameInto(br, getFrameBuf())
-		if err != nil || kind != frameKindRequest {
+		if err != nil {
+			return
+		}
+		if kind == frameKindCancel {
+			// End the stream opened by request id. The stop func may
+			// block draining queued events, so it dispatches like a
+			// handler instead of stalling the read loop.
+			putFrameBuf(reqFrame)
+			if stop := streams.cancel(id); stop != nil {
+				sem <- struct{}{}
+				inflight.Add(1)
+				go func() {
+					defer func() { <-sem; inflight.Done() }()
+					stop()
+				}()
+			}
+			continue
+		}
+		if kind != frameKindRequest {
 			return
 		}
 		service, method, body, err := parseRequest(payload)
