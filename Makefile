@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench tables obs recover wire capacity capacity-quick gw edgecache examples cover clean
+.PHONY: all build vet lint test race bench tables obs recover wire capacity capacity-quick gw edgecache replication examples cover clean
 
 all: build vet test race capacity-quick
 
@@ -76,6 +76,14 @@ gw:
 # proving fail-closed behavior (BENCH_edgecache.json).
 edgecache:
 	$(GO) run ./cmd/benchtab -exp edgecache -edgecache-json BENCH_edgecache.json
+
+# E19: journal replication — a replica killed mid-revocation-burst loses
+# nothing once the replacement converges, aggregate validation reads
+# scale with replica count (3-node floor 2x single), and a severed
+# follower fails closed on reads (staleness bound) and writes (lease)
+# (BENCH_replication.json).
+replication:
+	$(GO) run ./cmd/benchtab -exp replication -replication-json BENCH_replication.json
 
 # Run all six runnable paper scenarios.
 examples:

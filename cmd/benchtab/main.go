@@ -10,6 +10,7 @@
 //
 // Experiment ids: fig1 fig2 fig3 fig4 fig5 auth sect5 sect6 baselines
 // soak parallel faults obs recover wire capacity gateway edgecache
+// replication
 package main
 
 import (
@@ -29,15 +30,16 @@ import (
 // faultsJSONPath does the same for the E12 fault-injection rows, and
 // obsJSONPath for the E13 observability-overhead rows.
 var (
-	jsonPath         string
-	faultsJSONPath   string
-	obsJSONPath      string
-	recoverJSONPath  string
-	wireJSONPath     string
-	capacityJSONPath  string
-	gatewayJSONPath   string
-	edgecacheJSONPath string
-	quick             bool
+	jsonPath            string
+	faultsJSONPath      string
+	obsJSONPath         string
+	recoverJSONPath     string
+	wireJSONPath        string
+	capacityJSONPath    string
+	gatewayJSONPath     string
+	edgecacheJSONPath   string
+	replicationJSONPath string
+	quick               bool
 )
 
 func main() {
@@ -51,6 +53,7 @@ func main() {
 	flag.StringVar(&capacityJSONPath, "capacity-json", "", "write million-principal capacity rows to this JSON file")
 	flag.StringVar(&gatewayJSONPath, "gateway-json", "", "write HTTP edge gateway rows to this JSON file")
 	flag.StringVar(&edgecacheJSONPath, "edgecache-json", "", "write edge verdict cache rows to this JSON file")
+	flag.StringVar(&replicationJSONPath, "replication-json", "", "write journal replication rows to this JSON file")
 	flag.BoolVar(&quick, "quick", false, "shrink sample counts and windows (CI smoke, not for published numbers)")
 	flag.Parse()
 	if err := run(*exp, *list); err != nil {
@@ -60,24 +63,25 @@ func main() {
 }
 
 var experimentsTable = map[string]func(*tabwriter.Writer) error{
-	"fig1":      runFig1,
-	"fig2":      runFig2,
-	"fig3":      runFig3,
-	"fig4":      runFig4,
-	"fig5":      runFig5,
-	"auth":      runAuth,
-	"sect5":     runSect5,
-	"sect6":     runSect6,
-	"baselines": runBaselines,
-	"soak":      runSoak,
-	"parallel":  runParallelScaling,
-	"faults":    runFaults,
-	"obs":       runObs,
-	"recover":   runRecover,
-	"wire":      runWire,
-	"capacity":  runCapacity,
-	"gateway":   runGateway,
-	"edgecache": runEdgecache,
+	"fig1":        runFig1,
+	"fig2":        runFig2,
+	"fig3":        runFig3,
+	"fig4":        runFig4,
+	"fig5":        runFig5,
+	"auth":        runAuth,
+	"sect5":       runSect5,
+	"sect6":       runSect6,
+	"baselines":   runBaselines,
+	"soak":        runSoak,
+	"parallel":    runParallelScaling,
+	"faults":      runFaults,
+	"obs":         runObs,
+	"recover":     runRecover,
+	"wire":        runWire,
+	"capacity":    runCapacity,
+	"gateway":     runGateway,
+	"edgecache":   runEdgecache,
+	"replication": runReplication,
 }
 
 func run(exp string, list bool) error {
@@ -593,6 +597,63 @@ func runCapacity(w *tabwriter.Writer) error {
 		return err
 	}
 	fmt.Fprintf(w, "(rows written to %s)\n", capacityJSONPath)
+	return nil
+}
+
+func runReplication(w *tabwriter.Writer) error {
+	// The failover burst and throughput windows shrink in quick mode;
+	// the staleness bound stays real time either way (it is the thing
+	// under test, not a sample count).
+	cfg := experiments.ReplicationConfig{
+		Credentials: 400,
+		Window:      1500 * time.Millisecond,
+		PerCall:     400 * time.Microsecond,
+		Workers:     6,
+	}
+	if quick {
+		cfg.Credentials, cfg.Window = 60, 200*time.Millisecond
+	}
+	res, err := experiments.RunReplication(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "== E19: journal replication — replica kill mid-burst, read scaling, fail-closed staleness ==")
+	fmt.Fprintln(w, "failover\tissued\trevoked\tkilled after\tlost (must be 0)\tfalse denials\treconverge\thash converged")
+	fmt.Fprintf(w, "\t%d\t%d\t%d\t%d\t%d\t%.1fms\t%v\n",
+		res.Failover.Issued, res.Failover.Revoked, res.Failover.KillAfter,
+		res.Failover.LostRevocations, res.Failover.FalseDenials,
+		res.Failover.ReconvergeMs, res.Failover.HashConverged)
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nnodes\tper-call µs\tworkers\tops\tops/sec")
+	for _, row := range res.Throughput {
+		fmt.Fprintf(w, "%d\t%.0f\t%d\t%d\t%.0f\n",
+			row.Nodes, row.PerCallUs, row.Workers, row.Ops, row.OpsPerSec)
+	}
+	fmt.Fprintf(w, "3-node / 1-node aggregate\t%.2fx (floor 2x)\n", res.ScaleX)
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nstaleness\tbound\tserved fresh\tsever -> refused\treads closed\twrites closed")
+	fmt.Fprintf(w, "\t%.0fms\t%d\t%.1fms\t%v\t%v\n",
+		res.Staleness.StaleAfterMs, res.Staleness.ServedFresh,
+		res.Staleness.SeverToStaleMs, res.Staleness.ReadFailClosed,
+		res.Staleness.WriteFailClosed)
+	if len(res.Violations) > 0 {
+		return fmt.Errorf("replication violations: %v", res.Violations)
+	}
+	if replicationJSONPath == "" {
+		return nil
+	}
+	out, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(replicationJSONPath, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "(rows written to %s)\n", replicationJSONPath)
 	return nil
 }
 

@@ -41,6 +41,7 @@ import (
 	"os/signal"
 	"sort"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -55,6 +56,7 @@ import (
 	"repro/internal/httpx"
 	"repro/internal/obs"
 	"repro/internal/policy"
+	"repro/internal/replica"
 	"repro/internal/rpc"
 	"repro/internal/sign"
 	"repro/internal/store"
@@ -113,6 +115,9 @@ func main() {
 		httpCMax  = flag.Int("http-cache-max", 65536, "bound the embedded gateway's verdict cache to this many entries (0 = unbounded)")
 		shutGr   = flag.Duration("shutdown-grace", defaultShutdownGrace, "force exit if shutdown has not drained within this long of the first signal")
 		stateDir = flag.String("state-dir", "", "journal issued credentials, appointments, facts and signing keys here; recovered on restart (empty = ephemeral)")
+		follow    = flag.String("follow", "", "run as a read replica of the oasisd at this address: replicate its journal, serve validation locally, proxy writes (excludes -svc and -state-dir)")
+		replStale = flag.Duration("repl-stale", 10*time.Second, "with -follow: refuse validation reads once the leader has been silent this long (fail closed)")
+		replLease = flag.Duration("repl-lease", 3*time.Second, "with -state-dir: write-proxy lease TTL granted to followers")
 		ecrMax   = flag.Int("ecr-cache-max", 0, "bound each service's ECR validation cache to this many entries, evicting cold verdicts (0 = unbounded)")
 		acBytes  = flag.Int64("auto-compact-bytes", 0, "live-compact the journal when the active generation exceeds this many bytes (0 = compact only at shutdown)")
 		acGarb   = flag.Int("auto-compact-garbage", 0, "live-compact the journal after this many superseding records (revocations, retractions; 0 = off)")
@@ -133,6 +138,7 @@ func main() {
 		revalidate: *revalidate, staleGrace: *staleGrace, heartbeat: *heartbeat,
 		batchWindow: *batchWin,
 		obsAddr:     *obsAddr, httpAddr: *httpAddr, stateDir: *stateDir,
+		follow: *follow, replStale: *replStale, replLease: *replLease,
 		httpCache: *httpCache, httpCacheMax: *httpCMax,
 		shutdownGrace: *shutGr,
 		ecrCacheMax:   *ecrMax, autoCompactBytes: *acBytes, autoCompactGarbage: *acGarb,
@@ -156,6 +162,14 @@ type daemonConfig struct {
 	obsAddr     string
 	httpAddr    string
 	stateDir    string
+
+	// follow runs this daemon as a read replica of the named leader;
+	// replStale bounds how stale its validation reads may get, and
+	// replLease is the write-proxy lease TTL a journaling daemon grants
+	// to its own followers.
+	follow    string
+	replStale time.Duration
+	replLease time.Duration
 
 	// httpCache enables the embedded gateway's event-invalidated verdict
 	// cache, fed by a direct tap on the local broker (always "attached":
@@ -181,8 +195,18 @@ type daemonConfig struct {
 func run(cfg daemonConfig) error {
 	addr, factsPath, civCount, node := cfg.addr, cfg.factsPath, cfg.civCount, cfg.node
 	svcs, peers, relayTo := cfg.svcs, cfg.peers, cfg.relayTo
-	if len(svcs) == 0 {
-		return fmt.Errorf("at least one -svc name=policyfile is required")
+	if cfg.follow != "" {
+		// A follower's services come from the leader's journal, and its
+		// durable state IS the leader's journal: hosting or journaling
+		// locally would fork the history it replicates.
+		if len(svcs) > 0 {
+			return fmt.Errorf("-follow cannot be combined with -svc: a replica's services come from the leader")
+		}
+		if cfg.stateDir != "" {
+			return fmt.Errorf("-follow cannot be combined with -state-dir: a replica's durable state is the leader's journal")
+		}
+	} else if len(svcs) == 0 {
+		return fmt.Errorf("at least one -svc name=policyfile is required (or -follow a leader)")
 	}
 	var records core.RecordStore
 	if civCount > 0 {
@@ -229,9 +253,10 @@ func run(cfg daemonConfig) error {
 		}
 		directory.Add(name, peerAddr)
 	}
-	// localNames is filled as services are created; the map is shared by
-	// reference with every copy of the caller handed to services.
-	localNames := make(map[string]bool)
+	// localNames is filled as services are created — at startup on a
+	// leader, at replication time on a follower (which is why it is a
+	// lock-guarded set rather than a bare map).
+	localNames := newNameSet()
 	caller := rpc.NewResilientCaller(
 		splitCaller{local: local, remote: directory, localNames: localNames},
 		rpc.ResilientConfig{CallTimeout: 10 * time.Second, Obs: reg, Trace: tracer},
@@ -320,6 +345,47 @@ func run(cfg daemonConfig) error {
 
 	server := rpc.NewTCPServer()
 	server.Instrument(reg)
+	if dlog != nil {
+		// Every journaling daemon is a potential leader: serve the
+		// journal as a replication stream and grant write-proxy leases.
+		ship := replica.NewShipper(replica.ShipperConfig{
+			Log: dlog, Node: node, LeaseTTL: cfg.replLease, Obs: reg,
+		})
+		ship.Register(server)
+		fmt.Printf("serving journal replication (%s/%s, lease %v)\n",
+			replica.Service, replica.MethodSubscribe, ship.LeaseTTL())
+	}
+	if cfg.follow != "" {
+		// Follower mode: replicate the leader's journal into local
+		// read-only services. Writes (and the replicated services' own
+		// callback validations to third parties) go through a caller
+		// that never loops back into this process.
+		directory.Add(replica.Service, cfg.follow)
+		leaderCaller := rpc.NewResilientCaller(directory,
+			rpc.ResilientConfig{CallTimeout: 10 * time.Second, Obs: reg, Trace: tracer})
+		follower, err := replica.NewFollower(replica.FollowerConfig{
+			Leader: cfg.follow,
+			Broker: broker,
+			Store:  db,
+			Caller: leaderCaller,
+			Register: func(name string, h rpc.Handler) {
+				directory.Add(name, cfg.follow)
+				local.Register(name, h)
+				server.Register(name, h)
+				localNames.add(name)
+				fmt.Printf("replicating service %s (validation local, writes proxied)\n", name)
+			},
+			StaleAfter:  cfg.replStale,
+			ECRCacheMax: cfg.ecrCacheMax,
+			Obs:         reg,
+		})
+		if err != nil {
+			return err
+		}
+		follower.Run()
+		defer follower.Close()
+		fmt.Printf("following leader %s (reads fail closed after %v of silence)\n", cfg.follow, cfg.replStale)
+	}
 	var hosted []*core.Service
 	for _, s := range svcs {
 		name, policyPath, ok := strings.Cut(s, "=")
@@ -408,7 +474,7 @@ func run(cfg daemonConfig) error {
 		local.Register(name, h)
 		server.Register(name, h)
 		hosted = append(hosted, svc)
-		localNames[name] = true
+		localNames.add(name)
 		fmt.Printf("hosting service %s (policy %s)\n", name, policyPath)
 	}
 
@@ -541,10 +607,7 @@ func run(cfg daemonConfig) error {
 	// mounted over this daemon's resilient caller so /validate coalesces
 	// into validate_batch flights and local services are reached in-process.
 	if cfg.httpAddr != "" {
-		var fronted []string
-		for name := range localNames {
-			fronted = append(fronted, name)
-		}
+		fronted := localNames.names()
 		for _, p := range peers {
 			if name, _, ok := strings.Cut(p, "="); ok {
 				fronted = append(fronted, name)
@@ -649,16 +712,48 @@ func awaitShutdown(sig <-chan os.Signal, serveErr <-chan error, stop func(), gra
 // eventsService names the relay endpoint a node exposes on its rpc server.
 func eventsService(node string) string { return "_events:" + node }
 
+// nameSet is a concurrency-safe string set: follower daemons add service
+// names as the replication stream materialises them, racing the callers
+// that consult the set.
+type nameSet struct {
+	mu sync.RWMutex
+	m  map[string]bool
+}
+
+func newNameSet() *nameSet { return &nameSet{m: make(map[string]bool)} }
+
+func (s *nameSet) add(name string) {
+	s.mu.Lock()
+	s.m[name] = true
+	s.mu.Unlock()
+}
+
+func (s *nameSet) has(name string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m[name]
+}
+
+func (s *nameSet) names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.m))
+	for n := range s.m {
+		out = append(out, n)
+	}
+	return out
+}
+
 // splitCaller routes calls to in-process services via the loopback and to
 // everything else via the TCP directory.
 type splitCaller struct {
 	local      *rpc.Loopback
 	remote     *rpc.Directory
-	localNames map[string]bool
+	localNames *nameSet
 }
 
 func (c splitCaller) Call(service, method string, body []byte) ([]byte, error) {
-	if c.localNames[service] {
+	if c.localNames.has(service) {
 		return c.local.Call(service, method, body)
 	}
 	return c.remote.Call(service, method, body)

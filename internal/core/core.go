@@ -46,6 +46,10 @@ var (
 	// ErrAppointmentDenied is returned when the presented credentials do
 	// not satisfy the appointer rule for the requested appointment kind.
 	ErrAppointmentDenied = errors.New("appointment denied")
+	// ErrReadOnly is returned by the wire handler of a read-only service
+	// (a follower replica) for the mutating methods; callers should
+	// retry against the leader.
+	ErrReadOnly = errors.New("service is a read-only replica")
 )
 
 // TopicCR is the event channel carrying revocation for one credential

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"repro/internal/event"
+)
+
+// TestReadOnlyHandlerRefusesWrites pins the follower-replica contract: a
+// read-only service's wire handler refuses every mutating method with
+// ErrReadOnly but keeps answering validation, and the non-wire mutation
+// APIs (what the replication applier uses) still work.
+func TestReadOnlyHandlerRefusesWrites(t *testing.T) {
+	b := event.NewBroker()
+	defer b.Close()
+	svc, err := NewService(Config{
+		Name:     "login",
+		Policy:   mustPolicy(`login.user <- env ok.`),
+		Broker:   b,
+		ReadOnly: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	alwaysTrue(svc, "ok")
+
+	sess, err := NewSession(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct API mutation (the replication applier's path) is allowed.
+	rmc, err := svc.Activate(sess.PrincipalID(), role("login", "user"), Presented{})
+	if err != nil {
+		t.Fatalf("direct Activate on read-only service: %v", err)
+	}
+
+	h := svc.Handler()
+
+	// Validation still serves.
+	body, err := json.Marshal(validateRMCRequest{RMC: rmc, Principal: sess.PrincipalID()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := h("validate_rmc", body)
+	if err != nil {
+		t.Fatalf("validate_rmc: %v", err)
+	}
+	var resp validateResponse
+	if err := json.Unmarshal(out, &resp); err != nil || !resp.Valid {
+		t.Fatalf("validate_rmc verdict = %s err=%v, want valid", out, err)
+	}
+
+	// Every wire mutation is refused.
+	for _, method := range []string{"activate", "invoke", "appoint", "revoke", "end_session"} {
+		if _, err := h(method, []byte(`{}`)); !errors.Is(err, ErrReadOnly) {
+			t.Errorf("%s on read-only service: err=%v, want ErrReadOnly", method, err)
+		}
+	}
+}

@@ -111,6 +111,15 @@ type Config struct {
 	// restored from the journal, so certificates issued before a crash
 	// still verify. Nil generates a fresh ring.
 	KeyRing *sign.KeyRing
+	// ReadOnly makes the wire handler refuse the mutating methods
+	// (activate, invoke, appoint, revoke, end_session) with ErrReadOnly.
+	// A follower replica (internal/replica) serves validation locally
+	// from replicated state but must never mint or revoke credentials
+	// itself — those belong to the leader, which the replica proxies to
+	// under its lease. Validation methods are unaffected, and the
+	// replication applier still mutates through the Restore*/Revoke APIs
+	// directly (they are not wire methods).
+	ReadOnly bool
 	// Obs, when set, registers the service's counters and latency
 	// histograms (activation, callback validation, revocation cascade)
 	// with the observability registry under a service label.
@@ -213,6 +222,7 @@ type Service struct {
 	cacheValidations bool
 	revalidateAfter  time.Duration
 	staleGrace       time.Duration
+	readOnly         bool
 	hb               *event.HeartbeatMonitor
 
 	records RecordStore
@@ -343,6 +353,7 @@ func NewService(cfg Config) (*Service, error) {
 		cacheValidations: cfg.CacheValidations,
 		revalidateAfter:  cfg.RevalidateAfter,
 		staleGrace:       cfg.StaleGrace,
+		readOnly:         cfg.ReadOnly,
 		hb:               cfg.Heartbeats,
 		envIndex:         make(map[string]map[uint64]struct{}),
 		appts:            make(map[uint64]*apptRecord),

@@ -574,6 +574,12 @@ func (s *Service) validateItemVerdict(it validateItem) validateResponse {
 // and old peers interoperate during a rolling upgrade.
 func (s *Service) Handler() func(method string, body []byte) ([]byte, error) {
 	return func(method string, body []byte) ([]byte, error) {
+		if s.readOnly {
+			switch method {
+			case "activate", "invoke", "appoint", "revoke", "end_session":
+				return nil, fmt.Errorf("%s %s: %w", s.name, method, ErrReadOnly)
+			}
+		}
 		switch method {
 		case "validate_rmc", "validate_appt":
 			if isBinaryBody(body) {

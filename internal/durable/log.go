@@ -103,14 +103,28 @@ type Log struct {
 	// flushMu serialises whole flushes — steal, encode, write — so racing
 	// flush callers (committer, Sync, Compact) can never write batches to
 	// the file in an order different from the one they were queued in. It
-	// also guards dirty and the reusable encode buffer.
-	flushMu  sync.Mutex
-	state    *State    // state replayed at Open; immutable afterwards
-	dirty    bool      // records flushed since Open (state no longer current)
-	wbuf     []byte    // reusable batch encode buffer
-	unsynced bool      // bytes written since the last fsync
-	lastSync time.Time // when the journal was last fsynced
-	garbage  int       // superseding records appended since the last compaction
+	// also guards the live mirror and the reusable encode buffer.
+	flushMu sync.Mutex
+	// state is the live mirror: replayed at Open, then kept current by
+	// flushSync applying every batch it writes. Compact snapshots it
+	// directly, so sealing a generation never re-reads the on-disk chain
+	// while appends wait.
+	state *State
+	// mirrorBroken records a write error that left the mirror's relation
+	// to the file unknown (a partial write may have committed a prefix of
+	// the batch). While set, Compact and Recovered fall back to replaying
+	// the chain from disk — the journal file stays the sole authority.
+	mirrorBroken bool
+	wbuf         []byte    // reusable batch encode buffer
+	unsynced     bool      // bytes written since the last fsync
+	lastSync     time.Time // when the journal was last fsynced
+	garbage      int       // superseding records appended since the last compaction
+
+	// compactMu serialises whole compactions. flushMu cannot: Compact
+	// releases it before the snapshot write so appends keep flowing, and
+	// two racing compactions (committer auto-trigger vs shutdown) would
+	// otherwise interleave their rotate and prune.
+	compactMu sync.Mutex
 
 	// ioMu guards the journal file, its size and the generation; it is
 	// only ever taken under flushMu or alone.
@@ -118,6 +132,16 @@ type Log struct {
 	f    *os.File
 	size int64
 	gen  uint64
+
+	// id and epoch are the journal identity (see Cursor); fixed at Open.
+	id    string
+	epoch uint64
+
+	// notifyMu guards the commit-notification registry; tailers park on
+	// their channel and are poked (non-blocking) after every batch write
+	// and rotation.
+	notifyMu sync.Mutex
+	notify   map[chan struct{}]struct{}
 
 	wake    chan struct{}
 	stop    chan struct{}
@@ -201,6 +225,16 @@ func Open(opts Options) (*Log, error) {
 // active journal generation for appending.
 func (l *Log) recover() error {
 	start := time.Now()
+	// A crash inside writeSnapshot leaves its temp file behind; nothing
+	// reads .tmp files, so recovery is where they get deleted.
+	if err := sweepTmp(l.dir); err != nil {
+		return err
+	}
+	id, epoch, err := loadIdentity(l.dir)
+	if err != nil {
+		return err
+	}
+	l.id, l.epoch = id, epoch
 	wals, snaps, err := listGens(l.dir)
 	if err != nil {
 		return err
@@ -323,13 +357,13 @@ func (l *Log) ReplayStats() ReplayStats { return l.replay }
 
 // Recovered returns a deep copy of the journaled state — the replayed
 // state plus anything appended since — for rebuilding services at boot.
-// At boot (nothing appended yet) this copies the replayed state; after
-// appends it re-reads the journal, which is the authority.
+// The live mirror answers directly; only after a write error (mirror and
+// file divorced) does it re-read the journal, which is the authority.
 func (l *Log) Recovered() (*State, error) {
 	l.flush() // everything queued must be on disk (or in the boot state)
 	l.flushMu.Lock()
 	defer l.flushMu.Unlock()
-	if l.dirty {
+	if l.mirrorBroken {
 		return readState(l.dir)
 	}
 	raw, err := json.Marshal(l.state)
@@ -477,11 +511,13 @@ func (l *Log) flushSync(force bool) {
 		payload, err := json.Marshal(batch[i].rec)
 		if err != nil { // no Record field fails to marshal; defensive
 			encErr = err
+			// Zero the record so the mirror apply below skips it too —
+			// mirror and file must agree on what was committed.
+			batch[i].rec = Record{}
 			continue
 		}
 		buf = appendFrame(buf, payload)
 	}
-	l.dirty = true
 	for i := range batch {
 		switch batch[i].rec.Op {
 		case OpCRRevoke, OpApptRevoke, OpFactRetract, OpKeys:
@@ -519,6 +555,18 @@ func (l *Log) flushSync(force bool) {
 		} else {
 			l.unsynced = true
 		}
+		// The write landed: fold the batch into the live mirror (an
+		// unencodable record was zeroed above and applies as a no-op) and
+		// wake journal tailers.
+		for i := range batch {
+			l.state.Apply(batch[i].rec)
+		}
+		l.notifyCommit()
+	} else {
+		// A partial write may have committed a prefix of the batch; the
+		// mirror can no longer claim to equal the file, so snapshot and
+		// restore paths fall back to replaying the chain from disk.
+		l.mirrorBroken = true
 	}
 
 	if err == nil {
@@ -606,30 +654,94 @@ func (l *Log) JournalSize() int64 {
 	return l.size
 }
 
+// Dir returns the journal directory, for tailers reading segments.
+func (l *Log) Dir() string { return l.dir }
+
+// ID returns the journal identity minted at the directory's first Open.
+func (l *Log) ID() string { return l.id }
+
+// Epoch counts Opens of this journal directory; it advances on every
+// recovery, invalidating tail cursors that may have read past a
+// truncated torn tail.
+func (l *Log) Epoch() uint64 { return l.epoch }
+
+// ActiveGen reports the generation currently being appended to and its
+// size. A tailer at the end of a lower generation knows that generation
+// is sealed and complete; a tailer at (gen, size) has consumed
+// everything committed so far.
+func (l *Log) ActiveGen() (gen uint64, size int64) {
+	l.ioMu.Lock()
+	defer l.ioMu.Unlock()
+	return l.gen, l.size
+}
+
+// NotifyCommit registers ch for a non-blocking poke after every batch
+// write and every rotation, so journal tailers wake without polling. Use
+// a buffered channel (capacity 1): the signal coalesces, it does not
+// count.
+func (l *Log) NotifyCommit(ch chan struct{}) {
+	l.notifyMu.Lock()
+	defer l.notifyMu.Unlock()
+	if l.notify == nil {
+		l.notify = make(map[chan struct{}]struct{})
+	}
+	l.notify[ch] = struct{}{}
+}
+
+// StopNotify deregisters ch.
+func (l *Log) StopNotify(ch chan struct{}) {
+	l.notifyMu.Lock()
+	defer l.notifyMu.Unlock()
+	delete(l.notify, ch)
+}
+
+func (l *Log) notifyCommit() {
+	l.notifyMu.Lock()
+	for ch := range l.notify {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	l.notifyMu.Unlock()
+}
+
 // Compact seals the current journal generation behind a snapshot: rotate
 // to a fresh generation, write the mirror as snap-<new gen>, then delete
 // the older generations the snapshot now covers. Every crash window is
 // safe: until the snapshot rename lands, recovery still sees the previous
 // snapshot plus the complete journal chain.
+//
+// Appends stall only for the rotate plus one in-memory encode of the
+// mirror: flushMu is released before the snapshot file is written and the
+// old generations pruned. (An earlier version held flushMu while
+// re-reading the entire on-disk chain and writing the snapshot, which
+// froze every append for the whole compaction — fatal once follower
+// catch-up traffic triggers compactions under load.)
 func (l *Log) Compact() error {
+	// compactMu serialises whole compactions; flushMu no longer can, and
+	// the committer's auto-trigger may race a shutdown Compact.
+	l.compactMu.Lock()
+	defer l.compactMu.Unlock()
+
 	l.flushSync(true) // queued records belong to the generation being sealed
 
-	// flushMu for the whole rotate-and-snapshot: concurrent flushes wait,
-	// so the state rebuilt below covers exactly what reached the sealed
+	// flushMu for rotate-and-encode: concurrent flushes wait, so the
+	// mirror encoded below covers exactly what reached the sealed
 	// generation (lock order flushMu -> ioMu matches flush).
 	l.flushMu.Lock()
-	defer l.flushMu.Unlock()
-
 	l.ioMu.Lock()
 	newGen := l.gen + 1
 	nf, err := os.OpenFile(filepath.Join(l.dir, walName(newGen)), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o600)
 	if err != nil {
 		l.ioMu.Unlock()
+		l.flushMu.Unlock()
 		return err
 	}
 	if err := syncDir(l.dir); err != nil {
 		nf.Close() //nolint:errcheck
 		l.ioMu.Unlock()
+		l.flushMu.Unlock()
 		return err
 	}
 	old := l.f
@@ -638,11 +750,30 @@ func (l *Log) Compact() error {
 	old.Close() //nolint:errcheck // fully flushed by the flush above
 	l.ioMu.Unlock()
 
-	st, err := readState(l.dir)
+	if l.mirrorBroken {
+		// A past write error divorced mirror and file; the chain on disk
+		// is the authority, so re-adopt it (the rare slow path — held
+		// under flushMu like the pre-mirror Compact always was).
+		st, rerr := readState(l.dir)
+		if rerr != nil {
+			l.flushMu.Unlock()
+			return rerr
+		}
+		l.state = st
+		l.mirrorBroken = false
+	}
+	payload, err := json.Marshal(l.state)
+	garbageSealed := l.garbage
+	l.flushMu.Unlock()
 	if err != nil {
 		return err
 	}
-	if err := writeSnapshot(l.dir, newGen, st); err != nil {
+	// The stall is over: appends flow into the fresh generation while the
+	// snapshot lands and old generations are pruned. Tailers parked at
+	// the sealed generation's EOF get woken to follow the rotation.
+	l.notifyCommit()
+
+	if err := writeSnapshotPayload(l.dir, newGen, payload); err != nil {
 		return err
 	}
 	l.snapshots.Inc()
@@ -661,9 +792,12 @@ func (l *Log) Compact() error {
 			os.Remove(filepath.Join(l.dir, snapName(gen))) //nolint:errcheck // best-effort GC
 		}
 	}
-	// Every superseding record so far is folded into the snapshot; the
-	// garbage trigger restarts from zero (flushMu is still held).
-	l.garbage = 0
+	// The superseding records encoded into the snapshot no longer count
+	// toward the garbage trigger; anything appended since the encode
+	// keeps counting.
+	l.flushMu.Lock()
+	l.garbage -= garbageSealed
+	l.flushMu.Unlock()
 	return nil
 }
 

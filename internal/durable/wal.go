@@ -161,6 +161,12 @@ func writeSnapshot(dir string, gen uint64, st *State) error {
 	if err != nil {
 		return fmt.Errorf("encode snapshot: %w", err)
 	}
+	return writeSnapshotPayload(dir, gen, payload)
+}
+
+// writeSnapshotPayload is writeSnapshot for an already-encoded state, so
+// Compact can marshal under its lock and do the disk work outside it.
+func writeSnapshotPayload(dir string, gen uint64, payload []byte) error {
 	buf := appendFrame(nil, payload)
 	tmp := filepath.Join(dir, snapName(gen)+".tmp")
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
@@ -203,6 +209,27 @@ func readSnapshot(dir string, gen uint64) (*State, error) {
 		return nil, fmt.Errorf("decode snapshot %s: %w", snapName(gen), err)
 	}
 	return st, nil
+}
+
+// sweepTmp removes leftover *.tmp files from dir. A crash between
+// writeSnapshot's temp-file create and its rename leaves snap-*.json.tmp
+// behind forever — listGens ignores the suffix, so nothing ever read it,
+// but nothing deleted it either and a crash-looping daemon would grow one
+// orphan per attempt. Recovery is the natural sweep point: any .tmp here
+// is by definition an abandoned write.
+func sweepTmp(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".tmp") {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // syncDir fsyncs a directory so recent creates/renames survive power loss.

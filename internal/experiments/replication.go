@@ -1,0 +1,532 @@
+package experiments
+
+// E19 — journal replication: read replicas fed by the leader's own
+// journal stream (internal/replica).
+//
+// Three sections:
+//
+//   - failover: a replica is killed in the middle of a revocation burst
+//     and a replacement attaches afterwards. The invariant is zero lost
+//     revocations — every serial the leader revoked must deny on the
+//     replacement once it converges, and its mirrored state must hash
+//     equal to a full replay of the leader's on-disk journal.
+//   - throughput: aggregate validation read throughput of one node vs a
+//     leader plus two followers. Per-node capacity is modeled with the
+//     same serializedDelay used by E17 (each call holds the node
+//     exclusively for a fixed cost), so the section measures protocol
+//     scaling rather than the host's core count.
+//   - staleness: the leader is severed and the follower must fail
+//     closed — reads refused (ErrStale) once the staleness bound
+//     passes, writes refused (ErrNoLease) once the lease expires.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"repro/internal/cert"
+	"repro/internal/core"
+	"repro/internal/durable"
+	"repro/internal/event"
+	"repro/internal/policy"
+	"repro/internal/replica"
+	"repro/internal/rpc"
+)
+
+// ReplicationConfig sizes one E19 run.
+type ReplicationConfig struct {
+	Credentials int           // failover population (half is revoked)
+	Window      time.Duration // throughput measurement window
+	PerCall     time.Duration // modeled exclusive per-node cost per validation
+	Workers     int           // concurrent clients in the throughput section
+	StaleAfter  time.Duration // follower staleness bound in the staleness section
+	LeaseTTL    time.Duration // leader lease TTL in the staleness section
+}
+
+// ReplFailover is the kill-mid-burst section: revocations lost to the
+// replica crash must be zero after the replacement converges.
+type ReplFailover struct {
+	Issued          int     `json:"issued"`
+	Revoked         int     `json:"revoked"`
+	KillAfter       int     `json:"kill_after"` // revocations applied before the replica died
+	LostRevocations int     `json:"lost_revocations"`
+	FalseDenials    int     `json:"false_denials"`
+	ReconvergeMs    float64 `json:"reconverge_ms"`
+	HashConverged   bool    `json:"hash_converged"`
+}
+
+// ReplThroughputRow is one cluster size in the read-scaling section.
+type ReplThroughputRow struct {
+	Nodes     int     `json:"nodes"`
+	PerCallUs float64 `json:"per_call_us"`
+	Workers   int     `json:"workers"`
+	Ops       int     `json:"ops"`
+	WindowMs  float64 `json:"window_ms"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// ReplStaleness is the fail-closed section after the leader dies.
+type ReplStaleness struct {
+	StaleAfterMs    float64 `json:"stale_after_ms"`
+	ServedFresh     int     `json:"served_fresh"` // reads answered between sever and the bound
+	SeverToStaleMs  float64 `json:"sever_to_stale_ms"`
+	ReadFailClosed  bool    `json:"read_fail_closed"`
+	WriteFailClosed bool    `json:"write_fail_closed"`
+}
+
+// ReplicationResult bundles every E19 row plus invariant violations.
+type ReplicationResult struct {
+	Failover   ReplFailover        `json:"failover"`
+	Throughput []ReplThroughputRow `json:"throughput"`
+	ScaleX     float64             `json:"scale_3x_over_1x"`
+	Staleness  ReplStaleness       `json:"staleness"`
+	Violations []string            `json:"violations,omitempty"`
+}
+
+// replLeader is a journaling oasisd-in-miniature: one service backed by
+// a durable log, a journal shipper, and a wire listener.
+type replLeader struct {
+	dir    string
+	log    *durable.Log
+	broker *event.Broker
+	svc    *core.Service
+	ship   *replica.Shipper
+	addr   string
+	stop   func()
+}
+
+func startReplLeader(leaseTTL time.Duration) (*replLeader, error) {
+	dir, err := os.MkdirTemp("", "e19-leader-*")
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*replLeader, error) {
+		os.RemoveAll(dir) //nolint:errcheck
+		return nil, err
+	}
+	dlog, err := durable.Open(durable.Options{Dir: dir, GroupWindow: -1, NoSync: true})
+	if err != nil {
+		return fail(err)
+	}
+	broker := event.NewBroker()
+	svc, err := core.NewService(core.Config{
+		Name:             "login",
+		Policy:           policy.MustParse(`login.user <- env ok.`),
+		Broker:           broker,
+		Journal:          dlog,
+		CacheValidations: true,
+	})
+	if err != nil {
+		broker.Close()
+		dlog.Close() //nolint:errcheck
+		return fail(err)
+	}
+	AlwaysTrue(svc, "ok")
+	secrets, retain := svc.ExportKeys()
+	if err := dlog.KeysInstalled("login", retain, secrets); err != nil {
+		svc.Close()
+		broker.Close()
+		dlog.Close() //nolint:errcheck
+		return fail(err)
+	}
+	ship := replica.NewShipper(replica.ShipperConfig{
+		Log: dlog, Node: "leader", LeaseTTL: leaseTTL, Heartbeat: 20 * time.Millisecond,
+	})
+	srv := rpc.NewTCPServer()
+	ship.Register(srv)
+	srv.Register("login", svc.Handler())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		svc.Close()
+		broker.Close()
+		dlog.Close() //nolint:errcheck
+		return fail(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck // dies with the experiment
+	l := &replLeader{dir: dir, log: dlog, broker: broker, svc: svc, ship: ship, addr: ln.Addr().String()}
+	l.stop = func() {
+		srv.Close()
+		svc.Close()
+		broker.Close()
+		dlog.Close()      //nolint:errcheck
+		os.RemoveAll(dir) //nolint:errcheck
+	}
+	return l, nil
+}
+
+func (l *replLeader) activate() (cert.RMC, string, error) {
+	sess := NewSession()
+	rmc, err := l.svc.Activate(sess.PrincipalID(), Role("login", "user"), core.Presented{})
+	return rmc, sess.PrincipalID(), err
+}
+
+// startReplFollower attaches a read replica to the leader and returns it
+// with its teardown.
+func startReplFollower(leaderAddr string, staleAfter time.Duration) (*replica.Follower, func(), error) {
+	broker := event.NewBroker()
+	pool := rpc.NewDirectoryPool(2*time.Second, 1)
+	pool.Add(replica.Service, leaderAddr)
+	pool.Add("login", leaderAddr)
+	f, err := replica.NewFollower(replica.FollowerConfig{
+		Leader:      leaderAddr,
+		Broker:      broker,
+		Caller:      pool,
+		StaleAfter:  staleAfter,
+		DialTimeout: time.Second,
+		BaseBackoff: 10 * time.Millisecond,
+		MaxBackoff:  200 * time.Millisecond,
+	})
+	if err != nil {
+		pool.Close()
+		broker.Close()
+		return nil, nil, err
+	}
+	f.Run()
+	return f, func() {
+		f.Close()
+		pool.Close()
+		broker.Close()
+	}, nil
+}
+
+// waitReplConverged blocks until the follower's mirror hashes equal to a
+// full replay of the leader's journal.
+func waitReplConverged(l *replLeader, f *replica.Follower, timeout time.Duration) error {
+	if err := l.log.Sync(); err != nil {
+		return err
+	}
+	disk, err := durable.ReadState(l.dir)
+	if err != nil {
+		return err
+	}
+	want := replica.StateHash(disk)
+	deadline := time.Now().Add(timeout)
+	for f.StateHash() != want {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("follower never converged: %s want %s (cursor %+v)", f.StateHash(), want, f.Cursor())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return nil
+}
+
+func replValidateBody(rmc cert.RMC, principal string) []byte {
+	b, err := json.Marshal(struct {
+		RMC       cert.RMC `json:"rmc"`
+		Principal string   `json:"principal"`
+	}{rmc, principal})
+	if err != nil {
+		panic(err) // fixture marshal cannot fail
+	}
+	return b
+}
+
+func replValidate(h rpc.Handler, body []byte) (bool, error) {
+	out, err := h("validate_rmc", body)
+	if err != nil {
+		return false, err
+	}
+	var resp struct {
+		Valid bool `json:"valid"`
+	}
+	if err := json.Unmarshal(out, &resp); err != nil {
+		return false, err
+	}
+	return resp.Valid, nil
+}
+
+// RunReplication runs all three E19 sections.
+func RunReplication(cfg ReplicationConfig) (ReplicationResult, error) {
+	if cfg.Credentials <= 0 {
+		cfg.Credentials = 400
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 1500 * time.Millisecond
+	}
+	if cfg.PerCall <= 0 {
+		cfg.PerCall = 400 * time.Microsecond
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 6
+	}
+	if cfg.StaleAfter <= 0 {
+		cfg.StaleAfter = 400 * time.Millisecond
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 300 * time.Millisecond
+	}
+	var res ReplicationResult
+	violate := func(format string, args ...any) {
+		res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
+	}
+
+	if err := runReplFailover(cfg, &res, violate); err != nil {
+		return res, fmt.Errorf("failover: %w", err)
+	}
+	if err := runReplThroughput(cfg, &res, violate); err != nil {
+		return res, fmt.Errorf("throughput: %w", err)
+	}
+	if err := runReplStaleness(cfg, &res, violate); err != nil {
+		return res, fmt.Errorf("staleness: %w", err)
+	}
+	return res, nil
+}
+
+// runReplFailover kills a replica mid-revocation-burst and requires the
+// replacement to converge with zero lost revocations.
+func runReplFailover(cfg ReplicationConfig, res *ReplicationResult, violate func(string, ...any)) error {
+	l, err := startReplLeader(cfg.LeaseTTL)
+	if err != nil {
+		return err
+	}
+	defer l.stop()
+
+	type cred struct {
+		rmc       cert.RMC
+		principal string
+	}
+	creds := make([]cred, cfg.Credentials)
+	for i := range creds {
+		rmc, p, err := l.activate()
+		if err != nil {
+			return err
+		}
+		creds[i] = cred{rmc, p}
+	}
+
+	// First replica attaches and fully catches up before the burst.
+	f1, stop1, err := startReplFollower(l.addr, time.Minute)
+	if err != nil {
+		return err
+	}
+	defer stop1()
+	if err := waitReplConverged(l, f1, 30*time.Second); err != nil {
+		return err
+	}
+
+	// Revocation burst over half the population; the replica dies after
+	// a third of it has been streamed (SIGKILL analog: no goodbye, no
+	// cursor handoff — the replacement starts cold from a snapshot).
+	revoked := cfg.Credentials / 2
+	kill := revoked / 3
+	res.Failover = ReplFailover{Issued: cfg.Credentials, Revoked: revoked, KillAfter: kill}
+	for i := 0; i < revoked; i++ {
+		if i == kill {
+			stop1()
+		}
+		if !l.svc.Revoke(creds[i].rmc.Ref.Serial, "burst") {
+			return fmt.Errorf("leader revoke %d failed", i)
+		}
+	}
+
+	f2, stop2, err := startReplFollower(l.addr, time.Minute)
+	if err != nil {
+		return err
+	}
+	defer stop2()
+	start := time.Now()
+	if err := waitReplConverged(l, f2, 30*time.Second); err != nil {
+		return err
+	}
+	res.Failover.ReconvergeMs = float64(time.Since(start).Nanoseconds()) / 1e6
+	res.Failover.HashConverged = true
+
+	h := f2.Handler("login")
+	for i, c := range creds {
+		valid, err := replValidate(h, replValidateBody(c.rmc, c.principal))
+		if err != nil {
+			return fmt.Errorf("replacement validate %d: %w", i, err)
+		}
+		if i < revoked && valid {
+			res.Failover.LostRevocations++
+		}
+		if i >= revoked && !valid {
+			res.Failover.FalseDenials++
+		}
+	}
+	if res.Failover.LostRevocations != 0 {
+		violate("failover lost %d of %d revocations", res.Failover.LostRevocations, revoked)
+	}
+	if res.Failover.FalseDenials != 0 {
+		violate("failover denied %d live credentials", res.Failover.FalseDenials)
+	}
+	return nil
+}
+
+// runReplThroughput measures aggregate validation reads over one node
+// vs three (leader + two followers), each node's capacity modeled by
+// serializedDelay so the comparison is host-independent.
+func runReplThroughput(cfg ReplicationConfig, res *ReplicationResult, violate func(string, ...any)) error {
+	l, err := startReplLeader(cfg.LeaseTTL)
+	if err != nil {
+		return err
+	}
+	defer l.stop()
+	rmc, principal, err := l.activate()
+	if err != nil {
+		return err
+	}
+	body := replValidateBody(rmc, principal)
+
+	f1, stop1, err := startReplFollower(l.addr, time.Minute)
+	if err != nil {
+		return err
+	}
+	defer stop1()
+	f2, stop2, err := startReplFollower(l.addr, time.Minute)
+	if err != nil {
+		return err
+	}
+	defer stop2()
+	if err := waitReplConverged(l, f1, 30*time.Second); err != nil {
+		return err
+	}
+	if err := waitReplConverged(l, f2, 30*time.Second); err != nil {
+		return err
+	}
+
+	// Each node gets its own serializedDelay instance: one mutex per
+	// node, so a three-node cluster has three independent capacities.
+	node := func(h rpc.Handler) rpc.Handler { return serializedDelay(cfg.PerCall)(h) }
+	single := []rpc.Handler{node(l.svc.Handler())}
+	cluster := []rpc.Handler{node(l.svc.Handler()), node(f1.Handler("login")), node(f2.Handler("login"))}
+
+	var rates []float64
+	for _, nodes := range [][]rpc.Handler{single, cluster} {
+		ops, window, err := replDrive(nodes, body, cfg.Workers, cfg.Window)
+		if err != nil {
+			return err
+		}
+		rate := float64(ops) / window.Seconds()
+		rates = append(rates, rate)
+		res.Throughput = append(res.Throughput, ReplThroughputRow{
+			Nodes:     len(nodes),
+			PerCallUs: float64(cfg.PerCall.Nanoseconds()) / 1e3,
+			Workers:   cfg.Workers,
+			Ops:       ops,
+			WindowMs:  float64(window.Nanoseconds()) / 1e6,
+			OpsPerSec: rate,
+		})
+	}
+	if rates[0] > 0 {
+		res.ScaleX = rates[1] / rates[0]
+	}
+	if res.ScaleX < 2 {
+		violate("3-node aggregate read throughput %.2fx single node, want >= 2x", res.ScaleX)
+	}
+	return nil
+}
+
+// replDrive round-robins workers across the given node handlers for one
+// window and returns verified ops and the actual elapsed time.
+func replDrive(nodes []rpc.Handler, body []byte, workers int, window time.Duration) (int, time.Duration, error) {
+	counts := make([]int, workers)
+	errs := make([]error, workers)
+	done := make(chan struct{})
+	start := time.Now()
+	deadline := start.Add(window)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			h := nodes[w%len(nodes)]
+			for time.Now().Before(deadline) {
+				valid, err := replValidate(h, body)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if !valid {
+					errs[w] = errors.New("live credential denied during throughput drive")
+					return
+				}
+				counts[w]++
+			}
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	elapsed := time.Since(start)
+	total := 0
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			return 0, 0, errs[w]
+		}
+		total += counts[w]
+	}
+	return total, elapsed, nil
+}
+
+// runReplStaleness severs the leader and requires the follower to fail
+// closed on both paths.
+func runReplStaleness(cfg ReplicationConfig, res *ReplicationResult, violate func(string, ...any)) error {
+	l, err := startReplLeader(cfg.LeaseTTL)
+	if err != nil {
+		return err
+	}
+	defer l.stop()
+	rmc, principal, err := l.activate()
+	if err != nil {
+		return err
+	}
+	body := replValidateBody(rmc, principal)
+
+	f, stop, err := startReplFollower(l.addr, cfg.StaleAfter)
+	if err != nil {
+		return err
+	}
+	defer stop()
+	if err := waitReplConverged(l, f, 30*time.Second); err != nil {
+		return err
+	}
+	h := f.Handler("login")
+	if valid, err := replValidate(h, body); err != nil || !valid {
+		return fmt.Errorf("pre-sever read: valid=%v err=%v", valid, err)
+	}
+
+	res.Staleness.StaleAfterMs = float64(cfg.StaleAfter.Nanoseconds()) / 1e6
+	sever := time.Now()
+	l.stop()
+
+	// Reads keep serving inside the bound, then must fail closed.
+	deadline := sever.Add(cfg.StaleAfter*4 + 10*time.Second)
+	for {
+		_, err := replValidate(h, body)
+		if errors.Is(err, replica.ErrStale) {
+			res.Staleness.SeverToStaleMs = float64(time.Since(sever).Nanoseconds()) / 1e6
+			res.Staleness.ReadFailClosed = true
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("severed read failed with %w, want ErrStale", err)
+		}
+		res.Staleness.ServedFresh++
+		if time.Now().After(deadline) {
+			violate("reads never failed closed %v past the sever", time.Since(sever))
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Writes must fail closed once the lease is gone.
+	wbody, err := json.Marshal(core.RemoteRevokeRequest{Serial: rmc.Ref.Serial, Reason: "severed"})
+	if err != nil {
+		return err
+	}
+	for {
+		_, err := h("revoke", wbody)
+		if errors.Is(err, replica.ErrNoLease) {
+			res.Staleness.WriteFailClosed = true
+			break
+		}
+		if time.Now().After(deadline) {
+			violate("writes never failed closed after the lease expired (last err %v)", err)
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return nil
+}

@@ -438,20 +438,34 @@ type healthzResponse struct {
 
 // handleHealthz is exempt from admission: a load balancer must be able
 // to probe an overloaded gateway and see it alive (shedding is not
-// dead).
+// dead). A partial backend outage still answers 200 "ok" — the gateway
+// can serve the surviving services, and pulling it from rotation would
+// only shrink capacity further — but when EVERY backend breaker is open
+// the gateway cannot do useful work at all, and it reports 503
+// "degraded" so the balancer routes probes elsewhere.
 func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp := healthzResponse{Status: "ok"}
+	code := http.StatusOK
 	if len(g.services) > 0 {
 		resp.Backends = make(map[string]string, len(g.services))
+		allOpen := g.breaker != nil
 		for _, svc := range g.services {
 			state := "unknown"
 			if g.breaker != nil {
-				state = g.breaker.BreakerState(svc).String()
+				bs := g.breaker.BreakerState(svc)
+				state = bs.String()
+				if bs != rpc.BreakerOpen {
+					allOpen = false
+				}
 			}
 			resp.Backends[svc] = state
 		}
+		if allOpen {
+			resp.Status = "degraded"
+			code = http.StatusServiceUnavailable
+		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, code, resp)
 }
 
 // writeJSON writes v with the given status and returns the status.

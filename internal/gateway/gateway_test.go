@@ -516,3 +516,60 @@ func TestHealthzReportsBreakers(t *testing.T) {
 		t.Errorf("healthz = %+v, want ok with login breaker closed", health)
 	}
 }
+
+// stubBreaker reports a fixed per-service circuit state.
+type stubBreaker map[string]rpc.BreakerState
+
+func (b stubBreaker) BreakerState(service string) rpc.BreakerState { return b[service] }
+
+// TestHealthzDegradedWhenAllBackendsDown pins the load-balancer contract:
+// every backend breaker open means the gateway can do no useful work and
+// must answer 503 "degraded"; a partial outage keeps answering 200 "ok"
+// (pulling a still-useful gateway from rotation only shrinks capacity).
+func TestHealthzDegradedWhenAllBackendsDown(t *testing.T) {
+	probe := func(t *testing.T, breaker stubBreaker) (int, string) {
+		t.Helper()
+		dir := rpc.NewDirectoryPool(time.Second, 1)
+		t.Cleanup(dir.Close)
+		caller := rpc.NewResilientCaller(dir, rpc.ResilientConfig{})
+		gw, err := New(Config{
+			Caller:    caller,
+			Validator: core.NewRemoteValidator("edge", caller, 0, nil),
+			Services:  []string{"login", "files"},
+			Breaker:   breaker,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(gw.Handler())
+		t.Cleanup(ts.Close)
+		resp, err := ts.Client().Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var health struct {
+			Status string `json:"status"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, health.Status
+	}
+
+	if code, status := probe(t, stubBreaker{
+		"login": rpc.BreakerOpen, "files": rpc.BreakerOpen,
+	}); code != http.StatusServiceUnavailable || status != "degraded" {
+		t.Errorf("all breakers open: %d %q, want 503 degraded", code, status)
+	}
+	if code, status := probe(t, stubBreaker{
+		"login": rpc.BreakerOpen, "files": rpc.BreakerClosed,
+	}); code != http.StatusOK || status != "ok" {
+		t.Errorf("partial outage: %d %q, want 200 ok", code, status)
+	}
+	if code, status := probe(t, stubBreaker{
+		"login": rpc.BreakerOpen, "files": rpc.BreakerHalfOpen,
+	}); code != http.StatusOK || status != "ok" {
+		t.Errorf("half-open probe window: %d %q, want 200 ok", code, status)
+	}
+}

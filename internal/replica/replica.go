@@ -1,0 +1,103 @@
+// Package replica replicates an oasisd journal to follower daemons over
+// the OW2 wire, so a domain can scale validation reads and survive the
+// loss of its issuing node without losing a single revocation.
+//
+// The model is primary-copy with journal shipping. Every oasisd that
+// journals (internal/durable) can serve its journal as a server stream:
+// a follower subscribes with a (journal id, epoch, generation, offset)
+// cursor, catches up — from the newest compacting snapshot when its
+// cursor no longer addresses live history — and then tail-follows
+// committed frames as the leader's committer writes them. Because the
+// shipper reads the same on-disk bytes recovery would replay, a
+// follower can never observe a record the leader has not committed: the
+// replication stream is exactly the crash-recovery story, run
+// continuously over the wire.
+//
+// The follower applies frames to a mirrored durable.State and into live
+// read-only core Services (Config.ReadOnly), so validation callbacks and
+// ECR reads are answered locally while every mutating method is proxied
+// to the leader — gated by a lease the follower renews in band. An
+// expired lease fails writes closed; reads fail closed once the leader
+// has been silent past the staleness bound (the replica-level analog of
+// the ECR stale-grace window).
+package replica
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+
+	"repro/internal/durable"
+)
+
+// Service is the in-band replication service name, registered on the
+// leader's wire listener next to the ordinary OASIS services. The
+// leading underscore keeps it out of the policy namespace.
+const Service = "_repl"
+
+// Wire methods of the replication service.
+const (
+	// MethodSubscribe is the journal server stream: snapshot catch-up at
+	// a cursor, then tail-follow of committed frames.
+	MethodSubscribe = "subscribe_journal"
+	// MethodLease grants/renews the follower's write-proxy lease.
+	MethodLease = "lease"
+	// MethodStatus reports the leader's journal position, for operators
+	// and tests.
+	MethodStatus = "status"
+)
+
+// Message kinds carried on the subscribe_journal stream.
+const (
+	// KindHello acknowledges a resumed cursor: the follower's position
+	// was accepted verbatim, no catch-up needed.
+	KindHello = "hello"
+	// KindSnapshot carries a full state; the follower must discard what
+	// it has and adopt it, resuming at the accompanying cursor.
+	KindSnapshot = "snapshot"
+	// KindRecs carries committed journal records in order; the cursor is
+	// the position just past them.
+	KindRecs = "recs"
+	// KindHB is a liveness tick while the follower is caught up; it
+	// bounds the follower's read staleness.
+	KindHB = "hb"
+)
+
+// Message is one frame on the subscribe_journal stream.
+type Message struct {
+	Kind   string           `json:"kind"`
+	Cursor durable.Cursor   `json:"cursor"`
+	State  *durable.State   `json:"state,omitempty"`
+	Recs   []durable.Record `json:"recs,omitempty"`
+}
+
+// LeaseResponse answers MethodLease: the leader's identity and the TTL
+// the follower may proxy writes under before renewing.
+type LeaseResponse struct {
+	Node      string `json:"node,omitempty"`
+	JournalID string `json:"journal_id"`
+	Epoch     uint64 `json:"epoch"`
+	TTLMillis int64  `json:"ttl_ms"`
+}
+
+// StatusResponse answers MethodStatus.
+type StatusResponse struct {
+	Node        string `json:"node,omitempty"`
+	JournalID   string `json:"journal_id"`
+	Epoch       uint64 `json:"epoch"`
+	Gen         uint64 `json:"gen"`
+	Size        int64  `json:"size"`
+	Subscribers int64  `json:"subscribers"`
+}
+
+// StateHash is a canonical digest of a replicated state, used to check
+// leader/follower convergence (encoding/json emits map keys sorted, so
+// equal states hash equal).
+func StateHash(st *durable.State) string {
+	b, err := json.Marshal(st)
+	if err != nil {
+		return "unmarshalable:" + err.Error()
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
