@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench tables obs recover wire capacity capacity-quick gw edgecache replication examples cover clean
+.PHONY: all build vet lint test race bench tables obs recover wire capacity capacity-quick gw edgecache replication seqcore examples cover clean
 
 all: build vet test race capacity-quick
 
@@ -84,6 +84,13 @@ edgecache:
 # (BENCH_replication.json).
 replication:
 	$(GO) run ./cmd/benchtab -exp replication -replication-json BENCH_replication.json
+
+# E20: per-shard sequencer core — sustained mixed issue/revoke pair
+# throughput against a real journal, sequenced apply loop vs the direct
+# inline write path, plus revoke-latency percentiles (the revocation
+# publish-latency bound) (BENCH_seqcore.json).
+seqcore:
+	$(GO) run ./cmd/benchtab -exp seqcore -seqcore-json BENCH_seqcore.json
 
 # Run all six runnable paper scenarios.
 examples:

@@ -7,6 +7,7 @@ package oasis
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -16,6 +17,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/domain"
+	"repro/internal/durable"
 	"repro/internal/experiments"
 	"repro/internal/names"
 	"repro/internal/sign"
@@ -682,4 +684,91 @@ func newRegistrationStore(b *testing.B, doctors, patients int) registrationStore
 		}
 	}
 	return registrationStore{store: db}
+}
+
+// ---------------------------------------------------------------------------
+// E20 — sequencer write path: pure mutation throughput.
+// Run with -cpu 1,4,8 to see the per-shard apply loop coalesce concurrent
+// issue/revoke traffic (cmd/benchtab -exp seqcore prints the full table).
+// ---------------------------------------------------------------------------
+
+// writeWorld builds a single-service world for write-path benchmarks,
+// optionally journaled into a real durable log (NoSync, so the benchmark
+// measures batching and ordering, not the disk).
+func writeWorld(b *testing.B, journaled bool) (*experiments.World, *core.Service) {
+	b.Helper()
+	w := experiments.NewWorld()
+	if journaled {
+		dlog, err := durable.Open(durable.Options{Dir: b.TempDir(), NoSync: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		w.Journal = dlog
+		w.OnClose = append(w.OnClose, func() { dlog.Close() }) //nolint:errcheck
+	}
+	login, err := w.Service("login", `login.user <- env ok.`, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	experiments.AlwaysTrue(login, "ok")
+	return w, login
+}
+
+// BenchmarkWritePathIssue measures pure credential issue throughput: every
+// iteration is one Activate routed through the per-shard sequencer.
+func BenchmarkWritePathIssue(b *testing.B) {
+	w, login := writeWorld(b, false)
+	defer w.Close()
+	roleUser := experiments.Role("login", "user")
+	var worker atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		principal := fmt.Sprintf("p%d", worker.Add(1))
+		for pb.Next() {
+			if _, err := login.Activate(principal, roleUser, core.Presented{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkWritePathIssueRevoke measures the issue+revoke pair — the
+// sequencer's mixed mutation stream, including revocation event publish.
+func BenchmarkWritePathIssueRevoke(b *testing.B) {
+	w, login := writeWorld(b, false)
+	defer w.Close()
+	roleUser := experiments.Role("login", "user")
+	var worker atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		principal := fmt.Sprintf("p%d", worker.Add(1))
+		for pb.Next() {
+			rmc, err := login.Activate(principal, roleUser, core.Presented{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			login.Deactivate(rmc.Ref.Serial, "logout")
+		}
+	})
+}
+
+// BenchmarkWritePathIssueRevokeJournaled is the same pair against a real
+// durable log: concurrent mutations on one shard commit as one multi-record
+// frame group instead of one group-commit window each.
+func BenchmarkWritePathIssueRevokeJournaled(b *testing.B) {
+	w, login := writeWorld(b, true)
+	defer w.Close()
+	roleUser := experiments.Role("login", "user")
+	var worker atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		principal := fmt.Sprintf("p%d", worker.Add(1))
+		for pb.Next() {
+			rmc, err := login.Activate(principal, roleUser, core.Presented{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			login.Deactivate(rmc.Ref.Serial, "logout")
+		}
+	})
 }

@@ -436,9 +436,11 @@ func run(cfg daemonConfig) error {
 		if dlog != nil {
 			if svcCfg.KeyRing == nil {
 				// First boot for this service: make its fresh secrets
-				// durable before it signs anything with them.
-				secrets, retain := svc.ExportKeys()
-				if err := dlog.KeysInstalled(name, retain, secrets); err != nil {
+				// durable before it signs anything with them. The
+				// install flows through the mutation sequencer so it
+				// shares the journal stream with the certificates the
+				// keys will sign.
+				if err := svc.InstallKeys(); err != nil {
 					return fmt.Errorf("journal keys for %s: %w", name, err)
 				}
 			}

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"repro/internal/cert"
-	"repro/internal/event"
 	"repro/internal/names"
 )
 
@@ -81,14 +80,14 @@ func (s *Service) Appoint(principal string, req AppointmentRequest, p Presented)
 	if err != nil {
 		return cert.AppointmentCertificate{}, wrap(s.name, err)
 	}
-	s.apptMu.Lock()
-	s.appts[serial] = &apptRecord{serial: serial, appt: a}
-	s.apptMu.Unlock()
-	if s.journal != nil {
-		// Durable before handed out: the certificate outlives sessions,
-		// so the issuer must remember it before the holder can hold it.
-		s.journal.ApptIssued(s.name, a)
-	}
+	// The signed certificate installs and journals through the shard's
+	// ordered apply loop. Durable before handed out: the certificate
+	// outlives sessions, so the issuer must remember it before the
+	// holder can hold it — the sequencer batch carrying an appointment
+	// issue waits for the journal fsync before Appoint returns.
+	op := newMutOp(mutApptIssue)
+	op.serial, op.appt = serial, a
+	s.runMut(op)
 	return a, nil
 }
 
@@ -97,28 +96,10 @@ func (s *Service) Appoint(principal string, req AppointmentRequest, p Presented)
 // rules depend on it. It reports whether the serial named a live
 // appointment.
 func (s *Service) RevokeAppointment(serial uint64, reason string) bool {
-	s.apptMu.Lock()
-	rec, ok := s.appts[serial]
-	if !ok || rec.revoked {
-		s.apptMu.Unlock()
-		return false
-	}
-	rec.revoked = true
-	key := rec.appt.Key()
-	s.apptMu.Unlock()
-
-	if s.journal != nil {
-		// Durable before published, as with CR revocations.
-		s.journal.ApptRevoked(s.name, serial, reason)
-	}
-	s.broker.Publish(event.Event{ //nolint:errcheck
-		Topic:   TopicAppt(key),
-		Kind:    event.KindRevoked,
-		Subject: key,
-		Reason:  reason,
-		At:      s.clk.Now(),
-	})
-	return true
+	op := newMutOp(mutApptRevoke)
+	op.serial, op.reason = serial, reason
+	s.runMut(op)
+	return op.did
 }
 
 // AppointmentStatus reports whether an issued appointment exists and is

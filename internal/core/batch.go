@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -46,14 +45,9 @@ const regatherSettle = 50 * time.Microsecond
 // (pending never settles) still flushes promptly.
 const regatherDeadline = time.Millisecond
 
-// regatherNap is the sleep the spinner backs off to once it has yielded
-// for a full settle interval without the queue settling. Gosched on a
-// busy scheduler is the cheap way to wait out a re-arriving herd, but on
-// a queue that drains elsewhere (the arrival timer won the race, or the
-// herd dispersed) pure yielding busy-burns a core for the rest of the
-// deadline; past the first settle interval the spinner trades a little
-// flush precision for giving the core back between polls.
-const regatherNap = 20 * time.Microsecond
+// (The re-gather waiter is event-driven: each arrival on a regathering
+// queue pokes q.grow, so there is no polling cadence to tune — see
+// regatherFlush.)
 
 // batcher coalesces concurrent callback validations destined for the
 // same issuer into validate_batch calls, collapsing the N-callbacks
@@ -114,10 +108,15 @@ type issuerQueue struct {
 	inflight    int          // flights currently out to this issuer
 	pending     []*batchCall // gathered while inflight > 0
 	timerSet    bool
-	regathering bool      // a re-gather spinner is watching the queue
+	regathering bool      // a re-gather waiter is watching the queue
 	hotUntil    time.Time // queue is mid fan-in storm until this instant
 	noBatch     bool      // issuer rejected validate_batch; use per-item calls
 	noBinary    bool      // issuer rejected binary bodies; use JSON forms
+
+	// grow wakes the re-gather waiter: every arrival appended while
+	// regathering pokes it (capacity 1, coalescing), so the waiter
+	// learns the herd is still assembling without polling the queue.
+	grow chan struct{}
 }
 
 // hot reports whether the queue is mid fan-in storm. Caller holds q.mu.
@@ -214,7 +213,7 @@ func (b *batcher) queue(issuer string) *issuerQueue {
 	defer b.mu.Unlock()
 	q := b.queues[issuer]
 	if q == nil {
-		q = &issuerQueue{}
+		q = &issuerQueue{grow: make(chan struct{}, 1)}
 		b.queues[issuer] = q
 	}
 	return q
@@ -238,6 +237,13 @@ func (b *batcher) do(issuer string, it validateItem) error {
 		q.pending = getBatchSlice()
 	}
 	q.pending = append(q.pending, c)
+	if q.regathering {
+		// Tell the re-gather waiter the herd is still assembling.
+		select {
+		case q.grow <- struct{}{}:
+		default:
+		}
+	}
 	if !q.timerSet {
 		q.timerSet = true
 		time.AfterFunc(b.window, func() { b.flushPending(issuer, q) })
@@ -278,6 +284,13 @@ func (b *batcher) flightDone(issuer string, q *issuerQueue) {
 	q.inflight--
 	if q.hot() {
 		if !q.regathering {
+			// Drain any stale wakeup left from a previous regather (an
+			// arrival that poked after the waiter read the channel) so
+			// the new waiter only sees arrivals from now on.
+			select {
+			case <-q.grow:
+			default:
+			}
 			q.regathering = true
 			go b.regatherFlush(issuer, q)
 		}
@@ -297,12 +310,15 @@ func (b *batcher) flightDone(issuer string, q *issuerQueue) {
 }
 
 // regatherFlush waits for a just-delivered herd to re-arrive and
-// launches it as one batch. It is deliberately timer-free: runtime
-// timers routinely fire several batch round-trips late under this kind
-// of bursty load, so it instead yields to the scheduler — which is busy
-// running exactly the waiters being waited for — and flushes once the
-// queue has stopped growing. The window timer armed by each arrival
-// remains the backstop if the spinner gives up on an empty queue.
+// launches it as one batch. The wait is event-driven: every arrival on
+// a regathering queue pokes q.grow, and the waiter resets its settle
+// timer on each poke, flushing once no arrival has landed for a settle
+// interval (the herd has re-assembled) or at the hard deadline (a
+// continuous arrival stream must still flush promptly). Timers firing
+// late under load err in the safe direction — a later flush gathers a
+// BIGGER batch, never a fragmented one — and the window timer armed by
+// each arrival remains the backstop if the waiter quits on an empty
+// queue.
 func (b *batcher) regatherFlush(issuer string, q *issuerQueue) {
 	settle, deadline := regatherSettle, regatherDeadline
 	if b.window < deadline {
@@ -311,36 +327,33 @@ func (b *batcher) regatherFlush(issuer string, q *issuerQueue) {
 	if d := b.window / 4; d < settle {
 		settle = d
 	}
-	start := time.Now()
-	last, lastChange := -1, start
+	settleT := time.NewTimer(settle)
+	deadlineT := time.NewTimer(deadline)
+	defer settleT.Stop()
+	defer deadlineT.Stop()
+wait:
 	for {
-		q.mu.Lock()
-		n := len(q.pending)
-		q.mu.Unlock()
-		now := time.Now()
-		if n != last {
-			last, lastChange = n, now
-		} else if now.Sub(lastChange) >= settle {
-			break
-		}
-		if now.Sub(start) >= deadline {
-			break
-		}
-		if now.Sub(start) < settle {
-			// The herd is (probably) re-arriving right now: yield to the
-			// scheduler that is running it.
-			runtime.Gosched()
-		} else {
-			// Still not settled after a full settle interval of yielding —
-			// the queue is draining elsewhere or filling slowly. Stop
-			// burning the core; nap between polls instead.
-			time.Sleep(regatherNap)
+		select {
+		case <-q.grow:
+			// Herd still assembling: restart the settle clock.
+			if !settleT.Stop() {
+				select {
+				case <-settleT.C:
+				default:
+				}
+			}
+			settleT.Reset(settle)
+		case <-settleT.C:
+			break wait
+		case <-deadlineT.C:
+			break wait
 		}
 	}
 	q.mu.Lock()
 	q.regathering = false
+	n := len(q.pending)
 	q.mu.Unlock()
-	if last == 0 {
+	if n == 0 {
 		return // herd went elsewhere; arrival timers cover latecomers
 	}
 	b.flushPending(issuer, q)

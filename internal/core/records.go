@@ -34,6 +34,19 @@ type RecordStatus struct {
 	Reason  string
 }
 
+// SerialIssuer is the optional RecordStore extension the sequencer path
+// uses: Activate allocates the serial up front (it goes into the signed
+// RMC and the journal record before the mutation is submitted), and the
+// record itself materialises inside the shard's ordered apply. A store
+// without this extension still works — Activate falls back to Issue
+// before submitting, so the apply loop only publishes the table entry.
+type SerialIssuer interface {
+	// NextSerial allocates a serial without creating a record.
+	NextSerial() uint64
+	// IssueAt creates the record under a serial from NextSerial.
+	IssueAt(serial uint64, subject, holder string)
+}
+
 // memRecord is the resident form of one credential record: three interned
 // string handles plus a packed flag byte, stored by value in the shard
 // map. Compared with the pre-capacity layout (a heap-allocated
@@ -92,6 +105,15 @@ func (m *memRecords) shard(serial uint64) *recordShard {
 
 func (m *memRecords) Issue(subject, holder string) (uint64, error) {
 	serial := m.next.Add(1)
+	m.IssueAt(serial, subject, holder)
+	return serial, nil
+}
+
+// NextSerial implements SerialIssuer.
+func (m *memRecords) NextSerial() uint64 { return m.next.Add(1) }
+
+// IssueAt implements SerialIssuer.
+func (m *memRecords) IssueAt(serial uint64, subject, holder string) {
 	sh := m.shard(serial)
 	sh.mu.Lock()
 	// Subjects (ground role keys) come from a small vocabulary and are
@@ -104,7 +126,6 @@ func (m *memRecords) Issue(subject, holder string) (uint64, error) {
 		holder:  holder,
 	}
 	sh.mu.Unlock()
-	return serial, nil
 }
 
 func (m *memRecords) Revoke(serial uint64, reason string) (bool, error) {

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestSeqDisabledMatchesDefault runs the same mixed issue/revoke workload
+// through the sequencer path (default config) and the direct inline path
+// (SeqMailbox < 0) and checks that the observable service state agrees:
+// same stats, same CR status transitions, same legacy journal hooks.
+func TestSeqDisabledMatchesDefault(t *testing.T) {
+	run := func(mailbox int) (Stats, []uint64) {
+		w := newWorld(t)
+		j := &captureJournal{}
+		svc := w.service("login", `login.user <- env ok.`, func(c *Config) {
+			c.SeqMailbox = mailbox
+			c.Journal = j
+		})
+		alwaysTrue(svc, "ok")
+		for i := 0; i < 40; i++ {
+			rmc, err := svc.Activate(fmt.Sprintf("p%d", i), role("login", "user"), Presented{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i%2 == 0 {
+				if !svc.Revoke(rmc.Ref.Serial, "logout") {
+					t.Fatalf("deactivate %d failed", rmc.Ref.Serial)
+				}
+			}
+		}
+		return svc.Stats(), j.revoked
+	}
+
+	seqStats, seqRevoked := run(0)
+	dirStats, dirRevoked := run(-1)
+	if seqStats.Activations != dirStats.Activations || seqStats.Revocations != dirStats.Revocations {
+		t.Errorf("stats diverge: seq=%+v direct=%+v", seqStats, dirStats)
+	}
+	if len(seqRevoked) != len(dirRevoked) {
+		t.Errorf("journal hooks diverge: seq=%v direct=%v", seqRevoked, dirRevoked)
+	}
+}
+
+// TestSeqConcurrentChurn hammers one service with parallel activate/
+// deactivate pairs through the sequencer and checks nothing is lost:
+// every issued serial must end up revoked-but-known.
+func TestSeqConcurrentChurn(t *testing.T) {
+	w := newWorld(t)
+	svc := w.service("login", `login.user <- env ok.`)
+	alwaysTrue(svc, "ok")
+
+	const workers, per = 8, 50
+	serials := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				rmc, err := svc.Activate(fmt.Sprintf("w%d-%d", g, i), role("login", "user"), Presented{})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				serials[g] = append(serials[g], rmc.Ref.Serial)
+				if !svc.Revoke(rmc.Ref.Serial, "logout") {
+					t.Errorf("deactivate %d failed", rmc.Ref.Serial)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	for g := range serials {
+		for _, serial := range serials[g] {
+			valid, exists := svc.CRStatus(serial)
+			if valid || !exists {
+				t.Fatalf("serial %d: status (%v,%v), want revoked tombstone", serial, valid, exists)
+			}
+		}
+	}
+	st := svc.Stats()
+	if st.Activations != workers*per || st.Revocations != workers*per {
+		t.Errorf("stats = %+v, want %d/%d", st, workers*per, workers*per)
+	}
+}
+
+// TestSeqSubmitAfterClose checks the inline fallback: once Close has shut
+// the sequencer, further mutations still apply directly rather than erroring.
+func TestSeqSubmitAfterClose(t *testing.T) {
+	w := newWorld(t)
+	svc := w.service("login", `login.user <- env ok.`)
+	alwaysTrue(svc, "ok")
+	rmc, err := svc.Activate("p", role("login", "user"), Presented{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.seq.Close()
+	if !svc.Revoke(rmc.Ref.Serial, "logout") {
+		t.Fatal("deactivate after sequencer close failed")
+	}
+	if valid, exists := svc.CRStatus(rmc.Ref.Serial); valid || !exists {
+		t.Fatalf("status = (%v,%v)", valid, exists)
+	}
+}

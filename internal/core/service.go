@@ -14,6 +14,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/rpc"
+	"repro/internal/seq"
 	"repro/internal/sign"
 	"repro/internal/store"
 )
@@ -111,6 +112,16 @@ type Config struct {
 	// restored from the journal, so certificates issued before a crash
 	// still verify. Nil generates a fresh ring.
 	KeyRing *sign.KeyRing
+	// SeqMailbox bounds each sequencer shard's mailbox (the unified
+	// async core's per-shard mutation queue; see internal/seq and
+	// seqmut.go). 0 selects the default depth (256); negative disables
+	// the sequencer entirely, applying every mutation inline on the
+	// caller's goroutine — the pre-sequencer behaviour, kept for
+	// baseline comparison (E20) and for stores that need it. A full
+	// mailbox blocks the submitting mutation, which is the end-to-end
+	// backpressure contract: a slow journal or broker pushes back on
+	// the RPC layer instead of growing an unbounded queue.
+	SeqMailbox int
 	// ReadOnly makes the wire handler refuse the mutating methods
 	// (activate, invoke, appoint, revoke, end_session) with ErrReadOnly.
 	// A follower replica (internal/replica) serves validation locally
@@ -233,6 +244,13 @@ type Service struct {
 	stats  statCounters
 	obsm   serviceObs
 	batch  *batcher
+
+	// seq is the per-shard mutation sequencer (nil when disabled):
+	// every issue/revoke/appoint/key-install flows through one ordered
+	// apply loop per shard. seqScratch is the apply loops' per-shard
+	// reusable buffers.
+	seq        *seq.Sequencer[*mutOp]
+	seqScratch [crShards]seqShardScratch
 
 	// setupMu serialises writers of the copy-on-write registration
 	// snapshots below; readers load them without locking.
@@ -365,6 +383,18 @@ func NewService(cfg Config) (*Service, error) {
 	s.observers.Store([]InvokeObserver{})
 	s.obsm = newServiceObs(s, cfg.Name, cfg.Obs, cfg.Trace)
 	s.batch = newBatcher(s, cfg.BatchWindow)
+	// The mutation sequencer. ReadOnly replicas never mutate through
+	// the public API (the replication applier calls ApplyReplicated
+	// directly, already serialised by the stream), so they skip it.
+	if !cfg.ReadOnly && cfg.SeqMailbox >= 0 {
+		s.seq = seq.New(seq.Config[*mutOp]{
+			Shards: crShards,
+			Depth:  cfg.SeqMailbox,
+			Apply:  s.applySeqBatch,
+			Name:   cfg.Name,
+			Obs:    cfg.Obs,
+		})
+	}
 	return s, nil
 }
 
@@ -458,16 +488,30 @@ func (s *Service) Activate(principal string, requested names.Role, p Presented) 
 	}
 
 	subject := ground.Key()
-	serial, err := s.records.Issue(subject, principal)
-	if err != nil {
-		return cert.RMC{}, wrap(s.name, err)
+	// Allocate the serial up front (it is signed into the RMC and
+	// names the journal record), then submit the issue to the shard's
+	// sequencer: the record store entry, credential-table insert and
+	// journal append all happen inside the ordered apply loop. Stores
+	// without the SerialIssuer extension issue eagerly instead and the
+	// apply loop only publishes the table entry.
+	op := newMutOp(mutCRIssue)
+	op.subject, op.holder = subject, principal
+	if si, ok := s.records.(SerialIssuer); ok {
+		op.serial = si.NextSerial()
+	} else {
+		serial, err := s.records.Issue(subject, principal)
+		if err != nil {
+			return cert.RMC{}, wrap(s.name, err)
+		}
+		op.serial, op.preIssued = serial, true
 	}
-	if s.journal != nil {
-		s.journal.CRIssued(s.name, serial, subject, principal)
-	}
+	serial := op.serial
 	cr := &CredRecord{Serial: serial, Principal: principal, Role: ground}
-	s.crs.insert(cr)
-	s.stats.activations.Add(1)
+	op.cr = cr
+	s.runMut(op)
+	if op.err != nil && !op.did {
+		return cert.RMC{}, wrap(s.name, op.err)
+	}
 
 	ref := cert.CRR{Issuer: s.name, Serial: serial}
 	rmc, err := cert.IssueRMC(s.ring, principal, ground, ref)
@@ -644,64 +688,10 @@ func (s *Service) deactivate(serial uint64, reason string) bool {
 // collapse, and the hop latency (via.At to now) lands in the cascade
 // histogram.
 func (s *Service) deactivateCascade(serial uint64, reason string, via event.Event) bool {
-	wasLive, err := s.records.Revoke(serial, reason)
-	if err != nil || !wasLive {
-		// Already revoked, unknown, or the record store is unreachable
-		// (in which case validation also fails, which is the safe
-		// direction).
-		return false
-	}
-	if s.journal != nil {
-		// Durable before published: once the revocation fans out, remote
-		// caches drop the credential, and a crash must not resurrect it.
-		s.journal.CRRevoked(s.name, serial, reason)
-	}
-	var subs []*event.Subscription
-	if cr := s.crs.remove(serial); cr != nil {
-		cr.mu.Lock()
-		cr.deactivated = true
-		subs = cr.subs
-		cr.subs = nil
-		deps := cr.envDeps
-		cr.mu.Unlock()
-		s.envIndexRemove(deps, serial)
-	}
-	s.stats.revocations.Add(1)
-
-	for _, sub := range subs {
-		sub.Cancel()
-	}
-	ref := cert.CRR{Issuer: s.name, Serial: serial}
-	now := s.clk.Now()
-	corr, depth := via.Corr, 0
-	var hopNs int64
-	if corr == "" {
-		// This revocation is a cascade root: mint the correlation id every
-		// dependent deactivation will inherit. Serials are revoke-once, so
-		// the id is unique without a counter.
-		corr = fmt.Sprintf("cas:%s#%d", s.name, serial)
-	} else {
-		depth = via.Depth + 1
-		if !via.At.IsZero() {
-			hopNs = now.Sub(via.At).Nanoseconds()
-			s.obsm.cascadeHopNs.Observe(hopNs)
-		}
-	}
-	s.obsm.cascadeDepth.Observe(int64(depth))
-	s.broker.Publish(event.Event{ //nolint:errcheck // revocation is fire-and-forget fan-out
-		Topic:   TopicCR(ref),
-		Kind:    event.KindRevoked,
-		Subject: ref.String(),
-		Reason:  reason,
-		At:      now,
-		Corr:    corr,
-		Depth:   depth,
-	})
-	s.obsm.trace(obs.TraceEvent{
-		Kind: "revoke", Service: s.name, Subject: ref.String(),
-		Outcome: "ok", Corr: corr, Depth: depth, Detail: reason, DurNs: hopNs,
-	})
-	return true
+	op := newMutOp(mutCRRevoke)
+	op.serial, op.reason, op.via = serial, reason, via
+	s.runMut(op)
+	return op.did
 }
 
 // NotifyEnvChanged re-checks the membership conditions of every active

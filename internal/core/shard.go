@@ -68,6 +68,12 @@ func (t *crTable) insert(cr *CredRecord) {
 	ss.crs[cr.Serial] = cr
 	ss.mu.Unlock()
 
+	t.indexPrincipal(cr)
+}
+
+// indexPrincipal adds a record to the principal index. Called after the
+// serial-shard mutation, never with a serial shard lock held.
+func (t *crTable) indexPrincipal(cr *CredRecord) {
 	ps := t.principalShard(cr.Principal)
 	ps.mu.Lock()
 	if ps.serials == nil {
@@ -76,6 +82,76 @@ func (t *crTable) insert(cr *CredRecord) {
 	ps.serials[cr.Principal] = append(ps.serials[cr.Principal], cr.Serial)
 	ps.mu.Unlock()
 	t.count.Add(1)
+}
+
+// unindexPrincipal removes a record from the principal index.
+func (t *crTable) unindexPrincipal(cr *CredRecord, serial uint64) {
+	ps := t.principalShard(cr.Principal)
+	ps.mu.Lock()
+	if list, ok := ps.serials[cr.Principal]; ok {
+		for i, s := range list {
+			if s == serial {
+				list[i] = list[len(list)-1]
+				list = list[:len(list)-1]
+				break
+			}
+		}
+		if len(list) == 0 {
+			delete(ps.serials, cr.Principal)
+		} else {
+			ps.serials[cr.Principal] = list
+		}
+	}
+	ps.mu.Unlock()
+	t.count.Add(-1)
+}
+
+// crMut is one credential-table mutation inside a sequencer batch:
+// either an insert (insert != nil) or a removal by serial.
+type crMut struct {
+	insert *CredRecord
+	remove uint64
+	// removed receives the evicted record for removals (nil when the
+	// serial had no table entry, e.g. journal-restored records).
+	removed *CredRecord
+}
+
+// applyBatch applies a sequencer batch's table mutations. Every serial
+// in the batch maps to the same serial shard (the sequencer shards by
+// serial % crShards, matching serialShard), so the whole batch commits
+// under one serial-shard lock acquisition, in batch order. The
+// principal index is updated per record afterwards, preserving the
+// lock discipline (serial and principal shard locks never held
+// together).
+func (t *crTable) applyBatch(shard int, muts []crMut) {
+	if len(muts) == 0 {
+		return
+	}
+	ss := &t.serials[shard%crShards]
+	ss.mu.Lock()
+	if ss.crs == nil {
+		ss.crs = make(map[uint64]*CredRecord)
+	}
+	for i := range muts {
+		m := &muts[i]
+		if m.insert != nil {
+			ss.crs[m.insert.Serial] = m.insert
+		} else {
+			m.removed = ss.crs[m.remove]
+			delete(ss.crs, m.remove)
+		}
+	}
+	ss.mu.Unlock()
+
+	for i := range muts {
+		m := &muts[i]
+		switch {
+		case m.insert != nil:
+			t.indexPrincipal(m.insert)
+		case m.removed != nil:
+			t.unindexPrincipal(m.removed, m.remove)
+		}
+	}
 }
 
 // get returns the live record for serial, or nil after deactivation.
@@ -98,25 +174,7 @@ func (t *crTable) remove(serial uint64) *CredRecord {
 	if cr == nil {
 		return nil
 	}
-
-	ps := t.principalShard(cr.Principal)
-	ps.mu.Lock()
-	if list, ok := ps.serials[cr.Principal]; ok {
-		for i, s := range list {
-			if s == serial {
-				list[i] = list[len(list)-1]
-				list = list[:len(list)-1]
-				break
-			}
-		}
-		if len(list) == 0 {
-			delete(ps.serials, cr.Principal)
-		} else {
-			ps.serials[cr.Principal] = list
-		}
-	}
-	ps.mu.Unlock()
-	t.count.Add(-1)
+	t.unindexPrincipal(cr, serial)
 	return cr
 }
 

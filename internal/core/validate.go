@@ -519,6 +519,12 @@ func (s *Service) callbackValidate(kindTag, issuer string, it validateItem) erro
 // Close cancels the service's cache subscriptions and expiry timers
 // (credential record watches are cancelled by Deactivate).
 func (s *Service) Close() {
+	// Drain the mutation sequencer first: Close blocks until every
+	// in-flight Submit has applied, after which late mutations (e.g. a
+	// revocation racing shutdown) take the inline path.
+	if s.seq != nil {
+		s.seq.Close()
+	}
 	s.stopOnce.Do(func() { close(s.stopTimers) })
 	s.timersWG.Wait()
 	subs := s.vcache.subscriptions()

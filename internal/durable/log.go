@@ -144,6 +144,7 @@ type Log struct {
 	notify   map[chan struct{}]struct{}
 
 	wake    chan struct{}
+	urgent  chan struct{} // cuts the group-commit nap short: batch already formed upstream
 	stop    chan struct{}
 	wg      sync.WaitGroup
 	replay  ReplayStats
@@ -201,6 +202,7 @@ func Open(opts Options) (*Log, error) {
 		autoGarbage: opts.AutoCompactGarbage,
 		state:       NewState(),
 		wake:        make(chan struct{}, 1),
+		urgent:      make(chan struct{}, 1),
 		stop:        make(chan struct{}),
 
 		appendRecords: opts.Obs.Counter("durable_append_records_total"),
@@ -396,6 +398,54 @@ func (l *Log) AppendWait(rec Record) error {
 	return <-errc
 }
 
+// AppendGroup journals recs as one contiguous run: the records occupy
+// adjacent queue slots under a single lock hold, so they land on disk
+// adjacently and in order (flush steals the whole queue and writes it
+// in queue order). When wait is true the call blocks until the group's
+// batch has been written and fsynced; it also pokes the committer's
+// urgent channel so a pre-grouped batch skips the group-commit nap —
+// the nap exists to let independent racers coalesce, and a sequencer
+// batch already did that upstream. Callers pass the per-shard
+// sequencer's batch output here; empty groups are a no-op.
+func (l *Log) AppendGroup(recs []Record, wait bool) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	var errc chan error
+	if wait {
+		errc = make(chan error, 1)
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		l.appendErrors.Inc()
+		return fmt.Errorf("durable: log closed")
+	}
+	wasEmpty := len(l.queue) == 0
+	for i, rec := range recs {
+		q := queued{rec: rec}
+		if i == len(recs)-1 {
+			q.errc = errc // one waiter for the whole group: flush errors the batch atomically
+		}
+		l.queue = append(l.queue, q)
+	}
+	l.mu.Unlock()
+	if wasEmpty {
+		select {
+		case l.wake <- struct{}{}:
+		default:
+		}
+	}
+	if !wait {
+		return nil
+	}
+	select {
+	case l.urgent <- struct{}{}:
+	default:
+	}
+	return <-errc
+}
+
 func (l *Log) enqueue(rec Record, errc chan error) bool {
 	l.mu.Lock()
 	if l.closed {
@@ -427,7 +477,20 @@ func (l *Log) runCommitter() {
 		select {
 		case <-l.wake:
 			if l.window > 0 {
-				time.Sleep(l.window) // let racers join the batch
+				// Let racers join the batch — but an urgent poke
+				// (pre-grouped batch with a waiter) skips the nap:
+				// its coalescing already happened upstream. A stale
+				// urgent token at worst shortens one nap.
+				nap := time.NewTimer(l.window)
+				select {
+				case <-nap.C:
+				case <-l.urgent:
+					nap.Stop()
+				case <-l.stop:
+					nap.Stop()
+					l.flushSync(true)
+					return
+				}
 			}
 			l.flush()
 			l.maybeAutoCompact()

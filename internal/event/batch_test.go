@@ -1,0 +1,78 @@
+package event
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// PublishBatch must deliver in slice order to taps and to each
+// subscription, and count enqueues like repeated Publish calls.
+func TestPublishBatchOrder(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+
+	var tapMu sync.Mutex
+	var tapped []string
+	cancelTap := b.Tap(func(ev Event) {
+		tapMu.Lock()
+		tapped = append(tapped, ev.Subject)
+		tapMu.Unlock()
+	})
+	defer cancelTap()
+
+	var subMu sync.Mutex
+	var seen []string
+	sub, err := b.Subscribe("t", func(ev Event) {
+		subMu.Lock()
+		seen = append(seen, ev.Subject)
+		subMu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Cancel()
+
+	const n = 100
+	evs := make([]Event, n)
+	for i := range evs {
+		evs[i] = Event{Topic: "t", Kind: KindRevoked, Subject: fmt.Sprintf("s%03d", i)}
+	}
+	count, err := b.PublishBatch(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("enqueued %d, want %d", count, n)
+	}
+	b.Quiesce()
+
+	tapMu.Lock()
+	defer tapMu.Unlock()
+	subMu.Lock()
+	defer subMu.Unlock()
+	if len(tapped) != n || len(seen) != n {
+		t.Fatalf("tap=%d sub=%d, want %d each", len(tapped), len(seen), n)
+	}
+	for i := 0; i < n; i++ {
+		want := fmt.Sprintf("s%03d", i)
+		if tapped[i] != want {
+			t.Fatalf("tap order broken at %d: %s", i, tapped[i])
+		}
+		if seen[i] != want {
+			t.Fatalf("sub order broken at %d: %s", i, seen[i])
+		}
+	}
+
+	if got, err := b.PublishBatch(nil); err != nil || got != 0 {
+		t.Fatalf("empty batch: %d, %v", got, err)
+	}
+}
+
+func TestPublishBatchClosed(t *testing.T) {
+	b := NewBroker()
+	b.Close()
+	if _, err := b.PublishBatch([]Event{{Topic: "t"}}); err != ErrClosed {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+}

@@ -245,6 +245,31 @@ func (b *Broker) Publish(ev Event) (int, error) {
 	if b.closed.Load() {
 		return 0, ErrClosed
 	}
+	return b.publishOne(ev, b.taps.Load().([]*tapFn)), nil
+}
+
+// PublishBatch delivers evs in order, amortising the closed check and
+// tap-list snapshot across the batch. Taps observe the events in slice
+// order from the caller's goroutine, and per-topic subscription queues
+// receive them in slice order — this is the sequencer's publish edge,
+// where batch order is journal order. Returns the total number of
+// subscriber enqueues.
+func (b *Broker) PublishBatch(evs []Event) (int, error) {
+	if len(evs) == 0 {
+		return 0, nil
+	}
+	if b.closed.Load() {
+		return 0, ErrClosed
+	}
+	taps := b.taps.Load().([]*tapFn)
+	n := 0
+	for _, ev := range evs {
+		n += b.publishOne(ev, taps)
+	}
+	return n, nil
+}
+
+func (b *Broker) publishOne(ev Event, taps []*tapFn) int {
 	sh := b.shard(ev.Topic)
 	sh.mu.Lock()
 	subs := sh.topics[ev.Topic]
@@ -255,7 +280,7 @@ func (b *Broker) Publish(ev Event) (int, error) {
 	sh.mu.Unlock()
 	b.published.Add(1)
 
-	for _, tap := range b.taps.Load().([]*tapFn) {
+	for _, tap := range taps {
 		tap.f(ev)
 	}
 	n := 0
@@ -267,7 +292,7 @@ func (b *Broker) Publish(ev Event) (int, error) {
 			b.taskDone()
 		}
 	}
-	return n, nil
+	return n
 }
 
 func (b *Broker) taskDone() {

@@ -125,8 +125,7 @@ func startReplLeader(leaseTTL time.Duration) (*replLeader, error) {
 		return fail(err)
 	}
 	AlwaysTrue(svc, "ok")
-	secrets, retain := svc.ExportKeys()
-	if err := dlog.KeysInstalled("login", retain, secrets); err != nil {
+	if err := svc.InstallKeys(); err != nil {
 		svc.Close()
 		broker.Close()
 		dlog.Close() //nolint:errcheck

@@ -437,53 +437,43 @@ func (f *Follower) applyLive(r durable.Record) []event.Event {
 		// New signing secrets: rebuild the service so certificates
 		// verify under the restored ring.
 		f.materializeLocked(r.Service)
-	case durable.OpCRIssue:
-		svc := f.serviceLocked(r.Service)
-		ss := f.state.Services[r.Service]
-		if svc == nil || ss == nil {
-			return nil
-		}
-		if cr := ss.CRs[r.Serial]; cr != nil {
-			if err := svc.RestoreCR(r.Serial, cr.Subject, cr.Holder, cr.Revoked, cr.Reason); err != nil {
-				f.applyErrs.Inc()
-			}
-		}
-	case durable.OpCRRevoke:
+	case durable.OpCRIssue, durable.OpCRRevoke, durable.OpApptIssue, durable.OpApptRevoke:
+		// Credential and appointment mutations replay through the same
+		// apply function the leader's sequencer runs (ApplyReplicated →
+		// applyMutState): no parallel copy of the mutation semantics.
+		// Events come back for the caller to publish in record order —
+		// a revocation always yields one, even when the record was
+		// unknown here (a tombstone is installed), so follower-attached
+		// edge caches drop the credential regardless.
 		svc := f.serviceLocked(r.Service)
 		if svc == nil {
 			return nil
 		}
-		if !svc.Revoke(r.Serial, r.Reason) {
-			// Unknown here (or already revoked): install a tombstone and
-			// announce the revocation ourselves, since Revoke only
-			// publishes for the winning call.
-			if err := svc.RestoreCR(r.Serial, "", "", true, r.Reason); err != nil {
-				f.applyErrs.Inc()
+		if r.Op == durable.OpApptIssue && r.Appt == nil {
+			// Old journals shipped the certificate only in the mirror;
+			// fall back to it.
+			if ss := f.state.Services[r.Service]; ss != nil {
+				if a := ss.Appts[r.Serial]; a != nil && a.Cert.Issuer != "" {
+					svc.RestoreAppointment(a.Cert, a.Revoked)
+				}
 			}
-			return []event.Event{crRevokedEvent(r.Service, r.Serial, r.Reason, time.Now())}
-		}
-	case durable.OpApptIssue:
-		svc := f.serviceLocked(r.Service)
-		ss := f.state.Services[r.Service]
-		if svc == nil || ss == nil {
 			return nil
 		}
-		if a := ss.Appts[r.Serial]; a != nil && a.Cert.Issuer != "" {
-			svc.RestoreAppointment(a.Cert, a.Revoked)
+		evs, err := svc.ApplyReplicated(r)
+		if err != nil {
+			f.applyErrs.Inc()
 		}
-	case durable.OpApptRevoke:
-		svc := f.serviceLocked(r.Service)
-		ss := f.state.Services[r.Service]
-		if svc == nil || ss == nil {
-			return nil
-		}
-		if !svc.RevokeAppointment(r.Serial, r.Reason) {
+		if r.Op == durable.OpApptRevoke && len(evs) == 0 {
 			// The live service had nothing to revoke (tombstone-only
-			// entry, or already revoked); publish so edge caches drop it.
-			if a := ss.Appts[r.Serial]; a != nil && a.Cert.Issuer != "" {
-				return []event.Event{apptRevokedEvent(a.Cert.Key(), r.Reason, time.Now())}
+			// entry, or already revoked); publish from the mirror so
+			// edge caches drop it.
+			if ss := f.state.Services[r.Service]; ss != nil {
+				if a := ss.Appts[r.Serial]; a != nil && a.Cert.Issuer != "" {
+					return []event.Event{apptRevokedEvent(a.Cert.Key(), r.Reason, time.Now())}
+				}
 			}
 		}
+		return evs
 	case durable.OpFactAssert:
 		if f.cfg.Store != nil {
 			f.cfg.Store.Assert(r.Relation, r.Tuple...) //nolint:errcheck
